@@ -1,0 +1,220 @@
+//! Correlation clustering via the CC-Pivot approximation.
+//!
+//! Correlation clustering (Bansal, Blum, Chawla) partitions a graph whose
+//! edges are labelled `+` (similar) or `−` (dissimilar) so as to maximize
+//! agreements, without fixing the number of clusters. The paper's
+//! related-work section notes the known approximation algorithms are "very
+//! interesting theoretically, but far from practical" and require binary
+//! labels. We implement the classic CC-Pivot algorithm (pick a random pivot,
+//! cluster it with its `+` neighbours, recurse), which is the standard
+//! practical approximation, and use it as a quality/throughput comparator.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use bsc_corpus::vocabulary::KeywordId;
+use bsc_graph::prune::PrunedGraph;
+
+/// A ±-labelled undirected graph over keyword vertices.
+#[derive(Debug, Clone, Default)]
+pub struct SignedGraph {
+    vertices: Vec<KeywordId>,
+    /// Positive edges, as index pairs into `vertices`.
+    positive: Vec<(u32, u32)>,
+}
+
+impl SignedGraph {
+    /// Build from explicit vertices and positive keyword pairs (every absent
+    /// pair is implicitly negative, as in the correlation-clustering model).
+    pub fn new(vertices: Vec<KeywordId>, positive_pairs: &[(KeywordId, KeywordId)]) -> Self {
+        let index_of: std::collections::HashMap<KeywordId, u32> = vertices
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, i as u32))
+            .collect();
+        let positive = positive_pairs
+            .iter()
+            .filter_map(|&(a, b)| {
+                let ia = index_of.get(&a)?;
+                let ib = index_of.get(&b)?;
+                if ia == ib {
+                    None
+                } else {
+                    Some((*ia.min(ib), *ia.max(ib)))
+                }
+            })
+            .collect();
+        SignedGraph { vertices, positive }
+    }
+
+    /// Derive the signed graph the paper's setting implies: vertices are the
+    /// keywords that survive pruning and the `+` edges are exactly the
+    /// surviving (strongly correlated) pairs.
+    pub fn from_pruned(graph: &PrunedGraph) -> Self {
+        let vertices = graph.vertices();
+        let pairs: Vec<(KeywordId, KeywordId)> =
+            graph.edges().iter().map(|e| (e.u, e.v)).collect();
+        SignedGraph::new(vertices, &pairs)
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of positive edges.
+    pub fn num_positive_edges(&self) -> usize {
+        self.positive.len()
+    }
+
+    fn positive_adjacency(&self) -> Vec<Vec<u32>> {
+        let mut adj = vec![Vec::new(); self.vertices.len()];
+        for &(a, b) in &self.positive {
+            adj[a as usize].push(b);
+            adj[b as usize].push(a);
+        }
+        adj
+    }
+
+    /// The number of disagreements of a clustering: positive edges across
+    /// clusters plus implicit negative edges within clusters.
+    pub fn disagreements(&self, clusters: &[Vec<KeywordId>]) -> u64 {
+        let mut label = std::collections::HashMap::new();
+        for (id, cluster) in clusters.iter().enumerate() {
+            for k in cluster {
+                label.insert(*k, id);
+            }
+        }
+        let positive_set: std::collections::HashSet<(u32, u32)> =
+            self.positive.iter().copied().collect();
+        let mut disagreements = 0u64;
+        // Positive edges across clusters.
+        for &(a, b) in &self.positive {
+            let ka = self.vertices[a as usize];
+            let kb = self.vertices[b as usize];
+            if label.get(&ka) != label.get(&kb) {
+                disagreements += 1;
+            }
+        }
+        // Negative (absent) edges within clusters.
+        for cluster in clusters {
+            for i in 0..cluster.len() {
+                for j in (i + 1)..cluster.len() {
+                    let a = self.vertices.iter().position(|&k| k == cluster[i]).unwrap() as u32;
+                    let b = self.vertices.iter().position(|&k| k == cluster[j]).unwrap() as u32;
+                    let key = (a.min(b), a.max(b));
+                    if !positive_set.contains(&key) {
+                        disagreements += 1;
+                    }
+                }
+            }
+        }
+        disagreements
+    }
+}
+
+/// The CC-Pivot algorithm: repeatedly pick a random unclustered pivot and
+/// cluster it together with its unclustered positive neighbours. Expected
+/// 3-approximation of the minimum number of disagreements.
+pub fn cc_pivot(graph: &SignedGraph, seed: u64) -> Vec<Vec<KeywordId>> {
+    let n = graph.num_vertices();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    let adjacency = graph.positive_adjacency();
+    let mut clustered = vec![false; n];
+    let mut clusters = Vec::new();
+    for pivot in order {
+        if clustered[pivot as usize] {
+            continue;
+        }
+        clustered[pivot as usize] = true;
+        let mut cluster = vec![graph.vertices[pivot as usize]];
+        for &neighbour in &adjacency[pivot as usize] {
+            if !clustered[neighbour as usize] {
+                clustered[neighbour as usize] = true;
+                cluster.push(graph.vertices[neighbour as usize]);
+            }
+        }
+        cluster.sort_unstable();
+        clusters.push(cluster);
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kw(id: u32) -> KeywordId {
+        KeywordId(id)
+    }
+
+    fn vertices(n: u32) -> Vec<KeywordId> {
+        (0..n).map(kw).collect()
+    }
+
+    #[test]
+    fn two_cliques_are_recovered() {
+        // Two positive cliques {0,1,2} and {3,4,5}, no positive edges across.
+        let positive = vec![
+            (kw(0), kw(1)),
+            (kw(1), kw(2)),
+            (kw(0), kw(2)),
+            (kw(3), kw(4)),
+            (kw(4), kw(5)),
+            (kw(3), kw(5)),
+        ];
+        let graph = SignedGraph::new(vertices(6), &positive);
+        let clusters = cc_pivot(&graph, 1);
+        let mut sets: Vec<Vec<u32>> = clusters
+            .iter()
+            .map(|c| c.iter().map(|k| k.0).collect())
+            .collect();
+        sets.sort();
+        assert_eq!(sets, vec![vec![0, 1, 2], vec![3, 4, 5]]);
+        assert_eq!(graph.disagreements(&clusters), 0);
+    }
+
+    #[test]
+    fn every_vertex_clustered_exactly_once() {
+        let positive = vec![(kw(0), kw(1)), (kw(2), kw(3)), (kw(1), kw(2))];
+        let graph = SignedGraph::new(vertices(5), &positive);
+        let clusters = cc_pivot(&graph, 7);
+        let total: usize = clusters.iter().map(Vec::len).sum();
+        assert_eq!(total, 5);
+        let mut all: Vec<u32> = clusters.iter().flatten().map(|k| k.0).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn disagreement_counting() {
+        let positive = vec![(kw(0), kw(1)), (kw(1), kw(2))];
+        let graph = SignedGraph::new(vertices(3), &positive);
+        // Perfect clustering of the path {0,1,2} together: one missing edge
+        // (0,2) inside -> 1 disagreement.
+        assert_eq!(graph.disagreements(&[vec![kw(0), kw(1), kw(2)]]), 1);
+        // All singletons: both positive edges cut -> 2 disagreements.
+        assert_eq!(
+            graph.disagreements(&[vec![kw(0)], vec![kw(1)], vec![kw(2)]]),
+            2
+        );
+    }
+
+    #[test]
+    fn isolated_vertices_become_singletons() {
+        let graph = SignedGraph::new(vertices(3), &[]);
+        let clusters = cc_pivot(&graph, 3);
+        assert_eq!(clusters.len(), 3);
+        assert!(clusters.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let positive = vec![(kw(0), kw(1)), (kw(1), kw(2)), (kw(3), kw(4))];
+        let graph = SignedGraph::new(vertices(5), &positive);
+        assert_eq!(cc_pivot(&graph, 42), cc_pivot(&graph, 42));
+    }
+}

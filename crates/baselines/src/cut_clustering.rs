@@ -1,0 +1,149 @@
+//! Cut clustering (Flake, Tarjan, Tsioutsiouliklis — "Graph Clustering and
+//! Minimum Cut Trees").
+//!
+//! The method adds an artificial sink `t` connected to every vertex with
+//! capacity α and clusters each vertex with the source side of its minimum
+//! `v`–`t` cut. The paper's related-work section criticizes it on two counts
+//! reproduced by the `baselines` bench: the sensitivity parameter α must be
+//! chosen up front and strongly affects the result, and the repeated max-flow
+//! computations are prohibitively slow on keyword graphs ("six hours ... on a
+//! graph with a few thousand edges").
+
+use std::collections::HashSet;
+
+use bsc_corpus::vocabulary::KeywordId;
+use bsc_graph::csr::CsrGraph;
+
+use crate::maxflow::FlowNetwork;
+
+/// Parameters of cut clustering.
+#[derive(Debug, Clone, Copy)]
+pub struct CutClusteringParams {
+    /// The artificial-sink capacity α. Larger values produce smaller, denser
+    /// clusters.
+    pub alpha: f64,
+}
+
+impl Default for CutClusteringParams {
+    fn default() -> Self {
+        CutClusteringParams { alpha: 0.3 }
+    }
+}
+
+/// Run cut clustering over a weighted undirected keyword graph. Returns the
+/// clusters as sorted keyword-id lists (singleton clusters included).
+pub fn cut_clustering(graph: &CsrGraph, params: CutClusteringParams) -> Vec<Vec<KeywordId>> {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let sink = n as u32; // artificial sink index
+    let mut assigned: Vec<bool> = vec![false; n];
+    let mut clusters: Vec<Vec<KeywordId>> = Vec::new();
+
+    for v in 0..n as u32 {
+        if assigned[v as usize] {
+            continue;
+        }
+        // Build the expanded network: original undirected edges plus the
+        // artificial sink connected to every vertex with capacity alpha.
+        let mut network = FlowNetwork::new(n + 1);
+        for edge in 0..graph.num_edges() as u32 {
+            let (a, b, w) = graph.edge(edge);
+            network.add_undirected_edge(a, b, w);
+        }
+        for u in 0..n as u32 {
+            network.add_edge(u, sink, params.alpha);
+            network.add_edge(sink, u, params.alpha);
+        }
+        network.max_flow(v, sink);
+        let source_side: HashSet<u32> = network
+            .min_cut_source_side(v)
+            .into_iter()
+            .filter(|&u| u != sink)
+            .collect();
+        let mut cluster: Vec<KeywordId> = source_side
+            .iter()
+            .filter(|&&u| !assigned[u as usize])
+            .map(|&u| graph.keyword(u))
+            .collect();
+        for &u in &source_side {
+            assigned[u as usize] = true;
+        }
+        if cluster.is_empty() {
+            cluster.push(graph.keyword(v));
+            assigned[v as usize] = true;
+        }
+        cluster.sort_unstable();
+        clusters.push(cluster);
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kw(id: u32) -> KeywordId {
+        KeywordId(id)
+    }
+
+    /// Two dense triangles joined by a single weak edge.
+    fn two_communities() -> CsrGraph {
+        CsrGraph::from_weighted_edges(vec![
+            (kw(0), kw(1), 1.0),
+            (kw(1), kw(2), 1.0),
+            (kw(2), kw(0), 1.0),
+            (kw(3), kw(4), 1.0),
+            (kw(4), kw(5), 1.0),
+            (kw(5), kw(3), 1.0),
+            (kw(2), kw(3), 0.1),
+        ])
+    }
+
+    #[test]
+    fn separates_two_dense_communities() {
+        let clusters = cut_clustering(&two_communities(), CutClusteringParams { alpha: 0.5 });
+        let sets: Vec<Vec<u32>> = {
+            let mut sets: Vec<Vec<u32>> = clusters
+                .iter()
+                .map(|c| c.iter().map(|k| k.0).collect())
+                .collect();
+            sets.sort();
+            sets
+        };
+        assert!(
+            sets.contains(&vec![0, 1, 2]) && sets.contains(&vec![3, 4, 5]),
+            "unexpected clustering {sets:?}"
+        );
+    }
+
+    #[test]
+    fn every_vertex_assigned_exactly_once() {
+        let graph = two_communities();
+        let clusters = cut_clustering(&graph, CutClusteringParams::default());
+        let mut seen = std::collections::HashSet::new();
+        for cluster in &clusters {
+            for k in cluster {
+                assert!(seen.insert(*k), "keyword {k} in two clusters");
+            }
+        }
+        assert_eq!(seen.len(), graph.num_nodes());
+    }
+
+    #[test]
+    fn large_alpha_fragments_the_graph() {
+        let graph = two_communities();
+        let coarse = cut_clustering(&graph, CutClusteringParams { alpha: 0.2 });
+        let fine = cut_clustering(&graph, CutClusteringParams { alpha: 10.0 });
+        assert!(fine.len() >= coarse.len());
+        // With alpha far above every edge weight, every vertex is isolated.
+        assert_eq!(fine.len(), graph.num_nodes());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let graph = CsrGraph::from_weighted_edges(Vec::<(KeywordId, KeywordId, f64)>::new());
+        assert!(cut_clustering(&graph, CutClusteringParams::default()).is_empty());
+    }
+}

@@ -1,0 +1,167 @@
+//! Exhaustive top-k path enumeration — the ground-truth oracle.
+//!
+//! The BFS, DFS and TA solvers of `bsc-core` all claim to return the exact
+//! top-k paths (Claims 1 and 2 of the paper). This module enumerates *every*
+//! path of a cluster graph by brute force and selects the top-k directly, so
+//! the integration tests can verify those claims on randomly generated
+//! graphs. Complexity is exponential in the number of intervals; only use it
+//! on small graphs.
+
+use bsc_core::cluster_graph::{ClusterGraph, ClusterNodeId};
+use bsc_core::path::ClusterPath;
+use bsc_core::topk::TopKPaths;
+
+/// The exact top-k paths of length exactly `l`, by descending weight.
+pub fn exhaustive_top_k(graph: &ClusterGraph, k: usize, l: u32) -> Vec<ClusterPath> {
+    let mut heap = TopKPaths::new(k);
+    if k == 0 || l == 0 {
+        return Vec::new();
+    }
+    for start in graph.node_ids() {
+        extend(graph, vec![start], 0.0, l, &mut |path: &ClusterPath| {
+            if path.length() == l {
+                heap.offer_by_weight(path.clone());
+            }
+        });
+    }
+    heap.into_sorted()
+}
+
+/// The exact top-k paths of length at least `l_min`, by descending stability.
+pub fn exhaustive_normalized_top_k(
+    graph: &ClusterGraph,
+    k: usize,
+    l_min: u32,
+) -> Vec<ClusterPath> {
+    let mut results: Vec<ClusterPath> = Vec::new();
+    if k == 0 || l_min == 0 {
+        return results;
+    }
+    let max_len = graph.num_intervals().saturating_sub(1) as u32;
+    for start in graph.node_ids() {
+        extend(graph, vec![start], 0.0, max_len, &mut |path: &ClusterPath| {
+            if path.length() >= l_min {
+                results.push(path.clone());
+            }
+        });
+    }
+    results.sort_by(|a, b| {
+        b.stability()
+            .total_cmp(&a.stability())
+            .then_with(|| a.tie_break_key().cmp(&b.tie_break_key()))
+    });
+    results.truncate(k);
+    results
+}
+
+/// Depth-first enumeration of every path starting with `nodes`, invoking the
+/// callback on each path with at least one edge and length at most `max_len`.
+fn extend(
+    graph: &ClusterGraph,
+    nodes: Vec<ClusterNodeId>,
+    weight: f64,
+    max_len: u32,
+    visit: &mut impl FnMut(&ClusterPath),
+) {
+    let last = *nodes.last().expect("non-empty");
+    let first = nodes[0];
+    if nodes.len() > 1 {
+        let path = ClusterPath::new(nodes.clone(), weight);
+        visit(&path);
+    }
+    for edge in graph.children(last) {
+        if edge.to.interval - first.interval > max_len {
+            continue;
+        }
+        let mut next = nodes.clone();
+        next.push(edge.to);
+        extend(graph, next, weight + edge.weight, max_len, visit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsc_core::cluster_graph::ClusterGraphBuilder;
+    use bsc_core::problem::KlStableParams;
+    use bsc_core::synthetic::{ClusterGraphGenerator, SyntheticGraphParams};
+    use bsc_core::BfsStableClusters;
+
+    fn node(interval: u32, index: u32) -> ClusterNodeId {
+        ClusterNodeId::new(interval, index)
+    }
+
+    #[test]
+    fn enumerates_simple_chain() {
+        let mut builder = ClusterGraphBuilder::new(0);
+        for _ in 0..3 {
+            builder.add_interval(1);
+        }
+        builder.add_edge(node(0, 0), node(1, 0), 0.4);
+        builder.add_edge(node(1, 0), node(2, 0), 0.6);
+        let graph = builder.build();
+        let top = exhaustive_top_k(&graph, 5, 2);
+        assert_eq!(top.len(), 1);
+        assert!((top[0].weight() - 1.0).abs() < 1e-12);
+        let top1 = exhaustive_top_k(&graph, 5, 1);
+        assert_eq!(top1.len(), 2);
+    }
+
+    #[test]
+    fn agrees_with_bfs_on_random_graphs() {
+        for seed in 0..3 {
+            let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+                num_intervals: 5,
+                nodes_per_interval: 6,
+                avg_out_degree: 2,
+                gap: 1,
+                seed: seed + 300,
+            })
+            .generate();
+            for l in [2, 3, 4] {
+                let oracle = exhaustive_top_k(&graph, 4, l);
+                let bfs = BfsStableClusters::new(KlStableParams::new(4, l))
+                    .run(&graph)
+                    .unwrap();
+                assert_eq!(oracle.len(), bfs.len());
+                for (a, b) in oracle.iter().zip(bfs.iter()) {
+                    assert!((a.weight() - b.weight()).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_oracle_respects_min_length() {
+        let mut builder = ClusterGraphBuilder::new(0);
+        for _ in 0..4 {
+            builder.add_interval(1);
+        }
+        builder.add_edge(node(0, 0), node(1, 0), 0.9);
+        builder.add_edge(node(1, 0), node(2, 0), 0.3);
+        builder.add_edge(node(2, 0), node(3, 0), 0.3);
+        let graph = builder.build();
+        let top = exhaustive_normalized_top_k(&graph, 3, 2);
+        assert!(!top.is_empty());
+        for path in &top {
+            assert!(path.length() >= 2);
+        }
+        // Best by stability is the 0->1->2 prefix: (0.9+0.3)/2 = 0.6.
+        assert!((top[0].stability() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_parameters() {
+        let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+            num_intervals: 3,
+            nodes_per_interval: 3,
+            avg_out_degree: 1,
+            gap: 0,
+            seed: 0,
+        })
+        .generate();
+        assert!(exhaustive_top_k(&graph, 0, 2).is_empty());
+        assert!(exhaustive_top_k(&graph, 3, 0).is_empty());
+        assert!(exhaustive_normalized_top_k(&graph, 0, 2).is_empty());
+    }
+}

@@ -1,0 +1,269 @@
+//! k-way graph partitioning by recursive bisection with Kernighan–Lin style
+//! refinement.
+//!
+//! The paper's related-work section discusses multilevel k-way partitioning
+//! (Karypis & Kumar) and points out its main mismatch with keyword
+//! clustering: the number of partitions must be specified in advance and the
+//! partitions are forced to be of roughly equal size. This module provides a
+//! (single-level) recursive-bisection partitioner with boundary refinement so
+//! that the comparison — partition quality versus natural biconnected
+//! clusters, and the awkwardness of choosing `k` — can be reproduced.
+
+use bsc_corpus::vocabulary::KeywordId;
+use bsc_graph::csr::CsrGraph;
+
+/// Parameters of the k-way partitioner.
+#[derive(Debug, Clone, Copy)]
+pub struct KwayParams {
+    /// Number of partitions to produce.
+    pub k: usize,
+    /// Number of refinement sweeps per bisection.
+    pub refinement_passes: usize,
+}
+
+impl Default for KwayParams {
+    fn default() -> Self {
+        KwayParams {
+            k: 8,
+            refinement_passes: 4,
+        }
+    }
+}
+
+/// Partition the graph into (at most) `k` parts of roughly equal size.
+/// Returns the parts as sorted keyword lists; every vertex appears exactly
+/// once.
+pub fn kway_partition(graph: &CsrGraph, params: KwayParams) -> Vec<Vec<KeywordId>> {
+    let n = graph.num_nodes();
+    if n == 0 || params.k == 0 {
+        return Vec::new();
+    }
+    let all: Vec<u32> = (0..n as u32).collect();
+    let mut parts = vec![all];
+    while parts.len() < params.k {
+        // Split the largest part.
+        let (largest_index, _) = parts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, p)| p.len())
+            .expect("at least one part");
+        if parts[largest_index].len() <= 1 {
+            break;
+        }
+        let part = parts.swap_remove(largest_index);
+        let (a, b) = bisect(graph, &part, params.refinement_passes);
+        parts.push(a);
+        if !b.is_empty() {
+            parts.push(b);
+        }
+    }
+    parts
+        .into_iter()
+        .map(|part| {
+            let mut keywords: Vec<KeywordId> =
+                part.into_iter().map(|v| graph.keyword(v)).collect();
+            keywords.sort_unstable();
+            keywords
+        })
+        .collect()
+}
+
+/// The total weight of edges crossing between different parts.
+pub fn edge_cut(graph: &CsrGraph, parts: &[Vec<KeywordId>]) -> f64 {
+    let mut label = std::collections::HashMap::new();
+    for (id, part) in parts.iter().enumerate() {
+        for k in part {
+            label.insert(*k, id);
+        }
+    }
+    let mut cut = 0.0;
+    for edge in 0..graph.num_edges() as u32 {
+        let (a, b, w) = graph.edge(edge);
+        if label.get(&graph.keyword(a)) != label.get(&graph.keyword(b)) {
+            cut += w;
+        }
+    }
+    cut
+}
+
+/// Bisect a vertex subset: greedy BFS growth to half the size, then boundary
+/// refinement moving vertices with positive gain while keeping balance.
+fn bisect(graph: &CsrGraph, part: &[u32], refinement_passes: usize) -> (Vec<u32>, Vec<u32>) {
+    let member: std::collections::HashSet<u32> = part.iter().copied().collect();
+    let target = part.len() / 2;
+    if target == 0 {
+        return (part.to_vec(), Vec::new());
+    }
+    // Grow side A from the highest-degree vertex with BFS.
+    let seed = *part
+        .iter()
+        .max_by_key(|&&v| graph.degree(v))
+        .expect("non-empty part");
+    let mut in_a: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(seed);
+    in_a.insert(seed);
+    while let Some(u) = queue.pop_front() {
+        if in_a.len() >= target {
+            break;
+        }
+        for (v, _) in graph.neighbors(u) {
+            if in_a.len() >= target {
+                break;
+            }
+            if member.contains(&v) && !in_a.contains(&v) {
+                in_a.insert(v);
+                queue.push_back(v);
+            }
+        }
+    }
+    // Top up with arbitrary members if BFS ran out (disconnected part).
+    for &v in part {
+        if in_a.len() >= target {
+            break;
+        }
+        in_a.insert(v);
+    }
+
+    // Refinement: move boundary vertices with positive gain, keeping the
+    // sides within one vertex of balance.
+    for _ in 0..refinement_passes {
+        let mut moved = false;
+        for &v in part {
+            let currently_a = in_a.contains(&v);
+            let size_a = in_a.len();
+            let size_b = part.len() - size_a;
+            // Keep the balance within one vertex.
+            if currently_a && size_a <= size_b {
+                continue;
+            }
+            if !currently_a && size_b <= size_a {
+                continue;
+            }
+            let mut internal = 0.0;
+            let mut external = 0.0;
+            for (w, edge) in graph.neighbors(v) {
+                if !member.contains(&w) {
+                    continue;
+                }
+                let (_, _, weight) = graph.edge(edge);
+                if in_a.contains(&w) == currently_a {
+                    internal += weight;
+                } else {
+                    external += weight;
+                }
+            }
+            if external > internal {
+                if currently_a {
+                    in_a.remove(&v);
+                } else {
+                    in_a.insert(v);
+                }
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+
+    let side_a: Vec<u32> = part.iter().copied().filter(|v| in_a.contains(v)).collect();
+    let side_b: Vec<u32> = part
+        .iter()
+        .copied()
+        .filter(|v| !in_a.contains(v))
+        .collect();
+    (side_a, side_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kw(id: u32) -> KeywordId {
+        KeywordId(id)
+    }
+
+    /// Two dense cliques of four vertices joined by one weak edge.
+    fn two_cliques() -> CsrGraph {
+        let mut edges = Vec::new();
+        for group in [0u32, 4] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    edges.push((kw(group + i), kw(group + j), 1.0));
+                }
+            }
+        }
+        edges.push((kw(3), kw(4), 0.05));
+        CsrGraph::from_weighted_edges(edges)
+    }
+
+    #[test]
+    fn bisection_finds_the_weak_link() {
+        let graph = two_cliques();
+        let parts = kway_partition(
+            &graph,
+            KwayParams {
+                k: 2,
+                refinement_passes: 4,
+            },
+        );
+        assert_eq!(parts.len(), 2);
+        let mut sets: Vec<Vec<u32>> = parts
+            .iter()
+            .map(|p| p.iter().map(|k| k.0).collect())
+            .collect();
+        sets.sort();
+        assert_eq!(sets, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]]);
+        assert!((edge_cut(&graph, &parts) - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_vertex_in_exactly_one_part() {
+        let graph = two_cliques();
+        for k in [1, 2, 3, 4, 8] {
+            let parts = kway_partition(
+                &graph,
+                KwayParams {
+                    k,
+                    refinement_passes: 2,
+                },
+            );
+            let total: usize = parts.iter().map(Vec::len).sum();
+            assert_eq!(total, graph.num_nodes(), "k = {k}");
+            let mut all: Vec<u32> = parts.iter().flatten().map(|kw| kw.0).collect();
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(all.len(), graph.num_nodes(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn requesting_more_parts_than_vertices_saturates() {
+        let graph = CsrGraph::from_weighted_edges(vec![(kw(0), kw(1), 1.0), (kw(1), kw(2), 1.0)]);
+        let parts = kway_partition(
+            &graph,
+            KwayParams {
+                k: 10,
+                refinement_passes: 1,
+            },
+        );
+        assert!(parts.len() <= 3);
+    }
+
+    #[test]
+    fn parts_are_roughly_balanced() {
+        let graph = two_cliques();
+        let parts = kway_partition(&graph, KwayParams { k: 2, refinement_passes: 4 });
+        let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 2);
+    }
+
+    #[test]
+    fn empty_and_zero_k() {
+        let graph = CsrGraph::from_weighted_edges(Vec::<(KeywordId, KeywordId, f64)>::new());
+        assert!(kway_partition(&graph, KwayParams::default()).is_empty());
+        let graph = two_cliques();
+        assert!(kway_partition(&graph, KwayParams { k: 0, refinement_passes: 1 }).is_empty());
+    }
+}

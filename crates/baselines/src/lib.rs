@@ -1,0 +1,37 @@
+//! # bsc-baselines
+//!
+//! Comparator algorithms and exact oracles used to evaluate blogstable.
+//!
+//! The paper's related-work section positions the articulation-point
+//! clustering heuristic against three alternative graph-clustering
+//! formulations, all of which are implemented here so the comparison can be
+//! reproduced:
+//!
+//! * **Cut clustering** (Flake, Tarjan, Tsioutsiouliklis) — clusters from
+//!   minimum cuts against an artificial sink, built on a [`maxflow`]
+//!   implementation (Dinic). The paper reports that this approach "required
+//!   six hours to conduct a graph cut on a graph with a few thousand edges
+//!   and vertices"; the `baselines` bench reproduces the ordering (orders of
+//!   magnitude slower than biconnected components).
+//! * **Correlation clustering** (Bansal, Blum, Chawla) via the CC-Pivot
+//!   approximation on ±-labelled graphs ([`correlation_clustering`]).
+//! * **Multilevel k-way partitioning** (Karypis, Kumar) approximated by
+//!   recursive bisection with Kernighan–Lin style refinement ([`kway`]).
+//!
+//! [`exhaustive`] provides a brute-force top-k path enumerator over cluster
+//! graphs: the ground-truth oracle against which the BFS/DFS/TA solvers are
+//! validated in the integration tests.
+
+#![warn(missing_docs)]
+
+pub mod correlation_clustering;
+pub mod cut_clustering;
+pub mod exhaustive;
+pub mod kway;
+pub mod maxflow;
+
+pub use correlation_clustering::{cc_pivot, SignedGraph};
+pub use cut_clustering::{cut_clustering, CutClusteringParams};
+pub use exhaustive::{exhaustive_normalized_top_k, exhaustive_top_k};
+pub use kway::{kway_partition, KwayParams};
+pub use maxflow::FlowNetwork;

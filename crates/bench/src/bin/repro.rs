@@ -1,0 +1,65 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--paper] [all|table1|fig6|table3|fig7|fig8|fig9|fig10|fig11|fig12|
+//!        fig13|fig14|quali|baselines|streaming]
+//! ```
+//!
+//! Without arguments the whole suite runs at the reduced "quick" scale; pass
+//! `--paper` for the paper's parameter ranges (slower).
+
+use bsc_bench::experiments::{self, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--paper") {
+        Scale::Paper
+    } else {
+        Scale::Quick
+    };
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let targets = if targets.is_empty() {
+        vec!["all"]
+    } else {
+        targets
+    };
+
+    for target in targets {
+        match target {
+            "all" => {
+                for table in experiments::all(scale) {
+                    println!("{table}");
+                }
+            }
+            "table1" => println!("{}", experiments::table1(scale)),
+            "fig6" => println!("{}", experiments::fig6(scale)),
+            "table3" => println!("{}", experiments::table3(scale)),
+            "fig7" => println!("{}", experiments::fig7(scale)),
+            "fig8" => println!("{}", experiments::fig8(scale)),
+            "fig9" => println!("{}", experiments::fig9(scale)),
+            "fig10" => println!("{}", experiments::fig10(scale)),
+            "fig11" => println!("{}", experiments::fig11(scale)),
+            "fig12" => println!("{}", experiments::fig12(scale)),
+            "fig13" => println!("{}", experiments::fig13(scale)),
+            "fig14" => println!("{}", experiments::fig14(scale)),
+            "quali" => {
+                for table in experiments::quali(scale) {
+                    println!("{table}");
+                }
+            }
+            "baselines" => println!("{}", experiments::baselines(scale)),
+            "streaming" => println!("{}", experiments::streaming_ablation(scale)),
+            other => {
+                eprintln!("unknown experiment '{other}'");
+                eprintln!(
+                    "expected one of: all table1 fig6 table3 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 quali baselines streaming"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

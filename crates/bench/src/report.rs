@@ -1,0 +1,114 @@
+//! Plain-text tables for experiment output.
+
+/// A named table of rows, rendered with aligned columns.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Title shown above the table (e.g. `"Table 3: BFS vs DFS vs TA"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (each row should have `headers.len()` cells).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Append a note.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Find a cell by row index and column header.
+    pub fn cell(&self, row: usize, header: &str) -> Option<&str> {
+        let col = self.headers.iter().position(|h| h == header)?;
+        self.rows.get(row)?.get(col).map(String::as_str)
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        writeln!(f, "{}", "=".repeat(self.title.len()))?;
+        let columns = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(columns) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render = |cells: &[String], f: &mut std::fmt::Formatter<'_>| -> std::fmt::Result {
+            let mut parts = Vec::with_capacity(columns);
+            for (i, cell) in cells.iter().enumerate().take(columns) {
+                parts.push(format!("{cell:>width$}", width = widths[i]));
+            }
+            writeln!(f, "  {}", parts.join("  "))
+        };
+        render(&self.headers, f)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * columns;
+        writeln!(f, "  {}", "-".repeat(total))?;
+        for row in &self.rows {
+            render(row, f)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a duration in seconds with three decimals.
+pub fn seconds(duration: std::time::Duration) -> String {
+    format!("{:.3}", duration.as_secs_f64())
+}
+
+/// Format a byte count as mebibytes.
+pub fn mib(bytes: u64) -> String {
+    format!("{:.1}MB", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut table = Table::new("Demo", &["m", "BFS", "DFS"]);
+        table.push_row(vec!["3".into(), "0.65".into(), "60.3".into()]);
+        table.push_row(vec!["15".into(), "12.49".into(), "792.05".into()]);
+        table.push_note("times in seconds");
+        let rendered = table.to_string();
+        assert!(rendered.contains("Demo"));
+        assert!(rendered.contains("note: times in seconds"));
+        assert!(rendered.lines().count() >= 6);
+        assert_eq!(table.num_rows(), 2);
+        assert_eq!(table.cell(1, "DFS"), Some("792.05"));
+        assert_eq!(table.cell(0, "missing"), None);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(seconds(std::time::Duration::from_millis(1500)), "1.500");
+        assert_eq!(mib(3 * 1024 * 1024), "3.0MB");
+    }
+}

@@ -1,0 +1,77 @@
+//! Workload generation and timing helpers shared by all experiments.
+
+use std::time::{Duration, Instant};
+
+use bsc_core::cluster_graph::ClusterGraph;
+use bsc_core::synthetic::{ClusterGraphGenerator, SyntheticGraphParams};
+use bsc_corpus::synthetic::{GeneratedCorpus, SyntheticBlogosphere, SyntheticConfig};
+
+/// Generate the synthetic cluster graph used by the stable-cluster
+/// experiments (Section 5.2 recipe).
+pub fn cluster_graph(m: usize, n: u32, d: u32, g: u32, seed: u64) -> ClusterGraph {
+    ClusterGraphGenerator::new(SyntheticGraphParams {
+        num_intervals: m,
+        nodes_per_interval: n,
+        avg_out_degree: d,
+        gap: g,
+        seed,
+    })
+    .generate()
+}
+
+/// Generate one synthetic "day" of blog posts for the cluster-generation
+/// experiments (Table 1, Figure 6).
+pub fn single_day(posts: usize, vocab: usize, seed: u64) -> GeneratedCorpus {
+    SyntheticBlogosphere::new(SyntheticConfig::single_day(posts, vocab, seed)).generate()
+}
+
+/// Generate the scripted January-2007 week used by the qualitative
+/// experiments (Figures 1, 2, 4, 15, 16 and Section 5.3).
+pub fn scripted_week(posts_per_day: usize, seed: u64) -> GeneratedCorpus {
+    let config = SyntheticConfig {
+        posts_per_interval: posts_per_day,
+        ..SyntheticConfig::week_jan_2007()
+    }
+    .with_seed(seed);
+    SyntheticBlogosphere::new(config).generate()
+}
+
+/// Time a closure, returning its result and the wall-clock duration.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_graph_has_expected_shape() {
+        let graph = cluster_graph(4, 20, 3, 1, 7);
+        assert_eq!(graph.num_intervals(), 4);
+        assert_eq!(graph.num_nodes(), 80);
+        assert!(graph.num_edges() > 0);
+    }
+
+    #[test]
+    fn single_day_has_posts() {
+        let corpus = single_day(50, 100, 1);
+        assert_eq!(corpus.timeline.num_intervals(), 1);
+        assert_eq!(corpus.timeline.num_documents(), 50);
+    }
+
+    #[test]
+    fn scripted_week_has_seven_days() {
+        let corpus = scripted_week(30, 1);
+        assert_eq!(corpus.timeline.num_intervals(), 7);
+    }
+
+    #[test]
+    fn timed_measures_something() {
+        let (value, duration) = timed(|| (0..10_000u64).sum::<u64>());
+        assert_eq!(value, 49_995_000);
+        assert!(duration.as_nanos() > 0);
+    }
+}

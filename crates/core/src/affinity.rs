@@ -1,0 +1,268 @@
+//! Cluster affinity functions.
+//!
+//! The cluster graph connects clusters of nearby intervals whose keyword sets
+//! overlap; "for example, `|c ∩ c′|` or `Jaccard(c, c′)` are candidate
+//! choices. Other choices are possible taking into account the strength of
+//! the correlation between the common pairs of keywords. Our framework can
+//! easily incorporate any of these choices" — hence the [`Affinity`] trait
+//! and several implementations. Affinities that are not naturally bounded by
+//! one (e.g. raw intersection size) are normalized by the running maximum
+//! when the cluster graph is built, as footnote 1 of the paper prescribes.
+
+use bsc_graph::cluster::KeywordCluster;
+
+/// A function measuring the overlap between two keyword clusters.
+pub trait Affinity: Send + Sync {
+    /// The affinity of two clusters; larger means more similar.
+    fn affinity(&self, a: &KeywordCluster, b: &KeywordCluster) -> f64;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Is the affinity guaranteed to lie in `[0, 1]`? If not, the cluster
+    /// graph builder normalizes edge weights by the maximum observed value.
+    fn bounded_by_one(&self) -> bool {
+        true
+    }
+}
+
+/// Jaccard coefficient `|A ∩ B| / |A ∪ B|` — the measure used in the paper's
+/// qualitative evaluation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JaccardAffinity;
+
+impl Affinity for JaccardAffinity {
+    fn affinity(&self, a: &KeywordCluster, b: &KeywordCluster) -> f64 {
+        a.jaccard(b)
+    }
+
+    fn name(&self) -> &'static str {
+        "jaccard"
+    }
+}
+
+/// Raw intersection size `|A ∩ B|`. Not bounded by one; the cluster graph
+/// normalizes it by the running maximum as described in the paper.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IntersectionAffinity;
+
+impl Affinity for IntersectionAffinity {
+    fn affinity(&self, a: &KeywordCluster, b: &KeywordCluster) -> f64 {
+        a.intersection_size(b) as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "intersection"
+    }
+
+    fn bounded_by_one(&self) -> bool {
+        false
+    }
+}
+
+/// Overlap (Szymkiewicz–Simpson) coefficient `|A ∩ B| / min(|A|, |B|)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OverlapAffinity;
+
+impl Affinity for OverlapAffinity {
+    fn affinity(&self, a: &KeywordCluster, b: &KeywordCluster) -> f64 {
+        let min = a.len().min(b.len());
+        if min == 0 {
+            0.0
+        } else {
+            a.intersection_size(b) as f64 / min as f64
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "overlap"
+    }
+}
+
+/// Dice coefficient `2|A ∩ B| / (|A| + |B|)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiceAffinity;
+
+impl Affinity for DiceAffinity {
+    fn affinity(&self, a: &KeywordCluster, b: &KeywordCluster) -> f64 {
+        let total = a.len() + b.len();
+        if total == 0 {
+            0.0
+        } else {
+            2.0 * a.intersection_size(b) as f64 / total as f64
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "dice"
+    }
+}
+
+/// Weighted Jaccard: like Jaccard but each common keyword contributes the
+/// strength of its strongest incident correlation edge in either cluster,
+/// taking "into account the strength of the correlation between the common
+/// pairs of keywords".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WeightedJaccardAffinity;
+
+impl Affinity for WeightedJaccardAffinity {
+    fn affinity(&self, a: &KeywordCluster, b: &KeywordCluster) -> f64 {
+        let union = a.len() + b.len() - a.intersection_size(b);
+        if union == 0 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for &k in &a.keywords {
+            if !b.contains(k) {
+                continue;
+            }
+            let strength = |c: &KeywordCluster| {
+                c.edges
+                    .iter()
+                    .filter(|&&(u, v, _)| u == k || v == k)
+                    .map(|&(_, _, w)| w)
+                    .fold(0.0f64, f64::max)
+            };
+            total += strength(a).max(strength(b)).clamp(0.0, 1.0);
+        }
+        total / union as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "weighted-jaccard"
+    }
+}
+
+/// An enumeration of the provided affinity measures, handy for configuration
+/// structs and command-line parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AffinityKind {
+    /// [`JaccardAffinity`].
+    #[default]
+    Jaccard,
+    /// [`IntersectionAffinity`].
+    Intersection,
+    /// [`OverlapAffinity`].
+    Overlap,
+    /// [`DiceAffinity`].
+    Dice,
+    /// [`WeightedJaccardAffinity`].
+    WeightedJaccard,
+}
+
+impl AffinityKind {
+    /// Instantiate the corresponding affinity function.
+    pub fn build(self) -> Box<dyn Affinity> {
+        match self {
+            AffinityKind::Jaccard => Box::new(JaccardAffinity),
+            AffinityKind::Intersection => Box::new(IntersectionAffinity),
+            AffinityKind::Overlap => Box::new(OverlapAffinity),
+            AffinityKind::Dice => Box::new(DiceAffinity),
+            AffinityKind::WeightedJaccard => Box::new(WeightedJaccardAffinity),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsc_corpus::timeline::IntervalId;
+    use bsc_corpus::vocabulary::KeywordId;
+
+    fn cluster(interval: u32, keywords: &[u32]) -> KeywordCluster {
+        KeywordCluster::new(
+            0,
+            IntervalId(interval),
+            keywords.iter().map(|&k| KeywordId(k)),
+            keywords
+                .windows(2)
+                .map(|w| (KeywordId(w[0]), KeywordId(w[1]), 0.5))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn jaccard_values() {
+        let a = cluster(0, &[1, 2, 3]);
+        let b = cluster(1, &[2, 3, 4]);
+        assert!((JaccardAffinity.affinity(&a, &b) - 0.5).abs() < 1e-12);
+        assert!((JaccardAffinity.affinity(&a, &a) - 1.0).abs() < 1e-12);
+        let disjoint = cluster(1, &[8, 9]);
+        assert_eq!(JaccardAffinity.affinity(&a, &disjoint), 0.0);
+    }
+
+    #[test]
+    fn intersection_is_unbounded() {
+        let a = cluster(0, &[1, 2, 3, 4, 5]);
+        let b = cluster(1, &[1, 2, 3, 4, 5]);
+        assert_eq!(IntersectionAffinity.affinity(&a, &b), 5.0);
+        assert!(!IntersectionAffinity.bounded_by_one());
+        assert!(JaccardAffinity.bounded_by_one());
+    }
+
+    #[test]
+    fn overlap_uses_smaller_set() {
+        let a = cluster(0, &[1, 2]);
+        let b = cluster(1, &[1, 2, 3, 4, 5, 6]);
+        assert!((OverlapAffinity.affinity(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dice_values() {
+        let a = cluster(0, &[1, 2, 3]);
+        let b = cluster(1, &[2, 3, 4, 5]);
+        // 2*2 / (3+4)
+        assert!((DiceAffinity.affinity(&a, &b) - 4.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_jaccard_bounded_by_jaccard() {
+        let a = cluster(0, &[1, 2, 3]);
+        let b = cluster(1, &[2, 3, 4]);
+        let weighted = WeightedJaccardAffinity.affinity(&a, &b);
+        let plain = JaccardAffinity.affinity(&a, &b);
+        assert!(weighted <= plain + 1e-12);
+        assert!(weighted > 0.0);
+    }
+
+    #[test]
+    fn empty_cluster_edge_cases() {
+        let empty = cluster(0, &[]);
+        let other = cluster(1, &[1, 2]);
+        for kind in [
+            AffinityKind::Jaccard,
+            AffinityKind::Intersection,
+            AffinityKind::Overlap,
+            AffinityKind::Dice,
+            AffinityKind::WeightedJaccard,
+        ] {
+            let f = kind.build();
+            assert_eq!(f.affinity(&empty, &other), 0.0, "{}", f.name());
+            assert_eq!(f.affinity(&empty, &empty), 0.0, "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn kind_builds_expected_names() {
+        assert_eq!(AffinityKind::Jaccard.build().name(), "jaccard");
+        assert_eq!(AffinityKind::Intersection.build().name(), "intersection");
+        assert_eq!(AffinityKind::Overlap.build().name(), "overlap");
+        assert_eq!(AffinityKind::Dice.build().name(), "dice");
+        assert_eq!(AffinityKind::WeightedJaccard.build().name(), "weighted-jaccard");
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = cluster(0, &[1, 2, 3, 7]);
+        let b = cluster(1, &[2, 3, 9]);
+        for kind in [
+            AffinityKind::Jaccard,
+            AffinityKind::Intersection,
+            AffinityKind::Overlap,
+            AffinityKind::Dice,
+        ] {
+            let f = kind.build();
+            assert!((f.affinity(&a, &b) - f.affinity(&b, &a)).abs() < 1e-12);
+        }
+    }
+}

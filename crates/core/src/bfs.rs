@@ -1,0 +1,433 @@
+//! The BFS-based algorithm for kl-stable clusters (Algorithm 2).
+//!
+//! The cluster graph is processed interval by interval. Every node `c_ij`
+//! is annotated with up to `l` bounded heaps `h^x_ij` (1 ≤ x ≤ l), each
+//! holding the top-k highest-weight subpaths of length exactly `x` that end
+//! at `c_ij`. Because a node of interval `i` can only have parents in
+//! intervals `[i − g − 1, i − 1]`, the heaps of the last `g + 1` intervals
+//! suffice to compute the heaps of the current interval, and a single pass
+//! over the intervals computes the global top-k heap `H` of paths of length
+//! exactly `l`.
+//!
+//! Two storage modes are provided: the default keeps the sliding window of
+//! parent heaps in memory (the paper's main configuration — fast, but the
+//! memory footprint grows with `n`, `g`, `k` and `l`), while
+//! [`BfsConfig::on_disk`] persists every node's heaps to a
+//! [`bsc_storage::NodeStore`] and reads parents back with random I/O,
+//! mirroring the pseudocode's "save `c_ij` along with `h^x_ij` to disk".
+
+use std::collections::HashMap;
+
+use bsc_storage::node_store::NodeStore;
+use bsc_storage::temp::TempDir;
+use bsc_storage::Result as StorageResult;
+
+use crate::cluster_graph::{ClusterGraph, ClusterNodeId};
+use crate::path::ClusterPath;
+use crate::problem::KlStableParams;
+use crate::topk::TopKPaths;
+
+/// Configuration of the BFS algorithm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BfsConfig {
+    /// Persist per-node heaps to disk instead of keeping the sliding window
+    /// in memory.
+    pub on_disk: bool,
+}
+
+impl BfsConfig {
+    /// The secondary-storage variant.
+    pub fn on_disk() -> Self {
+        BfsConfig { on_disk: true }
+    }
+}
+
+/// Statistics of one BFS run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BfsStats {
+    /// Number of candidate paths generated (heap offers).
+    pub paths_generated: u64,
+    /// Peak number of paths held across all node heaps simultaneously
+    /// (a proxy for the algorithm's memory footprint).
+    pub peak_resident_paths: usize,
+    /// Number of nodes processed.
+    pub nodes_processed: u64,
+}
+
+/// The BFS-based kl-stable-clusters solver.
+#[derive(Debug, Clone)]
+pub struct BfsStableClusters {
+    params: KlStableParams,
+    config: BfsConfig,
+}
+
+/// Serialized form of one node's heaps: for each length `x` (1-based), the
+/// paths as `(weight, node ids)` pairs.
+type StoredHeaps = Vec<Vec<(f64, Vec<u64>)>>;
+
+impl BfsStableClusters {
+    /// Create a solver for the given parameters.
+    pub fn new(params: KlStableParams) -> Self {
+        BfsStableClusters {
+            params,
+            config: BfsConfig::default(),
+        }
+    }
+
+    /// Create a solver with an explicit storage configuration.
+    pub fn with_config(params: KlStableParams, config: BfsConfig) -> Self {
+        BfsStableClusters { params, config }
+    }
+
+    /// Convenience: solve for the top-k *full* paths (length `m − 1`).
+    pub fn full_paths(k: usize, graph: &ClusterGraph) -> StorageResult<Vec<ClusterPath>> {
+        BfsStableClusters::new(KlStableParams::full_paths(k, graph.num_intervals())).run(graph)
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> KlStableParams {
+        self.params
+    }
+
+    /// Run the algorithm, returning the top-k paths of length exactly `l` in
+    /// descending weight order.
+    pub fn run(&self, graph: &ClusterGraph) -> StorageResult<Vec<ClusterPath>> {
+        self.run_with_stats(graph).map(|(paths, _)| paths)
+    }
+
+    /// Run the algorithm and also report execution statistics.
+    pub fn run_with_stats(
+        &self,
+        graph: &ClusterGraph,
+    ) -> StorageResult<(Vec<ClusterPath>, BfsStats)> {
+        let k = self.params.k;
+        let l = self.params.l;
+        let mut stats = BfsStats::default();
+        if k == 0 || l == 0 || graph.num_intervals() < 2 {
+            return Ok((Vec::new(), stats));
+        }
+
+        let mut global = TopKPaths::new(k);
+        let gap = graph.gap();
+        let m = graph.num_intervals() as u32;
+        // Full-path special case (paper, end of Section 4.2): when l = m − 1
+        // a path ending at interval i can only be part of a full path if its
+        // length is exactly i, so a single heap per node suffices.
+        let full_mode = l == m - 1;
+
+        // Sliding window of per-node heaps for intervals [i - g - 1, i - 1].
+        let mut window: HashMap<ClusterNodeId, Vec<TopKPaths>> = HashMap::new();
+        // Optional disk store holding every node's heaps.
+        let mut disk: Option<(NodeStore<u64, StoredHeaps>, TempDir)> = if self.config.on_disk {
+            let dir = TempDir::new("bsc-bfs")?;
+            let store = NodeStore::create(dir.file("bfs-heaps.log"))?;
+            Some((store, dir))
+        } else {
+            None
+        };
+        let mut resident_paths = 0usize;
+
+        for interval in 0..m {
+            let mut interval_heaps: Vec<(ClusterNodeId, Vec<TopKPaths>)> = Vec::new();
+            for node in graph.interval_node_ids(interval) {
+                stats.nodes_processed += 1;
+                // Heaps h^x for x = 1..=min(l, interval): a path ending at
+                // interval `i` cannot be longer than `i`.
+                let max_len = l.min(interval) as usize;
+                let mut heaps: Vec<TopKPaths> = (0..max_len).map(|_| TopKPaths::new(k)).collect();
+
+                for parent_edge in graph.parents(node) {
+                    let parent = parent_edge.to;
+                    let weight = parent_edge.weight;
+                    let len = ClusterGraph::edge_length(parent, node);
+                    if len > l {
+                        continue;
+                    }
+                    // Base case: the edge itself is a path of length `len`.
+                    if !full_mode || len == interval {
+                        let edge_path = ClusterPath::singleton(parent).extend(node, weight);
+                        stats.paths_generated += 1;
+                        if len == l {
+                            global.offer_by_weight(edge_path.clone());
+                        }
+                        heaps[len as usize - 1].offer_by_weight(edge_path);
+                    }
+
+                    // Extensions of subpaths ending at the parent.
+                    match &mut disk {
+                        Some((store, _)) => {
+                            let Some(parent_heaps) = store.get(&parent.to_u64())? else {
+                                continue;
+                            };
+                            for (x_minus_1, paths) in parent_heaps.iter().enumerate() {
+                                let total = x_minus_1 as u32 + 1 + len;
+                                if total > l {
+                                    break;
+                                }
+                                if full_mode && total != interval {
+                                    continue;
+                                }
+                                for (weight_prefix, node_ids) in paths {
+                                    let nodes: Vec<ClusterNodeId> = node_ids
+                                        .iter()
+                                        .map(|&id| ClusterNodeId::from_u64(id))
+                                        .collect();
+                                    let prefix = ClusterPath::new(nodes, *weight_prefix);
+                                    let extended = prefix.extend(node, weight);
+                                    stats.paths_generated += 1;
+                                    if total == l {
+                                        global.offer_by_weight(extended.clone());
+                                    }
+                                    heaps[total as usize - 1].offer_by_weight(extended);
+                                }
+                            }
+                        }
+                        None => {
+                            let Some(parent_heaps) = window.get(&parent) else {
+                                continue;
+                            };
+                            let mut extensions: Vec<(u32, ClusterPath)> = Vec::new();
+                            for (x_minus_1, heap) in parent_heaps.iter().enumerate() {
+                                let total = x_minus_1 as u32 + 1 + len;
+                                if total > l {
+                                    break;
+                                }
+                                if full_mode && total != interval {
+                                    continue;
+                                }
+                                for prefix in heap.iter() {
+                                    extensions.push((total, prefix.extend(node, weight)));
+                                }
+                            }
+                            for (total, extended) in extensions {
+                                stats.paths_generated += 1;
+                                if total == l {
+                                    global.offer_by_weight(extended.clone());
+                                }
+                                heaps[total as usize - 1].offer_by_weight(extended);
+                            }
+                        }
+                    }
+                }
+                interval_heaps.push((node, heaps));
+            }
+
+            // Publish this interval's heaps (to the window or to disk) and
+            // evict intervals that fell out of the parent range.
+            match &mut disk {
+                Some((store, _)) => {
+                    for (node, heaps) in interval_heaps {
+                        let stored: StoredHeaps = heaps
+                            .iter()
+                            .map(|heap| {
+                                heap.iter()
+                                    .map(|p| {
+                                        (
+                                            p.weight(),
+                                            p.nodes().iter().map(|n| n.to_u64()).collect(),
+                                        )
+                                    })
+                                    .collect()
+                            })
+                            .collect();
+                        store.put(&node.to_u64(), &stored)?;
+                    }
+                }
+                None => {
+                    for (node, heaps) in interval_heaps {
+                        resident_paths += heaps.iter().map(TopKPaths::len).sum::<usize>();
+                        window.insert(node, heaps);
+                    }
+                    stats.peak_resident_paths = stats.peak_resident_paths.max(resident_paths);
+                    if interval >= gap + 1 {
+                        let evict_interval = interval - gap - 1;
+                        let to_evict: Vec<ClusterNodeId> =
+                            graph.interval_node_ids(evict_interval).collect();
+                        for node in to_evict {
+                            if let Some(heaps) = window.remove(&node) {
+                                resident_paths -= heaps.iter().map(TopKPaths::len).sum::<usize>();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok((global.into_sorted(), stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster_graph::ClusterGraphBuilder;
+    use crate::synthetic::{ClusterGraphGenerator, SyntheticGraphParams};
+
+    fn node(interval: u32, index: u32) -> ClusterNodeId {
+        ClusterNodeId::new(interval, index)
+    }
+
+    /// The worked example of Figure 5: three intervals with three clusters
+    /// each, gap g = 1. Edge weights as read off the figure's heap traces:
+    /// the resulting full-path top-2 is {c13c22c31 (1.5), c13c22c33 (1.7)}
+    /// ... the paper reports the best two paths as c13c22c31 and c13c22c33.
+    fn figure5_graph() -> ClusterGraph {
+        let mut builder = ClusterGraphBuilder::new(1);
+        for _ in 0..3 {
+            builder.add_interval(3);
+        }
+        // Interval 1 -> 2 edges.
+        builder.add_edge(node(0, 0), node(1, 0), 0.5); // c11 -> c21
+        builder.add_edge(node(0, 1), node(1, 1), 0.1); // c12 -> c22
+        builder.add_edge(node(0, 2), node(1, 1), 0.8); // c13 -> c22
+        builder.add_edge(node(0, 1), node(1, 2), 0.4); // c12 -> c23
+        // Interval 2 -> 3 edges.
+        builder.add_edge(node(1, 0), node(2, 0), 0.7); // c21 -> c31
+        builder.add_edge(node(1, 1), node(2, 0), 0.7); // c22 -> c31
+        builder.add_edge(node(1, 0), node(2, 1), 0.4); // c21 -> c32
+        builder.add_edge(node(1, 1), node(2, 2), 0.9); // c22 -> c33
+        builder.add_edge(node(1, 2), node(2, 2), 0.4); // c23 -> c33
+        // Gap edge interval 1 -> 3 (length 2).
+        builder.add_edge(node(0, 0), node(2, 1), 0.5); // c11 -> c32
+        builder.build()
+    }
+
+    #[test]
+    fn figure5_full_paths_top2() {
+        let graph = figure5_graph();
+        let solver = BfsStableClusters::new(KlStableParams::new(2, 2));
+        let result = solver.run(&graph).unwrap();
+        assert_eq!(result.len(), 2);
+        // Best: c13 c22 c33 with weight 0.8 + 0.9 = 1.7.
+        assert_eq!(
+            result[0].nodes(),
+            &[node(0, 2), node(1, 1), node(2, 2)]
+        );
+        assert!((result[0].weight() - 1.7).abs() < 1e-12);
+        // Second: c13 c22 c31 with weight 0.8 + 0.7 = 1.5.
+        assert_eq!(
+            result[1].nodes(),
+            &[node(0, 2), node(1, 1), node(2, 0)]
+        );
+        assert!((result[1].weight() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure5_length_one_subpaths() {
+        let graph = figure5_graph();
+        let solver = BfsStableClusters::new(KlStableParams::new(3, 1));
+        let result = solver.run(&graph).unwrap();
+        assert_eq!(result.len(), 3);
+        let weights: Vec<f64> = result.iter().map(ClusterPath::weight).collect();
+        assert!((weights[0] - 0.9).abs() < 1e-12);
+        assert!((weights[1] - 0.8).abs() < 1e-12);
+        assert!((weights[2] - 0.7).abs() < 1e-12);
+        for path in &result {
+            assert_eq!(path.length(), 1);
+        }
+    }
+
+    #[test]
+    fn gap_edges_count_with_their_temporal_length() {
+        // Only a single gap edge of length 2 exists between intervals 0 and 2.
+        let mut builder = ClusterGraphBuilder::new(1);
+        builder.add_interval(1);
+        builder.add_interval(1);
+        builder.add_interval(1);
+        builder.add_edge(node(0, 0), node(2, 0), 0.9);
+        let graph = builder.build();
+        let paths_len2 = BfsStableClusters::new(KlStableParams::new(5, 2))
+            .run(&graph)
+            .unwrap();
+        assert_eq!(paths_len2.len(), 1);
+        assert_eq!(paths_len2[0].nodes().len(), 2);
+        let paths_len1 = BfsStableClusters::new(KlStableParams::new(5, 1))
+            .run(&graph)
+            .unwrap();
+        assert!(paths_len1.is_empty());
+    }
+
+    #[test]
+    fn empty_and_degenerate_graphs() {
+        let empty = ClusterGraphBuilder::new(0).build();
+        assert!(BfsStableClusters::new(KlStableParams::new(3, 2))
+            .run(&empty)
+            .unwrap()
+            .is_empty());
+
+        let mut single = ClusterGraphBuilder::new(0);
+        single.add_interval(4);
+        let graph = single.build();
+        assert!(BfsStableClusters::new(KlStableParams::new(3, 1))
+            .run(&graph)
+            .unwrap()
+            .is_empty());
+
+        // k = 0 and l = 0 return nothing.
+        let graph = figure5_graph();
+        assert!(BfsStableClusters::new(KlStableParams::new(0, 2))
+            .run(&graph)
+            .unwrap()
+            .is_empty());
+        assert!(BfsStableClusters::new(KlStableParams::new(3, 0))
+            .run(&graph)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn on_disk_matches_in_memory() {
+        let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+            num_intervals: 5,
+            nodes_per_interval: 15,
+            avg_out_degree: 3,
+            gap: 1,
+            seed: 11,
+        })
+        .generate();
+        for l in [1, 2, 3, 4] {
+            let params = KlStableParams::new(4, l);
+            let in_memory = BfsStableClusters::new(params).run(&graph).unwrap();
+            let on_disk = BfsStableClusters::with_config(params, BfsConfig::on_disk())
+                .run(&graph)
+                .unwrap();
+            assert_eq!(in_memory.len(), on_disk.len(), "l = {l}");
+            for (a, b) in in_memory.iter().zip(on_disk.iter()) {
+                assert!((a.weight() - b.weight()).abs() < 1e-9, "l = {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let graph = figure5_graph();
+        let (_, stats) = BfsStableClusters::new(KlStableParams::new(2, 2))
+            .run_with_stats(&graph)
+            .unwrap();
+        assert_eq!(stats.nodes_processed, 9);
+        assert!(stats.paths_generated > 0);
+        assert!(stats.peak_resident_paths > 0);
+    }
+
+    #[test]
+    fn results_are_sorted_by_descending_weight() {
+        let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+            num_intervals: 6,
+            nodes_per_interval: 20,
+            avg_out_degree: 4,
+            gap: 0,
+            seed: 5,
+        })
+        .generate();
+        let result = BfsStableClusters::new(KlStableParams::new(10, 5))
+            .run(&graph)
+            .unwrap();
+        assert!(!result.is_empty());
+        for pair in result.windows(2) {
+            assert!(pair[0].weight() >= pair[1].weight() - 1e-12);
+        }
+        for path in &result {
+            assert_eq!(path.length(), 5);
+        }
+    }
+}

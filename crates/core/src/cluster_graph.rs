@@ -1,0 +1,498 @@
+//! The cluster graph `G` (Section 4.1).
+//!
+//! Nodes are the per-interval keyword clusters; an edge connects clusters of
+//! intervals `i < j` with `j − i ≤ g + 1` (where `g` is the allowed gap)
+//! whenever their affinity exceeds the threshold θ. Edge **weight** is the
+//! affinity (normalized into `(0, 1]` when the affinity function is not
+//! naturally bounded), edge **length** is the interval difference `j − i`, so
+//! a single gap of length `g` contributes `g + 1` to a path's length.
+//!
+//! The graph is "very similar to an n-partite graph (except for the gaps)":
+//! a node of interval `i` can only have parents in intervals
+//! `[i − g − 1, i − 1]` and children in `[i + 1, i + g + 1]` — the property
+//! all three stable-cluster algorithms exploit.
+
+use std::collections::HashMap;
+
+use bsc_graph::cluster::KeywordCluster;
+
+use crate::affinity::Affinity;
+
+/// Identifier of a cluster-graph node: the temporal interval and the cluster
+/// index within that interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClusterNodeId {
+    /// Temporal interval (0-based).
+    pub interval: u32,
+    /// Cluster index within the interval.
+    pub index: u32,
+}
+
+impl ClusterNodeId {
+    /// Construct a node id.
+    pub fn new(interval: u32, index: u32) -> Self {
+        ClusterNodeId { interval, index }
+    }
+
+    /// Pack into a `u64` key (used by disk-backed node stores).
+    pub fn to_u64(self) -> u64 {
+        (u64::from(self.interval) << 32) | u64::from(self.index)
+    }
+
+    /// Unpack from a `u64` key.
+    pub fn from_u64(value: u64) -> Self {
+        ClusterNodeId {
+            interval: (value >> 32) as u32,
+            index: value as u32,
+        }
+    }
+}
+
+impl std::fmt::Display for ClusterNodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{},{}", self.interval, self.index)
+    }
+}
+
+/// A directed edge of the cluster graph (from an earlier to a later
+/// interval).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterEdge {
+    /// The other endpoint.
+    pub to: ClusterNodeId,
+    /// Affinity weight in `(0, 1]` after normalization.
+    pub weight: f64,
+}
+
+/// The cluster graph over `m` temporal intervals.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterGraph {
+    gap: u32,
+    nodes_per_interval: Vec<u32>,
+    /// `children[i][j]` — edges from node `(i, j)` to later intervals, sorted
+    /// by descending weight (the DFS heuristic).
+    children: Vec<Vec<Vec<ClusterEdge>>>,
+    /// `parents[i][j]` — edges from node `(i, j)` to earlier intervals.
+    parents: Vec<Vec<Vec<ClusterEdge>>>,
+    num_edges: usize,
+}
+
+impl ClusterGraph {
+    /// Number of temporal intervals `m`.
+    pub fn num_intervals(&self) -> usize {
+        self.nodes_per_interval.len()
+    }
+
+    /// Maximum allowed gap `g`.
+    pub fn gap(&self) -> u32 {
+        self.gap
+    }
+
+    /// Number of nodes in interval `i`.
+    pub fn nodes_in_interval(&self, interval: u32) -> u32 {
+        self.nodes_per_interval
+            .get(interval as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes_per_interval.iter().map(|&n| n as usize).sum()
+    }
+
+    /// Total number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Children (edges to later intervals) of `node`, sorted by descending
+    /// weight.
+    pub fn children(&self, node: ClusterNodeId) -> &[ClusterEdge] {
+        &self.children[node.interval as usize][node.index as usize]
+    }
+
+    /// Parents (edges to earlier intervals) of `node`.
+    pub fn parents(&self, node: ClusterNodeId) -> &[ClusterEdge] {
+        &self.parents[node.interval as usize][node.index as usize]
+    }
+
+    /// The length of the edge between two nodes: their interval difference.
+    pub fn edge_length(from: ClusterNodeId, to: ClusterNodeId) -> u32 {
+        to.interval.abs_diff(from.interval)
+    }
+
+    /// Iterate over every node id, interval by interval.
+    pub fn node_ids(&self) -> impl Iterator<Item = ClusterNodeId> + '_ {
+        self.nodes_per_interval
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &count)| {
+                (0..count).map(move |j| ClusterNodeId::new(i as u32, j))
+            })
+    }
+
+    /// Node ids of one interval.
+    pub fn interval_node_ids(&self, interval: u32) -> impl Iterator<Item = ClusterNodeId> {
+        let count = self.nodes_in_interval(interval);
+        (0..count).map(move |j| ClusterNodeId::new(interval, j))
+    }
+
+    /// Iterate over every directed edge as `(from, to, weight)`.
+    pub fn edges(&self) -> impl Iterator<Item = (ClusterNodeId, ClusterNodeId, f64)> + '_ {
+        self.node_ids().flat_map(move |from| {
+            self.children(from)
+                .iter()
+                .map(move |edge| (from, edge.to, edge.weight))
+        })
+    }
+
+    /// The weight of the edge between two nodes, if it exists.
+    pub fn edge_weight(&self, from: ClusterNodeId, to: ClusterNodeId) -> Option<f64> {
+        self.children(from)
+            .iter()
+            .find(|e| e.to == to)
+            .map(|e| e.weight)
+    }
+}
+
+/// Builder for [`ClusterGraph`]: either assembled manually (synthetic
+/// workloads) or derived from per-interval keyword clusters and an affinity
+/// function.
+#[derive(Debug, Clone)]
+pub struct ClusterGraphBuilder {
+    gap: u32,
+    nodes_per_interval: Vec<u32>,
+    edges: Vec<(ClusterNodeId, ClusterNodeId, f64)>,
+}
+
+impl ClusterGraphBuilder {
+    /// Start a builder with the given maximum gap `g`.
+    pub fn new(gap: u32) -> Self {
+        ClusterGraphBuilder {
+            gap,
+            nodes_per_interval: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Append an interval with `num_nodes` cluster nodes; returns its index.
+    pub fn add_interval(&mut self, num_nodes: u32) -> u32 {
+        self.nodes_per_interval.push(num_nodes);
+        (self.nodes_per_interval.len() - 1) as u32
+    }
+
+    /// Add an edge between two clusters of different intervals.
+    ///
+    /// # Panics
+    /// Panics if the endpoints are out of range, not in increasing temporal
+    /// order, further apart than `g + 1`, or if the weight is not positive.
+    pub fn add_edge(&mut self, from: ClusterNodeId, to: ClusterNodeId, weight: f64) -> &mut Self {
+        let (from, to) = if from.interval <= to.interval {
+            (from, to)
+        } else {
+            (to, from)
+        };
+        assert!(
+            from.interval < to.interval,
+            "cluster-graph edges connect different intervals"
+        );
+        assert!(
+            to.interval - from.interval <= self.gap + 1,
+            "edge from {} to {} exceeds the maximum gap {}",
+            from,
+            to,
+            self.gap
+        );
+        assert!(weight > 0.0, "edge weights must be positive");
+        let check = |n: ClusterNodeId, counts: &[u32]| {
+            assert!(
+                (n.interval as usize) < counts.len() && n.index < counts[n.interval as usize],
+                "node {n} out of range"
+            );
+        };
+        check(from, &self.nodes_per_interval);
+        check(to, &self.nodes_per_interval);
+        self.edges.push((from, to, weight));
+        self
+    }
+
+    /// Finish building. Edge weights greater than one are normalized by the
+    /// maximum weight so that all weights end up in `(0, 1]`, as the paper
+    /// prescribes for unbounded affinity functions.
+    pub fn build(self) -> ClusterGraph {
+        let max_weight = self
+            .edges
+            .iter()
+            .map(|&(_, _, w)| w)
+            .fold(0.0f64, f64::max);
+        let scale = if max_weight > 1.0 { max_weight } else { 1.0 };
+
+        let mut children: Vec<Vec<Vec<ClusterEdge>>> = self
+            .nodes_per_interval
+            .iter()
+            .map(|&n| vec![Vec::new(); n as usize])
+            .collect();
+        let mut parents = children.clone();
+        let num_edges = self.edges.len();
+        for (from, to, weight) in self.edges {
+            let weight = weight / scale;
+            children[from.interval as usize][from.index as usize]
+                .push(ClusterEdge { to, weight });
+            parents[to.interval as usize][to.index as usize]
+                .push(ClusterEdge { to: from, weight });
+        }
+        // Sort children by descending weight: the DFS algorithm's heuristic
+        // "children connected with edges of high weight are considered first".
+        for interval in &mut children {
+            for list in interval {
+                list.sort_by(|a, b| b.weight.total_cmp(&a.weight));
+            }
+        }
+        ClusterGraph {
+            gap: self.gap,
+            nodes_per_interval: self.nodes_per_interval,
+            children,
+            parents,
+            num_edges,
+        }
+    }
+
+    /// Build the cluster graph from per-interval keyword clusters.
+    ///
+    /// For every pair of intervals `i < j ≤ i + g + 1` the affinity of every
+    /// candidate cluster pair is evaluated and an edge added when it exceeds
+    /// `theta`. Candidates are generated with an inverted index over
+    /// keywords, the standard similarity-join technique the paper refers to —
+    /// exact for every affinity function that is zero on disjoint keyword
+    /// sets (all provided ones are).
+    pub fn from_clusters(
+        interval_clusters: &[Vec<KeywordCluster>],
+        affinity: &dyn Affinity,
+        gap: u32,
+        theta: f64,
+    ) -> ClusterGraph {
+        let mut builder = ClusterGraphBuilder::new(gap);
+        for clusters in interval_clusters {
+            builder.add_interval(clusters.len() as u32);
+        }
+        let m = interval_clusters.len();
+        let mut raw_edges: Vec<(ClusterNodeId, ClusterNodeId, f64)> = Vec::new();
+        let mut max_affinity = 0.0f64;
+        for i in 0..m {
+            let reach = (i + gap as usize + 2).min(m);
+            for j in (i + 1)..reach {
+                // Inverted index over the keywords of interval j's clusters.
+                let mut index: HashMap<u32, Vec<u32>> = HashMap::new();
+                for (cj, cluster) in interval_clusters[j].iter().enumerate() {
+                    for keyword in &cluster.keywords {
+                        index.entry(keyword.0).or_default().push(cj as u32);
+                    }
+                }
+                for (ci, cluster_i) in interval_clusters[i].iter().enumerate() {
+                    let mut candidates: Vec<u32> = cluster_i
+                        .keywords
+                        .iter()
+                        .filter_map(|k| index.get(&k.0))
+                        .flatten()
+                        .copied()
+                        .collect();
+                    candidates.sort_unstable();
+                    candidates.dedup();
+                    for cj in candidates {
+                        let cluster_j = &interval_clusters[j][cj as usize];
+                        let value = affinity.affinity(cluster_i, cluster_j);
+                        if value > theta {
+                            max_affinity = max_affinity.max(value);
+                            raw_edges.push((
+                                ClusterNodeId::new(i as u32, ci as u32),
+                                ClusterNodeId::new(j as u32, cj),
+                                value,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // Normalize unbounded affinities into (0, 1] by the maximum observed
+        // value (paper, footnote 1).
+        let scale = if affinity.bounded_by_one() || max_affinity <= 1.0 {
+            1.0
+        } else {
+            max_affinity
+        };
+        for (from, to, weight) in raw_edges {
+            builder.add_edge(from, to, weight / scale);
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affinity::{IntersectionAffinity, JaccardAffinity};
+    use bsc_corpus::timeline::IntervalId;
+    use bsc_corpus::vocabulary::KeywordId;
+
+    fn node(interval: u32, index: u32) -> ClusterNodeId {
+        ClusterNodeId::new(interval, index)
+    }
+
+    #[test]
+    fn node_id_round_trips_through_u64() {
+        let id = node(7, 123456);
+        assert_eq!(ClusterNodeId::from_u64(id.to_u64()), id);
+        assert_eq!(id.to_string(), "c7,123456");
+    }
+
+    #[test]
+    fn builder_constructs_children_and_parents() {
+        let mut builder = ClusterGraphBuilder::new(1);
+        builder.add_interval(2);
+        builder.add_interval(2);
+        builder.add_interval(1);
+        builder.add_edge(node(0, 0), node(1, 1), 0.5);
+        builder.add_edge(node(0, 1), node(1, 0), 0.8);
+        builder.add_edge(node(0, 0), node(2, 0), 0.3); // gap edge (length 2)
+        builder.add_edge(node(1, 1), node(2, 0), 0.9);
+        let graph = builder.build();
+        assert_eq!(graph.num_intervals(), 3);
+        assert_eq!(graph.num_nodes(), 5);
+        assert_eq!(graph.num_edges(), 4);
+        assert_eq!(graph.children(node(0, 0)).len(), 2);
+        assert_eq!(graph.parents(node(2, 0)).len(), 2);
+        assert_eq!(graph.edge_weight(node(0, 0), node(1, 1)), Some(0.5));
+        assert_eq!(graph.edge_weight(node(0, 0), node(1, 0)), None);
+        assert_eq!(ClusterGraph::edge_length(node(0, 0), node(2, 0)), 2);
+    }
+
+    #[test]
+    fn children_are_sorted_by_descending_weight() {
+        let mut builder = ClusterGraphBuilder::new(0);
+        builder.add_interval(1);
+        builder.add_interval(3);
+        builder.add_edge(node(0, 0), node(1, 0), 0.2);
+        builder.add_edge(node(0, 0), node(1, 1), 0.9);
+        builder.add_edge(node(0, 0), node(1, 2), 0.5);
+        let graph = builder.build();
+        let weights: Vec<f64> = graph.children(node(0, 0)).iter().map(|e| e.weight).collect();
+        assert_eq!(weights, vec![0.9, 0.5, 0.2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the maximum gap")]
+    fn edge_beyond_gap_rejected() {
+        let mut builder = ClusterGraphBuilder::new(0);
+        builder.add_interval(1);
+        builder.add_interval(1);
+        builder.add_interval(1);
+        builder.add_edge(node(0, 0), node(2, 0), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different intervals")]
+    fn intra_interval_edge_rejected() {
+        let mut builder = ClusterGraphBuilder::new(0);
+        builder.add_interval(2);
+        builder.add_edge(node(0, 0), node(0, 1), 0.5);
+    }
+
+    #[test]
+    fn weights_above_one_are_normalized() {
+        let mut builder = ClusterGraphBuilder::new(0);
+        builder.add_interval(1);
+        builder.add_interval(1);
+        builder.add_interval(1);
+        builder.add_edge(node(0, 0), node(1, 0), 4.0);
+        builder.add_edge(node(1, 0), node(2, 0), 2.0);
+        let graph = builder.build();
+        assert_eq!(graph.edge_weight(node(0, 0), node(1, 0)), Some(1.0));
+        assert_eq!(graph.edge_weight(node(1, 0), node(2, 0)), Some(0.5));
+    }
+
+    fn keyword_cluster(interval: u32, id: u32, keywords: &[u32]) -> KeywordCluster {
+        KeywordCluster::new(
+            id,
+            IntervalId(interval),
+            keywords.iter().map(|&k| KeywordId(k)),
+            vec![],
+        )
+    }
+
+    #[test]
+    fn from_clusters_builds_affinity_edges() {
+        let intervals = vec![
+            vec![
+                keyword_cluster(0, 0, &[1, 2, 3]),
+                keyword_cluster(0, 1, &[10, 11]),
+            ],
+            vec![
+                keyword_cluster(1, 0, &[1, 2, 3, 4]), // strong overlap with (0,0)
+                keyword_cluster(1, 1, &[20, 21]),     // no overlap
+            ],
+        ];
+        let graph =
+            ClusterGraphBuilder::from_clusters(&intervals, &JaccardAffinity, 0, 0.1);
+        assert_eq!(graph.num_intervals(), 2);
+        assert_eq!(graph.num_edges(), 1);
+        let weight = graph
+            .edge_weight(node(0, 0), node(1, 0))
+            .expect("overlapping clusters connected");
+        assert!((weight - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_clusters_respects_gap() {
+        let intervals = vec![
+            vec![keyword_cluster(0, 0, &[1, 2, 3])],
+            vec![keyword_cluster(1, 0, &[50])],
+            vec![keyword_cluster(2, 0, &[1, 2, 3])],
+        ];
+        let no_gap = ClusterGraphBuilder::from_clusters(&intervals, &JaccardAffinity, 0, 0.1);
+        assert_eq!(no_gap.num_edges(), 0);
+        let with_gap = ClusterGraphBuilder::from_clusters(&intervals, &JaccardAffinity, 1, 0.1);
+        assert_eq!(with_gap.num_edges(), 1);
+        assert!(with_gap.edge_weight(node(0, 0), node(2, 0)).is_some());
+    }
+
+    #[test]
+    fn from_clusters_normalizes_intersection_affinity() {
+        let intervals = vec![
+            vec![
+                keyword_cluster(0, 0, &[1, 2, 3, 4]),
+                keyword_cluster(0, 1, &[1, 2]),
+            ],
+            vec![keyword_cluster(1, 0, &[1, 2, 3, 4])],
+        ];
+        let graph =
+            ClusterGraphBuilder::from_clusters(&intervals, &IntersectionAffinity, 0, 0.5);
+        // Raw affinities are 4 and 2; after normalization by the max they are
+        // 1.0 and 0.5.
+        assert_eq!(graph.edge_weight(node(0, 0), node(1, 0)), Some(1.0));
+        assert_eq!(graph.edge_weight(node(0, 1), node(1, 0)), Some(0.5));
+    }
+
+    #[test]
+    fn from_clusters_applies_theta() {
+        let intervals = vec![
+            vec![keyword_cluster(0, 0, &[1, 2, 3, 4, 5, 6, 7, 8, 9])],
+            vec![keyword_cluster(1, 0, &[9, 100, 101, 102, 103, 104, 105, 106, 107])],
+        ];
+        // Jaccard = 1/17 ≈ 0.059 < 0.1 -> pruned.
+        let graph = ClusterGraphBuilder::from_clusters(&intervals, &JaccardAffinity, 0, 0.1);
+        assert_eq!(graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn node_iteration_orders_by_interval() {
+        let mut builder = ClusterGraphBuilder::new(0);
+        builder.add_interval(2);
+        builder.add_interval(1);
+        let graph = builder.build();
+        let ids: Vec<ClusterNodeId> = graph.node_ids().collect();
+        assert_eq!(ids, vec![node(0, 0), node(0, 1), node(1, 0)]);
+        let interval1: Vec<ClusterNodeId> = graph.interval_node_ids(1).collect();
+        assert_eq!(interval1, vec![node(1, 0)]);
+    }
+}

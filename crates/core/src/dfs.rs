@@ -1,0 +1,721 @@
+//! The DFS-based algorithm for kl-stable clusters (Algorithm 3).
+//!
+//! A depth-first traversal of the cluster graph from a virtual source.
+//! Per-node state lives **on disk** and is touched with random I/O: one read
+//! when a node is pushed on the stack, one write when it is popped — only the
+//! stack (at most one frame per temporal interval on any root-to-leaf path)
+//! stays in memory, which is why the paper recommends DFS for
+//! memory-constrained environments even though it is much slower than BFS.
+//!
+//! Per node `c` the algorithm maintains:
+//!
+//! * a **visited** flag — set once all descendants have been considered;
+//! * `maxweight(c, x)` — the weight of the best currently-known path of
+//!   length `x` ending at `c` (used only for pruning);
+//! * `bestpaths(c, x)` — the top-k paths of length `x` **starting** at `c`
+//!   (note the direction: the reverse of the BFS heaps), filled in when the
+//!   DFS backtracks out of `c`'s children.
+//!
+//! The pruning rule (`CanPrune`): assuming all edge weights lie in `(0, 1]`,
+//! a prefix of length `x` and weight `w` ending at `c` can be extended to a
+//! length-`l` path of weight at most `w + (l − x)`; if that optimistic bound
+//! is below the current k-th best weight for every feasible prefix length,
+//! exploring `c`'s subtree now cannot improve the answer, so `c` is popped
+//! and every node on the stack has its visited flag cleared (their subtrees
+//! are no longer guaranteed to have been fully considered).
+
+use std::collections::HashMap;
+
+use bsc_storage::node_store::NodeStore;
+use bsc_storage::temp::TempDir;
+use bsc_storage::Result as StorageResult;
+
+use crate::cluster_graph::{ClusterEdge, ClusterGraph, ClusterNodeId};
+use crate::path::ClusterPath;
+use crate::problem::KlStableParams;
+use crate::topk::TopKPaths;
+
+/// Configuration of the DFS algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct DfsConfig {
+    /// Apply the `CanPrune` optimistic-bound pruning rule.
+    pub enable_pruning: bool,
+    /// Keep per-node state on disk (the paper's setting). When false an
+    /// in-memory map is used instead, which is faster but loses the low
+    /// memory footprint that motivates DFS.
+    pub on_disk: bool,
+}
+
+impl Default for DfsConfig {
+    fn default() -> Self {
+        DfsConfig {
+            enable_pruning: true,
+            on_disk: true,
+        }
+    }
+}
+
+impl DfsConfig {
+    /// In-memory node state (for tests and small graphs).
+    pub fn in_memory() -> Self {
+        DfsConfig {
+            enable_pruning: true,
+            on_disk: false,
+        }
+    }
+
+    /// Disable pruning (exhaustive DFS).
+    pub fn without_pruning(mut self) -> Self {
+        self.enable_pruning = false;
+        self
+    }
+}
+
+/// Execution statistics of a DFS run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DfsStats {
+    /// Node-state reads (random I/O when `on_disk`).
+    pub node_reads: u64,
+    /// Node-state writes (random I/O when `on_disk`).
+    pub node_writes: u64,
+    /// Edges traversed (children considered).
+    pub edges_traversed: u64,
+    /// Times the pruning rule fired.
+    pub prunes: u64,
+    /// Maximum stack depth reached (the DFS memory footprint).
+    pub peak_stack_depth: usize,
+}
+
+/// Per-node state, in memory while the node sits on the stack.
+#[derive(Debug, Clone)]
+struct NodeState {
+    visited: bool,
+    /// `maxweight[x − 1]` for path length `x ∈ [1, l]`; `NEG_INFINITY` when
+    /// no prefix of that length has been seen yet.
+    maxweight: Vec<f64>,
+    /// `bestpaths[x − 1]`: top-k `(weight, nodes)` paths of length `x`
+    /// starting at this node.
+    bestpaths: Vec<Vec<(f64, Vec<ClusterNodeId>)>>,
+}
+
+impl NodeState {
+    fn empty(l: u32) -> Self {
+        NodeState {
+            visited: false,
+            maxweight: vec![f64::NEG_INFINITY; l as usize],
+            bestpaths: vec![Vec::new(); l as usize],
+        }
+    }
+}
+
+/// On-disk representation of [`NodeState`].
+type StoredNodeState = (bool, Vec<f64>, Vec<Vec<(f64, Vec<u64>)>>);
+
+fn to_stored(state: &NodeState) -> StoredNodeState {
+    (
+        state.visited,
+        state.maxweight.clone(),
+        state
+            .bestpaths
+            .iter()
+            .map(|paths| {
+                paths
+                    .iter()
+                    .map(|(w, nodes)| (*w, nodes.iter().map(|n| n.to_u64()).collect()))
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
+fn from_stored(stored: StoredNodeState) -> NodeState {
+    NodeState {
+        visited: stored.0,
+        maxweight: stored.1,
+        bestpaths: stored
+            .2
+            .into_iter()
+            .map(|paths| {
+                paths
+                    .into_iter()
+                    .map(|(w, nodes)| {
+                        (
+                            w,
+                            nodes.into_iter().map(ClusterNodeId::from_u64).collect(),
+                        )
+                    })
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+/// Storage backend for node state.
+enum StateStore {
+    Disk(NodeStore<u64, StoredNodeState>, #[allow(dead_code)] TempDir),
+    Memory(HashMap<u64, StoredNodeState>),
+}
+
+impl StateStore {
+    fn get(&mut self, key: u64) -> StorageResult<Option<NodeState>> {
+        match self {
+            StateStore::Disk(store, _) => Ok(store.get(&key)?.map(from_stored)),
+            StateStore::Memory(map) => Ok(map.get(&key).cloned().map(from_stored)),
+        }
+    }
+
+    fn put(&mut self, key: u64, state: &NodeState) -> StorageResult<()> {
+        match self {
+            StateStore::Disk(store, _) => store.put(&key, &to_stored(state)),
+            StateStore::Memory(map) => {
+                map.insert(key, to_stored(state));
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A stack frame: a node (or the virtual source) with its in-memory state and
+/// a cursor into its children list.
+struct Frame {
+    /// `None` for the virtual source.
+    node: Option<ClusterNodeId>,
+    cursor: usize,
+    state: NodeState,
+}
+
+/// The DFS-based kl-stable-clusters solver.
+#[derive(Debug, Clone)]
+pub struct DfsStableClusters {
+    params: KlStableParams,
+    config: DfsConfig,
+}
+
+impl DfsStableClusters {
+    /// Create a solver with the default (on-disk, pruning enabled)
+    /// configuration.
+    pub fn new(params: KlStableParams) -> Self {
+        DfsStableClusters {
+            params,
+            config: DfsConfig::default(),
+        }
+    }
+
+    /// Create a solver with an explicit configuration.
+    pub fn with_config(params: KlStableParams, config: DfsConfig) -> Self {
+        DfsStableClusters { params, config }
+    }
+
+    /// Convenience: top-k full paths of a graph.
+    pub fn full_paths(k: usize, graph: &ClusterGraph) -> StorageResult<Vec<ClusterPath>> {
+        DfsStableClusters::new(KlStableParams::full_paths(k, graph.num_intervals())).run(graph)
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> KlStableParams {
+        self.params
+    }
+
+    /// Run the traversal and return the top-k paths of length exactly `l`,
+    /// in descending weight order.
+    pub fn run(&self, graph: &ClusterGraph) -> StorageResult<Vec<ClusterPath>> {
+        self.run_with_stats(graph).map(|(paths, _)| paths)
+    }
+
+    /// Run the traversal, also reporting execution statistics.
+    pub fn run_with_stats(
+        &self,
+        graph: &ClusterGraph,
+    ) -> StorageResult<(Vec<ClusterPath>, DfsStats)> {
+        let k = self.params.k;
+        let l = self.params.l;
+        let mut stats = DfsStats::default();
+        if k == 0 || l == 0 || graph.num_intervals() < 2 {
+            return Ok((Vec::new(), stats));
+        }
+        let m = graph.num_intervals() as u32;
+        if l > m - 1 {
+            return Ok((Vec::new(), stats));
+        }
+
+        let mut store = if self.config.on_disk {
+            let dir = TempDir::new("bsc-dfs")?;
+            let node_store = NodeStore::create(dir.file("dfs-state.log"))?;
+            StateStore::Disk(node_store, dir)
+        } else {
+            StateStore::Memory(HashMap::new())
+        };
+
+        let mut global = TopKPaths::new(k);
+
+        // Children of the virtual source: every node at which a path of
+        // length l can start (interval + l <= m - 1), ordered by interval.
+        let source_children: Vec<ClusterEdge> = (0..=(m - 1 - l))
+            .flat_map(|interval| {
+                graph
+                    .interval_node_ids(interval)
+                    .map(|node| ClusterEdge {
+                        to: node,
+                        weight: 0.0,
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+
+        let mut stack: Vec<Frame> = vec![Frame {
+            node: None,
+            cursor: 0,
+            state: NodeState::empty(l),
+        }];
+
+        while let Some(top_index) = stack.len().checked_sub(1) {
+            stats.peak_stack_depth = stats.peak_stack_depth.max(stack.len());
+            let (child_edge, parent_node) = {
+                let frame = &mut stack[top_index];
+                let children: &[ClusterEdge] = match frame.node {
+                    None => &source_children,
+                    Some(node) => graph.children(node),
+                };
+                if frame.cursor < children.len() {
+                    let edge = children[frame.cursor];
+                    frame.cursor += 1;
+                    (Some(edge), frame.node)
+                } else {
+                    (None, frame.node)
+                }
+            };
+
+            match child_edge {
+                Some(edge) => {
+                    stats.edges_traversed += 1;
+                    let child = edge.to;
+                    let mut child_state = match store.get(child.to_u64())? {
+                        Some(state) => {
+                            stats.node_reads += 1;
+                            state
+                        }
+                        None => NodeState::empty(l),
+                    };
+
+                    if child_state.visited {
+                        // All descendants of the child were already
+                        // considered: reuse its bestpaths immediately.
+                        if let Some(parent) = parent_node {
+                            let parent_frame = stack.last_mut().expect("frame exists");
+                            update_parent_bestpaths(
+                                &mut parent_frame.state,
+                                parent,
+                                child,
+                                edge.weight,
+                                &child_state,
+                                l,
+                                k,
+                                &mut global,
+                            );
+                        }
+                        continue;
+                    }
+
+                    // Mark visited and push.
+                    child_state.visited = true;
+                    if let Some(parent) = parent_node {
+                        update_maxweight(
+                            &mut child_state,
+                            &stack[top_index].state,
+                            parent,
+                            child,
+                            edge.weight,
+                            l,
+                            m,
+                        );
+                    }
+
+                    if self.config.enable_pruning
+                        && can_prune(&child_state, child, l, m, global.admission_threshold())
+                    {
+                        stats.prunes += 1;
+                        // Postpone the child: clear visited flags of every
+                        // node on the stack (their subtrees are no longer
+                        // guaranteed complete) and of the child itself.
+                        child_state.visited = false;
+                        for frame in stack.iter_mut() {
+                            frame.state.visited = false;
+                        }
+                        store.put(child.to_u64(), &child_state)?;
+                        stats.node_writes += 1;
+                        continue;
+                    }
+
+                    stack.push(Frame {
+                        node: Some(child),
+                        cursor: 0,
+                        state: child_state,
+                    });
+                }
+                None => {
+                    // Node finished: pop, persist, back-track into the parent.
+                    let finished = stack.pop().expect("frame exists");
+                    if let Some(node) = finished.node {
+                        store.put(node.to_u64(), &finished.state)?;
+                        stats.node_writes += 1;
+                        if let Some(parent_frame) = stack.last_mut() {
+                            if let Some(parent) = parent_frame.node {
+                                let weight = graph
+                                    .edge_weight(parent, node)
+                                    .expect("tree edge exists in the graph");
+                                update_parent_bestpaths(
+                                    &mut parent_frame.state,
+                                    parent,
+                                    node,
+                                    weight,
+                                    &finished.state,
+                                    l,
+                                    k,
+                                    &mut global,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok((global.into_sorted(), stats))
+    }
+}
+
+/// Update `maxweight` of `child` given the prefix information of `parent`.
+fn update_maxweight(
+    child_state: &mut NodeState,
+    parent_state: &NodeState,
+    parent: ClusterNodeId,
+    child: ClusterNodeId,
+    edge_weight: f64,
+    l: u32,
+    m: u32,
+) {
+    let len = ClusterGraph::edge_length(parent, child);
+    if len > l {
+        return;
+    }
+    // Prefix of length 0 ending at the parent exists iff a path may start at
+    // the parent (enough room for a full suffix of length l).
+    let parent_start_feasible = parent.interval + l <= m - 1;
+    for x in len..=l {
+        let prefix_len = x - len;
+        let prefix_weight = if prefix_len == 0 {
+            if parent_start_feasible {
+                0.0
+            } else {
+                f64::NEG_INFINITY
+            }
+        } else {
+            parent_state.maxweight[prefix_len as usize - 1]
+        };
+        if prefix_weight == f64::NEG_INFINITY {
+            continue;
+        }
+        let candidate = prefix_weight + edge_weight;
+        let slot = &mut child_state.maxweight[x as usize - 1];
+        if candidate > *slot {
+            *slot = candidate;
+        }
+    }
+}
+
+/// The `CanPrune` test: true when postponing the node cannot lose a top-k
+/// path. A prefix of length `x` ending at the node participates in a
+/// length-`l` path in one of three roles — as a complete path (`x = l`), as
+/// a middle prefix extended by the node's subtree (`0 < x < l`), or as the
+/// empty prefix of a path *starting* at the node (`x = 0`) — and in every
+/// role the path's weight is bounded by `maxweight(x) + (l − x)` because each
+/// remaining unit of length contributes at most weight one. If every feasible
+/// role is provably below the current k-th best weight, the node can be
+/// postponed; it stays unvisited, so a later arrival with a better prefix
+/// re-explores it.
+fn can_prune(state: &NodeState, node: ClusterNodeId, l: u32, m: u32, min_k: f64) -> bool {
+    let i = node.interval;
+    let x_cap = l.min(i);
+    for x in 0..=x_cap {
+        // For x < l a suffix of length l − x must still fit after interval i.
+        if x < l && (l - x) > (m - 1 - i) {
+            continue;
+        }
+        let prefix_weight = if x == 0 {
+            // The empty prefix: a path may start at this node.
+            0.0
+        } else {
+            state.maxweight[x as usize - 1]
+        };
+        if prefix_weight == f64::NEG_INFINITY {
+            // No prefix of this length known yet; if one shows up later the
+            // node (still unvisited) will be re-explored then.
+            continue;
+        }
+        let optimistic = prefix_weight + f64::from(l - x);
+        if optimistic >= min_k {
+            return false;
+        }
+    }
+    true
+}
+
+/// Merge the bare edge `parent -> child` and every path in the child's
+/// `bestpaths` into the parent's `bestpaths`, offering new length-`l` paths
+/// to the global heap.
+#[allow(clippy::too_many_arguments)]
+fn update_parent_bestpaths(
+    parent_state: &mut NodeState,
+    parent: ClusterNodeId,
+    child: ClusterNodeId,
+    edge_weight: f64,
+    child_state: &NodeState,
+    l: u32,
+    k: usize,
+    global: &mut TopKPaths,
+) {
+    let len = ClusterGraph::edge_length(parent, child);
+    if len > l {
+        return;
+    }
+    let mut candidates: Vec<(u32, f64, Vec<ClusterNodeId>)> =
+        vec![(len, edge_weight, vec![parent, child])];
+    for (x_index, paths) in child_state.bestpaths.iter().enumerate() {
+        let x = x_index as u32 + 1;
+        let total = x + len;
+        if total > l {
+            break;
+        }
+        for (weight, nodes) in paths {
+            let mut extended = Vec::with_capacity(nodes.len() + 1);
+            extended.push(parent);
+            extended.extend_from_slice(nodes);
+            candidates.push((total, weight + edge_weight, extended));
+        }
+    }
+    for (length, weight, nodes) in candidates {
+        let bucket = &mut parent_state.bestpaths[length as usize - 1];
+        if bucket.iter().any(|(_, existing)| existing == &nodes) {
+            continue;
+        }
+        bucket.push((weight, nodes.clone()));
+        bucket.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let inserted = bucket.iter().take(k).any(|(_, n)| n == &nodes);
+        bucket.truncate(k);
+        if !inserted {
+            continue;
+        }
+        if length == l {
+            let path = ClusterPath::new(nodes.clone(), weight);
+            if !global.iter().any(|p| p.nodes() == nodes.as_slice()) {
+                global.offer_by_weight(path);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::BfsStableClusters;
+    use crate::cluster_graph::ClusterGraphBuilder;
+    use crate::synthetic::{ClusterGraphGenerator, SyntheticGraphParams};
+
+    fn node(interval: u32, index: u32) -> ClusterNodeId {
+        ClusterNodeId::new(interval, index)
+    }
+
+    /// The Figure 5 / Table 2 worked example (same weights as the BFS tests).
+    fn figure5_graph() -> ClusterGraph {
+        let mut builder = ClusterGraphBuilder::new(1);
+        for _ in 0..3 {
+            builder.add_interval(3);
+        }
+        builder.add_edge(node(0, 0), node(1, 0), 0.5); // c11 -> c21
+        builder.add_edge(node(0, 1), node(1, 1), 0.1); // c12 -> c22
+        builder.add_edge(node(0, 2), node(1, 1), 0.8); // c13 -> c22
+        builder.add_edge(node(0, 1), node(1, 2), 0.4); // c12 -> c23
+        builder.add_edge(node(1, 0), node(2, 0), 0.7); // c21 -> c31
+        builder.add_edge(node(1, 1), node(2, 0), 0.7); // c22 -> c31
+        builder.add_edge(node(1, 0), node(2, 1), 0.4); // c21 -> c32
+        builder.add_edge(node(1, 1), node(2, 2), 0.9); // c22 -> c33
+        builder.add_edge(node(1, 2), node(2, 2), 0.4); // c23 -> c33
+        builder.add_edge(node(0, 0), node(2, 1), 0.5); // c11 -> c32 (gap)
+        builder.build()
+    }
+
+    #[test]
+    fn table2_example_top1_full_path() {
+        // The paper's Table 2 walks this example with k = 1, l = 2 and ends
+        // with H = {c13 c22 c33}.
+        let graph = figure5_graph();
+        let result = DfsStableClusters::new(KlStableParams::new(1, 2))
+            .run(&graph)
+            .unwrap();
+        assert_eq!(result.len(), 1);
+        assert_eq!(result[0].nodes(), &[node(0, 2), node(1, 1), node(2, 2)]);
+        assert!((result[0].weight() - 1.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pruning_fires_on_the_worked_example() {
+        let graph = figure5_graph();
+        let (_, stats) = DfsStableClusters::new(KlStableParams::new(1, 2))
+            .run_with_stats(&graph)
+            .unwrap();
+        // Table 2 shows c22 being pruned when first reached through c12.
+        assert!(stats.prunes >= 1, "expected at least one prune, got {stats:?}");
+    }
+
+    #[test]
+    fn matches_bfs_on_figure5_for_all_lengths() {
+        let graph = figure5_graph();
+        for l in [1, 2] {
+            for k in [1, 2, 5] {
+                let params = KlStableParams::new(k, l);
+                let bfs = BfsStableClusters::new(params).run(&graph).unwrap();
+                let dfs = DfsStableClusters::with_config(params, DfsConfig::in_memory())
+                    .run(&graph)
+                    .unwrap();
+                assert_eq!(bfs.len(), dfs.len(), "k={k} l={l}");
+                for (a, b) in bfs.iter().zip(dfs.iter()) {
+                    assert!(
+                        (a.weight() - b.weight()).abs() < 1e-9,
+                        "k={k} l={l}: {} vs {}",
+                        a.weight(),
+                        b.weight()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn on_disk_matches_in_memory() {
+        let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+            num_intervals: 4,
+            nodes_per_interval: 10,
+            avg_out_degree: 3,
+            gap: 1,
+            seed: 23,
+        })
+        .generate();
+        let params = KlStableParams::new(3, 3);
+        let disk = DfsStableClusters::new(params).run(&graph).unwrap();
+        let memory = DfsStableClusters::with_config(params, DfsConfig::in_memory())
+            .run(&graph)
+            .unwrap();
+        assert_eq!(disk.len(), memory.len());
+        for (a, b) in disk.iter().zip(memory.iter()) {
+            assert!((a.weight() - b.weight()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pruning_does_not_change_results_on_random_graphs() {
+        for seed in 0..5 {
+            let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+                num_intervals: 5,
+                nodes_per_interval: 8,
+                avg_out_degree: 2,
+                gap: 1,
+                seed,
+            })
+            .generate();
+            for l in [2, 3, 4] {
+                let params = KlStableParams::new(3, l);
+                let pruned = DfsStableClusters::with_config(params, DfsConfig::in_memory())
+                    .run(&graph)
+                    .unwrap();
+                let exhaustive = DfsStableClusters::with_config(
+                    params,
+                    DfsConfig::in_memory().without_pruning(),
+                )
+                .run(&graph)
+                .unwrap();
+                assert_eq!(pruned.len(), exhaustive.len(), "seed={seed} l={l}");
+                for (a, b) in pruned.iter().zip(exhaustive.iter()) {
+                    assert!(
+                        (a.weight() - b.weight()).abs() < 1e-9,
+                        "seed={seed} l={l}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_bfs_on_random_graphs() {
+        for seed in 0..4 {
+            let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+                num_intervals: 5,
+                nodes_per_interval: 10,
+                avg_out_degree: 3,
+                gap: 0,
+                seed: seed + 100,
+            })
+            .generate();
+            for l in [1, 2, 4] {
+                let params = KlStableParams::new(4, l);
+                let bfs = BfsStableClusters::new(params).run(&graph).unwrap();
+                let dfs = DfsStableClusters::with_config(params, DfsConfig::in_memory())
+                    .run(&graph)
+                    .unwrap();
+                assert_eq!(bfs.len(), dfs.len(), "seed={seed} l={l}");
+                for (a, b) in bfs.iter().zip(dfs.iter()) {
+                    assert!(
+                        (a.weight() - b.weight()).abs() < 1e-9,
+                        "seed={seed} l={l}: bfs={} dfs={}",
+                        a.weight(),
+                        b.weight()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let graph = figure5_graph();
+        assert!(DfsStableClusters::new(KlStableParams::new(0, 2))
+            .run(&graph)
+            .unwrap()
+            .is_empty());
+        assert!(DfsStableClusters::new(KlStableParams::new(3, 0))
+            .run(&graph)
+            .unwrap()
+            .is_empty());
+        // l longer than the graph span.
+        assert!(DfsStableClusters::new(KlStableParams::new(3, 10))
+            .run(&graph)
+            .unwrap()
+            .is_empty());
+        let empty = ClusterGraphBuilder::new(0).build();
+        assert!(DfsStableClusters::new(KlStableParams::new(3, 1))
+            .run(&empty)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn stack_depth_is_bounded_by_interval_count() {
+        let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+            num_intervals: 6,
+            nodes_per_interval: 12,
+            avg_out_degree: 3,
+            gap: 0,
+            seed: 3,
+        })
+        .generate();
+        let (_, stats) = DfsStableClusters::with_config(
+            KlStableParams::new(2, 5),
+            DfsConfig::in_memory(),
+        )
+        .run_with_stats(&graph)
+        .unwrap();
+        // Stack = source + at most one node per interval.
+        assert!(stats.peak_stack_depth <= graph.num_intervals() + 1);
+        assert!(stats.node_reads > 0);
+        assert!(stats.node_writes > 0);
+    }
+}

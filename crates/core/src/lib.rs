@@ -1,0 +1,51 @@
+//! # bsc-core
+//!
+//! Stable clusters in temporal text streams — the primary contribution of
+//! *"Seeking Stable Clusters in the Blogosphere"* (Bansal, Chiang, Koudas,
+//! Tompa; VLDB 2007).
+//!
+//! Given per-interval keyword clusters (produced by [`bsc_graph`]), this
+//! crate builds the **cluster graph** — nodes are clusters, edges connect
+//! clusters of nearby intervals whose keyword sets have affinity above a
+//! threshold θ, possibly skipping up to `g` intervals (gaps) — and solves:
+//!
+//! * **Problem 1 (kl-stable clusters):** the `k` highest-weight paths of
+//!   length exactly `l`, via three algorithms: [`bfs`] (Algorithm 2),
+//!   [`dfs`] (Algorithm 3, disk-resident per-node state) and [`ta`] (an
+//!   adaptation of the Threshold Algorithm, full paths only);
+//! * **Problem 2 (normalized stable clusters):** the `k` paths of length at
+//!   least `l_min` with the highest weight/length ratio ([`normalized`]);
+//! * the **online** versions of the above that ingest one interval at a time
+//!   ([`streaming`]).
+//!
+//! The [`pipeline`] module chains everything together starting from raw
+//! documents, and [`synthetic`] implements the paper's synthetic
+//! cluster-graph workload generator used by the evaluation section.
+
+#![warn(missing_docs)]
+
+pub mod affinity;
+pub mod bfs;
+pub mod cluster_graph;
+pub mod dfs;
+pub mod normalized;
+pub mod path;
+pub mod pipeline;
+pub mod problem;
+pub mod streaming;
+pub mod synthetic;
+pub mod ta;
+pub mod topk;
+
+pub use affinity::{Affinity, AffinityKind, JaccardAffinity};
+pub use bfs::{BfsConfig, BfsStableClusters, BfsStats};
+pub use cluster_graph::{ClusterEdge, ClusterGraph, ClusterGraphBuilder, ClusterNodeId};
+pub use dfs::{DfsConfig, DfsStableClusters, DfsStats};
+pub use normalized::{NormalizedConfig, NormalizedStableClusters, NormalizedStats};
+pub use path::ClusterPath;
+pub use pipeline::{Pipeline, PipelineOutcome, PipelineParams, StableClusterSpec};
+pub use problem::{KlStableParams, NormalizedParams};
+pub use streaming::{OnlineClusterFeed, OnlineStableClusters};
+pub use synthetic::{ClusterGraphGenerator, SyntheticGraphParams};
+pub use ta::{TaStableClusters, TaStats};
+pub use topk::TopKPaths;

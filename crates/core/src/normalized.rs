@@ -1,0 +1,509 @@
+//! Normalized stable clusters (Problem 2, Section 4.5).
+//!
+//! Instead of fixing the path length, Problem 2 searches for the k paths of
+//! length at least `l_min` with the highest **stability** = weight / length.
+//! The solver follows the BFS framework of Algorithm 2 with two per-node
+//! structures:
+//!
+//! * `smallpaths(c, x)` for `x < l_min` — *all* paths of length `x` ending at
+//!   `c` (they are too short to score yet but may grow into candidates);
+//! * `bestpaths(c)` — candidate paths of length ≥ `l_min` ending at `c`,
+//!   pruned with **Theorem 1**: a prefix whose stability does not exceed the
+//!   stability of the rest of the path can be dropped, because for any
+//!   possible suffix the suffix-only path will score at least as well.
+//!
+//! The paper additionally suggests deleting a candidate that is a subpath of
+//! another candidate. That rule is *not* applied here because it can lose
+//! optimal answers: with prefix stability 0.5, suffix stability 0.4 and a
+//! future extension of stability 1.0, the shorter path (0.4 + 1.0)/2 = 0.7
+//! beats the longer (0.5 + 0.4 + 1.0)/3 = 0.63, so the shorter candidate must
+//! survive. Theorem 1 alone keeps the algorithm exact, which the tests verify
+//! against an exhaustive oracle.
+
+use std::collections::HashMap;
+
+use bsc_storage::Result as StorageResult;
+
+use crate::cluster_graph::{ClusterGraph, ClusterNodeId};
+use crate::path::ClusterPath;
+use crate::problem::NormalizedParams;
+use crate::topk::TopKPaths;
+
+/// Configuration of the normalized-stable-clusters solver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NormalizedConfig {
+    /// Optional cap on the number of candidate paths kept per node (both
+    /// `smallpaths` buckets and `bestpaths`). `None` keeps everything, which
+    /// is exact; a cap bounds memory on adversarial graphs at the cost of
+    /// exactness.
+    pub max_paths_per_node: Option<usize>,
+}
+
+/// Execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NormalizedStats {
+    /// Candidate paths generated.
+    pub paths_generated: u64,
+    /// Paths shortened by the Theorem 1 prefix-dropping rule.
+    pub prefix_drops: u64,
+    /// Peak number of paths resident across the sliding window.
+    pub peak_resident_paths: usize,
+}
+
+/// A candidate path stored per node: the node sequence and the per-edge
+/// weights (needed to evaluate prefix/suffix stabilities for Theorem 1).
+#[derive(Debug, Clone, PartialEq)]
+struct Candidate {
+    nodes: Vec<ClusterNodeId>,
+    edge_weights: Vec<f64>,
+}
+
+impl Candidate {
+    fn weight(&self) -> f64 {
+        self.edge_weights.iter().sum()
+    }
+
+    fn length(&self) -> u32 {
+        self.nodes.last().expect("non-empty").interval - self.nodes[0].interval
+    }
+
+    fn to_path(&self) -> ClusterPath {
+        ClusterPath::new(self.nodes.clone(), self.weight())
+    }
+
+    fn extend(&self, node: ClusterNodeId, weight: f64) -> Candidate {
+        let mut nodes = self.nodes.clone();
+        nodes.push(node);
+        let mut edge_weights = self.edge_weights.clone();
+        edge_weights.push(weight);
+        Candidate {
+            nodes,
+            edge_weights,
+        }
+    }
+}
+
+/// Per-node state within the sliding window.
+#[derive(Debug, Clone, Default)]
+struct NodeState {
+    /// `smallpaths[x − 1]` for `x ∈ [1, l_min − 1]`.
+    smallpaths: Vec<Vec<Candidate>>,
+    /// Candidates of length ≥ `l_min`, Theorem-1 pruned.
+    bestpaths: Vec<Candidate>,
+}
+
+/// The solver for Problem 2.
+#[derive(Debug, Clone)]
+pub struct NormalizedStableClusters {
+    params: NormalizedParams,
+    config: NormalizedConfig,
+}
+
+impl NormalizedStableClusters {
+    /// Create a solver.
+    pub fn new(params: NormalizedParams) -> Self {
+        NormalizedStableClusters {
+            params,
+            config: NormalizedConfig::default(),
+        }
+    }
+
+    /// Create a solver with an explicit configuration.
+    pub fn with_config(params: NormalizedParams, config: NormalizedConfig) -> Self {
+        NormalizedStableClusters { params, config }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> NormalizedParams {
+        self.params
+    }
+
+    /// Run the solver: the top-k paths of length ≥ `l_min` by stability,
+    /// in descending stability order.
+    pub fn run(&self, graph: &ClusterGraph) -> StorageResult<Vec<ClusterPath>> {
+        self.run_with_stats(graph).map(|(paths, _)| paths)
+    }
+
+    /// Run and report execution statistics.
+    pub fn run_with_stats(
+        &self,
+        graph: &ClusterGraph,
+    ) -> StorageResult<(Vec<ClusterPath>, NormalizedStats)> {
+        let k = self.params.k;
+        let l_min = self.params.l_min;
+        let mut stats = NormalizedStats::default();
+        if k == 0 || l_min == 0 || graph.num_intervals() < 2 {
+            return Ok((Vec::new(), stats));
+        }
+        let m = graph.num_intervals() as u32;
+        let gap = graph.gap();
+        let mut global = TopKPaths::new(k);
+        let mut window: HashMap<ClusterNodeId, NodeState> = HashMap::new();
+        let mut resident = 0usize;
+
+        let cap = self.config.max_paths_per_node.unwrap_or(usize::MAX);
+
+        for interval in 0..m {
+            let mut interval_states: Vec<(ClusterNodeId, NodeState)> = Vec::new();
+            for node in graph.interval_node_ids(interval) {
+                let mut state = NodeState {
+                    smallpaths: vec![Vec::new(); l_min.saturating_sub(1) as usize],
+                    bestpaths: Vec::new(),
+                };
+                for parent_edge in graph.parents(node) {
+                    let parent = parent_edge.to;
+                    let weight = parent_edge.weight;
+                    let len = ClusterGraph::edge_length(parent, node);
+                    let edge_candidate = Candidate {
+                        nodes: vec![parent, node],
+                        edge_weights: vec![weight],
+                    };
+                    stats.paths_generated += 1;
+                    self.place(
+                        edge_candidate,
+                        len,
+                        &mut state,
+                        &mut global,
+                        &mut stats,
+                        graph,
+                        cap,
+                    );
+
+                    let Some(parent_state) = window.get(&parent) else {
+                        continue;
+                    };
+                    let mut extensions: Vec<(u32, Candidate)> = Vec::new();
+                    for (x_index, bucket) in parent_state.smallpaths.iter().enumerate() {
+                        let total = x_index as u32 + 1 + len;
+                        for candidate in bucket {
+                            extensions.push((total, candidate.extend(node, weight)));
+                        }
+                    }
+                    for candidate in &parent_state.bestpaths {
+                        let total = candidate.length() + len;
+                        extensions.push((total, candidate.extend(node, weight)));
+                    }
+                    for (total, candidate) in extensions {
+                        stats.paths_generated += 1;
+                        self.place(candidate, total, &mut state, &mut global, &mut stats, graph, cap);
+                    }
+                }
+                interval_states.push((node, state));
+            }
+            for (node, state) in interval_states {
+                resident += state.smallpaths.iter().map(Vec::len).sum::<usize>()
+                    + state.bestpaths.len();
+                window.insert(node, state);
+            }
+            stats.peak_resident_paths = stats.peak_resident_paths.max(resident);
+            if interval >= gap + 1 {
+                let evict = interval - gap - 1;
+                for node in graph.interval_node_ids(evict) {
+                    if let Some(state) = window.remove(&node) {
+                        resident -= state.smallpaths.iter().map(Vec::len).sum::<usize>()
+                            + state.bestpaths.len();
+                    }
+                }
+            }
+        }
+        Ok((global.into_sorted_by_stability(), stats))
+    }
+
+    /// Route a freshly generated candidate of temporal length `total` into
+    /// the node state, offering it to the global heap when long enough.
+    #[allow(clippy::too_many_arguments)]
+    fn place(
+        &self,
+        candidate: Candidate,
+        total: u32,
+        state: &mut NodeState,
+        global: &mut TopKPaths,
+        stats: &mut NormalizedStats,
+        graph: &ClusterGraph,
+        cap: usize,
+    ) {
+        let l_min = self.params.l_min;
+        let _ = graph;
+        if total < l_min {
+            let bucket = &mut state.smallpaths[total as usize - 1];
+            if !bucket.iter().any(|c| c.nodes == candidate.nodes) && bucket.len() < cap {
+                bucket.push(candidate);
+            }
+            return;
+        }
+        // Long enough to be scored.
+        let path = candidate.to_path();
+        if !global.iter().any(|p| p.nodes() == path.nodes()) {
+            global.offer_by_stability(path);
+        }
+        // Theorem 1: drop a prefix whose stability does not exceed the
+        // stability of the remaining suffix (of length >= l_min).
+        let pruned = theorem1_prune(candidate, l_min, stats);
+        let bucket = &mut state.bestpaths;
+        if !bucket.iter().any(|c| c.nodes == pruned.nodes) && bucket.len() < cap {
+            bucket.push(pruned);
+        }
+    }
+}
+
+/// Apply the Theorem 1 prefix-dropping rule repeatedly: find the earliest
+/// split `π = πpre · πcurr` with `length(πcurr) ≥ l_min` and
+/// `stability(πpre) ≤ stability(πcurr)`, replace `π` by `πcurr`, and repeat.
+fn theorem1_prune(mut candidate: Candidate, l_min: u32, stats: &mut NormalizedStats) -> Candidate {
+    loop {
+        let n = candidate.nodes.len();
+        let mut replaced = false;
+        for split in 1..n - 1 {
+            // Prefix: nodes[0..=split], edges[0..split].
+            // Suffix: nodes[split..], edges[split..].
+            let prefix_weight: f64 = candidate.edge_weights[..split].iter().sum();
+            let prefix_length =
+                candidate.nodes[split].interval - candidate.nodes[0].interval;
+            let suffix_weight: f64 = candidate.edge_weights[split..].iter().sum();
+            let suffix_length = candidate.nodes[n - 1].interval - candidate.nodes[split].interval;
+            if suffix_length < l_min || prefix_length == 0 || suffix_length == 0 {
+                continue;
+            }
+            let prefix_stability = prefix_weight / f64::from(prefix_length);
+            let suffix_stability = suffix_weight / f64::from(suffix_length);
+            if prefix_stability <= suffix_stability {
+                candidate = Candidate {
+                    nodes: candidate.nodes[split..].to_vec(),
+                    edge_weights: candidate.edge_weights[split..].to_vec(),
+                };
+                stats.prefix_drops += 1;
+                replaced = true;
+                break;
+            }
+        }
+        if !replaced {
+            return candidate;
+        }
+    }
+}
+
+impl TopKPaths {
+    /// Consume the heap sorting by stability rather than weight (used by the
+    /// normalized solver, whose entries were scored by stability).
+    fn into_sorted_by_stability(self) -> Vec<ClusterPath> {
+        let mut entries = self.sorted_entries();
+        entries.sort_by(|a, b| a.0.total_cmp(&b.0).reverse());
+        entries.into_iter().map(|(_, p)| p).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster_graph::ClusterGraphBuilder;
+    use crate::synthetic::{ClusterGraphGenerator, SyntheticGraphParams};
+
+    fn node(interval: u32, index: u32) -> ClusterNodeId {
+        ClusterNodeId::new(interval, index)
+    }
+
+    /// Exhaustive oracle: enumerate every path, keep those of length >=
+    /// l_min, return the top-k stabilities.
+    fn oracle_top_stabilities(graph: &ClusterGraph, k: usize, l_min: u32) -> Vec<f64> {
+        fn extend(
+            graph: &ClusterGraph,
+            nodes: Vec<ClusterNodeId>,
+            weight: f64,
+            out: &mut Vec<(f64, u32)>,
+        ) {
+            let last = *nodes.last().unwrap();
+            let length = last.interval - nodes[0].interval;
+            if length > 0 {
+                out.push((weight, length));
+            }
+            for edge in graph.children(last) {
+                let mut next = nodes.clone();
+                next.push(edge.to);
+                extend(graph, next, weight + edge.weight, out);
+            }
+        }
+        let mut all = Vec::new();
+        for start in graph.node_ids() {
+            extend(graph, vec![start], 0.0, &mut all);
+        }
+        let mut stabilities: Vec<f64> = all
+            .into_iter()
+            .filter(|&(_, length)| length >= l_min)
+            .map(|(weight, length)| weight / f64::from(length))
+            .collect();
+        stabilities.sort_by(|a, b| b.total_cmp(a));
+        stabilities.truncate(k);
+        stabilities
+    }
+
+    #[test]
+    fn prefers_dense_subpath_over_long_weak_path() {
+        // Path A: 0 -> 1 -> 2 with weights 0.9, 0.9 (stability 0.9).
+        // Path B: 0 -> 1 -> 2 -> 3 with an extra weak edge 0.1
+        //         (stability (1.8 + 0.1)/3 = 0.633).
+        let mut builder = ClusterGraphBuilder::new(0);
+        for _ in 0..4 {
+            builder.add_interval(1);
+        }
+        builder.add_edge(node(0, 0), node(1, 0), 0.9);
+        builder.add_edge(node(1, 0), node(2, 0), 0.9);
+        builder.add_edge(node(2, 0), node(3, 0), 0.1);
+        let graph = builder.build();
+        let result = NormalizedStableClusters::new(NormalizedParams::new(1, 2))
+            .run(&graph)
+            .unwrap();
+        assert_eq!(result.len(), 1);
+        assert_eq!(result[0].nodes(), &[node(0, 0), node(1, 0), node(2, 0)]);
+        assert!((result[0].stability() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn respects_minimum_length() {
+        let mut builder = ClusterGraphBuilder::new(0);
+        for _ in 0..3 {
+            builder.add_interval(1);
+        }
+        builder.add_edge(node(0, 0), node(1, 0), 1.0);
+        builder.add_edge(node(1, 0), node(2, 0), 0.2);
+        let graph = builder.build();
+        // With l_min = 2, the only eligible path is the full one.
+        let result = NormalizedStableClusters::new(NormalizedParams::new(3, 2))
+            .run(&graph)
+            .unwrap();
+        assert_eq!(result.len(), 1);
+        assert_eq!(result[0].length(), 2);
+        assert!((result[0].stability() - 0.6).abs() < 1e-12);
+        // With l_min = 1 the strong single edge wins.
+        let result = NormalizedStableClusters::new(NormalizedParams::new(1, 1))
+            .run(&graph)
+            .unwrap();
+        assert!((result[0].stability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_oracle_on_random_graphs() {
+        for seed in 0..6 {
+            let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+                num_intervals: 5,
+                nodes_per_interval: 5,
+                avg_out_degree: 2,
+                gap: 1,
+                seed: seed + 10,
+            })
+            .generate();
+            for l_min in [1, 2, 3] {
+                for k in [1, 3] {
+                    let expected = oracle_top_stabilities(&graph, k, l_min);
+                    let got: Vec<f64> = NormalizedStableClusters::new(NormalizedParams::new(k, l_min))
+                        .run(&graph)
+                        .unwrap()
+                        .iter()
+                        .map(ClusterPath::stability)
+                        .collect();
+                    assert_eq!(got.len(), expected.len(), "seed={seed} lmin={l_min} k={k}");
+                    for (g, e) in got.iter().zip(expected.iter()) {
+                        assert!(
+                            (g - e).abs() < 1e-9,
+                            "seed={seed} lmin={l_min} k={k}: got {g}, expected {e}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem1_prunes_weak_prefixes() {
+        let mut stats = NormalizedStats::default();
+        let candidate = Candidate {
+            nodes: vec![node(0, 0), node(1, 0), node(2, 0), node(3, 0)],
+            edge_weights: vec![0.1, 0.9, 0.9],
+        };
+        let pruned = theorem1_prune(candidate, 2, &mut stats);
+        // The weak first edge (stability 0.1 <= suffix stability 0.9) drops.
+        assert_eq!(pruned.nodes, vec![node(1, 0), node(2, 0), node(3, 0)]);
+        assert_eq!(stats.prefix_drops, 1);
+    }
+
+    #[test]
+    fn theorem1_keeps_strong_prefixes() {
+        let mut stats = NormalizedStats::default();
+        let candidate = Candidate {
+            nodes: vec![node(0, 0), node(1, 0), node(2, 0), node(3, 0)],
+            edge_weights: vec![0.9, 0.5, 0.5],
+        };
+        let pruned = theorem1_prune(candidate.clone(), 2, &mut stats);
+        assert_eq!(pruned.nodes, candidate.nodes);
+        assert_eq!(stats.prefix_drops, 0);
+    }
+
+    #[test]
+    fn gap_edges_lower_stability() {
+        // A strong edge over a gap of one interval has length 2: stability
+        // is halved relative to a consecutive edge of equal weight.
+        let mut builder = ClusterGraphBuilder::new(1);
+        for _ in 0..3 {
+            builder.add_interval(1);
+        }
+        builder.add_edge(node(0, 0), node(2, 0), 0.8);
+        let graph = builder.build();
+        let result = NormalizedStableClusters::new(NormalizedParams::new(1, 1))
+            .run(&graph)
+            .unwrap();
+        assert_eq!(result.len(), 1);
+        assert!((result[0].stability() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+            num_intervals: 3,
+            nodes_per_interval: 4,
+            avg_out_degree: 2,
+            gap: 0,
+            seed: 1,
+        })
+        .generate();
+        assert!(NormalizedStableClusters::new(NormalizedParams::new(0, 2))
+            .run(&graph)
+            .unwrap()
+            .is_empty());
+        assert!(NormalizedStableClusters::new(NormalizedParams::new(3, 0))
+            .run(&graph)
+            .unwrap()
+            .is_empty());
+        let empty = ClusterGraphBuilder::new(0).build();
+        assert!(NormalizedStableClusters::new(NormalizedParams::new(3, 2))
+            .run(&empty)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn capped_configuration_still_returns_results() {
+        let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+            num_intervals: 6,
+            nodes_per_interval: 10,
+            avg_out_degree: 3,
+            gap: 0,
+            seed: 9,
+        })
+        .generate();
+        let exact = NormalizedStableClusters::new(NormalizedParams::new(3, 2))
+            .run(&graph)
+            .unwrap();
+        let capped = NormalizedStableClusters::with_config(
+            NormalizedParams::new(3, 2),
+            NormalizedConfig {
+                max_paths_per_node: Some(8),
+            },
+        )
+        .run(&graph)
+        .unwrap();
+        assert_eq!(exact.len(), capped.len());
+        // The capped run may only lose quality, never gain it.
+        for (e, c) in exact.iter().zip(capped.iter()) {
+            assert!(e.stability() + 1e-9 >= c.stability());
+        }
+    }
+}

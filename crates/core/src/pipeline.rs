@@ -1,0 +1,296 @@
+//! End-to-end pipeline: documents → per-interval clusters → cluster graph →
+//! stable clusters.
+//!
+//! This module glues the two halves of the paper together the way the
+//! qualitative evaluation (Section 5.3) does: for every temporal interval the
+//! posts are reduced to keyword-pair counts, the keyword graph is pruned with
+//! χ² and ρ, clusters are extracted as biconnected components, the cluster
+//! graph is built with a chosen affinity function, gap and threshold θ, and
+//! finally the kl-stable clusters (or normalized stable clusters) are
+//! reported.
+
+use bsc_corpus::pairs::{PairCountConfig, PairCounter};
+use bsc_corpus::synthetic::GeneratedCorpus;
+use bsc_corpus::timeline::Timeline;
+use bsc_corpus::vocabulary::Vocabulary;
+use bsc_graph::cluster::{ClusterExtractor, KeywordCluster};
+use bsc_graph::keyword_graph::KeywordGraphBuilder;
+use bsc_graph::prune::{PruneConfig, PruneStats};
+use bsc_storage::{Result as StorageResult, StorageError};
+
+use crate::affinity::AffinityKind;
+use crate::bfs::BfsStableClusters;
+use crate::cluster_graph::{ClusterGraph, ClusterGraphBuilder};
+use crate::normalized::NormalizedStableClusters;
+use crate::path::ClusterPath;
+use crate::problem::{KlStableParams, NormalizedParams};
+
+/// Which stable-cluster problem the pipeline solves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StableClusterSpec {
+    /// Problem 1 with full paths (`l = m − 1`).
+    FullPaths,
+    /// Problem 1 with a fixed path length.
+    ExactLength(u32),
+    /// Problem 2 (normalized) with a minimum length.
+    Normalized {
+        /// Minimum path length `l_min`.
+        l_min: u32,
+    },
+}
+
+/// Pipeline configuration. The defaults follow the paper's qualitative
+/// evaluation: χ² > 3.84, ρ > 0.2, biconnected-component clusters, Jaccard
+/// affinity with θ = 0.1, gap 2, daily intervals.
+#[derive(Debug, Clone)]
+pub struct PipelineParams {
+    /// Keyword-pair counting strategy.
+    pub pair_counting: PairCountConfig,
+    /// χ²/ρ pruning thresholds.
+    pub prune: PruneConfig,
+    /// Cluster extraction mode and minimum size.
+    pub extractor: ClusterExtractor,
+    /// Affinity function for the cluster graph.
+    pub affinity: AffinityKind,
+    /// Affinity threshold θ.
+    pub theta: f64,
+    /// Maximum gap `g`.
+    pub gap: u32,
+    /// Number of stable clusters to report.
+    pub k: usize,
+    /// Which problem to solve.
+    pub spec: StableClusterSpec,
+}
+
+impl Default for PipelineParams {
+    fn default() -> Self {
+        PipelineParams {
+            pair_counting: PairCountConfig::default(),
+            prune: PruneConfig::paper(),
+            extractor: ClusterExtractor::default(),
+            affinity: AffinityKind::Jaccard,
+            theta: 0.1,
+            gap: 2,
+            k: 10,
+            spec: StableClusterSpec::ExactLength(3),
+        }
+    }
+}
+
+impl PipelineParams {
+    /// Request full-week (full-path) stable clusters.
+    pub fn full_paths(mut self) -> Self {
+        self.spec = StableClusterSpec::FullPaths;
+        self
+    }
+
+    /// Request paths of an exact length.
+    pub fn exact_length(mut self, l: u32) -> Self {
+        self.spec = StableClusterSpec::ExactLength(l);
+        self
+    }
+
+    /// Request normalized stable clusters.
+    pub fn normalized(mut self, l_min: u32) -> Self {
+        self.spec = StableClusterSpec::Normalized { l_min };
+        self
+    }
+}
+
+/// Everything the pipeline produces.
+#[derive(Debug, Clone)]
+pub struct PipelineOutcome {
+    /// Clusters discovered for every interval.
+    pub interval_clusters: Vec<Vec<KeywordCluster>>,
+    /// χ²/ρ pruning statistics per interval.
+    pub prune_stats: Vec<PruneStats>,
+    /// The cluster graph built across intervals.
+    pub cluster_graph: ClusterGraph,
+    /// The stable clusters (paths) found, best first.
+    pub stable_paths: Vec<ClusterPath>,
+}
+
+impl PipelineOutcome {
+    /// Total number of clusters across all intervals.
+    pub fn total_clusters(&self) -> usize {
+        self.interval_clusters.iter().map(Vec::len).sum()
+    }
+
+    /// Render a stable path as one keyword set per hop, using `vocabulary`.
+    pub fn describe_path(&self, path: &ClusterPath, vocabulary: &Vocabulary) -> Vec<String> {
+        path.nodes()
+            .iter()
+            .map(|node| {
+                let cluster =
+                    &self.interval_clusters[node.interval as usize][node.index as usize];
+                format!("t{}: {}", node.interval, cluster.render(vocabulary))
+            })
+            .collect()
+    }
+
+    /// The cluster behind a path node.
+    pub fn cluster_at(&self, node: crate::cluster_graph::ClusterNodeId) -> &KeywordCluster {
+        &self.interval_clusters[node.interval as usize][node.index as usize]
+    }
+}
+
+/// The end-to-end pipeline.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    params: PipelineParams,
+}
+
+impl Pipeline {
+    /// Create a pipeline.
+    pub fn new(params: PipelineParams) -> Self {
+        Pipeline { params }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &PipelineParams {
+        &self.params
+    }
+
+    /// Run on a generated corpus (convenience wrapper over
+    /// [`Pipeline::run_timeline`]).
+    pub fn run(&self, corpus: &GeneratedCorpus) -> StorageResult<PipelineOutcome> {
+        self.run_timeline(&corpus.timeline)
+    }
+
+    /// Run on an arbitrary timeline of documents.
+    pub fn run_timeline(&self, timeline: &Timeline) -> StorageResult<PipelineOutcome> {
+        let params = &self.params;
+        let counter = PairCounter::with_config(params.pair_counting.clone());
+        let mut interval_clusters = Vec::with_capacity(timeline.num_intervals());
+        let mut prune_stats = Vec::with_capacity(timeline.num_intervals());
+
+        for (interval, documents) in timeline.iter() {
+            let counts = counter
+                .count(documents)
+                .map_err(StorageError::Io)?;
+            let keyword_graph = KeywordGraphBuilder::from_pair_counts(&counts);
+            let (pruned, stats) = params.prune.prune(&keyword_graph);
+            let clusters = params.extractor.extract(&pruned, interval)?;
+            interval_clusters.push(clusters);
+            prune_stats.push(stats);
+        }
+
+        let affinity = params.affinity.build();
+        let cluster_graph = ClusterGraphBuilder::from_clusters(
+            &interval_clusters,
+            affinity.as_ref(),
+            params.gap,
+            params.theta,
+        );
+
+        let stable_paths = match params.spec {
+            StableClusterSpec::FullPaths => {
+                BfsStableClusters::new(KlStableParams::full_paths(
+                    params.k,
+                    cluster_graph.num_intervals(),
+                ))
+                .run(&cluster_graph)?
+            }
+            StableClusterSpec::ExactLength(l) => {
+                BfsStableClusters::new(KlStableParams::new(params.k, l)).run(&cluster_graph)?
+            }
+            StableClusterSpec::Normalized { l_min } => {
+                NormalizedStableClusters::new(NormalizedParams::new(params.k, l_min))
+                    .run(&cluster_graph)?
+            }
+        };
+
+        Ok(PipelineOutcome {
+            interval_clusters,
+            prune_stats,
+            cluster_graph,
+            stable_paths,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsc_corpus::synthetic::{SyntheticBlogosphere, SyntheticConfig};
+
+    fn small_corpus() -> GeneratedCorpus {
+        SyntheticBlogosphere::new(SyntheticConfig::small()).generate()
+    }
+
+    #[test]
+    fn end_to_end_produces_clusters_and_paths() {
+        let corpus = small_corpus();
+        let outcome = Pipeline::new(PipelineParams::default().exact_length(2))
+            .run(&corpus)
+            .unwrap();
+        assert_eq!(outcome.interval_clusters.len(), 7);
+        assert!(outcome.total_clusters() > 0, "no clusters discovered");
+        assert!(
+            outcome.cluster_graph.num_edges() > 0,
+            "no cluster-graph edges"
+        );
+        assert!(!outcome.stable_paths.is_empty(), "no stable paths");
+        for path in &outcome.stable_paths {
+            assert_eq!(path.length(), 2);
+        }
+    }
+
+    #[test]
+    fn discovers_the_scripted_somalia_event_cluster() {
+        let corpus = small_corpus();
+        let outcome = Pipeline::new(PipelineParams::default().exact_length(2))
+            .run(&corpus)
+            .unwrap();
+        let somalia = corpus.vocabulary.get("somalia").expect("keyword interned");
+        let islamist = corpus.vocabulary.get("islamist").expect("keyword interned");
+        let found = outcome
+            .interval_clusters
+            .iter()
+            .flatten()
+            .any(|c| c.contains(somalia) && c.contains(islamist));
+        assert!(found, "expected a cluster containing the Somalia event keywords");
+    }
+
+    #[test]
+    fn describe_path_renders_keywords() {
+        let corpus = small_corpus();
+        let outcome = Pipeline::new(PipelineParams::default().exact_length(2))
+            .run(&corpus)
+            .unwrap();
+        let path = &outcome.stable_paths[0];
+        let description = outcome.describe_path(path, &corpus.vocabulary);
+        assert_eq!(description.len(), path.num_nodes());
+        assert!(description[0].starts_with(&format!("t{}", path.first().interval)));
+    }
+
+    #[test]
+    fn normalized_spec_runs() {
+        let corpus = small_corpus();
+        let outcome = Pipeline::new(PipelineParams::default().normalized(2))
+            .run(&corpus)
+            .unwrap();
+        for path in &outcome.stable_paths {
+            assert!(path.length() >= 2);
+        }
+    }
+
+    #[test]
+    fn prune_stats_are_reported_per_interval() {
+        let corpus = small_corpus();
+        let outcome = Pipeline::new(PipelineParams::default())
+            .run(&corpus)
+            .unwrap();
+        assert_eq!(outcome.prune_stats.len(), 7);
+        assert!(outcome.prune_stats.iter().any(|s| s.input_edges > 0));
+        for stats in &outcome.prune_stats {
+            assert_eq!(
+                stats.surviving_edges
+                    + stats.dropped_by_chi_square
+                    + stats.dropped_by_rho
+                    + stats.dropped_by_count,
+                stats.input_edges
+            );
+        }
+    }
+}

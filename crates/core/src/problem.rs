@@ -1,0 +1,69 @@
+//! Problem definitions and shared parameter structs.
+//!
+//! * **Problem 1 (kl-stable clusters).** Given the cluster graph `G`, find
+//!   the `k` paths of length exactly `l` with the highest aggregate weight.
+//! * **Problem 2 (normalized stable clusters).** Find the `k` paths of length
+//!   at least `l_min` with the highest weight normalized by length
+//!   (*stability*).
+
+/// Parameters of Problem 1 (kl-stable clusters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KlStableParams {
+    /// Number of result paths `k`.
+    pub k: usize,
+    /// Required path length `l` (temporal span).
+    pub l: u32,
+}
+
+impl KlStableParams {
+    /// Construct parameters.
+    pub fn new(k: usize, l: u32) -> Self {
+        KlStableParams { k, l }
+    }
+
+    /// The full-path variant for a graph of `m` intervals: `l = m − 1`.
+    pub fn full_paths(k: usize, num_intervals: usize) -> Self {
+        KlStableParams {
+            k,
+            l: num_intervals.saturating_sub(1) as u32,
+        }
+    }
+}
+
+/// Parameters of Problem 2 (normalized stable clusters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalizedParams {
+    /// Number of result paths `k`.
+    pub k: usize,
+    /// Minimum path length `l_min`.
+    pub l_min: u32,
+}
+
+impl NormalizedParams {
+    /// Construct parameters.
+    pub fn new(k: usize, l_min: u32) -> Self {
+        NormalizedParams { k, l_min }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_paths_uses_m_minus_one() {
+        assert_eq!(KlStableParams::full_paths(5, 7), KlStableParams::new(5, 6));
+        assert_eq!(KlStableParams::full_paths(3, 1), KlStableParams::new(3, 0));
+        assert_eq!(KlStableParams::full_paths(3, 0), KlStableParams::new(3, 0));
+    }
+
+    #[test]
+    fn constructors() {
+        let p = KlStableParams::new(5, 3);
+        assert_eq!(p.k, 5);
+        assert_eq!(p.l, 3);
+        let q = NormalizedParams::new(2, 4);
+        assert_eq!(q.k, 2);
+        assert_eq!(q.l_min, 4);
+    }
+}

@@ -1,0 +1,385 @@
+//! Online (streaming) stable-cluster maintenance (Section 4.6).
+//!
+//! New blog posts arrive continuously, so the cluster graph grows by one
+//! interval at a time. The BFS algorithm is naturally incremental: the heaps
+//! of an interval only depend on the heaps of the preceding `g + 1`
+//! intervals, so when the clusters of interval `m + 1` arrive their heaps —
+//! and any new top-k paths — can be computed without touching older state.
+//! [`OnlineStableClusters`] keeps exactly that sliding window plus the global
+//! top-k heap and exposes [`OnlineStableClusters::push_interval`].
+
+use std::collections::HashMap;
+
+use bsc_graph::cluster::KeywordCluster;
+
+use crate::affinity::Affinity;
+use crate::cluster_graph::{ClusterGraph, ClusterNodeId};
+use crate::path::ClusterPath;
+use crate::problem::KlStableParams;
+use crate::topk::TopKPaths;
+
+/// Incremental solver for kl-stable clusters over a growing timeline.
+pub struct OnlineStableClusters {
+    params: KlStableParams,
+    gap: u32,
+    /// Number of intervals ingested so far.
+    intervals: u32,
+    /// Number of nodes per ingested interval.
+    nodes_per_interval: Vec<u32>,
+    /// Sliding window: per-node heaps `h^x` for the last `g + 1` intervals.
+    window: HashMap<ClusterNodeId, Vec<TopKPaths>>,
+    /// Global top-k heap of length-`l` paths.
+    global: TopKPaths,
+    /// Total edges ingested (for reporting).
+    edges_ingested: u64,
+}
+
+impl std::fmt::Debug for OnlineStableClusters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OnlineStableClusters")
+            .field("params", &self.params)
+            .field("gap", &self.gap)
+            .field("intervals", &self.intervals)
+            .field("edges_ingested", &self.edges_ingested)
+            .finish()
+    }
+}
+
+impl OnlineStableClusters {
+    /// Create an empty online solver for paths of length exactly `params.l`
+    /// with the given maximum gap.
+    pub fn new(params: KlStableParams, gap: u32) -> Self {
+        OnlineStableClusters {
+            params,
+            gap,
+            intervals: 0,
+            nodes_per_interval: Vec::new(),
+            window: HashMap::new(),
+            global: TopKPaths::new(params.k),
+            edges_ingested: 0,
+        }
+    }
+
+    /// Number of intervals ingested so far.
+    pub fn num_intervals(&self) -> usize {
+        self.intervals as usize
+    }
+
+    /// Total number of edges ingested.
+    pub fn edges_ingested(&self) -> u64 {
+        self.edges_ingested
+    }
+
+    /// Ingest the next temporal interval.
+    ///
+    /// `parent_edges[j]` lists the incoming edges of the interval's `j`-th
+    /// cluster node as `(earlier node, weight)` pairs. Edges pointing to
+    /// intervals earlier than `current − g − 1` or with non-positive weight
+    /// are rejected.
+    ///
+    /// # Panics
+    /// Panics if an edge references a node that does not exist or violates
+    /// the gap constraint.
+    pub fn push_interval(&mut self, parent_edges: Vec<Vec<(ClusterNodeId, f64)>>) {
+        let interval = self.intervals;
+        let l = self.params.l;
+        let k = self.params.k;
+        let num_nodes = parent_edges.len() as u32;
+
+        let mut new_heaps: Vec<(ClusterNodeId, Vec<TopKPaths>)> = Vec::new();
+        for (index, parents) in parent_edges.into_iter().enumerate() {
+            let node = ClusterNodeId::new(interval, index as u32);
+            let max_len = l.min(interval) as usize;
+            let mut heaps: Vec<TopKPaths> = (0..max_len).map(|_| TopKPaths::new(k)).collect();
+            for (parent, weight) in parents {
+                assert!(
+                    parent.interval < interval,
+                    "parent {parent} must belong to an earlier interval"
+                );
+                assert!(
+                    interval - parent.interval <= self.gap + 1,
+                    "edge from {parent} to {node} exceeds the gap {}",
+                    self.gap
+                );
+                assert!(
+                    (parent.interval as usize) < self.nodes_per_interval.len()
+                        && parent.index < self.nodes_per_interval[parent.interval as usize],
+                    "parent {parent} does not exist"
+                );
+                assert!(weight > 0.0, "edge weights must be positive");
+                self.edges_ingested += 1;
+                let len = interval - parent.interval;
+                if len > l {
+                    continue;
+                }
+                let edge_path = ClusterPath::singleton(parent).extend(node, weight);
+                if len == l {
+                    self.global.offer_by_weight(edge_path.clone());
+                }
+                heaps[len as usize - 1].offer_by_weight(edge_path);
+
+                if let Some(parent_heaps) = self.window.get(&parent) {
+                    let mut extensions = Vec::new();
+                    for (x_index, heap) in parent_heaps.iter().enumerate() {
+                        let total = x_index as u32 + 1 + len;
+                        if total > l {
+                            break;
+                        }
+                        for prefix in heap.iter() {
+                            extensions.push((total, prefix.extend(node, weight)));
+                        }
+                    }
+                    for (total, extended) in extensions {
+                        if total == l {
+                            self.global.offer_by_weight(extended.clone());
+                        }
+                        heaps[total as usize - 1].offer_by_weight(extended);
+                    }
+                }
+            }
+            new_heaps.push((node, heaps));
+        }
+
+        self.nodes_per_interval.push(num_nodes);
+        self.intervals += 1;
+        for (node, heaps) in new_heaps {
+            self.window.insert(node, heaps);
+        }
+        // Evict intervals that can no longer be parents of future intervals.
+        if self.intervals > self.gap + 1 {
+            let evict = self.intervals - self.gap - 2;
+            let count = self.nodes_per_interval[evict as usize];
+            for index in 0..count {
+                self.window.remove(&ClusterNodeId::new(evict, index));
+            }
+        }
+    }
+
+    /// The current top-k paths of length exactly `l`, in descending weight
+    /// order, reflecting every interval ingested so far.
+    pub fn current_top_k(&self) -> Vec<ClusterPath> {
+        self.global.clone().into_sorted()
+    }
+
+    /// Replay an existing cluster graph interval by interval (mainly for
+    /// testing the equivalence with the batch algorithm).
+    pub fn replay(params: KlStableParams, graph: &ClusterGraph) -> Self {
+        let mut online = OnlineStableClusters::new(params, graph.gap());
+        for interval in 0..graph.num_intervals() as u32 {
+            let parent_edges: Vec<Vec<(ClusterNodeId, f64)>> = graph
+                .interval_node_ids(interval)
+                .map(|node| {
+                    graph
+                        .parents(node)
+                        .iter()
+                        .map(|edge| (edge.to, edge.weight))
+                        .collect()
+                })
+                .collect();
+            online.push_interval(parent_edges);
+        }
+        online
+    }
+}
+
+/// Convenience wrapper that ingests raw keyword clusters: it keeps the
+/// clusters of the last `g + 1` intervals, computes affinity edges against
+/// them for every new interval, and feeds the result to
+/// [`OnlineStableClusters`].
+pub struct OnlineClusterFeed {
+    solver: OnlineStableClusters,
+    affinity: Box<dyn Affinity>,
+    theta: f64,
+    /// Clusters of the last `g + 1` ingested intervals (interval, clusters).
+    recent: Vec<(u32, Vec<KeywordCluster>)>,
+}
+
+impl std::fmt::Debug for OnlineClusterFeed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OnlineClusterFeed")
+            .field("solver", &self.solver)
+            .field("theta", &self.theta)
+            .field("affinity", &self.affinity.name())
+            .finish()
+    }
+}
+
+impl OnlineClusterFeed {
+    /// Create a feed.
+    pub fn new(
+        params: KlStableParams,
+        gap: u32,
+        affinity: Box<dyn Affinity>,
+        theta: f64,
+    ) -> Self {
+        OnlineClusterFeed {
+            solver: OnlineStableClusters::new(params, gap),
+            affinity,
+            theta,
+            recent: Vec::new(),
+        }
+    }
+
+    /// Ingest the clusters of the next interval.
+    pub fn push_clusters(&mut self, clusters: Vec<KeywordCluster>) {
+        let interval = self.solver.intervals;
+        let mut parent_edges: Vec<Vec<(ClusterNodeId, f64)>> = vec![Vec::new(); clusters.len()];
+        for (old_interval, old_clusters) in &self.recent {
+            if interval - old_interval > self.solver.gap + 1 {
+                continue;
+            }
+            for (new_index, new_cluster) in clusters.iter().enumerate() {
+                for (old_index, old_cluster) in old_clusters.iter().enumerate() {
+                    let value = self.affinity.affinity(old_cluster, new_cluster);
+                    if value > self.theta {
+                        parent_edges[new_index].push((
+                            ClusterNodeId::new(*old_interval, old_index as u32),
+                            value.min(1.0),
+                        ));
+                    }
+                }
+            }
+        }
+        self.solver.push_interval(parent_edges);
+        self.recent.push((interval, clusters));
+        let keep_from = interval.saturating_sub(self.solver.gap);
+        self.recent.retain(|(i, _)| *i >= keep_from);
+    }
+
+    /// The current top-k stable clusters.
+    pub fn current_top_k(&self) -> Vec<ClusterPath> {
+        self.solver.current_top_k()
+    }
+
+    /// Access the underlying solver (e.g. for statistics).
+    pub fn solver(&self) -> &OnlineStableClusters {
+        &self.solver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affinity::JaccardAffinity;
+    use crate::bfs::BfsStableClusters;
+    use crate::synthetic::{ClusterGraphGenerator, SyntheticGraphParams};
+    use bsc_corpus::timeline::IntervalId;
+    use bsc_corpus::vocabulary::KeywordId;
+
+    #[test]
+    fn streaming_matches_batch_bfs() {
+        for seed in 0..4 {
+            for gap in [0, 1, 2] {
+                let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+                    num_intervals: 6,
+                    nodes_per_interval: 12,
+                    avg_out_degree: 3,
+                    gap,
+                    seed: seed + 200,
+                })
+                .generate();
+                for l in [2, 3, 5] {
+                    let params = KlStableParams::new(4, l);
+                    let batch = BfsStableClusters::new(params).run(&graph).unwrap();
+                    let online = OnlineStableClusters::replay(params, &graph).current_top_k();
+                    assert_eq!(batch.len(), online.len(), "seed={seed} gap={gap} l={l}");
+                    for (a, b) in batch.iter().zip(online.iter()) {
+                        assert!(
+                            (a.weight() - b.weight()).abs() < 1e-9,
+                            "seed={seed} gap={gap} l={l}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_results_grow_monotonically() {
+        let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+            num_intervals: 6,
+            nodes_per_interval: 10,
+            avg_out_degree: 3,
+            gap: 0,
+            seed: 1,
+        })
+        .generate();
+        let params = KlStableParams::new(3, 2);
+        let mut online = OnlineStableClusters::new(params, graph.gap());
+        let mut previous_best = f64::NEG_INFINITY;
+        for interval in 0..graph.num_intervals() as u32 {
+            let parent_edges: Vec<Vec<(ClusterNodeId, f64)>> = graph
+                .interval_node_ids(interval)
+                .map(|node| {
+                    graph
+                        .parents(node)
+                        .iter()
+                        .map(|edge| (edge.to, edge.weight))
+                        .collect()
+                })
+                .collect();
+            online.push_interval(parent_edges);
+            let best = online
+                .current_top_k()
+                .first()
+                .map(|p| p.weight())
+                .unwrap_or(f64::NEG_INFINITY);
+            assert!(best >= previous_best - 1e-12, "best path weight regressed");
+            previous_best = best;
+        }
+        assert_eq!(online.num_intervals(), 6);
+        assert!(online.edges_ingested() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the gap")]
+    fn rejects_edges_beyond_gap() {
+        let mut online = OnlineStableClusters::new(KlStableParams::new(2, 2), 0);
+        online.push_interval(vec![Vec::new()]);
+        online.push_interval(vec![Vec::new()]);
+        // Edge from interval 0 to interval 2 with gap 0 is invalid.
+        online.push_interval(vec![vec![(ClusterNodeId::new(0, 0), 0.5)]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn rejects_unknown_parents() {
+        let mut online = OnlineStableClusters::new(KlStableParams::new(2, 2), 1);
+        online.push_interval(vec![Vec::new()]);
+        online.push_interval(vec![vec![(ClusterNodeId::new(0, 5), 0.5)]]);
+    }
+
+    fn cluster(interval: u32, id: u32, keywords: &[u32]) -> KeywordCluster {
+        KeywordCluster::new(
+            id,
+            IntervalId(interval),
+            keywords.iter().map(|&k| KeywordId(k)),
+            vec![],
+        )
+    }
+
+    #[test]
+    fn cluster_feed_connects_overlapping_clusters() {
+        let params = KlStableParams::new(2, 2);
+        let mut feed = OnlineClusterFeed::new(params, 0, Box::new(JaccardAffinity), 0.1);
+        feed.push_clusters(vec![cluster(0, 0, &[1, 2, 3]), cluster(0, 1, &[50, 51])]);
+        feed.push_clusters(vec![cluster(1, 0, &[1, 2, 3, 4])]);
+        feed.push_clusters(vec![cluster(2, 0, &[1, 2, 3, 4, 5])]);
+        let top = feed.current_top_k();
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].length(), 2);
+        assert_eq!(top[0].nodes()[0], ClusterNodeId::new(0, 0));
+        assert!(top[0].weight() > 1.0);
+        assert_eq!(feed.solver().num_intervals(), 3);
+    }
+
+    #[test]
+    fn cluster_feed_respects_theta() {
+        let params = KlStableParams::new(2, 1);
+        let mut feed = OnlineClusterFeed::new(params, 0, Box::new(JaccardAffinity), 0.9);
+        feed.push_clusters(vec![cluster(0, 0, &[1, 2, 3])]);
+        feed.push_clusters(vec![cluster(1, 0, &[1, 2, 9, 10])]);
+        // Jaccard = 2/5 = 0.4 < 0.9 -> no edge, no paths.
+        assert!(feed.current_top_k().is_empty());
+    }
+}

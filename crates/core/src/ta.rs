@@ -1,0 +1,434 @@
+//! Adaptation of the Threshold Algorithm (Section 4.4).
+//!
+//! The classic TA of Fagin, Lotem and Naor aggregates sorted attribute lists;
+//! here every pair of temporal intervals within the gap bound contributes one
+//! list of cluster-graph edges sorted by descending weight. Edges are
+//! consumed round-robin; for each newly seen edge all **full paths** (length
+//! `m − 1`) containing it are materialized by expanding prefixes back to the
+//! first interval and suffixes forward to the last interval (random seeks in
+//! the edge lists), and offered to the top-k heap `H`. Two memo tables,
+//! `startwts` and `endwts`, cache the best suffix / prefix weight per node so
+//! that hopeless edges can be discarded without enumeration. The scan stops
+//! when the k-th best complete path outweighs the *virtual path* assembled
+//! from the highest unseen edge weight of each list.
+//!
+//! As the paper observes, the number of random seeks grows as `m^(d−1)`, so
+//! the adaptation is only practical for small `m` and is restricted to full
+//! paths (`l = m − 1`).
+
+use std::collections::HashMap;
+
+use bsc_storage::Result as StorageResult;
+
+use crate::cluster_graph::{ClusterGraph, ClusterNodeId};
+use crate::path::ClusterPath;
+use crate::topk::TopKPaths;
+
+/// Execution statistics of a TA run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaStats {
+    /// Edges read from the sorted lists.
+    pub edges_scanned: u64,
+    /// Random seeks performed while expanding prefixes and suffixes
+    /// (adjacency-list accesses).
+    pub random_seeks: u64,
+    /// Full paths materialized and offered to the heap.
+    pub paths_enumerated: u64,
+    /// Edges discarded thanks to the `startwts` / `endwts` bound.
+    pub bound_skips: u64,
+    /// True when the scan stopped early thanks to the threshold condition.
+    pub early_termination: bool,
+}
+
+/// The TA-based solver for top-k *full* stable-cluster paths.
+#[derive(Debug, Clone, Copy)]
+pub struct TaStableClusters {
+    k: usize,
+}
+
+impl TaStableClusters {
+    /// Create a solver returning the top `k` full paths.
+    pub fn new(k: usize) -> Self {
+        TaStableClusters { k }
+    }
+
+    /// Run the algorithm.
+    pub fn run(&self, graph: &ClusterGraph) -> StorageResult<Vec<ClusterPath>> {
+        self.run_with_stats(graph).map(|(paths, _)| paths)
+    }
+
+    /// Run the algorithm and report execution statistics.
+    pub fn run_with_stats(
+        &self,
+        graph: &ClusterGraph,
+    ) -> StorageResult<(Vec<ClusterPath>, TaStats)> {
+        let mut stats = TaStats::default();
+        let m = graph.num_intervals() as u32;
+        if self.k == 0 || m < 2 {
+            return Ok((Vec::new(), stats));
+        }
+        let gap = graph.gap();
+
+        // One sorted edge list per interval pair (i, j), j - i <= g + 1.
+        struct EdgeList {
+            edges: Vec<(f64, ClusterNodeId, ClusterNodeId)>,
+            cursor: usize,
+        }
+        let mut lists: Vec<EdgeList> = Vec::new();
+        for i in 0..m {
+            for j in (i + 1)..=(i + gap + 1).min(m - 1) {
+                let mut edges: Vec<(f64, ClusterNodeId, ClusterNodeId)> = graph
+                    .interval_node_ids(i)
+                    .flat_map(|from| {
+                        graph
+                            .children(from)
+                            .iter()
+                            .filter(|e| e.to.interval == j)
+                            .map(move |e| (e.weight, from, e.to))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                edges.sort_by(|a, b| b.0.total_cmp(&a.0));
+                if !edges.is_empty() {
+                    lists.push(EdgeList { edges, cursor: 0 });
+                }
+            }
+        }
+        if lists.is_empty() {
+            return Ok((Vec::new(), stats));
+        }
+
+        let mut global = TopKPaths::new(self.k);
+        // Best known prefix weight (interval 0 .. node) and suffix weight
+        // (node .. interval m-1); NEG_INFINITY = no such path exists,
+        // absent = not yet computed.
+        let mut endwts: HashMap<ClusterNodeId, f64> = HashMap::new();
+        let mut startwts: HashMap<ClusterNodeId, f64> = HashMap::new();
+
+        loop {
+            let mut progressed = false;
+            for list_index in 0..lists.len() {
+                let (weight, from, to) = {
+                    let list = &mut lists[list_index];
+                    if list.cursor >= list.edges.len() {
+                        continue;
+                    }
+                    let edge = list.edges[list.cursor];
+                    list.cursor += 1;
+                    edge
+                };
+                progressed = true;
+                stats.edges_scanned += 1;
+
+                // Upper bound from the memo tables when available.
+                if let (Some(&prefix_bound), Some(&suffix_bound)) =
+                    (endwts.get(&from), startwts.get(&to))
+                {
+                    let bound = prefix_bound + weight + suffix_bound;
+                    if bound < global.admission_threshold() {
+                        stats.bound_skips += 1;
+                        continue;
+                    }
+                }
+
+                // Enumerate every full path containing this edge.
+                let prefixes = enumerate_prefixes(graph, from, &mut stats);
+                let best_prefix = prefixes
+                    .iter()
+                    .map(|p| p.weight())
+                    .fold(f64::NEG_INFINITY, f64::max);
+                endwts.insert(from, best_prefix);
+                if prefixes.is_empty() {
+                    continue;
+                }
+                let suffixes = enumerate_suffixes(graph, to, m, &mut stats);
+                let best_suffix = suffixes
+                    .iter()
+                    .map(|p| p.weight())
+                    .fold(f64::NEG_INFINITY, f64::max);
+                startwts.insert(to, best_suffix);
+                if suffixes.is_empty() {
+                    continue;
+                }
+                for prefix in &prefixes {
+                    for suffix in &suffixes {
+                        let mut nodes = prefix.nodes().to_vec();
+                        nodes.extend_from_slice(suffix.nodes());
+                        let total = prefix.weight() + weight + suffix.weight();
+                        stats.paths_enumerated += 1;
+                        if global.iter().any(|p| p.nodes() == nodes.as_slice()) {
+                            continue;
+                        }
+                        global.offer_by_weight(ClusterPath::new(nodes, total));
+                    }
+                }
+
+                // Threshold test: the best possible path made of unseen edges.
+                if global.is_full() {
+                    let heads: Vec<(u32, u32, Option<f64>)> = lists
+                        .iter()
+                        .map(|list| {
+                            (
+                                list.edges[0].1.interval,
+                                list.edges[0].2.interval,
+                                list.edges.get(list.cursor).map(|e| e.0),
+                            )
+                        })
+                        .collect();
+                    let threshold = virtual_path_bound(&heads, m);
+                    if global.admission_threshold() >= threshold {
+                        stats.early_termination = true;
+                        return Ok((global.into_sorted(), stats));
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        Ok((global.into_sorted(), stats))
+    }
+}
+
+/// All paths from an interval-0 node to `node` (exclusive of `node` itself in
+/// the weight, inclusive in the node list).
+fn enumerate_prefixes(
+    graph: &ClusterGraph,
+    node: ClusterNodeId,
+    stats: &mut TaStats,
+) -> Vec<ClusterPath> {
+    if node.interval == 0 {
+        return vec![ClusterPath::singleton(node)];
+    }
+    stats.random_seeks += 1;
+    let mut result = Vec::new();
+    for edge in graph.parents(node) {
+        for prefix in enumerate_prefixes(graph, edge.to, stats) {
+            result.push(prefix.extend(node, edge.weight));
+        }
+    }
+    result
+}
+
+/// All paths from `node` to an interval-(m−1) node.
+fn enumerate_suffixes(
+    graph: &ClusterGraph,
+    node: ClusterNodeId,
+    m: u32,
+    stats: &mut TaStats,
+) -> Vec<ClusterPath> {
+    if node.interval == m - 1 {
+        return vec![ClusterPath::singleton(node)];
+    }
+    stats.random_seeks += 1;
+    let mut result = Vec::new();
+    for edge in graph.children(node) {
+        for suffix in enumerate_suffixes(graph, edge.to, m, stats) {
+            result.push(suffix.prepend(node, edge.weight));
+        }
+    }
+    result
+}
+
+/// The weight of the "virtual path": an optimistic full path assembled from
+/// the highest *unseen* edge weight of each list, combined over a dynamic
+/// program on intervals. Any path consisting solely of unseen edges weighs at
+/// most this much.
+struct ListRef {
+    from_interval: u32,
+    to_interval: u32,
+    head: f64,
+}
+
+fn virtual_path_bound<L: ListHead>(lists: &[L], m: u32) -> f64 {
+    let refs: Vec<ListRef> = lists.iter().filter_map(ListHead::head).collect();
+    // best[i] = best achievable weight of an unseen-edge path from interval i
+    // to interval m-1.
+    let mut best = vec![f64::NEG_INFINITY; m as usize];
+    best[(m - 1) as usize] = 0.0;
+    for i in (0..m - 1).rev() {
+        for list in &refs {
+            if list.from_interval == i {
+                let next = best[list.to_interval as usize];
+                if next != f64::NEG_INFINITY {
+                    let candidate = list.head + next;
+                    if candidate > best[i as usize] {
+                        best[i as usize] = candidate;
+                    }
+                }
+            }
+        }
+    }
+    best[0]
+}
+
+/// Access to a list's highest unseen edge, abstracted so the DP above can be
+/// unit tested without building full graphs.
+trait ListHead {
+    fn head(&self) -> Option<ListRef>;
+}
+
+impl ListHead for (u32, u32, Option<f64>) {
+    fn head(&self) -> Option<ListRef> {
+        self.2.map(|head| ListRef {
+            from_interval: self.0,
+            to_interval: self.1,
+            head,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::BfsStableClusters;
+    use crate::cluster_graph::ClusterGraphBuilder;
+    use crate::problem::KlStableParams;
+    use crate::synthetic::{ClusterGraphGenerator, SyntheticGraphParams};
+
+    fn node(interval: u32, index: u32) -> ClusterNodeId {
+        ClusterNodeId::new(interval, index)
+    }
+
+    fn figure5_graph() -> ClusterGraph {
+        let mut builder = ClusterGraphBuilder::new(1);
+        for _ in 0..3 {
+            builder.add_interval(3);
+        }
+        builder.add_edge(node(0, 0), node(1, 0), 0.5);
+        builder.add_edge(node(0, 1), node(1, 1), 0.1);
+        builder.add_edge(node(0, 2), node(1, 1), 0.8);
+        builder.add_edge(node(0, 1), node(1, 2), 0.4);
+        builder.add_edge(node(1, 0), node(2, 0), 0.7);
+        builder.add_edge(node(1, 1), node(2, 0), 0.7);
+        builder.add_edge(node(1, 0), node(2, 1), 0.4);
+        builder.add_edge(node(1, 1), node(2, 2), 0.9);
+        builder.add_edge(node(1, 2), node(2, 2), 0.4);
+        builder.add_edge(node(0, 0), node(2, 1), 0.5);
+        builder.build()
+    }
+
+    #[test]
+    fn figure5_top2_full_paths() {
+        let graph = figure5_graph();
+        let result = TaStableClusters::new(2).run(&graph).unwrap();
+        assert_eq!(result.len(), 2);
+        assert_eq!(result[0].nodes(), &[node(0, 2), node(1, 1), node(2, 2)]);
+        assert!((result[0].weight() - 1.7).abs() < 1e-12);
+        assert_eq!(result[1].nodes(), &[node(0, 2), node(1, 1), node(2, 0)]);
+        assert!((result[1].weight() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_bfs_full_paths_on_random_graphs() {
+        for seed in 0..5 {
+            let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+                num_intervals: 4,
+                nodes_per_interval: 8,
+                avg_out_degree: 3,
+                gap: 0,
+                seed: seed + 50,
+            })
+            .generate();
+            for k in [1, 3, 5] {
+                let bfs =
+                    BfsStableClusters::new(KlStableParams::full_paths(k, graph.num_intervals()))
+                        .run(&graph)
+                        .unwrap();
+                let ta = TaStableClusters::new(k).run(&graph).unwrap();
+                assert_eq!(bfs.len(), ta.len(), "seed={seed} k={k}");
+                for (a, b) in bfs.iter().zip(ta.iter()) {
+                    assert!(
+                        (a.weight() - b.weight()).abs() < 1e-9,
+                        "seed={seed} k={k}: bfs={} ta={}",
+                        a.weight(),
+                        b.weight()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_bfs_with_gaps() {
+        let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+            num_intervals: 4,
+            nodes_per_interval: 6,
+            avg_out_degree: 2,
+            gap: 1,
+            seed: 77,
+        })
+        .generate();
+        let k = 4;
+        let bfs = BfsStableClusters::new(KlStableParams::full_paths(k, 4))
+            .run(&graph)
+            .unwrap();
+        let ta = TaStableClusters::new(k).run(&graph).unwrap();
+        assert_eq!(bfs.len(), ta.len());
+        for (a, b) in bfs.iter().zip(ta.iter()) {
+            assert!((a.weight() - b.weight()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn early_termination_on_favourable_input() {
+        // One dominant chain and many weak edges: the top-1 path should be
+        // found long before the lists are exhausted.
+        let mut builder = ClusterGraphBuilder::new(0);
+        for _ in 0..3 {
+            builder.add_interval(30);
+        }
+        for j in 0..30u32 {
+            for i in 0..30u32 {
+                let w = if i == 0 && j == 0 { 1.0 } else { 0.01 };
+                builder.add_edge(node(0, i), node(1, j), w);
+                builder.add_edge(node(1, i), node(2, j), w);
+            }
+        }
+        let graph = builder.build();
+        let (paths, stats) = TaStableClusters::new(1).run_with_stats(&graph).unwrap();
+        assert_eq!(paths.len(), 1);
+        assert!((paths[0].weight() - 2.0).abs() < 1e-12);
+        assert!(stats.early_termination, "{stats:?}");
+        assert!(stats.edges_scanned < 900 * 2, "{stats:?}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let graph = figure5_graph();
+        assert!(TaStableClusters::new(0).run(&graph).unwrap().is_empty());
+        let empty = ClusterGraphBuilder::new(0).build();
+        assert!(TaStableClusters::new(3).run(&empty).unwrap().is_empty());
+        let mut single = ClusterGraphBuilder::new(0);
+        single.add_interval(3);
+        assert!(TaStableClusters::new(3)
+            .run(&single.build())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn virtual_path_bound_dp() {
+        // Lists (0->1) head 0.9, (1->2) head 0.5 => bound 1.4.
+        let lists = vec![(0u32, 1u32, Some(0.9)), (1, 2, Some(0.5))];
+        let bound = virtual_path_bound(&lists, 3);
+        assert!((bound - 1.4).abs() < 1e-12);
+        // Exhausted second list: no unseen full path exists.
+        let lists = vec![(0u32, 1u32, Some(0.9)), (1, 2, None)];
+        let bound = virtual_path_bound(&lists, 3);
+        assert_eq!(bound, f64::NEG_INFINITY);
+        // Gap list (0 -> 2) allows skipping interval 1.
+        let lists = vec![(0u32, 2u32, Some(0.7)), (1, 2, None)];
+        let bound = virtual_path_bound(&lists, 3);
+        assert!((bound - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let graph = figure5_graph();
+        let (_, stats) = TaStableClusters::new(2).run_with_stats(&graph).unwrap();
+        assert!(stats.edges_scanned > 0);
+        assert!(stats.paths_enumerated > 0);
+        assert!(stats.random_seeks > 0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Bounded top-k heaps of weighted paths.
+//!
+//! Every algorithm of Section 4 maintains fixed-size heaps: the per-node
+//! heaps `h^x_ij` of the BFS algorithm, the `bestpaths` heaps of the DFS
+//! algorithm and the global result heap `H`. [`TopKPaths`] is that structure:
+//! it keeps the `k` highest-scoring paths, evicting the minimum when a better
+//! candidate arrives ("check π against the heap" in the paper's pseudocode).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::path::ClusterPath;
+
+/// A path together with the score the heap orders by.
+#[derive(Debug, Clone)]
+struct Scored {
+    score: f64,
+    path: ClusterPath,
+}
+
+impl PartialEq for Scored {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Scored {}
+
+impl PartialOrd for Scored {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scored {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the *minimum* score at
+        // the top so it can be evicted cheaply.
+        other
+            .score
+            .total_cmp(&self.score)
+            .then_with(|| other.path.tie_break_key().cmp(&self.path.tie_break_key()))
+    }
+}
+
+/// A bounded collection of the `k` highest-scoring paths.
+#[derive(Debug, Clone)]
+pub struct TopKPaths {
+    k: usize,
+    heap: BinaryHeap<Scored>,
+}
+
+impl TopKPaths {
+    /// Create an empty heap of capacity `k`.
+    pub fn new(k: usize) -> Self {
+        TopKPaths {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Capacity of the heap.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of paths currently held.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no paths are held.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Is the heap at capacity?
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.k
+    }
+
+    /// The lowest score currently held, or `None` if empty.
+    pub fn min_score(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.score)
+    }
+
+    /// The score a candidate must *exceed* to enter a full heap
+    /// (−∞ while the heap still has room). This is the `min-k` value of the
+    /// DFS pruning rule.
+    pub fn admission_threshold(&self) -> f64 {
+        if self.is_full() {
+            self.min_score().unwrap_or(f64::NEG_INFINITY)
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+
+    /// Offer a path with an explicit score. Returns true if it was admitted.
+    pub fn offer_scored(&mut self, path: ClusterPath, score: f64) -> bool {
+        if self.k == 0 {
+            return false;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(Scored { score, path });
+            return true;
+        }
+        let current_min = self.min_score().expect("heap is full");
+        if score <= current_min {
+            return false;
+        }
+        self.heap.pop();
+        self.heap.push(Scored { score, path });
+        true
+    }
+
+    /// Offer a path scored by its aggregate weight (Problem 1).
+    pub fn offer_by_weight(&mut self, path: ClusterPath) -> bool {
+        let score = path.weight();
+        self.offer_scored(path, score)
+    }
+
+    /// Offer a path scored by its stability = weight / length (Problem 2).
+    pub fn offer_by_stability(&mut self, path: ClusterPath) -> bool {
+        let score = path.stability();
+        self.offer_scored(path, score)
+    }
+
+    /// The held paths in descending score order.
+    pub fn into_sorted(self) -> Vec<ClusterPath> {
+        let mut entries: Vec<Scored> = self.heap.into_vec();
+        entries.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| a.path.tie_break_key().cmp(&b.path.tie_break_key()))
+        });
+        entries.into_iter().map(|s| s.path).collect()
+    }
+
+    /// The held paths (with scores) in descending score order, without
+    /// consuming the heap.
+    pub fn sorted_entries(&self) -> Vec<(f64, ClusterPath)> {
+        let mut entries: Vec<(f64, ClusterPath)> = self
+            .heap
+            .iter()
+            .map(|s| (s.score, s.path.clone()))
+            .collect();
+        entries.sort_by(|a, b| {
+            b.0.total_cmp(&a.0)
+                .then_with(|| a.1.tie_break_key().cmp(&b.1.tie_break_key()))
+        });
+        entries
+    }
+
+    /// Iterate over the held paths in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = &ClusterPath> {
+        self.heap.iter().map(|s| &s.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster_graph::ClusterNodeId;
+    use proptest::prelude::*;
+
+    fn path(weight: f64, start: u32) -> ClusterPath {
+        ClusterPath::singleton(ClusterNodeId {
+            interval: 0,
+            index: start,
+        })
+        .extend(
+            ClusterNodeId {
+                interval: 1,
+                index: start,
+            },
+            weight,
+        )
+    }
+
+    #[test]
+    fn keeps_only_k_best() {
+        let mut topk = TopKPaths::new(3);
+        for (i, w) in [0.1, 0.9, 0.5, 0.7, 0.3].iter().enumerate() {
+            topk.offer_by_weight(path(*w, i as u32));
+        }
+        let result = topk.into_sorted();
+        let weights: Vec<f64> = result.iter().map(|p| p.weight()).collect();
+        assert_eq!(weights, vec![0.9, 0.7, 0.5]);
+    }
+
+    #[test]
+    fn admission_threshold_tracks_min() {
+        let mut topk = TopKPaths::new(2);
+        assert_eq!(topk.admission_threshold(), f64::NEG_INFINITY);
+        topk.offer_by_weight(path(0.4, 0));
+        assert_eq!(topk.admission_threshold(), f64::NEG_INFINITY);
+        topk.offer_by_weight(path(0.8, 1));
+        assert!((topk.admission_threshold() - 0.4).abs() < 1e-12);
+        topk.offer_by_weight(path(0.6, 2));
+        assert!((topk.admission_threshold() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_below_threshold() {
+        let mut topk = TopKPaths::new(1);
+        assert!(topk.offer_by_weight(path(0.5, 0)));
+        assert!(!topk.offer_by_weight(path(0.3, 1)));
+        assert!(topk.offer_by_weight(path(0.7, 2)));
+        assert_eq!(topk.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_accepts_nothing() {
+        let mut topk = TopKPaths::new(0);
+        assert!(!topk.offer_by_weight(path(1.0, 0)));
+        assert!(topk.is_empty());
+    }
+
+    #[test]
+    fn stability_scoring() {
+        let mut topk = TopKPaths::new(2);
+        // length 1, weight 0.9 -> stability 0.9
+        let short = path(0.9, 0);
+        // length 3, weight 1.5 -> stability 0.5
+        let long = ClusterPath::singleton(ClusterNodeId { interval: 0, index: 9 }).extend(
+            ClusterNodeId {
+                interval: 3,
+                index: 9,
+            },
+            1.5,
+        );
+        topk.offer_by_stability(long.clone());
+        topk.offer_by_stability(short.clone());
+        let entries = topk.sorted_entries();
+        assert!((entries[0].0 - 0.9).abs() < 1e-12);
+        assert!((entries[1].0 - 0.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_sort_and_truncate(weights in proptest::collection::vec(0.0f64..1.0, 0..60), k in 0usize..8) {
+            let mut topk = TopKPaths::new(k);
+            for (i, w) in weights.iter().enumerate() {
+                topk.offer_by_weight(path(*w, i as u32));
+            }
+            let got: Vec<f64> = topk.into_sorted().iter().map(|p| p.weight()).collect();
+            let mut expected = weights.clone();
+            expected.sort_by(|a, b| b.total_cmp(a));
+            expected.truncate(k);
+            prop_assert_eq!(got.len(), expected.len());
+            for (g, e) in got.iter().zip(expected.iter()) {
+                prop_assert!((g - e).abs() < 1e-12);
+            }
+        }
+    }
+}

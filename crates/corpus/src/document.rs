@@ -1,0 +1,101 @@
+//! Documents (blog posts) as bags of keywords.
+
+use crate::timeline::IntervalId;
+use crate::vocabulary::KeywordId;
+use std::collections::BTreeSet;
+
+/// Identifier of a document within a corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DocumentId(pub u64);
+
+impl std::fmt::Display for DocumentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "doc#{}", self.0)
+    }
+}
+
+/// A blog post reduced to its set of distinct keywords.
+///
+/// The paper represents a document as a bag of words but only uses binary
+/// presence per document — `A_D(u,v)` is one if both keywords appear in `D`
+/// and zero otherwise — so we store the *set* of distinct keyword ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// Unique identifier of the post.
+    pub id: DocumentId,
+    /// Temporal interval (e.g. day) in which the post was created.
+    pub interval: IntervalId,
+    /// Distinct keywords, sorted.
+    keywords: Vec<KeywordId>,
+}
+
+impl Document {
+    /// Build a document from an arbitrary iterator of keyword ids; duplicates
+    /// are removed and the result is sorted.
+    pub fn new<I: IntoIterator<Item = KeywordId>>(
+        id: DocumentId,
+        interval: IntervalId,
+        keywords: I,
+    ) -> Self {
+        let set: BTreeSet<KeywordId> = keywords.into_iter().collect();
+        Document {
+            id,
+            interval,
+            keywords: set.into_iter().collect(),
+        }
+    }
+
+    /// The distinct keywords of the post, in ascending id order.
+    pub fn keywords(&self) -> &[KeywordId] {
+        &self.keywords
+    }
+
+    /// Number of distinct keywords.
+    pub fn len(&self) -> usize {
+        self.keywords.len()
+    }
+
+    /// True if the post contains no keywords (e.g. everything was a stop
+    /// word).
+    pub fn is_empty(&self) -> bool {
+        self.keywords.is_empty()
+    }
+
+    /// Does the post contain keyword `k`?
+    pub fn contains(&self, k: KeywordId) -> bool {
+        self.keywords.binary_search(&k).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deduplicates_and_sorts_keywords() {
+        let doc = Document::new(
+            DocumentId(1),
+            IntervalId(0),
+            [KeywordId(5), KeywordId(1), KeywordId(5), KeywordId(3)],
+        );
+        assert_eq!(
+            doc.keywords(),
+            &[KeywordId(1), KeywordId(3), KeywordId(5)]
+        );
+        assert_eq!(doc.len(), 3);
+        assert!(doc.contains(KeywordId(3)));
+        assert!(!doc.contains(KeywordId(4)));
+    }
+
+    #[test]
+    fn empty_document() {
+        let doc = Document::new(DocumentId(2), IntervalId(1), []);
+        assert!(doc.is_empty());
+        assert_eq!(doc.len(), 0);
+    }
+
+    #[test]
+    fn display_id() {
+        assert_eq!(DocumentId(17).to_string(), "doc#17");
+    }
+}

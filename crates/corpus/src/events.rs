@@ -1,0 +1,304 @@
+//! Scripted "blogosphere events" mirroring the paper's qualitative figures.
+//!
+//! The paper's qualitative evaluation (Section 5.3) analyses one week of real
+//! BlogScope data (Jan 6–12 2007) and shows clusters for real events: the
+//! amniotic stem-cell announcement (Figure 1), David Beckham's move to the LA
+//! Galaxy (Figure 2), the FA-cup Liverpool–Arsenal games with a gap (Figure
+//! 4), the iPhone launch drifting into the Cisco trademark lawsuit (Figure
+//! 15) and the battle of Ras Kamboni in Somalia spanning the whole week
+//! (Figure 16). The real crawl is proprietary, so the [`standard_week`]
+//! function scripts those events for the synthetic generator: each event
+//! prescribes, per temporal interval, a set of (already stemmed) topic
+//! keywords and an intensity — the fraction of that interval's posts devoted
+//! to the event.
+
+/// One interval of activity for a scripted event.
+#[derive(Debug, Clone)]
+pub struct EventPhase {
+    /// Temporal interval index (0-based within the generated timeline).
+    pub interval: usize,
+    /// Topic keywords used by posts about the event during this interval.
+    /// Keywords are given in stemmed form, matching the paper's figures.
+    pub keywords: Vec<String>,
+    /// Fraction of the interval's posts that are about the event (0..1).
+    pub intensity: f64,
+}
+
+/// A scripted event: a named topic with per-interval keyword sets.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Human-readable name, e.g. `"iphone-cisco"`.
+    pub name: String,
+    /// The event's activity per interval. Intervals may be non-contiguous
+    /// (gaps) and keyword sets may drift between phases.
+    pub phases: Vec<EventPhase>,
+}
+
+impl Event {
+    /// Create an event with the given name and phases.
+    pub fn new(name: impl Into<String>, phases: Vec<EventPhase>) -> Self {
+        Event {
+            name: name.into(),
+            phases,
+        }
+    }
+
+    /// Convenience: an event active on consecutive `intervals` with the same
+    /// keyword set and intensity throughout.
+    pub fn uniform(
+        name: impl Into<String>,
+        intervals: impl IntoIterator<Item = usize>,
+        keywords: &[&str],
+        intensity: f64,
+    ) -> Self {
+        let keywords: Vec<String> = keywords.iter().map(|s| s.to_string()).collect();
+        Event {
+            name: name.into(),
+            phases: intervals
+                .into_iter()
+                .map(|interval| EventPhase {
+                    interval,
+                    keywords: keywords.clone(),
+                    intensity,
+                })
+                .collect(),
+        }
+    }
+
+    /// The phase active at `interval`, if any.
+    pub fn phase_at(&self, interval: usize) -> Option<&EventPhase> {
+        self.phases.iter().find(|p| p.interval == interval)
+    }
+
+    /// All distinct keywords used by the event across phases.
+    pub fn all_keywords(&self) -> Vec<String> {
+        let mut set = std::collections::BTreeSet::new();
+        for phase in &self.phases {
+            for k in &phase.keywords {
+                set.insert(k.clone());
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// The intervals during which the event is active, sorted.
+    pub fn active_intervals(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.phases.iter().map(|p| p.interval).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+fn phase(interval: usize, keywords: &[&str], intensity: f64) -> EventPhase {
+    EventPhase {
+        interval,
+        keywords: keywords.iter().map(|s| s.to_string()).collect(),
+        intensity,
+    }
+}
+
+/// Labels for the seven intervals of the scripted week (Jan 6–12 2007).
+pub fn week_labels() -> Vec<String> {
+    vec![
+        "Jan 6 2007".into(),
+        "Jan 7 2007".into(),
+        "Jan 8 2007".into(),
+        "Jan 9 2007".into(),
+        "Jan 10 2007".into(),
+        "Jan 11 2007".into(),
+        "Jan 12 2007".into(),
+    ]
+}
+
+/// The scripted events of the January 2007 week used throughout the paper's
+/// qualitative evaluation. Interval 0 = Jan 6, interval 6 = Jan 12.
+pub fn standard_week() -> Vec<Event> {
+    vec![
+        // Figure 1: amniotic stem-cell discovery, reported Jan 7, peak chatter Jan 8.
+        Event::new(
+            "stem-cell",
+            vec![
+                phase(
+                    1,
+                    &["stem", "cell", "amniot", "fluid", "scientist", "research"],
+                    0.04,
+                ),
+                phase(
+                    2,
+                    &[
+                        "stem", "cell", "amniot", "fluid", "scientist", "research", "embryon",
+                        "therapi",
+                    ],
+                    0.08,
+                ),
+                phase(3, &["stem", "cell", "amniot", "embryon", "research"], 0.03),
+            ],
+        ),
+        // Figure 2: Beckham announces his move to the LA Galaxy on Jan 11,
+        // chatter peaks Jan 12.
+        Event::new(
+            "beckham-mls",
+            vec![
+                phase(
+                    5,
+                    &["beckham", "david", "soccer", "mls", "galaxi", "madrid"],
+                    0.05,
+                ),
+                phase(
+                    6,
+                    &[
+                        "beckham", "david", "soccer", "mls", "galaxi", "madrid", "real", "leagu",
+                    ],
+                    0.09,
+                ),
+            ],
+        ),
+        // Figure 4: FA-cup Liverpool vs Arsenal on Jan 6, replay Jan 9; no
+        // related chatter Jan 7–8 (a gap).
+        Event::new(
+            "fa-cup",
+            vec![
+                phase(
+                    0,
+                    &["liverpool", "arsenal", "anfield", "rosicki", "cup", "goal"],
+                    0.06,
+                ),
+                phase(
+                    3,
+                    &["liverpool", "arsenal", "baptista", "fowler", "cup", "goal"],
+                    0.05,
+                ),
+                phase(
+                    4,
+                    &["liverpool", "arsenal", "cup", "goal", "replai"],
+                    0.03,
+                ),
+            ],
+        ),
+        // Figure 15: iPhone launched Jan 9; discussion drifts to the Cisco
+        // trademark lawsuit announced Jan 10.
+        Event::new(
+            "iphone-cisco",
+            vec![
+                phase(
+                    3,
+                    &["iphon", "appl", "macworld", "featur", "touch", "phone"],
+                    0.10,
+                ),
+                phase(
+                    4,
+                    &["iphon", "appl", "featur", "phone", "touch", "cisco"],
+                    0.08,
+                ),
+                phase(
+                    5,
+                    &["iphon", "appl", "cisco", "lawsuit", "trademark", "infring"],
+                    0.07,
+                ),
+                phase(
+                    6,
+                    &["iphon", "appl", "cisco", "lawsuit", "trademark", "sue"],
+                    0.05,
+                ),
+            ],
+        ),
+        // Figure 16: battle of Ras Kamboni, active across the whole week with
+        // growing cluster size after Jan 8-9.
+        Event::new(
+            "somalia",
+            vec![
+                phase(0, &["somalia", "islamist", "militia", "ethiopian", "troop"], 0.04),
+                phase(1, &["somalia", "islamist", "militia", "ethiopian", "troop", "kamboni"], 0.04),
+                phase(
+                    2,
+                    &[
+                        "somalia", "islamist", "militia", "ethiopian", "troop", "kamboni",
+                        "gunship", "qaeda",
+                    ],
+                    0.06,
+                ),
+                phase(
+                    3,
+                    &[
+                        "somalia", "islamist", "militia", "ethiopian", "troop", "kamboni",
+                        "gunship", "qaeda", "yusuf", "mogadishu",
+                    ],
+                    0.07,
+                ),
+                phase(
+                    4,
+                    &[
+                        "somalia", "islamist", "militia", "ethiopian", "troop", "mogadishu",
+                        "yusuf",
+                    ],
+                    0.05,
+                ),
+                phase(5, &["somalia", "islamist", "militia", "ethiopian", "troop"], 0.04),
+                phase(6, &["somalia", "islamist", "militia", "troop", "mogadishu"], 0.04),
+            ],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_week_has_five_events() {
+        let events = standard_week();
+        assert_eq!(events.len(), 5);
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"iphone-cisco"));
+        assert!(names.contains(&"somalia"));
+    }
+
+    #[test]
+    fn intervals_are_within_the_week() {
+        for event in standard_week() {
+            for phase in &event.phases {
+                assert!(phase.interval < 7, "{} out of range", event.name);
+                assert!(phase.intensity > 0.0 && phase.intensity < 1.0);
+                assert!(phase.keywords.len() >= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn fa_cup_has_a_gap() {
+        let events = standard_week();
+        let fa = events.iter().find(|e| e.name == "fa-cup").unwrap();
+        let intervals = fa.active_intervals();
+        assert_eq!(intervals, vec![0, 3, 4]);
+    }
+
+    #[test]
+    fn somalia_spans_the_whole_week() {
+        let events = standard_week();
+        let somalia = events.iter().find(|e| e.name == "somalia").unwrap();
+        assert_eq!(somalia.active_intervals(), vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn iphone_event_drifts() {
+        let events = standard_week();
+        let iphone = events.iter().find(|e| e.name == "iphone-cisco").unwrap();
+        let first = iphone.phase_at(3).unwrap();
+        let last = iphone.phase_at(6).unwrap();
+        assert!(first.keywords.contains(&"macworld".to_string()));
+        assert!(!first.keywords.contains(&"lawsuit".to_string()));
+        assert!(last.keywords.contains(&"lawsuit".to_string()));
+        // Drift keeps a common core so consecutive clusters stay affine.
+        assert!(first.keywords.contains(&"iphon".to_string()));
+        assert!(last.keywords.contains(&"iphon".to_string()));
+    }
+
+    #[test]
+    fn uniform_constructor() {
+        let e = Event::uniform("test", 0..3, &["a", "b"], 0.5);
+        assert_eq!(e.active_intervals(), vec![0, 1, 2]);
+        assert_eq!(e.all_keywords(), vec!["a".to_string(), "b".to_string()]);
+        assert!(e.phase_at(5).is_none());
+    }
+}

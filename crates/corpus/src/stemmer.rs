@@ -1,0 +1,529 @@
+//! Porter stemmer.
+//!
+//! The paper stems all keywords before building keyword graphs (every
+//! qualitative figure notes "the keywords are stemmed"). This is a
+//! from-scratch implementation of Martin Porter's 1980 algorithm ("An
+//! algorithm for suffix stripping"), the de-facto standard stemmer for
+//! English IR systems of the paper's era.
+//!
+//! The implementation operates on ASCII lowercase bytes; tokens containing
+//! non-ASCII characters are returned unchanged (the tokenizer lowercases
+//! before calling).
+
+/// Stem a single lowercase word with the Porter algorithm.
+///
+/// ```
+/// use bsc_corpus::stemmer::porter_stem;
+/// assert_eq!(porter_stem("caresses"), "caress");
+/// assert_eq!(porter_stem("running"), "run");
+/// assert_eq!(porter_stem("relational"), "relat");
+/// ```
+pub fn porter_stem(word: &str) -> String {
+    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_owned();
+    }
+    let mut stemmer = Porter {
+        b: word.as_bytes().to_vec(),
+        k: word.len() - 1,
+        j: 0,
+    };
+    stemmer.step1ab();
+    stemmer.step1c();
+    stemmer.step2();
+    stemmer.step3();
+    stemmer.step4();
+    stemmer.step5();
+    String::from_utf8(stemmer.b[..=stemmer.k].to_vec()).expect("ascii remains utf8")
+}
+
+struct Porter {
+    /// Word buffer (only `b[0..=k]` is meaningful).
+    b: Vec<u8>,
+    /// Index of the last character of the current stem candidate.
+    k: usize,
+    /// End of the stem when a suffix match has been found via `ends`.
+    j: usize,
+}
+
+impl Porter {
+    /// Is the character at position `i` a consonant?
+    fn cons(&self, i: usize) -> bool {
+        match self.b[i] {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => {
+                if i == 0 {
+                    true
+                } else {
+                    !self.cons(i - 1)
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// The "measure" m of the stem `b[0..=j]`: the number of VC sequences.
+    fn m(&self) -> usize {
+        let mut n = 0;
+        let mut i = 0;
+        loop {
+            if i > self.j {
+                return n;
+            }
+            if !self.cons(i) {
+                break;
+            }
+            i += 1;
+        }
+        i += 1;
+        loop {
+            loop {
+                if i > self.j {
+                    return n;
+                }
+                if self.cons(i) {
+                    break;
+                }
+                i += 1;
+            }
+            i += 1;
+            n += 1;
+            loop {
+                if i > self.j {
+                    return n;
+                }
+                if !self.cons(i) {
+                    break;
+                }
+                i += 1;
+            }
+            i += 1;
+        }
+    }
+
+    /// Does the stem `b[0..=j]` contain a vowel?
+    fn vowel_in_stem(&self) -> bool {
+        (0..=self.j).any(|i| !self.cons(i))
+    }
+
+    /// Does `b[..=i]` end in a double consonant?
+    fn doublec(&self, i: usize) -> bool {
+        if i < 1 {
+            return false;
+        }
+        self.b[i] == self.b[i - 1] && self.cons(i)
+    }
+
+    /// Does `b[i-2..=i]` have the form consonant-vowel-consonant where the
+    /// final consonant is not `w`, `x` or `y`? (The *o condition.)
+    fn cvc(&self, i: usize) -> bool {
+        if i < 2 || !self.cons(i) || self.cons(i - 1) || !self.cons(i - 2) {
+            return false;
+        }
+        !matches!(self.b[i], b'w' | b'x' | b'y')
+    }
+
+    /// Does `b[..=k]` end with the suffix `s`? If so set `j` to the index of
+    /// the character just before the suffix. A suffix spanning the whole word
+    /// is rejected (at least one stem character must remain), which keeps the
+    /// index arithmetic unsigned and only affects degenerate inputs such as
+    /// the bare word "ies".
+    fn ends(&mut self, s: &str) -> bool {
+        let s = s.as_bytes();
+        let len = s.len();
+        if len > self.k {
+            return false;
+        }
+        if &self.b[self.k + 1 - len..=self.k] != s {
+            return false;
+        }
+        self.j = self.k - len;
+        true
+    }
+
+    /// Replace `b[j+1..=k]` with `s` and adjust `k`.
+    fn setto(&mut self, s: &str) {
+        let s = s.as_bytes();
+        self.b.truncate(self.j + 1);
+        self.b.extend_from_slice(s);
+        self.k = self.j + s.len();
+    }
+
+    /// `setto(s)` if `m() > 0`.
+    fn r(&mut self, s: &str) {
+        if self.m() > 0 {
+            self.setto(s);
+        }
+    }
+
+    /// Step 1ab: plurals and -ed / -ing.
+    fn step1ab(&mut self) {
+        if self.b[self.k] == b's' {
+            if self.ends("sses") {
+                self.k -= 2;
+            } else if self.ends("ies") {
+                self.setto("i");
+            } else if self.b[self.k - 1] != b's' {
+                self.k -= 1;
+            }
+        }
+        if self.ends("eed") {
+            if self.m() > 0 {
+                self.k -= 1;
+            }
+        } else if (self.ends("ed") || self.ends("ing")) && self.vowel_in_stem() {
+            self.k = self.j;
+            if self.ends("at") {
+                self.setto("ate");
+            } else if self.ends("bl") {
+                self.setto("ble");
+            } else if self.ends("iz") {
+                self.setto("ize");
+            } else if self.doublec(self.k) {
+                self.k -= 1;
+                if matches!(self.b[self.k], b'l' | b's' | b'z') {
+                    self.k += 1;
+                }
+            } else if self.m() == 1 && self.cvc(self.k) {
+                self.j = self.k;
+                self.setto("e");
+            }
+        }
+    }
+
+    /// Step 1c: turn terminal `y` into `i` when there is another vowel in the
+    /// stem.
+    fn step1c(&mut self) {
+        if self.ends("y") && self.vowel_in_stem() {
+            self.b[self.k] = b'i';
+        }
+    }
+
+    /// Step 2: map double suffixes to single ones when m > 0.
+    // Several branches intentionally map different suffixes to the same
+    // replacement (e.g. both "ation" and "ator" become "ate"), exactly as in
+    // Porter's specification.
+    #[allow(clippy::if_same_then_else)]
+    fn step2(&mut self) {
+        if self.k == 0 {
+            return;
+        }
+        match self.b[self.k - 1] {
+            b'a' => {
+                if self.ends("ational") {
+                    self.r("ate");
+                } else if self.ends("tional") {
+                    self.r("tion");
+                }
+            }
+            b'c' => {
+                if self.ends("enci") {
+                    self.r("ence");
+                } else if self.ends("anci") {
+                    self.r("ance");
+                }
+            }
+            b'e' => {
+                if self.ends("izer") {
+                    self.r("ize");
+                }
+            }
+            b'l' => {
+                if self.ends("bli") {
+                    self.r("ble");
+                } else if self.ends("alli") {
+                    self.r("al");
+                } else if self.ends("entli") {
+                    self.r("ent");
+                } else if self.ends("eli") {
+                    self.r("e");
+                } else if self.ends("ousli") {
+                    self.r("ous");
+                }
+            }
+            b'o' => {
+                if self.ends("ization") {
+                    self.r("ize");
+                } else if self.ends("ation") {
+                    self.r("ate");
+                } else if self.ends("ator") {
+                    self.r("ate");
+                }
+            }
+            b's' => {
+                if self.ends("alism") {
+                    self.r("al");
+                } else if self.ends("iveness") {
+                    self.r("ive");
+                } else if self.ends("fulness") {
+                    self.r("ful");
+                } else if self.ends("ousness") {
+                    self.r("ous");
+                }
+            }
+            b't' => {
+                if self.ends("aliti") {
+                    self.r("al");
+                } else if self.ends("iviti") {
+                    self.r("ive");
+                } else if self.ends("biliti") {
+                    self.r("ble");
+                }
+            }
+            b'g' => {
+                if self.ends("logi") {
+                    self.r("log");
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Step 3: -ic-, -full, -ness etc.
+    fn step3(&mut self) {
+        match self.b[self.k] {
+            b'e' => {
+                if self.ends("icate") {
+                    self.r("ic");
+                } else if self.ends("ative") {
+                    self.r("");
+                } else if self.ends("alize") {
+                    self.r("al");
+                }
+            }
+            b'i' => {
+                if self.ends("iciti") {
+                    self.r("ic");
+                }
+            }
+            b'l' => {
+                if self.ends("ical") {
+                    self.r("ic");
+                } else if self.ends("ful") {
+                    self.r("");
+                }
+            }
+            b's' => {
+                if self.ends("ness") {
+                    self.r("");
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Step 4: remove -ant, -ence etc. in context <c>vcvc<v>.
+    fn step4(&mut self) {
+        if self.k == 0 {
+            return;
+        }
+        let matched = match self.b[self.k - 1] {
+            b'a' => self.ends("al"),
+            b'c' => self.ends("ance") || self.ends("ence"),
+            b'e' => self.ends("er"),
+            b'i' => self.ends("ic"),
+            b'l' => self.ends("able") || self.ends("ible"),
+            b'n' => {
+                self.ends("ant")
+                    || self.ends("ement")
+                    || self.ends("ment")
+                    || self.ends("ent")
+            }
+            b'o' => {
+                (self.ends("ion")
+                    && self.j > 0
+                    && matches!(self.b[self.j], b's' | b't'))
+                    || self.ends("ou")
+            }
+            b's' => self.ends("ism"),
+            b't' => self.ends("ate") || self.ends("iti"),
+            b'u' => self.ends("ous"),
+            b'v' => self.ends("ive"),
+            b'z' => self.ends("ize"),
+            _ => false,
+        };
+        if matched && self.m() > 1 {
+            self.k = self.j;
+        }
+    }
+
+    /// Step 5: remove a final -e and reduce -ll in long words.
+    fn step5(&mut self) {
+        self.j = self.k;
+        if self.b[self.k] == b'e' {
+            let a = self.m();
+            if a > 1 || (a == 1 && !self.cvc(self.k.saturating_sub(1)) && self.k >= 1) {
+                self.k -= 1;
+            }
+        }
+        if self.b[self.k] == b'l' && self.doublec(self.k) && self.m() > 1 {
+            self.k -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(pairs: &[(&str, &str)]) {
+        for (input, expected) in pairs {
+            assert_eq!(
+                porter_stem(input),
+                *expected,
+                "porter_stem({input:?}) should be {expected:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn step1a_plurals() {
+        check(&[
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+        ]);
+    }
+
+    #[test]
+    fn step1b_ed_ing() {
+        check(&[
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+        ]);
+    }
+
+    #[test]
+    fn step1c_y_to_i() {
+        check(&[("happy", "happi"), ("sky", "sky")]);
+    }
+
+    #[test]
+    fn step2_double_suffixes() {
+        check(&[
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("radicalli", "radic"),
+            // step 2 maps "differentli" -> "different"; step 4 then strips
+            // "-ent" because m("differ") > 1, matching Porter's reference
+            // output for "differently".
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+        ]);
+    }
+
+    #[test]
+    fn step3_suffixes() {
+        check(&[
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+        ]);
+    }
+
+    #[test]
+    fn step4_suffixes() {
+        check(&[
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+        ]);
+    }
+
+    #[test]
+    fn step5_final_e_and_ll() {
+        check(&[
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controlling", "control"),
+            ("rolling", "roll"),
+        ]);
+    }
+
+    #[test]
+    fn paper_keywords() {
+        // Keywords from the paper's figures are reported stemmed.
+        check(&[
+            ("scientists", "scientist"),
+            ("embryonic", "embryon"),
+            ("announces", "announc"),
+            ("trademark", "trademark"),
+            ("infringement", "infring"),
+            ("lawsuit", "lawsuit"),
+            ("elected", "elect"),
+            ("suspected", "suspect"),
+            ("operatives", "oper"),
+        ]);
+    }
+
+    #[test]
+    fn short_words_unchanged() {
+        check(&[("a", "a"), ("is", "is"), ("be", "be")]);
+    }
+
+    #[test]
+    fn non_ascii_unchanged() {
+        assert_eq!(porter_stem("café"), "café");
+        assert_eq!(porter_stem("Zürich"), "Zürich");
+    }
+
+    #[test]
+    fn idempotent_on_common_words() {
+        for w in ["running", "relational", "hopefulness", "stemming", "clusters"] {
+            let once = porter_stem(w);
+            let twice = porter_stem(&once);
+            // Porter is not idempotent in general but should be for these.
+            assert_eq!(once, twice, "stem of {w}");
+        }
+    }
+}

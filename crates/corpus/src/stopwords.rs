@@ -1,0 +1,80 @@
+//! English stop-word list.
+//!
+//! The paper removes stop words before building keyword graphs (Table 1's
+//! sizes are "after stemming and removal of stop words"). This module ships a
+//! standard English stop-word list (a superset of the classic Van Rijsbergen
+//! / SMART lists trimmed to common blog usage) and a constant-time membership
+//! test backed by a lazily built hash set.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// The stop-word list as a static slice, lowercase.
+pub static STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "also", "am", "an", "and", "any",
+    "are", "aren", "as", "at", "be", "because", "been", "before", "being", "below", "between",
+    "both", "but", "by", "can", "cannot", "could", "couldn", "did", "didn", "do", "does", "doesn",
+    "doing", "don", "down", "during", "each", "else", "ever", "few", "for", "from", "further",
+    "get", "got", "had", "hadn", "has", "hasn", "have", "haven", "having", "he", "her", "here",
+    "hers", "herself", "him", "himself", "his", "how", "i", "if", "in", "into", "is", "isn", "it",
+    "its", "itself", "just", "ll", "me", "more", "most", "mustn", "my", "myself", "no", "nor",
+    "not", "now", "of", "off", "on", "once", "only", "or", "other", "ought", "our", "ours",
+    "ourselves", "out", "over", "own", "re", "same", "shan", "she", "should", "shouldn", "so",
+    "some", "such", "than", "that", "the", "their", "theirs", "them", "themselves", "then",
+    "there", "these", "they", "this", "those", "through", "to", "too", "under", "until", "up",
+    "ve", "very", "was", "wasn", "we", "were", "weren", "what", "when", "where", "which", "while",
+    "who", "whom", "why", "will", "with", "won", "would", "wouldn", "you", "your", "yours",
+    "yourself", "yourselves", "s", "t", "d", "m", "o", "y", "ain", "ma",
+];
+
+fn stopword_set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| STOPWORDS.iter().copied().collect())
+}
+
+/// Is `word` (already lowercased) a stop word?
+pub fn is_stopword(word: &str) -> bool {
+    stopword_set().contains(word)
+}
+
+/// Number of stop words in the list.
+pub fn count() -> usize {
+    stopword_set().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_stopwords_detected() {
+        for w in ["the", "and", "of", "is", "a", "to", "in"] {
+            assert!(is_stopword(w), "{w} should be a stop word");
+        }
+    }
+
+    #[test]
+    fn content_words_not_detected() {
+        for w in ["saddam", "iphone", "beckham", "somalia", "stem", "cell"] {
+            assert!(!is_stopword(w), "{w} should not be a stop word");
+        }
+    }
+
+    #[test]
+    fn case_sensitivity_contract() {
+        // The API expects lowercased input; uppercase is not matched.
+        assert!(!is_stopword("The"));
+    }
+
+    #[test]
+    fn list_has_no_duplicates() {
+        assert_eq!(count(), STOPWORDS.len(), "duplicate entries in STOPWORDS");
+    }
+
+    #[test]
+    fn list_is_lowercase() {
+        for w in STOPWORDS {
+            assert_eq!(*w, w.to_lowercase());
+        }
+    }
+}

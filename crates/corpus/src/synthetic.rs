@@ -1,0 +1,438 @@
+//! Event-driven synthetic blogosphere generator.
+//!
+//! The paper's quantitative evaluation of cluster generation uses a day of
+//! BlogScope posts (Table 1, Figure 6) and its qualitative evaluation uses a
+//! full week (Figures 1, 2, 4, 15, 16). That crawl is proprietary, so this
+//! module generates a corpus with the statistical structure the algorithms
+//! rely on:
+//!
+//! * a **background vocabulary** whose words are drawn independently with a
+//!   Zipf-like distribution — background word pairs co-occur roughly as often
+//!   as the independence assumption predicts, so the χ² test prunes them;
+//! * **events** ([`crate::events::Event`]): for each active interval a
+//!   fraction of posts is devoted to the event and uses several of its topic
+//!   keywords together, producing exactly the strongly correlated keyword
+//!   cliques the biconnected-component clustering is designed to find, with
+//!   persistence, drift and gaps across intervals.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::document::{Document, DocumentId};
+use crate::events::{standard_week, week_labels, Event};
+use crate::timeline::{IntervalId, Timeline};
+use crate::vocabulary::{KeywordId, Vocabulary};
+
+/// Configuration of the synthetic blogosphere.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Number of temporal intervals (days).
+    pub num_intervals: usize,
+    /// Number of posts generated per interval.
+    pub posts_per_interval: usize,
+    /// Size of the background vocabulary.
+    pub background_vocab: usize,
+    /// Minimum number of distinct background words per post.
+    pub min_words_per_post: usize,
+    /// Maximum number of distinct background words per post.
+    pub max_words_per_post: usize,
+    /// Zipf exponent for background word frequencies (≈1.0 for natural text).
+    pub zipf_exponent: f64,
+    /// Fraction of an event post's keywords drawn from the event topic
+    /// (the rest is background noise). Between 0 and 1.
+    pub event_keyword_coverage: f64,
+    /// Ranks skipped at the head of the Zipf distribution. Real pipelines
+    /// remove stop words, which are exactly the head of the frequency
+    /// distribution; skipping the head keeps background-word presence
+    /// probabilities low enough that background pairs fail the χ²/ρ tests,
+    /// as they do on real data after stop-word removal.
+    pub zipf_head_offset: usize,
+    /// Number of additional unscripted "micro events" generated per interval
+    /// (small random keyword groups that co-occur for a single interval).
+    /// They model the long tail of real blogosphere chatter and give each
+    /// interval a realistic population of small clusters.
+    pub micro_events_per_interval: usize,
+    /// Fraction of an interval's posts devoted to each micro event.
+    pub micro_event_intensity: f64,
+    /// Scripted events.
+    pub events: Vec<Event>,
+    /// Labels for the intervals (padded / truncated to `num_intervals`).
+    pub interval_labels: Vec<String>,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// A small configuration (seven days, a few hundred posts per day) with
+    /// the scripted January-2007 events — fast enough for unit tests and the
+    /// examples.
+    pub fn small() -> Self {
+        SyntheticConfig {
+            num_intervals: 7,
+            posts_per_interval: 400,
+            background_vocab: 600,
+            min_words_per_post: 6,
+            max_words_per_post: 18,
+            zipf_exponent: 1.05,
+            event_keyword_coverage: 0.8,
+            zipf_head_offset: 25,
+            micro_events_per_interval: 25,
+            micro_event_intensity: 0.015,
+            events: standard_week(),
+            interval_labels: week_labels(),
+            seed: 7,
+        }
+    }
+
+    /// The scripted January-2007 week at a larger scale, used by the
+    /// qualitative experiment (`repro quali`).
+    pub fn week_jan_2007() -> Self {
+        SyntheticConfig {
+            posts_per_interval: 2_000,
+            background_vocab: 3_000,
+            micro_events_per_interval: 120,
+            micro_event_intensity: 0.004,
+            ..Self::small()
+        }
+    }
+
+    /// A single "day" of posts without events, for Table 1 / Figure 6 style
+    /// scale experiments.
+    pub fn single_day(posts: usize, vocab: usize, seed: u64) -> Self {
+        SyntheticConfig {
+            num_intervals: 1,
+            posts_per_interval: posts,
+            background_vocab: vocab,
+            min_words_per_post: 8,
+            max_words_per_post: 40,
+            zipf_exponent: 1.05,
+            event_keyword_coverage: 0.8,
+            zipf_head_offset: 25,
+            micro_events_per_interval: (posts / 60).max(10),
+            micro_event_intensity: (4.0 / posts as f64).max(0.002),
+            events: Vec::new(),
+            interval_labels: vec!["Jan 6 2007".into()],
+            seed,
+        }
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the number of posts per interval.
+    pub fn with_posts_per_interval(mut self, posts: usize) -> Self {
+        self.posts_per_interval = posts;
+        self
+    }
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+/// The generated corpus: a timeline of documents plus the vocabulary used to
+/// intern keywords (needed to render clusters back to words).
+#[derive(Debug, Clone)]
+pub struct GeneratedCorpus {
+    /// Documents grouped by interval.
+    pub timeline: Timeline,
+    /// Keyword interning table.
+    pub vocabulary: Vocabulary,
+    /// The configuration used for generation.
+    pub config: SyntheticConfig,
+}
+
+impl GeneratedCorpus {
+    /// Approximate size of the corpus rendered as raw text (keyword strings
+    /// joined by spaces), in bytes. Used for the Table 1 "file size" column.
+    pub fn approx_text_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        for (_, docs) in self.timeline.iter() {
+            for doc in docs {
+                for &kw in doc.keywords() {
+                    total += self.vocabulary.name(kw).map(str::len).unwrap_or(0) as u64 + 1;
+                }
+                total += 1; // newline
+            }
+        }
+        total
+    }
+
+    /// Render a document as text (space separated keywords), mainly for
+    /// debugging and examples.
+    pub fn render(&self, doc: &Document) -> String {
+        doc.keywords()
+            .iter()
+            .map(|&k| self.vocabulary.name_or_placeholder(k))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// The generator itself.
+#[derive(Debug, Clone)]
+pub struct SyntheticBlogosphere {
+    config: SyntheticConfig,
+}
+
+impl SyntheticBlogosphere {
+    /// Create a generator from a configuration.
+    pub fn new(config: SyntheticConfig) -> Self {
+        SyntheticBlogosphere { config }
+    }
+
+    /// Generate the corpus.
+    pub fn generate(&self) -> GeneratedCorpus {
+        let config = &self.config;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut vocabulary = Vocabulary::new();
+
+        // Intern the background vocabulary: bg0000, bg0001, ...
+        let background: Vec<KeywordId> = (0..config.background_vocab)
+            .map(|i| vocabulary.intern(&format!("bg{i:05}")))
+            .collect();
+
+        // Intern event keywords and index phases by interval.
+        let mut event_phases: Vec<Vec<(Vec<KeywordId>, f64)>> =
+            vec![Vec::new(); config.num_intervals];
+        for event in &config.events {
+            for phase in &event.phases {
+                if phase.interval >= config.num_intervals {
+                    continue;
+                }
+                let ids: Vec<KeywordId> = phase
+                    .keywords
+                    .iter()
+                    .map(|k| vocabulary.intern(k))
+                    .collect();
+                event_phases[phase.interval].push((ids, phase.intensity));
+            }
+        }
+
+        // Unscripted micro events: small random keyword groups active for a
+        // single interval, modelling the long tail of blogosphere chatter.
+        for interval in 0..config.num_intervals {
+            for micro in 0..config.micro_events_per_interval {
+                let group_size = rng.gen_range(3..=6);
+                let ids: Vec<KeywordId> = (0..group_size)
+                    .map(|k| vocabulary.intern(&format!("ev{interval:02}x{micro:04}w{k}")))
+                    .collect();
+                event_phases[interval].push((ids, config.micro_event_intensity));
+            }
+        }
+
+        // Zipf cumulative distribution over the background vocabulary, with
+        // the head (stop-word ranks) removed.
+        let zipf_cdf = build_zipf_cdf_with_offset(
+            config.background_vocab,
+            config.zipf_exponent,
+            config.zipf_head_offset,
+        );
+
+        let mut timeline = Timeline::with_intervals(config.num_intervals);
+        for (i, label) in config
+            .interval_labels
+            .iter()
+            .take(config.num_intervals)
+            .enumerate()
+        {
+            timeline.set_label(IntervalId(i as u32), label.clone());
+        }
+
+        let mut next_doc_id = 0u64;
+        for interval in 0..config.num_intervals {
+            let phases = &event_phases[interval];
+            for _ in 0..config.posts_per_interval {
+                let doc_id = DocumentId(next_doc_id);
+                next_doc_id += 1;
+                let mut keywords: Vec<KeywordId> = Vec::new();
+
+                // Decide whether this post is about one of the active events.
+                let mut assigned_event = None;
+                let roll: f64 = rng.gen();
+                let mut acc = 0.0;
+                for (ids, intensity) in phases {
+                    acc += intensity;
+                    if roll < acc {
+                        assigned_event = Some(ids);
+                        break;
+                    }
+                }
+
+                if let Some(topic) = assigned_event {
+                    // Event post: use a large random subset of the topic
+                    // keywords so that topic pairs co-occur strongly.
+                    for &kw in topic {
+                        if rng.gen::<f64>() < config.event_keyword_coverage {
+                            keywords.push(kw);
+                        }
+                    }
+                    if keywords.len() < 2 && !topic.is_empty() {
+                        keywords.push(topic[0]);
+                        if topic.len() > 1 {
+                            keywords.push(topic[1]);
+                        }
+                    }
+                }
+
+                // Background words (both for event and non-event posts).
+                let n_background =
+                    rng.gen_range(config.min_words_per_post..=config.max_words_per_post);
+                for _ in 0..n_background {
+                    let idx = sample_zipf(&zipf_cdf, &mut rng);
+                    keywords.push(background[idx]);
+                }
+
+                timeline.add_document(Document::new(doc_id, IntervalId(interval as u32), keywords));
+            }
+        }
+
+        GeneratedCorpus {
+            timeline,
+            vocabulary,
+            config: config.clone(),
+        }
+    }
+}
+
+/// Zipf CDF whose ranks start at `offset + 1` — equivalent to removing the
+/// `offset` most frequent words (the stop words) from the distribution.
+fn build_zipf_cdf_with_offset(n: usize, s: f64, offset: usize) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(n);
+    let mut total = 0.0;
+    for i in 0..n {
+        total += 1.0 / ((i + 1 + offset) as f64).powf(s);
+        cdf.push(total);
+    }
+    for value in cdf.iter_mut() {
+        *value /= total;
+    }
+    cdf
+}
+
+/// Sample a rank from the Zipf cumulative distribution.
+fn sample_zipf(cdf: &[f64], rng: &mut impl Rng) -> usize {
+    let u: f64 = rng.gen();
+    match cdf.binary_search_by(|probe| probe.partial_cmp(&u).expect("no NaN in cdf")) {
+        Ok(idx) => idx,
+        Err(idx) => idx.min(cdf.len() - 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let config = SyntheticConfig {
+            num_intervals: 3,
+            posts_per_interval: 50,
+            background_vocab: 100,
+            ..SyntheticConfig::small()
+        };
+        let corpus = SyntheticBlogosphere::new(config).generate();
+        assert_eq!(corpus.timeline.num_intervals(), 3);
+        assert_eq!(corpus.timeline.num_documents(), 150);
+        for (_, docs) in corpus.timeline.iter() {
+            assert_eq!(docs.len(), 50);
+            for doc in docs {
+                assert!(!doc.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let config = SyntheticConfig::small().with_posts_per_interval(30);
+        let a = SyntheticBlogosphere::new(config.clone()).generate();
+        let b = SyntheticBlogosphere::new(config).generate();
+        for (ia, ib) in a.timeline.iter().zip(b.timeline.iter()) {
+            assert_eq!(ia.1, ib.1);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticBlogosphere::new(SyntheticConfig::small().with_posts_per_interval(30))
+            .generate();
+        let b = SyntheticBlogosphere::new(
+            SyntheticConfig::small().with_posts_per_interval(30).with_seed(1234),
+        )
+        .generate();
+        let docs_a: Vec<_> = a.timeline.documents(IntervalId(0)).to_vec();
+        let docs_b: Vec<_> = b.timeline.documents(IntervalId(0)).to_vec();
+        assert_ne!(docs_a, docs_b);
+    }
+
+    #[test]
+    fn event_keywords_cooccur_more_than_background() {
+        let corpus = SyntheticBlogosphere::new(SyntheticConfig::small()).generate();
+        let vocab = &corpus.vocabulary;
+        let iphon = vocab.get("iphon").expect("event keyword interned");
+        let appl = vocab.get("appl").expect("event keyword interned");
+        // Interval 3 = Jan 9: iPhone launch day.
+        let docs = corpus.timeline.documents(IntervalId(3));
+        let both = docs
+            .iter()
+            .filter(|d| d.contains(iphon) && d.contains(appl))
+            .count();
+        let iphon_only = docs.iter().filter(|d| d.contains(iphon)).count();
+        assert!(iphon_only > 0, "event posts must exist");
+        // The two topic keywords co-occur in a large majority of topic posts.
+        assert!(
+            both as f64 >= 0.4 * iphon_only as f64,
+            "expected strong co-occurrence, got {both}/{iphon_only}"
+        );
+    }
+
+    #[test]
+    fn event_absent_during_gap() {
+        let corpus = SyntheticBlogosphere::new(SyntheticConfig::small()).generate();
+        let vocab = &corpus.vocabulary;
+        let rosicki = vocab.get("rosicki").expect("fa-cup keyword interned");
+        // Interval 1 = Jan 7: the FA-cup event is inactive.
+        let docs = corpus.timeline.documents(IntervalId(1));
+        assert!(docs.iter().all(|d| !d.contains(rosicki)));
+    }
+
+    #[test]
+    fn zipf_cdf_is_monotone_and_normalized() {
+        let cdf = build_zipf_cdf_with_offset(50, 1.0, 0);
+        assert_eq!(cdf.len(), 50);
+        for window in cdf.windows(2) {
+            assert!(window[0] <= window[1]);
+        }
+        assert!((cdf.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_samples_skew_to_low_ranks() {
+        let cdf = build_zipf_cdf_with_offset(1000, 1.1, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<usize> = (0..5000).map(|_| sample_zipf(&cdf, &mut rng)).collect();
+        let low = samples.iter().filter(|&&r| r < 100).count();
+        assert!(
+            low > samples.len() / 2,
+            "Zipf sampling should favour low ranks, got {low}/5000"
+        );
+        assert!(samples.iter().all(|&r| r < 1000));
+    }
+
+    #[test]
+    fn approx_text_bytes_positive() {
+        let corpus = SyntheticBlogosphere::new(
+            SyntheticConfig::single_day(100, 200, 3),
+        )
+        .generate();
+        assert!(corpus.approx_text_bytes() > 1000);
+        let doc = &corpus.timeline.documents(IntervalId(0))[0];
+        let text = corpus.render(doc);
+        assert!(text.contains("bg"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Temporal intervals and per-interval document collections.
+//!
+//! BlogScope fetches newly created posts "at regular time intervals (say
+//! every hour or every day)"; the cluster-generation and stable-cluster
+//! machinery operates on the documents of each interval separately. The
+//! [`Timeline`] type groups documents by interval and hands out per-interval
+//! slices.
+
+use crate::document::Document;
+
+/// Index of a temporal interval (0-based, consecutive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IntervalId(pub u32);
+
+impl IntervalId {
+    /// The interval index as a usize (for indexing vectors of intervals).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for IntervalId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A label attached to an interval, e.g. `"Jan 6 2007"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalLabel(pub String);
+
+/// Documents grouped by temporal interval.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    intervals: Vec<Vec<Document>>,
+    labels: Vec<String>,
+}
+
+impl Timeline {
+    /// Create an empty timeline.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Create a timeline with `m` empty intervals labelled `t0..t{m-1}`.
+    pub fn with_intervals(m: usize) -> Self {
+        Timeline {
+            intervals: vec![Vec::new(); m],
+            labels: (0..m).map(|i| format!("t{i}")).collect(),
+        }
+    }
+
+    /// Number of intervals.
+    pub fn num_intervals(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Total number of documents across all intervals.
+    pub fn num_documents(&self) -> usize {
+        self.intervals.iter().map(Vec::len).sum()
+    }
+
+    /// Append a new (empty) interval with the given label and return its id.
+    pub fn push_interval(&mut self, label: impl Into<String>) -> IntervalId {
+        self.intervals.push(Vec::new());
+        self.labels.push(label.into());
+        IntervalId((self.intervals.len() - 1) as u32)
+    }
+
+    /// Add a document to its interval. The interval must already exist (use
+    /// [`Timeline::push_interval`] or [`Timeline::with_intervals`]).
+    ///
+    /// # Panics
+    /// Panics if the document's interval is out of range.
+    pub fn add_document(&mut self, doc: Document) {
+        let idx = doc.interval.index();
+        assert!(
+            idx < self.intervals.len(),
+            "interval {idx} out of range ({} intervals)",
+            self.intervals.len()
+        );
+        self.intervals[idx].push(doc);
+    }
+
+    /// The documents of interval `id`.
+    pub fn documents(&self, id: IntervalId) -> &[Document] {
+        &self.intervals[id.index()]
+    }
+
+    /// The label of interval `id`.
+    pub fn label(&self, id: IntervalId) -> &str {
+        &self.labels[id.index()]
+    }
+
+    /// Set the label of interval `id`.
+    pub fn set_label(&mut self, id: IntervalId, label: impl Into<String>) {
+        self.labels[id.index()] = label.into();
+    }
+
+    /// Iterate over `(interval, documents)` pairs in temporal order.
+    pub fn iter(&self) -> impl Iterator<Item = (IntervalId, &[Document])> {
+        self.intervals
+            .iter()
+            .enumerate()
+            .map(|(i, docs)| (IntervalId(i as u32), docs.as_slice()))
+    }
+
+    /// All interval ids in temporal order.
+    pub fn interval_ids(&self) -> impl Iterator<Item = IntervalId> {
+        (0..self.intervals.len() as u32).map(IntervalId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::DocumentId;
+    use crate::vocabulary::KeywordId;
+
+    #[test]
+    fn build_and_query_timeline() {
+        let mut tl = Timeline::with_intervals(3);
+        assert_eq!(tl.num_intervals(), 3);
+        tl.add_document(Document::new(DocumentId(1), IntervalId(0), [KeywordId(1)]));
+        tl.add_document(Document::new(DocumentId(2), IntervalId(0), [KeywordId(2)]));
+        tl.add_document(Document::new(DocumentId(3), IntervalId(2), [KeywordId(3)]));
+        assert_eq!(tl.num_documents(), 3);
+        assert_eq!(tl.documents(IntervalId(0)).len(), 2);
+        assert_eq!(tl.documents(IntervalId(1)).len(), 0);
+        assert_eq!(tl.documents(IntervalId(2)).len(), 1);
+    }
+
+    #[test]
+    fn push_interval_assigns_consecutive_ids() {
+        let mut tl = Timeline::new();
+        let a = tl.push_interval("Jan 6 2007");
+        let b = tl.push_interval("Jan 7 2007");
+        assert_eq!(a, IntervalId(0));
+        assert_eq!(b, IntervalId(1));
+        assert_eq!(tl.label(a), "Jan 6 2007");
+        assert_eq!(tl.label(b), "Jan 7 2007");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn adding_to_missing_interval_panics() {
+        let mut tl = Timeline::with_intervals(1);
+        tl.add_document(Document::new(DocumentId(1), IntervalId(5), []));
+    }
+
+    #[test]
+    fn iteration_order_is_temporal() {
+        let tl = Timeline::with_intervals(4);
+        let ids: Vec<u32> = tl.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Tokenization of raw post text into candidate keywords.
+//!
+//! The paper's preprocessing is "stemming and removal of stop words"; before
+//! either can happen the raw text must be split into word tokens. The
+//! [`Tokenizer`] lowercases the input, splits on any non-alphanumeric
+//! character, drops tokens that are too short, too long, or purely numeric,
+//! and (optionally) applies the stop-word filter and the Porter stemmer so
+//! that a single call yields the final keyword list for a post.
+
+use crate::stemmer::porter_stem;
+use crate::stopwords;
+
+/// Configuration and entry point for tokenizing post text.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    /// Minimum token length (in characters) to keep. Default 2.
+    pub min_len: usize,
+    /// Maximum token length to keep (guards against base64 blobs etc.).
+    pub max_len: usize,
+    /// Remove English stop words. Default true.
+    pub remove_stopwords: bool,
+    /// Apply the Porter stemmer. Default true.
+    pub stem: bool,
+    /// Drop purely numeric tokens. Default true.
+    pub drop_numeric: bool,
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Tokenizer {
+            min_len: 2,
+            max_len: 32,
+            remove_stopwords: true,
+            stem: true,
+            drop_numeric: true,
+        }
+    }
+}
+
+impl Tokenizer {
+    /// A tokenizer with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A tokenizer that only splits and lowercases (no stemming, no stop-word
+    /// removal) — useful in tests.
+    pub fn raw() -> Self {
+        Tokenizer {
+            min_len: 1,
+            max_len: usize::MAX,
+            remove_stopwords: false,
+            stem: false,
+            drop_numeric: false,
+        }
+    }
+
+    /// Tokenize `text` into the final keyword terms of a post.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for raw in text.split(|c: char| !c.is_alphanumeric()) {
+            if raw.is_empty() {
+                continue;
+            }
+            let token = raw.to_lowercase();
+            let char_len = token.chars().count();
+            if char_len < self.min_len || char_len > self.max_len {
+                continue;
+            }
+            if self.drop_numeric && token.chars().all(|c| c.is_ascii_digit()) {
+                continue;
+            }
+            if self.remove_stopwords && stopwords::is_stopword(&token) {
+                continue;
+            }
+            let term = if self.stem { porter_stem(&token) } else { token };
+            if term.chars().count() < self.min_len {
+                continue;
+            }
+            if self.remove_stopwords && stopwords::is_stopword(&term) {
+                continue;
+            }
+            out.push(term);
+        }
+        out
+    }
+
+    /// Tokenize and deduplicate, preserving first-seen order. This is the
+    /// "bag of words reduced to a set" used for co-occurrence counting.
+    pub fn tokenize_distinct(&self, text: &str) -> Vec<String> {
+        let mut seen = std::collections::HashSet::new();
+        self.tokenize(text)
+            .into_iter()
+            .filter(|t| seen.insert(t.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_lowercases() {
+        let t = Tokenizer::raw();
+        assert_eq!(
+            t.tokenize("Hello, World! Rust-lang 2007"),
+            vec!["hello", "world", "rust", "lang", "2007"]
+        );
+    }
+
+    #[test]
+    fn removes_stopwords() {
+        let t = Tokenizer {
+            stem: false,
+            ..Tokenizer::default()
+        };
+        let tokens = t.tokenize("the trial of saddam hussein was in the news");
+        assert!(!tokens.contains(&"the".to_string()));
+        assert!(!tokens.contains(&"of".to_string()));
+        assert!(tokens.contains(&"saddam".to_string()));
+        assert!(tokens.contains(&"trial".to_string()));
+    }
+
+    #[test]
+    fn stems_tokens() {
+        let t = Tokenizer::default();
+        let tokens = t.tokenize("bloggers blogging running quickly");
+        assert!(tokens.contains(&"blogger".to_string()));
+        assert!(tokens.contains(&"blog".to_string()));
+        assert!(tokens.contains(&"run".to_string()));
+    }
+
+    #[test]
+    fn drops_numeric_and_short_tokens() {
+        let t = Tokenizer::default();
+        let tokens = t.tokenize("a 12345 ab x stemcell");
+        assert!(!tokens.iter().any(|t| t == "12345"));
+        assert!(!tokens.iter().any(|t| t == "x"));
+        assert!(tokens.iter().any(|t| t == "stemcel" || t == "stemcell"));
+    }
+
+    #[test]
+    fn distinct_removes_duplicates_preserving_order() {
+        let t = Tokenizer {
+            stem: false,
+            remove_stopwords: false,
+            ..Tokenizer::default()
+        };
+        assert_eq!(
+            t.tokenize_distinct("apple cisco apple iphone cisco"),
+            vec!["apple", "cisco", "iphone"]
+        );
+    }
+
+    #[test]
+    fn max_len_guard() {
+        let t = Tokenizer {
+            max_len: 5,
+            stem: false,
+            remove_stopwords: false,
+            ..Tokenizer::default()
+        };
+        assert_eq!(t.tokenize("short verylongtoken ok"), vec!["short", "ok"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace_input() {
+        let t = Tokenizer::default();
+        assert!(t.tokenize("").is_empty());
+        assert!(t.tokenize("   \t\n  ").is_empty());
+    }
+}

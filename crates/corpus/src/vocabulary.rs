@@ -1,0 +1,144 @@
+//! Keyword interning: string ↔ dense `u32` id mapping.
+//!
+//! BlogScope indexes more than 13 million unique keywords; working with
+//! strings everywhere would be prohibitively slow and memory hungry, so all
+//! downstream structures (pair counts, keyword graphs, clusters) refer to
+//! keywords by a dense [`KeywordId`]. The [`Vocabulary`] owns the mapping in
+//! both directions.
+
+use std::collections::HashMap;
+
+/// Dense identifier of an interned keyword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KeywordId(pub u32);
+
+impl KeywordId {
+    /// The id as a usize, for indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for KeywordId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "kw#{}", self.0)
+    }
+}
+
+/// Bidirectional mapping between keyword strings and dense ids.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    by_name: HashMap<String, KeywordId>,
+    by_id: Vec<String>,
+}
+
+impl Vocabulary {
+    /// Create an empty vocabulary.
+    pub fn new() -> Self {
+        Vocabulary::default()
+    }
+
+    /// Number of distinct keywords interned.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True if no keywords have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Intern `keyword`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, keyword: &str) -> KeywordId {
+        if let Some(&id) = self.by_name.get(keyword) {
+            return id;
+        }
+        let id = KeywordId(self.by_id.len() as u32);
+        self.by_name.insert(keyword.to_owned(), id);
+        self.by_id.push(keyword.to_owned());
+        id
+    }
+
+    /// Look up an already interned keyword.
+    pub fn get(&self, keyword: &str) -> Option<KeywordId> {
+        self.by_name.get(keyword).copied()
+    }
+
+    /// The string for an id, or `None` if the id was never assigned.
+    pub fn name(&self, id: KeywordId) -> Option<&str> {
+        self.by_id.get(id.index()).map(String::as_str)
+    }
+
+    /// The string for an id, or a placeholder if unknown (useful in reports).
+    pub fn name_or_placeholder(&self, id: KeywordId) -> String {
+        self.name(id)
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("<{id}>"))
+    }
+
+    /// Render a set of keyword ids as a sorted, comma-separated string.
+    pub fn render_set(&self, ids: &[KeywordId]) -> String {
+        let mut names: Vec<String> = ids.iter().map(|&id| self.name_or_placeholder(id)).collect();
+        names.sort();
+        names.join(", ")
+    }
+
+    /// Iterate over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (KeywordId, &str)> {
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (KeywordId(i as u32), name.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut vocab = Vocabulary::new();
+        let a = vocab.intern("iphone");
+        let b = vocab.intern("cisco");
+        let a2 = vocab.intern("iphone");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(vocab.len(), 2);
+    }
+
+    #[test]
+    fn lookup_both_directions() {
+        let mut vocab = Vocabulary::new();
+        let id = vocab.intern("beckham");
+        assert_eq!(vocab.get("beckham"), Some(id));
+        assert_eq!(vocab.get("galaxy"), None);
+        assert_eq!(vocab.name(id), Some("beckham"));
+        assert_eq!(vocab.name(KeywordId(99)), None);
+    }
+
+    #[test]
+    fn render_set_sorts_names() {
+        let mut vocab = Vocabulary::new();
+        let a = vocab.intern("soccer");
+        let b = vocab.intern("beckham");
+        assert_eq!(vocab.render_set(&[a, b]), "beckham, soccer");
+    }
+
+    #[test]
+    fn placeholder_for_unknown_ids() {
+        let vocab = Vocabulary::new();
+        assert_eq!(vocab.name_or_placeholder(KeywordId(3)), "<kw#3>");
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut vocab = Vocabulary::new();
+        for i in 0..100 {
+            let id = vocab.intern(&format!("w{i}"));
+            assert_eq!(id, KeywordId(i));
+        }
+        let collected: Vec<u32> = vocab.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(collected, (0..100).collect::<Vec<_>>());
+    }
+}

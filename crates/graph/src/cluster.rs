@@ -1,0 +1,340 @@
+//! Keyword clusters extracted from the pruned graph `G′`.
+//!
+//! The paper reports "all vertices (with their associated edges) in each
+//! biconnected component as a cluster"; the set of clusters for `G′` is "the
+//! set of all biconnected components of `G′` plus all trees connecting those
+//! components". Two extraction modes are provided:
+//!
+//! * [`ClusterExtractionMode::Biconnected`] — one cluster per biconnected
+//!   component (bridges become two-keyword clusters);
+//! * [`ClusterExtractionMode::Connected`] — one cluster per connected
+//!   component, i.e. biconnected components merged with the trees connecting
+//!   them (this matches the cluster counts quoted in Section 5.3).
+
+use bsc_corpus::timeline::IntervalId;
+use bsc_corpus::vocabulary::{KeywordId, Vocabulary};
+use bsc_storage::Result as StorageResult;
+
+use crate::biconnected::BiconnectedComponents;
+use crate::components::connected_components;
+use crate::csr::CsrGraph;
+use crate::prune::PrunedGraph;
+
+/// A cluster of correlated keywords for one temporal interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeywordCluster {
+    /// Index of the cluster within its interval.
+    pub id: u32,
+    /// The temporal interval the cluster belongs to.
+    pub interval: IntervalId,
+    /// Distinct member keywords, sorted by id.
+    pub keywords: Vec<KeywordId>,
+    /// The correlated edges inside the cluster: `(u, v, ρ)`.
+    pub edges: Vec<(KeywordId, KeywordId, f64)>,
+}
+
+impl KeywordCluster {
+    /// Build a cluster from raw parts, normalizing the keyword list.
+    pub fn new(
+        id: u32,
+        interval: IntervalId,
+        keywords: impl IntoIterator<Item = KeywordId>,
+        edges: Vec<(KeywordId, KeywordId, f64)>,
+    ) -> Self {
+        let mut keywords: Vec<KeywordId> = keywords.into_iter().collect();
+        keywords.sort_unstable();
+        keywords.dedup();
+        KeywordCluster {
+            id,
+            interval,
+            keywords,
+            edges,
+        }
+    }
+
+    /// Number of member keywords.
+    pub fn len(&self) -> usize {
+        self.keywords.len()
+    }
+
+    /// True if the cluster has no keywords.
+    pub fn is_empty(&self) -> bool {
+        self.keywords.is_empty()
+    }
+
+    /// Does the cluster contain keyword `k`?
+    pub fn contains(&self, k: KeywordId) -> bool {
+        self.keywords.binary_search(&k).is_ok()
+    }
+
+    /// Size of the intersection of the member keyword sets.
+    pub fn intersection_size(&self, other: &KeywordCluster) -> usize {
+        let mut i = 0;
+        let mut j = 0;
+        let mut count = 0;
+        while i < self.keywords.len() && j < other.keywords.len() {
+            match self.keywords[i].cmp(&other.keywords[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Jaccard similarity of the member keyword sets.
+    pub fn jaccard(&self, other: &KeywordCluster) -> f64 {
+        let inter = self.intersection_size(other);
+        let union = self.keywords.len() + other.keywords.len() - inter;
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+
+    /// Sum of the edge weights (ρ values) inside the cluster.
+    pub fn total_edge_weight(&self) -> f64 {
+        self.edges.iter().map(|&(_, _, w)| w).sum()
+    }
+
+    /// Render the cluster's keywords using a vocabulary, sorted
+    /// alphabetically (for reports and examples).
+    pub fn render(&self, vocabulary: &Vocabulary) -> String {
+        vocabulary.render_set(&self.keywords)
+    }
+}
+
+/// How clusters are carved out of the pruned keyword graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClusterExtractionMode {
+    /// One cluster per biconnected component (the paper's primary definition).
+    #[default]
+    Biconnected,
+    /// One cluster per connected component (biconnected components plus the
+    /// trees connecting them).
+    Connected,
+}
+
+/// Extracts keyword clusters from a pruned graph.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterExtractor {
+    /// Extraction mode.
+    pub mode: ClusterExtractionMode,
+    /// Minimum number of keywords for a cluster to be reported.
+    pub min_keywords: usize,
+    /// Memory limit (in edge-stack entries) for the biconnected-component
+    /// computation; `None` keeps the stack in memory.
+    pub max_edges_in_memory: Option<usize>,
+}
+
+impl Default for ClusterExtractor {
+    fn default() -> Self {
+        ClusterExtractor {
+            mode: ClusterExtractionMode::Biconnected,
+            min_keywords: 2,
+            max_edges_in_memory: None,
+        }
+    }
+}
+
+impl ClusterExtractor {
+    /// Extract clusters from `graph` for interval `interval`.
+    pub fn extract(
+        &self,
+        graph: &PrunedGraph,
+        interval: IntervalId,
+    ) -> StorageResult<Vec<KeywordCluster>> {
+        let csr = CsrGraph::from_pruned(graph);
+        let mut clusters = Vec::new();
+        match self.mode {
+            ClusterExtractionMode::Biconnected => {
+                let algo = BiconnectedComponents {
+                    max_edges_in_memory: self.max_edges_in_memory,
+                };
+                let result = algo.run(&csr)?;
+                for (i, component) in result.components.iter().enumerate() {
+                    let vertices = result.component_vertices(&csr, i);
+                    if vertices.len() < self.min_keywords {
+                        continue;
+                    }
+                    let keywords: Vec<KeywordId> =
+                        vertices.iter().map(|&n| csr.keyword(n)).collect();
+                    let edges = component
+                        .iter()
+                        .map(|&e| {
+                            let (a, b, w) = csr.edge(e);
+                            (csr.keyword(a), csr.keyword(b), w)
+                        })
+                        .collect();
+                    clusters.push(KeywordCluster::new(
+                        clusters.len() as u32,
+                        interval,
+                        keywords,
+                        edges,
+                    ));
+                }
+            }
+            ClusterExtractionMode::Connected => {
+                let components = connected_components(&csr);
+                for component in components {
+                    if component.len() < self.min_keywords {
+                        continue;
+                    }
+                    let member: std::collections::HashSet<u32> =
+                        component.iter().copied().collect();
+                    let keywords: Vec<KeywordId> =
+                        component.iter().map(|&n| csr.keyword(n)).collect();
+                    let mut edges = Vec::new();
+                    for eid in 0..csr.num_edges() as u32 {
+                        let (a, b, w) = csr.edge(eid);
+                        if member.contains(&a) && member.contains(&b) {
+                            edges.push((csr.keyword(a), csr.keyword(b), w));
+                        }
+                    }
+                    clusters.push(KeywordCluster::new(
+                        clusters.len() as u32,
+                        interval,
+                        keywords,
+                        edges,
+                    ));
+                }
+            }
+        }
+        Ok(clusters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prune::CorrelatedEdge;
+
+    fn kw(id: u32) -> KeywordId {
+        KeywordId(id)
+    }
+
+    fn pruned(edges: &[(u32, u32, f64)]) -> PrunedGraph {
+        PrunedGraph::from_edges(
+            100,
+            edges
+                .iter()
+                .map(|&(u, v, rho)| CorrelatedEdge {
+                    u: kw(u.min(v)),
+                    v: kw(u.max(v)),
+                    count: 10,
+                    chi_square: 50.0,
+                    rho,
+                })
+                .collect(),
+        )
+    }
+
+    /// Figure 3 shaped graph: triangle {1,2,3}, bridge 2-4, triangle {4,5,6},
+    /// bridge 4-7.
+    fn figure3() -> PrunedGraph {
+        pruned(&[
+            (1, 2, 0.9),
+            (2, 3, 0.8),
+            (3, 1, 0.7),
+            (2, 4, 0.6),
+            (4, 5, 0.9),
+            (5, 6, 0.8),
+            (6, 4, 0.7),
+            (4, 7, 0.5),
+        ])
+    }
+
+    #[test]
+    fn biconnected_mode_matches_paper_example() {
+        let clusters = ClusterExtractor::default()
+            .extract(&figure3(), IntervalId(0))
+            .unwrap();
+        let mut sets: Vec<Vec<u32>> = clusters
+            .iter()
+            .map(|c| c.keywords.iter().map(|k| k.0).collect())
+            .collect();
+        sets.sort();
+        assert_eq!(
+            sets,
+            vec![vec![1, 2, 3], vec![2, 4], vec![4, 5, 6], vec![4, 7]]
+        );
+    }
+
+    #[test]
+    fn connected_mode_merges_everything() {
+        let extractor = ClusterExtractor {
+            mode: ClusterExtractionMode::Connected,
+            ..Default::default()
+        };
+        let clusters = extractor.extract(&figure3(), IntervalId(0)).unwrap();
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 7);
+        assert_eq!(clusters[0].edges.len(), 8);
+    }
+
+    #[test]
+    fn min_keywords_filters_small_clusters() {
+        let extractor = ClusterExtractor {
+            min_keywords: 3,
+            ..Default::default()
+        };
+        let clusters = extractor.extract(&figure3(), IntervalId(0)).unwrap();
+        assert_eq!(clusters.len(), 2);
+        assert!(clusters.iter().all(|c| c.len() >= 3));
+    }
+
+    #[test]
+    fn cluster_ids_are_dense_and_interval_is_propagated() {
+        let clusters = ClusterExtractor::default()
+            .extract(&figure3(), IntervalId(5))
+            .unwrap();
+        for (i, cluster) in clusters.iter().enumerate() {
+            assert_eq!(cluster.id, i as u32);
+            assert_eq!(cluster.interval, IntervalId(5));
+        }
+    }
+
+    #[test]
+    fn jaccard_and_intersection() {
+        let a = KeywordCluster::new(0, IntervalId(0), [kw(1), kw(2), kw(3)], vec![]);
+        let b = KeywordCluster::new(1, IntervalId(1), [kw(2), kw(3), kw(4)], vec![]);
+        assert_eq!(a.intersection_size(&b), 2);
+        assert!((a.jaccard(&b) - 0.5).abs() < 1e-12);
+        let empty = KeywordCluster::new(2, IntervalId(0), [], vec![]);
+        assert_eq!(empty.jaccard(&empty), 0.0);
+    }
+
+    #[test]
+    fn total_edge_weight_sums_rho() {
+        let clusters = ClusterExtractor::default()
+            .extract(&figure3(), IntervalId(0))
+            .unwrap();
+        let triangle = clusters
+            .iter()
+            .find(|c| c.keywords == vec![kw(1), kw(2), kw(3)])
+            .unwrap();
+        assert!((triangle.total_edge_weight() - 2.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_uses_vocabulary() {
+        let mut vocab = Vocabulary::new();
+        let apple = vocab.intern("appl");
+        let iphone = vocab.intern("iphon");
+        let cluster = KeywordCluster::new(0, IntervalId(0), [iphone, apple], vec![]);
+        assert_eq!(cluster.render(&vocab), "appl, iphon");
+    }
+
+    #[test]
+    fn empty_graph_yields_no_clusters() {
+        let clusters = ClusterExtractor::default()
+            .extract(&pruned(&[]), IntervalId(0))
+            .unwrap();
+        assert!(clusters.is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! Connected components of the pruned keyword graph.
+//!
+//! The paper's qualitative evaluation (Section 5.3) reports "around 1100-1500
+//! connected components (clusters)" per day, so in addition to biconnected
+//! components the extractor can also report plain connected components — the
+//! biconnected components "plus all trees connecting those components"
+//! collapse into their connected component.
+
+use crate::csr::{CsrGraph, NodeIndex};
+
+/// Compute the connected components of `graph`; each component is a sorted
+/// list of dense node indices.
+pub fn connected_components(graph: &CsrGraph) -> Vec<Vec<NodeIndex>> {
+    let n = graph.num_nodes();
+    let mut visited = vec![false; n];
+    let mut components = Vec::new();
+    let mut queue: Vec<NodeIndex> = Vec::new();
+    for start in 0..n as NodeIndex {
+        if visited[start as usize] {
+            continue;
+        }
+        visited[start as usize] = true;
+        queue.clear();
+        queue.push(start);
+        let mut component = vec![start];
+        while let Some(u) = queue.pop() {
+            for (w, _) in graph.neighbors(u) {
+                if !visited[w as usize] {
+                    visited[w as usize] = true;
+                    component.push(w);
+                    queue.push(w);
+                }
+            }
+        }
+        component.sort_unstable();
+        components.push(component);
+    }
+    components
+}
+
+/// Assign a component id to every node; ids are dense and assigned in
+/// discovery order.
+pub fn component_labels(graph: &CsrGraph) -> Vec<u32> {
+    let components = connected_components(graph);
+    let mut labels = vec![0u32; graph.num_nodes()];
+    for (id, component) in components.iter().enumerate() {
+        for &node in component {
+            labels[node as usize] = id as u32;
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsc_corpus::vocabulary::KeywordId;
+
+    fn graph_from(edges: &[(u32, u32)]) -> CsrGraph {
+        CsrGraph::from_weighted_edges(
+            edges
+                .iter()
+                .map(|&(u, v)| (KeywordId(u), KeywordId(v), 1.0)),
+        )
+    }
+
+    #[test]
+    fn single_component() {
+        let graph = graph_from(&[(1, 2), (2, 3), (3, 1)]);
+        let components = connected_components(&graph);
+        assert_eq!(components.len(), 1);
+        assert_eq!(components[0].len(), 3);
+    }
+
+    #[test]
+    fn multiple_components() {
+        let graph = graph_from(&[(1, 2), (3, 4), (4, 5)]);
+        let components = connected_components(&graph);
+        assert_eq!(components.len(), 2);
+        let sizes: Vec<usize> = {
+            let mut s: Vec<usize> = components.iter().map(Vec::len).collect();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(sizes, vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let graph = graph_from(&[]);
+        assert!(connected_components(&graph).is_empty());
+    }
+
+    #[test]
+    fn labels_are_consistent_with_components() {
+        let graph = graph_from(&[(1, 2), (3, 4)]);
+        let labels = component_labels(&graph);
+        let n1 = graph.node_of(KeywordId(1)).unwrap() as usize;
+        let n2 = graph.node_of(KeywordId(2)).unwrap() as usize;
+        let n3 = graph.node_of(KeywordId(3)).unwrap() as usize;
+        let n4 = graph.node_of(KeywordId(4)).unwrap() as usize;
+        assert_eq!(labels[n1], labels[n2]);
+        assert_eq!(labels[n3], labels[n4]);
+        assert_ne!(labels[n1], labels[n3]);
+    }
+
+    #[test]
+    fn every_node_appears_exactly_once() {
+        let graph = graph_from(&[(1, 2), (2, 3), (4, 5), (6, 7), (7, 8), (8, 6)]);
+        let components = connected_components(&graph);
+        let total: usize = components.iter().map(Vec::len).sum();
+        assert_eq!(total, graph.num_nodes());
+    }
+}

@@ -1,0 +1,199 @@
+//! Compressed sparse-row adjacency over a pruned keyword graph.
+//!
+//! The traversal algorithms (biconnected components, connected components)
+//! need neighbour lists; [`CsrGraph`] remaps the surviving keywords of a
+//! [`crate::prune::PrunedGraph`] to dense node indices and stores both
+//! directions of every undirected edge contiguously.
+
+use std::collections::HashMap;
+
+use bsc_corpus::vocabulary::KeywordId;
+
+use crate::prune::PrunedGraph;
+
+/// Dense node index within a [`CsrGraph`].
+pub type NodeIndex = u32;
+
+/// Identifier of an undirected edge within a [`CsrGraph`].
+pub type EdgeIndex = u32;
+
+/// A weighted undirected graph in compressed sparse-row form.
+#[derive(Debug, Clone, Default)]
+pub struct CsrGraph {
+    /// Dense node index → original keyword id.
+    nodes: Vec<KeywordId>,
+    /// Keyword id → dense node index.
+    index_of: HashMap<KeywordId, NodeIndex>,
+    /// Adjacency offsets; `offsets[u]..offsets[u+1]` indexes `neighbors`.
+    offsets: Vec<usize>,
+    /// Flattened neighbour lists (dense node indices).
+    neighbors: Vec<NodeIndex>,
+    /// Edge id of each adjacency entry (the same id appears in both
+    /// directions of an undirected edge).
+    adj_edge_ids: Vec<EdgeIndex>,
+    /// Canonical edge list: `(u, v, weight)` with `u < v` in dense indices.
+    edges: Vec<(NodeIndex, NodeIndex, f64)>,
+}
+
+impl CsrGraph {
+    /// Build from explicit keyword-id edges with weights.
+    pub fn from_weighted_edges(edges: impl IntoIterator<Item = (KeywordId, KeywordId, f64)>) -> Self {
+        let mut nodes: Vec<KeywordId> = Vec::new();
+        let mut index_of: HashMap<KeywordId, NodeIndex> = HashMap::new();
+        let intern = |k: KeywordId, nodes: &mut Vec<KeywordId>, index_of: &mut HashMap<KeywordId, NodeIndex>| {
+            *index_of.entry(k).or_insert_with(|| {
+                nodes.push(k);
+                (nodes.len() - 1) as NodeIndex
+            })
+        };
+        let mut edge_list: Vec<(NodeIndex, NodeIndex, f64)> = Vec::new();
+        for (u, v, w) in edges {
+            if u == v {
+                continue;
+            }
+            let ui = intern(u, &mut nodes, &mut index_of);
+            let vi = intern(v, &mut nodes, &mut index_of);
+            let (a, b) = if ui < vi { (ui, vi) } else { (vi, ui) };
+            edge_list.push((a, b, w));
+        }
+        let n = nodes.len();
+        let mut degree = vec![0usize; n];
+        for &(u, v, _) in &edge_list {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0 as NodeIndex; acc];
+        let mut adj_edge_ids = vec![0 as EdgeIndex; acc];
+        for (eid, &(u, v, _)) in edge_list.iter().enumerate() {
+            let eid = eid as EdgeIndex;
+            neighbors[cursor[u as usize]] = v;
+            adj_edge_ids[cursor[u as usize]] = eid;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            adj_edge_ids[cursor[v as usize]] = eid;
+            cursor[v as usize] += 1;
+        }
+        CsrGraph {
+            nodes,
+            index_of,
+            offsets,
+            neighbors,
+            adj_edge_ids,
+            edges: edge_list,
+        }
+    }
+
+    /// Build from a pruned keyword graph, using ρ as the edge weight.
+    pub fn from_pruned(graph: &PrunedGraph) -> Self {
+        Self::from_weighted_edges(graph.edges().iter().map(|e| (e.u, e.v, e.rho)))
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The keyword id of a dense node index.
+    pub fn keyword(&self, node: NodeIndex) -> KeywordId {
+        self.nodes[node as usize]
+    }
+
+    /// The dense node index of a keyword id, if present.
+    pub fn node_of(&self, keyword: KeywordId) -> Option<NodeIndex> {
+        self.index_of.get(&keyword).copied()
+    }
+
+    /// The endpoints and weight of an edge.
+    pub fn edge(&self, edge: EdgeIndex) -> (NodeIndex, NodeIndex, f64) {
+        self.edges[edge as usize]
+    }
+
+    /// Degree of a node.
+    pub fn degree(&self, node: NodeIndex) -> usize {
+        let u = node as usize;
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// Neighbours of a node as `(neighbour, edge_id)` pairs.
+    pub fn neighbors(&self, node: NodeIndex) -> impl Iterator<Item = (NodeIndex, EdgeIndex)> + '_ {
+        let u = node as usize;
+        (self.offsets[u]..self.offsets[u + 1]).map(move |i| (self.neighbors[i], self.adj_edge_ids[i]))
+    }
+
+    /// All node indices.
+    pub fn node_indices(&self) -> impl Iterator<Item = NodeIndex> {
+        (0..self.nodes.len() as NodeIndex).collect::<Vec<_>>().into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kw(id: u32) -> KeywordId {
+        KeywordId(id)
+    }
+
+    #[test]
+    fn builds_adjacency_in_both_directions() {
+        let g = CsrGraph::from_weighted_edges(vec![
+            (kw(10), kw(20), 0.5),
+            (kw(20), kw(30), 0.9),
+        ]);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        let n20 = g.node_of(kw(20)).unwrap();
+        let neighbours: Vec<KeywordId> = g.neighbors(n20).map(|(n, _)| g.keyword(n)).collect();
+        assert_eq!(neighbours.len(), 2);
+        assert!(neighbours.contains(&kw(10)));
+        assert!(neighbours.contains(&kw(30)));
+        assert_eq!(g.degree(n20), 2);
+        let n10 = g.node_of(kw(10)).unwrap();
+        assert_eq!(g.degree(n10), 1);
+    }
+
+    #[test]
+    fn edge_ids_shared_between_directions() {
+        let g = CsrGraph::from_weighted_edges(vec![(kw(1), kw(2), 0.3)]);
+        let n1 = g.node_of(kw(1)).unwrap();
+        let n2 = g.node_of(kw(2)).unwrap();
+        let (_, e_from_1) = g.neighbors(n1).next().unwrap();
+        let (_, e_from_2) = g.neighbors(n2).next().unwrap();
+        assert_eq!(e_from_1, e_from_2);
+        let (a, b, w) = g.edge(e_from_1);
+        assert_eq!((a.min(b), a.max(b)), (n1.min(n2), n1.max(n2)));
+        assert!((w - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let g = CsrGraph::from_weighted_edges(vec![(kw(1), kw(1), 0.9), (kw(1), kw(2), 0.5)]);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_weighted_edges(Vec::<(KeywordId, KeywordId, f64)>::new());
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn missing_keyword_lookup() {
+        let g = CsrGraph::from_weighted_edges(vec![(kw(1), kw(2), 1.0)]);
+        assert!(g.node_of(kw(99)).is_none());
+    }
+}

@@ -1,0 +1,165 @@
+//! The keyword co-occurrence graph `G`.
+//!
+//! Vertices are keywords; an edge `(u, v)` with weight `A(u,v)` exists when
+//! at least one document of the interval contains both keywords. The graph
+//! also carries the per-keyword document counts `A(u)` and the interval's
+//! document count `n`, which the χ²/ρ statistics need.
+
+use std::collections::HashMap;
+
+use bsc_corpus::pairs::PairCounts;
+use bsc_corpus::vocabulary::KeywordId;
+
+/// An edge of the keyword graph, with `u < v`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeywordEdge {
+    /// First endpoint (smaller id).
+    pub u: KeywordId,
+    /// Second endpoint (larger id).
+    pub v: KeywordId,
+    /// `A(u,v)`: number of documents containing both keywords.
+    pub count: u64,
+}
+
+/// The keyword graph `G` for one temporal interval.
+#[derive(Debug, Clone, Default)]
+pub struct KeywordGraph {
+    num_documents: u64,
+    keyword_counts: HashMap<KeywordId, u64>,
+    edges: Vec<KeywordEdge>,
+}
+
+impl KeywordGraph {
+    /// `n`: the number of documents of the interval.
+    pub fn num_documents(&self) -> u64 {
+        self.num_documents
+    }
+
+    /// Number of distinct keywords (vertices).
+    pub fn num_keywords(&self) -> usize {
+        self.keyword_counts.len()
+    }
+
+    /// Number of co-occurrence edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `A(u)`: number of documents containing keyword `u`.
+    pub fn keyword_count(&self, u: KeywordId) -> u64 {
+        self.keyword_counts.get(&u).copied().unwrap_or(0)
+    }
+
+    /// The edges of the graph (unordered).
+    pub fn edges(&self) -> &[KeywordEdge] {
+        &self.edges
+    }
+
+    /// Iterate over `(u, A(u))`.
+    pub fn keywords(&self) -> impl Iterator<Item = (KeywordId, u64)> + '_ {
+        self.keyword_counts.iter().map(|(&k, &c)| (k, c))
+    }
+}
+
+/// Builder for [`KeywordGraph`].
+#[derive(Debug, Clone, Default)]
+pub struct KeywordGraphBuilder {
+    graph: KeywordGraph,
+}
+
+impl KeywordGraphBuilder {
+    /// Start an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the interval document count `n`.
+    pub fn num_documents(mut self, n: u64) -> Self {
+        self.graph.num_documents = n;
+        self
+    }
+
+    /// Record the per-keyword document count `A(u)`.
+    pub fn keyword(mut self, u: KeywordId, count: u64) -> Self {
+        self.graph.keyword_counts.insert(u, count);
+        self
+    }
+
+    /// Add a co-occurrence edge with count `A(u,v)`. Endpoints are normalized
+    /// so that the stored edge has `u < v`; self loops are ignored.
+    pub fn edge(mut self, u: KeywordId, v: KeywordId, count: u64) -> Self {
+        if u == v {
+            return self;
+        }
+        let (u, v) = if u < v { (u, v) } else { (v, u) };
+        self.graph.edges.push(KeywordEdge { u, v, count });
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> KeywordGraph {
+        self.graph
+    }
+
+    /// Build a keyword graph directly from aggregated pair counts.
+    pub fn from_pair_counts(counts: &PairCounts) -> KeywordGraph {
+        let mut builder = KeywordGraphBuilder::new().num_documents(counts.num_documents());
+        for (keyword, count) in counts.iter_keywords() {
+            builder = builder.keyword(keyword, count);
+        }
+        for (u, v, count) in counts.iter_pairs() {
+            builder = builder.edge(u, v, count);
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsc_corpus::document::{Document, DocumentId};
+    use bsc_corpus::pairs::PairCounter;
+    use bsc_corpus::timeline::IntervalId;
+
+    fn kw(id: u32) -> KeywordId {
+        KeywordId(id)
+    }
+
+    #[test]
+    fn builder_normalizes_edges_and_skips_self_loops() {
+        let graph = KeywordGraphBuilder::new()
+            .num_documents(10)
+            .keyword(kw(1), 4)
+            .keyword(kw(2), 5)
+            .edge(kw(2), kw(1), 3)
+            .edge(kw(1), kw(1), 9)
+            .build();
+        assert_eq!(graph.num_edges(), 1);
+        let edge = graph.edges()[0];
+        assert_eq!((edge.u, edge.v, edge.count), (kw(1), kw(2), 3));
+        assert_eq!(graph.num_keywords(), 2);
+        assert_eq!(graph.keyword_count(kw(2)), 5);
+        assert_eq!(graph.keyword_count(kw(9)), 0);
+        assert_eq!(graph.num_documents(), 10);
+    }
+
+    #[test]
+    fn from_pair_counts_matches_manual_construction() {
+        let docs = vec![
+            Document::new(DocumentId(1), IntervalId(0), [kw(1), kw(2), kw(3)]),
+            Document::new(DocumentId(2), IntervalId(0), [kw(1), kw(2)]),
+            Document::new(DocumentId(3), IntervalId(0), [kw(3)]),
+        ];
+        let counts = PairCounter::in_memory().count(&docs).unwrap();
+        let graph = KeywordGraphBuilder::from_pair_counts(&counts);
+        assert_eq!(graph.num_documents(), 3);
+        assert_eq!(graph.num_keywords(), 3);
+        assert_eq!(graph.num_edges(), 3);
+        let edge_12 = graph
+            .edges()
+            .iter()
+            .find(|e| e.u == kw(1) && e.v == kw(2))
+            .unwrap();
+        assert_eq!(edge_12.count, 2);
+    }
+}

@@ -1,0 +1,36 @@
+//! # bsc-graph
+//!
+//! Keyword co-occurrence graphs and cluster generation (Section 3 of the
+//! paper).
+//!
+//! Given per-interval pair counts (`A(u,v)`, `A(u)`, `n` from
+//! [`bsc_corpus::pairs`]), this crate:
+//!
+//! 1. builds the **keyword graph** `G` whose vertices are keywords and whose
+//!    edges carry the co-occurrence count `A(u,v)` ([`keyword_graph`]);
+//! 2. prunes edges with the **χ² independence test** at the 95% level
+//!    (χ² > 3.84) and the **correlation coefficient** threshold (ρ > 0.2),
+//!    producing the graph `G′` of strongly correlated keyword pairs
+//!    ([`stats`], [`prune`]);
+//! 3. finds all **articulation points and biconnected components** of `G′`
+//!    with a DFS whose edge stack can be paged to secondary storage
+//!    ([`biconnected`], [`csr`]);
+//! 4. reports the biconnected components (and, optionally, the connected
+//!    components) as **keyword clusters** ([`cluster`], [`components`]).
+
+#![warn(missing_docs)]
+
+pub mod biconnected;
+pub mod cluster;
+pub mod components;
+pub mod csr;
+pub mod keyword_graph;
+pub mod prune;
+pub mod stats;
+
+pub use biconnected::{BiconnectedComponents, BiconnectedResult};
+pub use cluster::{ClusterExtractionMode, ClusterExtractor, KeywordCluster};
+pub use csr::CsrGraph;
+pub use keyword_graph::{KeywordEdge, KeywordGraph, KeywordGraphBuilder};
+pub use prune::{PruneConfig, PruneStats, PrunedGraph};
+pub use stats::{chi_square, correlation_coefficient, CHI_SQUARE_95};

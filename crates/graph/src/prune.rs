@@ -1,0 +1,264 @@
+//! Edge pruning: χ² filter followed by the correlation-coefficient filter.
+//!
+//! Both filters are computed "with a single pass of the edges of G", which is
+//! exactly what [`PruneConfig::prune`] does; the result is the graph `G′`
+//! whose edges connect strongly correlated keyword pairs, annotated with ρ.
+
+use bsc_corpus::vocabulary::KeywordId;
+
+use crate::keyword_graph::KeywordGraph;
+use crate::stats::{chi_square, correlation_coefficient, CHI_SQUARE_95, DEFAULT_RHO_THRESHOLD};
+
+/// A surviving, correlation-annotated edge of the pruned graph `G′`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorrelatedEdge {
+    /// First endpoint (smaller id).
+    pub u: KeywordId,
+    /// Second endpoint (larger id).
+    pub v: KeywordId,
+    /// Co-occurrence count `A(u,v)`.
+    pub count: u64,
+    /// χ² statistic of the pair.
+    pub chi_square: f64,
+    /// Correlation coefficient ρ of the pair (edge weight of `G′`).
+    pub rho: f64,
+}
+
+/// Thresholds for the two pruning filters.
+#[derive(Debug, Clone, Copy)]
+pub struct PruneConfig {
+    /// Minimum χ² value (exclusive) for an edge to survive. The paper uses
+    /// the 95% critical value 3.84.
+    pub chi_square_threshold: f64,
+    /// Minimum correlation coefficient (exclusive). The paper uses 0.2.
+    pub rho_threshold: f64,
+    /// Minimum co-occurrence count; pairs seen fewer times are dropped
+    /// outright (0 disables the filter). Useful to suppress hapax noise when
+    /// generating clusters from tiny corpora.
+    pub min_pair_count: u64,
+}
+
+impl Default for PruneConfig {
+    fn default() -> Self {
+        PruneConfig {
+            chi_square_threshold: CHI_SQUARE_95,
+            rho_threshold: DEFAULT_RHO_THRESHOLD,
+            min_pair_count: 0,
+        }
+    }
+}
+
+impl PruneConfig {
+    /// The paper's configuration (χ² > 3.84, ρ > 0.2).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Use a different ρ threshold (Figure 6 sweeps this parameter).
+    pub fn with_rho(mut self, rho: f64) -> Self {
+        self.rho_threshold = rho;
+        self
+    }
+
+    /// Use a different minimum pair count.
+    pub fn with_min_pair_count(mut self, count: u64) -> Self {
+        self.min_pair_count = count;
+        self
+    }
+
+    /// Apply both filters in one pass over the edges of `graph`, producing
+    /// `G′` and pruning statistics.
+    pub fn prune(&self, graph: &KeywordGraph) -> (PrunedGraph, PruneStats) {
+        let n = graph.num_documents();
+        let mut stats = PruneStats {
+            input_edges: graph.num_edges(),
+            ..Default::default()
+        };
+        let mut edges = Vec::new();
+        for edge in graph.edges() {
+            if edge.count < self.min_pair_count {
+                stats.dropped_by_count += 1;
+                continue;
+            }
+            let a_u = graph.keyword_count(edge.u);
+            let a_v = graph.keyword_count(edge.v);
+            let chi2 = chi_square(edge.count, a_u, a_v, n);
+            if chi2 <= self.chi_square_threshold {
+                stats.dropped_by_chi_square += 1;
+                continue;
+            }
+            let rho = correlation_coefficient(edge.count, a_u, a_v, n);
+            if rho <= self.rho_threshold {
+                stats.dropped_by_rho += 1;
+                continue;
+            }
+            edges.push(CorrelatedEdge {
+                u: edge.u,
+                v: edge.v,
+                count: edge.count,
+                chi_square: chi2,
+                rho,
+            });
+        }
+        stats.surviving_edges = edges.len();
+        (
+            PrunedGraph {
+                num_documents: n,
+                edges,
+            },
+            stats,
+        )
+    }
+}
+
+/// Statistics of a pruning pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Edges in the input graph `G`.
+    pub input_edges: usize,
+    /// Edges dropped by the minimum-count filter.
+    pub dropped_by_count: usize,
+    /// Edges dropped by the χ² test.
+    pub dropped_by_chi_square: usize,
+    /// Edges that passed χ² but fell below the ρ threshold.
+    pub dropped_by_rho: usize,
+    /// Edges of the output graph `G′`.
+    pub surviving_edges: usize,
+}
+
+/// The pruned, correlation-annotated keyword graph `G′`.
+#[derive(Debug, Clone, Default)]
+pub struct PrunedGraph {
+    num_documents: u64,
+    edges: Vec<CorrelatedEdge>,
+}
+
+impl PrunedGraph {
+    /// Construct directly from edges (used by tests and baselines).
+    pub fn from_edges(num_documents: u64, edges: Vec<CorrelatedEdge>) -> Self {
+        PrunedGraph {
+            num_documents,
+            edges,
+        }
+    }
+
+    /// `n`: the number of documents of the interval.
+    pub fn num_documents(&self) -> u64 {
+        self.num_documents
+    }
+
+    /// The surviving edges.
+    pub fn edges(&self) -> &[CorrelatedEdge] {
+        &self.edges
+    }
+
+    /// Number of surviving edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The distinct vertices incident to at least one surviving edge, sorted.
+    pub fn vertices(&self) -> Vec<KeywordId> {
+        let mut v: Vec<KeywordId> = self
+            .edges
+            .iter()
+            .flat_map(|e| [e.u, e.v])
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keyword_graph::KeywordGraphBuilder;
+
+    fn kw(id: u32) -> KeywordId {
+        KeywordId(id)
+    }
+
+    /// A small graph with one strongly correlated pair, one independent pair
+    /// and one weakly correlated pair.
+    fn sample_graph() -> KeywordGraph {
+        KeywordGraphBuilder::new()
+            .num_documents(1000)
+            .keyword(kw(1), 100) // "iphone"
+            .keyword(kw(2), 90) // "apple"
+            .keyword(kw(3), 200) // background word
+            .keyword(kw(4), 300) // background word
+            .keyword(kw(5), 150)
+            // Strong: iphone & apple co-occur 80 times (expectation 9).
+            .edge(kw(1), kw(2), 80)
+            // Independent: expectation 200*300/1000 = 60, observed 60.
+            .edge(kw(3), kw(4), 60)
+            // Statistically significant but weak: expectation 100*150/1000=15,
+            // observed 25 -> chi2 high-ish, rho small.
+            .edge(kw(1), kw(5), 25)
+            .build()
+    }
+
+    #[test]
+    fn paper_thresholds_keep_only_strong_edges() {
+        let (pruned, stats) = PruneConfig::paper().prune(&sample_graph());
+        assert_eq!(stats.input_edges, 3);
+        assert_eq!(pruned.num_edges(), 1);
+        let edge = pruned.edges()[0];
+        assert_eq!((edge.u, edge.v), (kw(1), kw(2)));
+        assert!(edge.rho > 0.2);
+        assert!(edge.chi_square > CHI_SQUARE_95);
+        assert_eq!(
+            stats.dropped_by_chi_square + stats.dropped_by_rho + stats.dropped_by_count,
+            2
+        );
+        assert_eq!(stats.surviving_edges, 1);
+    }
+
+    #[test]
+    fn chi_square_only_keeps_significant_weak_edges() {
+        let config = PruneConfig {
+            rho_threshold: 0.0,
+            ..PruneConfig::default()
+        };
+        let (pruned, _) = config.prune(&sample_graph());
+        // The weak-but-significant edge (1,5) now survives too.
+        assert_eq!(pruned.num_edges(), 2);
+    }
+
+    #[test]
+    fn higher_rho_prunes_more() {
+        let graph = sample_graph();
+        let (low, _) = PruneConfig::paper().with_rho(0.1).prune(&graph);
+        let (high, _) = PruneConfig::paper().with_rho(0.9).prune(&graph);
+        assert!(high.num_edges() <= low.num_edges());
+    }
+
+    #[test]
+    fn min_pair_count_filter() {
+        let (pruned, stats) = PruneConfig::paper()
+            .with_min_pair_count(1000)
+            .prune(&sample_graph());
+        assert_eq!(pruned.num_edges(), 0);
+        assert_eq!(stats.dropped_by_count, 3);
+    }
+
+    #[test]
+    fn vertices_are_sorted_and_deduplicated() {
+        let (pruned, _) = PruneConfig::paper().with_rho(0.0).prune(&sample_graph());
+        let vertices = pruned.vertices();
+        let mut sorted = vertices.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(vertices, sorted);
+        assert!(vertices.contains(&kw(1)));
+    }
+
+    #[test]
+    fn empty_graph_prunes_to_empty() {
+        let graph = KeywordGraphBuilder::new().num_documents(100).build();
+        let (pruned, stats) = PruneConfig::paper().prune(&graph);
+        assert_eq!(pruned.num_edges(), 0);
+        assert_eq!(stats.input_edges, 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Statistical association measures between keyword pairs.
+//!
+//! Two measures are used by the paper (Section 3):
+//!
+//! * the **χ² independence test** over the 2×2 contingency table of keyword
+//!   presence (Equation 1): an edge survives when χ² exceeds the 95%
+//!   critical value 3.84;
+//! * the **correlation coefficient** ρ (Equation 2), computed with the
+//!   simplified closed form of Equation 3 that only needs `A(u,v)`, `A(u)`,
+//!   `A(v)` and `n` — the χ² test detects *presence* of a correlation while ρ
+//!   measures its *strength*, so a second threshold ρ > 0.2 removes weak
+//!   correlations that large `n` makes statistically significant.
+
+/// 95%-confidence critical value of the χ² distribution with one degree of
+/// freedom: the paper prunes edges with `χ² ≤ 3.84`.
+pub const CHI_SQUARE_95: f64 = 3.84;
+
+/// Default correlation-coefficient threshold used by the paper (ρ > 0.2).
+pub const DEFAULT_RHO_THRESHOLD: f64 = 0.2;
+
+/// The χ² statistic of Equation 1 for the 2×2 contingency table of the
+/// presence of keywords `u` and `v` over `n` documents.
+///
+/// * `a_uv` — number of documents containing both `u` and `v`;
+/// * `a_u`, `a_v` — number of documents containing `u` (resp. `v`);
+/// * `n` — total number of documents.
+///
+/// Returns 0.0 for degenerate tables (a keyword appearing in no document or
+/// in every document), for which independence cannot be questioned.
+pub fn chi_square(a_uv: u64, a_u: u64, a_v: u64, n: u64) -> f64 {
+    let n_f = n as f64;
+    if n == 0 {
+        return 0.0;
+    }
+    let a_u = a_u as f64;
+    let a_v = a_v as f64;
+    let a_uv = a_uv as f64;
+    // Observed contingency table.
+    let o11 = a_uv; // u and v
+    let o12 = a_u - a_uv; // u, not v
+    let o21 = a_v - a_uv; // not u, v
+    let o22 = n_f - a_u - a_v + a_uv; // neither
+    // Expected counts under independence.
+    let not_u = n_f - a_u;
+    let not_v = n_f - a_v;
+    let e11 = a_u * a_v / n_f;
+    let e12 = a_u * not_v / n_f;
+    let e21 = not_u * a_v / n_f;
+    let e22 = not_u * not_v / n_f;
+    if e11 <= 0.0 || e12 <= 0.0 || e21 <= 0.0 || e22 <= 0.0 {
+        return 0.0;
+    }
+    let term = |o: f64, e: f64| (e - o) * (e - o) / e;
+    term(o11, e11) + term(o12, e12) + term(o21, e21) + term(o22, e22)
+}
+
+/// The correlation coefficient ρ(u, v) of Equation 3:
+///
+/// ```text
+///            n·A(u,v) − A(u)·A(v)
+/// ρ = ───────────────────────────────────────
+///     sqrt((n−A(u))·A(u)) · sqrt((n−A(v))·A(v))
+/// ```
+///
+/// Returns 0.0 when either keyword appears in no document or in every
+/// document (zero variance).
+pub fn correlation_coefficient(a_uv: u64, a_u: u64, a_v: u64, n: u64) -> f64 {
+    if n == 0 || a_u == 0 || a_v == 0 || a_u >= n || a_v >= n {
+        return 0.0;
+    }
+    let n = n as f64;
+    let a_u = a_u as f64;
+    let a_v = a_v as f64;
+    let a_uv = a_uv as f64;
+    let numerator = n * a_uv - a_u * a_v;
+    let denominator = ((n - a_u) * a_u).sqrt() * ((n - a_v) * a_v).sqrt();
+    if denominator == 0.0 {
+        return 0.0;
+    }
+    (numerator / denominator).clamp(-1.0, 1.0)
+}
+
+/// Is the pair correlated at the 95% level according to the χ² test?
+pub fn is_significant(a_uv: u64, a_u: u64, a_v: u64, n: u64) -> bool {
+    chi_square(a_uv, a_u, a_v, n) > CHI_SQUARE_95
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn chi_square_hand_computed_example() {
+        // 2x2 table: n = 100, A(u) = 30, A(v) = 40, A(uv) = 25.
+        // E(uv) = 12, E(u!v) = 18, E(!uv) = 28, E(!u!v) = 42.
+        // chi2 = 169/12 + 169/18 + 169/28 + 169/42 = 33.493...
+        let chi2 = chi_square(25, 30, 40, 100);
+        assert!((chi2 - 33.5317460).abs() < 1e-6, "got {chi2}");
+    }
+
+    #[test]
+    fn chi_square_zero_for_independent_counts() {
+        // A(uv) exactly matches the independence expectation.
+        // n=100, A(u)=20, A(v)=50 => E(uv)=10.
+        let chi2 = chi_square(10, 20, 50, 100);
+        assert!(chi2.abs() < 1e-9, "got {chi2}");
+    }
+
+    #[test]
+    fn chi_square_degenerate_tables() {
+        assert_eq!(chi_square(0, 0, 10, 100), 0.0);
+        assert_eq!(chi_square(10, 100, 10, 100), 0.0);
+        assert_eq!(chi_square(0, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn correlation_hand_computed_example() {
+        // n=100, A(u)=30, A(v)=40, A(uv)=25:
+        // rho = (100*25 - 30*40) / (sqrt(70*30) * sqrt(60*40))
+        //     = 1300 / (45.8257569 * 48.9897949) = 0.579...
+        let rho = correlation_coefficient(25, 30, 40, 100);
+        assert!((rho - 0.5790660).abs() < 1e-6, "got {rho}");
+    }
+
+    #[test]
+    fn correlation_is_one_for_perfect_cooccurrence() {
+        let rho = correlation_coefficient(50, 50, 50, 100);
+        assert!((rho - 1.0).abs() < 1e-9, "got {rho}");
+    }
+
+    #[test]
+    fn correlation_is_negative_for_disjoint_keywords() {
+        let rho = correlation_coefficient(0, 50, 50, 100);
+        assert!((rho + 1.0).abs() < 1e-9, "got {rho}");
+    }
+
+    #[test]
+    fn correlation_zero_for_independent_counts() {
+        let rho = correlation_coefficient(10, 20, 50, 100);
+        assert!(rho.abs() < 1e-9, "got {rho}");
+    }
+
+    #[test]
+    fn correlation_degenerate_cases() {
+        assert_eq!(correlation_coefficient(5, 0, 10, 100), 0.0);
+        assert_eq!(correlation_coefficient(5, 10, 0, 100), 0.0);
+        assert_eq!(correlation_coefficient(100, 100, 50, 100), 0.0);
+        assert_eq!(correlation_coefficient(0, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn significance_threshold() {
+        assert!(is_significant(25, 30, 40, 100));
+        assert!(!is_significant(10, 20, 50, 100));
+    }
+
+    #[test]
+    fn chi_square_grows_with_n_for_fixed_rates() {
+        // Same proportions, more data: chi2 grows, rho stays the same.
+        let chi_small = chi_square(15, 30, 30, 100);
+        let chi_large = chi_square(150, 300, 300, 1000);
+        assert!(chi_large > chi_small * 5.0);
+        let rho_small = correlation_coefficient(15, 30, 30, 100);
+        let rho_large = correlation_coefficient(150, 300, 300, 1000);
+        assert!((rho_small - rho_large).abs() < 1e-9);
+    }
+
+    /// A strategy producing consistent contingency counts:
+    /// a_uv <= min(a_u, a_v), a_u + a_v - a_uv <= n.
+    fn contingency() -> impl Strategy<Value = (u64, u64, u64, u64)> {
+        (2u64..500).prop_flat_map(|n| {
+            (1u64..=n, 1u64..=n).prop_flat_map(move |(a_u, a_v)| {
+                let lower = (a_u + a_v).saturating_sub(n);
+                let upper = a_u.min(a_v);
+                (lower..=upper).prop_map(move |a_uv| (a_uv, a_u, a_v, n))
+            })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_chi_square_nonnegative((a_uv, a_u, a_v, n) in contingency()) {
+            prop_assert!(chi_square(a_uv, a_u, a_v, n) >= 0.0);
+        }
+
+        #[test]
+        fn prop_correlation_in_range((a_uv, a_u, a_v, n) in contingency()) {
+            let rho = correlation_coefficient(a_uv, a_u, a_v, n);
+            prop_assert!((-1.0..=1.0).contains(&rho), "rho = {rho}");
+        }
+
+        #[test]
+        fn prop_correlation_symmetric((a_uv, a_u, a_v, n) in contingency()) {
+            let a = correlation_coefficient(a_uv, a_u, a_v, n);
+            let b = correlation_coefficient(a_uv, a_v, a_u, n);
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_chi_square_symmetric((a_uv, a_u, a_v, n) in contingency()) {
+            let a = chi_square(a_uv, a_u, a_v, n);
+            let b = chi_square(a_uv, a_v, a_u, n);
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_positive_association_positive_rho((a_u, a_v) in (1u64..50, 1u64..50)) {
+            // If co-occurrence exceeds the independence expectation, rho > 0.
+            let n = 200u64;
+            let expected = (a_u * a_v) as f64 / n as f64;
+            let a_uv = (expected.ceil() as u64 + 1).min(a_u.min(a_v));
+            prop_assume!((a_uv as f64) > expected);
+            let rho = correlation_coefficient(a_uv, a_u, a_v, n);
+            prop_assert!(rho > 0.0, "rho = {rho}");
+        }
+    }
+}

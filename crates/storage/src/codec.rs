@@ -1,0 +1,393 @@
+//! Compact binary encoding for on-disk records.
+//!
+//! Every record written by the storage substrate — keyword pairs, graph
+//! edges, per-node DFS state — goes through this hand-rolled codec rather
+//! than a general-purpose serialization framework. Integers use LEB128-style
+//! varints so that small ids (the common case for keyword and cluster ids)
+//! occupy one or two bytes; floats are stored as fixed 8-byte little-endian
+//! IEEE-754 values; strings and sequences are length-prefixed.
+
+use bytes::{Buf, BufMut};
+
+use crate::StorageError;
+
+/// Types that can be appended to a byte buffer.
+pub trait Encode {
+    /// Append the binary representation of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Convenience: encode into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+}
+
+/// Types that can be decoded from a byte slice cursor.
+pub trait Decode: Sized {
+    /// Decode a value from the front of `buf`, advancing the cursor.
+    fn decode(buf: &mut &[u8]) -> Result<Self, StorageError>;
+
+    /// Convenience: decode from a complete byte slice, requiring that every
+    /// byte is consumed.
+    fn from_bytes(mut bytes: &[u8]) -> Result<Self, StorageError> {
+        let value = Self::decode(&mut bytes)?;
+        if !bytes.is_empty() {
+            return Err(StorageError::Corrupt(format!(
+                "{} trailing bytes after decode",
+                bytes.len()
+            )));
+        }
+        Ok(value)
+    }
+}
+
+/// Write an unsigned LEB128 varint.
+pub fn write_varint(buf: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Read an unsigned LEB128 varint.
+pub fn read_varint(buf: &mut &[u8]) -> Result<u64, StorageError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if buf.is_empty() {
+            return Err(StorageError::Corrupt("truncated varint".into()));
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 {
+            return Err(StorageError::Corrupt("varint overflow".into()));
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// ZigZag-encode a signed integer so small magnitudes stay small.
+fn zigzag(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+fn unzigzag(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+macro_rules! impl_unsigned {
+    ($($ty:ty),*) => {
+        $(
+            impl Encode for $ty {
+                fn encode(&self, buf: &mut Vec<u8>) {
+                    write_varint(buf, *self as u64);
+                }
+            }
+            impl Decode for $ty {
+                fn decode(buf: &mut &[u8]) -> Result<Self, StorageError> {
+                    let v = read_varint(buf)?;
+                    <$ty>::try_from(v).map_err(|_| {
+                        StorageError::Corrupt(format!("varint {v} out of range for {}", stringify!($ty)))
+                    })
+                }
+            }
+        )*
+    };
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($ty:ty),*) => {
+        $(
+            impl Encode for $ty {
+                fn encode(&self, buf: &mut Vec<u8>) {
+                    write_varint(buf, zigzag(*self as i64));
+                }
+            }
+            impl Decode for $ty {
+                fn decode(buf: &mut &[u8]) -> Result<Self, StorageError> {
+                    let v = unzigzag(read_varint(buf)?);
+                    <$ty>::try_from(v).map_err(|_| {
+                        StorageError::Corrupt(format!("value {v} out of range for {}", stringify!($ty)))
+                    })
+                }
+            }
+        )*
+    };
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Encode for f64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_f64_le(*self);
+    }
+}
+
+impl Decode for f64 {
+    fn decode(buf: &mut &[u8]) -> Result<Self, StorageError> {
+        if buf.len() < 8 {
+            return Err(StorageError::Corrupt("truncated f64".into()));
+        }
+        Ok(buf.get_f64_le())
+    }
+}
+
+impl Encode for f32 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_f32_le(*self);
+    }
+}
+
+impl Decode for f32 {
+    fn decode(buf: &mut &[u8]) -> Result<Self, StorageError> {
+        if buf.len() < 4 {
+            return Err(StorageError::Corrupt("truncated f32".into()));
+        }
+        Ok(buf.get_f32_le())
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_u8(u8::from(*self));
+    }
+}
+
+impl Decode for bool {
+    fn decode(buf: &mut &[u8]) -> Result<Self, StorageError> {
+        if buf.is_empty() {
+            return Err(StorageError::Corrupt("truncated bool".into()));
+        }
+        match buf.get_u8() {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(StorageError::Corrupt(format!("invalid bool byte {other}"))),
+        }
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.as_str().encode(buf);
+    }
+}
+
+impl Encode for &str {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        write_varint(buf, self.len() as u64);
+        buf.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl Decode for String {
+    fn decode(buf: &mut &[u8]) -> Result<Self, StorageError> {
+        let len = read_varint(buf)? as usize;
+        if buf.len() < len {
+            return Err(StorageError::Corrupt("truncated string".into()));
+        }
+        let (head, tail) = buf.split_at(len);
+        let s = std::str::from_utf8(head)
+            .map_err(|e| StorageError::Corrupt(format!("invalid utf8: {e}")))?
+            .to_owned();
+        *buf = tail;
+        Ok(s)
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        write_varint(buf, self.len() as u64);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, StorageError> {
+        let len = read_varint(buf)? as usize;
+        // Guard against absurd lengths from corrupted data before allocating.
+        let cap = len.min(1 << 20);
+        let mut out = Vec::with_capacity(cap);
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, StorageError> {
+        if buf.is_empty() {
+            return Err(StorageError::Corrupt("truncated option".into()));
+        }
+        match buf.get_u8() {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            other => Err(StorageError::Corrupt(format!(
+                "invalid option discriminant {other}"
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Encode),+> Encode for ($($name,)+) {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                $(self.$idx.encode(buf);)+
+            }
+        }
+        impl<$($name: Decode),+> Decode for ($($name,)+) {
+            fn decode(buf: &mut &[u8]) -> Result<Self, StorageError> {
+                Ok(($($name::decode(buf)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(A: 0);
+impl_tuple!(A: 0, B: 1);
+impl_tuple!(A: 0, B: 1, C: 2);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = value.to_bytes();
+        let decoded = T::from_bytes(&bytes).expect("decode");
+        assert_eq!(decoded, value);
+    }
+
+    #[test]
+    fn varint_small_values_are_one_byte() {
+        for v in 0u64..128 {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert_eq!(buf.len(), 1, "value {v}");
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        for v in [0, 1, 127, 128, 255, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut slice = buf.as_slice();
+            assert_eq!(read_varint(&mut slice).unwrap(), v);
+            assert!(slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn truncated_varint_is_error() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX);
+        buf.pop();
+        let mut slice = buf.as_slice();
+        assert!(read_varint(&mut slice).is_err());
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        roundtrip(42u32);
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(-17i32);
+        roundtrip(i64::MIN);
+        roundtrip(3.5f64);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(String::from("saddam hussein trial"));
+        roundtrip(String::new());
+    }
+
+    #[test]
+    fn composite_roundtrips() {
+        roundtrip(vec![1u32, 2, 3, 4]);
+        roundtrip(Vec::<u32>::new());
+        roundtrip(Some(9u32));
+        roundtrip(Option::<u32>::None);
+        roundtrip((1u32, 2.5f64, String::from("iphone")));
+        roundtrip(vec![(1u32, 2u32, 0.8f64), (3, 4, 0.1)]);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = 5u32.to_bytes();
+        bytes.push(0);
+        assert!(u32::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn invalid_bool_rejected() {
+        assert!(bool::from_bytes(&[7]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_unsigned_rejected() {
+        let bytes = (300u64).to_bytes();
+        assert!(u8::from_bytes(&bytes).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_u64_roundtrip(v in any::<u64>()) {
+            roundtrip(v);
+        }
+
+        #[test]
+        fn prop_i64_roundtrip(v in any::<i64>()) {
+            roundtrip(v);
+        }
+
+        #[test]
+        fn prop_string_roundtrip(s in ".{0,64}") {
+            roundtrip(s);
+        }
+
+        #[test]
+        fn prop_vec_tuple_roundtrip(v in proptest::collection::vec((any::<u32>(), any::<u32>(), 0.0f64..1.0), 0..32)) {
+            roundtrip(v);
+        }
+
+        #[test]
+        fn prop_f64_roundtrip(v in proptest::num::f64::NORMAL | proptest::num::f64::ZERO) {
+            roundtrip(v);
+        }
+
+        #[test]
+        fn prop_zigzag_inverse(v in any::<i64>()) {
+            prop_assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

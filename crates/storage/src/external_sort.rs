@@ -1,0 +1,390 @@
+//! Bounded-memory external merge sort.
+//!
+//! Section 3 of the paper aggregates keyword pairs by writing every pair
+//! occurrence to a file and sorting that file lexicographically "using
+//! external memory merge sort" so that identical pairs become adjacent and
+//! can be counted in a single pass. [`ExternalSorter`] implements exactly
+//! that: it buffers records up to a memory budget, writes sorted runs to
+//! spill files, and merges the runs with a k-way merge driven by a binary
+//! heap.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::marker::PhantomData;
+
+use crate::codec::{Decode, Encode};
+use crate::record_file::{RecordReader, RecordWriter};
+use crate::temp::TempDir;
+use crate::Result;
+
+/// Configuration for an [`ExternalSorter`].
+#[derive(Debug, Clone)]
+pub struct SortConfig {
+    /// Maximum number of records buffered in memory before a run is spilled.
+    pub max_records_in_memory: usize,
+    /// Maximum number of runs merged at once (fan-in). If more runs exist,
+    /// intermediate merge passes are performed.
+    pub merge_fan_in: usize,
+}
+
+impl Default for SortConfig {
+    fn default() -> Self {
+        SortConfig {
+            max_records_in_memory: 1 << 20,
+            merge_fan_in: 64,
+        }
+    }
+}
+
+impl SortConfig {
+    /// A configuration with a small in-memory buffer, useful for exercising
+    /// the spill-and-merge paths in tests.
+    pub fn tiny() -> Self {
+        SortConfig {
+            max_records_in_memory: 16,
+            merge_fan_in: 3,
+        }
+    }
+}
+
+/// External merge sorter for records of type `T`.
+///
+/// ```
+/// use bsc_storage::external_sort::{ExternalSorter, SortConfig};
+///
+/// let mut sorter: ExternalSorter<u32> = ExternalSorter::new(SortConfig::tiny()).unwrap();
+/// for v in [5u32, 3, 9, 1, 1, 7] {
+///     sorter.push(v).unwrap();
+/// }
+/// let sorted: Vec<u32> = sorter.finish().unwrap().collect::<Result<_, _>>().unwrap();
+/// assert_eq!(sorted, vec![1, 1, 3, 5, 7, 9]);
+/// ```
+#[derive(Debug)]
+pub struct ExternalSorter<T> {
+    config: SortConfig,
+    buffer: Vec<T>,
+    runs: Vec<std::path::PathBuf>,
+    spill_dir: TempDir,
+    total_records: u64,
+    _marker: PhantomData<T>,
+}
+
+impl<T: Encode + Decode + Ord> ExternalSorter<T> {
+    /// Create a sorter with the given configuration.
+    pub fn new(config: SortConfig) -> Result<Self> {
+        let spill_dir = TempDir::new("bsc-extsort")?;
+        Ok(ExternalSorter {
+            buffer: Vec::with_capacity(config.max_records_in_memory.min(1 << 16)),
+            config,
+            runs: Vec::new(),
+            spill_dir,
+            total_records: 0,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Add a record to be sorted.
+    pub fn push(&mut self, record: T) -> Result<()> {
+        self.buffer.push(record);
+        self.total_records += 1;
+        if self.buffer.len() >= self.config.max_records_in_memory {
+            self.spill_run()?;
+        }
+        Ok(())
+    }
+
+    /// Total number of records pushed.
+    pub fn len(&self) -> u64 {
+        self.total_records
+    }
+
+    /// True if no records have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.total_records == 0
+    }
+
+    /// Number of runs spilled to disk so far.
+    pub fn spilled_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    fn spill_run(&mut self) -> Result<()> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        self.buffer.sort_unstable();
+        let path = self.spill_dir.file(&format!("run-{}.rec", self.runs.len()));
+        let mut writer = RecordWriter::create(&path)?;
+        for record in self.buffer.drain(..) {
+            writer.write(&record)?;
+        }
+        writer.finish()?;
+        self.runs.push(path);
+        Ok(())
+    }
+
+    /// Finish pushing records and return an iterator over them in sorted
+    /// order.
+    pub fn finish(mut self) -> Result<SortedIter<T>> {
+        // If everything fit in memory, sort the buffer and avoid disk I/O.
+        if self.runs.is_empty() {
+            self.buffer.sort_unstable();
+            let drained = std::mem::take(&mut self.buffer);
+            return Ok(SortedIter::InMemory(drained.into_iter()));
+        }
+        self.spill_run()?;
+        // Reduce the number of runs below the fan-in with intermediate passes.
+        while self.runs.len() > self.config.merge_fan_in {
+            let group: Vec<_> = self
+                .runs
+                .drain(..self.config.merge_fan_in.min(self.runs.len()))
+                .collect();
+            let merged_path = self
+                .spill_dir
+                .file(&format!("merge-{}.rec", self.runs.len() + group.len()));
+            let mut writer: RecordWriter<T> = RecordWriter::create(&merged_path)?;
+            let mut merge: KWayMerge<T> = KWayMerge::new(&group)?;
+            while let Some(record) = merge.next_record()? {
+                writer.write(&record)?;
+            }
+            writer.finish()?;
+            for p in &group {
+                let _ = std::fs::remove_file(p);
+            }
+            self.runs.push(merged_path);
+        }
+        let merge = KWayMerge::new(&self.runs)?;
+        Ok(SortedIter::Merged {
+            merge,
+            _spill_dir: self.spill_dir,
+        })
+    }
+}
+
+/// Iterator over the sorted output of an [`ExternalSorter`].
+pub enum SortedIter<T> {
+    /// Everything fit in memory.
+    InMemory(std::vec::IntoIter<T>),
+    /// Streaming k-way merge over on-disk runs.
+    Merged {
+        /// The merge machinery.
+        merge: KWayMerge<T>,
+        /// Keeps the spill directory alive for the lifetime of the iterator.
+        _spill_dir: TempDir,
+    },
+}
+
+impl<T: Decode + Ord> Iterator for SortedIter<T> {
+    type Item = Result<T>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            SortedIter::InMemory(iter) => iter.next().map(Ok),
+            SortedIter::Merged { merge, .. } => merge.next_record().transpose(),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for SortedIter<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SortedIter::InMemory(_) => write!(f, "SortedIter::InMemory"),
+            SortedIter::Merged { .. } => write!(f, "SortedIter::Merged"),
+        }
+    }
+}
+
+struct HeapEntry<T> {
+    record: T,
+    source: usize,
+}
+
+impl<T: Ord> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.record == other.record && self.source == other.source
+    }
+}
+impl<T: Ord> Eq for HeapEntry<T> {}
+impl<T: Ord> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T: Ord> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.record
+            .cmp(&other.record)
+            .then(self.source.cmp(&other.source))
+    }
+}
+
+/// Streaming k-way merge over sorted record files.
+pub struct KWayMerge<T> {
+    readers: Vec<RecordReader<T>>,
+    heap: BinaryHeap<Reverse<HeapEntry<T>>>,
+}
+
+impl<T> std::fmt::Debug for KWayMerge<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "KWayMerge({} inputs)", self.readers.len())
+    }
+}
+
+impl<T: Decode + Ord> KWayMerge<T> {
+    /// Open the given sorted run files and prime the merge heap.
+    pub fn new<P: AsRef<std::path::Path>>(paths: &[P]) -> Result<Self> {
+        let mut readers = Vec::with_capacity(paths.len());
+        for path in paths {
+            readers.push(RecordReader::open(path)?);
+        }
+        let mut heap = BinaryHeap::with_capacity(readers.len());
+        for (source, reader) in readers.iter_mut().enumerate() {
+            if let Some(record) = reader.read()? {
+                heap.push(Reverse(HeapEntry { record, source }));
+            }
+        }
+        Ok(KWayMerge { readers, heap })
+    }
+
+    /// Produce the next record in globally sorted order.
+    pub fn next_record(&mut self) -> Result<Option<T>> {
+        let Reverse(entry) = match self.heap.pop() {
+            Some(e) => e,
+            None => return Ok(None),
+        };
+        if let Some(next) = self.readers[entry.source].read()? {
+            self.heap.push(Reverse(HeapEntry {
+                record: next,
+                source: entry.source,
+            }));
+        }
+        Ok(Some(entry.record))
+    }
+}
+
+/// Sort records and group identical consecutive ones, invoking `f` with each
+/// distinct record and its multiplicity. This is the paper's "sort the pair
+/// file, then count identical adjacent pairs" aggregation in one call.
+pub fn sort_and_count<T, F>(sorter: ExternalSorter<T>, mut f: F) -> Result<()>
+where
+    T: Encode + Decode + Ord + Clone,
+    F: FnMut(T, u64),
+{
+    let mut iter = sorter.finish()?;
+    let mut current: Option<(T, u64)> = None;
+    while let Some(record) = iter.next().transpose()? {
+        match &mut current {
+            Some((value, count)) if *value == record => *count += 1,
+            Some((value, count)) => {
+                f(value.clone(), *count);
+                current = Some((record, 1));
+            }
+            None => current = Some((record, 1)),
+        }
+    }
+    if let Some((value, count)) = current {
+        f(value, count);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sort_via_external(values: Vec<(u32, u32)>, config: SortConfig) -> Vec<(u32, u32)> {
+        let mut sorter = ExternalSorter::new(config).unwrap();
+        for v in &values {
+            sorter.push(*v).unwrap();
+        }
+        sorter
+            .finish()
+            .unwrap()
+            .collect::<Result<Vec<_>>>()
+            .unwrap()
+    }
+
+    #[test]
+    fn in_memory_path_sorts() {
+        let values = vec![(3u32, 1u32), (1, 2), (2, 0), (1, 1)];
+        let sorted = sort_via_external(values.clone(), SortConfig::default());
+        let mut expected = values;
+        expected.sort();
+        assert_eq!(sorted, expected);
+    }
+
+    #[test]
+    fn spilled_path_sorts() {
+        let values: Vec<(u32, u32)> = (0..200).map(|i| ((997 * i) % 101, i)).collect();
+        let config = SortConfig::tiny();
+        let mut sorter = ExternalSorter::new(config).unwrap();
+        for v in &values {
+            sorter.push(*v).unwrap();
+        }
+        assert!(sorter.spilled_runs() > 3, "expected multiple spill runs");
+        let sorted: Vec<(u32, u32)> = sorter
+            .finish()
+            .unwrap()
+            .collect::<Result<Vec<_>>>()
+            .unwrap();
+        let mut expected = values;
+        expected.sort();
+        assert_eq!(sorted, expected);
+    }
+
+    #[test]
+    fn empty_input() {
+        let sorted = sort_via_external(vec![], SortConfig::tiny());
+        assert!(sorted.is_empty());
+    }
+
+    #[test]
+    fn sort_and_count_aggregates_duplicates() {
+        let mut sorter: ExternalSorter<(u32, u32)> = ExternalSorter::new(SortConfig::tiny()).unwrap();
+        for _ in 0..5 {
+            sorter.push((1, 2)).unwrap();
+        }
+        for _ in 0..3 {
+            sorter.push((0, 9)).unwrap();
+        }
+        sorter.push((7, 7)).unwrap();
+        let mut counts = Vec::new();
+        sort_and_count(sorter, |pair, count| counts.push((pair, count))).unwrap();
+        assert_eq!(counts, vec![((0, 9), 3), ((1, 2), 5), ((7, 7), 1)]);
+    }
+
+    #[test]
+    fn merge_fan_in_respected_with_many_runs() {
+        let config = SortConfig {
+            max_records_in_memory: 4,
+            merge_fan_in: 2,
+        };
+        let values: Vec<(u32, u32)> = (0..100).map(|i| (100 - i, i)).collect();
+        let sorted = sort_via_external(values.clone(), config);
+        let mut expected = values;
+        expected.sort();
+        assert_eq!(sorted, expected);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_in_memory_sort(values in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..300)) {
+            let external = sort_via_external(values.clone(), SortConfig::tiny());
+            let mut expected = values;
+            expected.sort();
+            prop_assert_eq!(external, expected);
+        }
+
+        #[test]
+        fn prop_count_totals_match(values in proptest::collection::vec(0u32..10, 0..200)) {
+            let mut sorter: ExternalSorter<u32> = ExternalSorter::new(SortConfig::tiny()).unwrap();
+            for v in &values {
+                sorter.push(*v).unwrap();
+            }
+            let mut total = 0u64;
+            sort_and_count(sorter, |_, count| total += count).unwrap();
+            prop_assert_eq!(total, values.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Process-wide I/O accounting.
+//!
+//! The paper measures its secondary-storage algorithms with the OS page cache
+//! disabled so that every logical read and write hits the disk. We cannot
+//! (and should not) disable the page cache in a library, so instead every
+//! storage primitive in this workspace reports *logical* I/O operations and
+//! bytes through a shared set of counters. Experiments read a snapshot before
+//! and after a run and report the difference.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Global counters of logical I/O performed by the storage substrate.
+///
+/// Counters are monotonically increasing; use [`IoStats::snapshot`] and
+/// [`IoSnapshot::delta`] to measure a region of interest, or [`IoScope`] for
+/// RAII-style measurement.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    read_ops: AtomicU64,
+    write_ops: AtomicU64,
+    seek_ops: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+/// A point-in-time copy of the [`IoStats`] counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    /// Number of logical read operations (record reads, page reads).
+    pub read_ops: u64,
+    /// Number of logical write operations.
+    pub write_ops: u64,
+    /// Number of random seeks (repositioning within a file).
+    pub seek_ops: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+}
+
+impl IoSnapshot {
+    /// Component-wise difference `self - earlier`, saturating at zero.
+    pub fn delta(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            read_ops: self.read_ops.saturating_sub(earlier.read_ops),
+            write_ops: self.write_ops.saturating_sub(earlier.write_ops),
+            seek_ops: self.seek_ops.saturating_sub(earlier.seek_ops),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+        }
+    }
+
+    /// Total number of I/O operations of any kind.
+    pub fn total_ops(&self) -> u64 {
+        self.read_ops + self.write_ops + self.seek_ops
+    }
+
+    /// Total bytes transferred in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+}
+
+impl IoStats {
+    /// Create a fresh, zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a read of `bytes` bytes.
+    pub fn record_read(&self, bytes: u64) {
+        self.read_ops.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record a write of `bytes` bytes.
+    pub fn record_write(&self, bytes: u64) {
+        self.write_ops.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record a random seek.
+    pub fn record_seek(&self) {
+        self.seek_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Take a snapshot of the current counter values.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            read_ops: self.read_ops.load(Ordering::Relaxed),
+            write_ops: self.write_ops.load(Ordering::Relaxed),
+            seek_ops: self.seek_ops.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero. Mostly useful in tests.
+    pub fn reset(&self) {
+        self.read_ops.store(0, Ordering::Relaxed);
+        self.write_ops.store(0, Ordering::Relaxed);
+        self.seek_ops.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+    }
+}
+
+static GLOBAL_STATS: Mutex<Option<Arc<IoStats>>> = Mutex::new(None);
+
+/// Return the process-wide [`IoStats`] instance, creating it on first use.
+pub fn global() -> Arc<IoStats> {
+    let mut guard = GLOBAL_STATS.lock();
+    match &*guard {
+        Some(stats) => Arc::clone(stats),
+        None => {
+            let stats = Arc::new(IoStats::new());
+            *guard = Some(Arc::clone(&stats));
+            stats
+        }
+    }
+}
+
+/// RAII helper that snapshots the global counters on construction and reports
+/// the delta when [`IoScope::finish`] is called.
+///
+/// ```
+/// use bsc_storage::io_stats::{self, IoScope};
+///
+/// let scope = IoScope::start();
+/// io_stats::global().record_read(128);
+/// let delta = scope.finish();
+/// assert!(delta.read_ops >= 1);
+/// ```
+#[derive(Debug)]
+pub struct IoScope {
+    start: IoSnapshot,
+}
+
+impl IoScope {
+    /// Begin measuring: snapshot the global counters now.
+    pub fn start() -> Self {
+        IoScope {
+            start: global().snapshot(),
+        }
+    }
+
+    /// Finish measuring and return the I/O performed since [`IoScope::start`].
+    pub fn finish(self) -> IoSnapshot {
+        global().snapshot().delta(&self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let stats = IoStats::new();
+        stats.record_read(100);
+        stats.record_read(50);
+        stats.record_write(10);
+        stats.record_seek();
+        let snap = stats.snapshot();
+        assert_eq!(snap.read_ops, 2);
+        assert_eq!(snap.write_ops, 1);
+        assert_eq!(snap.seek_ops, 1);
+        assert_eq!(snap.bytes_read, 150);
+        assert_eq!(snap.bytes_written, 10);
+        assert_eq!(snap.total_ops(), 4);
+        assert_eq!(snap.total_bytes(), 160);
+    }
+
+    #[test]
+    fn delta_is_componentwise() {
+        let a = IoSnapshot {
+            read_ops: 10,
+            write_ops: 5,
+            seek_ops: 2,
+            bytes_read: 1000,
+            bytes_written: 500,
+        };
+        let b = IoSnapshot {
+            read_ops: 15,
+            write_ops: 9,
+            seek_ops: 2,
+            bytes_read: 1500,
+            bytes_written: 700,
+        };
+        let d = b.delta(&a);
+        assert_eq!(d.read_ops, 5);
+        assert_eq!(d.write_ops, 4);
+        assert_eq!(d.seek_ops, 0);
+        assert_eq!(d.bytes_read, 500);
+        assert_eq!(d.bytes_written, 200);
+    }
+
+    #[test]
+    fn delta_saturates() {
+        let a = IoSnapshot {
+            read_ops: 10,
+            ..Default::default()
+        };
+        let b = IoSnapshot::default();
+        assert_eq!(b.delta(&a).read_ops, 0);
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let stats = IoStats::new();
+        stats.record_read(100);
+        stats.reset();
+        assert_eq!(stats.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn global_scope_measures_delta() {
+        let scope = IoScope::start();
+        global().record_write(42);
+        let delta = scope.finish();
+        assert!(delta.write_ops >= 1);
+        assert!(delta.bytes_written >= 42);
+    }
+}

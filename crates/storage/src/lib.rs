@@ -1,0 +1,86 @@
+//! # bsc-storage
+//!
+//! External-memory substrate for the blogstable workspace.
+//!
+//! The algorithms of *"Seeking Stable Clusters in the Blogosphere"* (Bansal
+//! et al., VLDB 2007) are explicitly designed to be "efficiently realizable in
+//! secondary storage": keyword pairs are produced by a single pass over the
+//! posts and aggregated with an **external merge sort**, the biconnected
+//! component algorithm keeps only a **stack** in memory (paged to disk if it
+//! grows too large), and the DFS stable-cluster algorithm keeps per-node state
+//! (heaps of best paths, `maxweight` entries) **on disk**, touching it with
+//! random reads and writes.
+//!
+//! This crate provides those primitives:
+//!
+//! * [`io_stats`] — process-wide I/O accounting so experiments can report read
+//!   and write operations (the paper disables the OS page cache to measure
+//!   I/O; we count explicit operations instead).
+//! * [`codec`] — a compact, dependency-free binary encoding used by every
+//!   on-disk record.
+//! * [`record_file`] — buffered sequential record files with I/O accounting.
+//! * [`external_sort`] — bounded-memory external merge sort.
+//! * [`node_store`] — a disk-backed keyed record store (append log + offset
+//!   index) used for the DFS algorithm's per-node state.
+//! * [`paged_stack`] — a stack that spills to disk beyond a memory budget.
+//! * [`memory`] — a simple memory budget tracker shared by the above.
+//! * [`temp`] — scoped temporary directories for spill files.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod external_sort;
+pub mod io_stats;
+pub mod memory;
+pub mod node_store;
+pub mod paged_stack;
+pub mod record_file;
+pub mod temp;
+
+pub use codec::{Decode, Encode};
+pub use external_sort::{ExternalSorter, SortConfig};
+pub use io_stats::{IoScope, IoSnapshot, IoStats};
+pub use memory::MemoryBudget;
+pub use node_store::NodeStore;
+pub use paged_stack::PagedStack;
+pub use record_file::{RecordReader, RecordWriter};
+pub use temp::TempDir;
+
+/// Errors produced by the storage substrate.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying I/O error.
+    Io(std::io::Error),
+    /// A record could not be decoded from its on-disk representation.
+    Corrupt(String),
+    /// A key was not present in a keyed store.
+    MissingKey(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt record: {msg}"),
+            StorageError::MissingKey(k) => write!(f, "missing key: {k}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Convenience result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,113 @@
+//! Memory budget tracking.
+//!
+//! The paper's algorithms are parameterized by the amount of main memory `M`
+//! available: the BFS stable-cluster algorithm switches to a block-nested-loop
+//! scheme when the clusters of `g + 1` intervals do not fit, and the
+//! biconnected-component stack is paged out when it outgrows memory. The
+//! [`MemoryBudget`] type is the shared accounting object those components use
+//! to decide when to spill.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A shared, thread-safe memory budget measured in bytes.
+///
+/// The budget is advisory: callers `charge` and `release` logical byte counts
+/// and query [`MemoryBudget::would_exceed`] before growing in-memory state.
+#[derive(Debug)]
+pub struct MemoryBudget {
+    limit: usize,
+    used: AtomicUsize,
+}
+
+impl MemoryBudget {
+    /// Create a budget with a hard `limit` in bytes.
+    pub fn new(limit: usize) -> Arc<Self> {
+        Arc::new(MemoryBudget {
+            limit,
+            used: AtomicUsize::new(0),
+        })
+    }
+
+    /// An effectively unlimited budget (used when the caller does not care).
+    pub fn unlimited() -> Arc<Self> {
+        Self::new(usize::MAX)
+    }
+
+    /// The configured limit in bytes.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Bytes currently charged against the budget.
+    pub fn used(&self) -> usize {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Bytes remaining before the limit is reached.
+    pub fn remaining(&self) -> usize {
+        self.limit.saturating_sub(self.used())
+    }
+
+    /// Would charging `bytes` more exceed the limit?
+    pub fn would_exceed(&self, bytes: usize) -> bool {
+        self.used().saturating_add(bytes) > self.limit
+    }
+
+    /// Charge `bytes` against the budget (even past the limit: the budget is
+    /// advisory, the caller is expected to have checked first).
+    pub fn charge(&self, bytes: usize) {
+        self.used.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Release `bytes` previously charged.
+    pub fn release(&self, bytes: usize) {
+        let mut current = self.used.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(bytes);
+            match self.used.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_release() {
+        let budget = MemoryBudget::new(1000);
+        assert_eq!(budget.limit(), 1000);
+        assert_eq!(budget.used(), 0);
+        budget.charge(400);
+        assert_eq!(budget.used(), 400);
+        assert_eq!(budget.remaining(), 600);
+        assert!(!budget.would_exceed(600));
+        assert!(budget.would_exceed(601));
+        budget.release(150);
+        assert_eq!(budget.used(), 250);
+    }
+
+    #[test]
+    fn release_saturates_at_zero() {
+        let budget = MemoryBudget::new(100);
+        budget.charge(10);
+        budget.release(50);
+        assert_eq!(budget.used(), 0);
+    }
+
+    #[test]
+    fn unlimited_never_exceeds() {
+        let budget = MemoryBudget::unlimited();
+        budget.charge(usize::MAX / 2);
+        assert!(!budget.would_exceed(1024));
+    }
+}

@@ -1,0 +1,267 @@
+//! Disk-backed keyed record store.
+//!
+//! The DFS stable-cluster algorithm (Algorithm 3) keeps, *on disk*, for every
+//! cluster node: a visited flag, the `maxweight` table and the `bestpaths`
+//! heaps. Whenever a node is pushed on the stack its state is read with one
+//! random I/O, and when it is popped the state is written back with another.
+//! [`NodeStore`] models exactly that access pattern: an append-only log file
+//! plus an in-memory index from key to the offset of the latest version of
+//! the record. Every `get` counts one seek and one read; every `put` counts
+//! one write.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::hash::Hash;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::marker::PhantomData;
+use std::path::{Path, PathBuf};
+
+use crate::codec::{read_varint, write_varint, Decode, Encode};
+use crate::{io_stats, Result, StorageError};
+
+/// A disk-backed map from keys to encodable records with random access.
+///
+/// Updated records are appended (log-structured); the index always points at
+/// the latest version. [`NodeStore::compact`] rewrites the log dropping stale
+/// versions.
+#[derive(Debug)]
+pub struct NodeStore<K, V> {
+    path: PathBuf,
+    file: File,
+    index: HashMap<K, (u64, u32)>,
+    tail: u64,
+    puts: u64,
+    gets: u64,
+    _marker: PhantomData<V>,
+}
+
+impl<K, V> NodeStore<K, V>
+where
+    K: Eq + Hash + Clone + Encode + Decode,
+    V: Encode + Decode,
+{
+    /// Create a new, empty store backed by a file at `path`.
+    pub fn create<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(NodeStore {
+            path,
+            file,
+            index: HashMap::new(),
+            tail: 0,
+            puts: 0,
+            gets: 0,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Number of distinct keys stored.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Number of `put` operations performed (each is one logical write).
+    pub fn put_count(&self) -> u64 {
+        self.puts
+    }
+
+    /// Number of `get` operations performed (each is one seek + one read).
+    pub fn get_count(&self) -> u64 {
+        self.gets
+    }
+
+    /// Does the store contain `key`?
+    pub fn contains(&self, key: &K) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Store (or replace) the record for `key`.
+    pub fn put(&mut self, key: &K, value: &V) -> Result<()> {
+        let mut payload = Vec::with_capacity(64);
+        value.encode(&mut payload);
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        write_varint(&mut frame, payload.len() as u64);
+        frame.extend_from_slice(&payload);
+        self.file.seek(SeekFrom::Start(self.tail))?;
+        self.file.write_all(&frame)?;
+        io_stats::global().record_write(frame.len() as u64);
+        self.index
+            .insert(key.clone(), (self.tail, payload.len() as u32));
+        self.tail += frame.len() as u64;
+        self.puts += 1;
+        Ok(())
+    }
+
+    /// Fetch the record for `key`, or `None` if absent.
+    pub fn get(&mut self, key: &K) -> Result<Option<V>> {
+        let (offset, len) = match self.index.get(key) {
+            Some(entry) => *entry,
+            None => return Ok(None),
+        };
+        self.file.seek(SeekFrom::Start(offset))?;
+        io_stats::global().record_seek();
+        // Skip the length prefix: re-read it to find the payload start.
+        let mut prefix = [0u8; 10];
+        let to_read = prefix.len().min((self.tail - offset) as usize);
+        self.file.read_exact(&mut prefix[..to_read])?;
+        let mut slice: &[u8] = &prefix[..to_read];
+        let stored_len = read_varint(&mut slice)? as usize;
+        if stored_len != len as usize {
+            return Err(StorageError::Corrupt(format!(
+                "index length {len} does not match stored length {stored_len}"
+            )));
+        }
+        let prefix_len = to_read - slice.len();
+        self.file.seek(SeekFrom::Start(offset + prefix_len as u64))?;
+        let mut payload = vec![0u8; stored_len];
+        self.file.read_exact(&mut payload)?;
+        io_stats::global().record_read(stored_len as u64);
+        self.gets += 1;
+        let mut slice = payload.as_slice();
+        let value = V::decode(&mut slice)?;
+        Ok(Some(value))
+    }
+
+    /// Fetch the record for `key`, returning an error if it is missing.
+    pub fn get_required(&mut self, key: &K) -> Result<V>
+    where
+        K: std::fmt::Debug,
+    {
+        self.get(key)?
+            .ok_or_else(|| StorageError::MissingKey(format!("{key:?}")))
+    }
+
+    /// All keys currently stored (unspecified order).
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.index.keys()
+    }
+
+    /// Rewrite the log keeping only the latest version of every record.
+    /// Returns the number of bytes reclaimed.
+    pub fn compact(&mut self) -> Result<u64> {
+        let old_size = self.tail;
+        let tmp_path = self.path.with_extension("compact");
+        {
+            let mut out = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&tmp_path)?;
+            let mut new_index = HashMap::with_capacity(self.index.len());
+            let mut new_tail = 0u64;
+            let keys: Vec<K> = self.index.keys().cloned().collect();
+            for key in keys {
+                let value = self.get(&key)?.expect("indexed key must exist");
+                let mut payload = Vec::with_capacity(64);
+                value.encode(&mut payload);
+                let mut frame = Vec::with_capacity(payload.len() + 8);
+                write_varint(&mut frame, payload.len() as u64);
+                frame.extend_from_slice(&payload);
+                out.write_all(&frame)?;
+                io_stats::global().record_write(frame.len() as u64);
+                new_index.insert(key, (new_tail, payload.len() as u32));
+                new_tail += frame.len() as u64;
+            }
+            out.flush()?;
+            self.index = new_index;
+            self.tail = new_tail;
+        }
+        std::fs::rename(&tmp_path, &self.path)?;
+        self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        Ok(old_size.saturating_sub(self.tail))
+    }
+
+    /// Size of the backing log in bytes (including stale versions).
+    pub fn log_bytes(&self) -> u64 {
+        self.tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::temp::TempDir;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let dir = TempDir::new("nodestore").unwrap();
+        let mut store: NodeStore<u32, Vec<u64>> =
+            NodeStore::create(dir.file("store.log")).unwrap();
+        store.put(&1, &vec![10, 20, 30]).unwrap();
+        store.put(&2, &vec![]).unwrap();
+        assert_eq!(store.get(&1).unwrap(), Some(vec![10, 20, 30]));
+        assert_eq!(store.get(&2).unwrap(), Some(vec![]));
+        assert_eq!(store.get(&3).unwrap(), None);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn overwrite_returns_latest() {
+        let dir = TempDir::new("nodestore").unwrap();
+        let mut store: NodeStore<u32, String> = NodeStore::create(dir.file("s.log")).unwrap();
+        store.put(&7, &"first".to_string()).unwrap();
+        store.put(&7, &"second".to_string()).unwrap();
+        assert_eq!(store.get(&7).unwrap(), Some("second".to_string()));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn get_required_errors_on_missing() {
+        let dir = TempDir::new("nodestore").unwrap();
+        let mut store: NodeStore<u32, u32> = NodeStore::create(dir.file("s.log")).unwrap();
+        assert!(store.get_required(&42).is_err());
+    }
+
+    #[test]
+    fn compact_reclaims_space_and_preserves_data() {
+        let dir = TempDir::new("nodestore").unwrap();
+        let mut store: NodeStore<u32, Vec<u32>> = NodeStore::create(dir.file("s.log")).unwrap();
+        for round in 0..5u32 {
+            for key in 0..20u32 {
+                store.put(&key, &vec![round; 8]).unwrap();
+            }
+        }
+        let before = store.log_bytes();
+        let reclaimed = store.compact().unwrap();
+        assert!(reclaimed > 0);
+        assert!(store.log_bytes() < before);
+        for key in 0..20u32 {
+            assert_eq!(store.get(&key).unwrap(), Some(vec![4u32; 8]));
+        }
+    }
+
+    #[test]
+    fn io_counters_track_operations() {
+        let dir = TempDir::new("nodestore").unwrap();
+        let mut store: NodeStore<u32, u64> = NodeStore::create(dir.file("s.log")).unwrap();
+        store.put(&1, &99).unwrap();
+        let _ = store.get(&1).unwrap();
+        assert_eq!(store.put_count(), 1);
+        assert_eq!(store.get_count(), 1);
+    }
+
+    #[test]
+    fn many_keys_random_access() {
+        let dir = TempDir::new("nodestore").unwrap();
+        let mut store: NodeStore<u64, (u64, f64)> = NodeStore::create(dir.file("s.log")).unwrap();
+        for key in 0..500u64 {
+            store.put(&key, &(key * 2, key as f64 / 7.0)).unwrap();
+        }
+        for key in (0..500u64).rev().step_by(7) {
+            assert_eq!(
+                store.get(&key).unwrap(),
+                Some((key * 2, key as f64 / 7.0))
+            );
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! A stack that spills to disk beyond a memory budget.
+//!
+//! The biconnected-component algorithm (Algorithm 1) keeps edges on a stack;
+//! the paper notes that "since the data structure in memory is a stack with
+//! well defined access patterns, it can be efficiently paged to secondary
+//! storage if its size exceeds available resources". [`PagedStack`] does
+//! exactly that: the hot top of the stack lives in memory, and when the
+//! in-memory portion exceeds a configurable number of entries the cold bottom
+//! half is flushed to an on-disk page file in LIFO page order.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::marker::PhantomData;
+
+use crate::codec::{Decode, Encode};
+use crate::temp::TempDir;
+use crate::{io_stats, Result, StorageError};
+
+/// A LIFO stack whose cold bottom spills to disk.
+#[derive(Debug)]
+pub struct PagedStack<T> {
+    /// In-memory (hot) suffix of the stack; the logical top is at the back.
+    hot: Vec<T>,
+    /// Byte offsets (start, end) of spilled pages in the page file, in push
+    /// order. The most recently spilled page is at the back.
+    pages: Vec<(u64, u64)>,
+    /// Number of elements per spilled page, aligned with `pages`.
+    page_lens: Vec<usize>,
+    file: Option<File>,
+    spill_dir: Option<TempDir>,
+    tail: u64,
+    max_hot: usize,
+    spill_batch: usize,
+    total_len: usize,
+    spills: u64,
+    unspills: u64,
+    _marker: PhantomData<T>,
+}
+
+impl<T: Encode + Decode> PagedStack<T> {
+    /// Create a stack that keeps at most `max_hot` entries in memory.
+    ///
+    /// When the hot portion exceeds `max_hot`, the oldest half of the hot
+    /// entries is written out as one page.
+    pub fn new(max_hot: usize) -> Result<Self> {
+        let max_hot = max_hot.max(2);
+        Ok(PagedStack {
+            hot: Vec::new(),
+            pages: Vec::new(),
+            page_lens: Vec::new(),
+            file: None,
+            spill_dir: None,
+            tail: 0,
+            max_hot,
+            spill_batch: (max_hot / 2).max(1),
+            total_len: 0,
+            spills: 0,
+            unspills: 0,
+            _marker: PhantomData,
+        })
+    }
+
+    /// A stack that never spills (purely in-memory).
+    pub fn unbounded() -> Self {
+        PagedStack {
+            hot: Vec::new(),
+            pages: Vec::new(),
+            page_lens: Vec::new(),
+            file: None,
+            spill_dir: None,
+            tail: 0,
+            max_hot: usize::MAX,
+            spill_batch: 1,
+            total_len: 0,
+            spills: 0,
+            unspills: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of elements on the stack.
+    pub fn len(&self) -> usize {
+        self.total_len
+    }
+
+    /// True if the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.total_len == 0
+    }
+
+    /// Number of pages spilled to disk over the lifetime of the stack.
+    pub fn spill_count(&self) -> u64 {
+        self.spills
+    }
+
+    /// Number of pages read back from disk over the lifetime of the stack.
+    pub fn unspill_count(&self) -> u64 {
+        self.unspills
+    }
+
+    /// Push a value on the stack.
+    pub fn push(&mut self, value: T) -> Result<()> {
+        self.hot.push(value);
+        self.total_len += 1;
+        if self.hot.len() > self.max_hot {
+            self.spill()?;
+        }
+        Ok(())
+    }
+
+    /// Pop the top value, or `None` if the stack is empty.
+    pub fn pop(&mut self) -> Result<Option<T>> {
+        if self.hot.is_empty() {
+            self.unspill()?;
+        }
+        match self.hot.pop() {
+            Some(value) => {
+                self.total_len -= 1;
+                Ok(Some(value))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Peek at the top value without removing it.
+    pub fn peek(&mut self) -> Result<Option<&T>> {
+        if self.hot.is_empty() {
+            self.unspill()?;
+        }
+        Ok(self.hot.last())
+    }
+
+    fn ensure_file(&mut self) -> Result<()> {
+        if self.file.is_none() {
+            let dir = TempDir::new("bsc-pagedstack")?;
+            let path = dir.file("stack.pages");
+            let file = OpenOptions::new()
+                .create(true)
+                .read(true)
+                .write(true)
+                .truncate(true)
+                .open(path)?;
+            self.file = Some(file);
+            self.spill_dir = Some(dir);
+        }
+        Ok(())
+    }
+
+    fn spill(&mut self) -> Result<()> {
+        self.ensure_file()?;
+        let spill_count = self.spill_batch.min(self.hot.len());
+        if spill_count == 0 {
+            return Ok(());
+        }
+        // Spill the *bottom* (oldest) part of the hot vector as one page,
+        // preserving order so that unspilling restores LIFO semantics.
+        let cold: Vec<T> = self.hot.drain(..spill_count).collect();
+        let mut payload = Vec::with_capacity(64 * cold.len());
+        for item in &cold {
+            item.encode(&mut payload);
+        }
+        let file = self.file.as_mut().expect("spill file must exist");
+        file.seek(SeekFrom::Start(self.tail))?;
+        file.write_all(&payload)?;
+        io_stats::global().record_write(payload.len() as u64);
+        let start = self.tail;
+        self.tail += payload.len() as u64;
+        self.pages.push((start, self.tail));
+        self.page_lens.push(cold.len());
+        self.spills += 1;
+        Ok(())
+    }
+
+    fn unspill(&mut self) -> Result<()> {
+        let (range, count) = match (self.pages.pop(), self.page_lens.pop()) {
+            (Some(range), Some(count)) => (range, count),
+            _ => return Ok(()),
+        };
+        let file = self.file.as_mut().ok_or_else(|| {
+            StorageError::Corrupt("paged stack has pages but no spill file".into())
+        })?;
+        let len = (range.1 - range.0) as usize;
+        file.seek(SeekFrom::Start(range.0))?;
+        io_stats::global().record_seek();
+        let mut payload = vec![0u8; len];
+        file.read_exact(&mut payload)?;
+        io_stats::global().record_read(len as u64);
+        let mut slice = payload.as_slice();
+        let mut restored = Vec::with_capacity(count);
+        for _ in 0..count {
+            restored.push(T::decode(&mut slice)?);
+        }
+        if !slice.is_empty() {
+            return Err(StorageError::Corrupt(
+                "trailing bytes in paged stack page".into(),
+            ));
+        }
+        // The restored page is older than anything currently hot, so it goes
+        // underneath the current hot elements.
+        restored.extend(self.hot.drain(..));
+        self.hot = restored;
+        self.tail = range.0;
+        self.unspills += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lifo_order_without_spilling() {
+        let mut stack: PagedStack<u32> = PagedStack::unbounded();
+        for i in 0..10 {
+            stack.push(i).unwrap();
+        }
+        for i in (0..10).rev() {
+            assert_eq!(stack.pop().unwrap(), Some(i));
+        }
+        assert!(stack.pop().unwrap().is_none());
+    }
+
+    #[test]
+    fn lifo_order_with_spilling() {
+        let mut stack: PagedStack<u64> = PagedStack::new(8).unwrap();
+        for i in 0..1000u64 {
+            stack.push(i).unwrap();
+        }
+        assert!(stack.spill_count() > 0, "stack should have spilled");
+        for i in (0..1000u64).rev() {
+            assert_eq!(stack.pop().unwrap(), Some(i), "mismatch at {i}");
+        }
+        assert!(stack.pop().unwrap().is_none());
+        assert!(stack.unspill_count() > 0);
+    }
+
+    #[test]
+    fn interleaved_push_pop_with_spilling() {
+        let mut stack: PagedStack<u32> = PagedStack::new(4).unwrap();
+        let mut model: Vec<u32> = Vec::new();
+        for round in 0..50u32 {
+            for i in 0..5 {
+                let v = round * 10 + i;
+                stack.push(v).unwrap();
+                model.push(v);
+            }
+            for _ in 0..3 {
+                assert_eq!(stack.pop().unwrap(), model.pop());
+            }
+            assert_eq!(stack.len(), model.len());
+        }
+        while let Some(expected) = model.pop() {
+            assert_eq!(stack.pop().unwrap(), Some(expected));
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut stack: PagedStack<u32> = PagedStack::new(2).unwrap();
+        for i in 0..20 {
+            stack.push(i).unwrap();
+        }
+        assert_eq!(stack.peek().unwrap().copied(), Some(19));
+        assert_eq!(stack.len(), 20);
+        assert_eq!(stack.pop().unwrap(), Some(19));
+    }
+
+    #[test]
+    fn tuple_payloads() {
+        let mut stack: PagedStack<(u32, u32, f64)> = PagedStack::new(3).unwrap();
+        for i in 0..100u32 {
+            stack.push((i, i + 1, i as f64 * 0.5)).unwrap();
+        }
+        for i in (0..100u32).rev() {
+            assert_eq!(stack.pop().unwrap(), Some((i, i + 1, i as f64 * 0.5)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_behaves_like_vec(ops in proptest::collection::vec(proptest::option::weighted(0.6, any::<u16>()), 0..400)) {
+            let mut stack: PagedStack<u16> = PagedStack::new(5).unwrap();
+            let mut model: Vec<u16> = Vec::new();
+            for op in ops {
+                match op {
+                    Some(v) => {
+                        stack.push(v).unwrap();
+                        model.push(v);
+                    }
+                    None => {
+                        prop_assert_eq!(stack.pop().unwrap(), model.pop());
+                    }
+                }
+                prop_assert_eq!(stack.len(), model.len());
+            }
+            while let Some(expected) = model.pop() {
+                prop_assert_eq!(stack.pop().unwrap(), Some(expected));
+            }
+            prop_assert!(stack.pop().unwrap().is_none());
+        }
+    }
+}

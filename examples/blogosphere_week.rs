@@ -1,0 +1,95 @@
+//! The paper's qualitative study as an example: analyse the scripted
+//! January 6–12 2007 week and show the event clusters of Figures 1, 2, 4, 15
+//! and 16 — the stem-cell announcement, Beckham's move to the LA Galaxy, the
+//! FA-cup replay with a gap, the iPhone launch drifting into the Cisco
+//! lawsuit, and the battle of Ras Kamboni spanning the whole week.
+//!
+//! ```text
+//! cargo run --release --example blogosphere_week
+//! ```
+
+use blogstable::core::bfs::BfsStableClusters;
+use blogstable::core::problem::KlStableParams;
+use blogstable::graph::prune::PruneConfig;
+use blogstable::prelude::*;
+
+fn main() {
+    let config = SyntheticConfig::week_jan_2007().with_posts_per_interval(800);
+    let corpus = SyntheticBlogosphere::new(config).generate();
+
+    let params = PipelineParams {
+        gap: 2,
+        k: 50,
+        // Minimum co-occurrence count of 4 on top of the paper's thresholds,
+        // appropriate for the reduced corpus scale (see EXPERIMENTS.md).
+        prune: PruneConfig::paper().with_min_pair_count(4),
+        ..PipelineParams::default()
+    }
+    .full_paths();
+    let outcome = Pipeline::new(params).run(&corpus).expect("pipeline run");
+
+    println!("day-by-day keyword clusters");
+    println!("---------------------------");
+    for (day, clusters) in outcome.interval_clusters.iter().enumerate() {
+        println!(
+            "{}: {} clusters",
+            corpus.timeline.label(IntervalId(day as u32)),
+            clusters.len()
+        );
+    }
+
+    // Show the clusters behind the paper's figures.
+    let probes: &[(&str, u32, &[&str])] = &[
+        ("Figure 1  (stem cells, Jan 8)", 2, &["stem", "cell"]),
+        ("Figure 2  (Beckham, Jan 12)", 6, &["beckham", "mls"]),
+        ("Figure 4  (FA cup, Jan 6)", 0, &["liverpool", "arsenal"]),
+        ("Figure 15 (iPhone, Jan 9)", 3, &["iphon", "appl"]),
+        ("Figure 15 (Cisco lawsuit, Jan 11)", 5, &["iphon", "lawsuit"]),
+        ("Figure 16 (Somalia, Jan 6)", 0, &["somalia", "islamist"]),
+    ];
+    println!("\nevent clusters");
+    println!("--------------");
+    for (figure, day, keywords) in probes {
+        let ids: Vec<KeywordId> = keywords
+            .iter()
+            .filter_map(|k| corpus.vocabulary.get(k))
+            .collect();
+        match outcome.interval_clusters[*day as usize]
+            .iter()
+            .find(|c| ids.iter().all(|id| c.contains(*id)))
+        {
+            Some(cluster) => println!("{figure}: {}", cluster.render(&corpus.vocabulary)),
+            None => println!("{figure}: not found"),
+        }
+    }
+
+    // Full-week stable clusters (Figure 16) and shorter drifting ones.
+    println!("\nfull-week stable clusters (length 6)");
+    println!("------------------------------------");
+    for path in outcome.stable_paths.iter().take(3) {
+        println!("weight {:.2}", path.weight());
+        for line in outcome.describe_path(path, &corpus.vocabulary) {
+            println!("    {line}");
+        }
+    }
+
+    // The drift of Figure 15: search paths of length 3 that stay on the
+    // iPhone topic but shift from launch chatter to the lawsuit.
+    let iphone_paths = BfsStableClusters::new(KlStableParams::new(100, 3))
+        .run(&outcome.cluster_graph)
+        .expect("bfs");
+    if let (Some(iphon), Some(lawsuit)) = (
+        corpus.vocabulary.get("iphon"),
+        corpus.vocabulary.get("lawsuit"),
+    ) {
+        if let Some(path) = iphone_paths.iter().find(|p| {
+            p.nodes().iter().all(|n| outcome.cluster_at(*n).contains(iphon))
+                && outcome.cluster_at(p.last()).contains(lawsuit)
+        }) {
+            println!("\ntopic drift (Figure 15): iPhone launch -> Cisco lawsuit");
+            for line in outcome.describe_path(path, &corpus.vocabulary) {
+                println!("    {line}");
+            }
+        }
+    }
+}

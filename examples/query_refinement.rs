@@ -1,0 +1,77 @@
+//! Query refinement from keyword clusters — the application sketched in the
+//! paper's introduction: "If a search query for a specific interval falls in
+//! a cluster, the rest of the keywords in that cluster are good candidates
+//! for query refinement."
+//!
+//! This example builds the per-day clusters of the scripted week and answers
+//! refinement queries: for a query keyword and a day, it prints the other
+//! keywords of the cluster the query falls in, ranked by the strength (ρ) of
+//! their correlation edge with the query keyword.
+//!
+//! ```text
+//! cargo run --release --example query_refinement [keyword] [day-index]
+//! ```
+
+use blogstable::graph::prune::PruneConfig;
+use blogstable::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let query = args.first().map(String::as_str).unwrap_or("iphon").to_string();
+    let day: u32 = args.get(1).and_then(|d| d.parse().ok()).unwrap_or(3);
+
+    let corpus = SyntheticBlogosphere::new(SyntheticConfig::small()).generate();
+    // Minimum co-occurrence count of 3 on top of the paper's chi^2/rho
+    // thresholds, appropriate for this small synthetic corpus.
+    let params = PipelineParams {
+        prune: PruneConfig::paper().with_min_pair_count(3),
+        ..PipelineParams::default()
+    };
+    let outcome = Pipeline::new(params).run(&corpus).expect("pipeline run");
+
+    let Some(query_id) = corpus.vocabulary.get(&query) else {
+        eprintln!("keyword '{query}' does not occur in the corpus");
+        std::process::exit(1);
+    };
+    if day as usize >= outcome.interval_clusters.len() {
+        eprintln!("day {day} out of range (0..{})", outcome.interval_clusters.len());
+        std::process::exit(1);
+    }
+
+    println!(
+        "query '{query}' on {}:",
+        corpus.timeline.label(IntervalId(day))
+    );
+    let clusters = &outcome.interval_clusters[day as usize];
+    let Some(cluster) = clusters.iter().find(|c| c.contains(query_id)) else {
+        println!("  no cluster contains '{query}' on that day (no chatter)");
+        return;
+    };
+
+    // Rank the other cluster members by the correlation of their edge with
+    // the query keyword (falling back to membership order).
+    let mut suggestions: Vec<(String, f64)> = cluster
+        .keywords
+        .iter()
+        .filter(|&&k| k != query_id)
+        .map(|&k| {
+            let rho = cluster
+                .edges
+                .iter()
+                .filter(|(u, v, _)| (*u == query_id && *v == k) || (*v == query_id && *u == k))
+                .map(|&(_, _, w)| w)
+                .fold(0.0f64, f64::max);
+            (corpus.vocabulary.name_or_placeholder(k), rho)
+        })
+        .collect();
+    suggestions.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+    println!("  refinement candidates (cluster of {} keywords):", cluster.len());
+    for (keyword, rho) in suggestions.iter().take(10) {
+        if *rho > 0.0 {
+            println!("    {keyword:<16} rho = {rho:.2}");
+        } else {
+            println!("    {keyword:<16} (same cluster)");
+        }
+    }
+}

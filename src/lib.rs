@@ -1,0 +1,82 @@
+//! # blogstable
+//!
+//! A production-quality reproduction of *"Seeking Stable Clusters in the
+//! Blogosphere"* (Bansal, Chiang, Koudas, Tompa — VLDB 2007).
+//!
+//! The library discovers **temporal keyword clusters** in a stream of text
+//! documents (blog posts) and tracks **stable clusters** — clusters whose
+//! keyword sets persist, drift, or reappear across temporal intervals.
+//!
+//! ## Pipeline
+//!
+//! 1. For every temporal interval, count keyword co-occurrences over all
+//!    documents of the interval ([`corpus`]).
+//! 2. Build the keyword graph, prune statistically insignificant edges with a
+//!    χ² test and weak edges with a correlation-coefficient threshold, and
+//!    report the biconnected components as clusters ([`graph`]).
+//! 3. Build the *cluster graph* across intervals (nodes = clusters, edges =
+//!    affinity above θ, gaps allowed) and find the top-k highest-weight paths
+//!    of length l (kl-stable clusters), or the top-k paths of highest
+//!    weight/length (normalized stable clusters) ([`core`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use blogstable::prelude::*;
+//!
+//! // Generate a small synthetic "blogosphere week" with scripted events.
+//! let config = SyntheticConfig::small();
+//! let week = SyntheticBlogosphere::new(config).generate();
+//!
+//! // Run the full pipeline: per-day clusters + stable clusters.
+//! let params = PipelineParams::default();
+//! let outcome = Pipeline::new(params).run(&week).unwrap();
+//! assert!(!outcome.interval_clusters.is_empty());
+//! ```
+//!
+//! The individual stages are all public; see the [`corpus`], [`graph`],
+//! [`core`] and [`baselines`] modules.
+
+/// External-memory substrate: binary codec, external sort, disk-backed stores.
+pub use bsc_storage as storage;
+
+/// Text substrate: documents, tokenization, stemming, synthetic blogosphere.
+pub use bsc_corpus as corpus;
+
+/// Keyword co-occurrence graphs, χ²/ρ pruning, biconnected components.
+pub use bsc_graph as graph;
+
+/// Cluster graph, kl-stable clusters (BFS/DFS/TA), normalized and streaming.
+pub use bsc_core as core;
+
+/// Comparator algorithms: cut clustering, correlation clustering, k-way
+/// partitioning, and the exhaustive top-k path oracle.
+pub use bsc_baselines as baselines;
+
+/// Commonly used types re-exported for convenience.
+pub mod prelude {
+    pub use bsc_core::{
+        affinity::{Affinity, IntersectionAffinity, JaccardAffinity, OverlapAffinity},
+        bfs::BfsStableClusters,
+        cluster_graph::{ClusterGraph, ClusterGraphBuilder, ClusterNodeId},
+        dfs::DfsStableClusters,
+        normalized::NormalizedStableClusters,
+        path::ClusterPath,
+        pipeline::{Pipeline, PipelineOutcome, PipelineParams},
+        problem::{KlStableParams, NormalizedParams},
+        streaming::OnlineStableClusters,
+        synthetic::{ClusterGraphGenerator, SyntheticGraphParams},
+        ta::TaStableClusters,
+    };
+    pub use bsc_corpus::{
+        document::{Document, DocumentId},
+        synthetic::{SyntheticBlogosphere, SyntheticConfig},
+        timeline::{IntervalId, Timeline},
+        vocabulary::{KeywordId, Vocabulary},
+    };
+    pub use bsc_graph::{
+        cluster::KeywordCluster,
+        keyword_graph::{KeywordGraph, KeywordGraphBuilder},
+        prune::{PruneConfig, PruneStats},
+    };
+}

@@ -1,0 +1,191 @@
+//! Cross-crate integration tests: the three kl-stable-cluster algorithms
+//! (BFS, DFS, TA), the streaming variant and the normalized solver all agree
+//! with the exhaustive oracle on randomly generated cluster graphs —
+//! verifying Claims 1 and 2 of the paper.
+
+use blogstable::baselines::exhaustive::{exhaustive_normalized_top_k, exhaustive_top_k};
+use blogstable::core::bfs::BfsStableClusters;
+use blogstable::core::dfs::{DfsConfig, DfsStableClusters};
+use blogstable::core::normalized::NormalizedStableClusters;
+use blogstable::core::problem::{KlStableParams, NormalizedParams};
+use blogstable::core::streaming::OnlineStableClusters;
+use blogstable::core::synthetic::{ClusterGraphGenerator, SyntheticGraphParams};
+use blogstable::core::ta::TaStableClusters;
+
+use proptest::prelude::*;
+
+fn weights(paths: &[blogstable::core::path::ClusterPath]) -> Vec<f64> {
+    paths.iter().map(|p| p.weight()).collect()
+}
+
+fn assert_same_weights(a: &[f64], b: &[f64], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: result counts differ");
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert!((x - y).abs() < 1e-9, "{context}: {x} vs {y}");
+    }
+}
+
+#[test]
+fn bfs_dfs_ta_and_oracle_agree_on_full_paths() {
+    for seed in 0..6 {
+        for gap in [0, 1] {
+            let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+                num_intervals: 4,
+                nodes_per_interval: 7,
+                avg_out_degree: 2,
+                gap,
+                seed: 1000 + seed,
+            })
+            .generate();
+            let k = 4;
+            let params = KlStableParams::full_paths(k, graph.num_intervals());
+            let oracle = weights(&exhaustive_top_k(&graph, k, params.l));
+            let bfs = weights(&BfsStableClusters::new(params).run(&graph).unwrap());
+            let dfs = weights(
+                &DfsStableClusters::with_config(params, DfsConfig::in_memory())
+                    .run(&graph)
+                    .unwrap(),
+            );
+            let ta = weights(&TaStableClusters::new(k).run(&graph).unwrap());
+            let context = format!("seed={seed} gap={gap}");
+            assert_same_weights(&oracle, &bfs, &format!("{context} bfs"));
+            assert_same_weights(&oracle, &dfs, &format!("{context} dfs"));
+            assert_same_weights(&oracle, &ta, &format!("{context} ta"));
+        }
+    }
+}
+
+#[test]
+fn bfs_dfs_and_oracle_agree_on_subpaths() {
+    for seed in 0..4 {
+        let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+            num_intervals: 5,
+            nodes_per_interval: 6,
+            avg_out_degree: 2,
+            gap: 1,
+            seed: 2000 + seed,
+        })
+        .generate();
+        for l in [1, 2, 3] {
+            let params = KlStableParams::new(3, l);
+            let oracle = weights(&exhaustive_top_k(&graph, 3, l));
+            let bfs = weights(&BfsStableClusters::new(params).run(&graph).unwrap());
+            let dfs = weights(
+                &DfsStableClusters::with_config(params, DfsConfig::in_memory())
+                    .run(&graph)
+                    .unwrap(),
+            );
+            let context = format!("seed={seed} l={l}");
+            assert_same_weights(&oracle, &bfs, &format!("{context} bfs"));
+            assert_same_weights(&oracle, &dfs, &format!("{context} dfs"));
+        }
+    }
+}
+
+#[test]
+fn streaming_agrees_with_batch_and_oracle() {
+    for seed in 0..4 {
+        let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+            num_intervals: 6,
+            nodes_per_interval: 8,
+            avg_out_degree: 2,
+            gap: 1,
+            seed: 3000 + seed,
+        })
+        .generate();
+        let params = KlStableParams::new(4, 3);
+        let oracle = weights(&exhaustive_top_k(&graph, 4, 3));
+        let online = OnlineStableClusters::replay(params, &graph).current_top_k();
+        assert_same_weights(&oracle, &weights(&online), &format!("seed={seed} streaming"));
+    }
+}
+
+#[test]
+fn normalized_top1_matches_oracle() {
+    for seed in 0..5 {
+        let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+            num_intervals: 5,
+            nodes_per_interval: 5,
+            avg_out_degree: 2,
+            gap: 0,
+            seed: 4000 + seed,
+        })
+        .generate();
+        for l_min in [1, 2, 3] {
+            let oracle = exhaustive_normalized_top_k(&graph, 1, l_min);
+            let got = NormalizedStableClusters::new(NormalizedParams::new(1, l_min))
+                .run(&graph)
+                .unwrap();
+            assert_eq!(oracle.len(), got.len(), "seed={seed} l_min={l_min}");
+            if let (Some(a), Some(b)) = (oracle.first(), got.first()) {
+                assert!(
+                    (a.stability() - b.stability()).abs() < 1e-9,
+                    "seed={seed} l_min={l_min}: {} vs {}",
+                    a.stability(),
+                    b.stability()
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Claim 1 (BFS correctness) on random graph shapes.
+    #[test]
+    fn prop_bfs_matches_oracle(
+        seed in 0u64..5000,
+        n in 3u32..8,
+        m in 3usize..6,
+        gap in 0u32..2,
+        l in 1u32..4,
+        k in 1usize..5,
+    ) {
+        let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+            num_intervals: m,
+            nodes_per_interval: n,
+            avg_out_degree: 2,
+            gap,
+            seed,
+        })
+        .generate();
+        prop_assume!(l <= m as u32 - 1);
+        let oracle = weights(&exhaustive_top_k(&graph, k, l));
+        let bfs = weights(&BfsStableClusters::new(KlStableParams::new(k, l)).run(&graph).unwrap());
+        prop_assert_eq!(oracle.len(), bfs.len());
+        for (a, b) in oracle.iter().zip(bfs.iter()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// Claim 2 (DFS correctness, with pruning and disk-resident state).
+    #[test]
+    fn prop_dfs_matches_oracle(
+        seed in 5000u64..10000,
+        n in 3u32..7,
+        m in 3usize..6,
+        l in 1u32..4,
+        k in 1usize..4,
+    ) {
+        let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+            num_intervals: m,
+            nodes_per_interval: n,
+            avg_out_degree: 2,
+            gap: 1,
+            seed,
+        })
+        .generate();
+        prop_assume!(l <= m as u32 - 1);
+        let oracle = weights(&exhaustive_top_k(&graph, k, l));
+        let dfs = weights(
+            &DfsStableClusters::new(KlStableParams::new(k, l))
+                .run(&graph)
+                .unwrap(),
+        );
+        prop_assert_eq!(oracle.len(), dfs.len());
+        for (a, b) in oracle.iter().zip(dfs.iter()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! End-to-end integration test: the full pipeline on the scripted
+//! January-2007 week recovers the paper's qualitative findings — per-event
+//! keyword clusters (Figures 1, 2), a stable cluster with a gap (Figure 4),
+//! topic drift (Figure 15) and a full-week stable cluster (Figure 16).
+
+use blogstable::core::bfs::BfsStableClusters;
+use blogstable::core::problem::KlStableParams;
+use blogstable::graph::prune::PruneConfig;
+use blogstable::prelude::*;
+
+fn run_week() -> (
+    blogstable::corpus::synthetic::GeneratedCorpus,
+    blogstable::core::pipeline::PipelineOutcome,
+) {
+    let corpus = SyntheticBlogosphere::new(SyntheticConfig::small()).generate();
+    let params = PipelineParams {
+        gap: 2,
+        k: 50,
+        prune: PruneConfig::paper().with_min_pair_count(3),
+        ..PipelineParams::default()
+    }
+    .full_paths();
+    let outcome = Pipeline::new(params).run(&corpus).expect("pipeline");
+    (corpus, outcome)
+}
+
+fn cluster_with<'a>(
+    outcome: &'a blogstable::core::pipeline::PipelineOutcome,
+    corpus: &blogstable::corpus::synthetic::GeneratedCorpus,
+    day: usize,
+    keywords: &[&str],
+) -> Option<&'a KeywordCluster> {
+    let ids: Vec<KeywordId> = keywords
+        .iter()
+        .map(|k| corpus.vocabulary.get(k).expect("keyword interned"))
+        .collect();
+    outcome.interval_clusters[day]
+        .iter()
+        .find(|c| ids.iter().all(|id| c.contains(*id)))
+}
+
+#[test]
+fn figure1_stem_cell_cluster_on_jan8() {
+    let (corpus, outcome) = run_week();
+    let cluster = cluster_with(&outcome, &corpus, 2, &["stem", "cell", "amniot"])
+        .expect("stem-cell cluster on Jan 8");
+    // A compact topical cluster, not a giant merged component.
+    assert!(cluster.len() <= 20, "cluster too large: {}", cluster.len());
+    assert!(cluster.len() >= 4);
+}
+
+#[test]
+fn figure2_beckham_cluster_on_jan12() {
+    let (corpus, outcome) = run_week();
+    let cluster = cluster_with(&outcome, &corpus, 6, &["beckham", "mls", "galaxi"])
+        .expect("Beckham cluster on Jan 12");
+    assert!(cluster.len() <= 20);
+}
+
+#[test]
+fn figure4_gap_stable_cluster_for_fa_cup() {
+    let (corpus, outcome) = run_week();
+    // The FA-cup chatter exists on Jan 6 and again on Jan 9/10, with nothing
+    // on Jan 7-8: a stable cluster with a gap.
+    let liverpool = corpus.vocabulary.get("liverpool").unwrap();
+    let arsenal = corpus.vocabulary.get("arsenal").unwrap();
+    let mut gap_path_found = false;
+    for l in [4u32, 3] {
+        let paths = BfsStableClusters::new(KlStableParams::new(1000, l))
+            .run(&outcome.cluster_graph)
+            .unwrap();
+        gap_path_found |= paths.iter().any(|p| {
+            p.nodes().iter().all(|n| {
+                outcome.cluster_at(*n).contains(liverpool)
+                    && outcome.cluster_at(*n).contains(arsenal)
+            }) && p
+                .nodes()
+                .windows(2)
+                .any(|w| w[1].interval - w[0].interval >= 2)
+        });
+        if gap_path_found {
+            break;
+        }
+    }
+    assert!(gap_path_found, "expected an FA-cup path spanning the Jan 7-8 gap");
+}
+
+#[test]
+fn figure15_topic_drift_iphone_to_cisco() {
+    let (corpus, outcome) = run_week();
+    let iphon = corpus.vocabulary.get("iphon").unwrap();
+    let macworld = corpus.vocabulary.get("macworld").unwrap();
+    let lawsuit = corpus.vocabulary.get("lawsuit").unwrap();
+    let paths = BfsStableClusters::new(KlStableParams::new(300, 3))
+        .run(&outcome.cluster_graph)
+        .unwrap();
+    let drift = paths.iter().find(|p| {
+        let clusters: Vec<_> = p.nodes().iter().map(|n| outcome.cluster_at(*n)).collect();
+        clusters.iter().all(|c| c.contains(iphon))
+            && clusters.first().is_some_and(|c| c.contains(macworld))
+            && clusters.last().is_some_and(|c| c.contains(lawsuit))
+    });
+    assert!(
+        drift.is_some(),
+        "expected an iPhone path drifting from launch keywords to lawsuit keywords"
+    );
+}
+
+#[test]
+fn figure16_full_week_somalia_path() {
+    let (corpus, outcome) = run_week();
+    let somalia = corpus.vocabulary.get("somalia").unwrap();
+    let full_week = outcome.stable_paths.iter().find(|p| {
+        p.length() == 6 && p.nodes().iter().all(|n| outcome.cluster_at(*n).contains(somalia))
+    });
+    assert!(
+        full_week.is_some(),
+        "expected a full-week stable cluster for the Somalia event"
+    );
+}
+
+#[test]
+fn background_words_do_not_form_giant_clusters() {
+    let (_, outcome) = run_week();
+    for (day, clusters) in outcome.interval_clusters.iter().enumerate() {
+        let largest = clusters.iter().map(|c| c.len()).max().unwrap_or(0);
+        assert!(
+            largest < 60,
+            "day {day}: largest cluster has {largest} keywords; chi^2/rho pruning failed"
+        );
+        assert!(clusters.len() >= 10, "day {day}: too few clusters");
+    }
+}
+
+#[test]
+fn normalized_pipeline_returns_dense_paths() {
+    let corpus = SyntheticBlogosphere::new(SyntheticConfig::small()).generate();
+    let params = PipelineParams {
+        gap: 2,
+        k: 10,
+        prune: PruneConfig::paper().with_min_pair_count(3),
+        ..PipelineParams::default()
+    }
+    .normalized(2);
+    let outcome = Pipeline::new(params).run(&corpus).expect("pipeline");
+    assert!(!outcome.stable_paths.is_empty());
+    for path in &outcome.stable_paths {
+        assert!(path.length() >= 2);
+        assert!(path.stability() > 0.0);
+    }
+    // Results are sorted by stability.
+    for pair in outcome.stable_paths.windows(2) {
+        assert!(pair[0].stability() >= pair[1].stability() - 1e-12);
+    }
+}

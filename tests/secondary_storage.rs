@@ -1,0 +1,130 @@
+//! Integration tests for the secondary-storage paths: the disk-based
+//! variants of every algorithm must produce exactly the same answers as their
+//! in-memory counterparts, and the external-sort pair counter must agree with
+//! the hash-map counter on a realistic corpus.
+
+use blogstable::core::bfs::{BfsConfig, BfsStableClusters};
+use blogstable::core::dfs::{DfsConfig, DfsStableClusters};
+use blogstable::core::problem::KlStableParams;
+use blogstable::core::synthetic::{ClusterGraphGenerator, SyntheticGraphParams};
+use blogstable::corpus::pairs::{PairCountConfig, PairCounter};
+use blogstable::graph::biconnected::BiconnectedComponents;
+use blogstable::graph::csr::CsrGraph;
+use blogstable::graph::keyword_graph::KeywordGraphBuilder;
+use blogstable::graph::prune::PruneConfig;
+use blogstable::prelude::*;
+use blogstable::storage::external_sort::SortConfig;
+use blogstable::storage::io_stats;
+
+#[test]
+fn external_pair_counting_matches_in_memory_on_synthetic_day() {
+    let corpus = SyntheticBlogosphere::new(SyntheticConfig::small().with_posts_per_interval(150))
+        .generate();
+    let docs = corpus.timeline.documents(IntervalId(0));
+    let in_memory = PairCounter::in_memory().count(docs).unwrap();
+    let external = PairCounter::with_config(PairCountConfig {
+        external: true,
+        sort: SortConfig {
+            max_records_in_memory: 256,
+            merge_fan_in: 4,
+        },
+    })
+    .count(docs)
+    .unwrap();
+    assert_eq!(in_memory.num_documents(), external.num_documents());
+    assert_eq!(in_memory.num_keywords(), external.num_keywords());
+    assert_eq!(in_memory.num_pairs(), external.num_pairs());
+    for (u, v, count) in in_memory.iter_pairs() {
+        assert_eq!(external.pair_count(u, v), count);
+    }
+}
+
+#[test]
+fn spillable_biconnected_components_match_in_memory_on_pruned_graph() {
+    let corpus = SyntheticBlogosphere::new(SyntheticConfig::small()).generate();
+    let docs = corpus.timeline.documents(IntervalId(2));
+    let counts = PairCounter::in_memory().count(docs).unwrap();
+    let graph = KeywordGraphBuilder::from_pair_counts(&counts);
+    let (pruned, _) = PruneConfig::paper().with_min_pair_count(3).prune(&graph);
+    let csr = CsrGraph::from_pruned(&pruned);
+
+    let in_memory = BiconnectedComponents::default().run(&csr).unwrap();
+    let spilled = BiconnectedComponents::with_memory_limit(4).run(&csr).unwrap();
+    assert_eq!(in_memory.articulation_points, spilled.articulation_points);
+    let normalize = |result: &blogstable::graph::biconnected::BiconnectedResult| {
+        let mut sets: Vec<Vec<u32>> = result
+            .components
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                result
+                    .component_vertices(&csr, i)
+                    .into_iter()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        sets.sort();
+        sets
+    };
+    assert_eq!(normalize(&in_memory), normalize(&spilled));
+}
+
+#[test]
+fn on_disk_bfs_and_dfs_match_in_memory_and_perform_io() {
+    let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+        num_intervals: 5,
+        nodes_per_interval: 20,
+        avg_out_degree: 3,
+        gap: 1,
+        seed: 99,
+    })
+    .generate();
+    let params = KlStableParams::new(5, 3);
+
+    let before = io_stats::global().snapshot();
+    let bfs_disk = BfsStableClusters::with_config(params, BfsConfig::on_disk())
+        .run(&graph)
+        .unwrap();
+    let dfs_disk = DfsStableClusters::new(params).run(&graph).unwrap();
+    let io = io_stats::global().snapshot().delta(&before);
+    assert!(io.read_ops > 0, "disk variants should report read I/O");
+    assert!(io.write_ops > 0, "disk variants should report write I/O");
+
+    let bfs_memory = BfsStableClusters::new(params).run(&graph).unwrap();
+    let dfs_memory = DfsStableClusters::with_config(params, DfsConfig::in_memory())
+        .run(&graph)
+        .unwrap();
+    assert_eq!(bfs_disk.len(), bfs_memory.len());
+    assert_eq!(dfs_disk.len(), dfs_memory.len());
+    for (a, b) in bfs_disk.iter().zip(bfs_memory.iter()) {
+        assert!((a.weight() - b.weight()).abs() < 1e-9);
+    }
+    for (a, b) in dfs_disk.iter().zip(dfs_memory.iter()) {
+        assert!((a.weight() - b.weight()).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn dfs_memory_footprint_is_bounded_by_the_stack() {
+    // The motivation for DFS: it only keeps the stack in memory. Verify the
+    // reported peak stack depth is bounded by the number of intervals while
+    // BFS holds many more paths resident.
+    let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+        num_intervals: 8,
+        nodes_per_interval: 40,
+        avg_out_degree: 4,
+        gap: 0,
+        seed: 5,
+    })
+    .generate();
+    let params = KlStableParams::full_paths(3, 8);
+    let (_, dfs_stats) = DfsStableClusters::with_config(params, DfsConfig::in_memory())
+        .run_with_stats(&graph)
+        .unwrap();
+    let (_, bfs_stats) = BfsStableClusters::new(params).run_with_stats(&graph).unwrap();
+    assert!(dfs_stats.peak_stack_depth <= graph.num_intervals() + 1);
+    assert!(
+        bfs_stats.peak_resident_paths > dfs_stats.peak_stack_depth,
+        "BFS should hold more state in memory than the DFS stack"
+    );
+}
