@@ -9,9 +9,7 @@
 //! cluster it with its `+` neighbours, recurse), which is the standard
 //! practical approximation, and use it as a quality/throughput comparator.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use bsc_util::DetRng;
 
 use bsc_corpus::vocabulary::KeywordId;
 use bsc_graph::prune::PrunedGraph;
@@ -53,8 +51,7 @@ impl SignedGraph {
     /// surviving (strongly correlated) pairs.
     pub fn from_pruned(graph: &PrunedGraph) -> Self {
         let vertices = graph.vertices();
-        let pairs: Vec<(KeywordId, KeywordId)> =
-            graph.edges().iter().map(|e| (e.u, e.v)).collect();
+        let pairs: Vec<(KeywordId, KeywordId)> = graph.edges().iter().map(|e| (e.u, e.v)).collect();
         SignedGraph::new(vertices, &pairs)
     }
 
@@ -120,8 +117,8 @@ impl SignedGraph {
 pub fn cc_pivot(graph: &SignedGraph, seed: u64) -> Vec<Vec<KeywordId>> {
     let n = graph.num_vertices();
     let mut order: Vec<u32> = (0..n as u32).collect();
-    let mut rng = StdRng::seed_from_u64(seed);
-    order.shuffle(&mut rng);
+    let mut rng = DetRng::seed_from_u64(seed);
+    rng.shuffle(&mut order);
     let adjacency = graph.positive_adjacency();
     let mut clustered = vec![false; n];
     let mut clusters = Vec::new();

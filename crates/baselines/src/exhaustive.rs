@@ -8,8 +8,61 @@
 //! on small graphs.
 
 use bsc_core::cluster_graph::{ClusterGraph, ClusterNodeId};
+use bsc_core::error::BscResult;
 use bsc_core::path::ClusterPath;
+use bsc_core::problem::StableClusterSpec;
+use bsc_core::solver::{AlgorithmKind, Solution, SolverStats, StableClusterSolver};
 use bsc_core::topk::TopKPaths;
+
+/// The exhaustive oracle behind the [`StableClusterSolver`] trait, so the
+/// conformance suites can run it through the same `Box<dyn>` dispatch as the
+/// real algorithms. It answers every [`StableClusterSpec`]; complexity is
+/// exponential in the number of intervals, so only use it on small graphs.
+#[derive(Debug, Clone, Copy)]
+pub struct ExhaustiveSolver {
+    spec: StableClusterSpec,
+    k: usize,
+}
+
+impl ExhaustiveSolver {
+    /// Create an oracle answering `spec` with `k` results.
+    pub fn new(spec: StableClusterSpec, k: usize) -> Self {
+        ExhaustiveSolver { spec, k }
+    }
+}
+
+impl StableClusterSolver for ExhaustiveSolver {
+    fn name(&self) -> &'static str {
+        "exhaustive-oracle"
+    }
+
+    fn algorithm(&self) -> AlgorithmKind {
+        match self.spec {
+            StableClusterSpec::Normalized { .. } => AlgorithmKind::Normalized,
+            _ => AlgorithmKind::Bfs,
+        }
+    }
+
+    fn solve(&mut self, graph: &ClusterGraph) -> BscResult<Solution> {
+        let mut stats = SolverStats::default();
+        let paths = match self.spec {
+            StableClusterSpec::FullPaths => {
+                let l = graph.num_intervals().saturating_sub(1) as u32;
+                exhaustive_top_k(graph, self.k, l)
+            }
+            StableClusterSpec::ExactLength(l) => exhaustive_top_k(graph, self.k, l),
+            StableClusterSpec::Normalized { l_min } => {
+                exhaustive_normalized_top_k(graph, self.k, l_min)
+            }
+        };
+        stats.paths_generated = paths.len() as u64;
+        Ok(Solution {
+            paths,
+            stats,
+            io: Default::default(),
+        })
+    }
+}
 
 /// The exact top-k paths of length exactly `l`, by descending weight.
 pub fn exhaustive_top_k(graph: &ClusterGraph, k: usize, l: u32) -> Vec<ClusterPath> {
@@ -28,22 +81,24 @@ pub fn exhaustive_top_k(graph: &ClusterGraph, k: usize, l: u32) -> Vec<ClusterPa
 }
 
 /// The exact top-k paths of length at least `l_min`, by descending stability.
-pub fn exhaustive_normalized_top_k(
-    graph: &ClusterGraph,
-    k: usize,
-    l_min: u32,
-) -> Vec<ClusterPath> {
+pub fn exhaustive_normalized_top_k(graph: &ClusterGraph, k: usize, l_min: u32) -> Vec<ClusterPath> {
     let mut results: Vec<ClusterPath> = Vec::new();
     if k == 0 || l_min == 0 {
         return results;
     }
     let max_len = graph.num_intervals().saturating_sub(1) as u32;
     for start in graph.node_ids() {
-        extend(graph, vec![start], 0.0, max_len, &mut |path: &ClusterPath| {
-            if path.length() >= l_min {
-                results.push(path.clone());
-            }
-        });
+        extend(
+            graph,
+            vec![start],
+            0.0,
+            max_len,
+            &mut |path: &ClusterPath| {
+                if path.length() >= l_min {
+                    results.push(path.clone());
+                }
+            },
+        );
     }
     results.sort_by(|a, b| {
         b.stability()

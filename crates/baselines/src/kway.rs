@@ -60,8 +60,7 @@ pub fn kway_partition(graph: &CsrGraph, params: KwayParams) -> Vec<Vec<KeywordId
     parts
         .into_iter()
         .map(|part| {
-            let mut keywords: Vec<KeywordId> =
-                part.into_iter().map(|v| graph.keyword(v)).collect();
+            let mut keywords: Vec<KeywordId> = part.into_iter().map(|v| graph.keyword(v)).collect();
             keywords.sort_unstable();
             keywords
         })
@@ -168,11 +167,7 @@ fn bisect(graph: &CsrGraph, part: &[u32], refinement_passes: usize) -> (Vec<u32>
     }
 
     let side_a: Vec<u32> = part.iter().copied().filter(|v| in_a.contains(v)).collect();
-    let side_b: Vec<u32> = part
-        .iter()
-        .copied()
-        .filter(|v| !in_a.contains(v))
-        .collect();
+    let side_b: Vec<u32> = part.iter().copied().filter(|v| !in_a.contains(v)).collect();
     (side_a, side_b)
 }
 
@@ -254,7 +249,13 @@ mod tests {
     #[test]
     fn parts_are_roughly_balanced() {
         let graph = two_cliques();
-        let parts = kway_partition(&graph, KwayParams { k: 2, refinement_passes: 4 });
+        let parts = kway_partition(
+            &graph,
+            KwayParams {
+                k: 2,
+                refinement_passes: 4,
+            },
+        );
         let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
         assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 2);
     }
@@ -264,6 +265,13 @@ mod tests {
         let graph = CsrGraph::from_weighted_edges(Vec::<(KeywordId, KeywordId, f64)>::new());
         assert!(kway_partition(&graph, KwayParams::default()).is_empty());
         let graph = two_cliques();
-        assert!(kway_partition(&graph, KwayParams { k: 0, refinement_passes: 1 }).is_empty());
+        assert!(kway_partition(
+            &graph,
+            KwayParams {
+                k: 0,
+                refinement_passes: 1
+            }
+        )
+        .is_empty());
     }
 }

@@ -32,6 +32,6 @@ pub mod maxflow;
 
 pub use correlation_clustering::{cc_pivot, SignedGraph};
 pub use cut_clustering::{cut_clustering, CutClusteringParams};
-pub use exhaustive::{exhaustive_normalized_top_k, exhaustive_top_k};
+pub use exhaustive::{exhaustive_normalized_top_k, exhaustive_top_k, ExhaustiveSolver};
 pub use kway::{kway_partition, KwayParams};
 pub use maxflow::FlowNetwork;

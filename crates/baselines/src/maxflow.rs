@@ -40,8 +40,14 @@ impl FlowNetwork {
     /// Panics if an endpoint is out of range or the capacity is negative.
     pub fn add_edge(&mut self, u: u32, v: u32, capacity: f64) {
         assert!(capacity >= 0.0, "capacities must be non-negative");
-        assert!((u as usize) < self.adjacency.len(), "vertex {u} out of range");
-        assert!((v as usize) < self.adjacency.len(), "vertex {v} out of range");
+        assert!(
+            (u as usize) < self.adjacency.len(),
+            "vertex {u} out of range"
+        );
+        assert!(
+            (v as usize) < self.adjacency.len(),
+            "vertex {v} out of range"
+        );
         let id = self.to.len() as u32;
         self.to.push(v);
         self.capacity.push(capacity);
@@ -108,9 +114,7 @@ impl FlowNetwork {
         while iter[u as usize] < self.adjacency[u as usize].len() {
             let edge = self.adjacency[u as usize][iter[u as usize]];
             let v = self.to[edge as usize];
-            if self.capacity[edge as usize] > EPS
-                && level[v as usize] == level[u as usize] + 1
-            {
+            if self.capacity[edge as usize] > EPS && level[v as usize] == level[u as usize] + 1 {
                 let pushed = self.dfs_push(
                     v,
                     sink,

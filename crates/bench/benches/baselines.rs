@@ -1,11 +1,13 @@
-//! Criterion bench comparing the paper's articulation-point clustering
-//! against the related-work baselines (cut clustering, CC-Pivot, k-way
-//! partitioning) on the same pruned keyword graph.
+//! Bench comparing the paper's articulation-point clustering against the
+//! related-work baselines (cut clustering, CC-Pivot, k-way partitioning) on
+//! the same pruned keyword graph.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use bsc_baselines::{cc_pivot, cut_clustering, kway_partition, CutClusteringParams, KwayParams, SignedGraph};
+use bsc_baselines::{
+    cc_pivot, cut_clustering, kway_partition, CutClusteringParams, KwayParams, SignedGraph,
+};
+use bsc_bench::harness::Bench;
 use bsc_bench::workloads::single_day;
 use bsc_corpus::pairs::PairCounter;
 use bsc_corpus::timeline::IntervalId;
@@ -14,7 +16,7 @@ use bsc_graph::csr::CsrGraph;
 use bsc_graph::keyword_graph::KeywordGraphBuilder;
 use bsc_graph::prune::PruneConfig;
 
-fn baselines(c: &mut Criterion) {
+fn main() {
     let corpus = single_day(400, 400, 7);
     let counts = PairCounter::in_memory()
         .count(corpus.timeline.documents(IntervalId(0)))
@@ -23,26 +25,19 @@ fn baselines(c: &mut Criterion) {
     let (pruned, _) = PruneConfig::paper().with_rho(0.05).prune(&graph);
     let csr = CsrGraph::from_pruned(&pruned);
 
-    let mut group = c.benchmark_group("clustering_baselines");
-    group.sample_size(10);
-    group.bench_function("biconnected_components_paper", |b| {
-        b.iter(|| {
-            ClusterExtractor::default()
-                .extract(black_box(&pruned), IntervalId(0))
-                .unwrap()
-        })
+    let mut bench = Bench::new("clustering_baselines");
+    bench.case("biconnected_components_paper", || {
+        ClusterExtractor::default()
+            .extract(black_box(&pruned), IntervalId(0))
+            .unwrap()
     });
-    group.bench_function("cc_pivot", |b| {
-        b.iter(|| cc_pivot(black_box(&SignedGraph::from_pruned(&pruned)), 7))
+    bench.case("cc_pivot", || {
+        cc_pivot(black_box(&SignedGraph::from_pruned(&pruned)), 7)
     });
-    group.bench_function("kway_partition", |b| {
-        b.iter(|| kway_partition(black_box(&csr), KwayParams::default()))
+    bench.case("kway_partition", || {
+        kway_partition(black_box(&csr), KwayParams::default())
     });
-    group.bench_function("cut_clustering_flake", |b| {
-        b.iter(|| cut_clustering(black_box(&csr), CutClusteringParams::default()))
+    bench.case("cut_clustering_flake", || {
+        cut_clustering(black_box(&csr), CutClusteringParams::default())
     });
-    group.finish();
 }
-
-criterion_group!(benches, baselines);
-criterion_main!(benches);

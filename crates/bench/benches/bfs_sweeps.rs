@@ -1,78 +1,58 @@
-//! Criterion benches for the BFS parameter sweeps (Figures 7, 8, 9, 10):
-//! sensitivity to the gap g, the out-degree d, the number of nodes n and the
-//! subpath length l.
+//! BFS parameter sweeps (Figures 7, 8, 9, 10): sensitivity to the gap g, the
+//! out-degree d, the number of nodes n and the subpath length l.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use bsc_bench::harness::Bench;
 use bsc_bench::workloads::cluster_graph;
 use bsc_core::bfs::BfsStableClusters;
 use bsc_core::problem::KlStableParams;
 
-fn bfs_gap_sweep(c: &mut Criterion) {
+fn main() {
     // Figure 7: varying g at fixed n, d, m.
-    let mut group = c.benchmark_group("fig7_bfs_vs_gap");
-    group.sample_size(10);
+    let mut bench = Bench::new("fig7_bfs_vs_gap");
     for g in [0u32, 1, 2] {
         let graph = cluster_graph(10, 200, 5, g, 7);
         let params = KlStableParams::full_paths(5, 10);
-        group.bench_with_input(BenchmarkId::from_parameter(g), &g, |b, _| {
-            b.iter(|| BfsStableClusters::new(params).run(black_box(&graph)).unwrap())
+        bench.case(format!("g={g}"), || {
+            BfsStableClusters::new(params)
+                .run(black_box(&graph))
+                .unwrap()
         });
     }
-    group.finish();
-}
 
-fn bfs_degree_sweep(c: &mut Criterion) {
     // Figure 8: varying d at fixed n, g, m.
-    let mut group = c.benchmark_group("fig8_bfs_vs_degree");
-    group.sample_size(10);
+    let mut bench = Bench::new("fig8_bfs_vs_degree");
     for d in [3u32, 5, 7] {
         let graph = cluster_graph(10, 200, d, 2, 7);
         let params = KlStableParams::full_paths(5, 10);
-        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
-            b.iter(|| BfsStableClusters::new(params).run(black_box(&graph)).unwrap())
+        bench.case(format!("d={d}"), || {
+            BfsStableClusters::new(params)
+                .run(black_box(&graph))
+                .unwrap()
         });
     }
-    group.finish();
-}
 
-fn bfs_node_sweep(c: &mut Criterion) {
     // Figure 9: varying n (scalability).
-    let mut group = c.benchmark_group("fig9_bfs_vs_nodes");
-    group.sample_size(10);
+    let mut bench = Bench::new("fig9_bfs_vs_nodes");
     for n in [500u32, 1_000, 2_000] {
         let graph = cluster_graph(10, n, 5, 1, 7);
         let params = KlStableParams::full_paths(5, 10);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| BfsStableClusters::new(params).run(black_box(&graph)).unwrap())
+        bench.case(format!("n={n}"), || {
+            BfsStableClusters::new(params)
+                .run(black_box(&graph))
+                .unwrap()
         });
     }
-    group.finish();
-}
 
-fn bfs_subpath_sweep(c: &mut Criterion) {
     // Figure 10: varying the subpath length l.
-    let mut group = c.benchmark_group("fig10_bfs_vs_subpath_length");
-    group.sample_size(10);
+    let mut bench = Bench::new("fig10_bfs_vs_subpath_length");
     let graph = cluster_graph(15, 300, 5, 2, 7);
     for l in [2u32, 4, 6] {
-        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, &l| {
-            b.iter(|| {
-                BfsStableClusters::new(KlStableParams::new(5, l))
-                    .run(black_box(&graph))
-                    .unwrap()
-            })
+        bench.case(format!("l={l}"), || {
+            BfsStableClusters::new(KlStableParams::new(5, l))
+                .run(black_box(&graph))
+                .unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bfs_gap_sweep,
-    bfs_degree_sweep,
-    bfs_node_sweep,
-    bfs_subpath_sweep
-);
-criterion_main!(benches);

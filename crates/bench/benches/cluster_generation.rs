@@ -1,10 +1,10 @@
-//! Criterion bench for the cluster-generation stage (Table 1 / Figure 6):
-//! pair counting, χ²/ρ pruning and the biconnected-component (Art) algorithm
-//! over one synthetic day, at several ρ thresholds.
+//! Cluster-generation bench (Table 1 / Figure 6): pair counting, χ²/ρ
+//! pruning and the biconnected-component (Art) algorithm over one synthetic
+//! day, at several ρ thresholds.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use bsc_bench::harness::Bench;
 use bsc_bench::workloads::single_day;
 use bsc_corpus::pairs::PairCounter;
 use bsc_corpus::timeline::IntervalId;
@@ -12,35 +12,24 @@ use bsc_graph::cluster::ClusterExtractor;
 use bsc_graph::keyword_graph::KeywordGraphBuilder;
 use bsc_graph::prune::PruneConfig;
 
-fn cluster_generation(c: &mut Criterion) {
+fn main() {
     let corpus = single_day(2_000, 2_000, 7);
     let docs = corpus.timeline.documents(IntervalId(0));
     let counts = PairCounter::in_memory().count(docs).expect("pair counting");
 
-    let mut group = c.benchmark_group("cluster_generation");
-    group.sample_size(10);
-
-    group.bench_function("pair_counting", |b| {
-        b.iter(|| {
-            PairCounter::in_memory()
-                .count(black_box(docs))
-                .expect("pair counting")
-        })
+    let mut bench = Bench::new("cluster_generation");
+    bench.case("pair_counting", || {
+        PairCounter::in_memory()
+            .count(black_box(docs))
+            .expect("pair counting")
     });
-
     for rho in [0.1, 0.3, 0.5] {
-        group.bench_with_input(BenchmarkId::new("prune_and_art", rho), &rho, |b, &rho| {
-            b.iter(|| {
-                let graph = KeywordGraphBuilder::from_pair_counts(black_box(&counts));
-                let (pruned, _) = PruneConfig::paper().with_rho(rho).prune(&graph);
-                ClusterExtractor::default()
-                    .extract(&pruned, IntervalId(0))
-                    .expect("extraction")
-            })
+        bench.case(format!("prune_and_art/rho={rho}"), || {
+            let graph = KeywordGraphBuilder::from_pair_counts(black_box(&counts));
+            let (pruned, _) = PruneConfig::paper().with_rho(rho).prune(&graph);
+            ClusterExtractor::default()
+                .extract(&pruned, IntervalId(0))
+                .expect("extraction")
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, cluster_generation);
-criterion_main!(benches);

@@ -1,59 +1,46 @@
-//! Criterion benches for the DFS parameter sweeps (Figures 11, 12, 13):
-//! sensitivity to m/n, to the gap and out-degree, and to the subpath length.
+//! DFS parameter sweeps (Figures 11, 12, 13): sensitivity to m/n, to the gap
+//! and out-degree, and to the subpath length.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use bsc_bench::harness::Bench;
 use bsc_bench::workloads::cluster_graph;
 use bsc_core::dfs::DfsStableClusters;
 use bsc_core::problem::KlStableParams;
 
-fn dfs_size_sweep(c: &mut Criterion) {
+fn main() {
     // Figure 11: varying m and n.
-    let mut group = c.benchmark_group("fig11_dfs_vs_m");
-    group.sample_size(10);
+    let mut bench = Bench::new("fig11_dfs_vs_m");
     for m in [3usize, 5, 7] {
         let graph = cluster_graph(m, 80, 5, 1, 7);
         let params = KlStableParams::full_paths(5, m);
-        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
-            b.iter(|| DfsStableClusters::new(params).run(black_box(&graph)).unwrap())
+        bench.case(format!("m={m}"), || {
+            DfsStableClusters::new(params)
+                .run(black_box(&graph))
+                .unwrap()
         });
     }
-    group.finish();
-}
 
-fn dfs_gap_degree_sweep(c: &mut Criterion) {
     // Figure 12: varying g and d at m = 6.
-    let mut group = c.benchmark_group("fig12_dfs_vs_gap_degree");
-    group.sample_size(10);
+    let mut bench = Bench::new("fig12_dfs_vs_gap_degree");
     for (g, d) in [(0u32, 3u32), (1, 3), (2, 3), (1, 6)] {
         let graph = cluster_graph(6, 80, d, g, 7);
         let params = KlStableParams::full_paths(5, 6);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("g{g}_d{d}")),
-            &(g, d),
-            |b, _| b.iter(|| DfsStableClusters::new(params).run(black_box(&graph)).unwrap()),
-        );
-    }
-    group.finish();
-}
-
-fn dfs_subpath_sweep(c: &mut Criterion) {
-    // Figure 13: varying the subpath length l.
-    let mut group = c.benchmark_group("fig13_dfs_vs_subpath_length");
-    group.sample_size(10);
-    let graph = cluster_graph(6, 80, 5, 1, 7);
-    for l in [2u32, 3, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, &l| {
-            b.iter(|| {
-                DfsStableClusters::new(KlStableParams::new(5, l))
-                    .run(black_box(&graph))
-                    .unwrap()
-            })
+        bench.case(format!("g{g}_d{d}"), || {
+            DfsStableClusters::new(params)
+                .run(black_box(&graph))
+                .unwrap()
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, dfs_size_sweep, dfs_gap_degree_sweep, dfs_subpath_sweep);
-criterion_main!(benches);
+    // Figure 13: varying the subpath length l.
+    let mut bench = Bench::new("fig13_dfs_vs_subpath_length");
+    let graph = cluster_graph(6, 80, 5, 1, 7);
+    for l in [2u32, 3, 4] {
+        bench.case(format!("l={l}"), || {
+            DfsStableClusters::new(KlStableParams::new(5, l))
+                .run(black_box(&graph))
+                .unwrap()
+        });
+    }
+}

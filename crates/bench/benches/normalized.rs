@@ -1,46 +1,31 @@
-//! Criterion bench for Problem 2 (Figure 14): normalized stable clusters as
-//! the number of intervals and the minimum length grow, plus the streaming
-//! (online) ingestion path of Section 4.6.
+//! Problem 2 bench (Figure 14): normalized stable clusters as the number of
+//! intervals and the minimum length grow, plus the streaming (online)
+//! ingestion path of Section 4.6.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use bsc_bench::harness::Bench;
 use bsc_bench::workloads::cluster_graph;
 use bsc_core::normalized::NormalizedStableClusters;
 use bsc_core::problem::{KlStableParams, NormalizedParams};
 use bsc_core::streaming::OnlineStableClusters;
 
-fn normalized_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig14_normalized");
-    group.sample_size(10);
+fn main() {
+    let mut bench = Bench::new("fig14_normalized");
     for m in [4usize, 6, 8] {
         let graph = cluster_graph(m, 100, 3, 0, 7);
         for lmin in [2u32, 3] {
-            group.bench_with_input(
-                BenchmarkId::from_parameter(format!("m{m}_lmin{lmin}")),
-                &lmin,
-                |b, &lmin| {
-                    b.iter(|| {
-                        NormalizedStableClusters::new(NormalizedParams::new(5, lmin))
-                            .run(black_box(&graph))
-                            .unwrap()
-                    })
-                },
-            );
+            bench.case(format!("m{m}_lmin{lmin}"), || {
+                NormalizedStableClusters::new(NormalizedParams::new(5, lmin))
+                    .run(black_box(&graph))
+                    .unwrap()
+            });
         }
     }
-    group.finish();
-}
 
-fn streaming_ingest(c: &mut Criterion) {
-    let mut group = c.benchmark_group("streaming_online_ingest");
-    group.sample_size(10);
+    let mut bench = Bench::new("streaming_online_ingest");
     let graph = cluster_graph(12, 200, 5, 1, 7);
-    group.bench_function("replay_12_intervals", |b| {
-        b.iter(|| OnlineStableClusters::replay(KlStableParams::new(5, 3), black_box(&graph)))
+    bench.case("replay_12_intervals", || {
+        OnlineStableClusters::replay(KlStableParams::new(5, 3), black_box(&graph))
     });
-    group.finish();
 }
-
-criterion_group!(benches, normalized_sweep, streaming_ingest);
-criterion_main!(benches);

@@ -1,34 +1,26 @@
-//! Criterion bench for Table 3: BFS vs DFS vs TA seeking top-5 full paths on
-//! the synthetic cluster-graph workload (reduced n so `cargo bench` stays
-//! fast; `repro table3 --paper` runs the paper's parameters).
+//! Table 3 bench: BFS vs DFS vs TA seeking top-5 full paths on the synthetic
+//! cluster-graph workload, dispatched uniformly through the
+//! `StableClusterSolver` trait (reduced n so the bench stays fast;
+//! `repro table3 --paper` runs the paper's parameters).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use bsc_bench::harness::Bench;
 use bsc_bench::workloads::cluster_graph;
-use bsc_core::bfs::BfsStableClusters;
-use bsc_core::dfs::DfsStableClusters;
-use bsc_core::problem::KlStableParams;
-use bsc_core::ta::TaStableClusters;
+use bsc_core::problem::StableClusterSpec;
+use bsc_core::solver::AlgorithmKind;
 
-fn table3(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3_full_paths");
-    group.sample_size(10);
+fn main() {
+    let mut bench = Bench::new("table3_full_paths");
     for m in [3usize, 6] {
         let graph = cluster_graph(m, 100, 5, 0, 7);
-        let params = KlStableParams::full_paths(5, m);
-        group.bench_with_input(BenchmarkId::new("bfs", m), &m, |b, _| {
-            b.iter(|| BfsStableClusters::new(params).run(black_box(&graph)).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("dfs", m), &m, |b, _| {
-            b.iter(|| DfsStableClusters::new(params).run(black_box(&graph)).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("ta", m), &m, |b, _| {
-            b.iter(|| TaStableClusters::new(5).run(black_box(&graph)).unwrap())
-        });
+        for kind in [AlgorithmKind::Bfs, AlgorithmKind::Dfs, AlgorithmKind::Ta] {
+            bench.case(format!("{kind}/m={m}"), || {
+                kind.build(StableClusterSpec::FullPaths, 5, m)
+                    .unwrap()
+                    .solve(black_box(&graph))
+                    .unwrap()
+            });
+        }
     }
-    group.finish();
 }
-
-criterion_group!(benches, table3);
-criterion_main!(benches);

@@ -14,19 +14,21 @@
 //! * the articulation-point clustering is orders of magnitude faster than
 //!   flow-based cut clustering (related-work comparison).
 
-use bsc_baselines::{cc_pivot, cut_clustering, kway_partition, CutClusteringParams, KwayParams, SignedGraph};
+use std::time::Duration;
+
+use bsc_baselines::{
+    cc_pivot, cut_clustering, kway_partition, CutClusteringParams, KwayParams, SignedGraph,
+};
 use bsc_core::bfs::{BfsConfig, BfsStableClusters};
-use bsc_core::cluster_graph::ClusterGraphBuilder;
-use bsc_core::dfs::DfsStableClusters;
-use bsc_core::normalized::NormalizedStableClusters;
+use bsc_core::cluster_graph::{ClusterGraph, ClusterGraphBuilder};
 use bsc_core::pipeline::{Pipeline, PipelineParams, StableClusterSpec};
-use bsc_core::problem::{KlStableParams, NormalizedParams};
-use bsc_core::ta::TaStableClusters;
+use bsc_core::problem::KlStableParams;
+use bsc_core::solver::{AlgorithmKind, Solution};
 use bsc_corpus::pairs::PairCounter;
 use bsc_corpus::timeline::IntervalId;
 use bsc_graph::cluster::ClusterExtractor;
-use bsc_graph::keyword_graph::KeywordGraphBuilder;
 use bsc_graph::csr::CsrGraph;
+use bsc_graph::keyword_graph::KeywordGraphBuilder;
 use bsc_graph::prune::PruneConfig;
 
 use crate::report::{mib, seconds, Table};
@@ -52,6 +54,23 @@ impl Scale {
 }
 
 const SEED: u64 = 2007;
+
+/// Build the solver for `kind`/`spec` through the unified trait, run it on
+/// `graph` and report the wall-clock time. One dispatch point backs every
+/// per-algorithm experiment below — the paper's comparisons are literally
+/// "same graph, different `AlgorithmKind`".
+fn timed_solve(
+    kind: AlgorithmKind,
+    spec: StableClusterSpec,
+    k: usize,
+    graph: &ClusterGraph,
+) -> (Solution, Duration) {
+    let mut solver = kind
+        .build(spec, k, graph.num_intervals())
+        .expect("supported algorithm/spec combination");
+    let (solution, duration) = timed(|| solver.solve(graph).expect("solver run"));
+    (solution, duration)
+}
 
 /// Table 1: sizes of the per-day keyword graphs (file size, #keywords,
 /// #edges) for two synthetic "days".
@@ -116,32 +135,42 @@ pub fn fig6(scale: Scale) -> Table {
 pub fn table3(scale: Scale) -> Table {
     let n = scale.pick(150, 400);
     let ms: Vec<usize> = scale.pick(vec![3, 6, 9], vec![3, 6, 9, 12, 15]);
-    let ta_max_m = scale.pick(6, 9);
-    let dfs_max_m = scale.pick(9, 12);
+    // TA explodes exponentially and DFS quadratically with m; cap them.
+    let max_m = |kind: AlgorithmKind| match kind {
+        AlgorithmKind::Ta => scale.pick(6, 9),
+        AlgorithmKind::Dfs => scale.pick(9, 12),
+        _ => usize::MAX,
+    };
     let k = 5;
+    let kinds = [AlgorithmKind::Bfs, AlgorithmKind::Dfs, AlgorithmKind::Ta];
+    let headers: Vec<String> = std::iter::once("m".to_string())
+        .chain(
+            kinds
+                .iter()
+                .map(|kind| format!("{}(s)", kind.name().to_uppercase())),
+        )
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(
         "Table 3: BFS vs DFS vs TA, top-5 full paths (n per interval, d=5, g=0)",
-        &["m", "BFS(s)", "DFS(s)", "TA(s)"],
+        &header_refs,
     );
     for &m in &ms {
         let graph = cluster_graph(m, n, 5, 0, SEED);
-        let params = KlStableParams::full_paths(k, m);
-        let (_, bfs_time) = timed(|| BfsStableClusters::new(params).run(&graph).unwrap());
-        let dfs_time = if m <= dfs_max_m {
-            let (_, t) = timed(|| DfsStableClusters::new(params).run(&graph).unwrap());
-            seconds(t)
-        } else {
-            "-".to_string()
-        };
-        let ta_time = if m <= ta_max_m {
-            let (_, t) = timed(|| TaStableClusters::new(k).run(&graph).unwrap());
-            seconds(t)
-        } else {
-            "> skipped (exponential)".to_string()
-        };
-        table.push_row(vec![m.to_string(), seconds(bfs_time), dfs_time, ta_time]);
+        let mut row = vec![m.to_string()];
+        for kind in kinds {
+            if m > max_m(kind) {
+                row.push("> skipped".to_string());
+                continue;
+            }
+            let (_, t) = timed_solve(kind, StableClusterSpec::FullPaths, k, &graph);
+            row.push(seconds(t));
+        }
+        table.push_row(row);
     }
-    table.push_note(format!("n = {n} nodes per interval; paper shape: BFS << DFS, TA explodes beyond small m"));
+    table.push_note(format!(
+        "n = {n} nodes per interval; paper shape: BFS << DFS, TA explodes beyond small m"
+    ));
     table
 }
 
@@ -171,13 +200,14 @@ pub fn fig8(scale: Scale) -> Table {
         let mut row = vec![m.to_string()];
         for d in [3, 5, 7] {
             let graph = cluster_graph(m, n, d, 2, SEED);
-            let params = KlStableParams::full_paths(5, m);
-            let (_, t) = timed(|| BfsStableClusters::new(params).run(&graph).unwrap());
+            let (_, t) = timed_solve(AlgorithmKind::Bfs, StableClusterSpec::FullPaths, 5, &graph);
             row.push(seconds(t));
         }
         table.push_row(row);
     }
-    table.push_note(format!("n = {n}; time grows with d because the edge count grows"));
+    table.push_note(format!(
+        "n = {n}; time grows with d because the edge count grows"
+    ));
     table
 }
 
@@ -198,8 +228,7 @@ fn sweep_bfs_full(
         let mut row = vec![m.to_string()];
         for &g in gaps {
             let graph = cluster_graph(m, n, d, g, SEED);
-            let params = KlStableParams::full_paths(5, m);
-            let (_, t) = timed(|| BfsStableClusters::new(params).run(&graph).unwrap());
+            let (_, t) = timed_solve(AlgorithmKind::Bfs, StableClusterSpec::FullPaths, 5, &graph);
             row.push(seconds(t));
         }
         table.push_row(row);
@@ -210,7 +239,10 @@ fn sweep_bfs_full(
 
 /// Figure 9: BFS scalability in the number of nodes per interval.
 pub fn fig9(scale: Scale) -> Table {
-    let ns: Vec<u32> = scale.pick(vec![1_000, 2_000, 4_000], vec![2_000, 6_000, 10_000, 14_000]);
+    let ns: Vec<u32> = scale.pick(
+        vec![1_000, 2_000, 4_000],
+        vec![2_000, 6_000, 10_000, 14_000],
+    );
     let ms: Vec<usize> = scale.pick(vec![10, 20], vec![25, 50]);
     let mut table = Table::new(
         "Figure 9: BFS time vs nodes per interval (d=5, g=1, top-5 full paths)",
@@ -220,8 +252,7 @@ pub fn fig9(scale: Scale) -> Table {
         let mut row = vec![n.to_string()];
         for &m in &ms {
             let graph = cluster_graph(m, n, 5, 1, SEED);
-            let params = KlStableParams::full_paths(5, m);
-            let (_, t) = timed(|| BfsStableClusters::new(params).run(&graph).unwrap());
+            let (_, t) = timed_solve(AlgorithmKind::Bfs, StableClusterSpec::FullPaths, 5, &graph);
             row.push(seconds(t));
         }
         table.push_row(row);
@@ -247,11 +278,12 @@ pub fn fig10(scale: Scale) -> Table {
         let graph = cluster_graph(m, n, 5, 2, SEED);
         let mut row = vec![n.to_string()];
         for &l in &ls {
-            let (_, t) = timed(|| {
-                BfsStableClusters::new(KlStableParams::new(5, l))
-                    .run(&graph)
-                    .unwrap()
-            });
+            let (_, t) = timed_solve(
+                AlgorithmKind::Bfs,
+                StableClusterSpec::ExactLength(l),
+                5,
+                &graph,
+            );
             row.push(seconds(t));
         }
         table.push_row(row);
@@ -276,8 +308,7 @@ pub fn fig11(scale: Scale) -> Table {
         let mut row = vec![m.to_string()];
         for &n in &ns {
             let graph = cluster_graph(m, n, 5, 1, SEED);
-            let params = KlStableParams::full_paths(5, m);
-            let (_, t) = timed(|| DfsStableClusters::new(params).run(&graph).unwrap());
+            let (_, t) = timed_solve(AlgorithmKind::Dfs, StableClusterSpec::FullPaths, 5, &graph);
             row.push(seconds(t));
         }
         table.push_row(row);
@@ -300,13 +331,14 @@ pub fn fig12(scale: Scale) -> Table {
         let mut row = vec![d.to_string()];
         for g in [0, 1, 2] {
             let graph = cluster_graph(m, n, d, g, SEED);
-            let params = KlStableParams::full_paths(5, m);
-            let (_, t) = timed(|| DfsStableClusters::new(params).run(&graph).unwrap());
+            let (_, t) = timed_solve(AlgorithmKind::Dfs, StableClusterSpec::FullPaths, 5, &graph);
             row.push(seconds(t));
         }
         table.push_row(row);
     }
-    table.push_note(format!("n = {n}; DFS is more sensitive to g than BFS (compare Figure 7)"));
+    table.push_note(format!(
+        "n = {n}; DFS is more sensitive to g than BFS (compare Figure 7)"
+    ));
     table
 }
 
@@ -327,11 +359,12 @@ pub fn fig13(scale: Scale) -> Table {
         let graph = cluster_graph(m, n, 5, 1, SEED);
         let mut row = vec![n.to_string()];
         for &l in &ls {
-            let (_, t) = timed(|| {
-                DfsStableClusters::new(KlStableParams::new(5, l))
-                    .run(&graph)
-                    .unwrap()
-            });
+            let (_, t) = timed_solve(
+                AlgorithmKind::Dfs,
+                StableClusterSpec::ExactLength(l),
+                5,
+                &graph,
+            );
             row.push(seconds(t));
         }
         table.push_row(row);
@@ -358,16 +391,19 @@ pub fn fig14(scale: Scale) -> Table {
         let graph = cluster_graph(m, n, 3, 0, SEED);
         let mut row = vec![m.to_string()];
         for &lmin in &lmins {
-            let (_, t) = timed(|| {
-                NormalizedStableClusters::new(NormalizedParams::new(5, lmin))
-                    .run(&graph)
-                    .unwrap()
-            });
+            let (_, t) = timed_solve(
+                AlgorithmKind::Normalized,
+                StableClusterSpec::Normalized { l_min: lmin },
+                5,
+                &graph,
+            );
             row.push(seconds(t));
         }
         table.push_row(row);
     }
-    table.push_note(format!("n = {n}; paths of all lengths are maintained, so time grows with m and lmin"));
+    table.push_note(format!(
+        "n = {n}; paths of all lengths are maintained, so time grows with m and lmin"
+    ));
     table
 }
 
@@ -393,7 +429,10 @@ pub fn quali(scale: Scale) -> Vec<Table> {
         prune: PruneConfig::paper().with_min_pair_count(scale.pick(3, 4)),
         ..PipelineParams::default()
     };
-    let outcome = Pipeline::new(params).run(&corpus).expect("pipeline");
+    let outcome = Pipeline::new(params)
+        .expect("valid pipeline parameters")
+        .run(&corpus)
+        .expect("pipeline");
 
     let mut summary = Table::new(
         "Section 5.3: per-day clusters and stable clusters over the scripted week",
@@ -425,7 +464,11 @@ pub fn quali(scale: Scale) -> Vec<Table> {
         ("fa-cup (Fig 4, day 1)", 0, &["liverpool", "arsenal"]),
         ("fa-cup (Fig 4, after gap)", 3, &["liverpool", "arsenal"]),
         ("iphone launch (Fig 15)", 3, &["iphon", "appl"]),
-        ("iphone/cisco drift (Fig 15)", 5, &["iphon", "cisco", "lawsuit"]),
+        (
+            "iphone/cisco drift (Fig 15)",
+            5,
+            &["iphon", "cisco", "lawsuit"],
+        ),
         ("somalia (Fig 16)", 0, &["somalia", "islamist"]),
         ("somalia (Fig 16)", 6, &["somalia", "islamist"]),
     ];
@@ -496,12 +539,10 @@ fn probe_stable_path(
     // Search all lengths, not only the configured spec, using the BFS solver
     // over the already-built cluster graph.
     for l in (min_length..=(outcome.cluster_graph.num_intervals() as u32 - 1)).rev() {
-        let paths = BfsStableClusters::with_config(
-            KlStableParams::new(200, l),
-            BfsConfig::default(),
-        )
-        .run(&outcome.cluster_graph)
-        .ok()?;
+        let paths =
+            BfsStableClusters::with_config(KlStableParams::new(200, l), BfsConfig::default())
+                .run(&outcome.cluster_graph)
+                .ok()?;
         for path in paths {
             let all_match = path.nodes().iter().all(|node| {
                 let cluster = outcome.cluster_at(*node);
@@ -513,7 +554,11 @@ fn probe_stable_path(
                     .iter()
                     .map(|n| format!("Jan {}", 6 + n.interval))
                     .collect();
-                return Some(format!("length {} across {}", path.length(), days.join(", ")));
+                return Some(format!(
+                    "length {} across {}",
+                    path.length(),
+                    days.join(", ")
+                ));
             }
         }
     }
@@ -534,7 +579,11 @@ fn probe_drift(
             .run(&outcome.cluster_graph)
             .ok()?;
         for path in paths {
-            let clusters: Vec<_> = path.nodes().iter().map(|n| outcome.cluster_at(*n)).collect();
+            let clusters: Vec<_> = path
+                .nodes()
+                .iter()
+                .map(|n| outcome.cluster_at(*n))
+                .collect();
             let all_iphone = clusters.iter().all(|c| c.contains(iphon));
             let starts_with_launch = clusters.first().is_some_and(|c| c.contains(macworld));
             let ends_with_lawsuit = clusters.last().is_some_and(|c| c.contains(lawsuit));
@@ -717,9 +766,6 @@ mod tests {
     fn streaming_ablation_matches_result_counts() {
         let table = streaming_ablation(Scale::Quick);
         assert_eq!(table.num_rows(), 2);
-        assert_eq!(
-            table.cell(0, "result paths"),
-            table.cell(1, "result paths")
-        );
+        assert_eq!(table.cell(0, "result paths"), table.cell(1, "result paths"));
     }
 }

@@ -1,0 +1,106 @@
+//! A minimal micro-benchmark harness.
+//!
+//! The workspace builds without external crates, so the benches under
+//! `benches/` (declared with `harness = false`) use this tiny fixture
+//! instead of a full benchmarking framework: each case is warmed up once,
+//! then iterated until a time budget is spent, and the mean/min wall-clock
+//! times are printed in a fixed-width table. Benchmarks remain comparable
+//! run-to-run on the same machine; for the paper-shape experiments with
+//! structured output, use the `repro` binary instead.
+
+use std::time::{Duration, Instant};
+
+/// Per-case time budget after warm-up.
+const BUDGET: Duration = Duration::from_millis(500);
+/// Maximum iterations per case, budget permitting.
+const MAX_ITERS: u32 = 25;
+
+/// A named group of benchmark cases, printed as a table.
+#[derive(Debug)]
+pub struct Bench {
+    group: String,
+    printed_header: bool,
+}
+
+impl Bench {
+    /// Start a group; prints the group banner immediately.
+    pub fn new(group: impl Into<String>) -> Self {
+        let group = group.into();
+        println!("\n== {group} ==");
+        Bench {
+            group,
+            printed_header: false,
+        }
+    }
+
+    /// The group name.
+    pub fn group(&self) -> &str {
+        &self.group
+    }
+
+    /// Run one case: warm up once, then iterate within the budget and print
+    /// mean and min iteration times.
+    pub fn case<T>(&mut self, name: impl std::fmt::Display, mut f: impl FnMut() -> T) {
+        if !self.printed_header {
+            println!("{:<38} {:>12} {:>12} {:>7}", "case", "mean", "min", "iters");
+            self.printed_header = true;
+        }
+        std::hint::black_box(f());
+        let mut iters = 0u32;
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        while iters < MAX_ITERS && (iters == 0 || total < BUDGET) {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            let elapsed = start.elapsed();
+            total += elapsed;
+            min = min.min(elapsed);
+            iters += 1;
+        }
+        let mean = total / iters;
+        println!(
+            "{:<38} {:>12} {:>12} {:>7}",
+            name.to_string(),
+            format_duration(mean),
+            format_duration(min),
+            iters
+        );
+    }
+}
+
+/// Render a duration with an appropriate unit.
+pub fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1}us", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3}s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_runs_the_closure() {
+        let mut bench = Bench::new("test-group");
+        assert_eq!(bench.group(), "test-group");
+        let mut calls = 0u32;
+        bench.case("counting", || calls += 1);
+        // One warm-up call plus at least one measured call.
+        assert!(calls >= 2, "{calls}");
+    }
+
+    #[test]
+    fn durations_format_with_units() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.50ms");
+        assert_eq!(format_duration(Duration::from_millis(2500)), "2.500s");
+        assert!(format_duration(Duration::from_micros(2)).ends_with("us"));
+    }
+}

@@ -3,7 +3,7 @@
 //! Experiment harness reproducing every table and figure of the paper's
 //! evaluation (Section 5). Each experiment is a plain function returning a
 //! [`report::Table`], so the same code backs the `repro` binary, the
-//! integration tests and the criterion benches.
+//! integration tests and the micro-benches under `benches/`.
 //!
 //! Two scales are provided: [`Scale::Quick`] (minutes for the full suite,
 //! used by default and by `cargo bench`) and [`Scale::Paper`] (the paper's
@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
 pub mod report;
 pub mod workloads;
 

@@ -248,7 +248,10 @@ mod tests {
         assert_eq!(AffinityKind::Intersection.build().name(), "intersection");
         assert_eq!(AffinityKind::Overlap.build().name(), "overlap");
         assert_eq!(AffinityKind::Dice.build().name(), "dice");
-        assert_eq!(AffinityKind::WeightedJaccard.build().name(), "weighted-jaccard");
+        assert_eq!(
+            AffinityKind::WeightedJaccard.build().name(),
+            "weighted-jaccard"
+        );
     }
 
     #[test]

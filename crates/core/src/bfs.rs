@@ -18,13 +18,15 @@
 
 use std::collections::HashMap;
 
+use bsc_storage::io_stats::IoScope;
 use bsc_storage::node_store::NodeStore;
 use bsc_storage::temp::TempDir;
-use bsc_storage::Result as StorageResult;
 
 use crate::cluster_graph::{ClusterGraph, ClusterNodeId};
+use crate::error::BscResult;
 use crate::path::ClusterPath;
 use crate::problem::KlStableParams;
+use crate::solver::{AlgorithmKind, Solution, SolverStats, StableClusterSolver};
 use crate::topk::TopKPaths;
 
 /// Configuration of the BFS algorithm.
@@ -80,7 +82,7 @@ impl BfsStableClusters {
     }
 
     /// Convenience: solve for the top-k *full* paths (length `m − 1`).
-    pub fn full_paths(k: usize, graph: &ClusterGraph) -> StorageResult<Vec<ClusterPath>> {
+    pub fn full_paths(k: usize, graph: &ClusterGraph) -> BscResult<Vec<ClusterPath>> {
         BfsStableClusters::new(KlStableParams::full_paths(k, graph.num_intervals())).run(graph)
     }
 
@@ -91,15 +93,12 @@ impl BfsStableClusters {
 
     /// Run the algorithm, returning the top-k paths of length exactly `l` in
     /// descending weight order.
-    pub fn run(&self, graph: &ClusterGraph) -> StorageResult<Vec<ClusterPath>> {
+    pub fn run(&self, graph: &ClusterGraph) -> BscResult<Vec<ClusterPath>> {
         self.run_with_stats(graph).map(|(paths, _)| paths)
     }
 
     /// Run the algorithm and also report execution statistics.
-    pub fn run_with_stats(
-        &self,
-        graph: &ClusterGraph,
-    ) -> StorageResult<(Vec<ClusterPath>, BfsStats)> {
+    pub fn run_with_stats(&self, graph: &ClusterGraph) -> BscResult<(Vec<ClusterPath>, BfsStats)> {
         let k = self.params.k;
         let l = self.params.l;
         let mut stats = BfsStats::default();
@@ -222,10 +221,7 @@ impl BfsStableClusters {
                             .map(|heap| {
                                 heap.iter()
                                     .map(|p| {
-                                        (
-                                            p.weight(),
-                                            p.nodes().iter().map(|n| n.to_u64()).collect(),
-                                        )
+                                        (p.weight(), p.nodes().iter().map(|n| n.to_u64()).collect())
                                     })
                                     .collect()
                             })
@@ -239,7 +235,7 @@ impl BfsStableClusters {
                         window.insert(node, heaps);
                     }
                     stats.peak_resident_paths = stats.peak_resident_paths.max(resident_paths);
-                    if interval >= gap + 1 {
+                    if interval > gap {
                         let evict_interval = interval - gap - 1;
                         let to_evict: Vec<ClusterNodeId> =
                             graph.interval_node_ids(evict_interval).collect();
@@ -254,6 +250,37 @@ impl BfsStableClusters {
         }
 
         Ok((global.into_sorted(), stats))
+    }
+}
+
+impl From<BfsStats> for SolverStats {
+    fn from(stats: BfsStats) -> Self {
+        SolverStats {
+            paths_generated: stats.paths_generated,
+            nodes_processed: stats.nodes_processed,
+            peak_resident_paths: stats.peak_resident_paths,
+            ..SolverStats::default()
+        }
+    }
+}
+
+impl StableClusterSolver for BfsStableClusters {
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+
+    fn algorithm(&self) -> AlgorithmKind {
+        AlgorithmKind::Bfs
+    }
+
+    fn solve(&mut self, graph: &ClusterGraph) -> BscResult<Solution> {
+        let scope = IoScope::start();
+        let (paths, stats) = self.run_with_stats(graph)?;
+        Ok(Solution {
+            paths,
+            stats: stats.into(),
+            io: scope.finish(),
+        })
     }
 }
 
@@ -281,13 +308,13 @@ mod tests {
         builder.add_edge(node(0, 1), node(1, 1), 0.1); // c12 -> c22
         builder.add_edge(node(0, 2), node(1, 1), 0.8); // c13 -> c22
         builder.add_edge(node(0, 1), node(1, 2), 0.4); // c12 -> c23
-        // Interval 2 -> 3 edges.
+                                                       // Interval 2 -> 3 edges.
         builder.add_edge(node(1, 0), node(2, 0), 0.7); // c21 -> c31
         builder.add_edge(node(1, 1), node(2, 0), 0.7); // c22 -> c31
         builder.add_edge(node(1, 0), node(2, 1), 0.4); // c21 -> c32
         builder.add_edge(node(1, 1), node(2, 2), 0.9); // c22 -> c33
         builder.add_edge(node(1, 2), node(2, 2), 0.4); // c23 -> c33
-        // Gap edge interval 1 -> 3 (length 2).
+                                                       // Gap edge interval 1 -> 3 (length 2).
         builder.add_edge(node(0, 0), node(2, 1), 0.5); // c11 -> c32
         builder.build()
     }
@@ -299,16 +326,10 @@ mod tests {
         let result = solver.run(&graph).unwrap();
         assert_eq!(result.len(), 2);
         // Best: c13 c22 c33 with weight 0.8 + 0.9 = 1.7.
-        assert_eq!(
-            result[0].nodes(),
-            &[node(0, 2), node(1, 1), node(2, 2)]
-        );
+        assert_eq!(result[0].nodes(), &[node(0, 2), node(1, 1), node(2, 2)]);
         assert!((result[0].weight() - 1.7).abs() < 1e-12);
         // Second: c13 c22 c31 with weight 0.8 + 0.7 = 1.5.
-        assert_eq!(
-            result[1].nodes(),
-            &[node(0, 2), node(1, 1), node(2, 0)]
-        );
+        assert_eq!(result[1].nodes(), &[node(0, 2), node(1, 1), node(2, 0)]);
         assert!((result[1].weight() - 1.5).abs() < 1e-12);
     }
 

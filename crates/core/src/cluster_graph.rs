@@ -127,9 +127,7 @@ impl ClusterGraph {
         self.nodes_per_interval
             .iter()
             .enumerate()
-            .flat_map(|(i, &count)| {
-                (0..count).map(move |j| ClusterNodeId::new(i as u32, j))
-            })
+            .flat_map(|(i, &count)| (0..count).map(move |j| ClusterNodeId::new(i as u32, j)))
     }
 
     /// Node ids of one interval.
@@ -221,11 +219,7 @@ impl ClusterGraphBuilder {
     /// maximum weight so that all weights end up in `(0, 1]`, as the paper
     /// prescribes for unbounded affinity functions.
     pub fn build(self) -> ClusterGraph {
-        let max_weight = self
-            .edges
-            .iter()
-            .map(|&(_, _, w)| w)
-            .fold(0.0f64, f64::max);
+        let max_weight = self.edges.iter().map(|&(_, _, w)| w).fold(0.0f64, f64::max);
         let scale = if max_weight > 1.0 { max_weight } else { 1.0 };
 
         let mut children: Vec<Vec<Vec<ClusterEdge>>> = self
@@ -237,10 +231,8 @@ impl ClusterGraphBuilder {
         let num_edges = self.edges.len();
         for (from, to, weight) in self.edges {
             let weight = weight / scale;
-            children[from.interval as usize][from.index as usize]
-                .push(ClusterEdge { to, weight });
-            parents[to.interval as usize][to.index as usize]
-                .push(ClusterEdge { to: from, weight });
+            children[from.interval as usize][from.index as usize].push(ClusterEdge { to, weight });
+            parents[to.interval as usize][to.index as usize].push(ClusterEdge { to: from, weight });
         }
         // Sort children by descending weight: the DFS algorithm's heuristic
         // "children connected with edges of high weight are considered first".
@@ -376,7 +368,11 @@ mod tests {
         builder.add_edge(node(0, 0), node(1, 1), 0.9);
         builder.add_edge(node(0, 0), node(1, 2), 0.5);
         let graph = builder.build();
-        let weights: Vec<f64> = graph.children(node(0, 0)).iter().map(|e| e.weight).collect();
+        let weights: Vec<f64> = graph
+            .children(node(0, 0))
+            .iter()
+            .map(|e| e.weight)
+            .collect();
         assert_eq!(weights, vec![0.9, 0.5, 0.2]);
     }
 
@@ -432,8 +428,7 @@ mod tests {
                 keyword_cluster(1, 1, &[20, 21]),     // no overlap
             ],
         ];
-        let graph =
-            ClusterGraphBuilder::from_clusters(&intervals, &JaccardAffinity, 0, 0.1);
+        let graph = ClusterGraphBuilder::from_clusters(&intervals, &JaccardAffinity, 0, 0.1);
         assert_eq!(graph.num_intervals(), 2);
         assert_eq!(graph.num_edges(), 1);
         let weight = graph
@@ -465,8 +460,7 @@ mod tests {
             ],
             vec![keyword_cluster(1, 0, &[1, 2, 3, 4])],
         ];
-        let graph =
-            ClusterGraphBuilder::from_clusters(&intervals, &IntersectionAffinity, 0, 0.5);
+        let graph = ClusterGraphBuilder::from_clusters(&intervals, &IntersectionAffinity, 0, 0.5);
         // Raw affinities are 4 and 2; after normalization by the max they are
         // 1.0 and 0.5.
         assert_eq!(graph.edge_weight(node(0, 0), node(1, 0)), Some(1.0));
@@ -477,7 +471,11 @@ mod tests {
     fn from_clusters_applies_theta() {
         let intervals = vec![
             vec![keyword_cluster(0, 0, &[1, 2, 3, 4, 5, 6, 7, 8, 9])],
-            vec![keyword_cluster(1, 0, &[9, 100, 101, 102, 103, 104, 105, 106, 107])],
+            vec![keyword_cluster(
+                1,
+                0,
+                &[9, 100, 101, 102, 103, 104, 105, 106, 107],
+            )],
         ];
         // Jaccard = 1/17 ≈ 0.059 < 0.1 -> pruned.
         let graph = ClusterGraphBuilder::from_clusters(&intervals, &JaccardAffinity, 0, 0.1);

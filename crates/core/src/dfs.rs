@@ -26,13 +26,15 @@
 
 use std::collections::HashMap;
 
+use bsc_storage::io_stats::IoScope;
 use bsc_storage::node_store::NodeStore;
 use bsc_storage::temp::TempDir;
-use bsc_storage::Result as StorageResult;
 
 use crate::cluster_graph::{ClusterEdge, ClusterGraph, ClusterNodeId};
+use crate::error::BscResult;
 use crate::path::ClusterPath;
 use crate::problem::KlStableParams;
+use crate::solver::{AlgorithmKind, Solution, SolverStats, StableClusterSolver};
 use crate::topk::TopKPaths;
 
 /// Configuration of the DFS algorithm.
@@ -74,6 +76,8 @@ impl DfsConfig {
 /// Execution statistics of a DFS run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DfsStats {
+    /// Candidate paths generated while merging children into `bestpaths`.
+    pub paths_generated: u64,
     /// Node-state reads (random I/O when `on_disk`).
     pub node_reads: u64,
     /// Node-state writes (random I/O when `on_disk`).
@@ -138,12 +142,7 @@ fn from_stored(stored: StoredNodeState) -> NodeState {
             .map(|paths| {
                 paths
                     .into_iter()
-                    .map(|(w, nodes)| {
-                        (
-                            w,
-                            nodes.into_iter().map(ClusterNodeId::from_u64).collect(),
-                        )
-                    })
+                    .map(|(w, nodes)| (w, nodes.into_iter().map(ClusterNodeId::from_u64).collect()))
                     .collect()
             })
             .collect(),
@@ -157,16 +156,16 @@ enum StateStore {
 }
 
 impl StateStore {
-    fn get(&mut self, key: u64) -> StorageResult<Option<NodeState>> {
+    fn get(&mut self, key: u64) -> BscResult<Option<NodeState>> {
         match self {
             StateStore::Disk(store, _) => Ok(store.get(&key)?.map(from_stored)),
             StateStore::Memory(map) => Ok(map.get(&key).cloned().map(from_stored)),
         }
     }
 
-    fn put(&mut self, key: u64, state: &NodeState) -> StorageResult<()> {
+    fn put(&mut self, key: u64, state: &NodeState) -> BscResult<()> {
         match self {
-            StateStore::Disk(store, _) => store.put(&key, &to_stored(state)),
+            StateStore::Disk(store, _) => Ok(store.put(&key, &to_stored(state))?),
             StateStore::Memory(map) => {
                 map.insert(key, to_stored(state));
                 Ok(())
@@ -207,7 +206,7 @@ impl DfsStableClusters {
     }
 
     /// Convenience: top-k full paths of a graph.
-    pub fn full_paths(k: usize, graph: &ClusterGraph) -> StorageResult<Vec<ClusterPath>> {
+    pub fn full_paths(k: usize, graph: &ClusterGraph) -> BscResult<Vec<ClusterPath>> {
         DfsStableClusters::new(KlStableParams::full_paths(k, graph.num_intervals())).run(graph)
     }
 
@@ -218,15 +217,12 @@ impl DfsStableClusters {
 
     /// Run the traversal and return the top-k paths of length exactly `l`,
     /// in descending weight order.
-    pub fn run(&self, graph: &ClusterGraph) -> StorageResult<Vec<ClusterPath>> {
+    pub fn run(&self, graph: &ClusterGraph) -> BscResult<Vec<ClusterPath>> {
         self.run_with_stats(graph).map(|(paths, _)| paths)
     }
 
     /// Run the traversal, also reporting execution statistics.
-    pub fn run_with_stats(
-        &self,
-        graph: &ClusterGraph,
-    ) -> StorageResult<(Vec<ClusterPath>, DfsStats)> {
+    pub fn run_with_stats(&self, graph: &ClusterGraph) -> BscResult<(Vec<ClusterPath>, DfsStats)> {
         let k = self.params.k;
         let l = self.params.l;
         let mut stats = DfsStats::default();
@@ -311,6 +307,7 @@ impl DfsStableClusters {
                                 l,
                                 k,
                                 &mut global,
+                                &mut stats,
                             );
                         }
                         continue;
@@ -372,6 +369,7 @@ impl DfsStableClusters {
                                     l,
                                     k,
                                     &mut global,
+                                    &mut stats,
                                 );
                             }
                         }
@@ -400,7 +398,7 @@ fn update_maxweight(
     }
     // Prefix of length 0 ending at the parent exists iff a path may start at
     // the parent (enough room for a full suffix of length l).
-    let parent_start_feasible = parent.interval + l <= m - 1;
+    let parent_start_feasible = parent.interval + l < m;
     for x in len..=l {
         let prefix_len = x - len;
         let prefix_weight = if prefix_len == 0 {
@@ -473,6 +471,7 @@ fn update_parent_bestpaths(
     l: u32,
     k: usize,
     global: &mut TopKPaths,
+    stats: &mut DfsStats,
 ) {
     let len = ClusterGraph::edge_length(parent, child);
     if len > l {
@@ -493,6 +492,7 @@ fn update_parent_bestpaths(
             candidates.push((total, weight + edge_weight, extended));
         }
     }
+    stats.paths_generated += candidates.len() as u64;
     for (length, weight, nodes) in candidates {
         let bucket = &mut parent_state.bestpaths[length as usize - 1];
         if bucket.iter().any(|(_, existing)| existing == &nodes) {
@@ -511,6 +511,40 @@ fn update_parent_bestpaths(
                 global.offer_by_weight(path);
             }
         }
+    }
+}
+
+impl From<DfsStats> for SolverStats {
+    fn from(stats: DfsStats) -> Self {
+        SolverStats {
+            paths_generated: stats.paths_generated,
+            node_reads: stats.node_reads,
+            node_writes: stats.node_writes,
+            edges_traversed: stats.edges_traversed,
+            prunes: stats.prunes,
+            peak_stack_depth: stats.peak_stack_depth,
+            ..SolverStats::default()
+        }
+    }
+}
+
+impl StableClusterSolver for DfsStableClusters {
+    fn name(&self) -> &'static str {
+        "dfs"
+    }
+
+    fn algorithm(&self) -> AlgorithmKind {
+        AlgorithmKind::Dfs
+    }
+
+    fn solve(&mut self, graph: &ClusterGraph) -> BscResult<Solution> {
+        let scope = IoScope::start();
+        let (paths, stats) = self.run_with_stats(graph)?;
+        Ok(Solution {
+            paths,
+            stats: stats.into(),
+            io: scope.finish(),
+        })
     }
 }
 
@@ -564,7 +598,10 @@ mod tests {
             .run_with_stats(&graph)
             .unwrap();
         // Table 2 shows c22 being pruned when first reached through c12.
-        assert!(stats.prunes >= 1, "expected at least one prune, got {stats:?}");
+        assert!(
+            stats.prunes >= 1,
+            "expected at least one prune, got {stats:?}"
+        );
     }
 
     #[test]
@@ -635,10 +672,7 @@ mod tests {
                 .unwrap();
                 assert_eq!(pruned.len(), exhaustive.len(), "seed={seed} l={l}");
                 for (a, b) in pruned.iter().zip(exhaustive.iter()) {
-                    assert!(
-                        (a.weight() - b.weight()).abs() < 1e-9,
-                        "seed={seed} l={l}"
-                    );
+                    assert!((a.weight() - b.weight()).abs() < 1e-9, "seed={seed} l={l}");
                 }
             }
         }
@@ -707,12 +741,10 @@ mod tests {
             seed: 3,
         })
         .generate();
-        let (_, stats) = DfsStableClusters::with_config(
-            KlStableParams::new(2, 5),
-            DfsConfig::in_memory(),
-        )
-        .run_with_stats(&graph)
-        .unwrap();
+        let (_, stats) =
+            DfsStableClusters::with_config(KlStableParams::new(2, 5), DfsConfig::in_memory())
+                .run_with_stats(&graph)
+                .unwrap();
         // Stack = source + at most one node per interval.
         assert!(stats.peak_stack_depth <= graph.num_intervals() + 1);
         assert!(stats.node_reads > 0);

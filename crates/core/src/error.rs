@@ -1,0 +1,98 @@
+//! The first-class error type of the stable-cluster engine.
+//!
+//! Historically every fallible operation in this crate surfaced
+//! [`bsc_storage::StorageError`], which conflated "the disk substrate broke"
+//! with "the caller asked for something nonsensical". [`BscError`] separates
+//! those concerns: storage failures become one variant, and configuration
+//! validation, corpus-processing failures and per-algorithm restrictions get
+//! variants of their own, so callers can match on what actually went wrong.
+
+use bsc_storage::StorageError;
+
+/// Errors produced by the stable-cluster engine.
+#[derive(Debug)]
+pub enum BscError {
+    /// The external-memory substrate failed (I/O error, corrupt record,
+    /// missing key).
+    Storage(StorageError),
+    /// A configuration parameter was invalid (e.g. `theta` outside `[0, 1]`,
+    /// `k == 0`, a zero path length).
+    InvalidConfig(String),
+    /// Corpus processing (tokenization, pair counting) failed.
+    Corpus(String),
+    /// The requested problem specification is outside what the selected
+    /// algorithm supports (e.g. the TA adaptation only handles full paths).
+    Unsupported {
+        /// Name of the algorithm that rejected the request.
+        algorithm: &'static str,
+        /// Why the combination is unsupported.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for BscError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BscError::Storage(e) => write!(f, "storage error: {e}"),
+            BscError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            BscError::Corpus(msg) => write!(f, "corpus error: {msg}"),
+            BscError::Unsupported { algorithm, reason } => {
+                write!(f, "unsupported request for {algorithm}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BscError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BscError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for BscError {
+    fn from(e: StorageError) -> Self {
+        BscError::Storage(e)
+    }
+}
+
+impl From<std::io::Error> for BscError {
+    fn from(e: std::io::Error) -> Self {
+        BscError::Storage(StorageError::Io(e))
+    }
+}
+
+/// Convenience result alias for stable-cluster operations.
+pub type BscResult<T> = std::result::Result<T, BscError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let io = BscError::from(std::io::Error::other("boom"));
+        assert!(io.to_string().contains("storage error"));
+        assert!(BscError::InvalidConfig("theta = 2".into())
+            .to_string()
+            .contains("invalid configuration"));
+        assert!(BscError::Corpus("bad token".into())
+            .to_string()
+            .contains("corpus error"));
+        let unsupported = BscError::Unsupported {
+            algorithm: "ta",
+            reason: "full paths only".into(),
+        };
+        assert!(unsupported.to_string().contains("ta"));
+    }
+
+    #[test]
+    fn storage_errors_keep_their_source() {
+        use std::error::Error;
+        let err = BscError::from(StorageError::Corrupt("truncated".into()));
+        assert!(err.source().is_some());
+        assert!(BscError::InvalidConfig("x".into()).source().is_none());
+    }
+}

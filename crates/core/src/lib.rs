@@ -18,9 +18,44 @@
 //! * the **online** versions of the above that ingest one interval at a time
 //!   ([`streaming`]).
 //!
+//! ## The solver seam
+//!
+//! All batch algorithms implement one object-safe trait,
+//! [`solver::StableClusterSolver`]: construct a solver from an
+//! [`solver::AlgorithmKind`] and a [`problem::StableClusterSpec`], call
+//! `solve`, and get a [`solver::Solution`] with the result paths, unified
+//! [`solver::SolverStats`] and the logical I/O performed. Fallible
+//! operations report [`error::BscError`].
+//!
+//! ```
+//! use bsc_core::problem::StableClusterSpec;
+//! use bsc_core::solver::AlgorithmKind;
+//! use bsc_core::synthetic::{ClusterGraphGenerator, SyntheticGraphParams};
+//!
+//! let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+//!     num_intervals: 4,
+//!     nodes_per_interval: 10,
+//!     avg_out_degree: 3,
+//!     gap: 0,
+//!     seed: 7,
+//! })
+//! .generate();
+//!
+//! // Any algorithm behind the same trait object.
+//! for kind in [AlgorithmKind::Bfs, AlgorithmKind::Dfs, AlgorithmKind::Ta] {
+//!     let mut solver = kind
+//!         .build(StableClusterSpec::FullPaths, 5, graph.num_intervals())
+//!         .unwrap();
+//!     let solution = solver.solve(&graph).unwrap();
+//!     assert!(!solution.paths.is_empty());
+//! }
+//! ```
+//!
 //! The [`pipeline`] module chains everything together starting from raw
-//! documents, and [`synthetic`] implements the paper's synthetic
-//! cluster-graph workload generator used by the evaluation section.
+//! documents — with the same pluggable algorithm choice via
+//! [`pipeline::PipelineParams::algorithm`] — and [`synthetic`] implements
+//! the paper's synthetic cluster-graph workload generator used by the
+//! evaluation section.
 
 #![warn(missing_docs)]
 
@@ -28,10 +63,12 @@ pub mod affinity;
 pub mod bfs;
 pub mod cluster_graph;
 pub mod dfs;
+pub mod error;
 pub mod normalized;
 pub mod path;
 pub mod pipeline;
 pub mod problem;
+pub mod solver;
 pub mod streaming;
 pub mod synthetic;
 pub mod ta;
@@ -41,10 +78,12 @@ pub use affinity::{Affinity, AffinityKind, JaccardAffinity};
 pub use bfs::{BfsConfig, BfsStableClusters, BfsStats};
 pub use cluster_graph::{ClusterEdge, ClusterGraph, ClusterGraphBuilder, ClusterNodeId};
 pub use dfs::{DfsConfig, DfsStableClusters, DfsStats};
+pub use error::{BscError, BscResult};
 pub use normalized::{NormalizedConfig, NormalizedStableClusters, NormalizedStats};
 pub use path::ClusterPath;
-pub use pipeline::{Pipeline, PipelineOutcome, PipelineParams, StableClusterSpec};
-pub use problem::{KlStableParams, NormalizedParams};
+pub use pipeline::{Pipeline, PipelineOutcome, PipelineParams};
+pub use problem::{KlStableParams, NormalizedParams, StableClusterSpec};
+pub use solver::{AlgorithmKind, Solution, SolverStats, StableClusterSolver};
 pub use streaming::{OnlineClusterFeed, OnlineStableClusters};
 pub use synthetic::{ClusterGraphGenerator, SyntheticGraphParams};
 pub use ta::{TaStableClusters, TaStats};

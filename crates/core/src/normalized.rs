@@ -22,11 +22,13 @@
 
 use std::collections::HashMap;
 
-use bsc_storage::Result as StorageResult;
+use bsc_storage::io_stats::IoScope;
 
 use crate::cluster_graph::{ClusterGraph, ClusterNodeId};
+use crate::error::BscResult;
 use crate::path::ClusterPath;
 use crate::problem::NormalizedParams;
+use crate::solver::{AlgorithmKind, Solution, SolverStats, StableClusterSolver};
 use crate::topk::TopKPaths;
 
 /// Configuration of the normalized-stable-clusters solver.
@@ -120,7 +122,7 @@ impl NormalizedStableClusters {
 
     /// Run the solver: the top-k paths of length ≥ `l_min` by stability,
     /// in descending stability order.
-    pub fn run(&self, graph: &ClusterGraph) -> StorageResult<Vec<ClusterPath>> {
+    pub fn run(&self, graph: &ClusterGraph) -> BscResult<Vec<ClusterPath>> {
         self.run_with_stats(graph).map(|(paths, _)| paths)
     }
 
@@ -128,7 +130,7 @@ impl NormalizedStableClusters {
     pub fn run_with_stats(
         &self,
         graph: &ClusterGraph,
-    ) -> StorageResult<(Vec<ClusterPath>, NormalizedStats)> {
+    ) -> BscResult<(Vec<ClusterPath>, NormalizedStats)> {
         let k = self.params.k;
         let l_min = self.params.l_min;
         let mut stats = NormalizedStats::default();
@@ -185,18 +187,26 @@ impl NormalizedStableClusters {
                     }
                     for (total, candidate) in extensions {
                         stats.paths_generated += 1;
-                        self.place(candidate, total, &mut state, &mut global, &mut stats, graph, cap);
+                        self.place(
+                            candidate,
+                            total,
+                            &mut state,
+                            &mut global,
+                            &mut stats,
+                            graph,
+                            cap,
+                        );
                     }
                 }
                 interval_states.push((node, state));
             }
             for (node, state) in interval_states {
-                resident += state.smallpaths.iter().map(Vec::len).sum::<usize>()
-                    + state.bestpaths.len();
+                resident +=
+                    state.smallpaths.iter().map(Vec::len).sum::<usize>() + state.bestpaths.len();
                 window.insert(node, state);
             }
             stats.peak_resident_paths = stats.peak_resident_paths.max(resident);
-            if interval >= gap + 1 {
+            if interval > gap {
                 let evict = interval - gap - 1;
                 for node in graph.interval_node_ids(evict) {
                     if let Some(state) = window.remove(&node) {
@@ -257,8 +267,7 @@ fn theorem1_prune(mut candidate: Candidate, l_min: u32, stats: &mut NormalizedSt
             // Prefix: nodes[0..=split], edges[0..split].
             // Suffix: nodes[split..], edges[split..].
             let prefix_weight: f64 = candidate.edge_weights[..split].iter().sum();
-            let prefix_length =
-                candidate.nodes[split].interval - candidate.nodes[0].interval;
+            let prefix_length = candidate.nodes[split].interval - candidate.nodes[0].interval;
             let suffix_weight: f64 = candidate.edge_weights[split..].iter().sum();
             let suffix_length = candidate.nodes[n - 1].interval - candidate.nodes[split].interval;
             if suffix_length < l_min || prefix_length == 0 || suffix_length == 0 {
@@ -289,6 +298,37 @@ impl TopKPaths {
         let mut entries = self.sorted_entries();
         entries.sort_by(|a, b| a.0.total_cmp(&b.0).reverse());
         entries.into_iter().map(|(_, p)| p).collect()
+    }
+}
+
+impl From<NormalizedStats> for SolverStats {
+    fn from(stats: NormalizedStats) -> Self {
+        SolverStats {
+            paths_generated: stats.paths_generated,
+            prunes: stats.prefix_drops,
+            peak_resident_paths: stats.peak_resident_paths,
+            ..SolverStats::default()
+        }
+    }
+}
+
+impl StableClusterSolver for NormalizedStableClusters {
+    fn name(&self) -> &'static str {
+        "normalized"
+    }
+
+    fn algorithm(&self) -> AlgorithmKind {
+        AlgorithmKind::Normalized
+    }
+
+    fn solve(&mut self, graph: &ClusterGraph) -> BscResult<Solution> {
+        let scope = IoScope::start();
+        let (paths, stats) = self.run_with_stats(graph)?;
+        Ok(Solution {
+            paths,
+            stats: stats.into(),
+            io: scope.finish(),
+        })
     }
 }
 
@@ -394,12 +434,13 @@ mod tests {
             for l_min in [1, 2, 3] {
                 for k in [1, 3] {
                     let expected = oracle_top_stabilities(&graph, k, l_min);
-                    let got: Vec<f64> = NormalizedStableClusters::new(NormalizedParams::new(k, l_min))
-                        .run(&graph)
-                        .unwrap()
-                        .iter()
-                        .map(ClusterPath::stability)
-                        .collect();
+                    let got: Vec<f64> =
+                        NormalizedStableClusters::new(NormalizedParams::new(k, l_min))
+                            .run(&graph)
+                            .unwrap()
+                            .iter()
+                            .map(ClusterPath::stability)
+                            .collect();
                     assert_eq!(got.len(), expected.len(), "seed={seed} lmin={l_min} k={k}");
                     for (g, e) in got.iter().zip(expected.iter()) {
                         assert!(

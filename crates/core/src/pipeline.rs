@@ -6,8 +6,17 @@
 //! posts are reduced to keyword-pair counts, the keyword graph is pruned with
 //! χ² and ρ, clusters are extracted as biconnected components, the cluster
 //! graph is built with a chosen affinity function, gap and threshold θ, and
-//! finally the kl-stable clusters (or normalized stable clusters) are
-//! reported.
+//! finally the stable clusters are reported.
+//!
+//! The final stage is pluggable: [`PipelineParams::algorithm`] selects any
+//! [`AlgorithmKind`] — BFS, disk-resident DFS, the TA adaptation or the
+//! normalized solver — and the pipeline drives it through the
+//! [`StableClusterSolver`](crate::solver::StableClusterSolver) trait, so
+//! every algorithm of the paper runs end-to-end from raw documents.
+//! Parameters are validated when the [`Pipeline`] is constructed; a bad
+//! configuration surfaces as [`BscError::InvalidConfig`] (or
+//! [`BscError::Unsupported`] for an algorithm/spec mismatch) instead of
+//! silent nonsense results.
 
 use bsc_corpus::pairs::{PairCountConfig, PairCounter};
 use bsc_corpus::synthetic::GeneratedCorpus;
@@ -16,32 +25,37 @@ use bsc_corpus::vocabulary::Vocabulary;
 use bsc_graph::cluster::{ClusterExtractor, KeywordCluster};
 use bsc_graph::keyword_graph::KeywordGraphBuilder;
 use bsc_graph::prune::{PruneConfig, PruneStats};
-use bsc_storage::{Result as StorageResult, StorageError};
+use bsc_storage::io_stats::IoSnapshot;
 
 use crate::affinity::AffinityKind;
-use crate::bfs::BfsStableClusters;
 use crate::cluster_graph::{ClusterGraph, ClusterGraphBuilder};
-use crate::normalized::NormalizedStableClusters;
+use crate::error::{BscError, BscResult};
 use crate::path::ClusterPath;
-use crate::problem::{KlStableParams, NormalizedParams};
+use crate::solver::{AlgorithmKind, SolverStats};
 
-/// Which stable-cluster problem the pipeline solves.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum StableClusterSpec {
-    /// Problem 1 with full paths (`l = m − 1`).
-    FullPaths,
-    /// Problem 1 with a fixed path length.
-    ExactLength(u32),
-    /// Problem 2 (normalized) with a minimum length.
-    Normalized {
-        /// Minimum path length `l_min`.
-        l_min: u32,
-    },
-}
+pub use crate::problem::StableClusterSpec;
 
 /// Pipeline configuration. The defaults follow the paper's qualitative
 /// evaluation: χ² > 3.84, ρ > 0.2, biconnected-component clusters, Jaccard
-/// affinity with θ = 0.1, gap 2, daily intervals.
+/// affinity with θ = 0.1, gap 2, daily intervals, BFS (Algorithm 2) as the
+/// solver.
+///
+/// Build a configuration with the builder-style methods and hand it to
+/// [`Pipeline::new`], which validates it:
+///
+/// ```
+/// use bsc_core::pipeline::{Pipeline, PipelineParams};
+/// use bsc_core::solver::AlgorithmKind;
+///
+/// let pipeline = Pipeline::new(
+///     PipelineParams::default()
+///         .exact_length(3)
+///         .top_k(20)
+///         .algorithm(AlgorithmKind::Dfs),
+/// )
+/// .expect("valid parameters");
+/// # let _ = pipeline;
+/// ```
 #[derive(Debug, Clone)]
 pub struct PipelineParams {
     /// Keyword-pair counting strategy.
@@ -60,6 +74,12 @@ pub struct PipelineParams {
     pub k: usize,
     /// Which problem to solve.
     pub spec: StableClusterSpec,
+    /// Which algorithm solves it. `None` (the default) derives the
+    /// algorithm from the spec — BFS for Problem 1, the normalized solver
+    /// for Problem 2 — so the spec-setting builder methods compose in any
+    /// order. An explicit choice is never overridden; an explicit mismatch
+    /// (e.g. the normalized solver for a Problem 1 spec) fails validation.
+    pub algorithm: Option<AlgorithmKind>,
 }
 
 impl Default for PipelineParams {
@@ -73,6 +93,7 @@ impl Default for PipelineParams {
             gap: 2,
             k: 10,
             spec: StableClusterSpec::ExactLength(3),
+            algorithm: None,
         }
     }
 }
@@ -90,10 +111,81 @@ impl PipelineParams {
         self
     }
 
-    /// Request normalized stable clusters.
+    /// Request normalized stable clusters. With no explicit algorithm
+    /// choice the normalized solver (the only algorithm that answers
+    /// Problem 2) is derived automatically.
     pub fn normalized(mut self, l_min: u32) -> Self {
         self.spec = StableClusterSpec::Normalized { l_min };
         self
+    }
+
+    /// Select the solving algorithm explicitly. Without this call the
+    /// algorithm is derived from the spec (BFS for Problem 1, the
+    /// normalized solver for Problem 2).
+    pub fn algorithm(mut self, algorithm: AlgorithmKind) -> Self {
+        self.algorithm = Some(algorithm);
+        self
+    }
+
+    /// The algorithm that will run: the explicit choice if one was made,
+    /// otherwise derived from the spec.
+    pub fn resolved_algorithm(&self) -> AlgorithmKind {
+        self.algorithm.unwrap_or(match self.spec {
+            StableClusterSpec::Normalized { .. } => AlgorithmKind::Normalized,
+            _ => AlgorithmKind::Bfs,
+        })
+    }
+
+    /// Set the affinity threshold θ.
+    pub fn theta(mut self, theta: f64) -> Self {
+        self.theta = theta;
+        self
+    }
+
+    /// Set the maximum gap `g`.
+    pub fn gap(mut self, gap: u32) -> Self {
+        self.gap = gap;
+        self
+    }
+
+    /// Set the number of stable clusters to report.
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Check the configuration, returning [`BscError::InvalidConfig`] for
+    /// out-of-range parameters and [`BscError::Unsupported`] for an
+    /// algorithm/spec mismatch.
+    pub fn validate(&self) -> BscResult<()> {
+        if !(0.0..=1.0).contains(&self.theta) || self.theta.is_nan() {
+            return Err(BscError::InvalidConfig(format!(
+                "theta must lie in [0, 1], got {}",
+                self.theta
+            )));
+        }
+        if self.k == 0 {
+            return Err(BscError::InvalidConfig(
+                "k must be positive: a top-0 query returns nothing".into(),
+            ));
+        }
+        match self.spec {
+            StableClusterSpec::ExactLength(0) => {
+                return Err(BscError::InvalidConfig(
+                    "ExactLength(l) requires l >= 1: a path has at least one edge".into(),
+                ));
+            }
+            StableClusterSpec::Normalized { l_min: 0 } => {
+                return Err(BscError::InvalidConfig(
+                    "Normalized requires l_min >= 1".into(),
+                ));
+            }
+            _ => {}
+        }
+        // Algorithm/spec pairing rules live in one place; TA's full-paths-
+        // only restriction depends on the graph's interval count, which is
+        // unknown until the run, and is checked there by `build`.
+        self.resolved_algorithm().check_spec(self.spec)
     }
 }
 
@@ -108,6 +200,10 @@ pub struct PipelineOutcome {
     pub cluster_graph: ClusterGraph,
     /// The stable clusters (paths) found, best first.
     pub stable_paths: Vec<ClusterPath>,
+    /// Unified execution statistics of the solver stage.
+    pub solver_stats: SolverStats,
+    /// Logical I/O performed by the solver stage.
+    pub solver_io: IoSnapshot,
 }
 
 impl PipelineOutcome {
@@ -121,8 +217,7 @@ impl PipelineOutcome {
         path.nodes()
             .iter()
             .map(|node| {
-                let cluster =
-                    &self.interval_clusters[node.interval as usize][node.index as usize];
+                let cluster = &self.interval_clusters[node.interval as usize][node.index as usize];
                 format!("t{}: {}", node.interval, cluster.render(vocabulary))
             })
             .collect()
@@ -141,9 +236,10 @@ pub struct Pipeline {
 }
 
 impl Pipeline {
-    /// Create a pipeline.
-    pub fn new(params: PipelineParams) -> Self {
-        Pipeline { params }
+    /// Create a pipeline, validating the parameters.
+    pub fn new(params: PipelineParams) -> BscResult<Self> {
+        params.validate()?;
+        Ok(Pipeline { params })
     }
 
     /// The configured parameters.
@@ -153,12 +249,12 @@ impl Pipeline {
 
     /// Run on a generated corpus (convenience wrapper over
     /// [`Pipeline::run_timeline`]).
-    pub fn run(&self, corpus: &GeneratedCorpus) -> StorageResult<PipelineOutcome> {
+    pub fn run(&self, corpus: &GeneratedCorpus) -> BscResult<PipelineOutcome> {
         self.run_timeline(&corpus.timeline)
     }
 
     /// Run on an arbitrary timeline of documents.
-    pub fn run_timeline(&self, timeline: &Timeline) -> StorageResult<PipelineOutcome> {
+    pub fn run_timeline(&self, timeline: &Timeline) -> BscResult<PipelineOutcome> {
         let params = &self.params;
         let counter = PairCounter::with_config(params.pair_counting.clone());
         let mut interval_clusters = Vec::with_capacity(timeline.num_intervals());
@@ -167,7 +263,7 @@ impl Pipeline {
         for (interval, documents) in timeline.iter() {
             let counts = counter
                 .count(documents)
-                .map_err(StorageError::Io)?;
+                .map_err(|e| BscError::Corpus(format!("pair counting failed: {e}")))?;
             let keyword_graph = KeywordGraphBuilder::from_pair_counts(&counts);
             let (pruned, stats) = params.prune.prune(&keyword_graph);
             let clusters = params.extractor.extract(&pruned, interval)?;
@@ -183,28 +279,20 @@ impl Pipeline {
             params.theta,
         );
 
-        let stable_paths = match params.spec {
-            StableClusterSpec::FullPaths => {
-                BfsStableClusters::new(KlStableParams::full_paths(
-                    params.k,
-                    cluster_graph.num_intervals(),
-                ))
-                .run(&cluster_graph)?
-            }
-            StableClusterSpec::ExactLength(l) => {
-                BfsStableClusters::new(KlStableParams::new(params.k, l)).run(&cluster_graph)?
-            }
-            StableClusterSpec::Normalized { l_min } => {
-                NormalizedStableClusters::new(NormalizedParams::new(params.k, l_min))
-                    .run(&cluster_graph)?
-            }
-        };
+        let mut solver = params.resolved_algorithm().build(
+            params.spec,
+            params.k,
+            cluster_graph.num_intervals(),
+        )?;
+        let solution = solver.solve(&cluster_graph)?;
 
         Ok(PipelineOutcome {
             interval_clusters,
             prune_stats,
             cluster_graph,
-            stable_paths,
+            stable_paths: solution.paths,
+            solver_stats: solution.stats,
+            solver_io: solution.io,
         })
     }
 }
@@ -218,12 +306,16 @@ mod tests {
         SyntheticBlogosphere::new(SyntheticConfig::small()).generate()
     }
 
+    fn run(params: PipelineParams) -> PipelineOutcome {
+        Pipeline::new(params)
+            .expect("valid params")
+            .run(&small_corpus())
+            .expect("pipeline run")
+    }
+
     #[test]
     fn end_to_end_produces_clusters_and_paths() {
-        let corpus = small_corpus();
-        let outcome = Pipeline::new(PipelineParams::default().exact_length(2))
-            .run(&corpus)
-            .unwrap();
+        let outcome = run(PipelineParams::default().exact_length(2));
         assert_eq!(outcome.interval_clusters.len(), 7);
         assert!(outcome.total_clusters() > 0, "no clusters discovered");
         assert!(
@@ -234,12 +326,41 @@ mod tests {
         for path in &outcome.stable_paths {
             assert_eq!(path.length(), 2);
         }
+        assert!(outcome.solver_stats.paths_generated > 0);
+    }
+
+    #[test]
+    fn every_algorithm_runs_end_to_end() {
+        let corpus = small_corpus();
+        let mut lengths = Vec::new();
+        for kind in AlgorithmKind::ALL {
+            let params = match kind {
+                AlgorithmKind::Normalized => PipelineParams::default().normalized(2),
+                _ => PipelineParams::default().full_paths().algorithm(kind),
+            };
+            let outcome = Pipeline::new(params)
+                .expect("valid params")
+                .run(&corpus)
+                .unwrap_or_else(|e| panic!("{kind} failed: {e}"));
+            lengths.push((kind, outcome.stable_paths.len()));
+        }
+        // The three Problem 1 solvers must agree on the result count.
+        let full_path_counts: Vec<usize> = lengths
+            .iter()
+            .filter(|(k, _)| *k != AlgorithmKind::Normalized)
+            .map(|&(_, n)| n)
+            .collect();
+        assert!(
+            full_path_counts.windows(2).all(|w| w[0] == w[1]),
+            "{lengths:?}"
+        );
     }
 
     #[test]
     fn discovers_the_scripted_somalia_event_cluster() {
         let corpus = small_corpus();
         let outcome = Pipeline::new(PipelineParams::default().exact_length(2))
+            .expect("valid params")
             .run(&corpus)
             .unwrap();
         let somalia = corpus.vocabulary.get("somalia").expect("keyword interned");
@@ -249,13 +370,17 @@ mod tests {
             .iter()
             .flatten()
             .any(|c| c.contains(somalia) && c.contains(islamist));
-        assert!(found, "expected a cluster containing the Somalia event keywords");
+        assert!(
+            found,
+            "expected a cluster containing the Somalia event keywords"
+        );
     }
 
     #[test]
     fn describe_path_renders_keywords() {
         let corpus = small_corpus();
         let outcome = Pipeline::new(PipelineParams::default().exact_length(2))
+            .expect("valid params")
             .run(&corpus)
             .unwrap();
         let path = &outcome.stable_paths[0];
@@ -266,10 +391,7 @@ mod tests {
 
     #[test]
     fn normalized_spec_runs() {
-        let corpus = small_corpus();
-        let outcome = Pipeline::new(PipelineParams::default().normalized(2))
-            .run(&corpus)
-            .unwrap();
+        let outcome = run(PipelineParams::default().normalized(2));
         for path in &outcome.stable_paths {
             assert!(path.length() >= 2);
         }
@@ -277,10 +399,7 @@ mod tests {
 
     #[test]
     fn prune_stats_are_reported_per_interval() {
-        let corpus = small_corpus();
-        let outcome = Pipeline::new(PipelineParams::default())
-            .run(&corpus)
-            .unwrap();
+        let outcome = run(PipelineParams::default());
         assert_eq!(outcome.prune_stats.len(), 7);
         assert!(outcome.prune_stats.iter().any(|s| s.input_edges > 0));
         for stats in &outcome.prune_stats {
@@ -292,5 +411,94 @@ mod tests {
                 stats.input_edges
             );
         }
+    }
+
+    #[test]
+    fn spec_builder_methods_compose_in_any_order() {
+        // With no explicit algorithm choice the solver follows the final
+        // spec, whatever order the builder methods ran in.
+        let params = PipelineParams::default().normalized(2).exact_length(3);
+        assert_eq!(params.resolved_algorithm(), AlgorithmKind::Bfs);
+        assert!(Pipeline::new(params).is_ok());
+        let params = PipelineParams::default().exact_length(3).normalized(2);
+        assert_eq!(params.resolved_algorithm(), AlgorithmKind::Normalized);
+        assert!(Pipeline::new(params).is_ok());
+        // An explicit choice survives spec changes...
+        let params = PipelineParams::default()
+            .algorithm(AlgorithmKind::Dfs)
+            .exact_length(3);
+        assert_eq!(params.resolved_algorithm(), AlgorithmKind::Dfs);
+        // ...and an explicit choice is never silently replaced: a mismatch
+        // fails validation instead.
+        let params = PipelineParams::default()
+            .algorithm(AlgorithmKind::Normalized)
+            .exact_length(3);
+        assert!(matches!(
+            Pipeline::new(params).unwrap_err(),
+            BscError::Unsupported { .. }
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_bad_theta() {
+        for theta in [-0.1, 1.5, f64::NAN] {
+            let err = Pipeline::new(PipelineParams::default().theta(theta)).unwrap_err();
+            assert!(matches!(err, BscError::InvalidConfig(_)), "theta={theta}");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_zero_k_and_zero_lengths() {
+        assert!(matches!(
+            Pipeline::new(PipelineParams::default().top_k(0)).unwrap_err(),
+            BscError::InvalidConfig(_)
+        ));
+        assert!(matches!(
+            Pipeline::new(PipelineParams::default().exact_length(0)).unwrap_err(),
+            BscError::InvalidConfig(_)
+        ));
+        assert!(matches!(
+            Pipeline::new(PipelineParams::default().normalized(0)).unwrap_err(),
+            BscError::InvalidConfig(_)
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_algorithm_spec_mismatch() {
+        // Normalized solver asked for Problem 1.
+        let params = PipelineParams::default()
+            .exact_length(2)
+            .algorithm(AlgorithmKind::Normalized);
+        assert!(matches!(
+            Pipeline::new(params).unwrap_err(),
+            BscError::Unsupported { .. }
+        ));
+        // Problem 2 asked of a Problem 1 solver.
+        let mut params = PipelineParams::default().normalized(2);
+        params.algorithm = Some(AlgorithmKind::Bfs);
+        assert!(matches!(
+            Pipeline::new(params).unwrap_err(),
+            BscError::Unsupported { .. }
+        ));
+    }
+
+    #[test]
+    fn ta_with_short_exact_length_fails_at_run_time() {
+        // TA only materializes full paths; with 7 intervals ExactLength(2)
+        // cannot be satisfied, and the pipeline reports it as Unsupported.
+        let params = PipelineParams::default()
+            .exact_length(2)
+            .algorithm(AlgorithmKind::Ta);
+        let err = Pipeline::new(params)
+            .expect("statically valid")
+            .run(&small_corpus())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            BscError::Unsupported {
+                algorithm: "ta",
+                ..
+            }
+        ));
     }
 }

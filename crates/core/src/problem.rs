@@ -6,6 +6,22 @@
 //!   at least `l_min` with the highest weight normalized by length
 //!   (*stability*).
 
+/// Which stable-cluster problem to solve — the algorithm-independent half of
+/// a solver request (the algorithm half is
+/// [`AlgorithmKind`](crate::solver::AlgorithmKind)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StableClusterSpec {
+    /// Problem 1 with full paths (`l = m − 1`).
+    FullPaths,
+    /// Problem 1 with a fixed path length.
+    ExactLength(u32),
+    /// Problem 2 (normalized) with a minimum length.
+    Normalized {
+        /// Minimum path length `l_min`.
+        l_min: u32,
+    },
+}
+
 /// Parameters of Problem 1 (kl-stable clusters).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KlStableParams {

@@ -1,0 +1,336 @@
+//! The unified solver abstraction over every stable-cluster algorithm.
+//!
+//! The paper's evaluation (Sections 4–5) is a *comparison* of interchangeable
+//! algorithms — BFS (Algorithm 2), disk-resident DFS (Algorithm 3), the
+//! Threshold-Algorithm adaptation, the normalized-stability solver of
+//! Problem 2 — run over the same cluster graph. [`StableClusterSolver`] is
+//! the seam that makes them interchangeable in code as well: every solver
+//! takes a [`ClusterGraph`] and produces a [`Solution`] carrying the result
+//! paths, unified execution statistics and the logical I/O performed, behind
+//! one object-safe trait suitable for `Box<dyn StableClusterSolver>`
+//! collections.
+//!
+//! [`AlgorithmKind`] names the available algorithms; [`AlgorithmKind::build`]
+//! is the one place that knows how to construct each solver for a
+//! [`StableClusterSpec`], validating per-algorithm restrictions (the TA
+//! adaptation is full-paths-only; the normalized solver only answers
+//! Problem 2) up front as [`BscError::Unsupported`].
+
+use bsc_storage::io_stats::IoSnapshot;
+
+use crate::cluster_graph::ClusterGraph;
+use crate::error::{BscError, BscResult};
+use crate::path::ClusterPath;
+use crate::problem::{KlStableParams, NormalizedParams, StableClusterSpec};
+
+/// Unified execution statistics across all solver implementations.
+///
+/// Each algorithm fills the counters that are meaningful for it and leaves
+/// the rest at their defaults (the per-algorithm stats structs document which
+/// ones those are): BFS reports generated paths and resident-path peaks, DFS
+/// reports node-state I/O, prunes and stack depth, TA reports scanned edges,
+/// random seeks and early termination, the normalized solver reports
+/// Theorem-1 prefix drops as `prunes`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SolverStats {
+    /// Candidate paths generated / enumerated.
+    pub paths_generated: u64,
+    /// Graph nodes processed.
+    pub nodes_processed: u64,
+    /// Edges traversed or scanned.
+    pub edges_traversed: u64,
+    /// Times a pruning rule fired (DFS `CanPrune`, Theorem 1 prefix drops,
+    /// TA bound skips).
+    pub prunes: u64,
+    /// Per-node state reads (random I/O for the disk-resident variants).
+    pub node_reads: u64,
+    /// Per-node state writes.
+    pub node_writes: u64,
+    /// Random seeks while expanding prefixes/suffixes (TA).
+    pub random_seeks: u64,
+    /// Peak number of candidate paths resident in memory.
+    pub peak_resident_paths: usize,
+    /// Peak traversal stack depth (DFS).
+    pub peak_stack_depth: usize,
+    /// True when the solver stopped before exhausting its input (TA's
+    /// threshold condition).
+    pub early_termination: bool,
+}
+
+/// Everything a solver run produces.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The result paths, best first (by weight for Problem 1, by stability
+    /// for Problem 2).
+    pub paths: Vec<ClusterPath>,
+    /// Unified execution statistics.
+    pub stats: SolverStats,
+    /// Logical I/O performed by the storage substrate during the run.
+    ///
+    /// Measured as a delta of the **process-wide** I/O counters
+    /// ([`bsc_storage::io_stats::global`]), so if other storage users run
+    /// concurrently with the solve their I/O is attributed here too. For
+    /// exact per-solver numbers, run solvers one at a time.
+    pub io: IoSnapshot,
+}
+
+/// An object-safe solver for stable-cluster problems over a cluster graph.
+///
+/// Implementations are constructed with their problem parameters (via
+/// [`AlgorithmKind::build`] or their own constructors) and may keep scratch
+/// state between calls, hence `&mut self`.
+pub trait StableClusterSolver: std::fmt::Debug {
+    /// A short, stable, human-readable name (e.g. `"bfs"`).
+    fn name(&self) -> &'static str;
+
+    /// The [`AlgorithmKind`] this solver stands in for. For the built-in
+    /// solvers this is the algorithm they implement; solvers outside the
+    /// enum (such as test oracles) report the kind whose answers they are
+    /// interchangeable with, and distinguish themselves via
+    /// [`StableClusterSolver::name`].
+    fn algorithm(&self) -> AlgorithmKind;
+
+    /// Solve the configured problem over `graph`.
+    fn solve(&mut self, graph: &ClusterGraph) -> BscResult<Solution>;
+}
+
+/// The algorithms the engine can run, for dynamic dispatch and configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgorithmKind {
+    /// Algorithm 2: interval-by-interval BFS with per-node bounded heaps.
+    Bfs,
+    /// Algorithm 3: DFS with disk-resident per-node state and `CanPrune`.
+    Dfs,
+    /// Section 4.4: the Threshold-Algorithm adaptation (full paths only).
+    Ta,
+    /// Section 4.5: normalized stable clusters (Problem 2).
+    Normalized,
+}
+
+impl AlgorithmKind {
+    /// Every algorithm, in presentation order.
+    pub const ALL: [AlgorithmKind; 4] = [
+        AlgorithmKind::Bfs,
+        AlgorithmKind::Dfs,
+        AlgorithmKind::Ta,
+        AlgorithmKind::Normalized,
+    ];
+
+    /// The algorithm's short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmKind::Bfs => "bfs",
+            AlgorithmKind::Dfs => "dfs",
+            AlgorithmKind::Ta => "ta",
+            AlgorithmKind::Normalized => "normalized",
+        }
+    }
+
+    /// Parse a short name as produced by [`AlgorithmKind::name`].
+    pub fn parse(name: &str) -> Option<AlgorithmKind> {
+        AlgorithmKind::ALL
+            .into_iter()
+            .find(|kind| kind.name() == name)
+    }
+
+    /// The graph-independent algorithm/spec pairing rules: the normalized
+    /// solver answers Problem 2 only, and Problem 2 requires the normalized
+    /// solver. TA's full-paths-only restriction depends on the graph's
+    /// interval count and is checked by [`AlgorithmKind::build`] instead.
+    ///
+    /// This is the single source of those rules — [`AlgorithmKind::build`],
+    /// [`AlgorithmKind::supports`] and pipeline-parameter validation all
+    /// delegate here so they cannot drift apart.
+    pub fn check_spec(self, spec: StableClusterSpec) -> BscResult<()> {
+        match (self, spec) {
+            (AlgorithmKind::Normalized, StableClusterSpec::Normalized { .. }) => Ok(()),
+            (AlgorithmKind::Normalized, other) => Err(BscError::Unsupported {
+                algorithm: "normalized",
+                reason: format!(
+                    "the normalized solver answers Problem 2 only; requested {other:?}"
+                ),
+            }),
+            (kind, StableClusterSpec::Normalized { .. }) => Err(BscError::Unsupported {
+                algorithm: kind.name(),
+                reason: "Problem 2 (normalized stability) requires AlgorithmKind::Normalized"
+                    .to_string(),
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Construct a solver for this algorithm answering `spec` with `k`
+    /// results over a graph of `num_intervals` temporal intervals.
+    ///
+    /// Validates per-algorithm restrictions — [`AlgorithmKind::check_spec`]
+    /// plus TA's full-paths-only rule — surfacing violations as
+    /// [`BscError::Unsupported`].
+    pub fn build(
+        self,
+        spec: StableClusterSpec,
+        k: usize,
+        num_intervals: usize,
+    ) -> BscResult<Box<dyn StableClusterSolver>> {
+        self.check_spec(spec)?;
+        let full_l = num_intervals.saturating_sub(1) as u32;
+        let kl = |l: u32| KlStableParams::new(k, l);
+        match (self, spec) {
+            (AlgorithmKind::Bfs, StableClusterSpec::FullPaths) => {
+                Ok(Box::new(crate::bfs::BfsStableClusters::new(kl(full_l))))
+            }
+            (AlgorithmKind::Bfs, StableClusterSpec::ExactLength(l)) => {
+                Ok(Box::new(crate::bfs::BfsStableClusters::new(kl(l))))
+            }
+            (AlgorithmKind::Dfs, StableClusterSpec::FullPaths) => {
+                Ok(Box::new(crate::dfs::DfsStableClusters::new(kl(full_l))))
+            }
+            (AlgorithmKind::Dfs, StableClusterSpec::ExactLength(l)) => {
+                Ok(Box::new(crate::dfs::DfsStableClusters::new(kl(l))))
+            }
+            (AlgorithmKind::Ta, StableClusterSpec::FullPaths) => {
+                Ok(Box::new(crate::ta::TaStableClusters::new(k)))
+            }
+            (AlgorithmKind::Ta, StableClusterSpec::ExactLength(l)) if l == full_l => {
+                Ok(Box::new(crate::ta::TaStableClusters::new(k)))
+            }
+            (AlgorithmKind::Ta, other) => Err(BscError::Unsupported {
+                algorithm: "ta",
+                reason: format!(
+                    "the Threshold-Algorithm adaptation only materializes full paths \
+                     (length {full_l} here), not {other:?}"
+                ),
+            }),
+            (AlgorithmKind::Normalized, StableClusterSpec::Normalized { l_min }) => Ok(Box::new(
+                crate::normalized::NormalizedStableClusters::new(NormalizedParams::new(k, l_min)),
+            )),
+            // check_spec rejected every cross pairing above.
+            (kind, other) => unreachable!("check_spec admitted {kind} with {other:?}"),
+        }
+    }
+
+    /// True when [`AlgorithmKind::build`] would succeed for this combination.
+    pub fn supports(self, spec: StableClusterSpec, num_intervals: usize) -> bool {
+        if self.check_spec(spec).is_err() {
+            return false;
+        }
+        let full_l = num_intervals.saturating_sub(1) as u32;
+        match (self, spec) {
+            (AlgorithmKind::Ta, StableClusterSpec::ExactLength(l)) => l == full_l,
+            _ => true,
+        }
+    }
+}
+
+impl std::fmt::Display for AlgorithmKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{ClusterGraphGenerator, SyntheticGraphParams};
+
+    fn graph() -> ClusterGraph {
+        ClusterGraphGenerator::new(SyntheticGraphParams {
+            num_intervals: 4,
+            nodes_per_interval: 6,
+            avg_out_degree: 2,
+            gap: 0,
+            seed: 99,
+        })
+        .generate()
+    }
+
+    #[test]
+    fn parse_roundtrips_names() {
+        for kind in AlgorithmKind::ALL {
+            assert_eq!(AlgorithmKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(AlgorithmKind::parse("dijkstra"), None);
+    }
+
+    #[test]
+    fn build_rejects_unsupported_combinations() {
+        let err = AlgorithmKind::Ta
+            .build(StableClusterSpec::ExactLength(1), 3, 4)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            BscError::Unsupported {
+                algorithm: "ta",
+                ..
+            }
+        ));
+
+        let err = AlgorithmKind::Normalized
+            .build(StableClusterSpec::FullPaths, 3, 4)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            BscError::Unsupported {
+                algorithm: "normalized",
+                ..
+            }
+        ));
+
+        let err = AlgorithmKind::Bfs
+            .build(StableClusterSpec::Normalized { l_min: 2 }, 3, 4)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            BscError::Unsupported {
+                algorithm: "bfs",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn ta_accepts_exact_full_length() {
+        assert!(AlgorithmKind::Ta
+            .build(StableClusterSpec::ExactLength(3), 3, 4)
+            .is_ok());
+    }
+
+    #[test]
+    fn supports_matches_build() {
+        for kind in AlgorithmKind::ALL {
+            for spec in [
+                StableClusterSpec::FullPaths,
+                StableClusterSpec::ExactLength(2),
+                StableClusterSpec::ExactLength(3),
+                StableClusterSpec::Normalized { l_min: 2 },
+            ] {
+                assert_eq!(
+                    kind.supports(spec, 4),
+                    kind.build(spec, 3, 4).is_ok(),
+                    "{kind} {spec:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_kind_solves_through_the_trait() {
+        let graph = graph();
+        for kind in AlgorithmKind::ALL {
+            let spec = match kind {
+                AlgorithmKind::Normalized => StableClusterSpec::Normalized { l_min: 2 },
+                _ => StableClusterSpec::FullPaths,
+            };
+            let mut solver = kind.build(spec, 3, graph.num_intervals()).unwrap();
+            assert_eq!(solver.algorithm(), kind);
+            assert_eq!(solver.name(), kind.name());
+            let solution = solver.solve(&graph).unwrap();
+            assert!(!solution.paths.is_empty(), "{kind}");
+            assert!(
+                solution.stats.paths_generated > 0,
+                "{kind}: {:?}",
+                solution.stats
+            );
+        }
+    }
+}

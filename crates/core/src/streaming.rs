@@ -206,12 +206,7 @@ impl std::fmt::Debug for OnlineClusterFeed {
 
 impl OnlineClusterFeed {
     /// Create a feed.
-    pub fn new(
-        params: KlStableParams,
-        gap: u32,
-        affinity: Box<dyn Affinity>,
-        theta: f64,
-    ) -> Self {
+    pub fn new(params: KlStableParams, gap: u32, affinity: Box<dyn Affinity>, theta: f64) -> Self {
         OnlineClusterFeed {
             solver: OnlineStableClusters::new(params, gap),
             affinity,

@@ -18,10 +18,12 @@
 
 use std::collections::HashMap;
 
-use bsc_storage::Result as StorageResult;
+use bsc_storage::io_stats::IoScope;
 
 use crate::cluster_graph::{ClusterGraph, ClusterNodeId};
+use crate::error::BscResult;
 use crate::path::ClusterPath;
+use crate::solver::{AlgorithmKind, Solution, SolverStats, StableClusterSolver};
 use crate::topk::TopKPaths;
 
 /// Execution statistics of a TA run.
@@ -53,15 +55,12 @@ impl TaStableClusters {
     }
 
     /// Run the algorithm.
-    pub fn run(&self, graph: &ClusterGraph) -> StorageResult<Vec<ClusterPath>> {
+    pub fn run(&self, graph: &ClusterGraph) -> BscResult<Vec<ClusterPath>> {
         self.run_with_stats(graph).map(|(paths, _)| paths)
     }
 
     /// Run the algorithm and report execution statistics.
-    pub fn run_with_stats(
-        &self,
-        graph: &ClusterGraph,
-    ) -> StorageResult<(Vec<ClusterPath>, TaStats)> {
+    pub fn run_with_stats(&self, graph: &ClusterGraph) -> BscResult<(Vec<ClusterPath>, TaStats)> {
         let mut stats = TaStats::default();
         let m = graph.num_intervals() as u32;
         if self.k == 0 || m < 2 {
@@ -274,6 +273,39 @@ impl ListHead for (u32, u32, Option<f64>) {
             from_interval: self.0,
             to_interval: self.1,
             head,
+        })
+    }
+}
+
+impl From<TaStats> for SolverStats {
+    fn from(stats: TaStats) -> Self {
+        SolverStats {
+            paths_generated: stats.paths_enumerated,
+            edges_traversed: stats.edges_scanned,
+            random_seeks: stats.random_seeks,
+            prunes: stats.bound_skips,
+            early_termination: stats.early_termination,
+            ..SolverStats::default()
+        }
+    }
+}
+
+impl StableClusterSolver for TaStableClusters {
+    fn name(&self) -> &'static str {
+        "ta"
+    }
+
+    fn algorithm(&self) -> AlgorithmKind {
+        AlgorithmKind::Ta
+    }
+
+    fn solve(&mut self, graph: &ClusterGraph) -> BscResult<Solution> {
+        let scope = IoScope::start();
+        let (paths, stats) = self.run_with_stats(graph)?;
+        Ok(Solution {
+            paths,
+            stats: stats.into(),
+            io: scope.finish(),
         })
     }
 }

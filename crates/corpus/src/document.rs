@@ -78,10 +78,7 @@ mod tests {
             IntervalId(0),
             [KeywordId(5), KeywordId(1), KeywordId(5), KeywordId(3)],
         );
-        assert_eq!(
-            doc.keywords(),
-            &[KeywordId(1), KeywordId(3), KeywordId(5)]
-        );
+        assert_eq!(doc.keywords(), &[KeywordId(1), KeywordId(3), KeywordId(5)]);
         assert_eq!(doc.len(), 3);
         assert!(doc.contains(KeywordId(3)));
         assert!(!doc.contains(KeywordId(4)));

@@ -127,7 +127,13 @@ pub fn standard_week() -> Vec<Event> {
                 phase(
                     2,
                     &[
-                        "stem", "cell", "amniot", "fluid", "scientist", "research", "embryon",
+                        "stem",
+                        "cell",
+                        "amniot",
+                        "fluid",
+                        "scientist",
+                        "research",
+                        "embryon",
                         "therapi",
                     ],
                     0.08,
@@ -169,11 +175,7 @@ pub fn standard_week() -> Vec<Event> {
                     &["liverpool", "arsenal", "baptista", "fowler", "cup", "goal"],
                     0.05,
                 ),
-                phase(
-                    4,
-                    &["liverpool", "arsenal", "cup", "goal", "replai"],
-                    0.03,
-                ),
+                phase(4, &["liverpool", "arsenal", "cup", "goal", "replai"], 0.03),
             ],
         ),
         // Figure 15: iPhone launched Jan 9; discussion drifts to the Cisco
@@ -208,34 +210,76 @@ pub fn standard_week() -> Vec<Event> {
         Event::new(
             "somalia",
             vec![
-                phase(0, &["somalia", "islamist", "militia", "ethiopian", "troop"], 0.04),
-                phase(1, &["somalia", "islamist", "militia", "ethiopian", "troop", "kamboni"], 0.04),
+                phase(
+                    0,
+                    &["somalia", "islamist", "militia", "ethiopian", "troop"],
+                    0.04,
+                ),
+                phase(
+                    1,
+                    &[
+                        "somalia",
+                        "islamist",
+                        "militia",
+                        "ethiopian",
+                        "troop",
+                        "kamboni",
+                    ],
+                    0.04,
+                ),
                 phase(
                     2,
                     &[
-                        "somalia", "islamist", "militia", "ethiopian", "troop", "kamboni",
-                        "gunship", "qaeda",
+                        "somalia",
+                        "islamist",
+                        "militia",
+                        "ethiopian",
+                        "troop",
+                        "kamboni",
+                        "gunship",
+                        "qaeda",
                     ],
                     0.06,
                 ),
                 phase(
                     3,
                     &[
-                        "somalia", "islamist", "militia", "ethiopian", "troop", "kamboni",
-                        "gunship", "qaeda", "yusuf", "mogadishu",
+                        "somalia",
+                        "islamist",
+                        "militia",
+                        "ethiopian",
+                        "troop",
+                        "kamboni",
+                        "gunship",
+                        "qaeda",
+                        "yusuf",
+                        "mogadishu",
                     ],
                     0.07,
                 ),
                 phase(
                     4,
                     &[
-                        "somalia", "islamist", "militia", "ethiopian", "troop", "mogadishu",
+                        "somalia",
+                        "islamist",
+                        "militia",
+                        "ethiopian",
+                        "troop",
+                        "mogadishu",
                         "yusuf",
                     ],
                     0.05,
                 ),
-                phase(5, &["somalia", "islamist", "militia", "ethiopian", "troop"], 0.04),
-                phase(6, &["somalia", "islamist", "militia", "troop", "mogadishu"], 0.04),
+                phase(
+                    5,
+                    &["somalia", "islamist", "militia", "ethiopian", "troop"],
+                    0.04,
+                ),
+                phase(
+                    6,
+                    &["somalia", "islamist", "militia", "troop", "mogadishu"],
+                    0.04,
+                ),
             ],
         ),
     ]

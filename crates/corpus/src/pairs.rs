@@ -23,22 +23,13 @@ use crate::document::Document;
 use crate::vocabulary::KeywordId;
 
 /// Strategy and tuning for pair counting.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct PairCountConfig {
     /// Use the external-sort implementation instead of the in-memory hash
     /// map.
     pub external: bool,
     /// Spill configuration for the external implementation.
     pub sort: SortConfig,
-}
-
-impl Default for PairCountConfig {
-    fn default() -> Self {
-        PairCountConfig {
-            external: false,
-            sort: SortConfig::default(),
-        }
-    }
 }
 
 impl PairCountConfig {
@@ -158,8 +149,8 @@ impl PairCounter {
     }
 
     fn count_external(&self, documents: &[Document]) -> std::io::Result<PairCounts> {
-        let mut sorter: ExternalSorter<(u32, u32)> = ExternalSorter::new(self.config.sort.clone())
-            .map_err(io_error)?;
+        let mut sorter: ExternalSorter<(u32, u32)> =
+            ExternalSorter::new(self.config.sort.clone()).map_err(io_error)?;
         for doc in documents {
             let keywords = doc.keywords();
             for (i, &u) in keywords.iter().enumerate() {
@@ -197,7 +188,7 @@ mod tests {
     use super::*;
     use crate::document::DocumentId;
     use crate::timeline::IntervalId;
-    use proptest::prelude::*;
+    use bsc_util::DetRng;
 
     fn doc(id: u64, keywords: &[u32]) -> Document {
         Document::new(
@@ -209,7 +200,12 @@ mod tests {
 
     #[test]
     fn counts_simple_corpus() {
-        let docs = vec![doc(1, &[1, 2, 3]), doc(2, &[1, 2]), doc(3, &[2, 3]), doc(4, &[4])];
+        let docs = vec![
+            doc(1, &[1, 2, 3]),
+            doc(2, &[1, 2]),
+            doc(3, &[2, 3]),
+            doc(4, &[4]),
+        ];
         let counts = PairCounter::in_memory().count(&docs).unwrap();
         assert_eq!(counts.num_documents(), 4);
         assert_eq!(counts.keyword_count(KeywordId(1)), 2);
@@ -268,52 +264,62 @@ mod tests {
         assert_eq!(counts.num_pairs(), 0);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-        #[test]
-        fn prop_external_equals_in_memory(
-            corpus in proptest::collection::vec(
-                proptest::collection::btree_set(0u32..20, 0..8),
-                0..30,
-            )
-        ) {
-            let docs: Vec<Document> = corpus
-                .iter()
-                .enumerate()
-                .map(|(i, set)| doc(i as u64, &set.iter().copied().collect::<Vec<_>>()))
-                .collect();
+    /// Generate a random corpus: `num_docs` documents, each a random subset
+    /// of the keyword universe `[0, universe)`.
+    fn random_docs(
+        rng: &mut DetRng,
+        num_docs: usize,
+        universe: u32,
+        max_words: usize,
+    ) -> Vec<Document> {
+        (0..num_docs)
+            .map(|i| {
+                let mut words: Vec<u32> = (0..rng.index(max_words + 1))
+                    .map(|_| rng.below(universe as u64) as u32)
+                    .collect();
+                words.sort_unstable();
+                words.dedup();
+                doc(i as u64, &words)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn randomized_external_equals_in_memory() {
+        let mut rng = DetRng::seed_from_u64(400);
+        for _ in 0..16 {
+            let n = rng.index(30);
+            let docs = random_docs(&mut rng, n, 20, 7);
             let a = PairCounter::in_memory().count(&docs).unwrap();
-            let config = PairCountConfig { external: true, sort: SortConfig::tiny() };
+            let config = PairCountConfig {
+                external: true,
+                sort: SortConfig::tiny(),
+            };
             let b = PairCounter::with_config(config).count(&docs).unwrap();
-            prop_assert_eq!(a.num_documents(), b.num_documents());
+            assert_eq!(a.num_documents(), b.num_documents());
             for u in 0..20u32 {
-                prop_assert_eq!(a.keyword_count(KeywordId(u)), b.keyword_count(KeywordId(u)));
+                assert_eq!(a.keyword_count(KeywordId(u)), b.keyword_count(KeywordId(u)));
                 for v in (u + 1)..20u32 {
-                    prop_assert_eq!(
+                    assert_eq!(
                         a.pair_count(KeywordId(u), KeywordId(v)),
                         b.pair_count(KeywordId(u), KeywordId(v))
                     );
                 }
             }
         }
+    }
 
-        #[test]
-        fn prop_pair_count_bounded_by_keyword_counts(
-            corpus in proptest::collection::vec(
-                proptest::collection::btree_set(0u32..10, 0..6),
-                1..20,
-            )
-        ) {
-            let docs: Vec<Document> = corpus
-                .iter()
-                .enumerate()
-                .map(|(i, set)| doc(i as u64, &set.iter().copied().collect::<Vec<_>>()))
-                .collect();
+    #[test]
+    fn randomized_pair_count_bounded_by_keyword_counts() {
+        let mut rng = DetRng::seed_from_u64(401);
+        for _ in 0..16 {
+            let n = 1 + rng.index(19);
+            let docs = random_docs(&mut rng, n, 10, 5);
             let counts = PairCounter::in_memory().count(&docs).unwrap();
             for (u, v, c) in counts.iter_pairs() {
-                prop_assert!(c <= counts.keyword_count(u));
-                prop_assert!(c <= counts.keyword_count(v));
-                prop_assert!(counts.keyword_count(u) <= counts.num_documents());
+                assert!(c <= counts.keyword_count(u));
+                assert!(c <= counts.keyword_count(v));
+                assert!(counts.keyword_count(u) <= counts.num_documents());
             }
         }
     }

@@ -203,6 +203,7 @@ impl Porter {
     // replacement (e.g. both "ation" and "ator" become "ate"), exactly as in
     // Porter's specification.
     #[allow(clippy::if_same_then_else)]
+    #[allow(clippy::collapsible_match)] // arms mirror the Porter rule tables
     fn step2(&mut self) {
         if self.k == 0 {
             return;
@@ -279,6 +280,7 @@ impl Porter {
     }
 
     /// Step 3: -ic-, -full, -ness etc.
+    #[allow(clippy::collapsible_match)] // arms mirror the Porter rule tables
     fn step3(&mut self) {
         match self.b[self.k] {
             b'e' => {
@@ -322,16 +324,9 @@ impl Porter {
             b'e' => self.ends("er"),
             b'i' => self.ends("ic"),
             b'l' => self.ends("able") || self.ends("ible"),
-            b'n' => {
-                self.ends("ant")
-                    || self.ends("ement")
-                    || self.ends("ment")
-                    || self.ends("ent")
-            }
+            b'n' => self.ends("ant") || self.ends("ement") || self.ends("ment") || self.ends("ent"),
             b'o' => {
-                (self.ends("ion")
-                    && self.j > 0
-                    && matches!(self.b[self.j], b's' | b't'))
+                (self.ends("ion") && self.j > 0 && matches!(self.b[self.j], b's' | b't'))
                     || self.ends("ou")
             }
             b's' => self.ends("ism"),
@@ -519,7 +514,13 @@ mod tests {
 
     #[test]
     fn idempotent_on_common_words() {
-        for w in ["running", "relational", "hopefulness", "stemming", "clusters"] {
+        for w in [
+            "running",
+            "relational",
+            "hopefulness",
+            "stemming",
+            "clusters",
+        ] {
             let once = porter_stem(w);
             let twice = porter_stem(&once);
             // Porter is not idempotent in general but should be for these.

@@ -15,8 +15,7 @@
 //!   cliques the biconnected-component clustering is designed to find, with
 //!   persistence, drift and gaps across intervals.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bsc_util::DetRng;
 
 use crate::document::{Document, DocumentId};
 use crate::events::{standard_week, week_labels, Event};
@@ -189,7 +188,7 @@ impl SyntheticBlogosphere {
     /// Generate the corpus.
     pub fn generate(&self) -> GeneratedCorpus {
         let config = &self.config;
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = DetRng::seed_from_u64(config.seed);
         let mut vocabulary = Vocabulary::new();
 
         // Intern the background vocabulary: bg0000, bg0001, ...
@@ -216,13 +215,13 @@ impl SyntheticBlogosphere {
 
         // Unscripted micro events: small random keyword groups active for a
         // single interval, modelling the long tail of blogosphere chatter.
-        for interval in 0..config.num_intervals {
+        for (interval, phases) in event_phases.iter_mut().enumerate() {
             for micro in 0..config.micro_events_per_interval {
-                let group_size = rng.gen_range(3..=6);
+                let group_size = rng.range_inclusive(3, 6);
                 let ids: Vec<KeywordId> = (0..group_size)
                     .map(|k| vocabulary.intern(&format!("ev{interval:02}x{micro:04}w{k}")))
                     .collect();
-                event_phases[interval].push((ids, config.micro_event_intensity));
+                phases.push((ids, config.micro_event_intensity));
             }
         }
 
@@ -245,8 +244,7 @@ impl SyntheticBlogosphere {
         }
 
         let mut next_doc_id = 0u64;
-        for interval in 0..config.num_intervals {
-            let phases = &event_phases[interval];
+        for (interval, phases) in event_phases.iter().enumerate().take(config.num_intervals) {
             for _ in 0..config.posts_per_interval {
                 let doc_id = DocumentId(next_doc_id);
                 next_doc_id += 1;
@@ -254,7 +252,7 @@ impl SyntheticBlogosphere {
 
                 // Decide whether this post is about one of the active events.
                 let mut assigned_event = None;
-                let roll: f64 = rng.gen();
+                let roll: f64 = rng.next_f64();
                 let mut acc = 0.0;
                 for (ids, intensity) in phases {
                     acc += intensity;
@@ -268,7 +266,7 @@ impl SyntheticBlogosphere {
                     // Event post: use a large random subset of the topic
                     // keywords so that topic pairs co-occur strongly.
                     for &kw in topic {
-                        if rng.gen::<f64>() < config.event_keyword_coverage {
+                        if rng.chance(config.event_keyword_coverage) {
                             keywords.push(kw);
                         }
                     }
@@ -281,8 +279,10 @@ impl SyntheticBlogosphere {
                 }
 
                 // Background words (both for event and non-event posts).
-                let n_background =
-                    rng.gen_range(config.min_words_per_post..=config.max_words_per_post);
+                let n_background = rng.range_inclusive(
+                    config.min_words_per_post as u64,
+                    config.max_words_per_post as u64,
+                ) as usize;
                 for _ in 0..n_background {
                     let idx = sample_zipf(&zipf_cdf, &mut rng);
                     keywords.push(background[idx]);
@@ -316,8 +316,8 @@ fn build_zipf_cdf_with_offset(n: usize, s: f64, offset: usize) -> Vec<f64> {
 }
 
 /// Sample a rank from the Zipf cumulative distribution.
-fn sample_zipf(cdf: &[f64], rng: &mut impl Rng) -> usize {
-    let u: f64 = rng.gen();
+fn sample_zipf(cdf: &[f64], rng: &mut DetRng) -> usize {
+    let u: f64 = rng.next_f64();
     match cdf.binary_search_by(|probe| probe.partial_cmp(&u).expect("no NaN in cdf")) {
         Ok(idx) => idx,
         Err(idx) => idx.min(cdf.len() - 1),
@@ -362,7 +362,9 @@ mod tests {
         let a = SyntheticBlogosphere::new(SyntheticConfig::small().with_posts_per_interval(30))
             .generate();
         let b = SyntheticBlogosphere::new(
-            SyntheticConfig::small().with_posts_per_interval(30).with_seed(1234),
+            SyntheticConfig::small()
+                .with_posts_per_interval(30)
+                .with_seed(1234),
         )
         .generate();
         let docs_a: Vec<_> = a.timeline.documents(IntervalId(0)).to_vec();
@@ -414,7 +416,7 @@ mod tests {
     #[test]
     fn zipf_samples_skew_to_low_ranks() {
         let cdf = build_zipf_cdf_with_offset(1000, 1.1, 0);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let samples: Vec<usize> = (0..5000).map(|_| sample_zipf(&cdf, &mut rng)).collect();
         let low = samples.iter().filter(|&&r| r < 100).count();
         assert!(
@@ -426,10 +428,7 @@ mod tests {
 
     #[test]
     fn approx_text_bytes_positive() {
-        let corpus = SyntheticBlogosphere::new(
-            SyntheticConfig::single_day(100, 200, 3),
-        )
-        .generate();
+        let corpus = SyntheticBlogosphere::new(SyntheticConfig::single_day(100, 200, 3)).generate();
         assert!(corpus.approx_text_bytes() > 1000);
         let doc = &corpus.timeline.documents(IntervalId(0))[0];
         let text = corpus.render(doc);

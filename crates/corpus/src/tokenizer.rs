@@ -73,7 +73,11 @@ impl Tokenizer {
             if self.remove_stopwords && stopwords::is_stopword(&token) {
                 continue;
             }
-            let term = if self.stem { porter_stem(&token) } else { token };
+            let term = if self.stem {
+                porter_stem(&token)
+            } else {
+                token
+            };
             if term.chars().count() < self.min_len {
                 continue;
             }

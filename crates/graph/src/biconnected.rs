@@ -22,19 +22,11 @@ use bsc_storage::Result as StorageResult;
 use crate::csr::{CsrGraph, EdgeIndex, NodeIndex};
 
 /// Configuration of the biconnected-component computation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct BiconnectedComponents {
     /// Maximum number of edge-stack entries kept in memory before spilling to
     /// disk. `None` keeps everything in memory.
     pub max_edges_in_memory: Option<usize>,
-}
-
-impl Default for BiconnectedComponents {
-    fn default() -> Self {
-        BiconnectedComponents {
-            max_edges_in_memory: None,
-        }
-    }
 }
 
 /// Result of the articulation-point / biconnected-component computation.
@@ -206,7 +198,7 @@ impl BiconnectedComponents {
 mod tests {
     use super::*;
     use bsc_corpus::vocabulary::KeywordId;
-    use proptest::prelude::*;
+    use bsc_util::DetRng;
     use std::collections::HashSet;
 
     fn kw(id: u32) -> KeywordId {
@@ -423,51 +415,58 @@ mod tests {
         result
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-        #[test]
-        fn prop_articulation_points_match_naive_oracle(
-            edges in proptest::collection::vec((0u32..12, 0u32..12), 1..40)
-        ) {
-            let edges: Vec<(u32, u32)> = edges
-                .into_iter()
-                .filter(|(u, v)| u != v)
-                .collect::<HashSet<_>>()
-                .into_iter()
-                .map(|(u, v)| (u.min(v), u.max(v)))
-                .collect::<HashSet<_>>()
-                .into_iter()
-                .collect();
-            prop_assume!(!edges.is_empty());
+    /// Draw a random simple undirected graph as a deduplicated edge list
+    /// over `universe` vertices.
+    fn random_edges(rng: &mut DetRng, universe: u32, max_edges: usize) -> Vec<(u32, u32)> {
+        let n = 1 + rng.index(max_edges);
+        (0..n)
+            .map(|_| {
+                (
+                    rng.below(universe as u64) as u32,
+                    rng.below(universe as u64) as u32,
+                )
+            })
+            .filter(|(u, v)| u != v)
+            .map(|(u, v)| (u.min(v), u.max(v)))
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn randomized_articulation_points_match_naive_oracle() {
+        let mut rng = DetRng::seed_from_u64(600);
+        for _ in 0..64 {
+            let edges = random_edges(&mut rng, 12, 40);
+            if edges.is_empty() {
+                continue;
+            }
             let graph = graph_from(&edges);
             let result = BiconnectedComponents::default().run(&graph).unwrap();
-            prop_assert_eq!(
+            assert_eq!(
                 articulation_keywords(&graph, &result),
                 naive_articulation_points(&edges)
             );
         }
+    }
 
-        #[test]
-        fn prop_components_partition_edges(
-            edges in proptest::collection::vec((0u32..15, 0u32..15), 1..60)
-        ) {
-            let edges: Vec<(u32, u32)> = edges
-                .into_iter()
-                .filter(|(u, v)| u != v)
-                .map(|(u, v)| (u.min(v), u.max(v)))
-                .collect::<HashSet<_>>()
-                .into_iter()
-                .collect();
-            prop_assume!(!edges.is_empty());
+    #[test]
+    fn randomized_components_partition_edges() {
+        let mut rng = DetRng::seed_from_u64(601);
+        for _ in 0..64 {
+            let edges = random_edges(&mut rng, 15, 60);
+            if edges.is_empty() {
+                continue;
+            }
             let graph = graph_from(&edges);
             let result = BiconnectedComponents::default().run(&graph).unwrap();
             let mut seen = HashSet::new();
             for component in &result.components {
                 for &edge in component {
-                    prop_assert!(seen.insert(edge));
+                    assert!(seen.insert(edge));
                 }
             }
-            prop_assert_eq!(seen.len(), graph.num_edges());
+            assert_eq!(seen.len(), graph.num_edges());
         }
     }
 }

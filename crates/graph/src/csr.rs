@@ -37,10 +37,14 @@ pub struct CsrGraph {
 
 impl CsrGraph {
     /// Build from explicit keyword-id edges with weights.
-    pub fn from_weighted_edges(edges: impl IntoIterator<Item = (KeywordId, KeywordId, f64)>) -> Self {
+    pub fn from_weighted_edges(
+        edges: impl IntoIterator<Item = (KeywordId, KeywordId, f64)>,
+    ) -> Self {
         let mut nodes: Vec<KeywordId> = Vec::new();
         let mut index_of: HashMap<KeywordId, NodeIndex> = HashMap::new();
-        let intern = |k: KeywordId, nodes: &mut Vec<KeywordId>, index_of: &mut HashMap<KeywordId, NodeIndex>| {
+        let intern = |k: KeywordId,
+                      nodes: &mut Vec<KeywordId>,
+                      index_of: &mut HashMap<KeywordId, NodeIndex>| {
             *index_of.entry(k).or_insert_with(|| {
                 nodes.push(k);
                 (nodes.len() - 1) as NodeIndex
@@ -130,12 +134,15 @@ impl CsrGraph {
     /// Neighbours of a node as `(neighbour, edge_id)` pairs.
     pub fn neighbors(&self, node: NodeIndex) -> impl Iterator<Item = (NodeIndex, EdgeIndex)> + '_ {
         let u = node as usize;
-        (self.offsets[u]..self.offsets[u + 1]).map(move |i| (self.neighbors[i], self.adj_edge_ids[i]))
+        (self.offsets[u]..self.offsets[u + 1])
+            .map(move |i| (self.neighbors[i], self.adj_edge_ids[i]))
     }
 
     /// All node indices.
     pub fn node_indices(&self) -> impl Iterator<Item = NodeIndex> {
-        (0..self.nodes.len() as NodeIndex).collect::<Vec<_>>().into_iter()
+        (0..self.nodes.len() as NodeIndex)
+            .collect::<Vec<_>>()
+            .into_iter()
     }
 }
 
@@ -149,10 +156,7 @@ mod tests {
 
     #[test]
     fn builds_adjacency_in_both_directions() {
-        let g = CsrGraph::from_weighted_edges(vec![
-            (kw(10), kw(20), 0.5),
-            (kw(20), kw(30), 0.9),
-        ]);
+        let g = CsrGraph::from_weighted_edges(vec![(kw(10), kw(20), 0.5), (kw(20), kw(30), 0.9)]);
         assert_eq!(g.num_nodes(), 3);
         assert_eq!(g.num_edges(), 2);
         let n20 = g.node_of(kw(20)).unwrap();

@@ -159,11 +159,7 @@ impl PrunedGraph {
 
     /// The distinct vertices incident to at least one surviving edge, sorted.
     pub fn vertices(&self) -> Vec<KeywordId> {
-        let mut v: Vec<KeywordId> = self
-            .edges
-            .iter()
-            .flat_map(|e| [e.u, e.v])
-            .collect();
+        let mut v: Vec<KeywordId> = self.edges.iter().flat_map(|e| [e.u, e.v]).collect();
         v.sort_unstable();
         v.dedup();
         v

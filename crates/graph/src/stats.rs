@@ -40,7 +40,7 @@ pub fn chi_square(a_uv: u64, a_u: u64, a_v: u64, n: u64) -> f64 {
     let o12 = a_u - a_uv; // u, not v
     let o21 = a_v - a_uv; // not u, v
     let o22 = n_f - a_u - a_v + a_uv; // neither
-    // Expected counts under independence.
+                                      // Expected counts under independence.
     let not_u = n_f - a_u;
     let not_v = n_f - a_v;
     let e11 = a_u * a_v / n_f;
@@ -88,7 +88,7 @@ pub fn is_significant(a_uv: u64, a_u: u64, a_v: u64, n: u64) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use bsc_util::DetRng;
 
     #[test]
     fn chi_square_hand_computed_example() {
@@ -166,53 +166,74 @@ mod tests {
         assert!((rho_small - rho_large).abs() < 1e-9);
     }
 
-    /// A strategy producing consistent contingency counts:
-    /// a_uv <= min(a_u, a_v), a_u + a_v - a_uv <= n.
-    fn contingency() -> impl Strategy<Value = (u64, u64, u64, u64)> {
-        (2u64..500).prop_flat_map(|n| {
-            (1u64..=n, 1u64..=n).prop_flat_map(move |(a_u, a_v)| {
-                let lower = (a_u + a_v).saturating_sub(n);
-                let upper = a_u.min(a_v);
-                (lower..=upper).prop_map(move |a_uv| (a_uv, a_u, a_v, n))
-            })
-        })
+    /// Draw consistent contingency counts: `a_uv <= min(a_u, a_v)`,
+    /// `a_u + a_v - a_uv <= n`.
+    fn contingency(rng: &mut DetRng) -> (u64, u64, u64, u64) {
+        let n = rng.range_inclusive(2, 499);
+        let a_u = rng.range_inclusive(1, n);
+        let a_v = rng.range_inclusive(1, n);
+        let lower = (a_u + a_v).saturating_sub(n);
+        let upper = a_u.min(a_v);
+        let a_uv = rng.range_inclusive(lower, upper);
+        (a_uv, a_u, a_v, n)
     }
 
-    proptest! {
-        #[test]
-        fn prop_chi_square_nonnegative((a_uv, a_u, a_v, n) in contingency()) {
-            prop_assert!(chi_square(a_uv, a_u, a_v, n) >= 0.0);
+    #[test]
+    fn randomized_chi_square_nonnegative() {
+        let mut rng = DetRng::seed_from_u64(500);
+        for _ in 0..512 {
+            let (a_uv, a_u, a_v, n) = contingency(&mut rng);
+            assert!(chi_square(a_uv, a_u, a_v, n) >= 0.0);
         }
+    }
 
-        #[test]
-        fn prop_correlation_in_range((a_uv, a_u, a_v, n) in contingency()) {
+    #[test]
+    fn randomized_correlation_in_range() {
+        let mut rng = DetRng::seed_from_u64(501);
+        for _ in 0..512 {
+            let (a_uv, a_u, a_v, n) = contingency(&mut rng);
             let rho = correlation_coefficient(a_uv, a_u, a_v, n);
-            prop_assert!((-1.0..=1.0).contains(&rho), "rho = {rho}");
+            assert!((-1.0..=1.0).contains(&rho), "rho = {rho}");
         }
+    }
 
-        #[test]
-        fn prop_correlation_symmetric((a_uv, a_u, a_v, n) in contingency()) {
+    #[test]
+    fn randomized_correlation_symmetric() {
+        let mut rng = DetRng::seed_from_u64(502);
+        for _ in 0..512 {
+            let (a_uv, a_u, a_v, n) = contingency(&mut rng);
             let a = correlation_coefficient(a_uv, a_u, a_v, n);
             let b = correlation_coefficient(a_uv, a_v, a_u, n);
-            prop_assert!((a - b).abs() < 1e-12);
+            assert!((a - b).abs() < 1e-12);
         }
+    }
 
-        #[test]
-        fn prop_chi_square_symmetric((a_uv, a_u, a_v, n) in contingency()) {
+    #[test]
+    fn randomized_chi_square_symmetric() {
+        let mut rng = DetRng::seed_from_u64(503);
+        for _ in 0..512 {
+            let (a_uv, a_u, a_v, n) = contingency(&mut rng);
             let a = chi_square(a_uv, a_u, a_v, n);
             let b = chi_square(a_uv, a_v, a_u, n);
-            prop_assert!((a - b).abs() < 1e-9);
+            assert!((a - b).abs() < 1e-9);
         }
+    }
 
-        #[test]
-        fn prop_positive_association_positive_rho((a_u, a_v) in (1u64..50, 1u64..50)) {
-            // If co-occurrence exceeds the independence expectation, rho > 0.
-            let n = 200u64;
+    #[test]
+    fn randomized_positive_association_positive_rho() {
+        // If co-occurrence exceeds the independence expectation, rho > 0.
+        let mut rng = DetRng::seed_from_u64(504);
+        let n = 200u64;
+        for _ in 0..512 {
+            let a_u = rng.range_inclusive(1, 49);
+            let a_v = rng.range_inclusive(1, 49);
             let expected = (a_u * a_v) as f64 / n as f64;
             let a_uv = (expected.ceil() as u64 + 1).min(a_u.min(a_v));
-            prop_assume!((a_uv as f64) > expected);
+            if (a_uv as f64) <= expected {
+                continue;
+            }
             let rho = correlation_coefficient(a_uv, a_u, a_v, n);
-            prop_assert!(rho > 0.0, "rho = {rho}");
+            assert!(rho > 0.0, "rho = {rho}");
         }
     }
 }

@@ -7,9 +7,26 @@
 //! occupy one or two bytes; floats are stored as fixed 8-byte little-endian
 //! IEEE-754 values; strings and sequences are length-prefixed.
 
-use bytes::{Buf, BufMut};
-
 use crate::StorageError;
+
+/// Pop one byte off the front of the cursor.
+fn take_u8(buf: &mut &[u8], what: &str) -> Result<u8, StorageError> {
+    let (&first, rest) = buf
+        .split_first()
+        .ok_or_else(|| StorageError::Corrupt(format!("truncated {what}")))?;
+    *buf = rest;
+    Ok(first)
+}
+
+/// Pop `N` bytes off the front of the cursor as a fixed-size array.
+fn take_array<const N: usize>(buf: &mut &[u8], what: &str) -> Result<[u8; N], StorageError> {
+    if buf.len() < N {
+        return Err(StorageError::Corrupt(format!("truncated {what}")));
+    }
+    let (head, tail) = buf.split_at(N);
+    *buf = tail;
+    Ok(head.try_into().expect("split_at returned N bytes"))
+}
 
 /// Types that can be appended to a byte buffer.
 pub trait Encode {
@@ -49,10 +66,10 @@ pub fn write_varint(buf: &mut Vec<u8>, mut value: u64) {
         let byte = (value & 0x7f) as u8;
         value >>= 7;
         if value == 0 {
-            buf.put_u8(byte);
+            buf.push(byte);
             return;
         }
-        buf.put_u8(byte | 0x80);
+        buf.push(byte | 0x80);
     }
 }
 
@@ -61,10 +78,7 @@ pub fn read_varint(buf: &mut &[u8]) -> Result<u64, StorageError> {
     let mut value = 0u64;
     let mut shift = 0u32;
     loop {
-        if buf.is_empty() {
-            return Err(StorageError::Corrupt("truncated varint".into()));
-        }
-        let byte = buf.get_u8();
+        let byte = take_u8(buf, "varint")?;
         if shift >= 64 {
             return Err(StorageError::Corrupt("varint overflow".into()));
         }
@@ -132,46 +146,37 @@ impl_signed!(i8, i16, i32, i64, isize);
 
 impl Encode for f64 {
     fn encode(&self, buf: &mut Vec<u8>) {
-        buf.put_f64_le(*self);
+        buf.extend_from_slice(&self.to_le_bytes());
     }
 }
 
 impl Decode for f64 {
     fn decode(buf: &mut &[u8]) -> Result<Self, StorageError> {
-        if buf.len() < 8 {
-            return Err(StorageError::Corrupt("truncated f64".into()));
-        }
-        Ok(buf.get_f64_le())
+        Ok(f64::from_le_bytes(take_array(buf, "f64")?))
     }
 }
 
 impl Encode for f32 {
     fn encode(&self, buf: &mut Vec<u8>) {
-        buf.put_f32_le(*self);
+        buf.extend_from_slice(&self.to_le_bytes());
     }
 }
 
 impl Decode for f32 {
     fn decode(buf: &mut &[u8]) -> Result<Self, StorageError> {
-        if buf.len() < 4 {
-            return Err(StorageError::Corrupt("truncated f32".into()));
-        }
-        Ok(buf.get_f32_le())
+        Ok(f32::from_le_bytes(take_array(buf, "f32")?))
     }
 }
 
 impl Encode for bool {
     fn encode(&self, buf: &mut Vec<u8>) {
-        buf.put_u8(u8::from(*self));
+        buf.push(u8::from(*self));
     }
 }
 
 impl Decode for bool {
     fn decode(buf: &mut &[u8]) -> Result<Self, StorageError> {
-        if buf.is_empty() {
-            return Err(StorageError::Corrupt("truncated bool".into()));
-        }
-        match buf.get_u8() {
+        match take_u8(buf, "bool")? {
             0 => Ok(false),
             1 => Ok(true),
             other => Err(StorageError::Corrupt(format!("invalid bool byte {other}"))),
@@ -232,9 +237,9 @@ impl<T: Decode> Decode for Vec<T> {
 impl<T: Encode> Encode for Option<T> {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
-            None => buf.put_u8(0),
+            None => buf.push(0),
             Some(v) => {
-                buf.put_u8(1);
+                buf.push(1);
                 v.encode(buf);
             }
         }
@@ -243,10 +248,7 @@ impl<T: Encode> Encode for Option<T> {
 
 impl<T: Decode> Decode for Option<T> {
     fn decode(buf: &mut &[u8]) -> Result<Self, StorageError> {
-        if buf.is_empty() {
-            return Err(StorageError::Corrupt("truncated option".into()));
-        }
-        match buf.get_u8() {
+        match take_u8(buf, "option")? {
             0 => Ok(None),
             1 => Ok(Some(T::decode(buf)?)),
             other => Err(StorageError::Corrupt(format!(
@@ -280,7 +282,7 @@ impl_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use bsc_util::DetRng;
 
     fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(value: T) {
         let bytes = value.to_bytes();
@@ -359,35 +361,70 @@ mod tests {
         assert!(u8::from_bytes(&bytes).is_err());
     }
 
-    proptest! {
-        #[test]
-        fn prop_u64_roundtrip(v in any::<u64>()) {
-            roundtrip(v);
+    #[test]
+    fn randomized_u64_roundtrip() {
+        let mut rng = DetRng::seed_from_u64(100);
+        for _ in 0..256 {
+            roundtrip(rng.next_u64());
         }
+    }
 
-        #[test]
-        fn prop_i64_roundtrip(v in any::<i64>()) {
-            roundtrip(v);
+    #[test]
+    fn randomized_i64_roundtrip() {
+        let mut rng = DetRng::seed_from_u64(101);
+        for _ in 0..256 {
+            roundtrip(rng.next_u64() as i64);
         }
+    }
 
-        #[test]
-        fn prop_string_roundtrip(s in ".{0,64}") {
+    #[test]
+    fn randomized_string_roundtrip() {
+        let mut rng = DetRng::seed_from_u64(102);
+        for _ in 0..128 {
+            let len = rng.index(65);
+            let s: String = (0..len)
+                .map(|_| char::from_u32(rng.range_inclusive(0x20, 0x2FA1D_u64) as u32))
+                .map(|c| c.unwrap_or('\u{FFFD}'))
+                .collect();
             roundtrip(s);
         }
+    }
 
-        #[test]
-        fn prop_vec_tuple_roundtrip(v in proptest::collection::vec((any::<u32>(), any::<u32>(), 0.0f64..1.0), 0..32)) {
+    #[test]
+    fn randomized_vec_tuple_roundtrip() {
+        let mut rng = DetRng::seed_from_u64(103);
+        for _ in 0..64 {
+            let len = rng.index(32);
+            let v: Vec<(u32, u32, f64)> = (0..len)
+                .map(|_| (rng.next_u32(), rng.next_u32(), rng.next_f64()))
+                .collect();
             roundtrip(v);
         }
+    }
 
-        #[test]
-        fn prop_f64_roundtrip(v in proptest::num::f64::NORMAL | proptest::num::f64::ZERO) {
+    #[test]
+    fn randomized_f64_roundtrip() {
+        let mut rng = DetRng::seed_from_u64(104);
+        roundtrip(0.0f64);
+        roundtrip(-0.0f64);
+        for _ in 0..256 {
+            let v = f64::from_bits(rng.next_u64());
+            if v.is_nan() {
+                continue;
+            }
             roundtrip(v);
         }
+    }
 
-        #[test]
-        fn prop_zigzag_inverse(v in any::<i64>()) {
-            prop_assert_eq!(unzigzag(zigzag(v)), v);
+    #[test]
+    fn randomized_zigzag_inverse() {
+        let mut rng = DetRng::seed_from_u64(105);
+        for v in [0i64, 1, -1, i64::MIN, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        for _ in 0..1024 {
+            let v = rng.next_u64() as i64;
+            assert_eq!(unzigzag(zigzag(v)), v);
         }
     }
 }

@@ -291,7 +291,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use bsc_util::DetRng;
 
     fn sort_via_external(values: Vec<(u32, u32)>, config: SortConfig) -> Vec<(u32, u32)> {
         let mut sorter = ExternalSorter::new(config).unwrap();
@@ -341,7 +341,8 @@ mod tests {
 
     #[test]
     fn sort_and_count_aggregates_duplicates() {
-        let mut sorter: ExternalSorter<(u32, u32)> = ExternalSorter::new(SortConfig::tiny()).unwrap();
+        let mut sorter: ExternalSorter<(u32, u32)> =
+            ExternalSorter::new(SortConfig::tiny()).unwrap();
         for _ in 0..5 {
             sorter.push((1, 2)).unwrap();
         }
@@ -367,24 +368,33 @@ mod tests {
         assert_eq!(sorted, expected);
     }
 
-    proptest! {
-        #[test]
-        fn prop_matches_in_memory_sort(values in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..300)) {
+    #[test]
+    fn randomized_matches_in_memory_sort() {
+        let mut rng = DetRng::seed_from_u64(200);
+        for _ in 0..16 {
+            let len = rng.index(300);
+            let values: Vec<(u32, u32)> =
+                (0..len).map(|_| (rng.next_u32(), rng.next_u32())).collect();
             let external = sort_via_external(values.clone(), SortConfig::tiny());
             let mut expected = values;
             expected.sort();
-            prop_assert_eq!(external, expected);
+            assert_eq!(external, expected);
         }
+    }
 
-        #[test]
-        fn prop_count_totals_match(values in proptest::collection::vec(0u32..10, 0..200)) {
+    #[test]
+    fn randomized_count_totals_match() {
+        let mut rng = DetRng::seed_from_u64(201);
+        for _ in 0..16 {
+            let len = rng.index(200);
+            let values: Vec<u32> = (0..len).map(|_| rng.next_u32() % 10).collect();
             let mut sorter: ExternalSorter<u32> = ExternalSorter::new(SortConfig::tiny()).unwrap();
             for v in &values {
                 sorter.push(*v).unwrap();
             }
             let mut total = 0u64;
             sort_and_count(sorter, |_, count| total += count).unwrap();
-            prop_assert_eq!(total, values.len() as u64);
+            assert_eq!(total, values.len() as u64);
         }
     }
 }

@@ -7,9 +7,8 @@
 //! bytes through a shared set of counters. Experiments read a snapshot before
 //! and after a run and report the difference.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Global counters of logical I/O performed by the storage substrate.
 ///
@@ -107,19 +106,11 @@ impl IoStats {
     }
 }
 
-static GLOBAL_STATS: Mutex<Option<Arc<IoStats>>> = Mutex::new(None);
+static GLOBAL_STATS: OnceLock<Arc<IoStats>> = OnceLock::new();
 
 /// Return the process-wide [`IoStats`] instance, creating it on first use.
 pub fn global() -> Arc<IoStats> {
-    let mut guard = GLOBAL_STATS.lock();
-    match &*guard {
-        Some(stats) => Arc::clone(stats),
-        None => {
-            let stats = Arc::new(IoStats::new());
-            *guard = Some(Arc::clone(&stats));
-            stats
-        }
-    }
+    Arc::clone(GLOBAL_STATS.get_or_init(|| Arc::new(IoStats::new())))
 }
 
 /// RAII helper that snapshots the global counters on construction and reports

@@ -122,7 +122,8 @@ where
             )));
         }
         let prefix_len = to_read - slice.len();
-        self.file.seek(SeekFrom::Start(offset + prefix_len as u64))?;
+        self.file
+            .seek(SeekFrom::Start(offset + prefix_len as u64))?;
         let mut payload = vec![0u8; stored_len];
         self.file.read_exact(&mut payload)?;
         io_stats::global().record_read(stored_len as u64);
@@ -195,8 +196,7 @@ mod tests {
     #[test]
     fn put_get_roundtrip() {
         let dir = TempDir::new("nodestore").unwrap();
-        let mut store: NodeStore<u32, Vec<u64>> =
-            NodeStore::create(dir.file("store.log")).unwrap();
+        let mut store: NodeStore<u32, Vec<u64>> = NodeStore::create(dir.file("store.log")).unwrap();
         store.put(&1, &vec![10, 20, 30]).unwrap();
         store.put(&2, &vec![]).unwrap();
         assert_eq!(store.get(&1).unwrap(), Some(vec![10, 20, 30]));
@@ -258,10 +258,7 @@ mod tests {
             store.put(&key, &(key * 2, key as f64 / 7.0)).unwrap();
         }
         for key in (0..500u64).rev().step_by(7) {
-            assert_eq!(
-                store.get(&key).unwrap(),
-                Some((key * 2, key as f64 / 7.0))
-            );
+            assert_eq!(store.get(&key).unwrap(), Some((key * 2, key as f64 / 7.0)));
         }
     }
 }

@@ -197,7 +197,7 @@ impl<T: Encode + Decode> PagedStack<T> {
         }
         // The restored page is older than anything currently hot, so it goes
         // underneath the current hot elements.
-        restored.extend(self.hot.drain(..));
+        restored.append(&mut self.hot);
         self.hot = restored;
         self.tail = range.0;
         self.unspills += 1;
@@ -208,7 +208,7 @@ impl<T: Encode + Decode> PagedStack<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use bsc_util::DetRng;
 
     #[test]
     fn lifo_order_without_spilling() {
@@ -278,27 +278,26 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn prop_behaves_like_vec(ops in proptest::collection::vec(proptest::option::weighted(0.6, any::<u16>()), 0..400)) {
+    #[test]
+    fn randomized_behaves_like_vec() {
+        let mut rng = DetRng::seed_from_u64(300);
+        for _ in 0..8 {
             let mut stack: PagedStack<u16> = PagedStack::new(5).unwrap();
             let mut model: Vec<u16> = Vec::new();
-            for op in ops {
-                match op {
-                    Some(v) => {
-                        stack.push(v).unwrap();
-                        model.push(v);
-                    }
-                    None => {
-                        prop_assert_eq!(stack.pop().unwrap(), model.pop());
-                    }
+            for _ in 0..rng.index(400) {
+                if rng.chance(0.6) {
+                    let v = rng.next_u32() as u16;
+                    stack.push(v).unwrap();
+                    model.push(v);
+                } else {
+                    assert_eq!(stack.pop().unwrap(), model.pop());
                 }
-                prop_assert_eq!(stack.len(), model.len());
+                assert_eq!(stack.len(), model.len());
             }
             while let Some(expected) = model.pop() {
-                prop_assert_eq!(stack.pop().unwrap(), Some(expected));
+                assert_eq!(stack.pop().unwrap(), Some(expected));
             }
-            prop_assert!(stack.pop().unwrap().is_none());
+            assert!(stack.pop().unwrap().is_none());
         }
     }
 }

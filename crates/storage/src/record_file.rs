@@ -147,7 +147,7 @@ impl<T: Decode> RecordReader<T> {
     }
 
     /// Iterate over all remaining records.
-    pub fn into_iter(self) -> RecordIter<T> {
+    pub fn into_records(self) -> RecordIter<T> {
         RecordIter { reader: self }
     }
 }
@@ -169,7 +169,7 @@ impl<T: Decode> Iterator for RecordIter<T> {
 /// Read every record of a file into a vector (convenience for tests and
 /// small files).
 pub fn read_all<T: Decode, P: AsRef<Path>>(path: P) -> Result<Vec<T>> {
-    RecordReader::open(path)?.into_iter().collect()
+    RecordReader::open(path)?.into_records().collect()
 }
 
 /// Write every record of a slice to a new file (convenience).
@@ -244,7 +244,7 @@ mod tests {
         let dir = TempDir::new("recfile").unwrap();
         let path = dir.file("large.rec");
         let big: Vec<u32> = (0..10_000).collect();
-        write_all(&path, &[big.clone()]).unwrap();
+        write_all(&path, std::slice::from_ref(&big)).unwrap();
         let back: Vec<Vec<u32>> = read_all(&path).unwrap();
         assert_eq!(back, vec![big]);
     }

@@ -1,0 +1,16 @@
+//! # bsc-util
+//!
+//! Dependency-free utilities shared across the blogstable workspace.
+//!
+//! The workspace builds in hermetic environments with no access to a crate
+//! registry, so the handful of things one would normally pull from small
+//! external crates live here instead. Currently that is a single item: a
+//! fast, seedable, deterministic pseudo-random number generator ([`DetRng`])
+//! used by the synthetic workload generators, the randomized test suites and
+//! the CC-Pivot baseline.
+
+#![warn(missing_docs)]
+
+pub mod rng;
+
+pub use rng::DetRng;

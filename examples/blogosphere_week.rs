@@ -26,7 +26,10 @@ fn main() {
         ..PipelineParams::default()
     }
     .full_paths();
-    let outcome = Pipeline::new(params).run(&corpus).expect("pipeline run");
+    let outcome = Pipeline::new(params)
+        .expect("valid pipeline parameters")
+        .run(&corpus)
+        .expect("pipeline run");
 
     println!("day-by-day keyword clusters");
     println!("---------------------------");
@@ -44,7 +47,11 @@ fn main() {
         ("Figure 2  (Beckham, Jan 12)", 6, &["beckham", "mls"]),
         ("Figure 4  (FA cup, Jan 6)", 0, &["liverpool", "arsenal"]),
         ("Figure 15 (iPhone, Jan 9)", 3, &["iphon", "appl"]),
-        ("Figure 15 (Cisco lawsuit, Jan 11)", 5, &["iphon", "lawsuit"]),
+        (
+            "Figure 15 (Cisco lawsuit, Jan 11)",
+            5,
+            &["iphon", "lawsuit"],
+        ),
         ("Figure 16 (Somalia, Jan 6)", 0, &["somalia", "islamist"]),
     ];
     println!("\nevent clusters");
@@ -83,7 +90,9 @@ fn main() {
         corpus.vocabulary.get("lawsuit"),
     ) {
         if let Some(path) = iphone_paths.iter().find(|p| {
-            p.nodes().iter().all(|n| outcome.cluster_at(*n).contains(iphon))
+            p.nodes()
+                .iter()
+                .all(|n| outcome.cluster_at(*n).contains(iphon))
                 && outcome.cluster_at(p.last()).contains(lawsuit)
         }) {
             println!("\ntopic drift (Figure 15): iPhone launch -> Cisco lawsuit");

@@ -17,7 +17,11 @@ use blogstable::prelude::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let query = args.first().map(String::as_str).unwrap_or("iphon").to_string();
+    let query = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("iphon")
+        .to_string();
     let day: u32 = args.get(1).and_then(|d| d.parse().ok()).unwrap_or(3);
 
     let corpus = SyntheticBlogosphere::new(SyntheticConfig::small()).generate();
@@ -27,14 +31,20 @@ fn main() {
         prune: PruneConfig::paper().with_min_pair_count(3),
         ..PipelineParams::default()
     };
-    let outcome = Pipeline::new(params).run(&corpus).expect("pipeline run");
+    let outcome = Pipeline::new(params)
+        .expect("valid pipeline parameters")
+        .run(&corpus)
+        .expect("pipeline run");
 
     let Some(query_id) = corpus.vocabulary.get(&query) else {
         eprintln!("keyword '{query}' does not occur in the corpus");
         std::process::exit(1);
     };
     if day as usize >= outcome.interval_clusters.len() {
-        eprintln!("day {day} out of range (0..{})", outcome.interval_clusters.len());
+        eprintln!(
+            "day {day} out of range (0..{})",
+            outcome.interval_clusters.len()
+        );
         std::process::exit(1);
     }
 
@@ -66,7 +76,10 @@ fn main() {
         .collect();
     suggestions.sort_by(|a, b| b.1.total_cmp(&a.1));
 
-    println!("  refinement candidates (cluster of {} keywords):", cluster.len());
+    println!(
+        "  refinement candidates (cluster of {} keywords):",
+        cluster.len()
+    );
     for (keyword, rho) in suggestions.iter().take(10) {
         if *rho > 0.0 {
             println!("    {keyword:<16} rho = {rho:.2}");

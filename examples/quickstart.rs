@@ -29,7 +29,10 @@ fn main() {
         ..PipelineParams::default()
     }
     .exact_length(3);
-    let outcome = Pipeline::new(params).run(&corpus).expect("pipeline run");
+    let outcome = Pipeline::new(params)
+        .expect("valid pipeline parameters")
+        .run(&corpus)
+        .expect("pipeline run");
 
     println!("\nclusters per day:");
     for (day, clusters) in outcome.interval_clusters.iter().enumerate() {

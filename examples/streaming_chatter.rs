@@ -23,12 +23,8 @@ fn main() {
     let corpus = SyntheticBlogosphere::new(SyntheticConfig::small()).generate();
 
     // Track the best paths of length 3 with gaps up to 2 days.
-    let mut feed = OnlineClusterFeed::new(
-        KlStableParams::new(5, 3),
-        2,
-        Box::new(JaccardAffinity),
-        0.1,
-    );
+    let mut feed =
+        OnlineClusterFeed::new(KlStableParams::new(5, 3), 2, Box::new(JaccardAffinity), 0.1);
 
     let counter = PairCounter::in_memory();
     let prune = PruneConfig::paper().with_min_pair_count(3);

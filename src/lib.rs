@@ -19,6 +19,12 @@
 //!    of length l (kl-stable clusters), or the top-k paths of highest
 //!    weight/length (normalized stable clusters) ([`core`]).
 //!
+//! Step 3 is pluggable: every algorithm of the paper — BFS (Algorithm 2),
+//! disk-resident DFS (Algorithm 3), the Threshold-Algorithm adaptation, the
+//! normalized solver — implements the [`core::solver::StableClusterSolver`]
+//! trait, and [`PipelineParams::algorithm`](core::pipeline::PipelineParams)
+//! selects which one runs end-to-end.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -28,14 +34,36 @@
 //! let config = SyntheticConfig::small();
 //! let week = SyntheticBlogosphere::new(config).generate();
 //!
+//! // Configure the pipeline builder-style; `Pipeline::new` validates the
+//! // parameters and reports violations as `BscError::InvalidConfig`.
+//! let params = PipelineParams::default()
+//!     .exact_length(2)
+//!     .top_k(10)
+//!     .algorithm(AlgorithmKind::Bfs);
+//! let pipeline = Pipeline::new(params).expect("valid parameters");
+//!
 //! // Run the full pipeline: per-day clusters + stable clusters.
-//! let params = PipelineParams::default();
-//! let outcome = Pipeline::new(params).run(&week).unwrap();
+//! let outcome = pipeline.run(&week).unwrap();
 //! assert!(!outcome.interval_clusters.is_empty());
+//! assert!(!outcome.stable_paths.is_empty());
+//!
+//! // The same run through a different algorithm: just swap the kind.
+//! let dfs = Pipeline::new(
+//!     PipelineParams::default()
+//!         .exact_length(2)
+//!         .top_k(10)
+//!         .algorithm(AlgorithmKind::Dfs),
+//! )
+//! .expect("valid parameters")
+//! .run(&week)
+//! .unwrap();
+//! assert_eq!(outcome.stable_paths.len(), dfs.stable_paths.len());
 //! ```
 //!
-//! The individual stages are all public; see the [`corpus`], [`graph`],
-//! [`core`] and [`baselines`] modules.
+//! Solvers can also be driven directly over a cluster graph through
+//! `Box<dyn StableClusterSolver>` — see [`core::solver`]. The individual
+//! stages are all public; see the [`corpus`], [`graph`], [`core`] and
+//! [`baselines`] modules.
 
 /// External-memory substrate: binary codec, external sort, disk-backed stores.
 pub use bsc_storage as storage;
@@ -55,15 +83,18 @@ pub use bsc_baselines as baselines;
 
 /// Commonly used types re-exported for convenience.
 pub mod prelude {
+    pub use bsc_baselines::exhaustive::ExhaustiveSolver;
     pub use bsc_core::{
         affinity::{Affinity, IntersectionAffinity, JaccardAffinity, OverlapAffinity},
         bfs::BfsStableClusters,
         cluster_graph::{ClusterGraph, ClusterGraphBuilder, ClusterNodeId},
         dfs::DfsStableClusters,
+        error::{BscError, BscResult},
         normalized::NormalizedStableClusters,
         path::ClusterPath,
         pipeline::{Pipeline, PipelineOutcome, PipelineParams},
-        problem::{KlStableParams, NormalizedParams},
+        problem::{KlStableParams, NormalizedParams, StableClusterSpec},
+        solver::{AlgorithmKind, Solution, SolverStats, StableClusterSolver},
         streaming::OnlineStableClusters,
         synthetic::{ClusterGraphGenerator, SyntheticGraphParams},
         ta::TaStableClusters,

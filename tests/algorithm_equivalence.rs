@@ -1,191 +1,223 @@
-//! Cross-crate integration tests: the three kl-stable-cluster algorithms
-//! (BFS, DFS, TA), the streaming variant and the normalized solver all agree
-//! with the exhaustive oracle on randomly generated cluster graphs —
-//! verifying Claims 1 and 2 of the paper.
+//! Solver-conformance suite: every [`AlgorithmKind`] must agree with the
+//! exhaustive oracle on randomly generated cluster graphs, exercised through
+//! `Box<dyn StableClusterSolver>` — the same dynamic dispatch the pipeline
+//! uses — verifying Claims 1 and 2 of the paper for every algorithm behind
+//! the unified trait.
 
-use blogstable::baselines::exhaustive::{exhaustive_normalized_top_k, exhaustive_top_k};
-use blogstable::core::bfs::BfsStableClusters;
-use blogstable::core::dfs::{DfsConfig, DfsStableClusters};
-use blogstable::core::normalized::NormalizedStableClusters;
-use blogstable::core::problem::{KlStableParams, NormalizedParams};
+use blogstable::baselines::exhaustive::ExhaustiveSolver;
+use blogstable::core::path::ClusterPath;
+use blogstable::core::problem::{KlStableParams, StableClusterSpec};
+use blogstable::core::solver::{AlgorithmKind, StableClusterSolver};
 use blogstable::core::streaming::OnlineStableClusters;
 use blogstable::core::synthetic::{ClusterGraphGenerator, SyntheticGraphParams};
-use blogstable::core::ta::TaStableClusters;
+use blogstable::core::ClusterGraph;
 
-use proptest::prelude::*;
+use bsc_util::DetRng;
 
-fn weights(paths: &[blogstable::core::path::ClusterPath]) -> Vec<f64> {
-    paths.iter().map(|p| p.weight()).collect()
+fn generate(m: usize, n: u32, gap: u32, seed: u64) -> ClusterGraph {
+    ClusterGraphGenerator::new(SyntheticGraphParams {
+        num_intervals: m,
+        nodes_per_interval: n,
+        avg_out_degree: 2,
+        gap,
+        seed,
+    })
+    .generate()
 }
 
-fn assert_same_weights(a: &[f64], b: &[f64], context: &str) {
-    assert_eq!(a.len(), b.len(), "{context}: result counts differ");
-    for (x, y) in a.iter().zip(b.iter()) {
-        assert!((x - y).abs() < 1e-9, "{context}: {x} vs {y}");
+/// Run one solver through the trait object, as the pipeline would.
+fn solve(
+    kind: AlgorithmKind,
+    spec: StableClusterSpec,
+    k: usize,
+    graph: &ClusterGraph,
+) -> Vec<ClusterPath> {
+    let mut solver: Box<dyn StableClusterSolver> = kind
+        .build(spec, k, graph.num_intervals())
+        .expect("supported combination");
+    solver.solve(graph).expect("solver run").paths
+}
+
+/// The ground truth for the same spec, also through the trait.
+fn oracle(spec: StableClusterSpec, k: usize, graph: &ClusterGraph) -> Vec<ClusterPath> {
+    let mut solver: Box<dyn StableClusterSolver> = Box::new(ExhaustiveSolver::new(spec, k));
+    solver.solve(graph).expect("oracle run").paths
+}
+
+/// Score a path the way its spec orders results.
+fn score(spec: StableClusterSpec, path: &ClusterPath) -> f64 {
+    match spec {
+        StableClusterSpec::Normalized { .. } => path.stability(),
+        _ => path.weight(),
     }
 }
 
+/// Assert that `kind` and the oracle report identical top-k scores on
+/// `graph`.
+fn assert_matches_oracle(
+    kind: AlgorithmKind,
+    spec: StableClusterSpec,
+    k: usize,
+    graph: &ClusterGraph,
+    context: &str,
+) {
+    let expected = oracle(spec, k, graph);
+    let got = solve(kind, spec, k, graph);
+    assert_eq!(
+        expected.len(),
+        got.len(),
+        "{context} {kind} {spec:?}: result counts differ"
+    );
+    for (e, g) in expected.iter().zip(got.iter()) {
+        let (e, g) = (score(spec, e), score(spec, g));
+        assert!(
+            (e - g).abs() < 1e-9,
+            "{context} {kind} {spec:?}: {e} vs {g}"
+        );
+    }
+}
+
+/// Every algorithm that supports the spec, as trait objects would see them.
+fn supporting(spec: StableClusterSpec, num_intervals: usize) -> Vec<AlgorithmKind> {
+    AlgorithmKind::ALL
+        .into_iter()
+        .filter(|kind| kind.supports(spec, num_intervals))
+        .collect()
+}
+
 #[test]
-fn bfs_dfs_ta_and_oracle_agree_on_full_paths() {
+fn all_algorithms_match_oracle_on_full_paths() {
     for seed in 0..6 {
         for gap in [0, 1] {
-            let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
-                num_intervals: 4,
-                nodes_per_interval: 7,
-                avg_out_degree: 2,
-                gap,
-                seed: 1000 + seed,
-            })
-            .generate();
-            let k = 4;
-            let params = KlStableParams::full_paths(k, graph.num_intervals());
-            let oracle = weights(&exhaustive_top_k(&graph, k, params.l));
-            let bfs = weights(&BfsStableClusters::new(params).run(&graph).unwrap());
-            let dfs = weights(
-                &DfsStableClusters::with_config(params, DfsConfig::in_memory())
-                    .run(&graph)
-                    .unwrap(),
-            );
-            let ta = weights(&TaStableClusters::new(k).run(&graph).unwrap());
-            let context = format!("seed={seed} gap={gap}");
-            assert_same_weights(&oracle, &bfs, &format!("{context} bfs"));
-            assert_same_weights(&oracle, &dfs, &format!("{context} dfs"));
-            assert_same_weights(&oracle, &ta, &format!("{context} ta"));
+            let graph = generate(4, 7, gap, 1000 + seed);
+            let spec = StableClusterSpec::FullPaths;
+            let kinds = supporting(spec, graph.num_intervals());
+            assert_eq!(kinds.len(), 3, "BFS, DFS and TA all answer full paths");
+            for kind in kinds {
+                assert_matches_oracle(kind, spec, 4, &graph, &format!("seed={seed} gap={gap}"));
+            }
         }
     }
 }
 
 #[test]
-fn bfs_dfs_and_oracle_agree_on_subpaths() {
+fn subpath_algorithms_match_oracle_on_exact_lengths() {
     for seed in 0..4 {
-        let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
-            num_intervals: 5,
-            nodes_per_interval: 6,
-            avg_out_degree: 2,
-            gap: 1,
-            seed: 2000 + seed,
-        })
-        .generate();
-        for l in [1, 2, 3] {
-            let params = KlStableParams::new(3, l);
-            let oracle = weights(&exhaustive_top_k(&graph, 3, l));
-            let bfs = weights(&BfsStableClusters::new(params).run(&graph).unwrap());
-            let dfs = weights(
-                &DfsStableClusters::with_config(params, DfsConfig::in_memory())
-                    .run(&graph)
-                    .unwrap(),
-            );
-            let context = format!("seed={seed} l={l}");
-            assert_same_weights(&oracle, &bfs, &format!("{context} bfs"));
-            assert_same_weights(&oracle, &dfs, &format!("{context} dfs"));
+        let graph = generate(5, 6, 1, 2000 + seed);
+        for l in [1, 2, 3, 4] {
+            let spec = StableClusterSpec::ExactLength(l);
+            let kinds = supporting(spec, graph.num_intervals());
+            // TA joins in only when l covers the whole graph.
+            assert_eq!(kinds.len(), if l == 4 { 3 } else { 2 });
+            for kind in kinds {
+                assert_matches_oracle(kind, spec, 3, &graph, &format!("seed={seed} l={l}"));
+            }
         }
     }
 }
 
 #[test]
-fn streaming_agrees_with_batch_and_oracle() {
-    for seed in 0..4 {
-        let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
-            num_intervals: 6,
-            nodes_per_interval: 8,
-            avg_out_degree: 2,
-            gap: 1,
-            seed: 3000 + seed,
-        })
-        .generate();
-        let params = KlStableParams::new(4, 3);
-        let oracle = weights(&exhaustive_top_k(&graph, 4, 3));
-        let online = OnlineStableClusters::replay(params, &graph).current_top_k();
-        assert_same_weights(&oracle, &weights(&online), &format!("seed={seed} streaming"));
-    }
-}
-
-#[test]
-fn normalized_top1_matches_oracle() {
+fn normalized_solver_matches_oracle() {
     for seed in 0..5 {
-        let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
-            num_intervals: 5,
-            nodes_per_interval: 5,
-            avg_out_degree: 2,
-            gap: 0,
-            seed: 4000 + seed,
-        })
-        .generate();
+        let graph = generate(5, 5, 0, 4000 + seed);
         for l_min in [1, 2, 3] {
-            let oracle = exhaustive_normalized_top_k(&graph, 1, l_min);
-            let got = NormalizedStableClusters::new(NormalizedParams::new(1, l_min))
-                .run(&graph)
-                .unwrap();
-            assert_eq!(oracle.len(), got.len(), "seed={seed} l_min={l_min}");
-            if let (Some(a), Some(b)) = (oracle.first(), got.first()) {
-                assert!(
-                    (a.stability() - b.stability()).abs() < 1e-9,
-                    "seed={seed} l_min={l_min}: {} vs {}",
-                    a.stability(),
-                    b.stability()
+            let spec = StableClusterSpec::Normalized { l_min };
+            let kinds = supporting(spec, graph.num_intervals());
+            assert_eq!(kinds, vec![AlgorithmKind::Normalized]);
+            for k in [1, 3] {
+                assert_matches_oracle(
+                    AlgorithmKind::Normalized,
+                    spec,
+                    k,
+                    &graph,
+                    &format!("seed={seed} l_min={l_min}"),
                 );
             }
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Claim 1 (BFS correctness) on random graph shapes.
-    #[test]
-    fn prop_bfs_matches_oracle(
-        seed in 0u64..5000,
-        n in 3u32..8,
-        m in 3usize..6,
-        gap in 0u32..2,
-        l in 1u32..4,
-        k in 1usize..5,
-    ) {
-        let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
-            num_intervals: m,
-            nodes_per_interval: n,
-            avg_out_degree: 2,
-            gap,
-            seed,
-        })
-        .generate();
-        prop_assume!(l <= m as u32 - 1);
-        let oracle = weights(&exhaustive_top_k(&graph, k, l));
-        let bfs = weights(&BfsStableClusters::new(KlStableParams::new(k, l)).run(&graph).unwrap());
-        prop_assert_eq!(oracle.len(), bfs.len());
-        for (a, b) in oracle.iter().zip(bfs.iter()) {
-            prop_assert!((a - b).abs() < 1e-9);
+#[test]
+fn streaming_agrees_with_oracle() {
+    for seed in 0..4 {
+        let graph = generate(6, 8, 1, 3000 + seed);
+        let params = KlStableParams::new(4, 3);
+        let expected = oracle(StableClusterSpec::ExactLength(3), 4, &graph);
+        let online = OnlineStableClusters::replay(params, &graph).current_top_k();
+        assert_eq!(expected.len(), online.len(), "seed={seed} streaming");
+        for (e, g) in expected.iter().zip(online.iter()) {
+            assert!(
+                (e.weight() - g.weight()).abs() < 1e-9,
+                "seed={seed} streaming: {} vs {}",
+                e.weight(),
+                g.weight()
+            );
         }
     }
+}
 
-    /// Claim 2 (DFS correctness, with pruning and disk-resident state).
-    #[test]
-    fn prop_dfs_matches_oracle(
-        seed in 5000u64..10000,
-        n in 3u32..7,
-        m in 3usize..6,
-        l in 1u32..4,
-        k in 1usize..4,
-    ) {
-        let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
-            num_intervals: m,
-            nodes_per_interval: n,
-            avg_out_degree: 2,
-            gap: 1,
-            seed,
-        })
-        .generate();
-        prop_assume!(l <= m as u32 - 1);
-        let oracle = weights(&exhaustive_top_k(&graph, k, l));
-        let dfs = weights(
-            &DfsStableClusters::new(KlStableParams::new(k, l))
-                .run(&graph)
-                .unwrap(),
-        );
-        prop_assert_eq!(oracle.len(), dfs.len());
-        for (a, b) in oracle.iter().zip(dfs.iter()) {
-            prop_assert!((a - b).abs() < 1e-9);
+/// Randomized conformance sweep over graph shapes and specs (the successor
+/// of the old proptest block, Claims 1 and 2): draw a random shape, then run
+/// *every* algorithm that supports the drawn spec against the oracle.
+#[test]
+fn randomized_conformance_over_random_shapes() {
+    let mut rng = DetRng::seed_from_u64(20_070_923);
+    let mut checked = 0u32;
+    for _ in 0..24 {
+        let m = rng.range_inclusive(3, 5) as usize;
+        let n = rng.range_inclusive(3, 7) as u32;
+        let gap = rng.range_inclusive(0, 1) as u32;
+        let k = rng.range_inclusive(1, 4) as usize;
+        let graph = generate(m, n, gap, rng.next_u64());
+        let max_l = (m - 1) as u32;
+        let spec = match rng.index(3) {
+            0 => StableClusterSpec::FullPaths,
+            1 => StableClusterSpec::ExactLength(rng.range_inclusive(1, max_l as u64) as u32),
+            _ => StableClusterSpec::Normalized {
+                l_min: rng.range_inclusive(1, max_l as u64) as u32,
+            },
+        };
+        for kind in supporting(spec, graph.num_intervals()) {
+            assert_matches_oracle(
+                kind,
+                spec,
+                k,
+                &graph,
+                &format!("m={m} n={n} gap={gap} k={k}"),
+            );
+            checked += 1;
         }
     }
+    assert!(
+        checked >= 24,
+        "sweep must exercise every drawn spec: {checked}"
+    );
+}
+
+#[test]
+fn unsupported_combinations_are_rejected_not_wrong() {
+    let graph = generate(4, 5, 0, 77);
+    // TA cannot answer short subpaths; it must refuse rather than return
+    // wrong results.
+    let err = AlgorithmKind::Ta
+        .build(StableClusterSpec::ExactLength(1), 3, graph.num_intervals())
+        .expect_err("TA must reject subpath specs");
+    assert!(matches!(
+        err,
+        blogstable::core::BscError::Unsupported {
+            algorithm: "ta",
+            ..
+        }
+    ));
+    // The normalized solver only answers Problem 2 and vice versa.
+    assert!(AlgorithmKind::Normalized
+        .build(StableClusterSpec::FullPaths, 3, graph.num_intervals())
+        .is_err());
+    assert!(AlgorithmKind::Bfs
+        .build(
+            StableClusterSpec::Normalized { l_min: 2 },
+            3,
+            graph.num_intervals()
+        )
+        .is_err());
 }

@@ -20,7 +20,10 @@ fn run_week() -> (
         ..PipelineParams::default()
     }
     .full_paths();
-    let outcome = Pipeline::new(params).run(&corpus).expect("pipeline");
+    let outcome = Pipeline::new(params)
+        .expect("valid params")
+        .run(&corpus)
+        .expect("pipeline");
     (corpus, outcome)
 }
 
@@ -82,7 +85,10 @@ fn figure4_gap_stable_cluster_for_fa_cup() {
             break;
         }
     }
-    assert!(gap_path_found, "expected an FA-cup path spanning the Jan 7-8 gap");
+    assert!(
+        gap_path_found,
+        "expected an FA-cup path spanning the Jan 7-8 gap"
+    );
 }
 
 #[test]
@@ -111,7 +117,10 @@ fn figure16_full_week_somalia_path() {
     let (corpus, outcome) = run_week();
     let somalia = corpus.vocabulary.get("somalia").unwrap();
     let full_week = outcome.stable_paths.iter().find(|p| {
-        p.length() == 6 && p.nodes().iter().all(|n| outcome.cluster_at(*n).contains(somalia))
+        p.length() == 6
+            && p.nodes()
+                .iter()
+                .all(|n| outcome.cluster_at(*n).contains(somalia))
     });
     assert!(
         full_week.is_some(),
@@ -142,7 +151,10 @@ fn normalized_pipeline_returns_dense_paths() {
         ..PipelineParams::default()
     }
     .normalized(2);
-    let outcome = Pipeline::new(params).run(&corpus).expect("pipeline");
+    let outcome = Pipeline::new(params)
+        .expect("valid params")
+        .run(&corpus)
+        .expect("pipeline");
     assert!(!outcome.stable_paths.is_empty());
     for path in &outcome.stable_paths {
         assert!(path.length() >= 2);

@@ -18,8 +18,8 @@ use blogstable::storage::io_stats;
 
 #[test]
 fn external_pair_counting_matches_in_memory_on_synthetic_day() {
-    let corpus = SyntheticBlogosphere::new(SyntheticConfig::small().with_posts_per_interval(150))
-        .generate();
+    let corpus =
+        SyntheticBlogosphere::new(SyntheticConfig::small().with_posts_per_interval(150)).generate();
     let docs = corpus.timeline.documents(IntervalId(0));
     let in_memory = PairCounter::in_memory().count(docs).unwrap();
     let external = PairCounter::with_config(PairCountConfig {
@@ -49,7 +49,9 @@ fn spillable_biconnected_components_match_in_memory_on_pruned_graph() {
     let csr = CsrGraph::from_pruned(&pruned);
 
     let in_memory = BiconnectedComponents::default().run(&csr).unwrap();
-    let spilled = BiconnectedComponents::with_memory_limit(4).run(&csr).unwrap();
+    let spilled = BiconnectedComponents::with_memory_limit(4)
+        .run(&csr)
+        .unwrap();
     assert_eq!(in_memory.articulation_points, spilled.articulation_points);
     let normalize = |result: &blogstable::graph::biconnected::BiconnectedResult| {
         let mut sets: Vec<Vec<u32>> = result
@@ -121,7 +123,9 @@ fn dfs_memory_footprint_is_bounded_by_the_stack() {
     let (_, dfs_stats) = DfsStableClusters::with_config(params, DfsConfig::in_memory())
         .run_with_stats(&graph)
         .unwrap();
-    let (_, bfs_stats) = BfsStableClusters::new(params).run_with_stats(&graph).unwrap();
+    let (_, bfs_stats) = BfsStableClusters::new(params)
+        .run_with_stats(&graph)
+        .unwrap();
     assert!(dfs_stats.peak_stack_depth <= graph.num_intervals() + 1);
     assert!(
         bfs_stats.peak_resident_paths > dfs_stats.peak_stack_depth,
