@@ -1,14 +1,19 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--paper] [all|table1|fig6|table3|fig7|fig8|fig9|fig10|fig11|fig12|
-//!        fig13|fig14|quali|baselines|streaming]
+//! repro [--paper] [--json <path>] [all|table1|fig6|table3|fig7|fig8|fig9|
+//!        fig10|fig11|fig12|fig13|fig14|quali|baselines|streaming]
 //! ```
 //!
 //! Without arguments the whole suite runs at the reduced "quick" scale; pass
-//! `--paper` for the paper's parameter ranges (slower).
+//! `--paper` for the paper's parameter ranges (slower). `--json <path>`
+//! additionally writes every produced table as a structured JSON document
+//! (hand-rolled serializer, zero dependencies) so the performance trajectory
+//! can be tracked across commits — `BENCH_table3.json` at the repository
+//! root is such a baseline.
 
 use bsc_bench::experiments::{self, Scale};
+use bsc_bench::report::{tables_to_json, Table};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -17,42 +22,51 @@ fn main() {
     } else {
         Scale::Quick
     };
-    let targets: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    let targets = if targets.is_empty() {
-        vec!["all"]
-    } else {
-        targets
-    };
+    let mut json_path: Option<String> = None;
+    let mut targets: Vec<&str> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--paper" => {}
+            "--json" => match iter.next() {
+                Some(path) => json_path = Some(path.clone()),
+                None => {
+                    eprintln!("--json requires a file path argument");
+                    std::process::exit(2);
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag '{flag}' (expected --paper or --json <path>)");
+                std::process::exit(2);
+            }
+            target => targets.push(target),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all");
+    }
 
-    for target in targets {
-        match target {
-            "all" => {
-                for table in experiments::all(scale) {
-                    println!("{table}");
-                }
-            }
-            "table1" => println!("{}", experiments::table1(scale)),
-            "fig6" => println!("{}", experiments::fig6(scale)),
-            "table3" => println!("{}", experiments::table3(scale)),
-            "fig7" => println!("{}", experiments::fig7(scale)),
-            "fig8" => println!("{}", experiments::fig8(scale)),
-            "fig9" => println!("{}", experiments::fig9(scale)),
-            "fig10" => println!("{}", experiments::fig10(scale)),
-            "fig11" => println!("{}", experiments::fig11(scale)),
-            "fig12" => println!("{}", experiments::fig12(scale)),
-            "fig13" => println!("{}", experiments::fig13(scale)),
-            "fig14" => println!("{}", experiments::fig14(scale)),
-            "quali" => {
-                for table in experiments::quali(scale) {
-                    println!("{table}");
-                }
-            }
-            "baselines" => println!("{}", experiments::baselines(scale)),
-            "streaming" => println!("{}", experiments::streaming_ablation(scale)),
+    let mut produced: Vec<Table> = Vec::new();
+    for target in &targets {
+        let tables: Vec<Table> = match *target {
+            "all" => experiments::all(scale),
+            "table1" => vec![experiments::table1(scale)],
+            "fig6" => vec![experiments::fig6(scale)],
+            "table3" => vec![
+                experiments::table3(scale),
+                experiments::table3_ablation(scale),
+            ],
+            "fig7" => vec![experiments::fig7(scale)],
+            "fig8" => vec![experiments::fig8(scale)],
+            "fig9" => vec![experiments::fig9(scale)],
+            "fig10" => vec![experiments::fig10(scale)],
+            "fig11" => vec![experiments::fig11(scale)],
+            "fig12" => vec![experiments::fig12(scale)],
+            "fig13" => vec![experiments::fig13(scale)],
+            "fig14" => vec![experiments::fig14(scale)],
+            "quali" => experiments::quali(scale),
+            "baselines" => vec![experiments::baselines(scale)],
+            "streaming" => vec![experiments::streaming_ablation(scale)],
             other => {
                 eprintln!("unknown experiment '{other}'");
                 eprintln!(
@@ -60,6 +74,23 @@ fn main() {
                 );
                 std::process::exit(2);
             }
+        };
+        for table in tables {
+            println!("{table}");
+            produced.push(table);
         }
+    }
+
+    if let Some(path) = json_path {
+        let scale_name = match scale {
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+        };
+        let json = tables_to_json(scale_name, &targets, &produced);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write JSON to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {} table(s) to {path}", produced.len());
     }
 }

@@ -13,6 +13,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod reference;
 pub mod report;
 pub mod workloads;
 

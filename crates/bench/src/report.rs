@@ -1,4 +1,6 @@
-//! Plain-text tables for experiment output.
+//! Plain-text tables for experiment output, plus a hand-rolled JSON
+//! rendering (the workspace is zero-dependency) so tooling can track the
+//! performance trajectory across PRs (`repro ... --json <path>`).
 
 /// A named table of rows, rendered with aligned columns.
 #[derive(Debug, Clone)]
@@ -44,6 +46,79 @@ impl Table {
         let col = self.headers.iter().position(|h| h == header)?;
         self.rows.get(row)?.get(col).map(String::as_str)
     }
+
+    /// Render as a JSON object (`{"title", "headers", "rows", "notes"}`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"title\":");
+        out.push_str(&json_string(&self.title));
+        out.push_str(",\"headers\":");
+        out.push_str(&json_string_array(&self.headers));
+        out.push_str(",\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string_array(row));
+        }
+        out.push_str("],\"notes\":");
+        out.push_str(&json_string_array(&self.notes));
+        out.push('}');
+        out
+    }
+}
+
+/// Render a whole experiment run — scale, requested targets and every table
+/// produced — as a pretty-enough JSON document for checked-in baselines.
+pub fn tables_to_json(scale: &str, targets: &[&str], tables: &[Table]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"scale\": ");
+    out.push_str(&json_string(scale));
+    out.push_str(",\n  \"targets\": ");
+    out.push_str(&json_string_array(
+        &targets.iter().map(|t| t.to_string()).collect::<Vec<_>>(),
+    ));
+    out.push_str(",\n  \"tables\": [");
+    for (i, table) in tables.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&table.to_json());
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// JSON string literal with the escapes the JSON grammar requires.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_string_array(items: &[String]) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(item));
+    }
+    out.push(']');
+    out
 }
 
 impl std::fmt::Display for Table {
@@ -110,5 +185,21 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(seconds(std::time::Duration::from_millis(1500)), "1.500");
         assert_eq!(mib(3 * 1024 * 1024), "3.0MB");
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_structures() {
+        let mut table = Table::new("He said \"hi\"\n", &["a", "b"]);
+        table.push_row(vec!["1".into(), "x\\y".into()]);
+        table.push_note("tab\there");
+        let json = table.to_json();
+        assert!(json.starts_with("{\"title\":\"He said \\\"hi\\\"\\n\""));
+        assert!(json.contains("\"headers\":[\"a\",\"b\"]"));
+        assert!(json.contains("\"rows\":[[\"1\",\"x\\\\y\"]]"));
+        assert!(json.contains("\"notes\":[\"tab\\there\"]"));
+        let doc = tables_to_json("quick", &["table3"], &[table]);
+        assert!(doc.contains("\"scale\": \"quick\""));
+        assert!(doc.contains("\"targets\": [\"table3\"]"));
+        assert!(doc.trim_end().ends_with('}'));
     }
 }

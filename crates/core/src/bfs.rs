@@ -9,14 +9,27 @@
 //! over the intervals computes the global top-k heap `H` of paths of length
 //! exactly `l`.
 //!
+//! The in-memory hot path is built for throughput:
+//!
+//! * heaps hold zero-copy [`SharedPath`] chains — extending a prefix by one
+//!   edge is one `Arc` allocation, never a `Vec` clone;
+//! * the sliding window is a ring of `g + 2` interval slots indexed by
+//!   `interval % (g + 2)` and node index — no hashing on parent lookups;
+//! * within one interval the per-node heap computations are independent
+//!   (they read only the window of *previous* intervals), so
+//!   [`BfsConfig::threads`] > 1 chunks the interval's nodes across
+//!   `std::thread::scope` workers. Each worker accumulates a local top-k
+//!   heap of global candidates; the merge is deterministic because the
+//!   top-k set under the total (score, tie-break) order is unique, so every
+//!   thread count produces the identical `Solution`.
+//!
 //! Two storage modes are provided: the default keeps the sliding window of
 //! parent heaps in memory (the paper's main configuration — fast, but the
 //! memory footprint grows with `n`, `g`, `k` and `l`), while
 //! [`BfsConfig::on_disk`] persists every node's heaps to a
 //! [`bsc_storage::NodeStore`] and reads parents back with random I/O,
 //! mirroring the pseudocode's "save `c_ij` along with `h^x_ij` to disk".
-
-use std::collections::HashMap;
+//! The disk variant is sequential (the store is a single mutable resource).
 
 use bsc_storage::io_stats::IoScope;
 use bsc_storage::node_store::NodeStore;
@@ -25,35 +38,62 @@ use bsc_storage::temp::TempDir;
 use crate::cluster_graph::{ClusterGraph, ClusterNodeId};
 use crate::error::BscResult;
 use crate::path::ClusterPath;
+use crate::path_tree::SharedPath;
 use crate::problem::KlStableParams;
 use crate::solver::{AlgorithmKind, Solution, SolverStats, StableClusterSolver};
-use crate::topk::TopKPaths;
+use crate::topk::SharedTopK;
 
 /// Configuration of the BFS algorithm.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct BfsConfig {
     /// Persist per-node heaps to disk instead of keeping the sliding window
     /// in memory.
     pub on_disk: bool,
+    /// Number of worker threads for the per-interval node sweep (in-memory
+    /// mode only; the disk variant is sequential). `0` and `1` both mean
+    /// sequential. Results are identical for every thread count.
+    pub threads: usize,
+}
+
+impl Default for BfsConfig {
+    fn default() -> Self {
+        BfsConfig {
+            on_disk: false,
+            threads: 1,
+        }
+    }
 }
 
 impl BfsConfig {
     /// The secondary-storage variant.
     pub fn on_disk() -> Self {
-        BfsConfig { on_disk: true }
+        BfsConfig {
+            on_disk: true,
+            ..BfsConfig::default()
+        }
+    }
+
+    /// Use `threads` workers for the per-interval sweep.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
 /// Statistics of one BFS run.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct BfsStats {
-    /// Number of candidate paths generated (heap offers).
+    /// Number of candidate paths generated (heap offers considered). The
+    /// count is taken *before* the worst-score admission fast path, so it is
+    /// identical for every thread count.
     pub paths_generated: u64,
     /// Peak number of paths held across all node heaps simultaneously
     /// (a proxy for the algorithm's memory footprint).
     pub peak_resident_paths: usize,
     /// Number of nodes processed.
     pub nodes_processed: u64,
+    /// Worker threads used by the per-interval sweep (1 = sequential).
+    pub threads_used: usize,
 }
 
 /// The BFS-based kl-stable-clusters solver.
@@ -66,6 +106,13 @@ pub struct BfsStableClusters {
 /// Serialized form of one node's heaps: for each length `x` (1-based), the
 /// paths as `(weight, node ids)` pairs.
 type StoredHeaps = Vec<Vec<(f64, Vec<u64>)>>;
+
+/// Per-node heaps of one interval, indexed by node index then length − 1.
+type IntervalHeaps = Vec<Vec<SharedTopK>>;
+
+/// One slot of the sliding-window ring: the interval it currently holds
+/// (`u32::MAX` when empty) and that interval's per-node heaps.
+type WindowSlot = (u32, IntervalHeaps);
 
 impl BfsStableClusters {
     /// Create a solver for the given parameters.
@@ -101,39 +148,142 @@ impl BfsStableClusters {
     pub fn run_with_stats(&self, graph: &ClusterGraph) -> BscResult<(Vec<ClusterPath>, BfsStats)> {
         let k = self.params.k;
         let l = self.params.l;
-        let mut stats = BfsStats::default();
+        let mut stats = BfsStats {
+            threads_used: 1,
+            ..BfsStats::default()
+        };
         if k == 0 || l == 0 || graph.num_intervals() < 2 {
             return Ok((Vec::new(), stats));
         }
+        let mut global = SharedTopK::new(k);
+        if self.config.on_disk {
+            self.run_on_disk(graph, &mut global, &mut stats)?;
+        } else {
+            self.run_in_memory(graph, &mut global, &mut stats);
+        }
+        let paths = global
+            .into_sorted()
+            .iter()
+            .map(SharedPath::to_cluster_path)
+            .collect();
+        Ok((paths, stats))
+    }
 
-        let mut global = TopKPaths::new(k);
+    fn run_in_memory(&self, graph: &ClusterGraph, global: &mut SharedTopK, stats: &mut BfsStats) {
+        let k = self.params.k;
+        let l = self.params.l;
         let gap = graph.gap();
         let m = graph.num_intervals() as u32;
-        // Full-path special case (paper, end of Section 4.2): when l = m − 1
-        // a path ending at interval i can only be part of a full path if its
-        // length is exactly i, so a single heap per node suffices.
         let full_mode = l == m - 1;
-
-        // Sliding window of per-node heaps for intervals [i - g - 1, i - 1].
-        let mut window: HashMap<ClusterNodeId, Vec<TopKPaths>> = HashMap::new();
-        // Optional disk store holding every node's heaps.
-        let mut disk: Option<(NodeStore<u64, StoredHeaps>, TempDir)> = if self.config.on_disk {
-            let dir = TempDir::new("bsc-bfs")?;
-            let store = NodeStore::create(dir.file("bfs-heaps.log"))?;
-            Some((store, dir))
-        } else {
-            None
-        };
+        let slots = gap as usize + 2;
+        // Ring of interval slots; a parent of the current interval lies in
+        // [interval − g − 1, interval − 1], which never collides with the
+        // slot the current interval will overwrite (interval − g − 2).
+        let mut window: Vec<WindowSlot> = (0..slots).map(|_| (u32::MAX, Vec::new())).collect();
         let mut resident_paths = 0usize;
+        let threads = self.config.threads.max(1);
+        stats.threads_used = threads;
 
         for interval in 0..m {
-            let mut interval_heaps: Vec<(ClusterNodeId, Vec<TopKPaths>)> = Vec::new();
+            let num_nodes = graph.nodes_in_interval(interval) as usize;
+            stats.nodes_processed += num_nodes as u64;
+            let workers = threads.min(num_nodes.max(1));
+            let interval_heaps: IntervalHeaps = if workers > 1 {
+                let window_ref: &[WindowSlot] = &window;
+                let chunk = num_nodes.div_ceil(workers);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|w| {
+                            let range = (w * chunk)..((w + 1) * chunk).min(num_nodes);
+                            scope.spawn(move || {
+                                let mut local_global = SharedTopK::new(k);
+                                let mut generated = 0u64;
+                                let heaps: IntervalHeaps = range
+                                    .map(|j| {
+                                        compute_node_heaps(
+                                            graph,
+                                            ClusterNodeId::new(interval, j as u32),
+                                            interval,
+                                            k,
+                                            l,
+                                            full_mode,
+                                            window_ref,
+                                            &mut local_global,
+                                            &mut generated,
+                                        )
+                                    })
+                                    .collect();
+                                (heaps, local_global, generated)
+                            })
+                        })
+                        .collect();
+                    let mut out: IntervalHeaps = Vec::with_capacity(num_nodes);
+                    for handle in handles {
+                        let (heaps, local_global, generated) =
+                            handle.join().expect("BFS worker panicked");
+                        out.extend(heaps);
+                        global.absorb(local_global);
+                        stats.paths_generated += generated;
+                    }
+                    out
+                })
+            } else {
+                let mut generated = 0u64;
+                let out: IntervalHeaps = (0..num_nodes)
+                    .map(|j| {
+                        compute_node_heaps(
+                            graph,
+                            ClusterNodeId::new(interval, j as u32),
+                            interval,
+                            k,
+                            l,
+                            full_mode,
+                            &window,
+                            global,
+                            &mut generated,
+                        )
+                    })
+                    .collect();
+                stats.paths_generated += generated;
+                out
+            };
+
+            // Publish this interval's heaps into its ring slot, implicitly
+            // evicting the interval that fell out of the parent range.
+            let slot = &mut window[interval as usize % slots];
+            resident_paths -= slot
+                .1
+                .iter()
+                .flat_map(|heaps| heaps.iter().map(SharedTopK::len))
+                .sum::<usize>();
+            resident_paths += interval_heaps
+                .iter()
+                .flat_map(|heaps| heaps.iter().map(SharedTopK::len))
+                .sum::<usize>();
+            *slot = (interval, interval_heaps);
+            stats.peak_resident_paths = stats.peak_resident_paths.max(resident_paths);
+        }
+    }
+
+    fn run_on_disk(
+        &self,
+        graph: &ClusterGraph,
+        global: &mut SharedTopK,
+        stats: &mut BfsStats,
+    ) -> BscResult<()> {
+        let k = self.params.k;
+        let l = self.params.l;
+        let m = graph.num_intervals() as u32;
+        let full_mode = l == m - 1;
+        let dir = TempDir::new("bsc-bfs")?;
+        let mut store: NodeStore<u64, StoredHeaps> = NodeStore::create(dir.file("bfs-heaps.log"))?;
+
+        for interval in 0..m {
+            let mut interval_heaps: Vec<(ClusterNodeId, Vec<SharedTopK>)> = Vec::new();
             for node in graph.interval_node_ids(interval) {
                 stats.nodes_processed += 1;
-                // Heaps h^x for x = 1..=min(l, interval): a path ending at
-                // interval `i` cannot be longer than `i`.
                 let max_len = l.min(interval) as usize;
-                let mut heaps: Vec<TopKPaths> = (0..max_len).map(|_| TopKPaths::new(k)).collect();
+                let mut heaps: Vec<SharedTopK> = (0..max_len).map(|_| SharedTopK::new(k)).collect();
 
                 for parent_edge in graph.parents(node) {
                     let parent = parent_edge.to;
@@ -142,9 +292,8 @@ impl BfsStableClusters {
                     if len > l {
                         continue;
                     }
-                    // Base case: the edge itself is a path of length `len`.
                     if !full_mode || len == interval {
-                        let edge_path = ClusterPath::singleton(parent).extend(node, weight);
+                        let edge_path = SharedPath::singleton(parent).extend(node, weight);
                         stats.paths_generated += 1;
                         if len == l {
                             global.offer_by_weight(edge_path.clone());
@@ -152,58 +301,37 @@ impl BfsStableClusters {
                         heaps[len as usize - 1].offer_by_weight(edge_path);
                     }
 
-                    // Extensions of subpaths ending at the parent.
-                    match &mut disk {
-                        Some((store, _)) => {
-                            let Some(parent_heaps) = store.get(&parent.to_u64())? else {
-                                continue;
-                            };
-                            for (x_minus_1, paths) in parent_heaps.iter().enumerate() {
-                                let total = x_minus_1 as u32 + 1 + len;
-                                if total > l {
-                                    break;
-                                }
-                                if full_mode && total != interval {
-                                    continue;
-                                }
-                                for (weight_prefix, node_ids) in paths {
-                                    let nodes: Vec<ClusterNodeId> = node_ids
-                                        .iter()
-                                        .map(|&id| ClusterNodeId::from_u64(id))
-                                        .collect();
-                                    let prefix = ClusterPath::new(nodes, *weight_prefix);
-                                    let extended = prefix.extend(node, weight);
-                                    stats.paths_generated += 1;
-                                    if total == l {
-                                        global.offer_by_weight(extended.clone());
-                                    }
-                                    heaps[total as usize - 1].offer_by_weight(extended);
-                                }
-                            }
+                    let Some(parent_heaps) = store.get(&parent.to_u64())? else {
+                        continue;
+                    };
+                    for (x_minus_1, paths) in parent_heaps.iter().enumerate() {
+                        let total = x_minus_1 as u32 + 1 + len;
+                        if total > l {
+                            break;
                         }
-                        None => {
-                            let Some(parent_heaps) = window.get(&parent) else {
+                        if full_mode && total != interval {
+                            continue;
+                        }
+                        let bucket = total as usize - 1;
+                        for (weight_prefix, node_ids) in paths {
+                            stats.paths_generated += 1;
+                            let extended_weight = weight_prefix + weight;
+                            let admit_bucket = heaps[bucket].would_admit(extended_weight);
+                            let admit_global = total == l && global.would_admit(extended_weight);
+                            if !admit_bucket && !admit_global {
                                 continue;
-                            };
-                            let mut extensions: Vec<(u32, ClusterPath)> = Vec::new();
-                            for (x_minus_1, heap) in parent_heaps.iter().enumerate() {
-                                let total = x_minus_1 as u32 + 1 + len;
-                                if total > l {
-                                    break;
-                                }
-                                if full_mode && total != interval {
-                                    continue;
-                                }
-                                for prefix in heap.iter() {
-                                    extensions.push((total, prefix.extend(node, weight)));
-                                }
                             }
-                            for (total, extended) in extensions {
-                                stats.paths_generated += 1;
-                                if total == l {
-                                    global.offer_by_weight(extended.clone());
-                                }
-                                heaps[total as usize - 1].offer_by_weight(extended);
+                            let nodes: Vec<ClusterNodeId> = node_ids
+                                .iter()
+                                .map(|&id| ClusterNodeId::from_u64(id))
+                                .collect();
+                            let extended = SharedPath::from_stored_nodes(&nodes, *weight_prefix)
+                                .extend(node, weight);
+                            if admit_global {
+                                global.offer_by_weight(extended.clone());
+                            }
+                            if admit_bucket {
+                                heaps[bucket].offer_by_weight(extended);
                             }
                         }
                     }
@@ -211,46 +339,106 @@ impl BfsStableClusters {
                 interval_heaps.push((node, heaps));
             }
 
-            // Publish this interval's heaps (to the window or to disk) and
-            // evict intervals that fell out of the parent range.
-            match &mut disk {
-                Some((store, _)) => {
-                    for (node, heaps) in interval_heaps {
-                        let stored: StoredHeaps = heaps
-                            .iter()
-                            .map(|heap| {
-                                heap.iter()
-                                    .map(|p| {
-                                        (p.weight(), p.nodes().iter().map(|n| n.to_u64()).collect())
-                                    })
-                                    .collect()
-                            })
-                            .collect();
-                        store.put(&node.to_u64(), &stored)?;
-                    }
+            for (node, heaps) in interval_heaps {
+                let stored: StoredHeaps = heaps
+                    .iter()
+                    .map(|heap| {
+                        heap.iter()
+                            .map(|p| (p.weight(), p.nodes().iter().map(|n| n.to_u64()).collect()))
+                            .collect()
+                    })
+                    .collect();
+                store.put(&node.to_u64(), &stored)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Look up a parent's heaps in the window ring, if its interval is resident.
+fn window_heaps(window: &[WindowSlot], parent: ClusterNodeId) -> Option<&[SharedTopK]> {
+    let (held_interval, heaps) = &window[parent.interval as usize % window.len()];
+    if *held_interval != parent.interval {
+        return None;
+    }
+    heaps.get(parent.index as usize).map(Vec::as_slice)
+}
+
+/// Compute the heaps `h^x` of one node from the window of previous
+/// intervals, offering length-`l` candidates to `global`. Reads only shared
+/// state — this is the unit the parallel sweep distributes across workers.
+/// `generated` counts every candidate *considered* (before the admission
+/// fast path), so stats are identical for every thread count.
+#[allow(clippy::too_many_arguments)]
+fn compute_node_heaps(
+    graph: &ClusterGraph,
+    node: ClusterNodeId,
+    interval: u32,
+    k: usize,
+    l: u32,
+    full_mode: bool,
+    window: &[WindowSlot],
+    global: &mut SharedTopK,
+    generated: &mut u64,
+) -> Vec<SharedTopK> {
+    // Heaps h^x for x = 1..=min(l, interval): a path ending at interval `i`
+    // cannot be longer than `i`.
+    let max_len = l.min(interval) as usize;
+    let mut heaps: Vec<SharedTopK> = (0..max_len).map(|_| SharedTopK::new(k)).collect();
+
+    for parent_edge in graph.parents(node) {
+        let parent = parent_edge.to;
+        let weight = parent_edge.weight;
+        let len = ClusterGraph::edge_length(parent, node);
+        if len > l {
+            continue;
+        }
+        // Base case: the edge itself is a path of length `len`. (In full
+        // mode only a prefix covering intervals 0..=i can be part of a full
+        // path.)
+        if !full_mode || len == interval {
+            let edge_path = SharedPath::singleton(parent).extend(node, weight);
+            *generated += 1;
+            if len == l {
+                global.offer_by_weight(edge_path.clone());
+            }
+            heaps[len as usize - 1].offer_by_weight(edge_path);
+        }
+
+        // Extensions of subpaths ending at the parent.
+        let Some(parent_heaps) = window_heaps(window, parent) else {
+            continue;
+        };
+        for (x_minus_1, heap) in parent_heaps.iter().enumerate() {
+            let total = x_minus_1 as u32 + 1 + len;
+            if total > l {
+                break;
+            }
+            if full_mode && total != interval {
+                continue;
+            }
+            let bucket = total as usize - 1;
+            for prefix in heap.iter() {
+                *generated += 1;
+                let extended_weight = prefix.weight() + weight;
+                // Worst-score fast path: skip the O(1) extension (and the
+                // heap churn) when no heap could admit the candidate.
+                let admit_bucket = heaps[bucket].would_admit(extended_weight);
+                let admit_global = total == l && global.would_admit(extended_weight);
+                if !admit_bucket && !admit_global {
+                    continue;
                 }
-                None => {
-                    for (node, heaps) in interval_heaps {
-                        resident_paths += heaps.iter().map(TopKPaths::len).sum::<usize>();
-                        window.insert(node, heaps);
-                    }
-                    stats.peak_resident_paths = stats.peak_resident_paths.max(resident_paths);
-                    if interval > gap {
-                        let evict_interval = interval - gap - 1;
-                        let to_evict: Vec<ClusterNodeId> =
-                            graph.interval_node_ids(evict_interval).collect();
-                        for node in to_evict {
-                            if let Some(heaps) = window.remove(&node) {
-                                resident_paths -= heaps.iter().map(TopKPaths::len).sum::<usize>();
-                            }
-                        }
-                    }
+                let extended = prefix.extend(node, weight);
+                if admit_global {
+                    global.offer_by_weight(extended.clone());
+                }
+                if admit_bucket {
+                    heaps[bucket].offer_by_weight(extended);
                 }
             }
         }
-
-        Ok((global.into_sorted(), stats))
     }
+    heaps
 }
 
 impl From<BfsStats> for SolverStats {
@@ -259,6 +447,7 @@ impl From<BfsStats> for SolverStats {
             paths_generated: stats.paths_generated,
             nodes_processed: stats.nodes_processed,
             peak_resident_paths: stats.peak_resident_paths,
+            threads: stats.threads_used,
             ..SolverStats::default()
         }
     }
@@ -420,6 +609,38 @@ mod tests {
     }
 
     #[test]
+    fn parallel_matches_sequential_exactly() {
+        let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+            num_intervals: 6,
+            nodes_per_interval: 25,
+            avg_out_degree: 4,
+            gap: 1,
+            seed: 31,
+        })
+        .generate();
+        for l in [2, 3, 5] {
+            let params = KlStableParams::new(5, l);
+            let (seq, seq_stats) = BfsStableClusters::new(params)
+                .run_with_stats(&graph)
+                .unwrap();
+            for threads in [2, 4, 8] {
+                let (par, par_stats) = BfsStableClusters::with_config(
+                    params,
+                    BfsConfig::default().with_threads(threads),
+                )
+                .run_with_stats(&graph)
+                .unwrap();
+                assert_eq!(seq, par, "l={l} threads={threads}");
+                assert_eq!(
+                    seq_stats.paths_generated, par_stats.paths_generated,
+                    "l={l} threads={threads}"
+                );
+                assert_eq!(par_stats.threads_used, threads);
+            }
+        }
+    }
+
+    #[test]
     fn stats_are_populated() {
         let graph = figure5_graph();
         let (_, stats) = BfsStableClusters::new(KlStableParams::new(2, 2))
@@ -428,6 +649,7 @@ mod tests {
         assert_eq!(stats.nodes_processed, 9);
         assert!(stats.paths_generated > 0);
         assert!(stats.peak_resident_paths > 0);
+        assert_eq!(stats.threads_used, 1);
     }
 
     #[test]

@@ -12,9 +12,8 @@
 //! `[i − g − 1, i − 1]` and children in `[i + 1, i + g + 1]` — the property
 //! all three stable-cluster algorithms exploit.
 
-use std::collections::HashMap;
-
 use bsc_graph::cluster::KeywordCluster;
+use bsc_graph::csr::prefix_offsets;
 
 use crate::affinity::Affinity;
 
@@ -64,17 +63,28 @@ pub struct ClusterEdge {
     pub weight: f64,
 }
 
-/// The cluster graph over `m` temporal intervals.
+/// The cluster graph over `m` temporal intervals, stored in compressed
+/// sparse-row (CSR) form: both adjacency directions are flat edge arrays
+/// indexed by an offset table over dense node ids, built in a single pass
+/// over the edge list. Neighbour access is a contiguous slice — no
+/// triple-nested `Vec` pointer chasing on the solver hot paths.
 #[derive(Debug, Clone, Default)]
 pub struct ClusterGraph {
     gap: u32,
     nodes_per_interval: Vec<u32>,
-    /// `children[i][j]` — edges from node `(i, j)` to later intervals, sorted
-    /// by descending weight (the DFS heuristic).
-    children: Vec<Vec<Vec<ClusterEdge>>>,
-    /// `parents[i][j]` — edges from node `(i, j)` to earlier intervals.
-    parents: Vec<Vec<Vec<ClusterEdge>>>,
-    num_edges: usize,
+    /// `interval_offsets[i]` — flat node index of node `(i, 0)`; the last
+    /// entry is the total node count.
+    interval_offsets: Vec<usize>,
+    /// CSR offsets into `children_edges`, one entry per flat node plus one.
+    children_offsets: Vec<usize>,
+    /// Flattened child adjacency (edges to later intervals), each node's
+    /// slice sorted by descending weight (the DFS heuristic).
+    children_edges: Vec<ClusterEdge>,
+    /// CSR offsets into `parents_edges`.
+    parents_offsets: Vec<usize>,
+    /// Flattened parent adjacency (edges to earlier intervals), in edge
+    /// insertion order.
+    parents_edges: Vec<ClusterEdge>,
 }
 
 impl ClusterGraph {
@@ -98,23 +108,39 @@ impl ClusterGraph {
 
     /// Total number of nodes.
     pub fn num_nodes(&self) -> usize {
-        self.nodes_per_interval.iter().map(|&n| n as usize).sum()
+        self.interval_offsets.last().copied().unwrap_or(0)
     }
 
     /// Total number of edges.
     pub fn num_edges(&self) -> usize {
-        self.num_edges
+        self.children_edges.len()
+    }
+
+    /// The dense (flat) index of a node: intervals laid out consecutively.
+    ///
+    /// # Panics
+    /// Panics if the node is out of range (in release builds too — an
+    /// unchecked out-of-range index would silently alias another node's
+    /// adjacency slot).
+    pub fn flat_index(&self, node: ClusterNodeId) -> usize {
+        assert!(
+            node.index < self.nodes_in_interval(node.interval),
+            "node {node} out of range"
+        );
+        self.interval_offsets[node.interval as usize] + node.index as usize
     }
 
     /// Children (edges to later intervals) of `node`, sorted by descending
     /// weight.
     pub fn children(&self, node: ClusterNodeId) -> &[ClusterEdge] {
-        &self.children[node.interval as usize][node.index as usize]
+        let flat = self.flat_index(node);
+        &self.children_edges[self.children_offsets[flat]..self.children_offsets[flat + 1]]
     }
 
     /// Parents (edges to earlier intervals) of `node`.
     pub fn parents(&self, node: ClusterNodeId) -> &[ClusterEdge] {
-        &self.parents[node.interval as usize][node.index as usize]
+        let flat = self.flat_index(node);
+        &self.parents_edges[self.parents_offsets[flat]..self.parents_offsets[flat + 1]]
     }
 
     /// The length of the edge between two nodes: their interval difference.
@@ -218,35 +244,66 @@ impl ClusterGraphBuilder {
     /// Finish building. Edge weights greater than one are normalized by the
     /// maximum weight so that all weights end up in `(0, 1]`, as the paper
     /// prescribes for unbounded affinity functions.
+    ///
+    /// Both CSR adjacency directions (children *and* parents) are filled in
+    /// the same counting-sort pass over the edge list — no intermediate
+    /// per-node `Vec`s and no cloning of one direction to seed the other.
     pub fn build(self) -> ClusterGraph {
         let max_weight = self.edges.iter().map(|&(_, _, w)| w).fold(0.0f64, f64::max);
         let scale = if max_weight > 1.0 { max_weight } else { 1.0 };
 
-        let mut children: Vec<Vec<Vec<ClusterEdge>>> = self
-            .nodes_per_interval
-            .iter()
-            .map(|&n| vec![Vec::new(); n as usize])
-            .collect();
-        let mut parents = children.clone();
-        let num_edges = self.edges.len();
+        let interval_offsets = prefix_offsets(
+            &self
+                .nodes_per_interval
+                .iter()
+                .map(|&n| n as usize)
+                .collect::<Vec<_>>(),
+        );
+        let num_nodes = *interval_offsets.last().expect("offsets are non-empty");
+        let flat = |n: ClusterNodeId| interval_offsets[n.interval as usize] + n.index as usize;
+
+        let mut child_degree = vec![0usize; num_nodes];
+        let mut parent_degree = vec![0usize; num_nodes];
+        for &(from, to, _) in &self.edges {
+            child_degree[flat(from)] += 1;
+            parent_degree[flat(to)] += 1;
+        }
+        let children_offsets = prefix_offsets(&child_degree);
+        let parents_offsets = prefix_offsets(&parent_degree);
+
+        let placeholder = ClusterEdge {
+            to: ClusterNodeId::new(0, 0),
+            weight: 0.0,
+        };
+        let mut children_edges = vec![placeholder; self.edges.len()];
+        let mut parents_edges = vec![placeholder; self.edges.len()];
+        let mut child_cursor = children_offsets.clone();
+        let mut parent_cursor = parents_offsets.clone();
         for (from, to, weight) in self.edges {
             let weight = weight / scale;
-            children[from.interval as usize][from.index as usize].push(ClusterEdge { to, weight });
-            parents[to.interval as usize][to.index as usize].push(ClusterEdge { to: from, weight });
+            let f = flat(from);
+            let t = flat(to);
+            children_edges[child_cursor[f]] = ClusterEdge { to, weight };
+            child_cursor[f] += 1;
+            parents_edges[parent_cursor[t]] = ClusterEdge { to: from, weight };
+            parent_cursor[t] += 1;
         }
-        // Sort children by descending weight: the DFS algorithm's heuristic
-        // "children connected with edges of high weight are considered first".
-        for interval in &mut children {
-            for list in interval {
-                list.sort_by(|a, b| b.weight.total_cmp(&a.weight));
-            }
+        // Sort each node's child slice by descending weight: the DFS
+        // algorithm's heuristic "children connected with edges of high
+        // weight are considered first". The sort is stable, so equal-weight
+        // children keep their insertion order.
+        for node in 0..num_nodes {
+            children_edges[children_offsets[node]..children_offsets[node + 1]]
+                .sort_by(|a, b| b.weight.total_cmp(&a.weight));
         }
         ClusterGraph {
             gap: self.gap,
             nodes_per_interval: self.nodes_per_interval,
-            children,
-            parents,
-            num_edges,
+            interval_offsets,
+            children_offsets,
+            children_edges,
+            parents_offsets,
+            parents_edges,
         }
     }
 
@@ -274,20 +331,29 @@ impl ClusterGraphBuilder {
         for i in 0..m {
             let reach = (i + gap as usize + 2).min(m);
             for j in (i + 1)..reach {
-                // Inverted index over the keywords of interval j's clusters.
-                let mut index: HashMap<u32, Vec<u32>> = HashMap::new();
-                for (cj, cluster) in interval_clusters[j].iter().enumerate() {
-                    for keyword in &cluster.keywords {
-                        index.entry(keyword.0).or_default().push(cj as u32);
-                    }
-                }
+                // Inverted index over the keywords of interval j's clusters,
+                // as a sorted (keyword, cluster) postings slice: lookups are
+                // binary-search ranges and iteration order is deterministic
+                // by construction (no hash-map ordering involved).
+                let mut postings: Vec<(u32, u32)> = interval_clusters[j]
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(cj, cluster)| {
+                        cluster.keywords.iter().map(move |k| (k.0, cj as u32))
+                    })
+                    .collect();
+                postings.sort_unstable();
                 for (ci, cluster_i) in interval_clusters[i].iter().enumerate() {
                     let mut candidates: Vec<u32> = cluster_i
                         .keywords
                         .iter()
-                        .filter_map(|k| index.get(&k.0))
-                        .flatten()
-                        .copied()
+                        .flat_map(|k| {
+                            let start = postings.partition_point(|&(kw, _)| kw < k.0);
+                            postings[start..]
+                                .iter()
+                                .take_while(move |&&(kw, _)| kw == k.0)
+                                .map(|&(_, cj)| cj)
+                        })
                         .collect();
                     candidates.sort_unstable();
                     candidates.dedup();

@@ -33,6 +33,7 @@ use bsc_storage::temp::TempDir;
 use crate::cluster_graph::{ClusterEdge, ClusterGraph, ClusterNodeId};
 use crate::error::BscResult;
 use crate::path::ClusterPath;
+use crate::path_tree::SharedTail;
 use crate::problem::KlStableParams;
 use crate::solver::{AlgorithmKind, Solution, SolverStats, StableClusterSolver};
 use crate::topk::TopKPaths;
@@ -97,9 +98,10 @@ struct NodeState {
     /// `maxweight[x − 1]` for path length `x ∈ [1, l]`; `NEG_INFINITY` when
     /// no prefix of that length has been seen yet.
     maxweight: Vec<f64>,
-    /// `bestpaths[x − 1]`: top-k `(weight, nodes)` paths of length `x`
-    /// starting at this node.
-    bestpaths: Vec<Vec<(f64, Vec<ClusterNodeId>)>>,
+    /// `bestpaths[x − 1]`: top-k paths of length `x` *starting* at this
+    /// node, as backward-growing shared chains — prepending the parent while
+    /// backtracking is O(1) and sibling candidates share their suffixes.
+    bestpaths: Vec<Vec<SharedTail>>,
 }
 
 impl NodeState {
@@ -125,7 +127,12 @@ fn to_stored(state: &NodeState) -> StoredNodeState {
             .map(|paths| {
                 paths
                     .iter()
-                    .map(|(w, nodes)| (*w, nodes.iter().map(|n| n.to_u64()).collect()))
+                    .map(|tail| {
+                        (
+                            tail.weight(),
+                            tail.nodes().iter().map(|n| n.to_u64()).collect(),
+                        )
+                    })
                     .collect()
             })
             .collect(),
@@ -142,24 +149,30 @@ fn from_stored(stored: StoredNodeState) -> NodeState {
             .map(|paths| {
                 paths
                     .into_iter()
-                    .map(|(w, nodes)| (w, nodes.into_iter().map(ClusterNodeId::from_u64).collect()))
+                    .map(|(w, nodes)| {
+                        let nodes: Vec<ClusterNodeId> =
+                            nodes.into_iter().map(ClusterNodeId::from_u64).collect();
+                        SharedTail::from_stored_nodes(&nodes, w)
+                    })
                     .collect()
             })
             .collect(),
     }
 }
 
-/// Storage backend for node state.
+/// Storage backend for node state. The in-memory variant keeps [`NodeState`]
+/// values directly: a get/put is a handful of `Arc` bumps instead of a full
+/// materialize/rebuild round trip.
 enum StateStore {
     Disk(NodeStore<u64, StoredNodeState>, #[allow(dead_code)] TempDir),
-    Memory(HashMap<u64, StoredNodeState>),
+    Memory(HashMap<u64, NodeState>),
 }
 
 impl StateStore {
     fn get(&mut self, key: u64) -> BscResult<Option<NodeState>> {
         match self {
             StateStore::Disk(store, _) => Ok(store.get(&key)?.map(from_stored)),
-            StateStore::Memory(map) => Ok(map.get(&key).cloned().map(from_stored)),
+            StateStore::Memory(map) => Ok(map.get(&key).cloned()),
         }
     }
 
@@ -167,7 +180,7 @@ impl StateStore {
         match self {
             StateStore::Disk(store, _) => Ok(store.put(&key, &to_stored(state))?),
             StateStore::Memory(map) => {
-                map.insert(key, to_stored(state));
+                map.insert(key, state.clone());
                 Ok(())
             }
         }
@@ -477,38 +490,48 @@ fn update_parent_bestpaths(
     if len > l {
         return;
     }
-    let mut candidates: Vec<(u32, f64, Vec<ClusterNodeId>)> =
-        vec![(len, edge_weight, vec![parent, child])];
+    // Prepending the parent is O(1) per candidate: every candidate shares
+    // the child's chain instead of cloning its node vector.
+    let mut candidates: Vec<(u32, SharedTail)> = vec![(
+        len,
+        SharedTail::singleton(child).prepend(parent, edge_weight),
+    )];
     for (x_index, paths) in child_state.bestpaths.iter().enumerate() {
         let x = x_index as u32 + 1;
         let total = x + len;
         if total > l {
             break;
         }
-        for (weight, nodes) in paths {
-            let mut extended = Vec::with_capacity(nodes.len() + 1);
-            extended.push(parent);
-            extended.extend_from_slice(nodes);
-            candidates.push((total, weight + edge_weight, extended));
+        for tail in paths {
+            candidates.push((total, tail.prepend(parent, edge_weight)));
         }
     }
     stats.paths_generated += candidates.len() as u64;
-    for (length, weight, nodes) in candidates {
+    for (length, candidate) in candidates {
         let bucket = &mut parent_state.bestpaths[length as usize - 1];
-        if bucket.iter().any(|(_, existing)| existing == &nodes) {
+        if bucket
+            .iter()
+            .any(|existing| existing.same_nodes(&candidate))
+        {
             continue;
         }
-        bucket.push((weight, nodes.clone()));
-        bucket.sort_by(|a, b| b.0.total_cmp(&a.0));
-        let inserted = bucket.iter().take(k).any(|(_, n)| n == &nodes);
+        bucket.push(candidate.clone());
+        // Weight descending, exact ties broken by content — the same strict
+        // order the `TopK` heaps use, so equal-weight survivors never depend
+        // on discovery order and DFS agrees with BFS on tied inputs.
+        bucket.sort_by(|a, b| b.weight().total_cmp(&a.weight()).then_with(|| a.tie_cmp(b)));
+        let inserted = bucket
+            .iter()
+            .take(k)
+            .any(|tail| tail.same_nodes(&candidate));
         bucket.truncate(k);
         if !inserted {
             continue;
         }
         if length == l {
-            let path = ClusterPath::new(nodes.clone(), weight);
+            let nodes = candidate.nodes();
             if !global.iter().any(|p| p.nodes() == nodes.as_slice()) {
-                global.offer_by_weight(path);
+                global.offer_by_weight(ClusterPath::new(nodes, candidate.weight()));
             }
         }
     }

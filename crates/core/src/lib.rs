@@ -66,6 +66,7 @@ pub mod dfs;
 pub mod error;
 pub mod normalized;
 pub mod path;
+pub mod path_tree;
 pub mod pipeline;
 pub mod problem;
 pub mod solver;
@@ -81,10 +82,11 @@ pub use dfs::{DfsConfig, DfsStableClusters, DfsStats};
 pub use error::{BscError, BscResult};
 pub use normalized::{NormalizedConfig, NormalizedStableClusters, NormalizedStats};
 pub use path::ClusterPath;
+pub use path_tree::{SharedPath, SharedTail};
 pub use pipeline::{Pipeline, PipelineOutcome, PipelineParams};
 pub use problem::{KlStableParams, NormalizedParams, StableClusterSpec};
 pub use solver::{AlgorithmKind, Solution, SolverStats, StableClusterSolver};
 pub use streaming::{OnlineClusterFeed, OnlineStableClusters};
 pub use synthetic::{ClusterGraphGenerator, SyntheticGraphParams};
 pub use ta::{TaStableClusters, TaStats};
-pub use topk::TopKPaths;
+pub use topk::{PathEntry, SharedTopK, TopK, TopKPaths};

@@ -27,6 +27,7 @@ use bsc_storage::io_stats::IoScope;
 use crate::cluster_graph::{ClusterGraph, ClusterNodeId};
 use crate::error::BscResult;
 use crate::path::ClusterPath;
+use crate::path_tree::SharedPath;
 use crate::problem::NormalizedParams;
 use crate::solver::{AlgorithmKind, Solution, SolverStats, StableClusterSolver};
 use crate::topk::TopKPaths;
@@ -52,38 +53,11 @@ pub struct NormalizedStats {
     pub peak_resident_paths: usize,
 }
 
-/// A candidate path stored per node: the node sequence and the per-edge
-/// weights (needed to evaluate prefix/suffix stabilities for Theorem 1).
-#[derive(Debug, Clone, PartialEq)]
-struct Candidate {
-    nodes: Vec<ClusterNodeId>,
-    edge_weights: Vec<f64>,
-}
-
-impl Candidate {
-    fn weight(&self) -> f64 {
-        self.edge_weights.iter().sum()
-    }
-
-    fn length(&self) -> u32 {
-        self.nodes.last().expect("non-empty").interval - self.nodes[0].interval
-    }
-
-    fn to_path(&self) -> ClusterPath {
-        ClusterPath::new(self.nodes.clone(), self.weight())
-    }
-
-    fn extend(&self, node: ClusterNodeId, weight: f64) -> Candidate {
-        let mut nodes = self.nodes.clone();
-        nodes.push(node);
-        let mut edge_weights = self.edge_weights.clone();
-        edge_weights.push(weight);
-        Candidate {
-            nodes,
-            edge_weights,
-        }
-    }
-}
+/// A candidate path stored per node: a forward-growing shared chain whose
+/// links carry the per-edge weights (needed to evaluate prefix/suffix
+/// stabilities for Theorem 1). Extending by one edge is O(1) and shares the
+/// whole prefix with sibling extensions.
+type Candidate = SharedPath;
 
 /// Per-node state within the sliding window.
 #[derive(Debug, Clone, Default)]
@@ -156,10 +130,7 @@ impl NormalizedStableClusters {
                     let parent = parent_edge.to;
                     let weight = parent_edge.weight;
                     let len = ClusterGraph::edge_length(parent, node);
-                    let edge_candidate = Candidate {
-                        nodes: vec![parent, node],
-                        edge_weights: vec![weight],
-                    };
+                    let edge_candidate = SharedPath::singleton(parent).extend(node, weight);
                     stats.paths_generated += 1;
                     self.place(
                         edge_candidate,
@@ -236,21 +207,23 @@ impl NormalizedStableClusters {
         let _ = graph;
         if total < l_min {
             let bucket = &mut state.smallpaths[total as usize - 1];
-            if !bucket.iter().any(|c| c.nodes == candidate.nodes) && bucket.len() < cap {
+            if !bucket.iter().any(|c| c.same_nodes(&candidate)) && bucket.len() < cap {
                 bucket.push(candidate);
             }
             return;
         }
-        // Long enough to be scored.
-        let path = candidate.to_path();
-        if !global.iter().any(|p| p.nodes() == path.nodes()) {
-            global.offer_by_stability(path);
+        // Long enough to be scored. Materialize the chain once; the global
+        // offer and the Theorem 1 scan below share the same vectors.
+        let nodes = candidate.nodes();
+        let edge_weights = candidate.edge_weights();
+        if !global.iter().any(|p| p.nodes() == nodes.as_slice()) {
+            global.offer_by_stability(ClusterPath::new(nodes.clone(), candidate.weight()));
         }
         // Theorem 1: drop a prefix whose stability does not exceed the
         // stability of the remaining suffix (of length >= l_min).
-        let pruned = theorem1_prune(candidate, l_min, stats);
+        let pruned = theorem1_prune(candidate, &nodes, &edge_weights, l_min, stats);
         let bucket = &mut state.bestpaths;
-        if !bucket.iter().any(|c| c.nodes == pruned.nodes) && bucket.len() < cap {
+        if !bucket.iter().any(|c| c.same_nodes(&pruned)) && bucket.len() < cap {
             bucket.push(pruned);
         }
     }
@@ -259,34 +232,48 @@ impl NormalizedStableClusters {
 /// Apply the Theorem 1 prefix-dropping rule repeatedly: find the earliest
 /// split `π = πpre · πcurr` with `length(πcurr) ≥ l_min` and
 /// `stability(πpre) ≤ stability(πcurr)`, replace `π` by `πcurr`, and repeat.
-fn theorem1_prune(mut candidate: Candidate, l_min: u32, stats: &mut NormalizedStats) -> Candidate {
+///
+/// The caller passes the candidate's already-materialized `nodes` and
+/// `edge_weights` (shared with the global-heap offer, so each chain is
+/// walked once); `start` tracks the surviving suffix instead of re-slicing
+/// vectors, and the original shared chain is returned untouched when nothing
+/// was dropped (the common case).
+fn theorem1_prune(
+    candidate: Candidate,
+    nodes: &[ClusterNodeId],
+    edge_weights: &[f64],
+    l_min: u32,
+    stats: &mut NormalizedStats,
+) -> Candidate {
+    let n = nodes.len();
+    let mut start = 0usize;
     loop {
-        let n = candidate.nodes.len();
         let mut replaced = false;
-        for split in 1..n - 1 {
-            // Prefix: nodes[0..=split], edges[0..split].
+        for split in (start + 1)..n - 1 {
+            // Prefix: nodes[start..=split], edges[start..split].
             // Suffix: nodes[split..], edges[split..].
-            let prefix_weight: f64 = candidate.edge_weights[..split].iter().sum();
-            let prefix_length = candidate.nodes[split].interval - candidate.nodes[0].interval;
-            let suffix_weight: f64 = candidate.edge_weights[split..].iter().sum();
-            let suffix_length = candidate.nodes[n - 1].interval - candidate.nodes[split].interval;
+            let prefix_weight: f64 = edge_weights[start..split].iter().sum();
+            let prefix_length = nodes[split].interval - nodes[start].interval;
+            let suffix_weight: f64 = edge_weights[split..].iter().sum();
+            let suffix_length = nodes[n - 1].interval - nodes[split].interval;
             if suffix_length < l_min || prefix_length == 0 || suffix_length == 0 {
                 continue;
             }
             let prefix_stability = prefix_weight / f64::from(prefix_length);
             let suffix_stability = suffix_weight / f64::from(suffix_length);
             if prefix_stability <= suffix_stability {
-                candidate = Candidate {
-                    nodes: candidate.nodes[split..].to_vec(),
-                    edge_weights: candidate.edge_weights[split..].to_vec(),
-                };
+                start = split;
                 stats.prefix_drops += 1;
                 replaced = true;
                 break;
             }
         }
         if !replaced {
-            return candidate;
+            return if start == 0 {
+                candidate
+            } else {
+                SharedPath::from_parts(&nodes[start..], &edge_weights[start..])
+            };
         }
     }
 }
@@ -456,25 +443,28 @@ mod tests {
     #[test]
     fn theorem1_prunes_weak_prefixes() {
         let mut stats = NormalizedStats::default();
-        let candidate = Candidate {
-            nodes: vec![node(0, 0), node(1, 0), node(2, 0), node(3, 0)],
-            edge_weights: vec![0.1, 0.9, 0.9],
-        };
-        let pruned = theorem1_prune(candidate, 2, &mut stats);
+        let candidate = Candidate::from_parts(
+            &[node(0, 0), node(1, 0), node(2, 0), node(3, 0)],
+            &[0.1, 0.9, 0.9],
+        );
+        let (nodes, weights) = (candidate.nodes(), candidate.edge_weights());
+        let pruned = theorem1_prune(candidate, &nodes, &weights, 2, &mut stats);
         // The weak first edge (stability 0.1 <= suffix stability 0.9) drops.
-        assert_eq!(pruned.nodes, vec![node(1, 0), node(2, 0), node(3, 0)]);
+        assert_eq!(pruned.nodes(), vec![node(1, 0), node(2, 0), node(3, 0)]);
+        assert!((pruned.weight() - 1.8).abs() < 1e-12);
         assert_eq!(stats.prefix_drops, 1);
     }
 
     #[test]
     fn theorem1_keeps_strong_prefixes() {
         let mut stats = NormalizedStats::default();
-        let candidate = Candidate {
-            nodes: vec![node(0, 0), node(1, 0), node(2, 0), node(3, 0)],
-            edge_weights: vec![0.9, 0.5, 0.5],
-        };
-        let pruned = theorem1_prune(candidate.clone(), 2, &mut stats);
-        assert_eq!(pruned.nodes, candidate.nodes);
+        let candidate = Candidate::from_parts(
+            &[node(0, 0), node(1, 0), node(2, 0), node(3, 0)],
+            &[0.9, 0.5, 0.5],
+        );
+        let (nodes, weights) = (candidate.nodes(), candidate.edge_weights());
+        let pruned = theorem1_prune(candidate.clone(), &nodes, &weights, 2, &mut stats);
+        assert!(pruned.same_nodes(&candidate));
         assert_eq!(stats.prefix_drops, 0);
     }
 

@@ -80,6 +80,10 @@ pub struct PipelineParams {
     /// order. An explicit choice is never overridden; an explicit mismatch
     /// (e.g. the normalized solver for a Problem 1 spec) fails validation.
     pub algorithm: Option<AlgorithmKind>,
+    /// Worker threads for the solver stage (the BFS per-interval sweep;
+    /// other algorithms run sequentially regardless). Must be ≥ 1. Every
+    /// thread count produces the identical result.
+    pub threads: usize,
 }
 
 impl Default for PipelineParams {
@@ -94,6 +98,7 @@ impl Default for PipelineParams {
             k: 10,
             spec: StableClusterSpec::ExactLength(3),
             algorithm: None,
+            threads: 1,
         }
     }
 }
@@ -154,6 +159,12 @@ impl PipelineParams {
         self
     }
 
+    /// Set the solver-stage worker-thread budget (BFS per-interval sweep).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Check the configuration, returning [`BscError::InvalidConfig`] for
     /// out-of-range parameters and [`BscError::Unsupported`] for an
     /// algorithm/spec mismatch.
@@ -167,6 +178,11 @@ impl PipelineParams {
         if self.k == 0 {
             return Err(BscError::InvalidConfig(
                 "k must be positive: a top-0 query returns nothing".into(),
+            ));
+        }
+        if self.threads == 0 {
+            return Err(BscError::InvalidConfig(
+                "threads must be >= 1 (1 = sequential)".into(),
             ));
         }
         match self.spec {
@@ -279,10 +295,11 @@ impl Pipeline {
             params.theta,
         );
 
-        let mut solver = params.resolved_algorithm().build(
+        let mut solver = params.resolved_algorithm().build_with_threads(
             params.spec,
             params.k,
             cluster_graph.num_intervals(),
+            params.threads,
         )?;
         let solution = solver.solve(&cluster_graph)?;
 

@@ -55,6 +55,9 @@ pub struct SolverStats {
     /// True when the solver stopped before exhausting its input (TA's
     /// threshold condition).
     pub early_termination: bool,
+    /// Worker threads used by the solver (0 = not reported; BFS reports the
+    /// per-interval sweep's thread count, 1 meaning sequential).
+    pub threads: usize,
 }
 
 /// Everything a solver run produces.
@@ -171,16 +174,31 @@ impl AlgorithmKind {
         k: usize,
         num_intervals: usize,
     ) -> BscResult<Box<dyn StableClusterSolver>> {
+        self.build_with_threads(spec, k, num_intervals, 1)
+    }
+
+    /// Like [`AlgorithmKind::build`], with a worker-thread budget. Only the
+    /// BFS solver's per-interval sweep is parallel today; the other
+    /// algorithms accept and ignore the budget (every thread count produces
+    /// the identical `Solution`, so the choice is purely about wall-clock).
+    pub fn build_with_threads(
+        self,
+        spec: StableClusterSpec,
+        k: usize,
+        num_intervals: usize,
+        threads: usize,
+    ) -> BscResult<Box<dyn StableClusterSolver>> {
         self.check_spec(spec)?;
         let full_l = num_intervals.saturating_sub(1) as u32;
         let kl = |l: u32| KlStableParams::new(k, l);
+        let bfs_config = crate::bfs::BfsConfig::default().with_threads(threads.max(1));
         match (self, spec) {
-            (AlgorithmKind::Bfs, StableClusterSpec::FullPaths) => {
-                Ok(Box::new(crate::bfs::BfsStableClusters::new(kl(full_l))))
-            }
-            (AlgorithmKind::Bfs, StableClusterSpec::ExactLength(l)) => {
-                Ok(Box::new(crate::bfs::BfsStableClusters::new(kl(l))))
-            }
+            (AlgorithmKind::Bfs, StableClusterSpec::FullPaths) => Ok(Box::new(
+                crate::bfs::BfsStableClusters::with_config(kl(full_l), bfs_config),
+            )),
+            (AlgorithmKind::Bfs, StableClusterSpec::ExactLength(l)) => Ok(Box::new(
+                crate::bfs::BfsStableClusters::with_config(kl(l), bfs_config),
+            )),
             (AlgorithmKind::Dfs, StableClusterSpec::FullPaths) => {
                 Ok(Box::new(crate::dfs::DfsStableClusters::new(kl(full_l))))
             }

@@ -15,8 +15,9 @@ use bsc_graph::cluster::KeywordCluster;
 use crate::affinity::Affinity;
 use crate::cluster_graph::{ClusterGraph, ClusterNodeId};
 use crate::path::ClusterPath;
+use crate::path_tree::SharedPath;
 use crate::problem::KlStableParams;
-use crate::topk::TopKPaths;
+use crate::topk::SharedTopK;
 
 /// Incremental solver for kl-stable clusters over a growing timeline.
 pub struct OnlineStableClusters {
@@ -26,10 +27,11 @@ pub struct OnlineStableClusters {
     intervals: u32,
     /// Number of nodes per ingested interval.
     nodes_per_interval: Vec<u32>,
-    /// Sliding window: per-node heaps `h^x` for the last `g + 1` intervals.
-    window: HashMap<ClusterNodeId, Vec<TopKPaths>>,
+    /// Sliding window: per-node heaps `h^x` for the last `g + 1` intervals,
+    /// holding zero-copy [`SharedPath`] chains.
+    window: HashMap<ClusterNodeId, Vec<SharedTopK>>,
     /// Global top-k heap of length-`l` paths.
-    global: TopKPaths,
+    global: SharedTopK,
     /// Total edges ingested (for reporting).
     edges_ingested: u64,
 }
@@ -55,7 +57,7 @@ impl OnlineStableClusters {
             intervals: 0,
             nodes_per_interval: Vec::new(),
             window: HashMap::new(),
-            global: TopKPaths::new(params.k),
+            global: SharedTopK::new(params.k),
             edges_ingested: 0,
         }
     }
@@ -86,11 +88,11 @@ impl OnlineStableClusters {
         let k = self.params.k;
         let num_nodes = parent_edges.len() as u32;
 
-        let mut new_heaps: Vec<(ClusterNodeId, Vec<TopKPaths>)> = Vec::new();
+        let mut new_heaps: Vec<(ClusterNodeId, Vec<SharedTopK>)> = Vec::new();
         for (index, parents) in parent_edges.into_iter().enumerate() {
             let node = ClusterNodeId::new(interval, index as u32);
             let max_len = l.min(interval) as usize;
-            let mut heaps: Vec<TopKPaths> = (0..max_len).map(|_| TopKPaths::new(k)).collect();
+            let mut heaps: Vec<SharedTopK> = (0..max_len).map(|_| SharedTopK::new(k)).collect();
             for (parent, weight) in parents {
                 assert!(
                     parent.interval < interval,
@@ -112,28 +114,35 @@ impl OnlineStableClusters {
                 if len > l {
                     continue;
                 }
-                let edge_path = ClusterPath::singleton(parent).extend(node, weight);
+                let edge_path = SharedPath::singleton(parent).extend(node, weight);
                 if len == l {
                     self.global.offer_by_weight(edge_path.clone());
                 }
                 heaps[len as usize - 1].offer_by_weight(edge_path);
 
                 if let Some(parent_heaps) = self.window.get(&parent) {
-                    let mut extensions = Vec::new();
                     for (x_index, heap) in parent_heaps.iter().enumerate() {
                         let total = x_index as u32 + 1 + len;
                         if total > l {
                             break;
                         }
+                        let bucket = total as usize - 1;
                         for prefix in heap.iter() {
-                            extensions.push((total, prefix.extend(node, weight)));
+                            let extended_weight = prefix.weight() + weight;
+                            let admit_bucket = heaps[bucket].would_admit(extended_weight);
+                            let admit_global =
+                                total == l && self.global.would_admit(extended_weight);
+                            if !admit_bucket && !admit_global {
+                                continue;
+                            }
+                            let extended = prefix.extend(node, weight);
+                            if admit_global {
+                                self.global.offer_by_weight(extended.clone());
+                            }
+                            if admit_bucket {
+                                heaps[bucket].offer_by_weight(extended);
+                            }
                         }
-                    }
-                    for (total, extended) in extensions {
-                        if total == l {
-                            self.global.offer_by_weight(extended.clone());
-                        }
-                        heaps[total as usize - 1].offer_by_weight(extended);
                     }
                 }
             }
@@ -158,7 +167,12 @@ impl OnlineStableClusters {
     /// The current top-k paths of length exactly `l`, in descending weight
     /// order, reflecting every interval ingested so far.
     pub fn current_top_k(&self) -> Vec<ClusterPath> {
-        self.global.clone().into_sorted()
+        self.global
+            .clone()
+            .into_sorted()
+            .iter()
+            .map(SharedPath::to_cluster_path)
+            .collect()
     }
 
     /// Replay an existing cluster graph interval by interval (mainly for

@@ -23,6 +23,7 @@ use bsc_storage::io_stats::IoScope;
 use crate::cluster_graph::{ClusterGraph, ClusterNodeId};
 use crate::error::BscResult;
 use crate::path::ClusterPath;
+use crate::path_tree::{SharedPath, SharedTail};
 use crate::solver::{AlgorithmKind, Solution, SolverStats, StableClusterSolver};
 use crate::topk::TopKPaths;
 
@@ -151,10 +152,15 @@ impl TaStableClusters {
                 }
                 for prefix in &prefixes {
                     for suffix in &suffixes {
-                        let mut nodes = prefix.nodes().to_vec();
-                        nodes.extend_from_slice(suffix.nodes());
                         let total = prefix.weight() + weight + suffix.weight();
                         stats.paths_enumerated += 1;
+                        // Worst-score fast path: materialize the combined
+                        // node vector only when the heap could admit it.
+                        if !global.would_admit(total) {
+                            continue;
+                        }
+                        let mut nodes = prefix.nodes();
+                        nodes.extend(suffix.nodes());
                         if global.iter().any(|p| p.nodes() == nodes.as_slice()) {
                             continue;
                         }
@@ -175,7 +181,12 @@ impl TaStableClusters {
                         })
                         .collect();
                     let threshold = virtual_path_bound(&heads, m);
-                    if global.admission_threshold() >= threshold {
+                    // Strictly greater: under the heap's tie-admission
+                    // semantics an unseen path weighing exactly the k-th
+                    // best score could still displace a held path via the
+                    // content tie-break, so stopping at equality could
+                    // return a different (equal-weight) top-k than BFS/DFS.
+                    if global.admission_threshold() > threshold {
                         stats.early_termination = true;
                         return Ok((global.into_sorted(), stats));
                     }
@@ -190,14 +201,15 @@ impl TaStableClusters {
 }
 
 /// All paths from an interval-0 node to `node` (exclusive of `node` itself in
-/// the weight, inclusive in the node list).
+/// the weight, inclusive in the node list), as forward-growing shared chains
+/// — sibling prefixes share their common ancestry instead of cloning it.
 fn enumerate_prefixes(
     graph: &ClusterGraph,
     node: ClusterNodeId,
     stats: &mut TaStats,
-) -> Vec<ClusterPath> {
+) -> Vec<SharedPath> {
     if node.interval == 0 {
-        return vec![ClusterPath::singleton(node)];
+        return vec![SharedPath::singleton(node)];
     }
     stats.random_seeks += 1;
     let mut result = Vec::new();
@@ -209,15 +221,16 @@ fn enumerate_prefixes(
     result
 }
 
-/// All paths from `node` to an interval-(m−1) node.
+/// All paths from `node` to an interval-(m−1) node, as backward-growing
+/// shared chains (prepending while the recursion unwinds is O(1)).
 fn enumerate_suffixes(
     graph: &ClusterGraph,
     node: ClusterNodeId,
     m: u32,
     stats: &mut TaStats,
-) -> Vec<ClusterPath> {
+) -> Vec<SharedTail> {
     if node.interval == m - 1 {
-        return vec![ClusterPath::singleton(node)];
+        return vec![SharedTail::singleton(node)];
     }
     stats.random_seeks += 1;
     let mut result = Vec::new();

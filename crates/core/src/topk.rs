@@ -2,57 +2,112 @@
 //!
 //! Every algorithm of Section 4 maintains fixed-size heaps: the per-node
 //! heaps `h^x_ij` of the BFS algorithm, the `bestpaths` heaps of the DFS
-//! algorithm and the global result heap `H`. [`TopKPaths`] is that structure:
+//! algorithm and the global result heap `H`. [`TopK`] is that structure:
 //! it keeps the `k` highest-scoring paths, evicting the minimum when a better
 //! candidate arrives ("check π against the heap" in the paper's pseudocode).
+//!
+//! The heap is generic over the path representation: [`TopKPaths`] holds
+//! materialized [`ClusterPath`]s (result heaps, oracles), while
+//! [`SharedTopK`] holds zero-copy [`SharedPath`] chains — the representation
+//! the BFS/streaming hot loops use, where admitting a path is an `Arc` bump
+//! instead of a `Vec` clone. Call [`TopK::would_admit`] with a candidate's
+//! score *before* constructing or cloning it: when the score cannot beat the
+//! current worst held score the construction, the clone and the heap churn
+//! are all skipped.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::path::ClusterPath;
+use crate::path_tree::SharedPath;
+
+/// A path representation a [`TopK`] heap can hold: scored by weight or
+/// stability, with a deterministic content order for breaking exact score
+/// ties (so heap contents never depend on insertion order).
+pub trait PathEntry: Clone + std::fmt::Debug {
+    /// The aggregate weight (the Problem 1 score).
+    fn entry_weight(&self) -> f64;
+    /// The stability `weight / length` (the Problem 2 score).
+    fn entry_stability(&self) -> f64;
+    /// Deterministic total order on path *content*, independent of scores.
+    fn tie_cmp(&self, other: &Self) -> Ordering;
+}
+
+impl PathEntry for ClusterPath {
+    fn entry_weight(&self) -> f64 {
+        self.weight()
+    }
+    fn entry_stability(&self) -> f64 {
+        self.stability()
+    }
+    fn tie_cmp(&self, other: &Self) -> Ordering {
+        self.tie_break_key().cmp(&other.tie_break_key())
+    }
+}
+
+impl PathEntry for SharedPath {
+    fn entry_weight(&self) -> f64 {
+        self.weight()
+    }
+    fn entry_stability(&self) -> f64 {
+        self.stability()
+    }
+    fn tie_cmp(&self, other: &Self) -> Ordering {
+        SharedPath::tie_cmp(self, other)
+    }
+}
 
 /// A path together with the score the heap orders by.
 #[derive(Debug, Clone)]
-struct Scored {
+struct Scored<P> {
     score: f64,
-    path: ClusterPath,
+    path: P,
 }
 
-impl PartialEq for Scored {
+impl<P: PathEntry> PartialEq for Scored<P> {
     fn eq(&self, other: &Self) -> bool {
         self.cmp(other) == Ordering::Equal
     }
 }
-impl Eq for Scored {}
+impl<P: PathEntry> Eq for Scored<P> {}
 
-impl PartialOrd for Scored {
+impl<P: PathEntry> PartialOrd for Scored<P> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl Ord for Scored {
+impl<P: PathEntry> Ord for Scored<P> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap, we want the *minimum* score at
-        // the top so it can be evicted cheaply.
+        // Reverse the score: BinaryHeap is a max-heap, we want the *minimum*
+        // score at the top so it can be evicted cheaply. The content order
+        // is NOT reversed: among equal scores the top is the entry sorting
+        // *latest* in the output order — exactly the one
+        // [`TopK::offer_scored`] must evict on a tie.
         other
             .score
             .total_cmp(&self.score)
-            .then_with(|| other.path.tie_break_key().cmp(&self.path.tie_break_key()))
+            .then_with(|| self.path.tie_cmp(&other.path))
     }
 }
 
 /// A bounded collection of the `k` highest-scoring paths.
 #[derive(Debug, Clone)]
-pub struct TopKPaths {
+pub struct TopK<P: PathEntry> {
     k: usize,
-    heap: BinaryHeap<Scored>,
+    heap: BinaryHeap<Scored<P>>,
 }
 
-impl TopKPaths {
+/// Top-k heap over materialized [`ClusterPath`]s.
+pub type TopKPaths = TopK<ClusterPath>;
+
+/// Top-k heap over zero-copy [`SharedPath`] chains.
+pub type SharedTopK = TopK<SharedPath>;
+
+impl<P: PathEntry> TopK<P> {
     /// Create an empty heap of capacity `k`.
     pub fn new(k: usize) -> Self {
-        TopKPaths {
+        TopK {
             k,
             heap: BinaryHeap::with_capacity(k + 1),
         }
@@ -94,8 +149,27 @@ impl TopKPaths {
         }
     }
 
+    /// The worst held score when the heap is full, −∞ otherwise — the cheap
+    /// guard the hot loops read before building a candidate.
+    pub fn worst_score(&self) -> f64 {
+        self.admission_threshold()
+    }
+
+    /// Could a candidate with this score be admitted right now? `false`
+    /// means it certainly cannot enter, so callers can skip constructing or
+    /// cloning it; `true` means it enters unless it ties the worst score and
+    /// loses the content tie-break inside [`TopK::offer_scored`].
+    pub fn would_admit(&self, score: f64) -> bool {
+        self.k > 0 && (!self.is_full() || score >= self.worst_score())
+    }
+
     /// Offer a path with an explicit score. Returns true if it was admitted.
-    pub fn offer_scored(&mut self, path: ClusterPath, score: f64) -> bool {
+    ///
+    /// Admission follows the strict total order (score descending, then
+    /// [`PathEntry::tie_cmp`] ascending): the held set is always the unique
+    /// top-k under that order, so it never depends on the order offers
+    /// arrive in — the property that makes the parallel BFS merge exact.
+    pub fn offer_scored(&mut self, path: P, score: f64) -> bool {
         if self.k == 0 {
             return false;
         }
@@ -103,55 +177,72 @@ impl TopKPaths {
             self.heap.push(Scored { score, path });
             return true;
         }
-        let current_min = self.min_score().expect("heap is full");
-        if score <= current_min {
-            return false;
+        let worst = self.heap.peek().expect("heap is full");
+        match score.total_cmp(&worst.score) {
+            Ordering::Less => return false,
+            Ordering::Equal => {
+                // The heap top is the worst under (score desc, tie asc);
+                // replace it only when the candidate sorts strictly earlier.
+                if path.tie_cmp(&worst.path) != Ordering::Less {
+                    return false;
+                }
+            }
+            Ordering::Greater => {}
         }
         self.heap.pop();
         self.heap.push(Scored { score, path });
         true
     }
 
-    /// Offer a path scored by its aggregate weight (Problem 1).
-    pub fn offer_by_weight(&mut self, path: ClusterPath) -> bool {
-        let score = path.weight();
+    /// Offer a path scored by its aggregate weight (Problem 1). The
+    /// `worst_score` fast path rejects a hopeless candidate before any heap
+    /// operation runs.
+    pub fn offer_by_weight(&mut self, path: P) -> bool {
+        let score = path.entry_weight();
         self.offer_scored(path, score)
     }
 
     /// Offer a path scored by its stability = weight / length (Problem 2).
-    pub fn offer_by_stability(&mut self, path: ClusterPath) -> bool {
-        let score = path.stability();
+    pub fn offer_by_stability(&mut self, path: P) -> bool {
+        let score = path.entry_stability();
         self.offer_scored(path, score)
     }
 
+    /// Merge another heap into this one (used to combine the per-worker
+    /// heaps of the parallel BFS sweep). The top-k set under the total
+    /// (score, content) order is unique, so the merge order never affects
+    /// the result.
+    pub fn absorb(&mut self, other: TopK<P>) {
+        for entry in other.heap {
+            self.offer_scored(entry.path, entry.score);
+        }
+    }
+
     /// The held paths in descending score order.
-    pub fn into_sorted(self) -> Vec<ClusterPath> {
-        let mut entries: Vec<Scored> = self.heap.into_vec();
+    pub fn into_sorted(self) -> Vec<P> {
+        let mut entries: Vec<Scored<P>> = self.heap.into_vec();
         entries.sort_by(|a, b| {
             b.score
                 .total_cmp(&a.score)
-                .then_with(|| a.path.tie_break_key().cmp(&b.path.tie_break_key()))
+                .then_with(|| a.path.tie_cmp(&b.path))
         });
         entries.into_iter().map(|s| s.path).collect()
     }
 
     /// The held paths (with scores) in descending score order, without
     /// consuming the heap.
-    pub fn sorted_entries(&self) -> Vec<(f64, ClusterPath)> {
-        let mut entries: Vec<(f64, ClusterPath)> = self
+    pub fn sorted_entries(&self) -> Vec<(f64, P)> {
+        let mut entries: Vec<(f64, P)> = self
             .heap
             .iter()
             .map(|s| (s.score, s.path.clone()))
             .collect();
-        entries.sort_by(|a, b| {
-            b.0.total_cmp(&a.0)
-                .then_with(|| a.1.tie_break_key().cmp(&b.1.tie_break_key()))
-        });
+        entries.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.tie_cmp(&b.1)));
         entries
     }
 
     /// Iterate over the held paths in arbitrary order.
-    pub fn iter(&self) -> impl Iterator<Item = &ClusterPath> {
+    pub fn iter(&self) -> impl Iterator<Item = &P> {
         self.heap.iter().map(|s| &s.path)
     }
 }
@@ -209,8 +300,44 @@ mod tests {
     }
 
     #[test]
+    fn would_admit_mirrors_offers() {
+        let mut topk = TopKPaths::new(2);
+        assert!(topk.would_admit(0.1));
+        topk.offer_by_weight(path(0.5, 5));
+        topk.offer_by_weight(path(0.8, 1));
+        assert!((topk.worst_score() - 0.5).abs() < 1e-12);
+        assert!(!topk.would_admit(0.4999999));
+        // A tying score *may* enter (content tie-break decides inside).
+        assert!(topk.would_admit(0.5));
+        assert!(topk.would_admit(0.5000001));
+        assert!(!topk.offer_by_weight(path(0.4, 0)));
+        assert!(topk.offer_by_weight(path(0.6, 3)));
+    }
+
+    #[test]
+    fn equal_scores_admit_by_content_order_not_arrival_order() {
+        // Regardless of offer order, a full heap holding ties keeps the
+        // paths that sort earliest under the deterministic content order.
+        let candidates = [path(0.5, 3), path(0.5, 1), path(0.5, 2), path(0.5, 0)];
+        let mut forward = TopKPaths::new(2);
+        for p in candidates.iter().cloned() {
+            forward.offer_by_weight(p);
+        }
+        let mut backward = TopKPaths::new(2);
+        for p in candidates.iter().rev().cloned() {
+            backward.offer_by_weight(p);
+        }
+        let a = forward.into_sorted();
+        let b = backward.into_sorted();
+        assert_eq!(a, b);
+        let starts: Vec<u32> = a.iter().map(|p| p.nodes()[0].index).collect();
+        assert_eq!(starts, vec![0, 1]);
+    }
+
+    #[test]
     fn zero_capacity_accepts_nothing() {
         let mut topk = TopKPaths::new(0);
+        assert!(!topk.would_admit(f64::INFINITY));
         assert!(!topk.offer_by_weight(path(1.0, 0)));
         assert!(topk.is_empty());
     }
@@ -237,6 +364,45 @@ mod tests {
         let entries = topk.sorted_entries();
         assert!((entries[0].0 - 0.9).abs() < 1e-12);
         assert!((entries[1].0 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_heap_matches_materialized_heap() {
+        let mut rng = DetRng::seed_from_u64(41);
+        let mut shared = SharedTopK::new(4);
+        let mut plain = TopKPaths::new(4);
+        for i in 0..64u32 {
+            let w = rng.next_f64();
+            let start = ClusterNodeId::new(0, i % 7);
+            let end = ClusterNodeId::new(1, i % 5);
+            shared.offer_by_weight(crate::path_tree::SharedPath::singleton(start).extend(end, w));
+            plain.offer_by_weight(ClusterPath::singleton(start).extend(end, w));
+        }
+        let a: Vec<ClusterPath> = shared
+            .into_sorted()
+            .iter()
+            .map(|p| p.to_cluster_path())
+            .collect();
+        let b = plain.into_sorted();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn absorb_merges_to_the_same_topk() {
+        let weights = [0.4, 0.9, 0.1, 0.7, 0.6, 0.95, 0.2, 0.5];
+        let mut whole = TopKPaths::new(3);
+        for (i, w) in weights.iter().enumerate() {
+            whole.offer_by_weight(path(*w, i as u32));
+        }
+        let mut left = TopKPaths::new(3);
+        let mut right = TopKPaths::new(3);
+        for (i, w) in weights.iter().enumerate() {
+            let target = if i % 2 == 0 { &mut left } else { &mut right };
+            target.offer_by_weight(path(*w, i as u32));
+        }
+        let mut merged = left;
+        merged.absorb(right);
+        assert_eq!(merged.into_sorted(), whole.into_sorted());
     }
 
     #[test]

@@ -17,6 +17,21 @@ pub type NodeIndex = u32;
 /// Identifier of an undirected edge within a [`CsrGraph`].
 pub type EdgeIndex = u32;
 
+/// Exclusive prefix sums of per-node degrees: the offset array of a CSR
+/// adjacency (`offsets[u]..offsets[u+1]` spans node `u`'s slice; the final
+/// entry is the total). Shared by [`CsrGraph`] and the CSR-flattened cluster
+/// graph in `bsc-core`.
+pub fn prefix_offsets(degrees: &[usize]) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(degrees.len() + 1);
+    let mut acc = 0usize;
+    offsets.push(0);
+    for &d in degrees {
+        acc += d;
+        offsets.push(acc);
+    }
+    offsets
+}
+
 /// A weighted undirected graph in compressed sparse-row form.
 #[derive(Debug, Clone, Default)]
 pub struct CsrGraph {
@@ -66,16 +81,11 @@ impl CsrGraph {
             degree[u as usize] += 1;
             degree[v as usize] += 1;
         }
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut acc = 0usize;
-        offsets.push(0);
-        for d in &degree {
-            acc += d;
-            offsets.push(acc);
-        }
+        let offsets = prefix_offsets(&degree);
+        let total = *offsets.last().expect("offsets are non-empty");
         let mut cursor = offsets.clone();
-        let mut neighbors = vec![0 as NodeIndex; acc];
-        let mut adj_edge_ids = vec![0 as EdgeIndex; acc];
+        let mut neighbors = vec![0 as NodeIndex; total];
+        let mut adj_edge_ids = vec![0 as EdgeIndex; total];
         for (eid, &(u, v, _)) in edge_list.iter().enumerate() {
             let eid = eid as EdgeIndex;
             neighbors[cursor[u as usize]] = v;
@@ -193,6 +203,12 @@ mod tests {
         let g = CsrGraph::from_weighted_edges(Vec::<(KeywordId, KeywordId, f64)>::new());
         assert_eq!(g.num_nodes(), 0);
         assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn prefix_offsets_are_exclusive_sums() {
+        assert_eq!(prefix_offsets(&[]), vec![0]);
+        assert_eq!(prefix_offsets(&[2, 0, 3]), vec![0, 2, 2, 5]);
     }
 
     #[test]

@@ -102,12 +102,24 @@ impl KeywordGraphBuilder {
     }
 
     /// Build a keyword graph directly from aggregated pair counts.
+    ///
+    /// Keywords and pairs are sorted by id before insertion: the pair counts
+    /// live in hash maps whose iteration order varies between instances, and
+    /// that order would otherwise leak — via the edge list, the CSR node
+    /// interning and the biconnected-component enumeration — all the way
+    /// into the *cluster indices* of the cluster graph, making two runs on
+    /// identical input produce differently-numbered (though isomorphic)
+    /// clusters. Sorting here makes the whole pipeline deterministic.
     pub fn from_pair_counts(counts: &PairCounts) -> KeywordGraph {
         let mut builder = KeywordGraphBuilder::new().num_documents(counts.num_documents());
-        for (keyword, count) in counts.iter_keywords() {
+        let mut keywords: Vec<(KeywordId, u64)> = counts.iter_keywords().collect();
+        keywords.sort_unstable_by_key(|&(k, _)| k);
+        for (keyword, count) in keywords {
             builder = builder.keyword(keyword, count);
         }
-        for (u, v, count) in counts.iter_pairs() {
+        let mut pairs: Vec<(KeywordId, KeywordId, u64)> = counts.iter_pairs().collect();
+        pairs.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        for (u, v, count) in pairs {
             builder = builder.edge(u, v, count);
         }
         builder.build()
