@@ -1,8 +1,9 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--paper] [--json <path>] [all|table1|fig6|table3|fig7|fig8|fig9|
-//!        fig10|fig11|fig12|fig13|fig14|quali|baselines|streaming]
+//! repro [--paper] [--json <path>] [--backend <spec>]
+//!       [all|table1|table2|fig6|table3|fig7|fig8|fig9|fig10|fig11|fig12|
+//!        fig13|fig14|quali|baselines|streaming]
 //! ```
 //!
 //! Without arguments the whole suite runs at the reduced "quick" scale; pass
@@ -11,9 +12,14 @@
 //! (hand-rolled serializer, zero dependencies) so the performance trajectory
 //! can be tracked across commits — `BENCH_table3.json` at the repository
 //! root is such a baseline.
+//!
+//! `--backend <spec>` restricts the storage-backend I/O report (`table2`) to
+//! one backend: `memory`, `logfile`, `blockcache` or `blockcache:<bytes>`.
+//! Without the flag all shipped backends are compared side by side.
 
 use bsc_bench::experiments::{self, Scale};
 use bsc_bench::report::{tables_to_json, Table};
+use bsc_storage::backend::StorageSpec;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,6 +29,8 @@ fn main() {
         Scale::Quick
     };
     let mut json_path: Option<String> = None;
+    let mut backends: Vec<StorageSpec> = StorageSpec::ALL.to_vec();
+    let mut backend_flag = false;
     let mut targets: Vec<&str> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -35,8 +43,26 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--backend" => match iter.next().map(String::as_str).map(StorageSpec::parse) {
+                Some(Some(spec)) => {
+                    backends = vec![spec];
+                    backend_flag = true;
+                }
+                Some(None) => {
+                    eprintln!(
+                        "unknown backend (expected memory, logfile, blockcache or blockcache:<bytes>)"
+                    );
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!("--backend requires a storage spec argument");
+                    std::process::exit(2);
+                }
+            },
             flag if flag.starts_with("--") => {
-                eprintln!("unknown flag '{flag}' (expected --paper or --json <path>)");
+                eprintln!(
+                    "unknown flag '{flag}' (expected --paper, --json <path> or --backend <spec>)"
+                );
                 std::process::exit(2);
             }
             target => targets.push(target),
@@ -45,12 +71,19 @@ fn main() {
     if targets.is_empty() {
         targets.push("all");
     }
+    if backend_flag && !targets.iter().any(|t| matches!(*t, "table2" | "all")) {
+        eprintln!(
+            "warning: --backend only affects the storage-backend I/O report (table2/all); \
+             the requested target(s) ignore it"
+        );
+    }
 
     let mut produced: Vec<Table> = Vec::new();
     for target in &targets {
         let tables: Vec<Table> = match *target {
-            "all" => experiments::all(scale),
+            "all" => experiments::all_with_backends(scale, &backends),
             "table1" => vec![experiments::table1(scale)],
+            "table2" => vec![experiments::table2_io(scale, &backends)],
             "fig6" => vec![experiments::fig6(scale)],
             "table3" => vec![
                 experiments::table3(scale),
@@ -70,7 +103,7 @@ fn main() {
             other => {
                 eprintln!("unknown experiment '{other}'");
                 eprintln!(
-                    "expected one of: all table1 fig6 table3 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 quali baselines streaming"
+                    "expected one of: all table1 table2 fig6 table3 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 quali baselines streaming"
                 );
                 std::process::exit(2);
             }

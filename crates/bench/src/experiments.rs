@@ -24,13 +24,14 @@ use bsc_core::cluster_graph::{ClusterGraph, ClusterGraphBuilder};
 use bsc_core::path::ClusterPath;
 use bsc_core::pipeline::{Pipeline, PipelineParams, StableClusterSpec};
 use bsc_core::problem::KlStableParams;
-use bsc_core::solver::{AlgorithmKind, Solution};
+use bsc_core::solver::{AlgorithmKind, Solution, SolverOptions};
 use bsc_corpus::pairs::PairCounter;
 use bsc_corpus::timeline::IntervalId;
 use bsc_graph::cluster::ClusterExtractor;
 use bsc_graph::csr::CsrGraph;
 use bsc_graph::keyword_graph::KeywordGraphBuilder;
 use bsc_graph::prune::PruneConfig;
+use bsc_storage::backend::StorageSpec;
 
 use crate::report::{mib, seconds, Table};
 use crate::workloads::{cluster_graph, scripted_week, single_day, timed};
@@ -248,6 +249,88 @@ fn assert_paths_equal(a: &[ClusterPath], b: &[ClusterPath], context: &str) {
             "{context}: weights differ"
         );
     }
+}
+
+/// The strict variant: identical node sequences *and* bitwise-identical
+/// weights. This is the storage acceptance criterion — swapping the backend
+/// must not change a single bit of the answer.
+fn assert_paths_identical(a: &[ClusterPath], b: &[ClusterPath], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: result counts differ");
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.nodes(), y.nodes(), "{context}: node sequences differ");
+        assert_eq!(
+            x.weight().to_bits(),
+            y.weight().to_bits(),
+            "{context}: weights must be byte-identical"
+        );
+    }
+}
+
+/// Table 2-style I/O report: logical I/O of the disk-resident solvers (the
+/// store-backed BFS variant and DFS), one row per algorithm × storage
+/// backend, all constructed through the unified
+/// [`AlgorithmKind::build_with_options`] seam. The same-algorithm results
+/// are verified byte-identical across backends before the table is emitted —
+/// the backend choice only moves I/O around, it never changes the answer.
+pub fn table2_io(scale: Scale, backends: &[StorageSpec]) -> Table {
+    let m = scale.pick(6, 9);
+    let n = scale.pick(60, 150);
+    let (d, g, k) = (4u32, 1u32, 5usize);
+    let graph = cluster_graph(m, n, d, g, SEED);
+    let mut table = Table::new(
+        "Table 2-style: solver I/O per storage backend",
+        &[
+            "algorithm",
+            "backend",
+            "reads",
+            "writes",
+            "seeks",
+            "evictions",
+            "MB",
+            "time(s)",
+            "paths",
+        ],
+    );
+    let mut reference: [Option<Vec<ClusterPath>>; 2] = [None, None];
+    for &spec in backends {
+        for (which, kind) in [AlgorithmKind::Bfs, AlgorithmKind::Dfs]
+            .into_iter()
+            .enumerate()
+        {
+            let options = SolverOptions::default()
+                .storage(spec)
+                .bfs_store_backed(true);
+            let mut solver = kind
+                .build_with_options(StableClusterSpec::FullPaths, k, m, options)
+                .expect("supported combination");
+            let (solution, duration) = timed(|| solver.solve(&graph).expect("solver run"));
+            let io = solution.io;
+            match &reference[which] {
+                None => reference[which] = Some(solution.paths.clone()),
+                Some(expected) => {
+                    assert_paths_identical(expected, &solution.paths, &format!("{kind}/{spec}"));
+                }
+            }
+            table.push_row(vec![
+                kind.name().to_string(),
+                spec.to_string(),
+                io.read_ops.to_string(),
+                io.write_ops.to_string(),
+                io.seek_ops.to_string(),
+                io.evictions.to_string(),
+                mib(io.total_bytes()),
+                seconds(duration),
+                solution.paths.len().to_string(),
+            ]);
+        }
+    }
+    table.push_note(format!(
+        "m = {m}, n = {n}, d = {d}, g = {g}, top-{k} full paths; identical results verified across backends per algorithm"
+    ));
+    table.push_note(
+        "memory does no real I/O; logfile pays one seek+read per get; blockcache trades budgeted cache bytes for fewer reads (evictions show the pressure)",
+    );
+    table
 }
 
 /// Figure 7: BFS, top-5 full paths, varying the gap g (n, d fixed).
@@ -789,8 +872,15 @@ pub fn streaming_ablation(scale: Scale) -> Table {
 
 /// All experiments in paper order.
 pub fn all(scale: Scale) -> Vec<Table> {
+    all_with_backends(scale, &StorageSpec::ALL)
+}
+
+/// All experiments, with the storage-backend comparison restricted to
+/// `backends` (the repro binary's `--backend` flag).
+pub fn all_with_backends(scale: Scale, backends: &[StorageSpec]) -> Vec<Table> {
     let mut tables = vec![
         table1(scale),
+        table2_io(scale, backends),
         fig6(scale),
         table3(scale),
         table3_ablation(scale),
@@ -828,6 +918,19 @@ mod tests {
         let first_edges: usize = table.cell(0, "surviving edges").unwrap().parse().unwrap();
         let last_edges: usize = table.cell(5, "surviving edges").unwrap().parse().unwrap();
         assert!(first_edges >= last_edges);
+    }
+
+    #[test]
+    fn table2_io_covers_every_backend_and_algorithm() {
+        let table = table2_io(Scale::Quick, &StorageSpec::ALL);
+        assert_eq!(table.num_rows(), StorageSpec::ALL.len() * 2);
+        assert_eq!(table.cell(0, "backend"), Some("memory"));
+        assert_eq!(table.cell(4, "backend"), Some("blockcache:262144"));
+        // The log file pays one seek + read per parent-heap get. (No upper
+        // bound asserted for the memory rows: the I/O scope is process-wide
+        // and other tests run concurrently in this binary.)
+        let logfile_reads: u64 = table.cell(2, "reads").unwrap().parse().unwrap();
+        assert!(logfile_reads > 0, "logfile gets must be counted");
     }
 
     #[test]

@@ -29,11 +29,14 @@
 //! [`BfsConfig::on_disk`] persists every node's heaps to a
 //! [`bsc_storage::NodeStore`] and reads parents back with random I/O,
 //! mirroring the pseudocode's "save `c_ij` along with `h^x_ij` to disk".
-//! The disk variant is sequential (the store is a single mutable resource).
+//! The store-backed variant is sequential (the store is a single mutable
+//! resource), and [`BfsConfig::store_backed`] selects *which*
+//! [`StorageSpec`] backend holds the heaps — log file, memory, or a
+//! budget-bounded block cache.
 
+use bsc_storage::backend::StorageSpec;
 use bsc_storage::io_stats::IoScope;
 use bsc_storage::node_store::NodeStore;
-use bsc_storage::temp::TempDir;
 
 use crate::cluster_graph::{ClusterGraph, ClusterNodeId};
 use crate::error::BscResult;
@@ -46,29 +49,35 @@ use crate::topk::SharedTopK;
 /// Configuration of the BFS algorithm.
 #[derive(Debug, Clone, Copy)]
 pub struct BfsConfig {
-    /// Persist per-node heaps to disk instead of keeping the sliding window
-    /// in memory.
-    pub on_disk: bool,
+    /// `Some(spec)` persists every node's heaps to a [`NodeStore`] over the
+    /// selected backend instead of keeping the sliding window in memory;
+    /// `None` (the default) is the paper's in-memory configuration.
+    pub storage: Option<StorageSpec>,
     /// Number of worker threads for the per-interval node sweep (in-memory
-    /// mode only; the disk variant is sequential). `0` and `1` both mean
-    /// sequential. Results are identical for every thread count.
+    /// mode only; the store-backed variant is sequential). `0` and `1` both
+    /// mean sequential. Results are identical for every thread count.
     pub threads: usize,
 }
 
 impl Default for BfsConfig {
     fn default() -> Self {
         BfsConfig {
-            on_disk: false,
+            storage: None,
             threads: 1,
         }
     }
 }
 
 impl BfsConfig {
-    /// The secondary-storage variant.
+    /// The secondary-storage variant over the paper's log-file backend.
     pub fn on_disk() -> Self {
+        BfsConfig::store_backed(StorageSpec::LogFile)
+    }
+
+    /// The secondary-storage variant over an explicit backend.
+    pub fn store_backed(spec: StorageSpec) -> Self {
         BfsConfig {
-            on_disk: true,
+            storage: Some(spec),
             ..BfsConfig::default()
         }
     }
@@ -156,8 +165,8 @@ impl BfsStableClusters {
             return Ok((Vec::new(), stats));
         }
         let mut global = SharedTopK::new(k);
-        if self.config.on_disk {
-            self.run_on_disk(graph, &mut global, &mut stats)?;
+        if let Some(spec) = self.config.storage {
+            self.run_store_backed(spec, graph, &mut global, &mut stats)?;
         } else {
             self.run_in_memory(graph, &mut global, &mut stats);
         }
@@ -265,8 +274,9 @@ impl BfsStableClusters {
         }
     }
 
-    fn run_on_disk(
+    fn run_store_backed(
         &self,
+        spec: StorageSpec,
         graph: &ClusterGraph,
         global: &mut SharedTopK,
         stats: &mut BfsStats,
@@ -275,8 +285,7 @@ impl BfsStableClusters {
         let l = self.params.l;
         let m = graph.num_intervals() as u32;
         let full_mode = l == m - 1;
-        let dir = TempDir::new("bsc-bfs")?;
-        let mut store: NodeStore<u64, StoredHeaps> = NodeStore::create(dir.file("bfs-heaps.log"))?;
+        let mut store: NodeStore<u64, StoredHeaps> = NodeStore::temp(spec, "bsc-bfs")?;
 
         for interval in 0..m {
             let mut interval_heaps: Vec<(ClusterNodeId, Vec<SharedTopK>)> = Vec::new();
@@ -586,7 +595,7 @@ mod tests {
     }
 
     #[test]
-    fn on_disk_matches_in_memory() {
+    fn store_backed_matches_in_memory_for_every_backend() {
         let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
             num_intervals: 5,
             nodes_per_interval: 15,
@@ -598,12 +607,15 @@ mod tests {
         for l in [1, 2, 3, 4] {
             let params = KlStableParams::new(4, l);
             let in_memory = BfsStableClusters::new(params).run(&graph).unwrap();
-            let on_disk = BfsStableClusters::with_config(params, BfsConfig::on_disk())
-                .run(&graph)
-                .unwrap();
-            assert_eq!(in_memory.len(), on_disk.len(), "l = {l}");
-            for (a, b) in in_memory.iter().zip(on_disk.iter()) {
-                assert!((a.weight() - b.weight()).abs() < 1e-9, "l = {l}");
+            for spec in StorageSpec::ALL {
+                let stored = BfsStableClusters::with_config(params, BfsConfig::store_backed(spec))
+                    .run(&graph)
+                    .unwrap();
+                assert_eq!(in_memory.len(), stored.len(), "l = {l} {spec}");
+                for (a, b) in in_memory.iter().zip(stored.iter()) {
+                    assert_eq!(a.nodes(), b.nodes(), "l = {l} {spec}");
+                    assert_eq!(a.weight().to_bits(), b.weight().to_bits(), "l = {l} {spec}");
+                }
             }
         }
     }

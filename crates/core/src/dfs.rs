@@ -26,9 +26,9 @@
 
 use std::collections::HashMap;
 
+use bsc_storage::backend::StorageSpec;
 use bsc_storage::io_stats::IoScope;
 use bsc_storage::node_store::NodeStore;
-use bsc_storage::temp::TempDir;
 
 use crate::cluster_graph::{ClusterEdge, ClusterGraph, ClusterNodeId};
 use crate::error::BscResult;
@@ -43,28 +43,36 @@ use crate::topk::TopKPaths;
 pub struct DfsConfig {
     /// Apply the `CanPrune` optimistic-bound pruning rule.
     pub enable_pruning: bool,
-    /// Keep per-node state on disk (the paper's setting). When false an
-    /// in-memory map is used instead, which is faster but loses the low
-    /// memory footprint that motivates DFS.
-    pub on_disk: bool,
+    /// Where per-node state lives. `Some(spec)` routes it through a
+    /// [`NodeStore`] over the selected [`StorageSpec`] backend (the paper's
+    /// setting is the log file); `None` keeps [`NodeState`] values directly
+    /// in a map — faster (no codec round trips) but it loses both the low
+    /// memory footprint that motivates DFS and the storage accounting.
+    pub storage: Option<StorageSpec>,
 }
 
 impl Default for DfsConfig {
     fn default() -> Self {
         DfsConfig {
             enable_pruning: true,
-            on_disk: true,
+            storage: Some(StorageSpec::LogFile),
         }
     }
 }
 
 impl DfsConfig {
-    /// In-memory node state (for tests and small graphs).
+    /// Native in-memory node state (for tests and small graphs).
     pub fn in_memory() -> Self {
         DfsConfig {
             enable_pruning: true,
-            on_disk: false,
+            storage: None,
         }
+    }
+
+    /// Keep per-node state in the backend described by `spec`.
+    pub fn with_storage(mut self, spec: StorageSpec) -> Self {
+        self.storage = Some(spec);
+        self
     }
 
     /// Disable pruning (exhaustive DFS).
@@ -160,26 +168,28 @@ fn from_stored(stored: StoredNodeState) -> NodeState {
     }
 }
 
-/// Storage backend for node state. The in-memory variant keeps [`NodeState`]
-/// values directly: a get/put is a handful of `Arc` bumps instead of a full
-/// materialize/rebuild round trip.
+/// Where per-node state lives during the traversal. The `Store` variant
+/// round-trips [`NodeState`] through the codec into whichever
+/// [`StorageSpec`] backend was selected (the backend owns its temp files);
+/// the `Native` variant keeps [`NodeState`] values directly — a get/put is a
+/// handful of `Arc` bumps instead of a full materialize/rebuild round trip.
 enum StateStore {
-    Disk(NodeStore<u64, StoredNodeState>, #[allow(dead_code)] TempDir),
-    Memory(HashMap<u64, NodeState>),
+    Store(NodeStore<u64, StoredNodeState>),
+    Native(HashMap<u64, NodeState>),
 }
 
 impl StateStore {
     fn get(&mut self, key: u64) -> BscResult<Option<NodeState>> {
         match self {
-            StateStore::Disk(store, _) => Ok(store.get(&key)?.map(from_stored)),
-            StateStore::Memory(map) => Ok(map.get(&key).cloned()),
+            StateStore::Store(store) => Ok(store.get(&key)?.map(from_stored)),
+            StateStore::Native(map) => Ok(map.get(&key).cloned()),
         }
     }
 
     fn put(&mut self, key: u64, state: &NodeState) -> BscResult<()> {
         match self {
-            StateStore::Disk(store, _) => Ok(store.put(&key, &to_stored(state))?),
-            StateStore::Memory(map) => {
+            StateStore::Store(store) => Ok(store.put(&key, &to_stored(state))?),
+            StateStore::Native(map) => {
                 map.insert(key, state.clone());
                 Ok(())
             }
@@ -247,12 +257,9 @@ impl DfsStableClusters {
             return Ok((Vec::new(), stats));
         }
 
-        let mut store = if self.config.on_disk {
-            let dir = TempDir::new("bsc-dfs")?;
-            let node_store = NodeStore::create(dir.file("dfs-state.log"))?;
-            StateStore::Disk(node_store, dir)
-        } else {
-            StateStore::Memory(HashMap::new())
+        let mut store = match self.config.storage {
+            Some(spec) => StateStore::Store(NodeStore::temp(spec, "bsc-dfs")?),
+            None => StateStore::Native(HashMap::new()),
         };
 
         let mut global = TopKPaths::new(k);
@@ -651,7 +658,7 @@ mod tests {
     }
 
     #[test]
-    fn on_disk_matches_in_memory() {
+    fn every_storage_backend_matches_native_in_memory() {
         let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
             num_intervals: 4,
             nodes_per_interval: 10,
@@ -661,13 +668,19 @@ mod tests {
         })
         .generate();
         let params = KlStableParams::new(3, 3);
-        let disk = DfsStableClusters::new(params).run(&graph).unwrap();
-        let memory = DfsStableClusters::with_config(params, DfsConfig::in_memory())
+        let native = DfsStableClusters::with_config(params, DfsConfig::in_memory())
             .run(&graph)
             .unwrap();
-        assert_eq!(disk.len(), memory.len());
-        for (a, b) in disk.iter().zip(memory.iter()) {
-            assert!((a.weight() - b.weight()).abs() < 1e-9);
+        for spec in StorageSpec::ALL {
+            let stored =
+                DfsStableClusters::with_config(params, DfsConfig::default().with_storage(spec))
+                    .run(&graph)
+                    .unwrap();
+            assert_eq!(stored.len(), native.len(), "{spec}");
+            for (a, b) in stored.iter().zip(native.iter()) {
+                assert_eq!(a.nodes(), b.nodes(), "{spec}");
+                assert_eq!(a.weight().to_bits(), b.weight().to_bits(), "{spec}");
+            }
         }
     }
 

@@ -77,6 +77,7 @@ pub mod topk;
 
 pub use affinity::{Affinity, AffinityKind, JaccardAffinity};
 pub use bfs::{BfsConfig, BfsStableClusters, BfsStats};
+pub use bsc_storage::backend::StorageSpec;
 pub use cluster_graph::{ClusterEdge, ClusterGraph, ClusterGraphBuilder, ClusterNodeId};
 pub use dfs::{DfsConfig, DfsStableClusters, DfsStats};
 pub use error::{BscError, BscResult};
@@ -85,7 +86,7 @@ pub use path::ClusterPath;
 pub use path_tree::{SharedPath, SharedTail};
 pub use pipeline::{Pipeline, PipelineOutcome, PipelineParams};
 pub use problem::{KlStableParams, NormalizedParams, StableClusterSpec};
-pub use solver::{AlgorithmKind, Solution, SolverStats, StableClusterSolver};
+pub use solver::{AlgorithmKind, Solution, SolverOptions, SolverStats, StableClusterSolver};
 pub use streaming::{OnlineClusterFeed, OnlineStableClusters};
 pub use synthetic::{ClusterGraphGenerator, SyntheticGraphParams};
 pub use ta::{TaStableClusters, TaStats};

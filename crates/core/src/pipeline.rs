@@ -25,13 +25,14 @@ use bsc_corpus::vocabulary::Vocabulary;
 use bsc_graph::cluster::{ClusterExtractor, KeywordCluster};
 use bsc_graph::keyword_graph::KeywordGraphBuilder;
 use bsc_graph::prune::{PruneConfig, PruneStats};
+use bsc_storage::backend::StorageSpec;
 use bsc_storage::io_stats::IoSnapshot;
 
 use crate::affinity::AffinityKind;
 use crate::cluster_graph::{ClusterGraph, ClusterGraphBuilder};
 use crate::error::{BscError, BscResult};
 use crate::path::ClusterPath;
-use crate::solver::{AlgorithmKind, SolverStats};
+use crate::solver::{AlgorithmKind, SolverOptions, SolverStats};
 
 pub use crate::problem::StableClusterSpec;
 
@@ -84,6 +85,11 @@ pub struct PipelineParams {
     /// other algorithms run sequentially regardless). Must be ≥ 1. Every
     /// thread count produces the identical result.
     pub threads: usize,
+    /// Storage backend for the solver stage's disk-resident per-node state
+    /// (used by DFS; the in-memory solvers ignore it). Every backend
+    /// produces the identical result — the choice trades memory footprint
+    /// against I/O, see `docs/storage.md`.
+    pub storage: StorageSpec,
 }
 
 impl Default for PipelineParams {
@@ -99,6 +105,7 @@ impl Default for PipelineParams {
             spec: StableClusterSpec::ExactLength(3),
             algorithm: None,
             threads: 1,
+            storage: StorageSpec::LogFile,
         }
     }
 }
@@ -162,6 +169,12 @@ impl PipelineParams {
     /// Set the solver-stage worker-thread budget (BFS per-interval sweep).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Set the storage backend for the solver stage's disk-resident state.
+    pub fn storage(mut self, storage: StorageSpec) -> Self {
+        self.storage = storage;
         self
     }
 
@@ -295,11 +308,13 @@ impl Pipeline {
             params.theta,
         );
 
-        let mut solver = params.resolved_algorithm().build_with_threads(
+        let mut solver = params.resolved_algorithm().build_with_options(
             params.spec,
             params.k,
             cluster_graph.num_intervals(),
-            params.threads,
+            SolverOptions::default()
+                .threads(params.threads)
+                .storage(params.storage),
         )?;
         let solution = solver.solve(&cluster_graph)?;
 
@@ -404,6 +419,35 @@ mod tests {
         let description = outcome.describe_path(path, &corpus.vocabulary);
         assert_eq!(description.len(), path.num_nodes());
         assert!(description[0].starts_with(&format!("t{}", path.first().interval)));
+    }
+
+    #[test]
+    fn every_storage_backend_yields_identical_stable_paths() {
+        // DFS is the disk-resident solver: the backend choice must never
+        // change the answer, only where the per-node state lives.
+        let corpus = small_corpus();
+        let mut baseline: Option<Vec<crate::path::ClusterPath>> = None;
+        for spec in StorageSpec::ALL {
+            let outcome = Pipeline::new(
+                PipelineParams::default()
+                    .exact_length(2)
+                    .algorithm(AlgorithmKind::Dfs)
+                    .storage(spec),
+            )
+            .expect("valid params")
+            .run(&corpus)
+            .unwrap();
+            match &baseline {
+                None => baseline = Some(outcome.stable_paths),
+                Some(expected) => {
+                    assert_eq!(expected.len(), outcome.stable_paths.len(), "{spec}");
+                    for (a, b) in expected.iter().zip(outcome.stable_paths.iter()) {
+                        assert_eq!(a.nodes(), b.nodes(), "{spec}");
+                        assert_eq!(a.weight().to_bits(), b.weight().to_bits(), "{spec}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -16,12 +16,66 @@
 //! adaptation is full-paths-only; the normalized solver only answers
 //! Problem 2) up front as [`BscError::Unsupported`].
 
+use bsc_storage::backend::StorageSpec;
 use bsc_storage::io_stats::IoSnapshot;
 
 use crate::cluster_graph::ClusterGraph;
 use crate::error::{BscError, BscResult};
 use crate::path::ClusterPath;
 use crate::problem::{KlStableParams, NormalizedParams, StableClusterSpec};
+
+/// Deployment-level knobs shared by every [`AlgorithmKind::build_with_options`]
+/// construction: the worker-thread budget and which [`StorageSpec`] backend
+/// the disk-resident solvers keep their per-node state in. Problem-level
+/// parameters (spec, `k`) stay separate — these options never change *what*
+/// is computed, only how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverOptions {
+    /// Worker threads for solvers with a parallel stage (the BFS
+    /// per-interval sweep). `1` means sequential; every thread count
+    /// produces the identical `Solution`.
+    pub threads: usize,
+    /// Storage backend for solvers that keep per-node state in secondary
+    /// storage: DFS always, BFS when [`SolverOptions::bfs_store_backed`] is
+    /// set. Every backend produces the identical `Solution`.
+    pub storage: StorageSpec,
+    /// Run BFS in its secondary-storage variant (every node's heaps
+    /// persisted to [`SolverOptions::storage`], the pseudocode's "save
+    /// `c_ij` along with `h^x_ij` to disk") instead of the default
+    /// sliding-window in-memory configuration. The store-backed variant is
+    /// sequential — `threads` is ignored. Other algorithms are unaffected.
+    pub bfs_store_backed: bool,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            threads: 1,
+            storage: StorageSpec::LogFile,
+            bfs_store_backed: false,
+        }
+    }
+}
+
+impl SolverOptions {
+    /// Set the worker-thread budget.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Set the storage backend for disk-resident solvers.
+    pub fn storage(mut self, storage: StorageSpec) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// Select BFS's secondary-storage variant over the configured backend.
+    pub fn bfs_store_backed(mut self, on: bool) -> Self {
+        self.bfs_store_backed = on;
+        self
+    }
+}
 
 /// Unified execution statistics across all solver implementations.
 ///
@@ -174,7 +228,7 @@ impl AlgorithmKind {
         k: usize,
         num_intervals: usize,
     ) -> BscResult<Box<dyn StableClusterSolver>> {
-        self.build_with_threads(spec, k, num_intervals, 1)
+        self.build_with_options(spec, k, num_intervals, SolverOptions::default())
     }
 
     /// Like [`AlgorithmKind::build`], with a worker-thread budget. Only the
@@ -188,10 +242,36 @@ impl AlgorithmKind {
         num_intervals: usize,
         threads: usize,
     ) -> BscResult<Box<dyn StableClusterSolver>> {
+        self.build_with_options(
+            spec,
+            k,
+            num_intervals,
+            SolverOptions::default().threads(threads),
+        )
+    }
+
+    /// Like [`AlgorithmKind::build`], with deployment-level
+    /// [`SolverOptions`]: a worker-thread budget (BFS's per-interval sweep),
+    /// the [`StorageSpec`] backend the disk-resident solvers keep their
+    /// per-node state in (DFS always; BFS with
+    /// [`SolverOptions::bfs_store_backed`]). No option changes the computed
+    /// `Solution`.
+    pub fn build_with_options(
+        self,
+        spec: StableClusterSpec,
+        k: usize,
+        num_intervals: usize,
+        options: SolverOptions,
+    ) -> BscResult<Box<dyn StableClusterSolver>> {
         self.check_spec(spec)?;
         let full_l = num_intervals.saturating_sub(1) as u32;
         let kl = |l: u32| KlStableParams::new(k, l);
-        let bfs_config = crate::bfs::BfsConfig::default().with_threads(threads.max(1));
+        let bfs_config = if options.bfs_store_backed {
+            crate::bfs::BfsConfig::store_backed(options.storage)
+        } else {
+            crate::bfs::BfsConfig::default().with_threads(options.threads.max(1))
+        };
+        let dfs_config = crate::dfs::DfsConfig::default().with_storage(options.storage);
         match (self, spec) {
             (AlgorithmKind::Bfs, StableClusterSpec::FullPaths) => Ok(Box::new(
                 crate::bfs::BfsStableClusters::with_config(kl(full_l), bfs_config),
@@ -199,12 +279,12 @@ impl AlgorithmKind {
             (AlgorithmKind::Bfs, StableClusterSpec::ExactLength(l)) => Ok(Box::new(
                 crate::bfs::BfsStableClusters::with_config(kl(l), bfs_config),
             )),
-            (AlgorithmKind::Dfs, StableClusterSpec::FullPaths) => {
-                Ok(Box::new(crate::dfs::DfsStableClusters::new(kl(full_l))))
-            }
-            (AlgorithmKind::Dfs, StableClusterSpec::ExactLength(l)) => {
-                Ok(Box::new(crate::dfs::DfsStableClusters::new(kl(l))))
-            }
+            (AlgorithmKind::Dfs, StableClusterSpec::FullPaths) => Ok(Box::new(
+                crate::dfs::DfsStableClusters::with_config(kl(full_l), dfs_config),
+            )),
+            (AlgorithmKind::Dfs, StableClusterSpec::ExactLength(l)) => Ok(Box::new(
+                crate::dfs::DfsStableClusters::with_config(kl(l), dfs_config),
+            )),
             (AlgorithmKind::Ta, StableClusterSpec::FullPaths) => {
                 Ok(Box::new(crate::ta::TaStableClusters::new(k)))
             }
@@ -327,6 +407,34 @@ mod tests {
                     kind.build(spec, 3, 4).is_ok(),
                     "{kind} {spec:?}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn store_backed_bfs_is_reachable_through_the_unified_seam() {
+        let graph = graph();
+        let spec = StableClusterSpec::FullPaths;
+        let mut in_memory = AlgorithmKind::Bfs
+            .build(spec, 3, graph.num_intervals())
+            .unwrap();
+        let expected = in_memory.solve(&graph).unwrap().paths;
+        for storage in bsc_storage::backend::StorageSpec::ALL {
+            let mut solver = AlgorithmKind::Bfs
+                .build_with_options(
+                    spec,
+                    3,
+                    graph.num_intervals(),
+                    SolverOptions::default()
+                        .storage(storage)
+                        .bfs_store_backed(true),
+                )
+                .unwrap();
+            let got = solver.solve(&graph).unwrap().paths;
+            assert_eq!(expected.len(), got.len(), "{storage}");
+            for (a, b) in expected.iter().zip(got.iter()) {
+                assert_eq!(a.nodes(), b.nodes(), "{storage}");
+                assert_eq!(a.weight().to_bits(), b.weight().to_bits(), "{storage}");
             }
         }
     }

@@ -149,15 +149,14 @@ impl PairCounter {
     }
 
     fn count_external(&self, documents: &[Document]) -> std::io::Result<PairCounts> {
-        let mut sorter: ExternalSorter<(u32, u32)> =
-            ExternalSorter::new(self.config.sort.clone()).map_err(io_error)?;
+        let mut sorter: ExternalSorter<(u32, u32)> = ExternalSorter::new(self.config.sort.clone())?;
         for doc in documents {
             let keywords = doc.keywords();
             for (i, &u) in keywords.iter().enumerate() {
                 // The (u,u) self pair carries A(u), exactly as in the paper.
-                sorter.push((u.0, u.0)).map_err(io_error)?;
+                sorter.push((u.0, u.0))?;
                 for &v in &keywords[i + 1..] {
-                    sorter.push((u.0, v.0)).map_err(io_error)?;
+                    sorter.push((u.0, v.0))?;
                 }
             }
         }
@@ -173,14 +172,9 @@ impl PairCounter {
                     .pair_counts
                     .insert((KeywordId(u), KeywordId(v)), count);
             }
-        })
-        .map_err(io_error)?;
+        })?;
         Ok(counts)
     }
-}
-
-fn io_error(e: bsc_storage::StorageError) -> std::io::Error {
-    std::io::Error::other(e.to_string())
 }
 
 #[cfg(test)]

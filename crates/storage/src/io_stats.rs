@@ -22,6 +22,7 @@ pub struct IoStats {
     seek_ops: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
+    evictions: AtomicU64,
 }
 
 /// A point-in-time copy of the [`IoStats`] counters.
@@ -37,6 +38,8 @@ pub struct IoSnapshot {
     pub bytes_read: u64,
     /// Total bytes written.
     pub bytes_written: u64,
+    /// Cache pages evicted under memory pressure (block-cache backends).
+    pub evictions: u64,
 }
 
 impl IoSnapshot {
@@ -48,6 +51,7 @@ impl IoSnapshot {
             seek_ops: self.seek_ops.saturating_sub(earlier.seek_ops),
             bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
             bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
         }
     }
 
@@ -85,6 +89,11 @@ impl IoStats {
         self.seek_ops.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a cache-page eviction under memory pressure.
+    pub fn record_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Take a snapshot of the current counter values.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -93,6 +102,7 @@ impl IoStats {
             seek_ops: self.seek_ops.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -103,6 +113,7 @@ impl IoStats {
         self.seek_ops.store(0, Ordering::Relaxed);
         self.bytes_read.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -172,6 +183,7 @@ mod tests {
             seek_ops: 2,
             bytes_read: 1000,
             bytes_written: 500,
+            evictions: 1,
         };
         let b = IoSnapshot {
             read_ops: 15,
@@ -179,6 +191,7 @@ mod tests {
             seek_ops: 2,
             bytes_read: 1500,
             bytes_written: 700,
+            evictions: 4,
         };
         let d = b.delta(&a);
         assert_eq!(d.read_ops, 5);
@@ -186,6 +199,7 @@ mod tests {
         assert_eq!(d.seek_ops, 0);
         assert_eq!(d.bytes_read, 500);
         assert_eq!(d.bytes_written, 200);
+        assert_eq!(d.evictions, 3);
     }
 
     #[test]

@@ -20,14 +20,18 @@
 //!   on-disk record.
 //! * [`record_file`] — buffered sequential record files with I/O accounting.
 //! * [`external_sort`] — bounded-memory external merge sort.
-//! * [`node_store`] — a disk-backed keyed record store (append log + offset
-//!   index) used for the DFS algorithm's per-node state.
+//! * [`backend`] — the pluggable [`StorageBackend`] trait with its shipped
+//!   implementations (append-only log file, plain memory, budget-bounded
+//!   block cache) and the [`StorageSpec`] deployment selector.
+//! * [`node_store`] — the typed keyed record store over any backend, used for
+//!   the disk-resident algorithms' per-node state.
 //! * [`paged_stack`] — a stack that spills to disk beyond a memory budget.
 //! * [`memory`] — a simple memory budget tracker shared by the above.
 //! * [`temp`] — scoped temporary directories for spill files.
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod codec;
 pub mod external_sort;
 pub mod io_stats;
@@ -37,6 +41,9 @@ pub mod paged_stack;
 pub mod record_file;
 pub mod temp;
 
+pub use backend::{
+    BlockCacheBackend, InMemoryBackend, LogFileBackend, StorageBackend, StorageSpec,
+};
 pub use codec::{Decode, Encode};
 pub use external_sort::{ExternalSorter, SortConfig};
 pub use io_stats::{IoScope, IoSnapshot, IoStats};
@@ -82,5 +89,34 @@ impl From<std::io::Error> for StorageError {
     }
 }
 
+impl From<StorageError> for std::io::Error {
+    fn from(e: StorageError) -> Self {
+        match e {
+            // Unwrap rather than nest: the original error kind survives.
+            StorageError::Io(io) => io,
+            other => std::io::Error::other(other),
+        }
+    }
+}
+
 /// Convenience result alias for storage operations.
 pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_error_converts_into_io_error_and_back() {
+        // Io unwraps to the original error, preserving its kind.
+        let io: std::io::Error =
+            StorageError::Io(std::io::Error::new(std::io::ErrorKind::NotFound, "gone")).into();
+        assert_eq!(io.kind(), std::io::ErrorKind::NotFound);
+        // Non-Io variants wrap, keeping the message and source chain.
+        let io: std::io::Error = StorageError::Corrupt("truncated frame".into()).into();
+        assert!(io.to_string().contains("truncated frame"));
+        assert!(io.get_ref().is_some(), "source must be preserved");
+        let back: StorageError = std::io::Error::other("boom").into();
+        assert!(matches!(back, StorageError::Io(_)));
+    }
+}

@@ -1,73 +1,93 @@
-//! Disk-backed keyed record store.
+//! Typed keyed record store over a pluggable [`StorageBackend`].
 //!
 //! The DFS stable-cluster algorithm (Algorithm 3) keeps, *on disk*, for every
 //! cluster node: a visited flag, the `maxweight` table and the `bestpaths`
 //! heaps. Whenever a node is pushed on the stack its state is read with one
 //! random I/O, and when it is popped the state is written back with another.
-//! [`NodeStore`] models exactly that access pattern: an append-only log file
-//! plus an in-memory index from key to the offset of the latest version of
-//! the record. Every `get` counts one seek and one read; every `put` counts
-//! one write.
+//! [`NodeStore`] models exactly that access pattern as a typed map: keys and
+//! values travel through the [`codec`](crate::codec) and land in whichever
+//! [`StorageBackend`] the deployment selected via a
+//! [`StorageSpec`](crate::backend::StorageSpec) — the paper's append-only log
+//! file, plain memory, or a budget-bounded block cache.
 
-use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::hash::Hash;
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::marker::PhantomData;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
-use crate::codec::{read_varint, write_varint, Decode, Encode};
-use crate::{io_stats, Result, StorageError};
+use crate::backend::{LogFileBackend, StorageBackend, StorageSpec};
+use crate::codec::{Decode, Encode};
+use crate::{Result, StorageError};
 
-/// A disk-backed map from keys to encodable records with random access.
+/// A typed map from keys to encodable records with random access, backed by
+/// an exchangeable [`StorageBackend`].
 ///
-/// Updated records are appended (log-structured); the index always points at
-/// the latest version. [`NodeStore::compact`] rewrites the log dropping stale
-/// versions.
-#[derive(Debug)]
+/// Updated records replace prior versions logically; log-structured backends
+/// append and keep stale bytes around until [`NodeStore::compact`] reclaims
+/// them.
 pub struct NodeStore<K, V> {
-    path: PathBuf,
-    file: File,
-    index: HashMap<K, (u64, u32)>,
-    tail: u64,
+    backend: Box<dyn StorageBackend>,
     puts: u64,
     gets: u64,
-    _marker: PhantomData<V>,
+    _marker: PhantomData<fn() -> (K, V)>,
+}
+
+impl<K, V> std::fmt::Debug for NodeStore<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeStore")
+            .field("backend", &self.backend.name())
+            .field("len", &self.backend.len())
+            .field("puts", &self.puts)
+            .field("gets", &self.gets)
+            .finish()
+    }
 }
 
 impl<K, V> NodeStore<K, V>
 where
-    K: Eq + Hash + Clone + Encode + Decode,
+    K: Encode + Decode,
     V: Encode + Decode,
 {
-    /// Create a new, empty store backed by a file at `path`.
-    pub fn create<P: AsRef<Path>>(path: P) -> Result<Self> {
-        let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new()
-            .create(true)
-            .read(true)
-            .write(true)
-            .truncate(true)
-            .open(&path)?;
-        Ok(NodeStore {
-            path,
-            file,
-            index: HashMap::new(),
-            tail: 0,
+    /// Wrap an existing backend.
+    pub fn with_backend(backend: Box<dyn StorageBackend>) -> Self {
+        NodeStore {
+            backend,
             puts: 0,
             gets: 0,
             _marker: PhantomData,
-        })
+        }
+    }
+
+    /// Create a store over the backend described by `spec`, with any scratch
+    /// files living in a temporary directory owned by the backend.
+    pub fn temp(spec: StorageSpec, prefix: &str) -> Result<Self> {
+        Ok(Self::with_backend(spec.open_temp(prefix)?))
+    }
+
+    /// Create a new, empty log-file-backed store at `path` (the historical
+    /// default backend).
+    pub fn create<P: AsRef<Path>>(path: P) -> Result<Self> {
+        Ok(Self::with_backend(Box::new(LogFileBackend::create(path)?)))
+    }
+
+    /// Reopen a log-file-backed store at `path`, rebuilding the index by
+    /// scanning the log. A truncated tail is recovered by dropping the
+    /// partial final record; structural corruption is an error.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        Ok(Self::with_backend(Box::new(LogFileBackend::open(path)?)))
+    }
+
+    /// The underlying backend (for I/O accounting and diagnostics).
+    pub fn backend(&self) -> &dyn StorageBackend {
+        self.backend.as_ref()
     }
 
     /// Number of distinct keys stored.
     pub fn len(&self) -> usize {
-        self.index.len()
+        self.backend.len()
     }
 
     /// True if the store holds no keys.
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.backend.is_empty()
     }
 
     /// Number of `put` operations performed (each is one logical write).
@@ -75,62 +95,30 @@ where
         self.puts
     }
 
-    /// Number of `get` operations performed (each is one seek + one read).
+    /// Number of `get` operations performed that found a record.
     pub fn get_count(&self) -> u64 {
         self.gets
     }
 
     /// Does the store contain `key`?
     pub fn contains(&self, key: &K) -> bool {
-        self.index.contains_key(key)
+        self.backend.contains(&key.to_bytes())
     }
 
     /// Store (or replace) the record for `key`.
     pub fn put(&mut self, key: &K, value: &V) -> Result<()> {
-        let mut payload = Vec::with_capacity(64);
-        value.encode(&mut payload);
-        let mut frame = Vec::with_capacity(payload.len() + 8);
-        write_varint(&mut frame, payload.len() as u64);
-        frame.extend_from_slice(&payload);
-        self.file.seek(SeekFrom::Start(self.tail))?;
-        self.file.write_all(&frame)?;
-        io_stats::global().record_write(frame.len() as u64);
-        self.index
-            .insert(key.clone(), (self.tail, payload.len() as u32));
-        self.tail += frame.len() as u64;
+        self.backend.put(&key.to_bytes(), &value.to_bytes())?;
         self.puts += 1;
         Ok(())
     }
 
     /// Fetch the record for `key`, or `None` if absent.
     pub fn get(&mut self, key: &K) -> Result<Option<V>> {
-        let (offset, len) = match self.index.get(key) {
-            Some(entry) => *entry,
-            None => return Ok(None),
+        let Some(payload) = self.backend.get(&key.to_bytes())? else {
+            return Ok(None);
         };
-        self.file.seek(SeekFrom::Start(offset))?;
-        io_stats::global().record_seek();
-        // Skip the length prefix: re-read it to find the payload start.
-        let mut prefix = [0u8; 10];
-        let to_read = prefix.len().min((self.tail - offset) as usize);
-        self.file.read_exact(&mut prefix[..to_read])?;
-        let mut slice: &[u8] = &prefix[..to_read];
-        let stored_len = read_varint(&mut slice)? as usize;
-        if stored_len != len as usize {
-            return Err(StorageError::Corrupt(format!(
-                "index length {len} does not match stored length {stored_len}"
-            )));
-        }
-        let prefix_len = to_read - slice.len();
-        self.file
-            .seek(SeekFrom::Start(offset + prefix_len as u64))?;
-        let mut payload = vec![0u8; stored_len];
-        self.file.read_exact(&mut payload)?;
-        io_stats::global().record_read(stored_len as u64);
         self.gets += 1;
-        let mut slice = payload.as_slice();
-        let value = V::decode(&mut slice)?;
-        Ok(Some(value))
+        V::from_bytes(&payload).map(Some)
     }
 
     /// Fetch the record for `key`, returning an error if it is missing.
@@ -142,49 +130,30 @@ where
             .ok_or_else(|| StorageError::MissingKey(format!("{key:?}")))
     }
 
-    /// All keys currently stored (unspecified order).
-    pub fn keys(&self) -> impl Iterator<Item = &K> {
-        self.index.keys()
+    /// Remove the record for `key`. Returns true when it was present.
+    pub fn delete(&mut self, key: &K) -> Result<bool> {
+        self.backend.delete(&key.to_bytes())
     }
 
-    /// Rewrite the log keeping only the latest version of every record.
-    /// Returns the number of bytes reclaimed.
+    /// All keys currently stored (unspecified order), decoded.
+    pub fn keys(&self) -> Result<Vec<K>> {
+        self.backend
+            .keys()
+            .into_iter()
+            .map(|bytes| K::from_bytes(&bytes))
+            .collect()
+    }
+
+    /// Reclaim space held by stale record versions. Returns the number of
+    /// bytes reclaimed (0 for backends that never hold stale data).
     pub fn compact(&mut self) -> Result<u64> {
-        let old_size = self.tail;
-        let tmp_path = self.path.with_extension("compact");
-        {
-            let mut out = OpenOptions::new()
-                .create(true)
-                .write(true)
-                .truncate(true)
-                .open(&tmp_path)?;
-            let mut new_index = HashMap::with_capacity(self.index.len());
-            let mut new_tail = 0u64;
-            let keys: Vec<K> = self.index.keys().cloned().collect();
-            for key in keys {
-                let value = self.get(&key)?.expect("indexed key must exist");
-                let mut payload = Vec::with_capacity(64);
-                value.encode(&mut payload);
-                let mut frame = Vec::with_capacity(payload.len() + 8);
-                write_varint(&mut frame, payload.len() as u64);
-                frame.extend_from_slice(&payload);
-                out.write_all(&frame)?;
-                io_stats::global().record_write(frame.len() as u64);
-                new_index.insert(key, (new_tail, payload.len() as u32));
-                new_tail += frame.len() as u64;
-            }
-            out.flush()?;
-            self.index = new_index;
-            self.tail = new_tail;
-        }
-        std::fs::rename(&tmp_path, &self.path)?;
-        self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
-        Ok(old_size.saturating_sub(self.tail))
+        self.backend.compact()
     }
 
-    /// Size of the backing log in bytes (including stale versions).
+    /// Bytes occupied by the backing storage (including stale versions for
+    /// log-structured backends).
     pub fn log_bytes(&self) -> u64 {
-        self.tail
+        self.backend.storage_bytes()
     }
 }
 
@@ -193,51 +162,106 @@ mod tests {
     use super::*;
     use crate::temp::TempDir;
 
-    #[test]
-    fn put_get_roundtrip() {
-        let dir = TempDir::new("nodestore").unwrap();
-        let mut store: NodeStore<u32, Vec<u64>> = NodeStore::create(dir.file("store.log")).unwrap();
-        store.put(&1, &vec![10, 20, 30]).unwrap();
-        store.put(&2, &vec![]).unwrap();
-        assert_eq!(store.get(&1).unwrap(), Some(vec![10, 20, 30]));
-        assert_eq!(store.get(&2).unwrap(), Some(vec![]));
-        assert_eq!(store.get(&3).unwrap(), None);
-        assert_eq!(store.len(), 2);
+    /// Run a test body once per backend kind.
+    fn for_each_spec(test: impl Fn(StorageSpec)) {
+        for spec in [
+            StorageSpec::Memory,
+            StorageSpec::LogFile,
+            StorageSpec::BlockCache { budget_bytes: 512 },
+        ] {
+            test(spec);
+        }
     }
 
     #[test]
-    fn overwrite_returns_latest() {
-        let dir = TempDir::new("nodestore").unwrap();
-        let mut store: NodeStore<u32, String> = NodeStore::create(dir.file("s.log")).unwrap();
-        store.put(&7, &"first".to_string()).unwrap();
-        store.put(&7, &"second".to_string()).unwrap();
-        assert_eq!(store.get(&7).unwrap(), Some("second".to_string()));
-        assert_eq!(store.len(), 1);
+    fn put_get_roundtrip_on_every_backend() {
+        for_each_spec(|spec| {
+            let mut store: NodeStore<u32, Vec<u64>> = NodeStore::temp(spec, "nodestore").unwrap();
+            store.put(&1, &vec![10, 20, 30]).unwrap();
+            store.put(&2, &vec![]).unwrap();
+            assert_eq!(store.get(&1).unwrap(), Some(vec![10, 20, 30]), "{spec}");
+            assert_eq!(store.get(&2).unwrap(), Some(vec![]), "{spec}");
+            assert_eq!(store.get(&3).unwrap(), None, "{spec}");
+            assert_eq!(store.len(), 2, "{spec}");
+        });
+    }
+
+    #[test]
+    fn overwrite_returns_latest_on_every_backend() {
+        for_each_spec(|spec| {
+            let mut store: NodeStore<u32, String> = NodeStore::temp(spec, "nodestore").unwrap();
+            store.put(&7, &"first".to_string()).unwrap();
+            store.put(&7, &"second".to_string()).unwrap();
+            assert_eq!(store.get(&7).unwrap(), Some("second".to_string()), "{spec}");
+            assert_eq!(store.len(), 1, "{spec}");
+        });
     }
 
     #[test]
     fn get_required_errors_on_missing() {
-        let dir = TempDir::new("nodestore").unwrap();
-        let mut store: NodeStore<u32, u32> = NodeStore::create(dir.file("s.log")).unwrap();
+        let mut store: NodeStore<u32, u32> = NodeStore::temp(StorageSpec::Memory, "ns").unwrap();
         assert!(store.get_required(&42).is_err());
     }
 
     #[test]
+    fn delete_and_keys_roundtrip() {
+        for_each_spec(|spec| {
+            let mut store: NodeStore<u32, u32> = NodeStore::temp(spec, "nodestore").unwrap();
+            for key in 0..10u32 {
+                store.put(&key, &(key * key)).unwrap();
+            }
+            assert!(store.delete(&4).unwrap(), "{spec}");
+            assert!(!store.delete(&4).unwrap(), "{spec}");
+            let mut keys = store.keys().unwrap();
+            keys.sort_unstable();
+            assert_eq!(keys, vec![0, 1, 2, 3, 5, 6, 7, 8, 9], "{spec}");
+        });
+    }
+
+    #[test]
     fn compact_reclaims_space_and_preserves_data() {
-        let dir = TempDir::new("nodestore").unwrap();
-        let mut store: NodeStore<u32, Vec<u32>> = NodeStore::create(dir.file("s.log")).unwrap();
-        for round in 0..5u32 {
+        // Only the log-structured backends accumulate stale versions.
+        for spec in [
+            StorageSpec::LogFile,
+            StorageSpec::BlockCache { budget_bytes: 4096 },
+        ] {
+            let mut store: NodeStore<u32, Vec<u32>> = NodeStore::temp(spec, "nodestore").unwrap();
+            for round in 0..5u32 {
+                for key in 0..20u32 {
+                    store.put(&key, &vec![round; 8]).unwrap();
+                }
+            }
+            let before = store.log_bytes();
+            let reclaimed = store.compact().unwrap();
+            assert!(reclaimed > 0, "{spec}");
+            assert!(store.log_bytes() < before, "{spec}");
             for key in 0..20u32 {
-                store.put(&key, &vec![round; 8]).unwrap();
+                assert_eq!(store.get(&key).unwrap(), Some(vec![4u32; 8]), "{spec}");
             }
         }
-        let before = store.log_bytes();
-        let reclaimed = store.compact().unwrap();
-        assert!(reclaimed > 0);
-        assert!(store.log_bytes() < before);
-        for key in 0..20u32 {
-            assert_eq!(store.get(&key).unwrap(), Some(vec![4u32; 8]));
+        // The memory backend never holds stale data: compaction is a no-op.
+        let mut store: NodeStore<u32, u32> = NodeStore::temp(StorageSpec::Memory, "ns").unwrap();
+        store.put(&1, &2).unwrap();
+        store.put(&1, &3).unwrap();
+        assert_eq!(store.compact().unwrap(), 0);
+        assert_eq!(store.get(&1).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn compact_through_reopen_keeps_records_readable() {
+        let dir = TempDir::new("nodestore-reopen").unwrap();
+        let path = dir.file("s.log");
+        {
+            let mut store: NodeStore<u32, String> = NodeStore::create(&path).unwrap();
+            for round in 0..3u32 {
+                store.put(&1, &format!("round-{round}")).unwrap();
+                store.put(&2, &"constant".to_string()).unwrap();
+            }
+            store.compact().unwrap();
         }
+        let mut reopened: NodeStore<u32, String> = NodeStore::open(&path).unwrap();
+        assert_eq!(reopened.get(&1).unwrap(), Some("round-2".to_string()));
+        assert_eq!(reopened.get(&2).unwrap(), Some("constant".to_string()));
     }
 
     #[test]
@@ -248,17 +272,24 @@ mod tests {
         let _ = store.get(&1).unwrap();
         assert_eq!(store.put_count(), 1);
         assert_eq!(store.get_count(), 1);
+        let io = store.backend().io_snapshot();
+        assert!(io.write_ops >= 1 && io.read_ops >= 1);
     }
 
     #[test]
     fn many_keys_random_access() {
-        let dir = TempDir::new("nodestore").unwrap();
-        let mut store: NodeStore<u64, (u64, f64)> = NodeStore::create(dir.file("s.log")).unwrap();
-        for key in 0..500u64 {
-            store.put(&key, &(key * 2, key as f64 / 7.0)).unwrap();
-        }
-        for key in (0..500u64).rev().step_by(7) {
-            assert_eq!(store.get(&key).unwrap(), Some((key * 2, key as f64 / 7.0)));
-        }
+        for_each_spec(|spec| {
+            let mut store: NodeStore<u64, (u64, f64)> = NodeStore::temp(spec, "nodestore").unwrap();
+            for key in 0..500u64 {
+                store.put(&key, &(key * 2, key as f64 / 7.0)).unwrap();
+            }
+            for key in (0..500u64).rev().step_by(7) {
+                assert_eq!(
+                    store.get(&key).unwrap(),
+                    Some((key * 2, key as f64 / 7.0)),
+                    "{spec}"
+                );
+            }
+        });
     }
 }

@@ -1,0 +1,84 @@
+//! Storage backends: run the same disk-resident solver over every shipped
+//! `StorageSpec` and compare the I/O each backend performs — the answers are
+//! byte-identical, only the memory/I-O trade-off moves.
+//!
+//! ```text
+//! cargo run --release --example storage_backends [memory|logfile|blockcache[:<bytes>]]
+//! ```
+//!
+//! With an argument, only that backend runs (same strings as `repro
+//! --backend` and the `BSC_STORAGE_BACKEND` CI matrix). See
+//! `docs/storage.md` for how the block-cache budget maps onto the paper's
+//! memory-limited experiments.
+
+use blogstable::core::dfs::{DfsConfig, DfsStableClusters};
+use blogstable::prelude::*;
+use blogstable::storage::io_stats;
+
+fn main() {
+    let backends: Vec<StorageSpec> = match std::env::args().nth(1) {
+        Some(arg) => match StorageSpec::parse(&arg) {
+            Some(spec) => vec![spec],
+            None => {
+                eprintln!("unknown backend '{arg}' (expected memory, logfile, blockcache or blockcache:<bytes>)");
+                std::process::exit(2);
+            }
+        },
+        None => {
+            let mut all = StorageSpec::ALL.to_vec();
+            // A deliberately starved cache to show eviction pressure.
+            all.push(StorageSpec::BlockCache { budget_bytes: 8192 });
+            all
+        }
+    };
+
+    let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+        num_intervals: 6,
+        nodes_per_interval: 60,
+        avg_out_degree: 4,
+        gap: 1,
+        seed: 2007,
+    })
+    .generate();
+    let params = KlStableParams::full_paths(5, graph.num_intervals());
+    println!(
+        "cluster graph: {} nodes, {} edges; top-{} full paths via disk-resident DFS\n",
+        graph.num_nodes(),
+        graph.num_edges(),
+        params.k
+    );
+    println!(
+        "{:>20}  {:>8} {:>8} {:>10} {:>10}  best path weight",
+        "backend", "reads", "writes", "evictions", "KiB moved"
+    );
+
+    let mut reference: Option<Vec<ClusterPath>> = None;
+    for spec in backends {
+        let before = io_stats::global().snapshot();
+        let paths = DfsStableClusters::with_config(params, DfsConfig::default().with_storage(spec))
+            .run(&graph)
+            .expect("dfs run");
+        let io = io_stats::global().snapshot().delta(&before);
+        println!(
+            "{:>20}  {:>8} {:>8} {:>10} {:>10}  {:.3}",
+            spec.to_string(),
+            io.read_ops,
+            io.write_ops,
+            io.evictions,
+            io.total_bytes() / 1024,
+            paths.first().map(ClusterPath::weight).unwrap_or(0.0),
+        );
+        // The backend must never change the answer.
+        match &reference {
+            None => reference = Some(paths),
+            Some(expected) => {
+                assert_eq!(expected.len(), paths.len(), "{spec}");
+                for (a, b) in expected.iter().zip(paths.iter()) {
+                    assert_eq!(a.nodes(), b.nodes(), "{spec}");
+                    assert_eq!(a.weight().to_bits(), b.weight().to_bits(), "{spec}");
+                }
+            }
+        }
+    }
+    println!("\nall backends returned byte-identical top-k paths");
+}

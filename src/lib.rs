@@ -94,7 +94,7 @@ pub mod prelude {
         path::ClusterPath,
         pipeline::{Pipeline, PipelineOutcome, PipelineParams},
         problem::{KlStableParams, NormalizedParams, StableClusterSpec},
-        solver::{AlgorithmKind, Solution, SolverStats, StableClusterSolver},
+        solver::{AlgorithmKind, Solution, SolverOptions, SolverStats, StableClusterSolver},
         streaming::OnlineStableClusters,
         synthetic::{ClusterGraphGenerator, SyntheticGraphParams},
         ta::TaStableClusters,
@@ -110,4 +110,5 @@ pub mod prelude {
         keyword_graph::{KeywordGraph, KeywordGraphBuilder},
         prune::{PruneConfig, PruneStats},
     };
+    pub use bsc_storage::backend::{StorageBackend, StorageSpec};
 }

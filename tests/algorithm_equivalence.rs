@@ -7,10 +7,11 @@
 use blogstable::baselines::exhaustive::ExhaustiveSolver;
 use blogstable::core::path::ClusterPath;
 use blogstable::core::problem::{KlStableParams, StableClusterSpec};
-use blogstable::core::solver::{AlgorithmKind, StableClusterSolver};
+use blogstable::core::solver::{AlgorithmKind, SolverOptions, StableClusterSolver};
 use blogstable::core::streaming::OnlineStableClusters;
 use blogstable::core::synthetic::{ClusterGraphGenerator, SyntheticGraphParams};
 use blogstable::core::ClusterGraph;
+use blogstable::storage::StorageSpec;
 
 use bsc_util::DetRng;
 
@@ -132,6 +133,57 @@ fn normalized_solver_matches_oracle() {
                     &graph,
                     &format!("seed={seed} l_min={l_min}"),
                 );
+            }
+        }
+    }
+}
+
+/// The disk-resident solver must match the oracle under every storage
+/// backend, driven through the same `build_with_options` dispatch the
+/// pipeline uses. `BSC_STORAGE_BACKEND` (when set, as in the CI matrix)
+/// additionally pins one backend so a per-backend regression fails the suite
+/// run dedicated to that backend.
+#[test]
+fn disk_resident_solvers_match_oracle_under_every_backend() {
+    let mut backends: Vec<StorageSpec> = StorageSpec::ALL.to_vec();
+    backends.push(StorageSpec::BlockCache { budget_bytes: 2048 });
+    if let Ok(name) = std::env::var("BSC_STORAGE_BACKEND") {
+        let pinned = StorageSpec::parse(&name)
+            .unwrap_or_else(|| panic!("unparseable BSC_STORAGE_BACKEND: {name:?}"));
+        if !backends.contains(&pinned) {
+            backends.push(pinned);
+        }
+    }
+    for seed in 0..3 {
+        let graph = generate(5, 6, 1, 5000 + seed);
+        for spec in [
+            StableClusterSpec::FullPaths,
+            StableClusterSpec::ExactLength(2),
+        ] {
+            let expected = oracle(spec, 4, &graph);
+            for &backend in &backends {
+                let mut solver = AlgorithmKind::Dfs
+                    .build_with_options(
+                        spec,
+                        4,
+                        graph.num_intervals(),
+                        SolverOptions::default().storage(backend),
+                    )
+                    .expect("supported combination");
+                let got = solver.solve(&graph).expect("solver run").paths;
+                assert_eq!(
+                    expected.len(),
+                    got.len(),
+                    "seed={seed} {spec:?} {backend}: result counts differ"
+                );
+                for (e, g) in expected.iter().zip(got.iter()) {
+                    assert!(
+                        (e.weight() - g.weight()).abs() < 1e-9,
+                        "seed={seed} {spec:?} {backend}: {} vs {}",
+                        e.weight(),
+                        g.weight()
+                    );
+                }
             }
         }
     }

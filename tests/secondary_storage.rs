@@ -1,7 +1,13 @@
 //! Integration tests for the secondary-storage paths: the disk-based
 //! variants of every algorithm must produce exactly the same answers as their
-//! in-memory counterparts, and the external-sort pair counter must agree with
-//! the hash-map counter on a realistic corpus.
+//! in-memory counterparts — under *every* storage backend — and the
+//! external-sort pair counter must agree with the hash-map counter on a
+//! realistic corpus.
+//!
+//! The `BSC_STORAGE_BACKEND` environment variable (a
+//! [`StorageSpec`]-`parse`able string) selects the backend exercised by the
+//! env-pinned tests; CI runs this binary once per backend so a regression in
+//! one backend cannot hide behind the default.
 
 use blogstable::core::bfs::{BfsConfig, BfsStableClusters};
 use blogstable::core::dfs::{DfsConfig, DfsStableClusters};
@@ -15,6 +21,18 @@ use blogstable::graph::prune::PruneConfig;
 use blogstable::prelude::*;
 use blogstable::storage::external_sort::SortConfig;
 use blogstable::storage::io_stats;
+use blogstable::storage::io_stats::IoSnapshot;
+use blogstable::storage::NodeStore;
+
+/// The backend under test: `BSC_STORAGE_BACKEND` when set (CI runs the
+/// matrix), the paper's log file otherwise.
+fn spec_from_env() -> StorageSpec {
+    match std::env::var("BSC_STORAGE_BACKEND") {
+        Ok(name) => StorageSpec::parse(&name)
+            .unwrap_or_else(|| panic!("unparseable BSC_STORAGE_BACKEND: {name:?}")),
+        Err(_) => StorageSpec::LogFile,
+    }
+}
 
 #[test]
 fn external_pair_counting_matches_in_memory_on_synthetic_day() {
@@ -72,7 +90,7 @@ fn spillable_biconnected_components_match_in_memory_on_pruned_graph() {
 }
 
 #[test]
-fn on_disk_bfs_and_dfs_match_in_memory_and_perform_io() {
+fn store_backed_bfs_and_dfs_match_in_memory_and_perform_io() {
     let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
         num_intervals: 5,
         nodes_per_interval: 20,
@@ -82,27 +100,172 @@ fn on_disk_bfs_and_dfs_match_in_memory_and_perform_io() {
     })
     .generate();
     let params = KlStableParams::new(5, 3);
+    let spec = spec_from_env();
 
     let before = io_stats::global().snapshot();
-    let bfs_disk = BfsStableClusters::with_config(params, BfsConfig::on_disk())
+    let bfs_stored = BfsStableClusters::with_config(params, BfsConfig::store_backed(spec))
         .run(&graph)
         .unwrap();
-    let dfs_disk = DfsStableClusters::new(params).run(&graph).unwrap();
+    let dfs_stored =
+        DfsStableClusters::with_config(params, DfsConfig::default().with_storage(spec))
+            .run(&graph)
+            .unwrap();
     let io = io_stats::global().snapshot().delta(&before);
-    assert!(io.read_ops > 0, "disk variants should report read I/O");
-    assert!(io.write_ops > 0, "disk variants should report write I/O");
+    if spec != StorageSpec::Memory {
+        // The memory backend is the one backend that legitimately performs
+        // no real I/O; every file-backed one must account for it.
+        assert!(io.read_ops > 0, "{spec} should report read I/O");
+        assert!(io.write_ops > 0, "{spec} should report write I/O");
+    }
 
     let bfs_memory = BfsStableClusters::new(params).run(&graph).unwrap();
     let dfs_memory = DfsStableClusters::with_config(params, DfsConfig::in_memory())
         .run(&graph)
         .unwrap();
-    assert_eq!(bfs_disk.len(), bfs_memory.len());
-    assert_eq!(dfs_disk.len(), dfs_memory.len());
-    for (a, b) in bfs_disk.iter().zip(bfs_memory.iter()) {
+    assert_eq!(bfs_stored.len(), bfs_memory.len());
+    assert_eq!(dfs_stored.len(), dfs_memory.len());
+    for (a, b) in bfs_stored.iter().zip(bfs_memory.iter()) {
         assert!((a.weight() - b.weight()).abs() < 1e-9);
     }
-    for (a, b) in dfs_disk.iter().zip(dfs_memory.iter()) {
+    for (a, b) in dfs_stored.iter().zip(dfs_memory.iter()) {
         assert!((a.weight() - b.weight()).abs() < 1e-9);
+    }
+}
+
+/// The acceptance bar of the storage redesign: BFS(store-backed) and DFS
+/// return *byte-identical* `Solution` paths under every shipped backend.
+#[test]
+fn all_backends_produce_byte_identical_solutions() {
+    let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+        num_intervals: 6,
+        nodes_per_interval: 18,
+        avg_out_degree: 3,
+        gap: 1,
+        seed: 424,
+    })
+    .generate();
+    // A deliberately tiny block-cache budget so eviction paths are on.
+    let backends = [
+        StorageSpec::Memory,
+        StorageSpec::LogFile,
+        StorageSpec::BlockCache { budget_bytes: 2048 },
+    ];
+    for l in [2, 4] {
+        let params = KlStableParams::new(5, l);
+        let mut bfs_reference: Option<Vec<ClusterPath>> = None;
+        let mut dfs_reference: Option<Vec<ClusterPath>> = None;
+        for spec in backends {
+            let bfs = BfsStableClusters::with_config(params, BfsConfig::store_backed(spec))
+                .run(&graph)
+                .unwrap();
+            let dfs =
+                DfsStableClusters::with_config(params, DfsConfig::default().with_storage(spec))
+                    .run(&graph)
+                    .unwrap();
+            for (reference, got, algo) in [
+                (&mut bfs_reference, bfs, "bfs"),
+                (&mut dfs_reference, dfs, "dfs"),
+            ] {
+                match reference {
+                    None => *reference = Some(got),
+                    Some(expected) => {
+                        assert_eq!(expected.len(), got.len(), "{algo} l={l} {spec}");
+                        for (a, b) in expected.iter().zip(got.iter()) {
+                            assert_eq!(a.nodes(), b.nodes(), "{algo} l={l} {spec}");
+                            assert_eq!(
+                                a.weight().to_bits(),
+                                b.weight().to_bits(),
+                                "{algo} l={l} {spec}: weights must be byte-identical"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Every backend's own `io_snapshot` counters must be monotone under a
+/// workload of interleaved puts and gets through the typed `NodeStore`.
+#[test]
+fn backend_io_snapshots_are_monotone() {
+    for spec in [
+        StorageSpec::Memory,
+        StorageSpec::LogFile,
+        StorageSpec::BlockCache { budget_bytes: 1024 },
+    ] {
+        let mut store: NodeStore<u64, Vec<u64>> = NodeStore::temp(spec, "monotone").unwrap();
+        let mut previous = store.backend().io_snapshot();
+        for round in 0..20u64 {
+            for key in 0..25u64 {
+                store.put(&key, &vec![round; 12]).unwrap();
+            }
+            for key in (0..25u64).step_by(3) {
+                assert_eq!(store.get(&key).unwrap(), Some(vec![round; 12]), "{spec}");
+            }
+            let snapshot = store.backend().io_snapshot();
+            let monotone = |now: u64, before: u64| now >= before;
+            assert!(
+                monotone(snapshot.read_ops, previous.read_ops)
+                    && monotone(snapshot.write_ops, previous.write_ops)
+                    && monotone(snapshot.seek_ops, previous.seek_ops)
+                    && monotone(snapshot.bytes_read, previous.bytes_read)
+                    && monotone(snapshot.bytes_written, previous.bytes_written)
+                    && monotone(snapshot.evictions, previous.evictions),
+                "{spec}: counters must never decrease ({previous:?} -> {snapshot:?})"
+            );
+            previous = snapshot;
+        }
+        assert!(previous.write_ops > 0, "{spec}: writes must be accounted");
+        assert!(previous.read_ops > 0, "{spec}: reads must be accounted");
+        // Compaction keeps accounting monotone too.
+        store.compact().unwrap();
+        let after = store.backend().io_snapshot();
+        assert!(after.write_ops >= previous.write_ops, "{spec}");
+    }
+}
+
+/// A block cache with a starvation budget must evict (visibly in the
+/// backend's `IoSnapshot`) yet still answer byte-identically; a roomy budget
+/// must not evict at all.
+#[test]
+fn block_cache_budget_controls_evictions_not_answers() {
+    let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+        num_intervals: 5,
+        nodes_per_interval: 15,
+        avg_out_degree: 3,
+        gap: 0,
+        seed: 7,
+    })
+    .generate();
+    let params = KlStableParams::new(4, 3);
+    let run = |budget_bytes: usize| -> (Vec<ClusterPath>, IoSnapshot) {
+        let before = io_stats::global().snapshot();
+        let paths = DfsStableClusters::with_config(
+            params,
+            DfsConfig::default().with_storage(StorageSpec::BlockCache { budget_bytes }),
+        )
+        .run(&graph)
+        .unwrap();
+        (paths, io_stats::global().snapshot().delta(&before))
+    };
+    // Two 4 KiB pages: small enough to thrash, big enough to admit pages
+    // (a budget below one page size caches nothing and so evicts nothing).
+    // The eviction assertion reads the process-global counters, so it is a
+    // monotone smoke only (concurrent tests can add but never remove
+    // evictions); the authoritative budget/eviction accounting check runs on
+    // backend-local counters in bsc-storage's
+    // `block_cache_respects_budget_and_reports_evictions` unit test.
+    let (tight_paths, tight_io) = run(8192);
+    let (roomy_paths, _) = run(64 << 20);
+    assert!(
+        tight_io.evictions > 0,
+        "an 8 KiB budget must evict: {tight_io:?}"
+    );
+    assert_eq!(tight_paths.len(), roomy_paths.len());
+    for (a, b) in tight_paths.iter().zip(roomy_paths.iter()) {
+        assert_eq!(a.nodes(), b.nodes());
+        assert_eq!(a.weight().to_bits(), b.weight().to_bits());
     }
 }
 
