@@ -240,6 +240,68 @@ pub fn table3_ablation(scale: Scale) -> Table {
     table
 }
 
+/// Table 3 sharding ablation: the partition-then-merge sharded solver vs
+/// the unsharded BFS on identical graphs and queries. The per-start window
+/// decomposition re-scans edges once per window, so single-core wall clock
+/// is expected to be *higher* than unsharded BFS — what the row demonstrates
+/// is (a) byte-identical results (verified before timing), (b) shard workers
+/// running concurrently when cores allow, and (c) the per-shard working set
+/// shrinking with the shard count (the EMBANKS-style reason to shard at
+/// all). `shards` comes from `repro --shards <n>` (default 3).
+pub fn table3_sharded(scale: Scale, shards: usize) -> Table {
+    let n = scale.pick(800, 2_000);
+    let (m, d, g, k) = (12usize, 5u32, 1u32, 5usize);
+    let graph = cluster_graph(m, n, d, g, SEED);
+    let mut table = Table::new(
+        format!("Table 3 sharding: unsharded BFS vs ShardedSolver (shards={shards})"),
+        &[
+            "workload",
+            "BFS(s)",
+            &format!("sharded@{shards}(s)"),
+            "ratio",
+            "shard ranges",
+        ],
+    );
+    for l in [3u32, 6] {
+        let spec = StableClusterSpec::ExactLength(l);
+        let mut unsharded = AlgorithmKind::Bfs
+            .build(spec, k, graph.num_intervals())
+            .expect("bfs supports exact lengths");
+        let (base, base_time) = timed(|| unsharded.solve(&graph).expect("unsharded solve"));
+        let mut sharded = AlgorithmKind::Bfs
+            .build_with_options(
+                spec,
+                k,
+                graph.num_intervals(),
+                SolverOptions::default().shards(shards),
+            )
+            .expect("sharded build");
+        let (merged, sharded_time) = timed(|| sharded.solve(&graph).expect("sharded solve"));
+        assert_paths_identical(
+            &base.paths,
+            &merged.paths,
+            &format!("shards={shards} l={l}"),
+        );
+        table.push_row(vec![
+            format!("subpaths l={l}"),
+            seconds(base_time),
+            seconds(sharded_time),
+            format!(
+                "{:.2}x",
+                sharded_time.as_secs_f64() / base_time.as_secs_f64().max(1e-9)
+            ),
+            merged.stats.shards.to_string(),
+        ]);
+    }
+    table.push_note(format!(
+        "m = {m}, n = {n}, d = {d}, g = {g}, k = {k}; byte-identical top-k verified before timing"
+    ));
+    table.push_note(
+        "sharding trades duplicated window scans for independent shards (own threads, own storage backends); the win is memory locality and multi-core, not single-core speed",
+    );
+    table
+}
+
 fn assert_paths_equal(a: &[ClusterPath], b: &[ClusterPath], context: &str) {
     assert_eq!(a.len(), b.len(), "{context}: result counts differ");
     for (x, y) in a.iter().zip(b.iter()) {
@@ -872,18 +934,20 @@ pub fn streaming_ablation(scale: Scale) -> Table {
 
 /// All experiments in paper order.
 pub fn all(scale: Scale) -> Vec<Table> {
-    all_with_backends(scale, &StorageSpec::ALL)
+    all_with_backends(scale, &StorageSpec::ALL, 3)
 }
 
 /// All experiments, with the storage-backend comparison restricted to
-/// `backends` (the repro binary's `--backend` flag).
-pub fn all_with_backends(scale: Scale, backends: &[StorageSpec]) -> Vec<Table> {
+/// `backends` (the repro binary's `--backend` flag) and the sharding
+/// ablation run at `shards` shards (`--shards`).
+pub fn all_with_backends(scale: Scale, backends: &[StorageSpec], shards: usize) -> Vec<Table> {
     let mut tables = vec![
         table1(scale),
         table2_io(scale, backends),
         fig6(scale),
         table3(scale),
         table3_ablation(scale),
+        table3_sharded(scale, shards),
         fig7(scale),
         fig8(scale),
         fig9(scale),
@@ -940,6 +1004,17 @@ mod tests {
         assert!(table.cell(0, "BFS(s)").is_some());
         assert!(table.cell(0, "DFS(s)").is_some());
         assert!(table.cell(0, "TA(s)").is_some());
+    }
+
+    #[test]
+    fn table3_sharded_verifies_and_reports_both_workloads() {
+        // The experiment itself asserts byte-identical results before
+        // emitting any timing, so reaching the assertions below means the
+        // sharded merge matched the unsharded solve.
+        let table = table3_sharded(Scale::Quick, 2);
+        assert_eq!(table.num_rows(), 2);
+        assert!(table.cell(0, "sharded@2(s)").is_some());
+        assert_eq!(table.cell(0, "shard ranges"), Some("2"));
     }
 
     #[test]

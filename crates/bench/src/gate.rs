@@ -1,0 +1,395 @@
+//! The CI bench-regression gate.
+//!
+//! `BENCH_table3.json` records the measured performance trajectory of the
+//! Table 3 workloads; nothing used to stop a PR from silently regressing
+//! it. The gate closes that hole: `repro gate` re-runs the `table3`
+//! experiments several times, takes the **per-cell median** (so one noisy
+//! run cannot fail the job), and compares every wall-clock cell against the
+//! checked-in baseline. A cell regresses when it is both *relatively* slower
+//! than the tolerance (default +25%) and *absolutely* slower than a small
+//! floor (default 50 ms — sub-floor cells measure timer noise, not work).
+//!
+//! Only columns whose header ends in `(s)` are compared; non-numeric cells
+//! (`"> skipped"`) and derived columns (speedup ratios) are ignored. A
+//! baseline table or row that disappeared from the fresh run also fails the
+//! gate — a deleted benchmark must be removed from the baseline explicitly,
+//! never silently.
+//!
+//! The comparison logic is pure (tables in, report out) so the 2x-slowdown
+//! self-test below runs without timing anything.
+
+use crate::report::Table;
+
+/// Gate thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct GateConfig {
+    /// Maximum tolerated relative slowdown: `0.25` fails cells more than
+    /// 25% over baseline.
+    pub tolerance: f64,
+    /// Absolute floor in seconds: cells whose slowdown is below this are
+    /// never regressions, whatever the ratio (guards 1 ms cells).
+    pub min_slowdown_seconds: f64,
+    /// Ceiling for cells whose *baseline* is zero ("below timer
+    /// resolution"): the relative tolerance is meaningless against a zero
+    /// baseline, so those cells only fail when the fresh median exceeds
+    /// this absolute value.
+    pub zero_baseline_ceiling_seconds: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            tolerance: 0.25,
+            min_slowdown_seconds: 0.05,
+            zero_baseline_ceiling_seconds: 0.5,
+        }
+    }
+}
+
+/// One regressed wall-clock cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Title of the table the cell belongs to.
+    pub table: String,
+    /// The row key (first cell of the row).
+    pub row: String,
+    /// The column header.
+    pub column: String,
+    /// Baseline seconds.
+    pub baseline_seconds: f64,
+    /// Fresh (median) seconds.
+    pub fresh_seconds: f64,
+}
+
+impl Regression {
+    /// `fresh / baseline`.
+    pub fn ratio(&self) -> f64 {
+        self.fresh_seconds / self.baseline_seconds
+    }
+}
+
+/// The outcome of a gate comparison.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Cells slower than the thresholds allow.
+    pub regressions: Vec<Regression>,
+    /// Baseline tables or rows the fresh run no longer produces.
+    pub missing: Vec<String>,
+    /// Wall-clock cells compared.
+    pub compared_cells: usize,
+    /// `(s)`-column cells skipped because one side is non-numeric (e.g.
+    /// `"> skipped"`). Non-`(s)` columns are not counted either way.
+    pub skipped_cells: usize,
+}
+
+impl GateReport {
+    /// Did the fresh run pass the gate?
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+
+    /// A human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "bench gate: {} wall-clock cell(s) compared, {} skipped\n",
+            self.compared_cells, self.skipped_cells
+        ));
+        for missing in &self.missing {
+            out.push_str(&format!("  MISSING  {missing}\n"));
+        }
+        for r in &self.regressions {
+            let ratio = if r.baseline_seconds > 0.0 {
+                format!("{:.2}x", r.ratio())
+            } else {
+                "zero baseline".to_string()
+            };
+            out.push_str(&format!(
+                "  SLOWER   {} / {} / {}: {:.3}s -> {:.3}s ({ratio})\n",
+                r.table, r.row, r.column, r.baseline_seconds, r.fresh_seconds,
+            ));
+        }
+        if self.passed() {
+            out.push_str("  PASS: no regression beyond the thresholds\n");
+        } else {
+            out.push_str("  FAIL\n");
+        }
+        out
+    }
+}
+
+/// Is this a wall-clock column the gate should compare?
+fn is_time_column(header: &str) -> bool {
+    header.ends_with("(s)")
+}
+
+/// Compare a fresh run against the baseline.
+pub fn compare(baseline: &[Table], fresh: &[Table], config: GateConfig) -> GateReport {
+    let mut report = GateReport::default();
+    for base_table in baseline {
+        let Some(fresh_table) = fresh.iter().find(|t| t.title == base_table.title) else {
+            report.missing.push(format!("table {:?}", base_table.title));
+            continue;
+        };
+        // A baseline wall-clock column the fresh run no longer has is as
+        // loud a failure as a missing row: a renamed header must not
+        // silently disable comparison for its whole column.
+        for header in &base_table.headers {
+            if is_time_column(header) && !fresh_table.headers.iter().any(|h| h == header) {
+                report
+                    .missing
+                    .push(format!("column {header:?} of table {:?}", base_table.title));
+            }
+        }
+        for base_row in &base_table.rows {
+            let Some(row_key) = base_row.first() else {
+                continue;
+            };
+            let Some(fresh_row) = fresh_table.rows.iter().find(|r| r.first() == Some(row_key))
+            else {
+                report
+                    .missing
+                    .push(format!("row {row_key:?} of table {:?}", base_table.title));
+                continue;
+            };
+            for (column_index, header) in base_table.headers.iter().enumerate() {
+                if !is_time_column(header) {
+                    continue;
+                }
+                let Some(fresh_index) = fresh_table.headers.iter().position(|h| h == header) else {
+                    // Reported once per table above.
+                    continue;
+                };
+                let pair = base_row.get(column_index).zip(fresh_row.get(fresh_index));
+                let parsed = pair.and_then(|(b, f)| {
+                    b.trim()
+                        .parse::<f64>()
+                        .ok()
+                        .zip(f.trim().parse::<f64>().ok())
+                });
+                let Some((baseline_seconds, fresh_seconds)) = parsed else {
+                    report.skipped_cells += 1;
+                    continue;
+                };
+                report.compared_cells += 1;
+                // A zero baseline means "below the timer's resolution" — the
+                // relative tolerance is meaningless there (any positive value
+                // exceeds 0 × 1.25), so such cells only regress past a much
+                // larger absolute ceiling.
+                let regressed = if baseline_seconds <= 0.0 {
+                    fresh_seconds > config.zero_baseline_ceiling_seconds
+                } else {
+                    let over_ratio = fresh_seconds > baseline_seconds * (1.0 + config.tolerance);
+                    let over_floor = fresh_seconds - baseline_seconds > config.min_slowdown_seconds;
+                    over_ratio && over_floor
+                };
+                if regressed {
+                    report.regressions.push(Regression {
+                        table: base_table.title.clone(),
+                        row: row_key.clone(),
+                        column: header.clone(),
+                        baseline_seconds,
+                        fresh_seconds,
+                    });
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Reduce several runs of the same experiment set to one table set of
+/// per-cell medians. Wall-clock `(s)` cells are medianed directly; derived
+/// ratio cells (`"2.08x"`) are medianed over each run's *own consistent*
+/// ratio, so the emitted document never mixes one run's ratio with another
+/// run's times. Cells that are numeric in no or only some runs (e.g.
+/// `"> skipped"`) stay as the first run produced them. Runs are matched
+/// positionally — they come from the same binary executing the same targets
+/// back to back.
+pub fn median_tables(runs: &[Vec<Table>]) -> Vec<Table> {
+    let Some(first) = runs.first() else {
+        return Vec::new();
+    };
+    let mut out = first.clone();
+    for (table_index, table) in out.iter_mut().enumerate() {
+        for (row_index, row) in table.rows.iter_mut().enumerate() {
+            for (cell_index, cell) in row.iter_mut().enumerate() {
+                let is_ratio_cell = cell.ends_with('x') && !cell.is_empty();
+                match table.headers.get(cell_index) {
+                    Some(h) if is_time_column(h) => {}
+                    Some(_) if is_ratio_cell => {}
+                    _ => continue,
+                }
+                let parse = |text: &str| {
+                    let text = text.trim();
+                    text.strip_suffix('x').unwrap_or(text).parse::<f64>().ok()
+                };
+                let mut values: Vec<f64> = runs
+                    .iter()
+                    .filter_map(|run| {
+                        parse(run.get(table_index)?.rows.get(row_index)?.get(cell_index)?)
+                    })
+                    .collect();
+                if values.len() != runs.len() {
+                    continue;
+                }
+                values.sort_by(f64::total_cmp);
+                let median = values[values.len() / 2];
+                *cell = if is_ratio_cell {
+                    format!("{median:.2}x")
+                } else {
+                    format!("{median:.3}")
+                };
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(title: &str, rows: &[(&str, &str)]) -> Table {
+        let mut t = Table::new(title, &["m", "BFS(s)", "speedup"]);
+        for (key, time) in rows {
+            t.push_row(vec![key.to_string(), time.to_string(), "2.00x".to_string()]);
+        }
+        t
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let baseline = vec![table("T", &[("3", "0.100"), ("6", "0.500")])];
+        let report = compare(&baseline, &baseline, GateConfig::default());
+        assert!(report.passed(), "{}", report.render());
+        assert_eq!(report.compared_cells, 2);
+        // The speedup column is not a wall-clock column and is not counted
+        // either way.
+        assert_eq!(report.skipped_cells, 0);
+    }
+
+    /// The acceptance self-test: a synthetic 2x slowdown must fail the gate.
+    #[test]
+    fn synthetic_2x_slowdown_fails() {
+        let baseline = vec![table("T", &[("3", "0.100"), ("6", "0.500")])];
+        let fresh = vec![table("T", &[("3", "0.200"), ("6", "1.000")])];
+        let report = compare(&baseline, &fresh, GateConfig::default());
+        assert!(!report.passed());
+        assert_eq!(report.regressions.len(), 2);
+        assert!((report.regressions[0].ratio() - 2.0).abs() < 1e-9);
+        assert!(report.render().contains("SLOWER"));
+        assert!(report.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn speedups_and_small_absolute_noise_are_tolerated() {
+        let baseline = vec![table("T", &[("fast", "0.010"), ("slow", "1.000")])];
+        // 3x on a 10 ms cell (under the 50 ms floor), −50% on the slow cell.
+        let fresh = vec![table("T", &[("fast", "0.030"), ("slow", "0.500")])];
+        let report = compare(&baseline, &fresh, GateConfig::default());
+        assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn just_over_and_just_under_the_tolerance() {
+        let baseline = vec![table("T", &[("a", "1.000")])];
+        let under = vec![table("T", &[("a", "1.240")])];
+        assert!(compare(&baseline, &under, GateConfig::default()).passed());
+        let over = vec![table("T", &[("a", "1.260")])];
+        assert!(!compare(&baseline, &over, GateConfig::default()).passed());
+    }
+
+    #[test]
+    fn non_numeric_cells_are_skipped_not_failed() {
+        let baseline = vec![table("T", &[("9", "> skipped")])];
+        let fresh = vec![table("T", &[("9", "123.0")])];
+        let report = compare(&baseline, &fresh, GateConfig::default());
+        assert!(report.passed());
+        assert_eq!(report.skipped_cells, 1);
+        assert_eq!(report.compared_cells, 0);
+    }
+
+    #[test]
+    fn renamed_time_column_fails_instead_of_silently_skipping() {
+        let baseline = vec![table("T", &[("3", "0.100")])];
+        let mut renamed = Table::new("T", &["m", "BFS wall(s)", "speedup"]);
+        renamed.push_row(vec!["3".into(), "9.999".into(), "2.00x".into()]);
+        let report = compare(&baseline, &[renamed], GateConfig::default());
+        assert!(!report.passed());
+        assert_eq!(report.missing.len(), 1, "{:?}", report.missing);
+        assert!(report.missing[0].contains("column"), "{:?}", report.missing);
+        assert_eq!(report.compared_cells, 0);
+    }
+
+    #[test]
+    fn zero_baselines_use_the_absolute_ceiling_not_the_ratio() {
+        let baseline = vec![table("T", &[("3", "0.000")])];
+        // 51 ms of noise against a zero baseline: tolerated.
+        let noisy = vec![table("T", &[("3", "0.051")])];
+        let report = compare(&baseline, &noisy, GateConfig::default());
+        assert!(report.passed(), "{}", report.render());
+        // A genuine blowup past the ceiling still fails, and renders
+        // without a divide-by-zero ratio.
+        let blowup = vec![table("T", &[("3", "0.900")])];
+        let report = compare(&baseline, &blowup, GateConfig::default());
+        assert!(!report.passed());
+        assert!(
+            report.render().contains("zero baseline"),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn missing_tables_and_rows_fail_loudly() {
+        let baseline = vec![
+            table("kept", &[("3", "0.100"), ("6", "0.200")]),
+            table("dropped", &[("3", "0.100")]),
+        ];
+        let fresh = vec![table("kept", &[("3", "0.100")])];
+        let report = compare(&baseline, &fresh, GateConfig::default());
+        assert!(!report.passed());
+        assert_eq!(report.missing.len(), 2, "{:?}", report.missing);
+        assert!(report.render().contains("MISSING"));
+    }
+
+    #[test]
+    fn median_absorbs_one_noisy_run() {
+        let runs = vec![
+            vec![table("T", &[("3", "0.100")])],
+            vec![table("T", &[("3", "9.000")])], // the noisy outlier
+            vec![table("T", &[("3", "0.110")])],
+        ];
+        let median = median_tables(&runs);
+        assert_eq!(median[0].cell(0, "BFS(s)"), Some("0.110"));
+        // Derived ratio columns are medianed over per-run ratios too, so
+        // the document never pairs run 1's ratio with run 3's times.
+        assert_eq!(median[0].cell(0, "speedup"), Some("2.00x"));
+
+        let baseline = vec![table("T", &[("3", "0.100")])];
+        assert!(compare(&baseline, &median, GateConfig::default()).passed());
+    }
+
+    #[test]
+    fn median_of_ratio_cells_is_taken_per_run() {
+        let mut runs = Vec::new();
+        for ratio in ["2.50x", "1.90x", "2.10x"] {
+            let mut t = Table::new("T", &["m", "BFS(s)", "speedup"]);
+            t.push_row(vec!["3".into(), "0.100".into(), ratio.into()]);
+            runs.push(vec![t]);
+        }
+        let median = median_tables(&runs);
+        assert_eq!(median[0].cell(0, "speedup"), Some("2.10x"));
+    }
+
+    #[test]
+    fn median_keeps_non_numeric_cells_from_the_first_run() {
+        let mut skipped = table("T", &[("9", "> skipped")]);
+        skipped.push_note("note");
+        let runs = vec![vec![skipped.clone()], vec![skipped.clone()], vec![skipped]];
+        let median = median_tables(&runs);
+        assert_eq!(median[0].cell(0, "BFS(s)"), Some("> skipped"));
+        assert!(median_tables(&[]).is_empty());
+    }
+}

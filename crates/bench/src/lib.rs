@@ -12,7 +12,9 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod gate;
 pub mod harness;
+pub mod json;
 pub mod reference;
 pub mod report;
 pub mod workloads;

@@ -71,6 +71,19 @@ impl Table {
 /// Render a whole experiment run — scale, requested targets and every table
 /// produced — as a pretty-enough JSON document for checked-in baselines.
 pub fn tables_to_json(scale: &str, targets: &[&str], tables: &[Table]) -> String {
+    tables_to_json_with_error(scale, targets, tables, None)
+}
+
+/// Like [`tables_to_json`], with an optional `"error"` field recording that
+/// the run did not complete. `repro --json` emits this *partial* document
+/// when an experiment fails, so downstream tooling (the CI bench gate) can
+/// distinguish "slower" from "crashed" instead of finding no file at all.
+pub fn tables_to_json_with_error(
+    scale: &str,
+    targets: &[&str],
+    tables: &[Table],
+    error: Option<&str>,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"scale\": ");
     out.push_str(&json_string(scale));
@@ -78,6 +91,10 @@ pub fn tables_to_json(scale: &str, targets: &[&str], tables: &[Table]) -> String
     out.push_str(&json_string_array(
         &targets.iter().map(|t| t.to_string()).collect::<Vec<_>>(),
     ));
+    if let Some(error) = error {
+        out.push_str(",\n  \"error\": ");
+        out.push_str(&json_string(error));
+    }
     out.push_str(",\n  \"tables\": [");
     for (i, table) in tables.iter().enumerate() {
         if i > 0 {
@@ -88,6 +105,81 @@ pub fn tables_to_json(scale: &str, targets: &[&str], tables: &[Table]) -> String
     }
     out.push_str("\n  ]\n}\n");
     out
+}
+
+/// A parsed `repro --json` document: the reader side of
+/// [`tables_to_json_with_error`].
+#[derive(Debug, Clone)]
+pub struct BenchDoc {
+    /// The scale the run used (`"quick"` or `"paper"`).
+    pub scale: String,
+    /// The requested targets.
+    pub targets: Vec<String>,
+    /// Present when the run crashed before completing; the tables then hold
+    /// only what was produced up to the failure.
+    pub error: Option<String>,
+    /// Every table produced.
+    pub tables: Vec<Table>,
+}
+
+/// Parse a bench JSON document (e.g. the checked-in `BENCH_table3.json`).
+pub fn parse_bench_doc(text: &str) -> Result<BenchDoc, String> {
+    let value = crate::json::parse(text)?;
+    let string_list = |value: Option<&crate::json::JsonValue>, what: &str| {
+        value
+            .and_then(|v| v.as_array())
+            .map(|items| {
+                items
+                    .iter()
+                    .map(|item| {
+                        item.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| format!("non-string entry in {what}"))
+                    })
+                    .collect::<Result<Vec<String>, String>>()
+            })
+            .unwrap_or_else(|| Err(format!("missing or non-array {what}")))
+    };
+    let tables = value
+        .get("tables")
+        .and_then(|t| t.as_array())
+        .ok_or_else(|| "missing or non-array \"tables\"".to_string())?
+        .iter()
+        .map(|entry| {
+            let title = entry
+                .get("title")
+                .and_then(|t| t.as_str())
+                .ok_or_else(|| "table without a string \"title\"".to_string())?;
+            let headers = string_list(entry.get("headers"), "\"headers\"")?;
+            let rows = entry
+                .get("rows")
+                .and_then(|r| r.as_array())
+                .ok_or_else(|| format!("table {title:?} without \"rows\""))?
+                .iter()
+                .map(|row| string_list(Some(row), "a row"))
+                .collect::<Result<Vec<Vec<String>>, String>>()?;
+            let notes = string_list(entry.get("notes"), "\"notes\"")?;
+            Ok(Table {
+                title: title.to_string(),
+                headers,
+                rows,
+                notes,
+            })
+        })
+        .collect::<Result<Vec<Table>, String>>()?;
+    Ok(BenchDoc {
+        scale: value
+            .get("scale")
+            .and_then(|s| s.as_str())
+            .unwrap_or_default()
+            .to_string(),
+        targets: string_list(value.get("targets"), "\"targets\"").unwrap_or_default(),
+        error: value
+            .get("error")
+            .and_then(|e| e.as_str())
+            .map(str::to_string),
+        tables,
+    })
 }
 
 /// JSON string literal with the escapes the JSON grammar requires.
@@ -201,5 +293,31 @@ mod tests {
         assert!(doc.contains("\"scale\": \"quick\""));
         assert!(doc.contains("\"targets\": [\"table3\"]"));
         assert!(doc.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn bench_doc_round_trips_including_the_error_field() {
+        let mut table = Table::new("Table X: demo", &["m", "BFS(s)"]);
+        table.push_row(vec!["3".into(), "0.123".into()]);
+        table.push_note("a note");
+        let complete = tables_to_json("quick", &["table3"], &[table.clone()]);
+        let doc = parse_bench_doc(&complete).expect("well-formed document");
+        assert_eq!(doc.scale, "quick");
+        assert_eq!(doc.targets, vec!["table3".to_string()]);
+        assert_eq!(doc.error, None);
+        assert_eq!(doc.tables.len(), 1);
+        assert_eq!(doc.tables[0].title, table.title);
+        assert_eq!(doc.tables[0].headers, table.headers);
+        assert_eq!(doc.tables[0].rows, table.rows);
+        assert_eq!(doc.tables[0].notes, table.notes);
+
+        let partial =
+            tables_to_json_with_error("quick", &["table3"], &[table], Some("solver exploded"));
+        let doc = parse_bench_doc(&partial).expect("well-formed partial document");
+        assert_eq!(doc.error.as_deref(), Some("solver exploded"));
+        assert_eq!(doc.tables.len(), 1, "partial tables are preserved");
+
+        assert!(parse_bench_doc("{}").is_err());
+        assert!(parse_bench_doc("not json").is_err());
     }
 }

@@ -1,0 +1,413 @@
+//! `AlgorithmKind::Auto` — the solver selection policy.
+//!
+//! The paper's evaluation (Table 3, Figures 7–13) establishes a clear
+//! hierarchy: BFS is the fastest algorithm whenever its sliding window of
+//! per-node heaps fits in memory, the TA adaptation is competitive only for
+//! *full-path* queries over few intervals (its candidate space explodes
+//! beyond small `m`), and DFS — slowest, but needing only a stack in memory
+//! with per-node state on disk — is the algorithm of last resort for
+//! memory-constrained deployments. [`choose_algorithm`] encodes exactly that
+//! ranking: given the graph shape (`m`, `n`, `d`, `g`), the query and an
+//! optional memory budget, it picks the fastest algorithm whose estimated
+//! resident footprint fits.
+//!
+//! The crossover constants come from the measured `repro table3` trajectory
+//! checked in as `BENCH_table3.json`: at quick scale TA beats DFS up to
+//! m = 6 (0.033 s vs 0.070 s) and is skipped beyond (DFS 0.534 s at m = 9
+//! while TA explodes), so [`TA_CROSSOVER_INTERVALS`] is 6.
+//!
+//! Footprint estimates are deliberately coarse — deterministic arithmetic
+//! over the shape, not measurements — because the policy must be cheap,
+//! reproducible, and unit-testable at the crossover points. An unsatisfiable
+//! budget (even DFS's stack would not fit) is a configuration error,
+//! reported as [`BscError::InvalidConfig`], never a panic.
+
+use crate::cluster_graph::ClusterGraph;
+use crate::error::{BscError, BscResult};
+use crate::problem::StableClusterSpec;
+use crate::solver::{AlgorithmKind, Solution, SolverOptions, StableClusterSolver};
+
+/// Beyond this many temporal intervals the TA adaptation is never picked:
+/// the Table 3 measurements show it losing to DFS (and exploding soon
+/// after). Measured crossover, see `BENCH_table3.json`.
+pub const TA_CROSSOVER_INTERVALS: usize = 6;
+
+/// Estimated bytes per resident shared-path link: a `ClusterNodeId` (8), an
+/// `f64` weight (8), an `Arc` parent pointer (8), the refcounts (16) and
+/// allocator slack (16).
+const PATH_LINK_BYTES: u64 = 56;
+
+/// Estimated bytes per heap entry holding a scored path handle.
+const HEAP_ENTRY_BYTES: u64 = 24;
+
+/// The shape parameters of a cluster graph that drive algorithm selection —
+/// the paper's (m, n, d, g) axes, read off a built [`ClusterGraph`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphShape {
+    /// Number of temporal intervals `m`.
+    pub num_intervals: usize,
+    /// Maximum nodes in any single interval (the window estimate is driven
+    /// by the widest interval, not the average).
+    pub max_interval_nodes: u64,
+    /// Total nodes across all intervals.
+    pub num_nodes: u64,
+    /// Total directed edges `|E|`.
+    pub num_edges: u64,
+    /// Average out-degree `d = |E| / |V|` (0 for an empty graph).
+    pub avg_out_degree: f64,
+    /// Maximum allowed gap `g`.
+    pub gap: u32,
+}
+
+impl GraphShape {
+    /// Read the shape off a built graph.
+    pub fn of(graph: &ClusterGraph) -> GraphShape {
+        let num_nodes = graph.num_nodes() as u64;
+        let num_edges = graph.num_edges() as u64;
+        let max_interval_nodes = (0..graph.num_intervals() as u32)
+            .map(|i| u64::from(graph.nodes_in_interval(i)))
+            .max()
+            .unwrap_or(0);
+        GraphShape {
+            num_intervals: graph.num_intervals(),
+            max_interval_nodes,
+            num_nodes,
+            num_edges,
+            avg_out_degree: if num_nodes == 0 {
+                0.0
+            } else {
+                num_edges as f64 / num_nodes as f64
+            },
+            gap: graph.gap(),
+        }
+    }
+
+    /// The effective path length of a Problem 1 query against this shape.
+    fn effective_length(&self, spec: StableClusterSpec) -> u64 {
+        match spec {
+            StableClusterSpec::FullPaths => self.num_intervals.saturating_sub(1) as u64,
+            StableClusterSpec::ExactLength(l) => u64::from(l),
+            StableClusterSpec::Normalized { .. } => self.num_intervals.saturating_sub(1) as u64,
+        }
+    }
+}
+
+/// Estimated resident footprint of the in-memory BFS (Algorithm 2): a
+/// sliding window of `g + 2` intervals, each holding up to `n_max` nodes
+/// with `l` bounded heaps of `k` shared-path chains.
+pub fn bfs_resident_bytes(shape: &GraphShape, k: usize, l: u64) -> u64 {
+    let window = u64::from(shape.gap) + 2;
+    window
+        .saturating_mul(shape.max_interval_nodes)
+        .saturating_mul(l.max(1))
+        .saturating_mul(k as u64)
+        .saturating_mul(PATH_LINK_BYTES + HEAP_ENTRY_BYTES)
+}
+
+/// Estimated resident footprint of the TA adaptation: both sorted edge-list
+/// directions plus the seek index (~48 bytes per edge) and the candidate
+/// heap of `k` full paths.
+pub fn ta_resident_bytes(shape: &GraphShape, k: usize) -> u64 {
+    shape.num_edges.saturating_mul(48).saturating_add(
+        (k as u64)
+            .saturating_mul(shape.num_intervals as u64)
+            .saturating_mul(32),
+    )
+}
+
+/// Estimated resident footprint of DFS (Algorithm 3): per-node state lives
+/// on disk, memory holds only the traversal stack — at most one frame per
+/// interval, each with `l` buckets of `k` shared tails plus the `maxweight`
+/// array.
+pub fn dfs_resident_bytes(shape: &GraphShape, k: usize, l: u64) -> u64 {
+    let frames = shape.num_intervals as u64 + 1;
+    let per_frame = l
+        .max(1)
+        .saturating_mul(k as u64)
+        .saturating_mul(PATH_LINK_BYTES + HEAP_ENTRY_BYTES)
+        .saturating_add(l.saturating_mul(8))
+        .saturating_add(64);
+    frames.saturating_mul(per_frame)
+}
+
+/// Estimated resident footprint of the normalized solver (Problem 2): the
+/// BFS framework with heaps for *every* length up to `m − 1`.
+pub fn normalized_resident_bytes(shape: &GraphShape, k: usize) -> u64 {
+    bfs_resident_bytes(shape, k, shape.num_intervals.saturating_sub(1) as u64)
+}
+
+/// Pick the concrete algorithm for `spec` over a graph of this shape under
+/// an optional memory budget (`None` = unlimited).
+///
+/// The ranking follows the Table 3 measurements (see the module docs):
+///
+/// 1. **Normalized** queries have exactly one solver; it must fit.
+/// 2. **BFS** whenever its window estimate fits — it is the fastest
+///    algorithm at every measured shape.
+/// 3. **TA** for full-path queries over at most [`TA_CROSSOVER_INTERVALS`]
+///    intervals when its edge lists fit — faster than DFS below the
+///    crossover, useless above it.
+/// 4. **DFS** when its stack fits — the slowest option, but the only one
+///    whose footprint does not grow with `n`.
+///
+/// If even the DFS stack exceeds the budget the request is unsatisfiable
+/// and a [`BscError::InvalidConfig`] describing the shortfall is returned.
+pub fn choose_algorithm(
+    shape: &GraphShape,
+    spec: StableClusterSpec,
+    k: usize,
+    budget_bytes: Option<u64>,
+) -> BscResult<AlgorithmKind> {
+    let fits = |estimate: u64| budget_bytes.is_none() || Some(estimate) <= budget_bytes;
+    if let StableClusterSpec::Normalized { .. } = spec {
+        let needed = normalized_resident_bytes(shape, k);
+        return if fits(needed) {
+            Ok(AlgorithmKind::Normalized)
+        } else {
+            Err(BscError::InvalidConfig(format!(
+                "memory budget {} B cannot satisfy Problem 2: the normalized solver needs ~{needed} B \
+                 and has no disk-resident fallback",
+                budget_bytes.unwrap_or(0)
+            )))
+        };
+    }
+    let l = shape.effective_length(spec);
+    if fits(bfs_resident_bytes(shape, k, l)) {
+        return Ok(AlgorithmKind::Bfs);
+    }
+    let full_paths = l == shape.num_intervals.saturating_sub(1) as u64;
+    if full_paths
+        && shape.num_intervals <= TA_CROSSOVER_INTERVALS
+        && fits(ta_resident_bytes(shape, k))
+    {
+        return Ok(AlgorithmKind::Ta);
+    }
+    let dfs_needed = dfs_resident_bytes(shape, k, l);
+    if fits(dfs_needed) {
+        return Ok(AlgorithmKind::Dfs);
+    }
+    Err(BscError::InvalidConfig(format!(
+        "memory budget {} B is unsatisfiable for this graph shape: even the DFS stack needs \
+         ~{dfs_needed} B (m = {}, n_max = {}, k = {k}, l = {l})",
+        budget_bytes.unwrap_or(0),
+        shape.num_intervals,
+        shape.max_interval_nodes,
+    )))
+}
+
+/// The deferred-choice solver behind [`AlgorithmKind::Auto`].
+///
+/// Construction (through [`AlgorithmKind::build_with_options`]) cannot see
+/// the graph, so the choice happens at [`StableClusterSolver::solve`] time:
+/// read the [`GraphShape`], run [`choose_algorithm`], build the chosen
+/// solver with the same [`SolverOptions`] and delegate. Inside a sharded
+/// solve each shard resolves independently, so a wide shard can pick BFS
+/// while a memory-heavy one falls back to DFS.
+#[derive(Debug)]
+pub struct AutoSolver {
+    spec: StableClusterSpec,
+    k: usize,
+    budget_bytes: Option<u64>,
+    options: SolverOptions,
+    last_choice: Option<AlgorithmKind>,
+}
+
+impl AutoSolver {
+    /// Create a deferred-choice solver. `options.shards` is ignored — Auto
+    /// resolution happens per (sub)graph, below the sharding layer.
+    pub fn new(
+        spec: StableClusterSpec,
+        k: usize,
+        budget_bytes: Option<u64>,
+        options: SolverOptions,
+    ) -> AutoSolver {
+        AutoSolver {
+            spec,
+            k,
+            budget_bytes,
+            options: options.shards(1),
+            last_choice: None,
+        }
+    }
+
+    /// The algorithm the most recent [`StableClusterSolver::solve`] call
+    /// resolved to, if any.
+    pub fn last_choice(&self) -> Option<AlgorithmKind> {
+        self.last_choice
+    }
+}
+
+impl StableClusterSolver for AutoSolver {
+    fn name(&self) -> &'static str {
+        "auto"
+    }
+
+    fn algorithm(&self) -> AlgorithmKind {
+        AlgorithmKind::Auto {
+            budget_bytes: self.budget_bytes,
+        }
+    }
+
+    fn solve(&mut self, graph: &ClusterGraph) -> BscResult<Solution> {
+        let shape = GraphShape::of(graph);
+        let choice = choose_algorithm(&shape, self.spec, self.k, self.budget_bytes)?;
+        self.last_choice = Some(choice);
+        let mut inner =
+            choice.build_with_options(self.spec, self.k, graph.num_intervals(), self.options)?;
+        inner.solve(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{ClusterGraphGenerator, SyntheticGraphParams};
+
+    /// The Table 3 quick-scale shape at a given m: n = 150, d = 5, g = 0.
+    fn table3_shape(m: usize) -> GraphShape {
+        GraphShape {
+            num_intervals: m,
+            max_interval_nodes: 150,
+            num_nodes: (150 * m) as u64,
+            num_edges: (150 * m * 5) as u64,
+            avg_out_degree: 5.0,
+            gap: 0,
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_always_picks_bfs_for_problem_one() {
+        for m in [3, 6, 9, 15] {
+            let choice =
+                choose_algorithm(&table3_shape(m), StableClusterSpec::FullPaths, 5, None).unwrap();
+            assert_eq!(choice, AlgorithmKind::Bfs, "m={m}");
+        }
+    }
+
+    #[test]
+    fn ta_is_picked_below_the_table3_crossover_when_bfs_does_not_fit() {
+        // A budget strictly between the TA and BFS estimates: BFS is ruled
+        // out, TA fits, and the m <= 6 crossover decides TA vs DFS.
+        for m in [3, TA_CROSSOVER_INTERVALS] {
+            let shape = table3_shape(m);
+            let l = (m - 1) as u64;
+            let budget = ta_resident_bytes(&shape, 5).max(dfs_resident_bytes(&shape, 5, l)) + 1;
+            assert!(
+                budget < bfs_resident_bytes(&shape, 5, l),
+                "m={m}: test budget must exclude BFS"
+            );
+            let choice =
+                choose_algorithm(&shape, StableClusterSpec::FullPaths, 5, Some(budget)).unwrap();
+            assert_eq!(choice, AlgorithmKind::Ta, "m={m}");
+        }
+    }
+
+    #[test]
+    fn dfs_takes_over_beyond_the_crossover() {
+        // Same budget regime, one interval past the crossover: TA is no
+        // longer considered even though it would fit.
+        let m = TA_CROSSOVER_INTERVALS + 1;
+        let shape = table3_shape(m);
+        let l = (m - 1) as u64;
+        let budget = ta_resident_bytes(&shape, 5).max(dfs_resident_bytes(&shape, 5, l)) + 1;
+        assert!(budget < bfs_resident_bytes(&shape, 5, l));
+        let choice =
+            choose_algorithm(&shape, StableClusterSpec::FullPaths, 5, Some(budget)).unwrap();
+        assert_eq!(choice, AlgorithmKind::Dfs);
+    }
+
+    #[test]
+    fn subpath_queries_never_pick_ta() {
+        // TA only materializes full paths; below the crossover a subpath
+        // query under BFS-excluding pressure must go to DFS.
+        let shape = table3_shape(4);
+        let budget = ta_resident_bytes(&shape, 5).max(dfs_resident_bytes(&shape, 5, 2)) + 1;
+        let choice =
+            choose_algorithm(&shape, StableClusterSpec::ExactLength(2), 5, Some(budget)).unwrap();
+        assert_eq!(choice, AlgorithmKind::Dfs);
+    }
+
+    #[test]
+    fn unsatisfiable_budget_is_an_error_not_a_panic() {
+        let shape = table3_shape(6);
+        let err = choose_algorithm(&shape, StableClusterSpec::FullPaths, 5, Some(1)).unwrap_err();
+        assert!(matches!(err, BscError::InvalidConfig(_)), "{err}");
+        assert!(err.to_string().contains("unsatisfiable"), "{err}");
+
+        let err = choose_algorithm(
+            &shape,
+            StableClusterSpec::Normalized { l_min: 2 },
+            5,
+            Some(1),
+        )
+        .unwrap_err();
+        assert!(matches!(err, BscError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn normalized_queries_resolve_to_the_normalized_solver() {
+        let choice = choose_algorithm(
+            &table3_shape(6),
+            StableClusterSpec::Normalized { l_min: 2 },
+            5,
+            None,
+        )
+        .unwrap();
+        assert_eq!(choice, AlgorithmKind::Normalized);
+    }
+
+    #[test]
+    fn auto_solver_resolves_and_solves_through_the_trait() {
+        let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+            num_intervals: 4,
+            nodes_per_interval: 8,
+            avg_out_degree: 2,
+            gap: 0,
+            seed: 17,
+        })
+        .generate();
+        let mut reference = AlgorithmKind::Bfs
+            .build(StableClusterSpec::FullPaths, 3, graph.num_intervals())
+            .unwrap();
+        let expected = reference.solve(&graph).unwrap().paths;
+
+        let mut auto = AutoSolver::new(
+            StableClusterSpec::FullPaths,
+            3,
+            None,
+            SolverOptions::default(),
+        );
+        assert_eq!(auto.name(), "auto");
+        let solution = auto.solve(&graph).unwrap();
+        assert_eq!(auto.last_choice(), Some(AlgorithmKind::Bfs));
+        assert_eq!(solution.paths, expected);
+
+        // A tight-but-satisfiable budget flips the same query to DFS.
+        let shape = GraphShape::of(&graph);
+        let l = (graph.num_intervals() - 1) as u64;
+        let budget = dfs_resident_bytes(&shape, 3, l)
+            .max(ta_resident_bytes(&shape, 3))
+            .max(1);
+        let mut frugal = AutoSolver::new(
+            StableClusterSpec::FullPaths,
+            3,
+            Some(budget),
+            SolverOptions::default(),
+        );
+        let frugal_solution = frugal.solve(&graph).unwrap();
+        assert_ne!(frugal.last_choice(), Some(AlgorithmKind::Bfs));
+        assert_eq!(frugal_solution.paths.len(), expected.len());
+
+        // An unsatisfiable budget surfaces as an error through solve().
+        let mut impossible = AutoSolver::new(
+            StableClusterSpec::FullPaths,
+            3,
+            Some(1),
+            SolverOptions::default(),
+        );
+        assert!(matches!(
+            impossible.solve(&graph).unwrap_err(),
+            BscError::InvalidConfig(_)
+        ));
+    }
+}

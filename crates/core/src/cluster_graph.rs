@@ -178,6 +178,63 @@ impl ClusterGraph {
             .find(|e| e.to == to)
             .map(|e| e.weight)
     }
+
+    /// Number of child edges leaving each interval (index `i` counts the
+    /// edges whose *from* node lies in interval `i`). The sharded solver
+    /// uses these as partition weights: the work of solving a temporal
+    /// window is roughly proportional to the edges inside it.
+    pub fn interval_out_edge_counts(&self) -> Vec<u64> {
+        self.nodes_per_interval
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| {
+                let first = self.interval_offsets[i];
+                let last = first + count as usize;
+                (self.children_offsets[last] - self.children_offsets[first]) as u64
+            })
+            .collect()
+    }
+
+    /// Extract the temporal window `[start, end]` (inclusive) as a
+    /// self-contained [`ClusterGraph`] whose interval `t` is the original
+    /// interval `start + t`.
+    ///
+    /// Nodes keep their per-interval indices and edges keep their exact
+    /// weights (weights are already normalized into `(0, 1]`, so the
+    /// builder's normalization pass is the identity); edges with an endpoint
+    /// outside the window are dropped. Any path that stays inside the window
+    /// therefore exists in the extracted graph with a bit-identical weight —
+    /// the property the sharded solver's byte-identical merge relies on.
+    ///
+    /// # Panics
+    /// Panics if `start > end` or `end` is outside the graph.
+    pub fn window(&self, start: u32, end: u32) -> ClusterGraph {
+        assert!(start <= end, "window start {start} beyond end {end}");
+        assert!(
+            (end as usize) < self.num_intervals(),
+            "window end {end} outside the graph ({} intervals)",
+            self.num_intervals()
+        );
+        let mut builder = ClusterGraphBuilder::new(self.gap);
+        for interval in start..=end {
+            builder.add_interval(self.nodes_in_interval(interval));
+        }
+        for interval in start..=end {
+            for from in self.interval_node_ids(interval) {
+                for edge in self.children(from) {
+                    if edge.to.interval > end {
+                        continue;
+                    }
+                    builder.add_edge(
+                        ClusterNodeId::new(from.interval - start, from.index),
+                        ClusterNodeId::new(edge.to.interval - start, edge.to.index),
+                        edge.weight,
+                    );
+                }
+            }
+        }
+        builder.build()
+    }
 }
 
 /// Builder for [`ClusterGraph`]: either assembled manually (synthetic
@@ -546,6 +603,65 @@ mod tests {
         // Jaccard = 1/17 ≈ 0.059 < 0.1 -> pruned.
         let graph = ClusterGraphBuilder::from_clusters(&intervals, &JaccardAffinity, 0, 0.1);
         assert_eq!(graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn window_preserves_inner_edges_and_drops_crossing_ones() {
+        let mut builder = ClusterGraphBuilder::new(1);
+        for n in [2, 2, 1, 2] {
+            builder.add_interval(n);
+        }
+        builder.add_edge(node(0, 0), node(1, 1), 0.5);
+        builder.add_edge(node(1, 0), node(2, 0), 0.25);
+        builder.add_edge(node(1, 1), node(3, 0), 0.75); // leaves window [1, 2]
+        builder.add_edge(node(2, 0), node(3, 1), 0.125);
+        let graph = builder.build();
+
+        let window = graph.window(1, 2);
+        assert_eq!(window.num_intervals(), 2);
+        assert_eq!(window.nodes_in_interval(0), 2);
+        assert_eq!(window.nodes_in_interval(1), 1);
+        assert_eq!(window.num_edges(), 1);
+        // The surviving edge is remapped and keeps its exact weight bits.
+        let weight = window
+            .edge_weight(node(0, 0), node(1, 0))
+            .expect("inner edge survives");
+        assert_eq!(weight.to_bits(), 0.25f64.to_bits());
+        assert_eq!(window.gap(), graph.gap());
+
+        // The whole-graph window is a faithful copy.
+        let copy = graph.window(0, 3);
+        assert_eq!(copy.num_nodes(), graph.num_nodes());
+        assert_eq!(copy.num_edges(), graph.num_edges());
+        for (from, to, w) in graph.edges() {
+            assert_eq!(
+                copy.edge_weight(from, to).map(f64::to_bits),
+                Some(w.to_bits())
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the graph")]
+    fn window_end_out_of_range_panics() {
+        let mut builder = ClusterGraphBuilder::new(0);
+        builder.add_interval(1);
+        let graph = builder.build();
+        let _ = graph.window(0, 1);
+    }
+
+    #[test]
+    fn interval_out_edge_counts_follow_from_nodes() {
+        let mut builder = ClusterGraphBuilder::new(1);
+        for _ in 0..3 {
+            builder.add_interval(2);
+        }
+        builder.add_edge(node(0, 0), node(1, 0), 0.5);
+        builder.add_edge(node(0, 1), node(1, 1), 0.5);
+        builder.add_edge(node(0, 0), node(2, 0), 0.5);
+        builder.add_edge(node(1, 0), node(2, 1), 0.5);
+        let graph = builder.build();
+        assert_eq!(graph.interval_out_edge_counts(), vec![3, 1, 0]);
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub struct DfsConfig {
     pub enable_pruning: bool,
     /// Where per-node state lives. `Some(spec)` routes it through a
     /// [`NodeStore`] over the selected [`StorageSpec`] backend (the paper's
-    /// setting is the log file); `None` keeps [`NodeState`] values directly
+    /// setting is the log file); `None` keeps the node states directly
     /// in a map — faster (no codec round trips) but it loses both the low
     /// memory footprint that motivates DFS and the storage accounting.
     pub storage: Option<StorageSpec>,

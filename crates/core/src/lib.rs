@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod affinity;
+pub mod auto;
 pub mod bfs;
 pub mod cluster_graph;
 pub mod dfs;
@@ -69,6 +70,7 @@ pub mod path;
 pub mod path_tree;
 pub mod pipeline;
 pub mod problem;
+pub mod sharded;
 pub mod solver;
 pub mod streaming;
 pub mod synthetic;
@@ -76,6 +78,7 @@ pub mod ta;
 pub mod topk;
 
 pub use affinity::{Affinity, AffinityKind, JaccardAffinity};
+pub use auto::{choose_algorithm, AutoSolver, GraphShape};
 pub use bfs::{BfsConfig, BfsStableClusters, BfsStats};
 pub use bsc_storage::backend::StorageSpec;
 pub use cluster_graph::{ClusterEdge, ClusterGraph, ClusterGraphBuilder, ClusterNodeId};
@@ -86,6 +89,7 @@ pub use path::ClusterPath;
 pub use path_tree::{SharedPath, SharedTail};
 pub use pipeline::{Pipeline, PipelineOutcome, PipelineParams};
 pub use problem::{KlStableParams, NormalizedParams, StableClusterSpec};
+pub use sharded::ShardedSolver;
 pub use solver::{AlgorithmKind, Solution, SolverOptions, SolverStats, StableClusterSolver};
 pub use streaming::{OnlineClusterFeed, OnlineStableClusters};
 pub use synthetic::{ClusterGraphGenerator, SyntheticGraphParams};

@@ -90,6 +90,12 @@ pub struct PipelineParams {
     /// produces the identical result — the choice trades memory footprint
     /// against I/O, see `docs/storage.md`.
     pub storage: StorageSpec,
+    /// Interval shards for the solver stage (`> 1` partitions path start
+    /// intervals across shards and merges the per-shard solutions; see
+    /// `docs/sharding.md`). Must be ≥ 1, and requires a Problem 1 spec —
+    /// Problem 2 does not decompose. Every shard count produces the
+    /// identical result.
+    pub shards: usize,
 }
 
 impl Default for PipelineParams {
@@ -106,6 +112,7 @@ impl Default for PipelineParams {
             algorithm: None,
             threads: 1,
             storage: StorageSpec::LogFile,
+            shards: 1,
         }
     }
 }
@@ -178,6 +185,12 @@ impl PipelineParams {
         self
     }
 
+    /// Set the solver-stage interval shard count (1 = unsharded).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Check the configuration, returning [`BscError::InvalidConfig`] for
     /// out-of-range parameters and [`BscError::Unsupported`] for an
     /// algorithm/spec mismatch.
@@ -197,6 +210,21 @@ impl PipelineParams {
             return Err(BscError::InvalidConfig(
                 "threads must be >= 1 (1 = sequential)".into(),
             ));
+        }
+        if self.shards == 0 {
+            return Err(BscError::InvalidConfig(
+                "shards must be >= 1 (1 = unsharded)".into(),
+            ));
+        }
+        if self.shards > 1 {
+            if let StableClusterSpec::Normalized { .. } = self.spec {
+                return Err(BscError::Unsupported {
+                    algorithm: "sharded",
+                    reason: "Problem 2 (normalized stability) does not decompose across start \
+                             intervals; set shards to 1"
+                        .to_string(),
+                });
+            }
         }
         match self.spec {
             StableClusterSpec::ExactLength(0) => {
@@ -314,7 +342,8 @@ impl Pipeline {
             cluster_graph.num_intervals(),
             SolverOptions::default()
                 .threads(params.threads)
-                .storage(params.storage),
+                .storage(params.storage)
+                .shards(params.shards),
         )?;
         let solution = solver.solve(&cluster_graph)?;
 

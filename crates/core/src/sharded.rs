@@ -1,0 +1,433 @@
+//! Sharded interval solving: partition-then-merge across temporal windows.
+//!
+//! The kl-stable-cluster search decomposes exactly across path *start
+//! intervals*: every length-`l` path starts at one interval `a` and lives
+//! entirely inside the temporal window `[a, a + l]`, so the global top-k is
+//! the strict-order merge of per-start top-k's. [`ShardedSolver`] exploits
+//! that: it partitions the valid start intervals into `N` contiguous shards
+//! balanced by edge count ([`bsc_graph::partition::balanced_ranges`]),
+//! extracts each start's window as a self-contained subgraph
+//! ([`ClusterGraph::window`]), runs any inner [`StableClusterSolver`] on it,
+//! and merges the per-shard results through the same strict
+//! `(score, content)` top-k order every solver uses — so the merged
+//! [`Solution`] is **byte-identical** to the unsharded solve for every shard
+//! count (the disk-based keyword-search literature calls this shape
+//! partition-then-merge; EMBANKS applies it when graphs exceed memory).
+//!
+//! Two properties fall out of the window trick:
+//!
+//! * each window spans exactly `l + 1` intervals, so *every* exact-length
+//!   query becomes a full-path query inside its window — which means even
+//!   the TA adaptation (full paths only) can serve subpath queries when
+//!   sharded;
+//! * each inner solver provisions its own [`StorageSpec`]-selected backend
+//!   (its `NodeStore::temp`), so shards never share mutable storage and the
+//!   working set per shard shrinks with the shard count.
+//!
+//! Shards run on scoped worker threads (capped by the machine's available
+//! parallelism, each worker owning a contiguous run of shards); the merge
+//! order cannot affect the result because the top-k set under the total
+//! order is unique.
+
+use bsc_graph::partition::balanced_ranges;
+use bsc_storage::io_stats::IoScope;
+
+use crate::cluster_graph::{ClusterGraph, ClusterNodeId};
+use crate::error::{BscError, BscResult};
+use crate::path::ClusterPath;
+use crate::problem::StableClusterSpec;
+use crate::solver::{AlgorithmKind, Solution, SolverOptions, SolverStats, StableClusterSolver};
+use crate::topk::TopKPaths;
+
+#[cfg(doc)]
+use bsc_storage::backend::StorageSpec;
+
+/// A solver that partitions the interval axis into shards, delegates each
+/// shard to an inner algorithm, and merges the per-shard solutions.
+///
+/// Constructed directly or through
+/// [`AlgorithmKind::build_with_options`] whenever
+/// [`SolverOptions::shards`] is greater than one.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedSolver {
+    inner: AlgorithmKind,
+    spec: StableClusterSpec,
+    k: usize,
+    options: SolverOptions,
+}
+
+impl ShardedSolver {
+    /// Create a sharded solver running `inner` per shard.
+    ///
+    /// Problem 2 ([`StableClusterSpec::Normalized`]) does not decompose by
+    /// start interval (a normalized path's window is unbounded), so it is
+    /// rejected as [`BscError::Unsupported`]; the algorithm/spec pairing
+    /// rules of the inner algorithm are enforced as well.
+    pub fn new(
+        inner: AlgorithmKind,
+        spec: StableClusterSpec,
+        k: usize,
+        options: SolverOptions,
+    ) -> BscResult<ShardedSolver> {
+        if let StableClusterSpec::Normalized { .. } = spec {
+            return Err(BscError::Unsupported {
+                algorithm: "sharded",
+                reason: "Problem 2 (normalized stability) does not decompose across start \
+                         intervals; run the normalized solver unsharded"
+                    .to_string(),
+            });
+        }
+        inner.check_spec(spec)?;
+        Ok(ShardedSolver {
+            inner,
+            spec,
+            k,
+            options,
+        })
+    }
+
+    /// The configured shard count (at least 1).
+    pub fn shards(&self) -> usize {
+        self.options.shards.max(1)
+    }
+
+    /// Solve all start intervals in `range` sequentially, merging into a
+    /// local top-k heap. Each start's window is extracted and solved by a
+    /// freshly built inner solver with its own storage backend.
+    fn solve_shard(
+        &self,
+        graph: &ClusterGraph,
+        l: u32,
+        starts: std::ops::Range<usize>,
+        inner_threads: usize,
+    ) -> BscResult<(TopKPaths, SolverStats)> {
+        let inner_options = self.options.shards(1).threads(inner_threads);
+        let mut local = TopKPaths::new(self.k);
+        let mut stats = SolverStats::default();
+        for start in starts {
+            let start = start as u32;
+            let window = graph.window(start, start + l);
+            // Inside an (l + 1)-interval window, ExactLength(l) *is* the
+            // full-path query, so every inner algorithm (TA included)
+            // accepts it.
+            let mut solver = self.inner.build_with_options(
+                StableClusterSpec::ExactLength(l),
+                self.k,
+                window.num_intervals(),
+                inner_options,
+            )?;
+            let solution = solver.solve(&window)?;
+            stats.merge(&solution.stats);
+            for path in solution.paths {
+                let nodes: Vec<ClusterNodeId> = path
+                    .nodes()
+                    .iter()
+                    .map(|n| ClusterNodeId::new(n.interval + start, n.index))
+                    .collect();
+                local.offer_by_weight(ClusterPath::new(nodes, path.weight()));
+            }
+        }
+        Ok((local, stats))
+    }
+}
+
+impl StableClusterSolver for ShardedSolver {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn algorithm(&self) -> AlgorithmKind {
+        self.inner
+    }
+
+    fn solve(&mut self, graph: &ClusterGraph) -> BscResult<Solution> {
+        let scope = IoScope::start();
+        let m = graph.num_intervals() as u32;
+        let l = match self.spec {
+            StableClusterSpec::FullPaths => m.saturating_sub(1),
+            StableClusterSpec::ExactLength(l) => l,
+            // Rejected by the constructor.
+            StableClusterSpec::Normalized { .. } => unreachable!("constructor rejects Problem 2"),
+        };
+        let mut merged = TopKPaths::new(self.k);
+        let mut stats = SolverStats::default();
+        let mut shard_count = 0usize;
+        if self.k > 0 && l >= 1 && m >= 2 && l < m {
+            // Valid starts: a path of length l starting at a spans [a, a+l],
+            // so a <= m - 1 - l. Weight each start by the edges inside its
+            // window's leading intervals — the work a shard actually does.
+            let num_starts = (m - l) as usize;
+            let edge_counts = graph.interval_out_edge_counts();
+            let weights: Vec<u64> = (0..num_starts)
+                .map(|a| edge_counts[a..a + l as usize].iter().sum::<u64>().max(1))
+                .collect();
+            let partition = balanced_ranges(&weights, self.shards());
+            shard_count = partition.len();
+            if partition.len() <= 1 {
+                // A single shard keeps the caller's thread budget for the
+                // inner solver's own parallel stage.
+                for range in partition.iter() {
+                    let (local, local_stats) =
+                        self.solve_shard(graph, l, range, self.options.threads)?;
+                    merged.absorb(local);
+                    stats.merge(&local_stats);
+                }
+            } else {
+                // Shard workers *are* the parallelism: the inner solvers run
+                // sequentially (threads = 1) so shards x threads cannot
+                // multiply into oversubscription, and the per-window thread
+                // pool churn is avoided. Worker threads are capped by the
+                // machine's parallelism — a huge shard count distributes
+                // shards across a few workers instead of asking the OS for
+                // one thread each. Results are byte-identical for every
+                // worker and thread count, so both caps only affect wall
+                // clock.
+                let ranges: Vec<std::ops::Range<usize>> = partition.iter().collect();
+                let max_workers = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1);
+                let workers = ranges.len().min(max_workers).max(1);
+                let chunk = ranges.len().div_ceil(workers);
+                // The shard workers are the solve's actual concurrency;
+                // report them (inner solvers run sequentially, so their
+                // merged threads field would otherwise claim 1).
+                stats.threads = workers;
+                let results: Vec<BscResult<(TopKPaths, SolverStats)>> =
+                    std::thread::scope(|scope| {
+                        let this = &*self;
+                        let handles: Vec<_> = ranges
+                            .chunks(chunk)
+                            .map(|owned| {
+                                scope.spawn(move || {
+                                    let mut local = TopKPaths::new(this.k);
+                                    let mut local_stats = SolverStats::default();
+                                    for range in owned {
+                                        let (top, shard_stats) =
+                                            this.solve_shard(graph, l, range.clone(), 1)?;
+                                        local.absorb(top);
+                                        local_stats.merge(&shard_stats);
+                                    }
+                                    Ok((local, local_stats))
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("shard worker panicked"))
+                            .collect()
+                    });
+                let mut concurrent_resident_paths = 0usize;
+                let mut concurrent_stack_depth = 0usize;
+                for result in results {
+                    let (local, local_stats) = result?;
+                    merged.absorb(local);
+                    concurrent_resident_paths += local_stats.peak_resident_paths;
+                    concurrent_stack_depth += local_stats.peak_stack_depth;
+                    stats.merge(&local_stats);
+                }
+                // Workers run concurrently, so the process-wide peak is
+                // bounded by the *sum* of per-worker peaks, not their max
+                // (merge()'s max is only right for sequential composition).
+                stats.peak_resident_paths = concurrent_resident_paths;
+                stats.peak_stack_depth = concurrent_stack_depth;
+            }
+        }
+        stats.shards = shard_count;
+        Ok(Solution {
+            paths: merged.into_sorted(),
+            stats,
+            io: scope.finish(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{ClusterGraphGenerator, SyntheticGraphParams};
+
+    fn graph(m: usize, n: u32, d: u32, g: u32, seed: u64) -> ClusterGraph {
+        ClusterGraphGenerator::new(SyntheticGraphParams {
+            num_intervals: m,
+            nodes_per_interval: n,
+            avg_out_degree: d,
+            gap: g,
+            seed,
+        })
+        .generate()
+    }
+
+    fn assert_identical(a: &[ClusterPath], b: &[ClusterPath], context: &str) {
+        assert_eq!(a.len(), b.len(), "{context}: lengths differ");
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.nodes(), y.nodes(), "{context}");
+            assert_eq!(x.weight().to_bits(), y.weight().to_bits(), "{context}");
+        }
+    }
+
+    #[test]
+    fn every_shard_count_matches_the_unsharded_bfs() {
+        let graph = graph(8, 20, 3, 1, 42);
+        for l in [1u32, 3, 5, 7] {
+            let spec = StableClusterSpec::ExactLength(l);
+            let mut reference = AlgorithmKind::Bfs
+                .build(spec, 5, graph.num_intervals())
+                .unwrap();
+            let expected = reference.solve(&graph).unwrap().paths;
+            for shards in [1usize, 2, 3, 8, 16] {
+                let mut sharded = ShardedSolver::new(
+                    AlgorithmKind::Bfs,
+                    spec,
+                    5,
+                    SolverOptions::default().shards(shards),
+                )
+                .unwrap();
+                let solution = sharded.solve(&graph).unwrap();
+                assert_identical(
+                    &expected,
+                    &solution.paths,
+                    &format!("l={l} shards={shards}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_paths_spec_matches_too() {
+        let graph = graph(6, 15, 3, 0, 7);
+        let mut reference = AlgorithmKind::Bfs
+            .build(StableClusterSpec::FullPaths, 4, graph.num_intervals())
+            .unwrap();
+        let expected = reference.solve(&graph).unwrap().paths;
+        let mut sharded = ShardedSolver::new(
+            AlgorithmKind::Bfs,
+            StableClusterSpec::FullPaths,
+            4,
+            SolverOptions::default().shards(3),
+        )
+        .unwrap();
+        let solution = sharded.solve(&graph).unwrap();
+        assert_identical(&expected, &solution.paths, "full paths");
+        // A full-path query has a single valid start, hence a single shard.
+        assert_eq!(solution.stats.shards, 1);
+    }
+
+    #[test]
+    fn sharding_extends_ta_to_subpath_queries() {
+        // Unsharded TA rejects ExactLength below the full length; inside
+        // per-start windows the same query is full-length, so it works.
+        let graph = graph(7, 12, 3, 1, 99);
+        let spec = StableClusterSpec::ExactLength(3);
+        assert!(AlgorithmKind::Ta
+            .build(spec, 4, graph.num_intervals())
+            .is_err());
+        let mut reference = AlgorithmKind::Bfs
+            .build(spec, 4, graph.num_intervals())
+            .unwrap();
+        let expected = reference.solve(&graph).unwrap().paths;
+        let mut sharded = ShardedSolver::new(
+            AlgorithmKind::Ta,
+            spec,
+            4,
+            SolverOptions::default().shards(2),
+        )
+        .unwrap();
+        let solution = sharded.solve(&graph).unwrap();
+        assert_eq!(expected.len(), solution.paths.len());
+        for (a, b) in expected.iter().zip(solution.paths.iter()) {
+            assert_eq!(a.nodes(), b.nodes());
+            assert!((a.weight() - b.weight()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn huge_shard_counts_are_capped_not_oversubscribed() {
+        // 39 valid starts and a 10k-shard request: the partition caps at one
+        // range per start and the workers cap at the machine's parallelism,
+        // so this must neither panic nor change the answer.
+        let graph = graph(40, 4, 2, 0, 8);
+        let spec = StableClusterSpec::ExactLength(1);
+        let mut reference = AlgorithmKind::Bfs
+            .build(spec, 5, graph.num_intervals())
+            .unwrap();
+        let expected = reference.solve(&graph).unwrap().paths;
+        let mut sharded = ShardedSolver::new(
+            AlgorithmKind::Bfs,
+            spec,
+            5,
+            SolverOptions::default().shards(10_000),
+        )
+        .unwrap();
+        let solution = sharded.solve(&graph).unwrap();
+        assert_identical(&expected, &solution.paths, "shards=10000");
+        assert_eq!(solution.stats.shards, 39);
+    }
+
+    #[test]
+    fn normalized_spec_is_rejected_up_front() {
+        let err = ShardedSolver::new(
+            AlgorithmKind::Bfs,
+            StableClusterSpec::Normalized { l_min: 2 },
+            5,
+            SolverOptions::default().shards(2),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            BscError::Unsupported {
+                algorithm: "sharded",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn degenerate_graphs_yield_empty_solutions() {
+        let empty = crate::cluster_graph::ClusterGraphBuilder::new(0).build();
+        let mut solver = ShardedSolver::new(
+            AlgorithmKind::Bfs,
+            StableClusterSpec::ExactLength(2),
+            5,
+            SolverOptions::default().shards(4),
+        )
+        .unwrap();
+        assert!(solver.solve(&empty).unwrap().paths.is_empty());
+
+        // l longer than the graph span: no valid starts.
+        let short = graph(3, 5, 2, 0, 1);
+        let mut solver = ShardedSolver::new(
+            AlgorithmKind::Bfs,
+            StableClusterSpec::ExactLength(9),
+            5,
+            SolverOptions::default().shards(4),
+        )
+        .unwrap();
+        assert!(solver.solve(&short).unwrap().paths.is_empty());
+    }
+
+    #[test]
+    fn stats_aggregate_across_shards_and_are_shard_count_invariant() {
+        let graph = graph(7, 18, 3, 1, 5);
+        let spec = StableClusterSpec::ExactLength(2);
+        let mut one =
+            ShardedSolver::new(AlgorithmKind::Bfs, spec, 5, SolverOptions::default()).unwrap();
+        let base = one.solve(&graph).unwrap();
+        assert!(base.stats.paths_generated > 0);
+        assert_eq!(base.stats.shards, 1);
+        for shards in [2usize, 3] {
+            let mut solver = ShardedSolver::new(
+                AlgorithmKind::Bfs,
+                spec,
+                5,
+                SolverOptions::default().shards(shards),
+            )
+            .unwrap();
+            let solution = solver.solve(&graph).unwrap();
+            // The per-start work is identical for every shard count, so the
+            // summed counters are too — only the grouping changes.
+            assert_eq!(solution.stats.paths_generated, base.stats.paths_generated);
+            assert_eq!(solution.stats.nodes_processed, base.stats.nodes_processed);
+            assert_eq!(solution.stats.shards, shards.min(5));
+        }
+    }
+}

@@ -45,6 +45,16 @@ pub struct SolverOptions {
     /// sliding-window in-memory configuration. The store-backed variant is
     /// sequential — `threads` is ignored. Other algorithms are unaffected.
     pub bfs_store_backed: bool,
+    /// Number of interval shards (`> 1` wraps the solver in a
+    /// [`ShardedSolver`](crate::sharded::ShardedSolver): valid path start
+    /// intervals are partitioned into this many contiguous ranges, each
+    /// solved over its own windows with its own storage backend, and the
+    /// per-shard solutions merged). `1` (the default) solves unsharded.
+    /// When several shards actually form, the shard workers are the
+    /// parallelism — the inner solvers run with `threads = 1` so the two
+    /// knobs cannot multiply into oversubscription. Every shard count
+    /// produces the identical `Solution`.
+    pub shards: usize,
 }
 
 impl Default for SolverOptions {
@@ -53,6 +63,7 @@ impl Default for SolverOptions {
             threads: 1,
             storage: StorageSpec::LogFile,
             bfs_store_backed: false,
+            shards: 1,
         }
     }
 }
@@ -73,6 +84,12 @@ impl SolverOptions {
     /// Select BFS's secondary-storage variant over the configured backend.
     pub fn bfs_store_backed(mut self, on: bool) -> Self {
         self.bfs_store_backed = on;
+        self
+    }
+
+    /// Set the interval shard count (1 = unsharded).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 }
@@ -112,6 +129,33 @@ pub struct SolverStats {
     /// Worker threads used by the solver (0 = not reported; BFS reports the
     /// per-interval sweep's thread count, 1 meaning sequential).
     pub threads: usize,
+    /// Interval shards the solve was split across (0 = not a sharded
+    /// solve; the sharded solver reports the number of shard ranges
+    /// actually formed).
+    pub shards: usize,
+}
+
+impl SolverStats {
+    /// Componentwise aggregation for *sequentially* composed runs: counters
+    /// sum, peaks take the maximum, `early_termination` ORs. Used by the
+    /// sharded solver to combine per-shard statistics into one report; for
+    /// runs that executed concurrently the caller must adjust the peak
+    /// fields itself (the simultaneous peak is bounded by the sum of the
+    /// parts, not their max — see `ShardedSolver::solve`).
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.paths_generated += other.paths_generated;
+        self.nodes_processed += other.nodes_processed;
+        self.edges_traversed += other.edges_traversed;
+        self.prunes += other.prunes;
+        self.node_reads += other.node_reads;
+        self.node_writes += other.node_writes;
+        self.random_seeks += other.random_seeks;
+        self.peak_resident_paths = self.peak_resident_paths.max(other.peak_resident_paths);
+        self.peak_stack_depth = self.peak_stack_depth.max(other.peak_stack_depth);
+        self.early_termination |= other.early_termination;
+        self.threads = self.threads.max(other.threads);
+        self.shards = self.shards.max(other.shards);
+    }
 }
 
 /// Everything a solver run produces.
@@ -162,10 +206,21 @@ pub enum AlgorithmKind {
     Ta,
     /// Section 4.5: normalized stable clusters (Problem 2).
     Normalized,
+    /// The selection policy: pick BFS, DFS or TA per graph from its shape
+    /// (m, n, d, g) and an optional memory budget in bytes, using the
+    /// Table 3 crossovers (see [`crate::auto`]). Resolution happens at
+    /// solve time, when the graph is known; inside a sharded solve each
+    /// shard resolves independently.
+    Auto {
+        /// Resident-memory budget in bytes; `None` means unlimited (the
+        /// fastest algorithm, BFS, is always picked).
+        budget_bytes: Option<u64>,
+    },
 }
 
 impl AlgorithmKind {
-    /// Every algorithm, in presentation order.
+    /// Every concrete algorithm, in presentation order. `Auto` is a policy
+    /// *over* these, not an algorithm of its own, so it is not listed.
     pub const ALL: [AlgorithmKind; 4] = [
         AlgorithmKind::Bfs,
         AlgorithmKind::Dfs,
@@ -173,18 +228,30 @@ impl AlgorithmKind {
         AlgorithmKind::Normalized,
     ];
 
-    /// The algorithm's short name.
+    /// The algorithm's short name (`Auto`'s budget is carried by
+    /// [`Display`](std::fmt::Display), not the name).
     pub fn name(self) -> &'static str {
         match self {
             AlgorithmKind::Bfs => "bfs",
             AlgorithmKind::Dfs => "dfs",
             AlgorithmKind::Ta => "ta",
             AlgorithmKind::Normalized => "normalized",
+            AlgorithmKind::Auto { .. } => "auto",
         }
     }
 
-    /// Parse a short name as produced by [`AlgorithmKind::name`].
+    /// Parse a short name as produced by [`AlgorithmKind::name`], plus the
+    /// budgeted policy forms `auto` and `auto:<bytes>` (mirroring
+    /// `blockcache:<bytes>` in [`StorageSpec::parse`]).
     pub fn parse(name: &str) -> Option<AlgorithmKind> {
+        if name == "auto" {
+            return Some(AlgorithmKind::Auto { budget_bytes: None });
+        }
+        if let Some(bytes) = name.strip_prefix("auto:") {
+            return bytes.parse::<u64>().ok().map(|b| AlgorithmKind::Auto {
+                budget_bytes: Some(b),
+            });
+        }
         AlgorithmKind::ALL
             .into_iter()
             .find(|kind| kind.name() == name)
@@ -200,6 +267,9 @@ impl AlgorithmKind {
     /// delegate here so they cannot drift apart.
     pub fn check_spec(self, spec: StableClusterSpec) -> BscResult<()> {
         match (self, spec) {
+            // Auto resolves to a compatible algorithm for any spec (the
+            // normalized solver for Problem 2, BFS/DFS/TA otherwise).
+            (AlgorithmKind::Auto { .. }, _) => Ok(()),
             (AlgorithmKind::Normalized, StableClusterSpec::Normalized { .. }) => Ok(()),
             (AlgorithmKind::Normalized, other) => Err(BscError::Unsupported {
                 algorithm: "normalized",
@@ -264,6 +334,25 @@ impl AlgorithmKind {
         options: SolverOptions,
     ) -> BscResult<Box<dyn StableClusterSolver>> {
         self.check_spec(spec)?;
+        // Sharding wraps first, so each shard builds (and, for Auto,
+        // resolves) its own inner solver over its own windows. Note the
+        // per-algorithm graph-dependent checks below deliberately do NOT run
+        // here in that case: inside an (l + 1)-interval window every exact-
+        // length query is full-length, so e.g. TA accepts subpath queries
+        // when sharded.
+        if options.shards > 1 {
+            return Ok(Box::new(crate::sharded::ShardedSolver::new(
+                self, spec, k, options,
+            )?));
+        }
+        if let AlgorithmKind::Auto { budget_bytes } = self {
+            return Ok(Box::new(crate::auto::AutoSolver::new(
+                spec,
+                k,
+                budget_bytes,
+                options,
+            )));
+        }
         let full_l = num_intervals.saturating_sub(1) as u32;
         let kl = |l: u32| KlStableParams::new(k, l);
         let bfs_config = if options.bfs_store_backed {
@@ -321,7 +410,12 @@ impl AlgorithmKind {
 
 impl std::fmt::Display for AlgorithmKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
+        match self {
+            AlgorithmKind::Auto {
+                budget_bytes: Some(bytes),
+            } => write!(f, "auto:{bytes}"),
+            other => f.write_str(other.name()),
+        }
     }
 }
 
@@ -348,6 +442,59 @@ mod tests {
             assert_eq!(kind.to_string(), kind.name());
         }
         assert_eq!(AlgorithmKind::parse("dijkstra"), None);
+    }
+
+    #[test]
+    fn auto_parses_with_and_without_a_budget() {
+        assert_eq!(
+            AlgorithmKind::parse("auto"),
+            Some(AlgorithmKind::Auto { budget_bytes: None })
+        );
+        let budgeted = AlgorithmKind::Auto {
+            budget_bytes: Some(4096),
+        };
+        assert_eq!(AlgorithmKind::parse("auto:4096"), Some(budgeted));
+        assert_eq!(budgeted.to_string(), "auto:4096");
+        assert_eq!(AlgorithmKind::parse(&budgeted.to_string()), Some(budgeted));
+        assert_eq!(AlgorithmKind::parse("auto:"), None);
+        assert_eq!(AlgorithmKind::parse("auto:lots"), None);
+        assert_eq!(budgeted.name(), "auto");
+    }
+
+    #[test]
+    fn auto_and_sharded_build_through_the_options_seam() {
+        let auto = AlgorithmKind::Auto { budget_bytes: None }
+            .build(StableClusterSpec::FullPaths, 3, 4)
+            .unwrap();
+        assert_eq!(auto.name(), "auto");
+
+        let sharded = AlgorithmKind::Bfs
+            .build_with_options(
+                StableClusterSpec::ExactLength(2),
+                3,
+                4,
+                SolverOptions::default().shards(2),
+            )
+            .unwrap();
+        assert_eq!(sharded.name(), "sharded");
+        assert_eq!(sharded.algorithm(), AlgorithmKind::Bfs);
+
+        // Sharding rejects Problem 2 at build time.
+        let err = AlgorithmKind::Normalized
+            .build_with_options(
+                StableClusterSpec::Normalized { l_min: 2 },
+                3,
+                4,
+                SolverOptions::default().shards(2),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            BscError::Unsupported {
+                algorithm: "sharded",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //!    with a DFS whose edge stack can be paged to secondary storage
 //!    ([`biconnected`], [`csr`]);
 //! 4. reports the biconnected components (and, optionally, the connected
-//!    components) as **keyword clusters** ([`cluster`], [`components`]).
+//!    components) as **keyword clusters** ([`cluster`], [`components`]);
+//! 5. provides the contiguous balanced partitioner that the sharded
+//!    stable-cluster solver in `bsc-core` uses to slice temporal graphs
+//!    into per-shard subgraphs ([`partition`]).
 
 #![warn(missing_docs)]
 
@@ -25,6 +28,7 @@ pub mod cluster;
 pub mod components;
 pub mod csr;
 pub mod keyword_graph;
+pub mod partition;
 pub mod prune;
 pub mod stats;
 
@@ -32,5 +36,6 @@ pub use biconnected::{BiconnectedComponents, BiconnectedResult};
 pub use cluster::{ClusterExtractionMode, ClusterExtractor, KeywordCluster};
 pub use csr::CsrGraph;
 pub use keyword_graph::{KeywordEdge, KeywordGraph, KeywordGraphBuilder};
+pub use partition::{balanced_ranges, IntervalPartition};
 pub use prune::{PruneConfig, PruneStats, PrunedGraph};
 pub use stats::{chi_square, correlation_coefficient, CHI_SQUARE_95};

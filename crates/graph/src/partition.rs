@@ -1,0 +1,180 @@
+//! Contiguous balanced partitioning of weighted interval sequences.
+//!
+//! The sharded stable-cluster solver in `bsc-core` decomposes a temporal
+//! cluster graph into per-shard subgraphs: each shard owns a contiguous run
+//! of path start intervals, and the per-shard work is roughly proportional to
+//! the edges reachable from those starts. This module provides the
+//! partitioning primitive: split a sequence of item weights into `parts`
+//! contiguous ranges whose weight sums are as balanced as a single greedy
+//! left-to-right pass can make them, deterministically.
+//!
+//! The same partition-then-merge shape appears in disk-based keyword search
+//! (EMBANKS): slice the graph so each slice fits the memory budget, solve the
+//! slices independently, merge ordered results. Keeping the ranges
+//! *contiguous* is what makes the cluster-graph slices cheap to extract —
+//! a run of intervals is a CSR row range, not a scattered node set.
+
+use std::ops::Range;
+
+/// A contiguous partition of `0..len` into weighted ranges.
+///
+/// Produced by [`balanced_ranges`]; every index belongs to exactly one range,
+/// ranges are in ascending order, and no range is empty (consequently there
+/// are `min(parts, len)` ranges).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalPartition {
+    ranges: Vec<Range<usize>>,
+}
+
+impl IntervalPartition {
+    /// The ranges, in ascending index order.
+    pub fn ranges(&self) -> &[Range<usize>] {
+        &self.ranges
+    }
+
+    /// Number of ranges (shards).
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// True when the partitioned sequence was empty.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// The range that owns `index`, if the index was partitioned.
+    pub fn owner_of(&self, index: usize) -> Option<usize> {
+        self.ranges.iter().position(|r| r.contains(&index))
+    }
+
+    /// Iterate over the ranges.
+    pub fn iter(&self) -> impl Iterator<Item = Range<usize>> + '_ {
+        self.ranges.iter().cloned()
+    }
+}
+
+/// Split `weights` into at most `parts` contiguous non-empty ranges with
+/// near-equal weight sums.
+///
+/// A single deterministic greedy pass: each range is closed once its running
+/// sum reaches the remaining average `remaining_weight / remaining_parts`,
+/// while always leaving at least one item for every range still to be
+/// formed. Zero-weight items are carried with their neighbours. The result
+/// depends only on the inputs — no hashing, no randomness — so a sharded
+/// solve partitions identically on every run and every machine.
+pub fn balanced_ranges(weights: &[u64], parts: usize) -> IntervalPartition {
+    let len = weights.len();
+    if len == 0 || parts == 0 {
+        return IntervalPartition { ranges: Vec::new() };
+    }
+    let parts = parts.min(len);
+    let total: u64 = weights.iter().sum();
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    let mut remaining_weight = total;
+    for part in 0..parts {
+        let parts_left = parts - part;
+        if parts_left == 1 {
+            ranges.push(start..len);
+            break;
+        }
+        // Close the range at the first index where the running sum reaches
+        // the remaining average, but leave enough items for the other parts.
+        let target = remaining_weight.div_ceil(parts_left as u64);
+        let max_end = len - (parts_left - 1);
+        let mut end = start + 1;
+        let mut sum = weights[start];
+        while end < max_end && sum < target {
+            sum += weights[end];
+            end += 1;
+        }
+        ranges.push(start..end);
+        remaining_weight = remaining_weight.saturating_sub(sum);
+        start = end;
+    }
+    IntervalPartition { ranges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sums(weights: &[u64], partition: &IntervalPartition) -> Vec<u64> {
+        partition.iter().map(|r| weights[r].iter().sum()).collect()
+    }
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let weights = [3, 1, 4, 1, 5, 9, 2, 6];
+        for parts in 1..=10 {
+            let partition = balanced_ranges(&weights, parts);
+            assert_eq!(partition.len(), parts.min(weights.len()));
+            let mut covered = Vec::new();
+            for range in partition.iter() {
+                assert!(!range.is_empty(), "parts={parts}: empty range");
+                covered.extend(range);
+            }
+            assert_eq!(
+                covered,
+                (0..weights.len()).collect::<Vec<_>>(),
+                "parts={parts}"
+            );
+            for i in 0..weights.len() {
+                assert!(partition.owner_of(i).is_some());
+            }
+            assert_eq!(partition.owner_of(weights.len()), None);
+        }
+    }
+
+    #[test]
+    fn single_part_takes_everything() {
+        let partition = balanced_ranges(&[1, 2, 3], 1);
+        assert_eq!(partition.ranges(), std::slice::from_ref(&(0..3)));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(balanced_ranges(&[], 4).is_empty());
+        assert!(balanced_ranges(&[1, 2], 0).is_empty());
+    }
+
+    #[test]
+    fn uniform_weights_split_evenly() {
+        let weights = [1u64; 12];
+        let partition = balanced_ranges(&weights, 4);
+        assert_eq!(sums(&weights, &partition), vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn skewed_weights_stay_roughly_balanced() {
+        let weights = [100, 1, 1, 1, 1, 1, 1, 95];
+        let partition = balanced_ranges(&weights, 2);
+        // The heavy head closes the first range as soon as the running sum
+        // reaches the remaining average (ceil(201 / 2) = 101).
+        assert_eq!(partition.ranges()[0], 0..2);
+        assert_eq!(sums(&weights, &partition), vec![101, 100]);
+    }
+
+    #[test]
+    fn zero_weights_do_not_produce_empty_ranges() {
+        let weights = [0, 0, 0, 0];
+        let partition = balanced_ranges(&weights, 3);
+        assert_eq!(partition.len(), 3);
+        assert!(partition.iter().all(|r| !r.is_empty()));
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let weights = [7, 2, 9, 4, 4, 4, 1, 1, 8, 3];
+        let a = balanced_ranges(&weights, 3);
+        let b = balanced_ranges(&weights, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_parts_than_items_degrades_to_singletons() {
+        let weights = [5, 6];
+        let partition = balanced_ranges(&weights, 8);
+        assert_eq!(partition.ranges(), &[0..1, 1..2]);
+    }
+}

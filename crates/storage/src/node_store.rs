@@ -7,7 +7,7 @@
 //! [`NodeStore`] models exactly that access pattern as a typed map: keys and
 //! values travel through the [`codec`](crate::codec) and land in whichever
 //! [`StorageBackend`] the deployment selected via a
-//! [`StorageSpec`](crate::backend::StorageSpec) — the paper's append-only log
+//! [`StorageSpec`] — the paper's append-only log
 //! file, plain memory, or a budget-bounded block cache.
 
 use std::marker::PhantomData;

@@ -86,6 +86,7 @@ pub mod prelude {
     pub use bsc_baselines::exhaustive::ExhaustiveSolver;
     pub use bsc_core::{
         affinity::{Affinity, IntersectionAffinity, JaccardAffinity, OverlapAffinity},
+        auto::{choose_algorithm, AutoSolver, GraphShape},
         bfs::BfsStableClusters,
         cluster_graph::{ClusterGraph, ClusterGraphBuilder, ClusterNodeId},
         dfs::DfsStableClusters,
@@ -94,6 +95,7 @@ pub mod prelude {
         path::ClusterPath,
         pipeline::{Pipeline, PipelineOutcome, PipelineParams},
         problem::{KlStableParams, NormalizedParams, StableClusterSpec},
+        sharded::ShardedSolver,
         solver::{AlgorithmKind, Solution, SolverOptions, SolverStats, StableClusterSolver},
         streaming::OnlineStableClusters,
         synthetic::{ClusterGraphGenerator, SyntheticGraphParams},

@@ -72,6 +72,30 @@ fn parallel_equals_sequential_for_all_thread_counts() {
     }
 }
 
+/// The env-pinned configuration: `BSC_THREADS` (and `BSC_SHARDS` for the
+/// sharded sibling suite) are set by the CI matrix so determinism cannot
+/// regress behind the single-thread default. Unset, the test pins 4 threads.
+#[test]
+fn env_pinned_thread_count_matches_sequential() {
+    let threads: usize = match std::env::var("BSC_THREADS") {
+        Ok(value) => value
+            .parse()
+            .unwrap_or_else(|_| panic!("unparseable BSC_THREADS: {value:?}")),
+        Err(_) => 4,
+    };
+    let graph = generate(6, 30, 4, 1, 321);
+    let params = KlStableParams::new(5, 3);
+    let (seq_paths, _) = BfsStableClusters::new(params)
+        .run_with_stats(&graph)
+        .expect("sequential run");
+    let (par_paths, par_stats) =
+        BfsStableClusters::with_config(params, BfsConfig::default().with_threads(threads))
+            .run_with_stats(&graph)
+            .expect("env-pinned run");
+    assert_eq!(seq_paths, par_paths, "threads={threads}");
+    assert_eq!(par_stats.threads_used, threads);
+}
+
 #[test]
 fn parallel_runs_are_deterministic() {
     let graph = generate(7, 30, 4, 1, 123);

@@ -1,0 +1,229 @@
+//! Sharded-solve conformance: partitioning the interval axis must never
+//! change a single bit of the answer.
+//!
+//! The acceptance bar is byte-identical [`Solution`] paths (node sequences
+//! *and* `f64` weight bits) for shards ∈ {1, 2, 3, 8} × every storage
+//! backend × every inner algorithm that supports the query, compared against
+//! the unsharded solve of the same algorithm.
+//!
+//! Env pins, mirroring the `BSC_STORAGE_BACKEND` loop CI already runs:
+//! `BSC_SHARDS` and `BSC_THREADS` select the configuration exercised by the
+//! env-pinned tests, and CI runs this binary across
+//! threads ∈ {1, 2, 4} × shards ∈ {1, 3} so determinism cannot regress
+//! behind the single-thread, single-shard default.
+
+use blogstable::core::solver::AlgorithmKind;
+use blogstable::core::synthetic::{ClusterGraphGenerator, SyntheticGraphParams};
+use blogstable::core::ClusterGraph;
+use blogstable::prelude::*;
+
+/// The shard count under test: `BSC_SHARDS` when set (CI runs the matrix),
+/// 3 otherwise.
+fn shards_from_env() -> usize {
+    match std::env::var("BSC_SHARDS") {
+        Ok(value) => value
+            .parse()
+            .unwrap_or_else(|_| panic!("unparseable BSC_SHARDS: {value:?}")),
+        Err(_) => 3,
+    }
+}
+
+/// The thread count under test: `BSC_THREADS` when set, 2 otherwise.
+fn threads_from_env() -> usize {
+    match std::env::var("BSC_THREADS") {
+        Ok(value) => value
+            .parse()
+            .unwrap_or_else(|_| panic!("unparseable BSC_THREADS: {value:?}")),
+        Err(_) => 2,
+    }
+}
+
+fn generate(m: usize, n: u32, d: u32, g: u32, seed: u64) -> ClusterGraph {
+    ClusterGraphGenerator::new(SyntheticGraphParams {
+        num_intervals: m,
+        nodes_per_interval: n,
+        avg_out_degree: d,
+        gap: g,
+        seed,
+    })
+    .generate()
+}
+
+fn assert_identical(expected: &[ClusterPath], got: &[ClusterPath], context: &str) {
+    assert_eq!(expected.len(), got.len(), "{context}: result counts differ");
+    for (a, b) in expected.iter().zip(got.iter()) {
+        assert_eq!(a.nodes(), b.nodes(), "{context}: node sequences differ");
+        assert_eq!(
+            a.weight().to_bits(),
+            b.weight().to_bits(),
+            "{context}: weights must be byte-identical"
+        );
+    }
+}
+
+/// The acceptance matrix: shards ∈ {1, 2, 3, 8} × all three storage
+/// backends, BFS and DFS inner solvers, subpath and full-path specs — all
+/// byte-identical to the unsharded solve.
+#[test]
+fn sharded_solutions_are_byte_identical_across_shards_and_backends() {
+    let graph = generate(9, 14, 3, 1, 4242);
+    let m = graph.num_intervals();
+    for (kind, spec) in [
+        (AlgorithmKind::Bfs, StableClusterSpec::ExactLength(3)),
+        (AlgorithmKind::Bfs, StableClusterSpec::FullPaths),
+        (AlgorithmKind::Dfs, StableClusterSpec::ExactLength(4)),
+    ] {
+        let mut reference = kind.build(spec, 5, m).expect("unsharded build");
+        let expected = reference.solve(&graph).expect("unsharded solve").paths;
+        assert!(!expected.is_empty(), "{kind} {spec:?}: trivial workload");
+        for storage in StorageSpec::ALL {
+            for shards in [1usize, 2, 3, 8] {
+                let options = SolverOptions::default().storage(storage).shards(shards);
+                let mut solver: Box<dyn StableClusterSolver> = if shards > 1 {
+                    kind.build_with_options(spec, 5, m, options)
+                        .expect("sharded build")
+                } else {
+                    // shards = 1 through the explicit solver, so the
+                    // decomposition itself (not just the wrapping) is
+                    // exercised against the plain solve.
+                    Box::new(ShardedSolver::new(kind, spec, 5, options).expect("sharded solver"))
+                };
+                let solution = solver.solve(&graph).expect("sharded solve");
+                assert_identical(
+                    &expected,
+                    &solution.paths,
+                    &format!("{kind} {spec:?} {storage} shards={shards}"),
+                );
+            }
+        }
+    }
+}
+
+/// TA only materializes full paths unsharded; per-start windows make every
+/// exact-length query full-length, so sharded TA answers subpath queries —
+/// and agrees with BFS on the result set.
+#[test]
+fn sharded_ta_serves_subpath_queries() {
+    let graph = generate(8, 10, 3, 0, 77);
+    let spec = StableClusterSpec::ExactLength(3);
+    let mut bfs = AlgorithmKind::Bfs
+        .build(spec, 4, graph.num_intervals())
+        .expect("bfs build");
+    let expected = bfs.solve(&graph).expect("bfs solve").paths;
+    for shards in [1usize, 2, 8] {
+        let mut ta = ShardedSolver::new(
+            AlgorithmKind::Ta,
+            spec,
+            4,
+            SolverOptions::default().shards(shards),
+        )
+        .expect("sharded TA");
+        let solution = ta.solve(&graph).expect("sharded TA solve");
+        assert_eq!(expected.len(), solution.paths.len(), "shards={shards}");
+        for (a, b) in expected.iter().zip(solution.paths.iter()) {
+            assert_eq!(a.nodes(), b.nodes(), "shards={shards}");
+            assert!(
+                (a.weight() - b.weight()).abs() < 1e-9,
+                "shards={shards}: {} vs {}",
+                a.weight(),
+                b.weight()
+            );
+        }
+    }
+}
+
+/// The env-pinned configuration (threads × shards from the CI matrix) must
+/// reproduce the single-thread single-shard pipeline output bit for bit.
+#[test]
+fn env_pinned_threads_and_shards_match_the_default_pipeline() {
+    let shards = shards_from_env();
+    let threads = threads_from_env();
+    let corpus = SyntheticBlogosphere::new(SyntheticConfig::small()).generate();
+    let baseline = Pipeline::new(PipelineParams::default().exact_length(2))
+        .expect("valid baseline params")
+        .run(&corpus)
+        .expect("baseline pipeline");
+    let pinned = Pipeline::new(
+        PipelineParams::default()
+            .exact_length(2)
+            .threads(threads)
+            .shards(shards),
+    )
+    .unwrap_or_else(|e| panic!("threads={threads} shards={shards}: {e}"))
+    .run(&corpus)
+    .expect("pinned pipeline");
+    assert_identical(
+        &baseline.stable_paths,
+        &pinned.stable_paths,
+        &format!("pipeline threads={threads} shards={shards}"),
+    );
+    if shards > 1 {
+        assert!(pinned.solver_stats.shards > 0, "sharded stats not reported");
+    }
+}
+
+/// `AlgorithmKind::Auto` end to end: unlimited budget resolves to BFS-grade
+/// answers, a sharded Auto resolves per window, and an unsatisfiable budget
+/// surfaces as `BscError`, not a panic.
+#[test]
+fn auto_policy_flows_through_pipeline_and_sharding() {
+    let corpus = SyntheticBlogosphere::new(SyntheticConfig::small()).generate();
+    let baseline = Pipeline::new(PipelineParams::default().exact_length(2))
+        .expect("valid params")
+        .run(&corpus)
+        .expect("baseline");
+    let auto = Pipeline::new(
+        PipelineParams::default()
+            .exact_length(2)
+            .algorithm(AlgorithmKind::Auto { budget_bytes: None }),
+    )
+    .expect("auto params validate")
+    .run(&corpus)
+    .expect("auto pipeline");
+    assert_identical(&baseline.stable_paths, &auto.stable_paths, "auto unlimited");
+
+    let sharded_auto = Pipeline::new(
+        PipelineParams::default()
+            .exact_length(2)
+            .algorithm(AlgorithmKind::Auto { budget_bytes: None })
+            .shards(shards_from_env()),
+    )
+    .expect("sharded auto params validate")
+    .run(&corpus)
+    .expect("sharded auto pipeline");
+    assert_identical(
+        &baseline.stable_paths,
+        &sharded_auto.stable_paths,
+        "auto sharded",
+    );
+
+    // One byte of budget cannot hold any solver: a clean error, no panic.
+    let err = Pipeline::new(PipelineParams::default().exact_length(2).algorithm(
+        AlgorithmKind::Auto {
+            budget_bytes: Some(1),
+        },
+    ))
+    .expect("validation cannot see the graph yet")
+    .run(&corpus)
+    .unwrap_err();
+    assert!(matches!(err, BscError::InvalidConfig(_)), "{err}");
+}
+
+/// Pipeline validation of the sharding knob: zero shards and Problem 2 ×
+/// sharding are rejected up front.
+#[test]
+fn pipeline_validates_the_shards_knob() {
+    assert!(matches!(
+        Pipeline::new(PipelineParams::default().shards(0)).unwrap_err(),
+        BscError::InvalidConfig(_)
+    ));
+    assert!(matches!(
+        Pipeline::new(PipelineParams::default().normalized(2).shards(2)).unwrap_err(),
+        BscError::Unsupported {
+            algorithm: "sharded",
+            ..
+        }
+    ));
+    // Problem 2 unsharded stays fine.
+    assert!(Pipeline::new(PipelineParams::default().normalized(2).shards(1)).is_ok());
+}
