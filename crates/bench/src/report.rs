@@ -182,23 +182,11 @@ pub fn parse_bench_doc(text: &str) -> Result<BenchDoc, String> {
     })
 }
 
-/// JSON string literal with the escapes the JSON grammar requires.
+/// JSON string literal with the escapes the JSON grammar requires (the
+/// shared implementation in [`bsc_util::json`], which the service protocol
+/// uses too).
 fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
+    bsc_util::json::escape_string(s)
 }
 
 fn json_string_array(items: &[String]) -> String {

@@ -202,7 +202,11 @@ pub fn choose_algorithm(
 /// read the [`GraphShape`], run [`choose_algorithm`], build the chosen
 /// solver with the same [`SolverOptions`] and delegate. Inside a sharded
 /// solve each shard resolves independently, so a wide shard can pick BFS
-/// while a memory-heavy one falls back to DFS.
+/// while a memory-heavy one falls back to DFS. The solver only borrows the
+/// graph it resolves against, so under a long-lived engine `Auto` re-reads
+/// the shape of whatever epoch-tagged
+/// [`GraphSnapshot`](crate::snapshot::GraphSnapshot) each query pinned —
+/// the policy adapts per epoch as streamed intervals grow the graph.
 #[derive(Debug)]
 pub struct AutoSolver {
     spec: StableClusterSpec,

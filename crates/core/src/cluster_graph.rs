@@ -195,6 +195,25 @@ impl ClusterGraph {
             .collect()
     }
 
+    /// The incoming edges of one interval's nodes, in the shape
+    /// [`OnlineStableClusters::push_interval`] ingests: element `j` lists
+    /// the `(earlier node, weight)` pairs of the interval's `j`-th node.
+    /// This is the bridge from a batch graph to the streaming API — replay
+    /// a graph by pushing `interval_parent_edges(t)` for `t = 0..m`.
+    ///
+    /// [`OnlineStableClusters::push_interval`]:
+    ///     crate::streaming::OnlineStableClusters::push_interval
+    pub fn interval_parent_edges(&self, interval: u32) -> Vec<Vec<(ClusterNodeId, f64)>> {
+        self.interval_node_ids(interval)
+            .map(|node| {
+                self.parents(node)
+                    .iter()
+                    .map(|edge| (edge.to, edge.weight))
+                    .collect()
+            })
+            .collect()
+    }
+
     /// Extract the temporal window `[start, end]` (inclusive) as a
     /// self-contained [`ClusterGraph`] whose interval `t` is the original
     /// interval `start + t`.

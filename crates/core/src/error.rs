@@ -28,6 +28,15 @@ pub enum BscError {
         /// Why the combination is unsupported.
         reason: String,
     },
+    /// A query engine's bounded admission queue was full (back-pressure).
+    /// Retry later, or use the blocking submission path that waits for a
+    /// queue slot instead of rejecting.
+    Saturated {
+        /// Capacity of the admission queue that rejected the query.
+        capacity: usize,
+    },
+    /// The query engine has shut down and accepts no further queries.
+    Shutdown,
 }
 
 impl std::fmt::Display for BscError {
@@ -39,6 +48,13 @@ impl std::fmt::Display for BscError {
             BscError::Unsupported { algorithm, reason } => {
                 write!(f, "unsupported request for {algorithm}: {reason}")
             }
+            BscError::Saturated { capacity } => {
+                write!(
+                    f,
+                    "query engine saturated: the admission queue ({capacity} slots) is full"
+                )
+            }
+            BscError::Shutdown => f.write_str("query engine is shut down"),
         }
     }
 }
@@ -86,6 +102,10 @@ mod tests {
             reason: "full paths only".into(),
         };
         assert!(unsupported.to_string().contains("ta"));
+        assert!(BscError::Saturated { capacity: 8 }
+            .to_string()
+            .contains("8 slots"));
+        assert!(BscError::Shutdown.to_string().contains("shut down"));
     }
 
     #[test]

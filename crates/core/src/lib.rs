@@ -71,6 +71,7 @@ pub mod path_tree;
 pub mod pipeline;
 pub mod problem;
 pub mod sharded;
+pub mod snapshot;
 pub mod solver;
 pub mod streaming;
 pub mod synthetic;
@@ -87,9 +88,10 @@ pub use error::{BscError, BscResult};
 pub use normalized::{NormalizedConfig, NormalizedStableClusters, NormalizedStats};
 pub use path::ClusterPath;
 pub use path_tree::{SharedPath, SharedTail};
-pub use pipeline::{Pipeline, PipelineOutcome, PipelineParams};
+pub use pipeline::{GraphBuild, Pipeline, PipelineOutcome, PipelineParams};
 pub use problem::{KlStableParams, NormalizedParams, StableClusterSpec};
 pub use sharded::ShardedSolver;
+pub use snapshot::{GraphSnapshot, SnapshotCell};
 pub use solver::{AlgorithmKind, Solution, SolverOptions, SolverStats, StableClusterSolver};
 pub use streaming::{OnlineClusterFeed, OnlineStableClusters};
 pub use synthetic::{ClusterGraphGenerator, SyntheticGraphParams};

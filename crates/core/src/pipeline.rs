@@ -28,11 +28,14 @@ use bsc_graph::prune::{PruneConfig, PruneStats};
 use bsc_storage::backend::StorageSpec;
 use bsc_storage::io_stats::IoSnapshot;
 
+use std::time::Instant;
+
 use crate::affinity::AffinityKind;
-use crate::cluster_graph::{ClusterGraph, ClusterGraphBuilder};
+use crate::cluster_graph::ClusterGraphBuilder;
 use crate::error::{BscError, BscResult};
 use crate::path::ClusterPath;
-use crate::solver::{AlgorithmKind, SolverOptions, SolverStats};
+use crate::snapshot::GraphSnapshot;
+use crate::solver::{AlgorithmKind, Solution, SolverOptions, SolverStats};
 
 pub use crate::problem::StableClusterSpec;
 
@@ -246,6 +249,22 @@ impl PipelineParams {
     }
 }
 
+/// The construction half of a pipeline run: per-interval clusters, pruning
+/// statistics and the built cluster graph published as an epoch-0
+/// [`GraphSnapshot`]. Produced by [`Pipeline::build_snapshot`]; any number
+/// of queries can then run against the snapshot through
+/// [`Pipeline::solve_snapshot`] (or a long-lived query engine) without
+/// rebuilding the graph.
+#[derive(Debug, Clone)]
+pub struct GraphBuild {
+    /// Clusters discovered for every interval.
+    pub interval_clusters: Vec<Vec<KeywordCluster>>,
+    /// χ²/ρ pruning statistics per interval.
+    pub prune_stats: Vec<PruneStats>,
+    /// The cluster graph built across intervals, shared and epoch-tagged.
+    pub snapshot: GraphSnapshot,
+}
+
 /// Everything the pipeline produces.
 #[derive(Debug, Clone)]
 pub struct PipelineOutcome {
@@ -253,8 +272,13 @@ pub struct PipelineOutcome {
     pub interval_clusters: Vec<Vec<KeywordCluster>>,
     /// χ²/ρ pruning statistics per interval.
     pub prune_stats: Vec<PruneStats>,
-    /// The cluster graph built across intervals.
-    pub cluster_graph: ClusterGraph,
+    /// The cluster graph built across intervals, as a shareable
+    /// [`GraphSnapshot`] (dereferences to [`ClusterGraph`], so existing
+    /// `outcome.cluster_graph.num_edges()`-style call sites are unchanged;
+    /// clone it to hand the same graph to a query engine without copying).
+    ///
+    /// [`ClusterGraph`]: crate::cluster_graph::ClusterGraph
+    pub cluster_graph: GraphSnapshot,
     /// The stable clusters (paths) found, best first.
     pub stable_paths: Vec<ClusterPath>,
     /// Unified execution statistics of the solver stage.
@@ -305,13 +329,28 @@ impl Pipeline {
     }
 
     /// Run on a generated corpus (convenience wrapper over
-    /// [`Pipeline::run_timeline`]).
+    /// [`Pipeline::run_timeline`] that additionally attaches the corpus
+    /// vocabulary to the produced snapshot, so paths can be rendered back
+    /// to keywords from the snapshot alone).
     pub fn run(&self, corpus: &GeneratedCorpus) -> BscResult<PipelineOutcome> {
-        self.run_timeline(&corpus.timeline)
+        let build = self.build_snapshot(&corpus.timeline)?;
+        let build = GraphBuild {
+            snapshot: build.snapshot.with_vocabulary(corpus.shared_vocabulary()),
+            ..build
+        };
+        self.finish(build)
     }
 
     /// Run on an arbitrary timeline of documents.
     pub fn run_timeline(&self, timeline: &Timeline) -> BscResult<PipelineOutcome> {
+        self.finish(self.build_snapshot(timeline)?)
+    }
+
+    /// The construction half: documents → per-interval clusters → cluster
+    /// graph, published as an epoch-0 [`GraphSnapshot`]. No solving
+    /// happens; hand the snapshot to [`Pipeline::solve_snapshot`], a query
+    /// engine, or a [`SnapshotCell`](crate::snapshot::SnapshotCell).
+    pub fn build_snapshot(&self, timeline: &Timeline) -> BscResult<GraphBuild> {
         let params = &self.params;
         let counter = PairCounter::with_config(params.pair_counting.clone());
         let mut interval_clusters = Vec::with_capacity(timeline.num_intervals());
@@ -336,21 +375,43 @@ impl Pipeline {
             params.theta,
         );
 
+        Ok(GraphBuild {
+            interval_clusters,
+            prune_stats,
+            snapshot: GraphSnapshot::new(cluster_graph),
+        })
+    }
+
+    /// The query half: run the configured solver against an existing
+    /// snapshot, borrowing its graph. The returned [`Solution`] is
+    /// byte-identical to what a full [`Pipeline::run_timeline`] over the
+    /// same documents would report — the split changes where the graph
+    /// lives, never the answer. Fills [`SolverStats::solve_micros`] with
+    /// the measured solve wall-clock.
+    pub fn solve_snapshot(&self, snapshot: &GraphSnapshot) -> BscResult<Solution> {
+        let params = &self.params;
         let mut solver = params.resolved_algorithm().build_with_options(
             params.spec,
             params.k,
-            cluster_graph.num_intervals(),
+            snapshot.num_intervals(),
             SolverOptions::default()
                 .threads(params.threads)
                 .storage(params.storage)
                 .shards(params.shards),
         )?;
-        let solution = solver.solve(&cluster_graph)?;
+        let start = Instant::now();
+        let mut solution = solver.solve_snapshot(snapshot)?;
+        solution.stats.solve_micros = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        Ok(solution)
+    }
 
+    /// Assemble an outcome from a finished build plus a solve against it.
+    fn finish(&self, build: GraphBuild) -> BscResult<PipelineOutcome> {
+        let solution = self.solve_snapshot(&build.snapshot)?;
         Ok(PipelineOutcome {
-            interval_clusters,
-            prune_stats,
-            cluster_graph,
+            interval_clusters: build.interval_clusters,
+            prune_stats: build.prune_stats,
+            cluster_graph: build.snapshot,
             stable_paths: solution.paths,
             solver_stats: solution.stats,
             solver_io: solution.io,

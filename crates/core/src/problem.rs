@@ -22,6 +22,37 @@ pub enum StableClusterSpec {
     },
 }
 
+impl StableClusterSpec {
+    /// Parse the short textual form used by the service protocol and CLI
+    /// surfaces: `full`, `exact:<l>` or `normalized:<l_min>` (mirroring
+    /// `AlgorithmKind::parse` and `StorageSpec::parse`).
+    pub fn parse(s: &str) -> Option<StableClusterSpec> {
+        if s == "full" {
+            return Some(StableClusterSpec::FullPaths);
+        }
+        if let Some(l) = s.strip_prefix("exact:") {
+            return l.parse().ok().map(StableClusterSpec::ExactLength);
+        }
+        if let Some(l_min) = s.strip_prefix("normalized:") {
+            return l_min
+                .parse()
+                .ok()
+                .map(|l_min| StableClusterSpec::Normalized { l_min });
+        }
+        None
+    }
+}
+
+impl std::fmt::Display for StableClusterSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StableClusterSpec::FullPaths => f.write_str("full"),
+            StableClusterSpec::ExactLength(l) => write!(f, "exact:{l}"),
+            StableClusterSpec::Normalized { l_min } => write!(f, "normalized:{l_min}"),
+        }
+    }
+}
+
 /// Parameters of Problem 1 (kl-stable clusters).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KlStableParams {
@@ -71,6 +102,20 @@ mod tests {
         assert_eq!(KlStableParams::full_paths(5, 7), KlStableParams::new(5, 6));
         assert_eq!(KlStableParams::full_paths(3, 1), KlStableParams::new(3, 0));
         assert_eq!(KlStableParams::full_paths(3, 0), KlStableParams::new(3, 0));
+    }
+
+    #[test]
+    fn spec_parse_round_trips_display() {
+        for spec in [
+            StableClusterSpec::FullPaths,
+            StableClusterSpec::ExactLength(3),
+            StableClusterSpec::Normalized { l_min: 2 },
+        ] {
+            assert_eq!(StableClusterSpec::parse(&spec.to_string()), Some(spec));
+        }
+        assert_eq!(StableClusterSpec::parse("exact:"), None);
+        assert_eq!(StableClusterSpec::parse("exact:-1"), None);
+        assert_eq!(StableClusterSpec::parse("shortest"), None);
     }
 
     #[test]

@@ -28,6 +28,13 @@
 //! parallelism, each worker owning a contiguous run of shards); the merge
 //! order cannot affect the result because the top-k set under the total
 //! order is unique.
+//!
+//! Like every solver, [`ShardedSolver`] only ever *borrows* its graph —
+//! through `solve(&graph)` or
+//! [`solve_snapshot`](crate::solver::StableClusterSolver::solve_snapshot)
+//! against a shared epoch-tagged [`GraphSnapshot`](crate::snapshot) — so a
+//! long-lived query engine can run sharded queries concurrently against one
+//! resident snapshot while newer epochs are published.
 
 use bsc_graph::partition::balanced_ranges;
 use bsc_storage::io_stats::IoScope;

@@ -23,6 +23,7 @@ use crate::cluster_graph::ClusterGraph;
 use crate::error::{BscError, BscResult};
 use crate::path::ClusterPath;
 use crate::problem::{KlStableParams, NormalizedParams, StableClusterSpec};
+use crate::snapshot::GraphSnapshot;
 
 /// Deployment-level knobs shared by every [`AlgorithmKind::build_with_options`]
 /// construction: the worker-thread budget and which [`StorageSpec`] backend
@@ -133,6 +134,15 @@ pub struct SolverStats {
     /// solve; the sharded solver reports the number of shard ranges
     /// actually formed).
     pub shards: usize,
+    /// Wall-clock microseconds the query waited for a worker before its
+    /// solve began (0 outside the query engine — only an admission queue
+    /// has a wait to report).
+    pub queue_wait_micros: u64,
+    /// Wall-clock microseconds of the solve itself (0 = not measured; the
+    /// pipeline's solver stage and the query engine fill it in). Unlike
+    /// every other field this one is nondeterministic by nature, so
+    /// byte-identical-result comparisons must ignore it.
+    pub solve_micros: u64,
 }
 
 impl SolverStats {
@@ -155,6 +165,8 @@ impl SolverStats {
         self.early_termination |= other.early_termination;
         self.threads = self.threads.max(other.threads);
         self.shards = self.shards.max(other.shards);
+        self.queue_wait_micros += other.queue_wait_micros;
+        self.solve_micros += other.solve_micros;
     }
 }
 
@@ -193,6 +205,15 @@ pub trait StableClusterSolver: std::fmt::Debug {
 
     /// Solve the configured problem over `graph`.
     fn solve(&mut self, graph: &ClusterGraph) -> BscResult<Solution>;
+
+    /// Solve against a shared [`GraphSnapshot`] — the long-lived-engine
+    /// entry point. Solvers *borrow* the snapshot's graph (they never own
+    /// graphs), so any number of queries can run against the same epoch
+    /// concurrently while newer epochs are published. The default simply
+    /// dereferences; solvers have no reason to override it.
+    fn solve_snapshot(&mut self, snapshot: &GraphSnapshot) -> BscResult<Solution> {
+        self.solve(snapshot.graph())
+    }
 }
 
 /// The algorithms the engine can run, for dynamic dispatch and configuration.

@@ -7,16 +7,24 @@
 //! and any new top-k paths — can be computed without touching older state.
 //! [`OnlineStableClusters`] keeps exactly that sliding window plus the global
 //! top-k heap and exposes [`OnlineStableClusters::push_interval`].
+//!
+//! For the long-lived query engine the stream is also the **graph source**:
+//! every ingested edge is retained, and [`OnlineStableClusters::snapshot`]
+//! materializes the graph-so-far as an epoch-tagged [`GraphSnapshot`]
+//! (epoch = intervals ingested). [`OnlineStableClusters::publish_to`] swaps
+//! it into a [`SnapshotCell`] atomically, so in-flight queries keep solving
+//! against the epoch they pinned while new intervals arrive.
 
 use std::collections::HashMap;
 
 use bsc_graph::cluster::KeywordCluster;
 
 use crate::affinity::Affinity;
-use crate::cluster_graph::{ClusterGraph, ClusterNodeId};
+use crate::cluster_graph::{ClusterGraph, ClusterGraphBuilder, ClusterNodeId};
 use crate::path::ClusterPath;
 use crate::path_tree::SharedPath;
 use crate::problem::KlStableParams;
+use crate::snapshot::{GraphSnapshot, SnapshotCell};
 use crate::topk::SharedTopK;
 
 /// Incremental solver for kl-stable clusters over a growing timeline.
@@ -34,6 +42,11 @@ pub struct OnlineStableClusters {
     global: SharedTopK,
     /// Total edges ingested (for reporting).
     edges_ingested: u64,
+    /// Every accepted edge, retained so the graph-so-far can be
+    /// materialized as a [`GraphSnapshot`] at any epoch.
+    edges: Vec<(ClusterNodeId, ClusterNodeId, f64)>,
+    /// Cached snapshot of the current epoch (invalidated by ingest).
+    cached_snapshot: Option<GraphSnapshot>,
 }
 
 impl std::fmt::Debug for OnlineStableClusters {
@@ -59,6 +72,8 @@ impl OnlineStableClusters {
             window: HashMap::new(),
             global: SharedTopK::new(params.k),
             edges_ingested: 0,
+            edges: Vec::new(),
+            cached_snapshot: None,
         }
     }
 
@@ -76,12 +91,15 @@ impl OnlineStableClusters {
     ///
     /// `parent_edges[j]` lists the incoming edges of the interval's `j`-th
     /// cluster node as `(earlier node, weight)` pairs. Edges pointing to
-    /// intervals earlier than `current − g − 1` or with non-positive weight
-    /// are rejected.
+    /// intervals earlier than `current − g − 1` or with weight outside
+    /// `(0, 1]` are rejected — cluster-graph affinities are normalized into
+    /// `(0, 1]`, and admitting larger weights would let
+    /// [`OnlineStableClusters::snapshot`]'s builder renormalize them,
+    /// silently diverging from the online heaps.
     ///
     /// # Panics
     /// Panics if an edge references a node that does not exist or violates
-    /// the gap constraint.
+    /// the gap or weight constraints.
     pub fn push_interval(&mut self, parent_edges: Vec<Vec<(ClusterNodeId, f64)>>) {
         let interval = self.intervals;
         let l = self.params.l;
@@ -108,8 +126,12 @@ impl OnlineStableClusters {
                         && parent.index < self.nodes_per_interval[parent.interval as usize],
                     "parent {parent} does not exist"
                 );
-                assert!(weight > 0.0, "edge weights must be positive");
+                assert!(
+                    weight > 0.0 && weight <= 1.0,
+                    "edge weights must lie in (0, 1] (cluster-graph affinities are normalized)"
+                );
                 self.edges_ingested += 1;
+                self.edges.push((parent, node, weight));
                 let len = interval - parent.interval;
                 if len > l {
                     continue;
@@ -151,6 +173,7 @@ impl OnlineStableClusters {
 
         self.nodes_per_interval.push(num_nodes);
         self.intervals += 1;
+        self.cached_snapshot = None;
         for (node, heaps) in new_heaps {
             self.window.insert(node, heaps);
         }
@@ -175,22 +198,47 @@ impl OnlineStableClusters {
             .collect()
     }
 
+    /// Materialize the graph-so-far as an epoch-tagged [`GraphSnapshot`]
+    /// (epoch = intervals ingested so far). Every accepted edge is present
+    /// with its exact weight — `push_interval` admits only weights in
+    /// `(0, 1]`, so the builder's normalization pass is the identity and
+    /// any path inside the snapshot scores bit-identically to the online
+    /// heaps. The built graph is cached per epoch; repeated calls between
+    /// ingests are `Arc`-cheap, but the *first* call after an ingest
+    /// rebuilds the CSR graph from every retained edge — O(edges so far).
+    /// Publishing after every interval therefore costs O(E) per epoch;
+    /// batch several intervals per publication when that matters.
+    pub fn snapshot(&mut self) -> GraphSnapshot {
+        if let Some(snapshot) = &self.cached_snapshot {
+            return snapshot.clone();
+        }
+        let mut builder = ClusterGraphBuilder::new(self.gap);
+        for &count in &self.nodes_per_interval {
+            builder.add_interval(count);
+        }
+        for &(from, to, weight) in &self.edges {
+            builder.add_edge(from, to, weight);
+        }
+        let snapshot = GraphSnapshot::new(builder.build()).with_epoch(u64::from(self.intervals));
+        self.cached_snapshot = Some(snapshot.clone());
+        snapshot
+    }
+
+    /// Publish the graph-so-far into `cell` — the streamed-ingest half of
+    /// the long-lived engine: new intervals become new epochs via an atomic
+    /// swap, and queries already running against an older epoch are never
+    /// blocked or retargeted. Returns the installed snapshot (re-tagged
+    /// with the cell's next epoch).
+    pub fn publish_to(&mut self, cell: &SnapshotCell) -> GraphSnapshot {
+        cell.install(self.snapshot())
+    }
+
     /// Replay an existing cluster graph interval by interval (mainly for
     /// testing the equivalence with the batch algorithm).
     pub fn replay(params: KlStableParams, graph: &ClusterGraph) -> Self {
         let mut online = OnlineStableClusters::new(params, graph.gap());
         for interval in 0..graph.num_intervals() as u32 {
-            let parent_edges: Vec<Vec<(ClusterNodeId, f64)>> = graph
-                .interval_node_ids(interval)
-                .map(|node| {
-                    graph
-                        .parents(node)
-                        .iter()
-                        .map(|edge| (edge.to, edge.weight))
-                        .collect()
-                })
-                .collect();
-            online.push_interval(parent_edges);
+            online.push_interval(graph.interval_parent_edges(interval));
         }
         online
     }
@@ -304,6 +352,55 @@ mod tests {
     }
 
     #[test]
+    fn replayed_snapshot_reconstructs_the_graph_bit_for_bit() {
+        let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+            num_intervals: 5,
+            nodes_per_interval: 10,
+            avg_out_degree: 3,
+            gap: 1,
+            seed: 42,
+        })
+        .generate();
+        let mut online = OnlineStableClusters::replay(KlStableParams::new(3, 2), &graph);
+        let snapshot = online.snapshot();
+        assert_eq!(snapshot.epoch(), graph.num_intervals() as u64);
+        assert_eq!(snapshot.num_nodes(), graph.num_nodes());
+        assert_eq!(snapshot.num_edges(), graph.num_edges());
+        for (from, to, weight) in graph.edges() {
+            assert_eq!(
+                snapshot.edge_weight(from, to).map(f64::to_bits),
+                Some(weight.to_bits()),
+                "{from} -> {to}"
+            );
+        }
+        // The per-epoch cache makes repeated calls share the same graph.
+        assert!(std::sync::Arc::ptr_eq(
+            snapshot.graph(),
+            online.snapshot().graph()
+        ));
+    }
+
+    #[test]
+    fn publish_to_swaps_epochs_as_intervals_arrive() {
+        let cell = SnapshotCell::empty();
+        let mut online = OnlineStableClusters::new(KlStableParams::new(2, 1), 0);
+        online.push_interval(vec![Vec::new(), Vec::new()]);
+        let first = online.publish_to(&cell);
+        assert_eq!(first.epoch(), 1);
+        assert_eq!(cell.load().num_intervals(), 1);
+
+        let pinned = cell.load();
+        online.push_interval(vec![vec![(ClusterNodeId::new(0, 0), 0.75)]]);
+        let second = online.publish_to(&cell);
+        assert_eq!(second.epoch(), 2);
+        assert_eq!(cell.load().num_intervals(), 2);
+        assert_eq!(cell.load().num_edges(), 1);
+        // The query that pinned the old epoch still sees the old graph.
+        assert_eq!(pinned.num_intervals(), 1);
+        assert_eq!(pinned.num_edges(), 0);
+    }
+
+    #[test]
     fn incremental_results_grow_monotonically() {
         let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
             num_intervals: 6,
@@ -317,17 +414,7 @@ mod tests {
         let mut online = OnlineStableClusters::new(params, graph.gap());
         let mut previous_best = f64::NEG_INFINITY;
         for interval in 0..graph.num_intervals() as u32 {
-            let parent_edges: Vec<Vec<(ClusterNodeId, f64)>> = graph
-                .interval_node_ids(interval)
-                .map(|node| {
-                    graph
-                        .parents(node)
-                        .iter()
-                        .map(|edge| (edge.to, edge.weight))
-                        .collect()
-                })
-                .collect();
-            online.push_interval(parent_edges);
+            online.push_interval(graph.interval_parent_edges(interval));
             let best = online
                 .current_top_k()
                 .first()
@@ -338,6 +425,16 @@ mod tests {
         }
         assert_eq!(online.num_intervals(), 6);
         assert!(online.edges_ingested() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1]")]
+    fn rejects_weights_above_one() {
+        // Admitting a weight above 1 would let snapshot()'s builder
+        // renormalize every edge, silently diverging from the heaps.
+        let mut online = OnlineStableClusters::new(KlStableParams::new(2, 1), 0);
+        online.push_interval(vec![Vec::new()]);
+        online.push_interval(vec![vec![(ClusterNodeId::new(0, 0), 1.5)]]);
     }
 
     #[test]

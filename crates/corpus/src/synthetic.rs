@@ -15,6 +15,8 @@
 //!   cliques the biconnected-component clustering is designed to find, with
 //!   persistence, drift and gaps across intervals.
 
+use std::sync::{Arc, OnceLock};
+
 use bsc_util::DetRng;
 
 use crate::document::{Document, DocumentId};
@@ -144,9 +146,20 @@ pub struct GeneratedCorpus {
     pub vocabulary: Vocabulary,
     /// The configuration used for generation.
     pub config: SyntheticConfig,
+    /// Lazily created shared handle to `vocabulary`, so attaching it to
+    /// graph snapshots costs one clone per corpus, not one per run.
+    shared_vocabulary: OnceLock<Arc<Vocabulary>>,
 }
 
 impl GeneratedCorpus {
+    /// A shared handle to [`GeneratedCorpus::vocabulary`], cloned at most
+    /// once per corpus (e.g. for attaching to a graph snapshot).
+    pub fn shared_vocabulary(&self) -> Arc<Vocabulary> {
+        self.shared_vocabulary
+            .get_or_init(|| Arc::new(self.vocabulary.clone()))
+            .clone()
+    }
+
     /// Approximate size of the corpus rendered as raw text (keyword strings
     /// joined by spaces), in bytes. Used for the Table 1 "file size" column.
     pub fn approx_text_bytes(&self) -> u64 {
@@ -296,6 +309,7 @@ impl SyntheticBlogosphere {
             timeline,
             vocabulary,
             config: config.clone(),
+            shared_vocabulary: OnceLock::new(),
         }
     }
 }

@@ -1,0 +1,97 @@
+//! `bsc` — the stable-cluster service binary.
+//!
+//! ```text
+//! bsc serve  [--workers <n>] [--queue <n>] [--cache <n>]
+//! bsc oracle
+//! ```
+//!
+//! `bsc serve` runs the long-lived query engine behind the line-delimited
+//! JSON protocol (see `docs/service.md`): one request object per stdin
+//! line, one response object per stdout line, until `{"op":"shutdown"}` or
+//! EOF. `--workers` sizes the fixed thread pool (default: the machine's
+//! parallelism), `--queue` the bounded FIFO admission queue (default 64),
+//! `--cache` the epoch-tagged solution cache (default 128, 0 disables).
+//!
+//! `bsc oracle` answers the same protocol with direct one-shot solves — no
+//! pool, no queue, no cache. Deterministic responses of the two modes are
+//! byte-identical, which CI asserts by diffing the transcripts of a
+//! scripted session.
+
+use std::io::{BufRead, Write};
+
+use bsc_service::engine::EngineConfig;
+use bsc_service::session::Session;
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!("usage: bsc serve [--workers <n>] [--queue <n>] [--cache <n>] | bsc oracle");
+    std::process::exit(2);
+}
+
+fn flag_value<'a>(iter: &mut impl Iterator<Item = &'a String>, flag: &str) -> usize {
+    match iter.next().map(|v| v.parse::<usize>()) {
+        Some(Ok(n)) => n,
+        _ => usage_error(&format!("{flag} requires a non-negative integer")),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut session = match args.first().map(String::as_str) {
+        Some("oracle") => {
+            if args.len() > 1 {
+                usage_error("oracle takes no flags");
+            }
+            Session::oracle()
+        }
+        Some("serve") => {
+            let mut config = EngineConfig::default();
+            let mut iter = args[1..].iter();
+            while let Some(arg) = iter.next() {
+                match arg.as_str() {
+                    "--workers" => match flag_value(&mut iter, "--workers") {
+                        0 => usage_error("--workers must be >= 1"),
+                        n => config = config.workers(n),
+                    },
+                    "--queue" => match flag_value(&mut iter, "--queue") {
+                        0 => usage_error("--queue must be >= 1"),
+                        n => config = config.queue_capacity(n),
+                    },
+                    "--cache" => config = config.cache_capacity(flag_value(&mut iter, "--cache")),
+                    other => usage_error(&format!("unknown flag '{other}'")),
+                }
+            }
+            match Session::engine(config) {
+                Ok(session) => session,
+                Err(e) => usage_error(&format!("cannot start engine: {e}")),
+            }
+        }
+        _ => usage_error("expected a subcommand: serve or oracle"),
+    };
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                eprintln!("stdin read failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let (response, keep_going) = session.handle_line(&line);
+        if let Some(response) = response {
+            if writeln!(out, "{response}")
+                .and_then(|()| out.flush())
+                .is_err()
+            {
+                // Reader went away (e.g. `head`); exit quietly.
+                std::process::exit(0);
+            }
+        }
+        if !keep_going {
+            break;
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! The epoch-tagged LRU solution cache.
+//!
+//! Stable-cluster queries are pure functions of `(snapshot epoch, query
+//! parameters)`: the same algorithm, spec, `k` and options against the same
+//! graph always produce the byte-identical [`Solution`] (the workspace-wide
+//! determinism invariant). That makes caching trivial to get right — the
+//! only invalidation signal needed is the epoch. [`SolutionCache`] holds
+//! solutions for exactly **one** epoch (the newest it has seen): a snapshot
+//! swap advances the epoch and drops everything, so a stale answer can
+//! never be served, and queries still running against older pinned epochs
+//! simply bypass the cache rather than poison it.
+
+use std::collections::HashMap;
+
+use bsc_core::solver::Solution;
+
+/// Counters describing cache behaviour since engine start.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Configured capacity (0 disables caching).
+    pub capacity: usize,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (including epoch mismatches).
+    pub misses: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Entries dropped by epoch advances (snapshot swaps).
+    pub invalidations: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    solution: Solution,
+    last_used: u64,
+}
+
+/// A bounded LRU cache of query solutions, valid for a single epoch.
+#[derive(Debug)]
+pub struct SolutionCache {
+    capacity: usize,
+    /// The epoch every resident entry belongs to.
+    epoch: u64,
+    /// Monotone recency clock for the LRU policy.
+    tick: u64,
+    map: HashMap<String, Entry>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+impl SolutionCache {
+    /// An empty cache holding at most `capacity` solutions (0 disables it).
+    pub fn new(capacity: usize) -> Self {
+        SolutionCache {
+            capacity,
+            epoch: 0,
+            tick: 0,
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Drop every entry belonging to an older epoch. Called on snapshot
+    /// swap; also invoked lazily when a put arrives for a newer epoch.
+    pub fn advance_epoch(&mut self, epoch: u64) {
+        if epoch > self.epoch {
+            self.invalidations += self.map.len() as u64;
+            self.map.clear();
+            self.epoch = epoch;
+        }
+    }
+
+    /// Look up the solution for `key` computed at `epoch`. Counts a miss
+    /// when absent or when the epoch does not match the resident one.
+    pub fn get(&mut self, epoch: u64, key: &str) -> Option<Solution> {
+        if epoch != self.epoch {
+            self.misses += 1;
+            return None;
+        }
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.hits += 1;
+                Some(entry.solution.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a solution computed at `epoch`. A put for a newer epoch first
+    /// invalidates the older entries; a put for an *older* epoch (a query
+    /// that pinned its snapshot before a swap) is dropped — the cache only
+    /// ever answers for the newest epoch.
+    pub fn put(&mut self, epoch: u64, key: String, solution: Solution) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.advance_epoch(epoch);
+        if epoch < self.epoch {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.insert(
+            key,
+            Entry {
+                solution,
+                last_used: tick,
+            },
+        );
+        if self.map.len() > self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.map.len(),
+            capacity: self.capacity,
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            invalidations: self.invalidations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsc_core::cluster_graph::ClusterNodeId;
+    use bsc_core::path::ClusterPath;
+    use bsc_core::solver::SolverStats;
+    use bsc_storage::io_stats::IoSnapshot;
+
+    fn solution(weight: f64) -> Solution {
+        Solution {
+            paths: vec![ClusterPath::new(
+                vec![ClusterNodeId::new(0, 0), ClusterNodeId::new(1, 0)],
+                weight,
+            )],
+            stats: SolverStats::default(),
+            io: IoSnapshot::default(),
+        }
+    }
+
+    #[test]
+    fn hit_after_put_same_epoch() {
+        let mut cache = SolutionCache::new(4);
+        assert!(cache.get(1, "q").is_none());
+        cache.put(1, "q".into(), solution(0.5));
+        let hit = cache.get(1, "q").expect("cached");
+        assert_eq!(hit.paths[0].weight(), 0.5);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn epoch_advance_invalidates_everything() {
+        let mut cache = SolutionCache::new(4);
+        cache.put(1, "a".into(), solution(0.1));
+        cache.put(1, "b".into(), solution(0.2));
+        cache.advance_epoch(2);
+        assert!(cache.get(2, "a").is_none());
+        assert_eq!(cache.stats().invalidations, 2);
+        assert_eq!(cache.stats().entries, 0);
+        // A put for a newer epoch invalidates lazily too.
+        cache.put(2, "a".into(), solution(0.3));
+        cache.put(3, "c".into(), solution(0.4));
+        assert!(cache.get(3, "a").is_none());
+        assert!(cache.get(3, "c").is_some());
+    }
+
+    #[test]
+    fn stale_epoch_lookups_and_puts_bypass_the_cache() {
+        let mut cache = SolutionCache::new(4);
+        cache.advance_epoch(5);
+        // A query pinned at epoch 3 finishes after the swap to 5.
+        cache.put(3, "old".into(), solution(0.9));
+        assert!(cache.get(3, "old").is_none());
+        assert!(cache.get(5, "old").is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used() {
+        let mut cache = SolutionCache::new(2);
+        cache.put(1, "a".into(), solution(0.1));
+        cache.put(1, "b".into(), solution(0.2));
+        assert!(cache.get(1, "a").is_some()); // refresh "a"
+        cache.put(1, "c".into(), solution(0.3)); // evicts "b"
+        assert!(cache.get(1, "b").is_none());
+        assert!(cache.get(1, "a").is_some());
+        assert!(cache.get(1, "c").is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = SolutionCache::new(0);
+        cache.put(1, "a".into(), solution(0.1));
+        assert!(cache.get(1, "a").is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

@@ -1,0 +1,654 @@
+//! The fixed thread-pool query executor.
+//!
+//! [`QueryEngine`] is the long-lived heart of `bsc serve`: it owns the
+//! current [`GraphSnapshot`] (behind a [`SnapshotCell`]), a fixed pool of
+//! worker threads, a bounded FIFO admission queue and an epoch-tagged LRU
+//! cache of solutions. Queries pin the snapshot current at **admission**, so
+//! a snapshot swap mid-stream never blocks, retargets or corrupts an
+//! in-flight query — it only means later queries see the newer epoch.
+//!
+//! Execution goes through the same object-safe
+//! [`StableClusterSolver`](bsc_core::solver::StableClusterSolver) seam as
+//! everything else: any [`AlgorithmKind`] (including `Auto` resolution and
+//! sharded solving via [`SolverOptions::shards`]) with per-query
+//! [`SolverOptions`]. The determinism invariant therefore carries over — an
+//! engine answer is byte-identical to `Pipeline::run` on the same graph —
+//! which `tests/query_service.rs` asserts for every algorithm × storage
+//! backend × shard count, under concurrent mixed-algorithm storms and
+//! across epoch swaps.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bsc_core::cluster_graph::ClusterGraph;
+use bsc_core::error::{BscError, BscResult};
+use bsc_core::problem::StableClusterSpec;
+use bsc_core::snapshot::{GraphSnapshot, SnapshotCell};
+use bsc_core::solver::{AlgorithmKind, Solution, SolverOptions};
+use bsc_util::LatencyHistogram;
+
+use crate::cache::{CacheStats, SolutionCache};
+
+/// Sizing knobs for a [`QueryEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads in the fixed pool. Must be ≥ 1. See
+    /// `docs/service.md` for sizing guidance (workers × per-query threads
+    /// should not exceed the machine's cores).
+    pub workers: usize,
+    /// Capacity of the bounded FIFO admission queue. A full queue blocks
+    /// [`QueryEngine::submit`] and rejects [`QueryEngine::try_submit`] with
+    /// [`BscError::Saturated`]. Must be ≥ 1.
+    pub queue_capacity: usize,
+    /// Capacity of the epoch-tagged LRU solution cache (0 disables it).
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            queue_capacity: 64,
+            cache_capacity: 128,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Set the worker count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Set the admission-queue capacity.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Set the solution-cache capacity.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    fn validate(&self) -> BscResult<()> {
+        if self.workers == 0 {
+            return Err(BscError::InvalidConfig(
+                "engine workers must be >= 1".into(),
+            ));
+        }
+        if self.queue_capacity == 0 {
+            return Err(BscError::InvalidConfig(
+                "engine queue capacity must be >= 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One query: the problem (spec, `k`), the algorithm that answers it and
+/// the deployment-level [`SolverOptions`] — exactly the parameters of
+/// [`AlgorithmKind::build_with_options`], so anything the one-shot path can
+/// solve, the engine can serve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryRequest {
+    /// Which algorithm answers the query (including `Auto` and, through
+    /// [`SolverOptions::shards`], sharded solving).
+    pub algorithm: AlgorithmKind,
+    /// Which problem to solve.
+    pub spec: StableClusterSpec,
+    /// Number of result paths.
+    pub k: usize,
+    /// Per-query deployment options (threads, storage backend, shards).
+    pub options: SolverOptions,
+}
+
+impl QueryRequest {
+    /// A request with default options.
+    pub fn new(algorithm: AlgorithmKind, spec: StableClusterSpec, k: usize) -> Self {
+        QueryRequest {
+            algorithm,
+            spec,
+            k,
+            options: SolverOptions::default(),
+        }
+    }
+
+    /// Replace the options.
+    pub fn options(mut self, options: SolverOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The canonical cache key: every parameter that can change the answer
+    /// (or its cost profile), rendered through the same stable textual
+    /// forms the CLI and protocol use.
+    pub fn cache_key(&self) -> String {
+        let SolverOptions {
+            threads,
+            storage,
+            bfs_store_backed,
+            shards,
+        } = self.options;
+        format!(
+            "alg={}|spec={}|k={}|threads={threads}|storage={storage}|store_backed={bfs_store_backed}|shards={shards}",
+            self.algorithm, self.spec, self.k
+        )
+    }
+
+    pub(crate) fn validate(&self) -> BscResult<()> {
+        if self.k == 0 {
+            return Err(BscError::InvalidConfig(
+                "k must be positive: a top-0 query returns nothing".into(),
+            ));
+        }
+        if self.options.threads == 0 {
+            return Err(BscError::InvalidConfig(
+                "threads must be >= 1 (1 = sequential)".into(),
+            ));
+        }
+        if self.options.shards == 0 {
+            return Err(BscError::InvalidConfig(
+                "shards must be >= 1 (1 = unsharded)".into(),
+            ));
+        }
+        self.algorithm.check_spec(self.spec)
+    }
+}
+
+/// A finished query: the [`Solution`] plus where and how it was computed.
+///
+/// `solution.stats.queue_wait_micros` carries the admission-queue wait and
+/// `solution.stats.solve_micros` the solve wall-clock (0 for cache hits —
+/// nothing was solved).
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The solver output; `paths` are byte-identical to the one-shot solve
+    /// of the same request against the same graph.
+    pub solution: Solution,
+    /// Epoch of the snapshot the query was answered against (pinned at
+    /// admission).
+    pub epoch: u64,
+    /// Whether the answer came from the solution cache.
+    pub cached: bool,
+}
+
+/// Handle to a submitted query; redeem it with [`QueryTicket::wait`].
+#[derive(Debug)]
+pub struct QueryTicket {
+    receiver: mpsc::Receiver<BscResult<QueryResponse>>,
+}
+
+impl QueryTicket {
+    /// Block until the query finishes.
+    pub fn wait(self) -> BscResult<QueryResponse> {
+        self.receiver.recv().unwrap_or(Err(BscError::Shutdown))
+    }
+}
+
+struct Job {
+    request: QueryRequest,
+    snapshot: GraphSnapshot,
+    enqueued: Instant,
+    reply: mpsc::Sender<BscResult<QueryResponse>>,
+}
+
+/// Aggregate engine counters and latency distributions, as returned by
+/// [`QueryEngine::stats`].
+#[derive(Debug, Clone)]
+pub struct EngineStats {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Admission-queue capacity.
+    pub queue_capacity: usize,
+    /// Current snapshot epoch.
+    pub epoch: u64,
+    /// Queries answered (including cache hits and errors).
+    pub queries: u64,
+    /// Queries that returned an error.
+    pub errors: u64,
+    /// Cache counters.
+    pub cache: CacheStats,
+    /// Distribution of admission-queue waits.
+    pub queue_wait: LatencyHistogram,
+    /// Distribution of solve times (cache hits excluded).
+    pub solve: LatencyHistogram,
+}
+
+#[derive(Default)]
+struct Metrics {
+    queries: u64,
+    errors: u64,
+    queue_wait: LatencyHistogram,
+    solve: LatencyHistogram,
+}
+
+struct Shared {
+    cache: Mutex<SolutionCache>,
+    metrics: Mutex<Metrics>,
+    /// Queries admitted but not yet answered (gauge).
+    in_flight: AtomicU64,
+}
+
+/// The long-lived query executor. See the module docs.
+pub struct QueryEngine {
+    cell: Arc<SnapshotCell>,
+    shared: Arc<Shared>,
+    /// `None` once shut down (dropping the sender stops the workers).
+    queue: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    config: EngineConfig,
+}
+
+impl std::fmt::Debug for QueryEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryEngine")
+            .field("config", &self.config)
+            .field("epoch", &self.cell.epoch())
+            .field("shut_down", &self.queue.is_none())
+            .finish()
+    }
+}
+
+impl QueryEngine {
+    /// Start an engine over an empty epoch-0 graph.
+    pub fn new(config: EngineConfig) -> BscResult<QueryEngine> {
+        Self::with_cell(config, Arc::new(SnapshotCell::empty()))
+    }
+
+    /// Start an engine reading snapshots from an existing cell (so an
+    /// external ingest path can publish epochs directly; prefer
+    /// [`QueryEngine::install`] where possible — it also invalidates the
+    /// solution cache, which a bare `cell.install` cannot).
+    pub fn with_cell(config: EngineConfig, cell: Arc<SnapshotCell>) -> BscResult<QueryEngine> {
+        config.validate()?;
+        let (sender, receiver) = mpsc::sync_channel::<Job>(config.queue_capacity);
+        let receiver = Arc::new(Mutex::new(receiver));
+        let shared = Arc::new(Shared {
+            cache: Mutex::new(SolutionCache::new(config.cache_capacity)),
+            metrics: Mutex::new(Metrics::default()),
+            in_flight: AtomicU64::new(0),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("bsc-query-{i}"))
+                    .spawn(move || worker_loop(&receiver, &shared))
+                    .expect("spawn query worker")
+            })
+            .collect();
+        Ok(QueryEngine {
+            cell,
+            shared,
+            queue: Some(sender),
+            workers,
+            config,
+        })
+    }
+
+    /// The engine's sizing configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// The snapshot publication point (shared with ingest paths).
+    pub fn snapshot_cell(&self) -> &Arc<SnapshotCell> {
+        &self.cell
+    }
+
+    /// The current snapshot epoch.
+    pub fn epoch(&self) -> u64 {
+        self.cell.epoch()
+    }
+
+    /// Install a new snapshot: atomically swap it into the cell (assigning
+    /// the next epoch) and invalidate the solution cache. In-flight queries
+    /// keep the snapshot they pinned at admission. Returns the installed
+    /// snapshot.
+    pub fn install(&self, snapshot: GraphSnapshot) -> GraphSnapshot {
+        let installed = self.cell.install(snapshot);
+        self.shared
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .advance_epoch(installed.epoch());
+        installed
+    }
+
+    /// Convenience wrapper over [`QueryEngine::install`] for a bare graph.
+    pub fn install_graph(&self, graph: ClusterGraph) -> GraphSnapshot {
+        self.install(GraphSnapshot::new(graph))
+    }
+
+    /// Admit a query, **blocking** while the bounded FIFO queue is full.
+    /// The snapshot is pinned now, not when a worker picks the job up.
+    pub fn submit(&self, request: QueryRequest) -> BscResult<QueryTicket> {
+        let (job, ticket) = self.admit(request)?;
+        let queue = self.queue.as_ref().ok_or(BscError::Shutdown)?;
+        // Count the job before it becomes visible to workers — a worker
+        // could otherwise dequeue, solve and decrement first, wrapping the
+        // gauge below zero.
+        self.shared.in_flight.fetch_add(1, Ordering::Relaxed);
+        if queue.send(job).is_err() {
+            self.shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+            return Err(BscError::Shutdown);
+        }
+        Ok(ticket)
+    }
+
+    /// Admit a query without blocking: a full queue is reported as
+    /// [`BscError::Saturated`] (back-pressure to shed load instead of
+    /// buffering unboundedly).
+    pub fn try_submit(&self, request: QueryRequest) -> BscResult<QueryTicket> {
+        let (job, ticket) = self.admit(request)?;
+        let queue = self.queue.as_ref().ok_or(BscError::Shutdown)?;
+        // Pre-count for the same reason as `submit`; undo on rejection.
+        self.shared.in_flight.fetch_add(1, Ordering::Relaxed);
+        match queue.try_send(job) {
+            Ok(()) => Ok(ticket),
+            Err(error) => {
+                self.shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+                match error {
+                    TrySendError::Full(_) => Err(BscError::Saturated {
+                        capacity: self.config.queue_capacity,
+                    }),
+                    TrySendError::Disconnected(_) => Err(BscError::Shutdown),
+                }
+            }
+        }
+    }
+
+    /// Submit and wait — the blocking convenience path.
+    pub fn query(&self, request: QueryRequest) -> BscResult<QueryResponse> {
+        self.submit(request)?.wait()
+    }
+
+    /// Aggregate counters and latency distributions since start.
+    pub fn stats(&self) -> EngineStats {
+        let cache = self
+            .shared
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .stats();
+        let metrics = self.shared.metrics.lock().expect("metrics lock poisoned");
+        EngineStats {
+            workers: self.config.workers,
+            queue_capacity: self.config.queue_capacity,
+            epoch: self.cell.epoch(),
+            queries: metrics.queries,
+            errors: metrics.errors,
+            cache,
+            queue_wait: metrics.queue_wait.clone(),
+            solve: metrics.solve.clone(),
+        }
+    }
+
+    /// Queries admitted but not yet answered.
+    pub fn in_flight(&self) -> u64 {
+        self.shared.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting queries, drain the queue and join the workers.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.queue = None; // workers exit when the queue disconnects
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn admit(&self, request: QueryRequest) -> BscResult<(Job, QueryTicket)> {
+        request.validate()?;
+        let (reply, receiver) = mpsc::channel();
+        let job = Job {
+            request,
+            snapshot: self.cell.load(),
+            enqueued: Instant::now(),
+            reply,
+        };
+        Ok((job, QueryTicket { receiver }))
+    }
+}
+
+impl Drop for QueryEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn duration_micros(d: Duration) -> u64 {
+    d.as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>, shared: &Shared) {
+    loop {
+        // Hold the receiver lock only for the dequeue, never during a solve,
+        // so the pool drains the FIFO queue concurrently.
+        let job = match receiver.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        let Ok(job) = job else { return };
+        let queue_wait = job.enqueued.elapsed();
+        let result = execute(&job, queue_wait, shared);
+        {
+            let mut metrics = shared.metrics.lock().expect("metrics lock poisoned");
+            metrics.queries += 1;
+            metrics.queue_wait.record(queue_wait);
+            match &result {
+                Ok(response) if !response.cached => {
+                    metrics
+                        .solve
+                        .record_micros(response.solution.stats.solve_micros);
+                }
+                Ok(_) => {}
+                Err(_) => metrics.errors += 1,
+            }
+        }
+        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+        // A dropped ticket just means nobody is waiting for the answer.
+        let _ = job.reply.send(result);
+    }
+}
+
+fn execute(job: &Job, queue_wait: Duration, shared: &Shared) -> BscResult<QueryResponse> {
+    let epoch = job.snapshot.epoch();
+    let key = job.request.cache_key();
+    if let Some(mut solution) = shared
+        .cache
+        .lock()
+        .expect("cache lock poisoned")
+        .get(epoch, &key)
+    {
+        solution.stats.queue_wait_micros = duration_micros(queue_wait);
+        solution.stats.solve_micros = 0;
+        return Ok(QueryResponse {
+            solution,
+            epoch,
+            cached: true,
+        });
+    }
+    let mut solver = job.request.algorithm.build_with_options(
+        job.request.spec,
+        job.request.k,
+        job.snapshot.num_intervals(),
+        job.request.options,
+    )?;
+    let start = Instant::now();
+    let mut solution = solver.solve_snapshot(&job.snapshot)?;
+    solution.stats.solve_micros = duration_micros(start.elapsed());
+    // Cache the canonical form (no queue wait — that belongs to one query,
+    // not to the answer).
+    shared
+        .cache
+        .lock()
+        .expect("cache lock poisoned")
+        .put(epoch, key, solution.clone());
+    solution.stats.queue_wait_micros = duration_micros(queue_wait);
+    Ok(QueryResponse {
+        solution,
+        epoch,
+        cached: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsc_core::synthetic::{ClusterGraphGenerator, SyntheticGraphParams};
+
+    fn graph(seed: u64) -> ClusterGraph {
+        ClusterGraphGenerator::new(SyntheticGraphParams {
+            num_intervals: 5,
+            nodes_per_interval: 10,
+            avg_out_degree: 3,
+            gap: 1,
+            seed,
+        })
+        .generate()
+    }
+
+    fn engine() -> QueryEngine {
+        QueryEngine::new(EngineConfig::default().workers(2).cache_capacity(8)).unwrap()
+    }
+
+    #[test]
+    fn answers_match_the_direct_solve() {
+        let engine = engine();
+        engine.install_graph(graph(7));
+        let request = QueryRequest::new(AlgorithmKind::Bfs, StableClusterSpec::ExactLength(2), 4);
+        let response = engine.query(request).unwrap();
+        assert_eq!(response.epoch, 1);
+        assert!(!response.cached);
+        assert!(response.solution.stats.solve_micros > 0);
+
+        let mut direct = AlgorithmKind::Bfs
+            .build(StableClusterSpec::ExactLength(2), 4, 5)
+            .unwrap();
+        let expected = direct.solve(&graph(7)).unwrap();
+        assert_eq!(expected.paths.len(), response.solution.paths.len());
+        for (a, b) in expected.paths.iter().zip(response.solution.paths.iter()) {
+            assert_eq!(a.nodes(), b.nodes());
+            assert_eq!(a.weight().to_bits(), b.weight().to_bits());
+        }
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache_until_the_epoch_swaps() {
+        let engine = engine();
+        engine.install_graph(graph(7));
+        let request = QueryRequest::new(AlgorithmKind::Bfs, StableClusterSpec::ExactLength(2), 4);
+        let first = engine.query(request).unwrap();
+        let second = engine.query(request).unwrap();
+        assert!(!first.cached);
+        assert!(second.cached);
+        assert_eq!(second.solution.stats.solve_micros, 0);
+        for (a, b) in first
+            .solution
+            .paths
+            .iter()
+            .zip(second.solution.paths.iter())
+        {
+            assert_eq!(a.nodes(), b.nodes());
+            assert_eq!(a.weight().to_bits(), b.weight().to_bits());
+        }
+        // Swap the graph: the cache must not serve the old answer.
+        engine.install_graph(graph(8));
+        let third = engine.query(request).unwrap();
+        assert!(!third.cached);
+        assert_eq!(third.epoch, 2);
+        let stats = engine.stats();
+        assert_eq!(stats.queries, 3);
+        assert_eq!(stats.cache.hits, 1);
+        assert!(stats.cache.invalidations >= 1);
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_at_admission() {
+        let engine = engine();
+        engine.install_graph(graph(7));
+        let bad_k = QueryRequest::new(AlgorithmKind::Bfs, StableClusterSpec::ExactLength(2), 0);
+        assert!(matches!(
+            engine.query(bad_k).unwrap_err(),
+            BscError::InvalidConfig(_)
+        ));
+        let mismatch = QueryRequest::new(
+            AlgorithmKind::Normalized,
+            StableClusterSpec::ExactLength(2),
+            3,
+        );
+        assert!(matches!(
+            engine.query(mismatch).unwrap_err(),
+            BscError::Unsupported { .. }
+        ));
+        // Graph-dependent failures surface through the ticket, not a panic.
+        let ta_subpath = QueryRequest::new(AlgorithmKind::Ta, StableClusterSpec::ExactLength(1), 3);
+        assert!(matches!(
+            engine.query(ta_subpath).unwrap_err(),
+            BscError::Unsupported {
+                algorithm: "ta",
+                ..
+            }
+        ));
+        // Errors are counted but do not kill workers.
+        assert_eq!(engine.stats().errors, 1);
+        let ok = QueryRequest::new(AlgorithmKind::Bfs, StableClusterSpec::ExactLength(2), 3);
+        assert!(engine.query(ok).is_ok());
+    }
+
+    #[test]
+    fn try_submit_sheds_load_when_the_queue_is_full() {
+        // One worker, one queue slot: fill the pipeline with slow-ish
+        // queries, then observe Saturated on the overflow.
+        let engine = QueryEngine::new(
+            EngineConfig::default()
+                .workers(1)
+                .queue_capacity(1)
+                .cache_capacity(0),
+        )
+        .unwrap();
+        engine.install_graph(graph(3));
+        let request = QueryRequest::new(AlgorithmKind::Bfs, StableClusterSpec::ExactLength(2), 4);
+        let mut tickets = Vec::new();
+        let mut saturated = false;
+        for _ in 0..50 {
+            match engine.try_submit(request) {
+                Ok(ticket) => tickets.push(ticket),
+                Err(BscError::Saturated { capacity }) => {
+                    assert_eq!(capacity, 1);
+                    saturated = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(saturated, "queue never filled");
+        for ticket in tickets {
+            assert!(ticket.wait().is_ok());
+        }
+    }
+
+    #[test]
+    fn shutdown_rejects_new_queries_and_joins_workers() {
+        let mut engine = engine();
+        engine.install_graph(graph(7));
+        let request = QueryRequest::new(AlgorithmKind::Bfs, StableClusterSpec::ExactLength(2), 4);
+        assert!(engine.query(request).is_ok());
+        engine.shutdown();
+        assert!(matches!(
+            engine.query(request).unwrap_err(),
+            BscError::Shutdown
+        ));
+        engine.shutdown(); // idempotent
+    }
+}

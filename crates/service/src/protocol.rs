@@ -1,0 +1,381 @@
+//! The line-delimited JSON protocol of `bsc serve`.
+//!
+//! One request object per line on stdin, one response object per line on
+//! stdout — the std-only transport that composes with anything (pipes,
+//! socat, a container sidecar) without pulling in an HTTP stack. The JSON
+//! implementation is the workspace-shared [`bsc_util::json`] (the same code
+//! that writes and gates the bench baselines).
+//!
+//! Requests are discriminated by an `"op"` field:
+//!
+//! | op | fields | effect |
+//! |----|--------|--------|
+//! | `query` | `algorithm`, `spec`, `k`, `threads`, `storage`, `shards`, `store_backed` | solve against the current epoch |
+//! | `load` | `num_intervals`, `nodes_per_interval`, `avg_out_degree`, `gap`, `seed` | install a synthetic graph as a new epoch |
+//! | `open_stream` | `k`, `l`, `gap` | start online ingest |
+//! | `push_interval` | `nodes`, `edges` | ingest one interval, publish a new epoch |
+//! | `stream_top_k` | — | the online solver's current top-k |
+//! | `epoch` | — | current epoch |
+//! | `stats` | — | engine counters and latency histograms |
+//! | `shutdown` | — | acknowledge and end the session |
+//!
+//! `algorithm`, `spec` and `storage` use the same textual forms as the CLI
+//! (`AlgorithmKind::parse`, `StableClusterSpec::parse`,
+//! `StorageSpec::parse`). Edges are `[parent_interval, parent_index,
+//! node_index, weight]` quadruples. Responses to deterministic ops carry
+//! result data only (no timings, no cache flags), so a transcript can be
+//! diffed byte-for-byte against the `bsc oracle` reference executor —
+//! timings live in the `stats` response. Path weights are reported both
+//! human-readable (`weight`) and as big-endian hex bits (`weight_bits`), so
+//! byte-identity survives the text round-trip.
+
+use bsc_core::cluster_graph::ClusterNodeId;
+use bsc_core::path::ClusterPath;
+use bsc_core::problem::StableClusterSpec;
+use bsc_core::solver::{AlgorithmKind, SolverOptions};
+use bsc_storage::backend::StorageSpec;
+use bsc_util::json::{self, JsonValue};
+
+use crate::engine::QueryRequest;
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Solve one query against the current snapshot.
+    Query(QueryRequest),
+    /// Install a synthetic cluster graph (a new epoch).
+    Load {
+        /// Number of temporal intervals `m`.
+        num_intervals: usize,
+        /// Cluster nodes per interval `n`.
+        nodes_per_interval: u32,
+        /// Average out-degree `d`.
+        avg_out_degree: u32,
+        /// Maximum gap `g`.
+        gap: u32,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Start online ingest with the given top-k parameters.
+    OpenStream {
+        /// Number of tracked top paths.
+        k: usize,
+        /// Tracked path length `l`.
+        l: u32,
+        /// Maximum gap `g`.
+        gap: u32,
+    },
+    /// Ingest one interval into the open stream and publish a new epoch.
+    PushInterval {
+        /// Number of cluster nodes in the arriving interval.
+        nodes: u32,
+        /// Edges into the arriving interval, as
+        /// `(parent, node_index, weight)`.
+        edges: Vec<(ClusterNodeId, u32, f64)>,
+    },
+    /// The online solver's current top-k paths.
+    StreamTopK,
+    /// The current snapshot epoch.
+    Epoch,
+    /// Engine counters and latency histograms.
+    Stats,
+    /// End the session.
+    Shutdown,
+}
+
+fn field_u64(obj: &JsonValue, key: &str, default: u64) -> Result<u64, String> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(value) => value
+            .as_u64()
+            .ok_or_else(|| format!("field '{key}' must be a non-negative integer")),
+    }
+}
+
+fn field_u32(obj: &JsonValue, key: &str, default: u32) -> Result<u32, String> {
+    let value = field_u64(obj, key, u64::from(default))?;
+    u32::try_from(value).map_err(|_| format!("field '{key}' exceeds the 32-bit range"))
+}
+
+fn field_usize(obj: &JsonValue, key: &str, default: usize) -> Result<usize, String> {
+    let value = field_u64(obj, key, default as u64)?;
+    usize::try_from(value).map_err(|_| format!("field '{key}' exceeds the platform's range"))
+}
+
+fn field_bool(obj: &JsonValue, key: &str, default: bool) -> Result<bool, String> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(value) => value
+            .as_bool()
+            .ok_or_else(|| format!("field '{key}' must be a boolean")),
+    }
+}
+
+fn field_str<'a>(obj: &'a JsonValue, key: &str, default: &'a str) -> Result<&'a str, String> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(value) => value
+            .as_str()
+            .ok_or_else(|| format!("field '{key}' must be a string")),
+    }
+}
+
+/// Parse one request line. Errors are human-readable strings the session
+/// wraps into an error response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = json::parse(line)?;
+    let op = doc
+        .get("op")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "request must be an object with a string 'op' field".to_string())?;
+    match op {
+        "query" => {
+            let algorithm_name = field_str(&doc, "algorithm", "bfs")?;
+            let algorithm = AlgorithmKind::parse(algorithm_name)
+                .ok_or_else(|| format!("unknown algorithm '{algorithm_name}'"))?;
+            let spec_name = field_str(&doc, "spec", "full")?;
+            let spec = StableClusterSpec::parse(spec_name)
+                .ok_or_else(|| format!("unknown spec '{spec_name}'"))?;
+            let storage_name = field_str(&doc, "storage", "logfile")?;
+            let storage = StorageSpec::parse(storage_name)
+                .ok_or_else(|| format!("unknown storage '{storage_name}'"))?;
+            let options = SolverOptions::default()
+                .threads(field_usize(&doc, "threads", 1)?)
+                .storage(storage)
+                .bfs_store_backed(field_bool(&doc, "store_backed", false)?)
+                .shards(field_usize(&doc, "shards", 1)?);
+            Ok(Request::Query(
+                QueryRequest::new(algorithm, spec, field_usize(&doc, "k", 10)?).options(options),
+            ))
+        }
+        "load" => Ok(Request::Load {
+            num_intervals: field_usize(&doc, "num_intervals", 6)?,
+            nodes_per_interval: field_u32(&doc, "nodes_per_interval", 12)?,
+            avg_out_degree: field_u32(&doc, "avg_out_degree", 3)?,
+            gap: field_u32(&doc, "gap", 1)?,
+            seed: field_u64(&doc, "seed", 7)?,
+        }),
+        "open_stream" => Ok(Request::OpenStream {
+            k: field_usize(&doc, "k", 10)?,
+            l: field_u32(&doc, "l", 3)?,
+            gap: field_u32(&doc, "gap", 1)?,
+        }),
+        "push_interval" => {
+            let nodes = field_u32(&doc, "nodes", 0)?;
+            let mut edges = Vec::new();
+            if let Some(list) = doc.get("edges") {
+                let list = list
+                    .as_array()
+                    .ok_or_else(|| "field 'edges' must be an array".to_string())?;
+                for (i, edge) in list.iter().enumerate() {
+                    let quad = edge.as_array().filter(|a| a.len() == 4).ok_or_else(|| {
+                        format!(
+                            "edge {i} must be [parent_interval, parent_index, node_index, \
+                                 weight]"
+                        )
+                    })?;
+                    // Range-checked: a silently truncated id would attach
+                    // the edge to the wrong node instead of failing.
+                    let component = |j: usize, what: &str| {
+                        quad[j]
+                            .as_u64()
+                            .and_then(|v| u32::try_from(v).ok())
+                            .ok_or_else(|| format!("edge {i}: bad {what}"))
+                    };
+                    let parent_interval = component(0, "parent interval")?;
+                    let parent_index = component(1, "parent index")?;
+                    let node_index = component(2, "node index")?;
+                    let weight = quad[3]
+                        .as_f64()
+                        .ok_or_else(|| format!("edge {i}: bad weight"))?;
+                    edges.push((
+                        ClusterNodeId::new(parent_interval, parent_index),
+                        node_index,
+                        weight,
+                    ));
+                }
+            }
+            Ok(Request::PushInterval { nodes, edges })
+        }
+        "stream_top_k" => Ok(Request::StreamTopK),
+        "epoch" => Ok(Request::Epoch),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown op '{other}'")),
+    }
+}
+
+/// Render a success response for `op` with extra fields.
+pub fn ok_response(op: &str, fields: Vec<(&str, JsonValue)>) -> String {
+    let mut pairs = vec![
+        ("ok".to_string(), JsonValue::Bool(true)),
+        ("op".to_string(), JsonValue::from(op)),
+    ];
+    pairs.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+    JsonValue::object(pairs).render()
+}
+
+/// Render an error response.
+pub fn error_response(message: &str) -> String {
+    JsonValue::object([
+        ("ok".to_string(), JsonValue::Bool(false)),
+        ("error".to_string(), JsonValue::from(message)),
+    ])
+    .render()
+}
+
+/// Render result paths: each as `{"nodes": [[interval, index], …],
+/// "weight": <f64>, "weight_bits": "<16 hex digits>"}`. The hex bits make
+/// byte-identity checkable across the text round-trip.
+pub fn paths_to_json(paths: &[ClusterPath]) -> JsonValue {
+    JsonValue::Array(
+        paths
+            .iter()
+            .map(|path| {
+                let nodes = JsonValue::Array(
+                    path.nodes()
+                        .iter()
+                        .map(|n| {
+                            JsonValue::Array(vec![
+                                JsonValue::from(u64::from(n.interval)),
+                                JsonValue::from(u64::from(n.index)),
+                            ])
+                        })
+                        .collect(),
+                );
+                JsonValue::object([
+                    ("nodes".to_string(), nodes),
+                    ("weight".to_string(), JsonValue::from(path.weight())),
+                    (
+                        "weight_bits".to_string(),
+                        JsonValue::from(format!("{:016x}", path.weight().to_bits())),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_query_request() {
+        let request = parse_request(
+            "{\"op\":\"query\",\"algorithm\":\"auto:4096\",\"spec\":\"exact:3\",\"k\":5,\
+             \"threads\":2,\"storage\":\"blockcache:8192\",\"shards\":3,\"store_backed\":true}",
+        )
+        .unwrap();
+        let Request::Query(query) = request else {
+            panic!("expected a query");
+        };
+        assert_eq!(
+            query.algorithm,
+            AlgorithmKind::Auto {
+                budget_bytes: Some(4096)
+            }
+        );
+        assert_eq!(query.spec, StableClusterSpec::ExactLength(3));
+        assert_eq!(query.k, 5);
+        assert_eq!(query.options.threads, 2);
+        assert_eq!(
+            query.options.storage,
+            StorageSpec::BlockCache { budget_bytes: 8192 }
+        );
+        assert_eq!(query.options.shards, 3);
+        assert!(query.options.bfs_store_backed);
+    }
+
+    #[test]
+    fn query_defaults_mirror_the_one_shot_defaults() {
+        let request = parse_request("{\"op\":\"query\"}").unwrap();
+        let Request::Query(query) = request else {
+            panic!("expected a query");
+        };
+        assert_eq!(query.algorithm, AlgorithmKind::Bfs);
+        assert_eq!(query.spec, StableClusterSpec::FullPaths);
+        assert_eq!(query.k, 10);
+        assert_eq!(query.options, SolverOptions::default());
+    }
+
+    #[test]
+    fn parses_stream_ops() {
+        assert_eq!(
+            parse_request("{\"op\":\"open_stream\",\"k\":4,\"l\":2,\"gap\":0}").unwrap(),
+            Request::OpenStream { k: 4, l: 2, gap: 0 }
+        );
+        let push = parse_request(
+            "{\"op\":\"push_interval\",\"nodes\":2,\"edges\":[[0,1,0,0.5],[0,0,1,0.25]]}",
+        )
+        .unwrap();
+        assert_eq!(
+            push,
+            Request::PushInterval {
+                nodes: 2,
+                edges: vec![
+                    (ClusterNodeId::new(0, 1), 0, 0.5),
+                    (ClusterNodeId::new(0, 0), 1, 0.25),
+                ],
+            }
+        );
+        assert_eq!(parse_request("{\"op\":\"epoch\"}").unwrap(), Request::Epoch);
+        assert_eq!(
+            parse_request("{\"op\":\"shutdown\"}").unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for (line, needle) in [
+            ("not json", "JSON parse error"),
+            ("{}", "op"),
+            ("{\"op\":\"fly\"}", "unknown op"),
+            ("{\"op\":\"query\",\"algorithm\":\"dijkstra\"}", "algorithm"),
+            ("{\"op\":\"query\",\"spec\":\"shortest\"}", "spec"),
+            ("{\"op\":\"query\",\"k\":-3}", "k"),
+            ("{\"op\":\"push_interval\",\"edges\":[[1,2],[0]]}", "edge 0"),
+            // 2^32 would silently truncate to interval 0 if not rejected.
+            (
+                "{\"op\":\"push_interval\",\"nodes\":1,\"edges\":[[4294967296,0,0,0.5]]}",
+                "edge 0: bad parent interval",
+            ),
+            (
+                "{\"op\":\"load\",\"nodes_per_interval\":4294967296}",
+                "32-bit range",
+            ),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn responses_render_canonically() {
+        let ok = ok_response("epoch", vec![("epoch", JsonValue::from(3u64))]);
+        assert_eq!(ok, "{\"epoch\":3,\"ok\":true,\"op\":\"epoch\"}");
+        let err = error_response("bad \"op\"");
+        assert!(err.contains("\"ok\":false"));
+        assert!(json::parse(&err).is_ok());
+    }
+
+    #[test]
+    fn paths_round_trip_with_exact_bits() {
+        let path = ClusterPath::new(
+            vec![ClusterNodeId::new(0, 2), ClusterNodeId::new(2, 1)],
+            0.1 + 0.2, // a value with an inexact decimal form
+        );
+        let rendered = paths_to_json(std::slice::from_ref(&path)).render();
+        let parsed = json::parse(&rendered).unwrap();
+        let entry = &parsed.as_array().unwrap()[0];
+        let bits =
+            u64::from_str_radix(entry.get("weight_bits").unwrap().as_str().unwrap(), 16).unwrap();
+        assert_eq!(bits, path.weight().to_bits());
+        assert_eq!(
+            entry.get("weight").unwrap().as_f64().unwrap().to_bits(),
+            path.weight().to_bits(),
+            "shortest round-trip display must preserve the bits too"
+        );
+    }
+}

@@ -1,0 +1,430 @@
+//! The protocol session: graph state + an executor behind one line loop.
+//!
+//! A [`Session`] owns everything a `bsc serve` process holds between lines:
+//! the snapshot publication cell, the optional online ingest stream and the
+//! executor that answers queries. Two executors exist:
+//!
+//! * **engine** — the real thing: the fixed thread-pool [`QueryEngine`]
+//!   with its bounded admission queue and epoch-tagged solution cache;
+//! * **oracle** — a reference executor that answers every query with a
+//!   direct one-shot `build_with_options(..).solve_snapshot(..)` (the
+//!   `Pipeline::run` code path), no pool, no queue, no cache.
+//!
+//! Both maintain graph state identically (same generator seeds, same epoch
+//! assignment through a [`SnapshotCell`]), and responses to deterministic
+//! ops carry no timings — so `bsc serve < session` and
+//! `bsc oracle < session` must produce **byte-identical transcripts**. CI
+//! diffs exactly that, which makes the whole engine stack (admission,
+//! pooling, caching, epoch pinning) conformance-tested against the
+//! one-shot solver from the outside.
+
+use std::sync::Arc;
+
+use bsc_core::cluster_graph::ClusterNodeId;
+use bsc_core::error::BscResult;
+use bsc_core::problem::KlStableParams;
+use bsc_core::snapshot::SnapshotCell;
+use bsc_core::streaming::OnlineStableClusters;
+use bsc_core::synthetic::{ClusterGraphGenerator, SyntheticGraphParams};
+use bsc_util::json::JsonValue;
+use bsc_util::LatencyHistogram;
+
+use crate::engine::{EngineConfig, QueryEngine, QueryRequest};
+use crate::protocol::{error_response, ok_response, parse_request, paths_to_json, Request};
+
+struct StreamState {
+    online: OnlineStableClusters,
+    gap: u32,
+    /// Mirror of the per-interval node counts, for validating edges before
+    /// they reach `push_interval` (which treats violations as panics).
+    nodes_per_interval: Vec<u32>,
+}
+
+/// One protocol session. Feed it lines; it produces response lines.
+pub struct Session {
+    /// `Some` in engine mode, `None` in oracle mode.
+    engine: Option<QueryEngine>,
+    cell: Arc<SnapshotCell>,
+    stream: Option<StreamState>,
+}
+
+impl Session {
+    /// An engine-backed session (the `bsc serve` executor).
+    pub fn engine(config: EngineConfig) -> BscResult<Session> {
+        let engine = QueryEngine::new(config)?;
+        let cell = Arc::clone(engine.snapshot_cell());
+        Ok(Session {
+            engine: Some(engine),
+            cell,
+            stream: None,
+        })
+    }
+
+    /// An oracle session (the `bsc oracle` reference executor).
+    pub fn oracle() -> Session {
+        Session {
+            engine: None,
+            cell: Arc::new(SnapshotCell::empty()),
+            stream: None,
+        }
+    }
+
+    /// Handle one input line. Returns the response line and whether the
+    /// session should continue (false after `shutdown`). Blank lines and
+    /// `#` comments produce no response (`None`).
+    pub fn handle_line(&mut self, line: &str) -> (Option<String>, bool) {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            return (None, true);
+        }
+        match parse_request(trimmed) {
+            Err(message) => (Some(error_response(&message)), true),
+            Ok(Request::Shutdown) => (Some(ok_response("shutdown", vec![])), false),
+            Ok(request) => (Some(self.handle_request(request)), true),
+        }
+    }
+
+    fn handle_request(&mut self, request: Request) -> String {
+        match request {
+            Request::Shutdown => unreachable!("handled by handle_line"),
+            Request::Stats => self.stats_response(),
+            Request::Epoch => {
+                ok_response("epoch", vec![("epoch", JsonValue::from(self.cell.epoch()))])
+            }
+            Request::Load {
+                num_intervals,
+                nodes_per_interval,
+                avg_out_degree,
+                gap,
+                seed,
+            } => {
+                let graph = ClusterGraphGenerator::new(SyntheticGraphParams {
+                    num_intervals,
+                    nodes_per_interval,
+                    avg_out_degree,
+                    gap,
+                    seed,
+                })
+                .generate();
+                let (nodes, edges, intervals) =
+                    (graph.num_nodes(), graph.num_edges(), graph.num_intervals());
+                let snapshot = bsc_core::snapshot::GraphSnapshot::new(graph);
+                let installed = match &self.engine {
+                    Some(engine) => engine.install(snapshot),
+                    None => self.cell.install(snapshot),
+                };
+                ok_response(
+                    "load",
+                    vec![
+                        ("epoch", JsonValue::from(installed.epoch())),
+                        ("intervals", JsonValue::from(intervals)),
+                        ("nodes", JsonValue::from(nodes)),
+                        ("edges", JsonValue::from(edges)),
+                    ],
+                )
+            }
+            Request::OpenStream { k, l, gap } => {
+                if k == 0 || l == 0 {
+                    return error_response("open_stream requires k >= 1 and l >= 1");
+                }
+                self.stream = Some(StreamState {
+                    online: OnlineStableClusters::new(KlStableParams::new(k, l), gap),
+                    gap,
+                    nodes_per_interval: Vec::new(),
+                });
+                ok_response(
+                    "open_stream",
+                    vec![
+                        ("k", JsonValue::from(k)),
+                        ("l", JsonValue::from(u64::from(l))),
+                        ("gap", JsonValue::from(u64::from(gap))),
+                    ],
+                )
+            }
+            Request::PushInterval { nodes, edges } => {
+                let Some(stream) = &mut self.stream else {
+                    return error_response("no open stream (send open_stream first)");
+                };
+                let interval = stream.nodes_per_interval.len() as u32;
+                // Validate up front: push_interval treats violations as
+                // panics (programming errors), but over the wire they are
+                // just bad requests.
+                for &(parent, node, weight) in &edges {
+                    if node >= nodes {
+                        return error_response(&format!(
+                            "edge target {node} out of range (interval has {nodes} nodes)"
+                        ));
+                    }
+                    if parent.interval >= interval {
+                        return error_response(&format!(
+                            "parent {parent} must belong to an earlier interval"
+                        ));
+                    }
+                    if interval - parent.interval > stream.gap + 1 {
+                        return error_response(&format!(
+                            "edge from {parent} exceeds the gap {}",
+                            stream.gap
+                        ));
+                    }
+                    if stream
+                        .nodes_per_interval
+                        .get(parent.interval as usize)
+                        .map_or(true, |&count| parent.index >= count)
+                    {
+                        return error_response(&format!("parent {parent} does not exist"));
+                    }
+                    if !(weight > 0.0 && weight <= 1.0) {
+                        return error_response("edge weights must lie in (0, 1]");
+                    }
+                }
+                let mut parent_edges: Vec<Vec<(ClusterNodeId, f64)>> =
+                    vec![Vec::new(); nodes as usize];
+                for (parent, node, weight) in edges {
+                    parent_edges[node as usize].push((parent, weight));
+                }
+                stream.online.push_interval(parent_edges);
+                stream.nodes_per_interval.push(nodes);
+                let snapshot = stream.online.snapshot();
+                let installed = match &self.engine {
+                    Some(engine) => engine.install(snapshot),
+                    None => self.cell.install(snapshot),
+                };
+                ok_response(
+                    "push_interval",
+                    vec![
+                        ("epoch", JsonValue::from(installed.epoch())),
+                        ("intervals", JsonValue::from(stream.online.num_intervals())),
+                        (
+                            "edges_ingested",
+                            JsonValue::from(stream.online.edges_ingested()),
+                        ),
+                    ],
+                )
+            }
+            Request::StreamTopK => {
+                let Some(stream) = &mut self.stream else {
+                    return error_response("no open stream (send open_stream first)");
+                };
+                let paths = stream.online.current_top_k();
+                ok_response("stream_top_k", vec![("paths", paths_to_json(&paths))])
+            }
+            Request::Query(query) => {
+                let rendered_query = vec![
+                    ("algorithm", JsonValue::from(query.algorithm.to_string())),
+                    ("spec", JsonValue::from(query.spec.to_string())),
+                    ("k", JsonValue::from(query.k)),
+                ];
+                match self.execute(query) {
+                    Err(e) => error_response(&e.to_string()),
+                    Ok((paths, epoch)) => {
+                        let mut fields = rendered_query;
+                        fields.push(("epoch", JsonValue::from(epoch)));
+                        fields.push(("paths", paths_to_json(&paths)));
+                        ok_response("query", fields)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run one query through the session's executor. Engine mode goes
+    /// through the pool (admission queue, cache, epoch pinning); oracle
+    /// mode solves directly — same validation order, so error texts match.
+    fn execute(&self, query: QueryRequest) -> BscResult<(Vec<bsc_core::path::ClusterPath>, u64)> {
+        match &self.engine {
+            Some(engine) => {
+                let response = engine.query(query)?;
+                Ok((response.solution.paths, response.epoch))
+            }
+            None => {
+                query.validate()?;
+                let snapshot = self.cell.load();
+                let mut solver = query.algorithm.build_with_options(
+                    query.spec,
+                    query.k,
+                    snapshot.num_intervals(),
+                    query.options,
+                )?;
+                let solution = solver.solve_snapshot(&snapshot)?;
+                Ok((solution.paths, snapshot.epoch()))
+            }
+        }
+    }
+
+    /// Render engine statistics (oracle sessions report their mode only —
+    /// they have no pool, queue or cache to describe).
+    pub fn stats_response(&self) -> String {
+        match &self.engine {
+            None => ok_response("stats", vec![("mode", JsonValue::from("oracle"))]),
+            Some(engine) => {
+                let stats = engine.stats();
+                ok_response(
+                    "stats",
+                    vec![
+                        ("mode", JsonValue::from("engine")),
+                        ("epoch", JsonValue::from(stats.epoch)),
+                        ("workers", JsonValue::from(stats.workers)),
+                        ("queue_capacity", JsonValue::from(stats.queue_capacity)),
+                        ("queries", JsonValue::from(stats.queries)),
+                        ("errors", JsonValue::from(stats.errors)),
+                        (
+                            "cache",
+                            JsonValue::object([
+                                ("entries".to_string(), JsonValue::from(stats.cache.entries)),
+                                (
+                                    "capacity".to_string(),
+                                    JsonValue::from(stats.cache.capacity),
+                                ),
+                                ("hits".to_string(), JsonValue::from(stats.cache.hits)),
+                                ("misses".to_string(), JsonValue::from(stats.cache.misses)),
+                                (
+                                    "evictions".to_string(),
+                                    JsonValue::from(stats.cache.evictions),
+                                ),
+                                (
+                                    "invalidations".to_string(),
+                                    JsonValue::from(stats.cache.invalidations),
+                                ),
+                            ]),
+                        ),
+                        ("queue_wait", histogram_to_json(&stats.queue_wait)),
+                        ("solve", histogram_to_json(&stats.solve)),
+                    ],
+                )
+            }
+        }
+    }
+}
+
+fn histogram_to_json(histogram: &LatencyHistogram) -> JsonValue {
+    JsonValue::object([
+        ("count".to_string(), JsonValue::from(histogram.count())),
+        (
+            "mean_micros".to_string(),
+            JsonValue::from(histogram.mean_micros()),
+        ),
+        (
+            "p50_micros".to_string(),
+            JsonValue::from(histogram.quantile_micros(0.50)),
+        ),
+        (
+            "p95_micros".to_string(),
+            JsonValue::from(histogram.quantile_micros(0.95)),
+        ),
+        (
+            "p99_micros".to_string(),
+            JsonValue::from(histogram.quantile_micros(0.99)),
+        ),
+        (
+            "max_micros".to_string(),
+            JsonValue::from(histogram.max_micros()),
+        ),
+        ("summary".to_string(), JsonValue::from(histogram.summary())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(line: &str) -> bool {
+        line.contains("\"ok\":true")
+    }
+
+    fn drive(session: &mut Session, line: &str) -> String {
+        let (response, cont) = session.handle_line(line);
+        assert!(cont, "session ended early on {line}");
+        response.expect("response expected")
+    }
+
+    fn scripted_session() -> Vec<&'static str> {
+        vec![
+            "{\"op\":\"load\",\"num_intervals\":5,\"nodes_per_interval\":10,\"avg_out_degree\":3,\"gap\":1,\"seed\":42}",
+            "{\"op\":\"epoch\"}",
+            "{\"op\":\"query\",\"algorithm\":\"bfs\",\"spec\":\"exact:2\",\"k\":4}",
+            "{\"op\":\"query\",\"algorithm\":\"dfs\",\"spec\":\"exact:2\",\"k\":4,\"storage\":\"memory\"}",
+            "{\"op\":\"query\",\"algorithm\":\"bfs\",\"spec\":\"exact:2\",\"k\":4,\"shards\":3}",
+            "{\"op\":\"open_stream\",\"k\":3,\"l\":1,\"gap\":0}",
+            "{\"op\":\"push_interval\",\"nodes\":2}",
+            "{\"op\":\"push_interval\",\"nodes\":1,\"edges\":[[0,0,0,0.5],[0,1,0,0.25]]}",
+            "{\"op\":\"stream_top_k\"}",
+            "{\"op\":\"query\",\"algorithm\":\"bfs\",\"spec\":\"exact:1\",\"k\":2}",
+        ]
+    }
+
+    #[test]
+    fn engine_and_oracle_transcripts_are_byte_identical() {
+        let mut engine = Session::engine(EngineConfig::default().workers(2)).unwrap();
+        let mut oracle = Session::oracle();
+        for line in scripted_session() {
+            let from_engine = drive(&mut engine, line);
+            let from_oracle = drive(&mut oracle, line);
+            assert_eq!(from_engine, from_oracle, "diverged on {line}");
+            assert!(
+                ok(&from_engine),
+                "unexpected error on {line}: {from_engine}"
+            );
+        }
+        // Shutdown ends both.
+        let (response, cont) = engine.handle_line("{\"op\":\"shutdown\"}");
+        assert!(!cont);
+        assert!(ok(&response.unwrap()));
+    }
+
+    #[test]
+    fn stream_errors_are_responses_not_panics() {
+        let mut session = Session::oracle();
+        assert!(!ok(&drive(
+            &mut session,
+            "{\"op\":\"push_interval\",\"nodes\":1}"
+        )));
+        drive(
+            &mut session,
+            "{\"op\":\"open_stream\",\"k\":2,\"l\":1,\"gap\":0}",
+        );
+        drive(&mut session, "{\"op\":\"push_interval\",\"nodes\":1}");
+        for bad in [
+            // target out of range
+            "{\"op\":\"push_interval\",\"nodes\":1,\"edges\":[[0,0,5,0.5]]}",
+            // nonexistent parent
+            "{\"op\":\"push_interval\",\"nodes\":1,\"edges\":[[0,9,0,0.5]]}",
+            // weight out of range
+            "{\"op\":\"push_interval\",\"nodes\":1,\"edges\":[[0,0,0,1.5]]}",
+        ] {
+            let response = drive(&mut session, bad);
+            assert!(!ok(&response), "{bad} should fail: {response}");
+        }
+        // The stream is still usable after rejected pushes.
+        assert!(ok(&drive(
+            &mut session,
+            "{\"op\":\"push_interval\",\"nodes\":1,\"edges\":[[0,0,0,0.5]]}"
+        )));
+    }
+
+    #[test]
+    fn blank_lines_and_comments_are_skipped() {
+        let mut session = Session::oracle();
+        assert_eq!(session.handle_line(""), (None, true));
+        assert_eq!(session.handle_line("  # comment"), (None, true));
+    }
+
+    #[test]
+    fn engine_stats_render_as_json() {
+        let mut session = Session::engine(EngineConfig::default().workers(1)).unwrap();
+        drive(
+            &mut session,
+            "{\"op\":\"load\",\"num_intervals\":4,\"nodes_per_interval\":6,\"avg_out_degree\":2,\"gap\":0,\"seed\":1}",
+        );
+        drive(
+            &mut session,
+            "{\"op\":\"query\",\"spec\":\"exact:2\",\"k\":3}",
+        );
+        let stats = drive(&mut session, "{\"op\":\"stats\"}");
+        let doc = bsc_util::json::parse(&stats).unwrap();
+        assert_eq!(doc.get("mode").unwrap().as_str(), Some("engine"));
+        assert_eq!(doc.get("queries").unwrap().as_u64(), Some(1));
+        assert!(doc.get("queue_wait").unwrap().get("count").is_some());
+        let oracle_stats = drive(&mut Session::oracle(), "{\"op\":\"stats\"}");
+        assert!(oracle_stats.contains("\"mode\":\"oracle\""));
+    }
+}

@@ -1,0 +1,231 @@
+//! A small fixed-bucket latency histogram.
+//!
+//! The query engine's stats endpoint and the `repro` experiment harness both
+//! need the same thing: a cheap, allocation-free summary of a latency
+//! distribution (queue wait, solve time, per-interval ingest) that can be
+//! merged across threads and rendered in one line. [`LatencyHistogram`] is
+//! exactly that — power-of-two microsecond buckets from 1 µs to ~17 s, a
+//! fixed-size array, no locks, no floating point in the hot path. Quantiles
+//! are read back as the *upper bound* of the bucket the quantile falls in,
+//! which is the usual HdrHistogram-style contract: conservative (never
+//! under-reports) and stable across merges.
+
+use std::time::Duration;
+
+/// Number of power-of-two buckets: bucket `i` holds samples in
+/// `(2^(i-1), 2^i]` microseconds, bucket 0 holds `[0, 1]` µs, and the last
+/// bucket is unbounded above (~17 s and beyond).
+pub const NUM_BUCKETS: usize = 25;
+
+/// A fixed-bucket histogram of latencies in microseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; NUM_BUCKETS],
+    total_micros: u64,
+    max_micros: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        LatencyHistogram {
+            counts: [0; NUM_BUCKETS],
+            total_micros: 0,
+            max_micros: 0,
+        }
+    }
+
+    /// The bucket index a sample of `micros` falls into.
+    fn bucket(micros: u64) -> usize {
+        if micros <= 1 {
+            0
+        } else {
+            // ceil(log2(micros)), capped at the last (unbounded) bucket.
+            let bits = 64 - (micros - 1).leading_zeros() as usize;
+            bits.min(NUM_BUCKETS - 1)
+        }
+    }
+
+    /// The inclusive upper bound of bucket `i` in microseconds (`u64::MAX`
+    /// for the last, unbounded bucket).
+    pub fn bucket_upper_micros(i: usize) -> u64 {
+        if i + 1 >= NUM_BUCKETS {
+            u64::MAX
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, duration: Duration) {
+        self.record_micros(duration.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Record one sample given in microseconds.
+    pub fn record_micros(&mut self, micros: u64) {
+        self.counts[Self::bucket(micros)] += 1;
+        self.total_micros = self.total_micros.saturating_add(micros);
+        self.max_micros = self.max_micros.max(micros);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of all recorded samples, in microseconds.
+    pub fn total_micros(&self) -> u64 {
+        self.total_micros
+    }
+
+    /// The largest recorded sample, in microseconds.
+    pub fn max_micros(&self) -> u64 {
+        self.max_micros
+    }
+
+    /// Mean sample in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> u64 {
+        self.total_micros.checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// The per-bucket counts (bucket `i` covers `(2^(i-1), 2^i]` µs).
+    pub fn bucket_counts(&self) -> &[u64; NUM_BUCKETS] {
+        &self.counts
+    }
+
+    /// The value at quantile `q` (in `[0, 1]`), reported as the upper bound
+    /// of the bucket the quantile falls in; the exact `max_micros` for the
+    /// unbounded last bucket. Returns 0 when empty.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // The rank of the quantile sample, 1-based, rounded up.
+        let rank = ((q * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i + 1 >= NUM_BUCKETS {
+                    self.max_micros
+                } else {
+                    Self::bucket_upper_micros(i).min(self.max_micros)
+                };
+            }
+        }
+        self.max_micros
+    }
+
+    /// Merge another histogram into this one (bucket-wise).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.total_micros = self.total_micros.saturating_add(other.total_micros);
+        self.max_micros = self.max_micros.max(other.max_micros);
+    }
+
+    /// One-line human-readable summary: count, mean, p50/p95/p99, max.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} mean={} p50={} p95={} p99={} max={}",
+            self.count(),
+            format_micros(self.mean_micros()),
+            format_micros(self.quantile_micros(0.50)),
+            format_micros(self.quantile_micros(0.95)),
+            format_micros(self.quantile_micros(0.99)),
+            format_micros(self.max_micros),
+        )
+    }
+}
+
+/// Render microseconds with an appropriate unit.
+pub fn format_micros(micros: u64) -> String {
+    if micros < 1_000 {
+        format!("{micros}us")
+    } else if micros < 1_000_000 {
+        format!("{:.1}ms", micros as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", micros as f64 / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_powers_of_two() {
+        assert_eq!(LatencyHistogram::bucket(0), 0);
+        assert_eq!(LatencyHistogram::bucket(1), 0);
+        assert_eq!(LatencyHistogram::bucket(2), 1);
+        assert_eq!(LatencyHistogram::bucket(3), 2);
+        assert_eq!(LatencyHistogram::bucket(4), 2);
+        assert_eq!(LatencyHistogram::bucket(5), 3);
+        assert_eq!(LatencyHistogram::bucket(1024), 10);
+        assert_eq!(LatencyHistogram::bucket(1025), 11);
+        assert_eq!(LatencyHistogram::bucket(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn records_and_reports_quantiles() {
+        let mut h = LatencyHistogram::new();
+        for micros in [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512] {
+            h.record_micros(micros);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.total_micros(), 1023);
+        assert_eq!(h.max_micros(), 512);
+        assert_eq!(h.mean_micros(), 102);
+        // p50 falls in the bucket holding the 5th sample (16 us).
+        assert_eq!(h.quantile_micros(0.5), 16);
+        assert_eq!(h.quantile_micros(1.0), 512);
+        assert_eq!(h.quantile_micros(0.0), 1);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_micros(0.99), 0);
+        assert_eq!(h.mean_micros(), 0);
+        assert!(h.summary().starts_with("n=0"));
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record_micros(10);
+        a.record_micros(100);
+        b.record_micros(1_000);
+        b.record(Duration::from_millis(50));
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.total_micros(), 10 + 100 + 1_000 + 50_000);
+        assert_eq!(a.max_micros(), 50_000);
+    }
+
+    #[test]
+    fn quantiles_never_exceed_the_observed_max() {
+        let mut h = LatencyHistogram::new();
+        h.record_micros(5); // bucket upper bound is 8
+        assert_eq!(h.quantile_micros(0.5), 5);
+        assert_eq!(h.quantile_micros(0.99), 5);
+    }
+
+    #[test]
+    fn format_micros_picks_units() {
+        assert_eq!(format_micros(900), "900us");
+        assert_eq!(format_micros(1_500), "1.5ms");
+        assert_eq!(format_micros(2_500_000), "2.50s");
+    }
+}

@@ -4,13 +4,23 @@
 //!
 //! The workspace builds in hermetic environments with no access to a crate
 //! registry, so the handful of things one would normally pull from small
-//! external crates live here instead. Currently that is a single item: a
-//! fast, seedable, deterministic pseudo-random number generator ([`DetRng`])
-//! used by the synthetic workload generators, the randomized test suites and
-//! the CC-Pivot baseline.
+//! external crates live here instead:
+//!
+//! * [`DetRng`] — a fast, seedable, deterministic pseudo-random number
+//!   generator used by the synthetic workload generators, the randomized
+//!   test suites and the CC-Pivot baseline;
+//! * [`json`] — a zero-dependency JSON value type with parser and canonical
+//!   serializer, shared by the bench documents (`repro --json`, the CI
+//!   bench gate) and the `bsc serve` line protocol;
+//! * [`histogram`] — a fixed-bucket latency histogram used by the query
+//!   engine's stats endpoint and the `repro` experiment harness.
 
 #![warn(missing_docs)]
 
+pub mod histogram;
+pub mod json;
 pub mod rng;
 
+pub use histogram::LatencyHistogram;
+pub use json::JsonValue;
 pub use rng::DetRng;

@@ -81,6 +81,10 @@ pub use bsc_core as core;
 /// partitioning, and the exhaustive top-k path oracle.
 pub use bsc_baselines as baselines;
 
+/// Long-lived query service: thread-pool executor over graph snapshots,
+/// epoch-tagged solution cache, line-delimited JSON protocol (`bsc serve`).
+pub use bsc_service as service;
+
 /// Commonly used types re-exported for convenience.
 pub mod prelude {
     pub use bsc_baselines::exhaustive::ExhaustiveSolver;
@@ -96,6 +100,7 @@ pub mod prelude {
         pipeline::{Pipeline, PipelineOutcome, PipelineParams},
         problem::{KlStableParams, NormalizedParams, StableClusterSpec},
         sharded::ShardedSolver,
+        snapshot::{GraphSnapshot, SnapshotCell},
         solver::{AlgorithmKind, Solution, SolverOptions, SolverStats, StableClusterSolver},
         streaming::OnlineStableClusters,
         synthetic::{ClusterGraphGenerator, SyntheticGraphParams},
@@ -112,5 +117,6 @@ pub mod prelude {
         keyword_graph::{KeywordGraph, KeywordGraphBuilder},
         prune::{PruneConfig, PruneStats},
     };
+    pub use bsc_service::engine::{EngineConfig, QueryEngine, QueryRequest, QueryResponse};
     pub use bsc_storage::backend::{StorageBackend, StorageSpec};
 }
