@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! repro [--paper] [--json <path>] [--backend <spec>] [--shards <n>]
+//!       [--distributed <n>]
 //!       [all|table1|table2|fig6|table3|fig7|fig8|fig9|fig10|fig11|fig12|
 //!        fig13|fig14|quali|baselines|streaming]
 //! repro gate [--baseline <path>] [--json <path>] [--runs <n>]
-//!            [--tolerance <pct>] [--shards <n>]
+//!            [--tolerance <pct>] [--shards <n>] [--distributed <n>]
 //! ```
 //!
 //! Without arguments the whole suite runs at the reduced "quick" scale; pass
@@ -28,7 +29,11 @@
 //! `--backend <spec>` restricts the storage-backend I/O report (`table2`) to
 //! one backend: `memory`, `logfile`, `blockcache` or `blockcache:<bytes>`.
 //! `--shards <n>` sets the shard count of the Table 3 sharding ablation
-//! (default 3). Without `--backend` all shipped backends are compared.
+//! (default 3), and `--distributed <n>` the worker count of the Table 3
+//! distributed fan-out ablation (default 2; the workers are in-process TCP
+//! servers on 127.0.0.1). Without `--backend` all shipped backends are
+//! compared. The gate resolves both counts from the baseline's table titles
+//! (`(shards=N)`, `(dist_workers=N)`) the same way.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -48,40 +53,43 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// One dispatchable experiment target.
-type TargetFn = fn(Scale, &[StorageSpec], usize) -> Vec<Table>;
+/// One dispatchable experiment target. The two `usize`s are the shard count
+/// of the sharding ablation and the worker count of the distributed fan-out
+/// ablation.
+type TargetFn = fn(Scale, &[StorageSpec], usize, usize) -> Vec<Table>;
 
 /// The single source of truth for target names: validation iterates the
 /// names, dispatch calls the paired function, so the two can never drift.
 const TARGETS: &[(&str, TargetFn)] = &[
-    ("all", |scale, backends, shards| {
-        experiments::all_with_backends(scale, backends, shards)
+    ("all", |scale, backends, shards, dist| {
+        experiments::all_with_backends(scale, backends, shards, dist)
     }),
-    ("table1", |scale, _, _| vec![experiments::table1(scale)]),
-    ("table2", |scale, backends, _| {
+    ("table1", |scale, _, _, _| vec![experiments::table1(scale)]),
+    ("table2", |scale, backends, _, _| {
         vec![experiments::table2_io(scale, backends)]
     }),
-    ("fig6", |scale, _, _| vec![experiments::fig6(scale)]),
-    ("table3", |scale, _, shards| {
+    ("fig6", |scale, _, _, _| vec![experiments::fig6(scale)]),
+    ("table3", |scale, _, shards, dist| {
         vec![
             experiments::table3(scale),
             experiments::table3_ablation(scale),
             experiments::table3_sharded(scale, shards),
+            experiments::table3_distributed(scale, dist),
         ]
     }),
-    ("fig7", |scale, _, _| vec![experiments::fig7(scale)]),
-    ("fig8", |scale, _, _| vec![experiments::fig8(scale)]),
-    ("fig9", |scale, _, _| vec![experiments::fig9(scale)]),
-    ("fig10", |scale, _, _| vec![experiments::fig10(scale)]),
-    ("fig11", |scale, _, _| vec![experiments::fig11(scale)]),
-    ("fig12", |scale, _, _| vec![experiments::fig12(scale)]),
-    ("fig13", |scale, _, _| vec![experiments::fig13(scale)]),
-    ("fig14", |scale, _, _| vec![experiments::fig14(scale)]),
-    ("quali", |scale, _, _| experiments::quali(scale)),
-    ("baselines", |scale, _, _| {
+    ("fig7", |scale, _, _, _| vec![experiments::fig7(scale)]),
+    ("fig8", |scale, _, _, _| vec![experiments::fig8(scale)]),
+    ("fig9", |scale, _, _, _| vec![experiments::fig9(scale)]),
+    ("fig10", |scale, _, _, _| vec![experiments::fig10(scale)]),
+    ("fig11", |scale, _, _, _| vec![experiments::fig11(scale)]),
+    ("fig12", |scale, _, _, _| vec![experiments::fig12(scale)]),
+    ("fig13", |scale, _, _, _| vec![experiments::fig13(scale)]),
+    ("fig14", |scale, _, _, _| vec![experiments::fig14(scale)]),
+    ("quali", |scale, _, _, _| experiments::quali(scale)),
+    ("baselines", |scale, _, _, _| {
         vec![experiments::baselines(scale)]
     }),
-    ("streaming", |scale, _, _| {
+    ("streaming", |scale, _, _, _| {
         vec![experiments::streaming_ablation(scale)]
     }),
 ];
@@ -100,8 +108,12 @@ fn run_target(
     scale: Scale,
     backends: &[StorageSpec],
     shards: usize,
+    dist_workers: usize,
 ) -> Result<Vec<Table>, String> {
-    catch_unwind(AssertUnwindSafe(|| f(scale, backends, shards))).map_err(panic_message)
+    catch_unwind(AssertUnwindSafe(|| {
+        f(scale, backends, shards, dist_workers)
+    }))
+    .map_err(panic_message)
 }
 
 fn usage_error(message: &str) -> ! {
@@ -134,6 +146,8 @@ fn main() {
     let mut backend_flag = false;
     let mut shards = 3usize;
     let mut shards_flag = false;
+    let mut dist_workers = 2usize;
+    let mut dist_flag = false;
     let mut targets: Vec<&str> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -147,6 +161,13 @@ fn main() {
                 }
                 _ => usage_error("--shards requires a positive integer"),
             },
+            "--distributed" => match flag_value(&mut iter, "--distributed").parse::<usize>() {
+                Ok(n) if n >= 1 => {
+                    dist_workers = n;
+                    dist_flag = true;
+                }
+                _ => usage_error("--distributed requires a positive integer"),
+            },
             "--backend" => match StorageSpec::parse(flag_value(&mut iter, "--backend")) {
                 Some(spec) => {
                     backends = vec![spec];
@@ -157,7 +178,8 @@ fn main() {
                 ),
             },
             flag if flag.starts_with("--") => usage_error(&format!(
-                "unknown flag '{flag}' (expected --paper, --json <path>, --backend <spec> or --shards <n>)"
+                "unknown flag '{flag}' (expected --paper, --json <path>, --backend <spec>, \
+                 --shards <n> or --distributed <n>)"
             )),
             target => targets.push(target),
         }
@@ -189,11 +211,17 @@ fn main() {
              the requested target(s) ignore it"
         );
     }
+    if dist_flag && !targets.iter().any(|t| matches!(*t, "table3" | "all")) {
+        eprintln!(
+            "warning: --distributed only affects the Table 3 fan-out ablation (table3/all); \
+             the requested target(s) ignore it"
+        );
+    }
 
     let mut produced: Vec<Table> = Vec::new();
     let mut error: Option<String> = None;
     for &(target, f) in &resolved {
-        match run_target(f, scale, &backends, shards) {
+        match run_target(f, scale, &backends, shards, dist_workers) {
             Ok(tables) => {
                 for table in tables {
                     println!("{table}");
@@ -240,6 +268,7 @@ fn run_gate(args: &[String]) {
     let mut json_path: Option<String> = None;
     let mut runs = 3usize;
     let mut shards: Option<usize> = None;
+    let mut dist_workers: Option<usize> = None;
     let mut config = GateConfig::default();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -254,13 +283,17 @@ fn run_gate(args: &[String]) {
                 Ok(n) if n >= 1 => shards = Some(n),
                 _ => usage_error("--shards requires a positive integer"),
             },
+            "--distributed" => match flag_value(&mut iter, "--distributed").parse::<usize>() {
+                Ok(n) if n >= 1 => dist_workers = Some(n),
+                _ => usage_error("--distributed requires a positive integer"),
+            },
             "--tolerance" => match flag_value(&mut iter, "--tolerance").parse::<f64>() {
                 Ok(pct) if pct > 0.0 => config.tolerance = pct / 100.0,
                 _ => usage_error("--tolerance requires a positive percentage"),
             },
             flag => usage_error(&format!(
                 "unknown gate flag '{flag}' (expected --baseline <path>, --json <path>, \
-                 --runs <n>, --tolerance <pct> or --shards <n>)"
+                 --runs <n>, --tolerance <pct>, --shards <n> or --distributed <n>)"
             )),
         }
     }
@@ -295,23 +328,47 @@ fn run_gate(args: &[String]) {
     // MISSING failures. Default to the count the baseline was recorded
     // with; an explicit --shards (for a matching custom baseline) wins, but
     // a mismatch is called out up front.
-    let baseline_shards = baseline.tables.iter().find_map(|t| {
-        let tail = &t.title[t.title.find("(shards=")? + "(shards=".len()..];
-        tail.strip_suffix(')')?.parse::<usize>().ok()
-    });
-    let shards = match (shards, baseline_shards) {
-        (Some(flag), Some(base)) if flag != base => {
-            eprintln!(
-                "warning: --shards {flag} does not match the baseline's shards={base}; the \
-                 sharding table will be reported MISSING — regenerate the baseline at \
-                 {flag} shards first"
-            );
-            flag
+    fn titled_count(tables: &[Table], marker: &str) -> Option<usize> {
+        tables.iter().find_map(|t| {
+            let tail = &t.title[t.title.find(marker)? + marker.len()..];
+            tail.strip_suffix(')')?.parse::<usize>().ok()
+        })
+    }
+    fn resolve_count(
+        flag_name: &str,
+        flag: Option<usize>,
+        baseline: Option<usize>,
+        default: usize,
+        what: &str,
+    ) -> usize {
+        match (flag, baseline) {
+            (Some(flag), Some(base)) if flag != base => {
+                eprintln!(
+                    "warning: {flag_name} {flag} does not match the baseline's {what}={base}; \
+                     that table will be reported MISSING — regenerate the baseline at \
+                     {flag} first"
+                );
+                flag
+            }
+            (Some(flag), _) => flag,
+            (None, Some(base)) => base,
+            (None, None) => default,
         }
-        (Some(flag), _) => flag,
-        (None, Some(base)) => base,
-        (None, None) => 3,
-    };
+    }
+    let shards = resolve_count(
+        "--shards",
+        shards,
+        titled_count(&baseline.tables, "(shards="),
+        3,
+        "shards",
+    );
+    let dist_workers = resolve_count(
+        "--distributed",
+        dist_workers,
+        titled_count(&baseline.tables, "(dist_workers="),
+        2,
+        "dist_workers",
+    );
 
     let backends = StorageSpec::ALL.to_vec();
     let table3 = target_fn("table3").expect("table3 is a registered target");
@@ -319,7 +376,7 @@ fn run_gate(args: &[String]) {
     let mut error: Option<String> = None;
     for run in 0..runs {
         eprintln!("gate: table3 run {}/{runs}", run + 1);
-        match run_target(table3, Scale::Quick, &backends, shards) {
+        match run_target(table3, Scale::Quick, &backends, shards, dist_workers) {
             Ok(tables) => all_runs.push(tables),
             Err(message) => {
                 error = Some(format!("table3 run {} crashed: {message}", run + 1));

@@ -19,8 +19,10 @@ use std::time::Duration;
 use bsc_baselines::{
     cc_pivot, cut_clustering, kway_partition, CutClusteringParams, KwayParams, SignedGraph,
 };
+use bsc_cluster::{WorkerConfig, WorkerServer};
 use bsc_core::bfs::{BfsConfig, BfsStableClusters};
 use bsc_core::cluster_graph::{ClusterGraph, ClusterGraphBuilder};
+use bsc_core::distributed::FanoutSpec;
 use bsc_core::path::ClusterPath;
 use bsc_core::pipeline::{Pipeline, PipelineParams, StableClusterSpec};
 use bsc_core::problem::KlStableParams;
@@ -298,6 +300,86 @@ pub fn table3_sharded(scale: Scale, shards: usize) -> Table {
     ));
     table.push_note(
         "sharding trades duplicated window scans for independent shards (own threads, own storage backends); the win is memory locality and multi-core, not single-core speed",
+    );
+    table
+}
+
+/// The distributed fan-out ablation: in-process sharded solving vs the same
+/// windows fanned out to `workers` TCP cluster workers. The workers here are
+/// in-process [`WorkerServer`] threads on 127.0.0.1 ephemeral ports — same
+/// host, same cores — so the column measures the *wire overhead* of the
+/// coordinator (framing, codecs, graph install, per-window RPCs), not a
+/// multi-machine speedup. Byte-identical top-k is verified before any
+/// timing is reported. `workers` comes from `repro --distributed <n>`
+/// (default 2).
+pub fn table3_distributed(scale: Scale, workers: usize) -> Table {
+    let n = scale.pick(800, 2_000);
+    let (m, d, g, k) = (12usize, 5u32, 1u32, 5usize);
+    let graph = cluster_graph(m, n, d, g, SEED);
+    bsc_cluster::install_transport();
+    let fleet: Vec<_> = (0..workers)
+        .map(|_| {
+            WorkerServer::bind("127.0.0.1:0", WorkerConfig::default())
+                .expect("bind bench worker")
+                .spawn()
+        })
+        .collect();
+    let fanout = FanoutSpec::new(fleet.iter().map(|h| h.addr().to_string()).collect())
+        .expect("nonempty worker fleet");
+    let mut table = Table::new(
+        format!(
+            "Table 3 distribution: ShardedSolver vs DistributedSolver (dist_workers={workers})"
+        ),
+        &[
+            "workload",
+            &format!("sharded@{workers}(s)"),
+            &format!("distributed@{workers}(s)"),
+            "wire overhead",
+            "fan-out windows",
+        ],
+    );
+    for l in [3u32, 6] {
+        let spec = StableClusterSpec::ExactLength(l);
+        let mut sharded = AlgorithmKind::Bfs
+            .build_with_options(
+                spec,
+                k,
+                graph.num_intervals(),
+                SolverOptions::default().shards(workers),
+            )
+            .expect("sharded build");
+        let (base, sharded_time) = timed(|| sharded.solve(&graph).expect("sharded solve"));
+        let mut distributed = AlgorithmKind::Bfs
+            .build_with_options(
+                spec,
+                k,
+                graph.num_intervals(),
+                SolverOptions::default().fanout(Some(fanout.clone())),
+            )
+            .expect("distributed build");
+        let (merged, dist_time) = timed(|| distributed.solve(&graph).expect("distributed solve"));
+        assert_paths_identical(
+            &base.paths,
+            &merged.paths,
+            &format!("dist_workers={workers} l={l}"),
+        );
+        table.push_row(vec![
+            format!("subpaths l={l}"),
+            seconds(sharded_time),
+            seconds(dist_time),
+            format!(
+                "{:.2}x",
+                dist_time.as_secs_f64() / sharded_time.as_secs_f64().max(1e-9)
+            ),
+            merged.stats.shards.to_string(),
+        ]);
+    }
+    table.push_note(format!(
+        "m = {m}, n = {n}, d = {d}, g = {g}, k = {k}; byte-identical top-k verified before timing"
+    ));
+    table.push_note(
+        "workers are in-process TCP servers on 127.0.0.1 ephemeral ports (same host, same \
+         cores): the column isolates wire-protocol overhead, not multi-machine scaling",
     );
     table
 }
@@ -947,13 +1029,19 @@ pub fn streaming_ablation(scale: Scale) -> Table {
 
 /// All experiments in paper order.
 pub fn all(scale: Scale) -> Vec<Table> {
-    all_with_backends(scale, &StorageSpec::ALL, 3)
+    all_with_backends(scale, &StorageSpec::ALL, 3, 2)
 }
 
 /// All experiments, with the storage-backend comparison restricted to
-/// `backends` (the repro binary's `--backend` flag) and the sharding
-/// ablation run at `shards` shards (`--shards`).
-pub fn all_with_backends(scale: Scale, backends: &[StorageSpec], shards: usize) -> Vec<Table> {
+/// `backends` (the repro binary's `--backend` flag), the sharding ablation
+/// run at `shards` shards (`--shards`), and the distributed fan-out ablation
+/// at `dist_workers` cluster workers (`--distributed`).
+pub fn all_with_backends(
+    scale: Scale,
+    backends: &[StorageSpec],
+    shards: usize,
+    dist_workers: usize,
+) -> Vec<Table> {
     let mut tables = vec![
         table1(scale),
         table2_io(scale, backends),
@@ -961,6 +1049,7 @@ pub fn all_with_backends(scale: Scale, backends: &[StorageSpec], shards: usize) 
         table3(scale),
         table3_ablation(scale),
         table3_sharded(scale, shards),
+        table3_distributed(scale, dist_workers),
         fig7(scale),
         fig8(scale),
         fig9(scale),
@@ -1028,6 +1117,17 @@ mod tests {
         assert_eq!(table.num_rows(), 2);
         assert!(table.cell(0, "sharded@2(s)").is_some());
         assert_eq!(table.cell(0, "shard ranges"), Some("2"));
+    }
+
+    #[test]
+    fn table3_distributed_verifies_and_reports_both_workloads() {
+        // As with the sharding table, the experiment asserts byte-identical
+        // results (here across real TCP workers) before emitting timings.
+        let table = table3_distributed(Scale::Quick, 2);
+        assert_eq!(table.num_rows(), 2);
+        assert!(table.title.contains("(dist_workers=2)"));
+        assert!(table.cell(0, "distributed@2(s)").is_some());
+        assert_eq!(table.cell(0, "fan-out windows"), Some("2"));
     }
 
     #[test]

@@ -1,0 +1,615 @@
+//! The coordinator ↔ worker wire protocol: framing and codecs.
+//!
+//! Same transport discipline as `bsc serve`'s stdin protocol — one JSON
+//! object per `\n`-terminated line, rendered canonically (sorted keys) by
+//! [`bsc_util::json`] — carried over a TCP connection. Five message kinds:
+//!
+//! | op | direction | fields | effect |
+//! |----|-----------|--------|--------|
+//! | `hello` | C → W | `version` | version handshake; mismatched builds fail fast |
+//! | `install_graph` | C → W | `epoch`, `graph` | ship a graph; the worker caches it per connection under `epoch` |
+//! | `solve_window` | C → W | `epoch`, `start`, `l`, `k`, `algorithm`, `storage` | solve one start-interval window against the installed epoch |
+//! | `ping` | C → W | — | health check |
+//! | `stats` | C → W | — | worker counters |
+//!
+//! Responses mirror the stdin protocol: `{"ok":true,"op":…,…}` on success,
+//! `{"ok":false,"error":…}` on failure. Edge and path weights cross the
+//! wire as 16-hex-digit `f64::to_bits` strings, so a graph round-trips
+//! **bit-exactly** — the foundation of the distributed-equals-sharded
+//! byte-identity guarantee.
+//!
+//! Framing is defensive in both directions: [`read_frame`] rejects lines
+//! longer than [`MAX_FRAME_BYTES`] as a protocol error (never unbounded
+//! buffering, never a panic) and treats EOF mid-line as a truncated frame.
+
+use std::io::{BufRead, ErrorKind};
+
+use bsc_core::cluster_graph::{ClusterGraph, ClusterGraphBuilder, ClusterNodeId};
+use bsc_core::distributed::{WindowRequest, WindowResult};
+use bsc_core::path::ClusterPath;
+use bsc_core::solver::{AlgorithmKind, SolverStats};
+use bsc_storage::backend::StorageSpec;
+use bsc_util::json::{self, JsonValue};
+
+/// Version of this wire protocol. Bumped on every incompatible change;
+/// the `hello` handshake rejects any mismatch outright (no negotiation —
+/// coordinator and workers are expected to run the same build).
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Upper bound on one wire frame (line), large enough for a multi-million
+/// edge graph install, small enough to stop a corrupt peer from ballooning
+/// memory: 256 MiB.
+pub const MAX_FRAME_BYTES: usize = 256 << 20;
+
+/// Read one `\n`-terminated frame. Returns `Ok(None)` at a clean EOF
+/// (connection closed between frames), an error for an oversized frame or
+/// an EOF in the middle of one (truncated line — the peer died mid-write).
+pub fn read_frame(reader: &mut impl BufRead) -> std::io::Result<Option<String>> {
+    let mut buffer = Vec::new();
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            // A read timeout in the middle of a frame means the peer is
+            // slow, not gone: keep the partial buffer and wait for the
+            // rest. Between frames (empty buffer) the timeout propagates so
+            // pollers can run their idle checks.
+            Err(e)
+                if !buffer.is_empty()
+                    && (e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut) =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if chunk.is_empty() {
+            return if buffer.is_empty() {
+                Ok(None)
+            } else {
+                Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    format!(
+                        "truncated frame: EOF after {} bytes with no newline",
+                        buffer.len()
+                    ),
+                ))
+            };
+        }
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            buffer.extend_from_slice(&chunk[..pos]);
+            reader.consume(pos + 1);
+            if buffer.len() > MAX_FRAME_BYTES {
+                return Err(oversized(buffer.len()));
+            }
+            let text = String::from_utf8(buffer).map_err(|e| {
+                std::io::Error::new(ErrorKind::InvalidData, format!("frame is not UTF-8: {e}"))
+            })?;
+            return Ok(Some(text));
+        }
+        buffer.extend_from_slice(chunk);
+        let consumed = chunk.len();
+        reader.consume(consumed);
+        if buffer.len() > MAX_FRAME_BYTES {
+            return Err(oversized(buffer.len()));
+        }
+    }
+}
+
+fn oversized(len: usize) -> std::io::Error {
+    std::io::Error::new(
+        ErrorKind::InvalidData,
+        format!("oversized frame: {len} bytes exceed the {MAX_FRAME_BYTES}-byte cap"),
+    )
+}
+
+fn weight_bits(weight: f64) -> JsonValue {
+    JsonValue::from(format!("{:016x}", weight.to_bits()))
+}
+
+fn parse_weight_bits(value: &JsonValue, what: &str) -> Result<f64, String> {
+    let hex = value
+        .as_str()
+        .ok_or_else(|| format!("{what}: weight bits must be a hex string"))?;
+    let bits =
+        u64::from_str_radix(hex, 16).map_err(|_| format!("{what}: bad weight bits '{hex}'"))?;
+    Ok(f64::from_bits(bits))
+}
+
+/// Serialize a cluster graph for `install_graph`:
+/// `{"num_intervals":m,"gap":g,"nodes_per_interval":[…],
+///   "edges":[[from_interval,from_index,to_interval,to_index,"<bits>"],…]}`.
+pub fn graph_to_json(graph: &ClusterGraph) -> JsonValue {
+    let nodes_per_interval = JsonValue::Array(
+        (0..graph.num_intervals() as u32)
+            .map(|i| JsonValue::from(u64::from(graph.nodes_in_interval(i))))
+            .collect(),
+    );
+    let edges = JsonValue::Array(
+        graph
+            .edges()
+            .map(|(from, to, weight)| {
+                JsonValue::Array(vec![
+                    JsonValue::from(u64::from(from.interval)),
+                    JsonValue::from(u64::from(from.index)),
+                    JsonValue::from(u64::from(to.interval)),
+                    JsonValue::from(u64::from(to.index)),
+                    weight_bits(weight),
+                ])
+            })
+            .collect(),
+    );
+    JsonValue::object([
+        (
+            "num_intervals".to_string(),
+            JsonValue::from(graph.num_intervals() as u64),
+        ),
+        ("gap".to_string(), JsonValue::from(u64::from(graph.gap()))),
+        ("nodes_per_interval".to_string(), nodes_per_interval),
+        ("edges".to_string(), edges),
+    ])
+}
+
+/// Rebuild a cluster graph from its wire form. Every range/order/weight
+/// rule the builder enforces by panicking is validated here first, so a
+/// corrupt or malicious peer produces an `Err`, never a worker panic.
+pub fn graph_from_json(doc: &JsonValue) -> Result<ClusterGraph, String> {
+    let num_intervals = doc
+        .get("num_intervals")
+        .and_then(JsonValue::as_u64)
+        .ok_or("graph: missing num_intervals")?;
+    let gap = doc
+        .get("gap")
+        .and_then(JsonValue::as_u64)
+        .and_then(|g| u32::try_from(g).ok())
+        .ok_or("graph: missing gap")?;
+    let counts = doc
+        .get("nodes_per_interval")
+        .and_then(JsonValue::as_array)
+        .ok_or("graph: missing nodes_per_interval")?;
+    if counts.len() as u64 != num_intervals {
+        return Err(format!(
+            "graph: nodes_per_interval has {} entries for {num_intervals} intervals",
+            counts.len()
+        ));
+    }
+    let mut builder = ClusterGraphBuilder::new(gap);
+    let mut interval_nodes = Vec::with_capacity(counts.len());
+    for (i, count) in counts.iter().enumerate() {
+        let count = count
+            .as_u64()
+            .and_then(|c| u32::try_from(c).ok())
+            .ok_or_else(|| format!("graph: bad node count for interval {i}"))?;
+        interval_nodes.push(count);
+        builder.add_interval(count);
+    }
+    let edges = doc
+        .get("edges")
+        .and_then(JsonValue::as_array)
+        .ok_or("graph: missing edges")?;
+    for (i, edge) in edges.iter().enumerate() {
+        let parts = edge
+            .as_array()
+            .filter(|a| a.len() == 5)
+            .ok_or_else(|| format!("graph: edge {i} must have 5 components"))?;
+        let component = |j: usize, what: &str| {
+            parts[j]
+                .as_u64()
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or_else(|| format!("graph: edge {i}: bad {what}"))
+        };
+        let from = ClusterNodeId::new(component(0, "from interval")?, component(1, "from index")?);
+        let to = ClusterNodeId::new(component(2, "to interval")?, component(3, "to index")?);
+        let weight = parse_weight_bits(&parts[4], &format!("graph: edge {i}"))?;
+        // Pre-validate what ClusterGraphBuilder::add_edge would panic on.
+        let in_range = |n: ClusterNodeId| {
+            (n.interval as usize) < interval_nodes.len()
+                && n.index < interval_nodes[n.interval as usize]
+        };
+        if !in_range(from) || !in_range(to) {
+            return Err(format!("graph: edge {i}: endpoint out of range"));
+        }
+        if from.interval >= to.interval || to.interval - from.interval > gap + 1 {
+            return Err(format!("graph: edge {i}: bad temporal span"));
+        }
+        // NaN must fail too, so compare in the accepting direction.
+        if weight <= 0.0 || weight.is_nan() {
+            return Err(format!("graph: edge {i}: weight must be positive"));
+        }
+        builder.add_edge(from, to, weight);
+    }
+    Ok(builder.build())
+}
+
+/// Serialize result paths: `[{"nodes":[[interval,index],…],"weight_bits":…}]`.
+pub fn paths_to_json(paths: &[ClusterPath]) -> JsonValue {
+    JsonValue::Array(
+        paths
+            .iter()
+            .map(|path| {
+                let nodes = JsonValue::Array(
+                    path.nodes()
+                        .iter()
+                        .map(|n| {
+                            JsonValue::Array(vec![
+                                JsonValue::from(u64::from(n.interval)),
+                                JsonValue::from(u64::from(n.index)),
+                            ])
+                        })
+                        .collect(),
+                );
+                JsonValue::object([
+                    ("nodes".to_string(), nodes),
+                    ("weight_bits".to_string(), weight_bits(path.weight())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Parse result paths from their wire form.
+pub fn paths_from_json(value: &JsonValue) -> Result<Vec<ClusterPath>, String> {
+    let list = value.as_array().ok_or("paths must be an array")?;
+    let mut paths = Vec::with_capacity(list.len());
+    for (i, entry) in list.iter().enumerate() {
+        let nodes = entry
+            .get("nodes")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| format!("path {i}: missing nodes"))?;
+        let mut ids = Vec::with_capacity(nodes.len());
+        for (j, node) in nodes.iter().enumerate() {
+            let pair = node
+                .as_array()
+                .filter(|a| a.len() == 2)
+                .ok_or_else(|| format!("path {i}: node {j} must be [interval, index]"))?;
+            let component = |v: &JsonValue| v.as_u64().and_then(|v| u32::try_from(v).ok());
+            let interval =
+                component(&pair[0]).ok_or_else(|| format!("path {i}: node {j}: bad interval"))?;
+            let index =
+                component(&pair[1]).ok_or_else(|| format!("path {i}: node {j}: bad index"))?;
+            ids.push(ClusterNodeId::new(interval, index));
+        }
+        let weight = parse_weight_bits(
+            entry.get("weight_bits").unwrap_or(&JsonValue::Null),
+            &format!("path {i}"),
+        )?;
+        paths.push(ClusterPath::new(ids, weight));
+    }
+    Ok(paths)
+}
+
+/// Serialize the deterministic solver counters a window solve reports.
+pub fn stats_to_json(stats: &SolverStats) -> JsonValue {
+    JsonValue::object([
+        (
+            "paths_generated".to_string(),
+            JsonValue::from(stats.paths_generated),
+        ),
+        (
+            "nodes_processed".to_string(),
+            JsonValue::from(stats.nodes_processed),
+        ),
+        (
+            "edges_traversed".to_string(),
+            JsonValue::from(stats.edges_traversed),
+        ),
+        ("prunes".to_string(), JsonValue::from(stats.prunes)),
+        ("node_reads".to_string(), JsonValue::from(stats.node_reads)),
+        (
+            "node_writes".to_string(),
+            JsonValue::from(stats.node_writes),
+        ),
+        (
+            "random_seeks".to_string(),
+            JsonValue::from(stats.random_seeks),
+        ),
+        (
+            "peak_resident_paths".to_string(),
+            JsonValue::from(stats.peak_resident_paths as u64),
+        ),
+        (
+            "peak_stack_depth".to_string(),
+            JsonValue::from(stats.peak_stack_depth as u64),
+        ),
+        (
+            "early_termination".to_string(),
+            JsonValue::Bool(stats.early_termination),
+        ),
+    ])
+}
+
+/// Parse solver counters from their wire form (absent fields default to 0).
+pub fn stats_from_json(value: &JsonValue) -> Result<SolverStats, String> {
+    let counter = |key: &str| -> Result<u64, String> {
+        match value.get(key) {
+            None => Ok(0),
+            Some(v) => v.as_u64().ok_or_else(|| format!("stats: bad {key}")),
+        }
+    };
+    Ok(SolverStats {
+        paths_generated: counter("paths_generated")?,
+        nodes_processed: counter("nodes_processed")?,
+        edges_traversed: counter("edges_traversed")?,
+        prunes: counter("prunes")?,
+        node_reads: counter("node_reads")?,
+        node_writes: counter("node_writes")?,
+        random_seeks: counter("random_seeks")?,
+        peak_resident_paths: counter("peak_resident_paths")? as usize,
+        peak_stack_depth: counter("peak_stack_depth")? as usize,
+        early_termination: value
+            .get("early_termination")
+            .map(|v| v.as_bool().ok_or("stats: bad early_termination"))
+            .transpose()?
+            .unwrap_or(false),
+        ..SolverStats::default()
+    })
+}
+
+/// Render an epoch for the wire. Epochs are 16-hex-digit strings, not
+/// JSON numbers: the JSON layer stores numbers as `f64`, and anonymous
+/// epochs set bit 63 — beyond `f64`'s exact-integer range.
+pub fn epoch_to_json(epoch: u64) -> JsonValue {
+    JsonValue::from(format!("{epoch:016x}"))
+}
+
+/// Parse a wire epoch (16-hex-digit string).
+pub fn epoch_from_json(value: &JsonValue) -> Result<u64, String> {
+    let text = value
+        .as_str()
+        .ok_or_else(|| "epoch must be a 16-hex-digit string".to_string())?;
+    u64::from_str_radix(text, 16).map_err(|_| format!("bad epoch '{text}'"))
+}
+
+/// Render the `hello` handshake request.
+pub fn hello_request() -> String {
+    JsonValue::object([
+        ("op".to_string(), JsonValue::from("hello")),
+        ("version".to_string(), JsonValue::from(PROTOCOL_VERSION)),
+    ])
+    .render()
+}
+
+/// Render an `install_graph` request.
+pub fn install_graph_request(epoch: u64, graph: &ClusterGraph) -> String {
+    JsonValue::object([
+        ("op".to_string(), JsonValue::from("install_graph")),
+        ("epoch".to_string(), epoch_to_json(epoch)),
+        ("graph".to_string(), graph_to_json(graph)),
+    ])
+    .render()
+}
+
+/// Render a `solve_window` request.
+pub fn solve_window_request(request: &WindowRequest) -> String {
+    JsonValue::object([
+        ("op".to_string(), JsonValue::from("solve_window")),
+        ("epoch".to_string(), epoch_to_json(request.epoch)),
+        (
+            "start".to_string(),
+            JsonValue::from(u64::from(request.start)),
+        ),
+        ("l".to_string(), JsonValue::from(u64::from(request.l))),
+        ("k".to_string(), JsonValue::from(request.k as u64)),
+        (
+            "algorithm".to_string(),
+            JsonValue::from(request.algorithm.to_string()),
+        ),
+        (
+            "storage".to_string(),
+            JsonValue::from(request.storage.to_string()),
+        ),
+    ])
+    .render()
+}
+
+/// Render a `ping` request.
+pub fn ping_request() -> String {
+    JsonValue::object([("op".to_string(), JsonValue::from("ping"))]).render()
+}
+
+/// A worker's response, parsed to the ok/error envelope.
+#[derive(Debug)]
+pub struct Response {
+    /// The parsed response document.
+    pub doc: JsonValue,
+}
+
+impl Response {
+    /// Parse a response line and unwrap the envelope: a protocol-level
+    /// failure (`ok:false`) becomes `Err` with the worker's message.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let doc = json::parse(line)?;
+        match doc.get("ok").and_then(JsonValue::as_bool) {
+            Some(true) => Ok(Response { doc }),
+            Some(false) => Err(doc
+                .get("error")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("unspecified worker error")
+                .to_string()),
+            None => Err("response missing 'ok' field".to_string()),
+        }
+    }
+}
+
+/// Decode a successful `solve_window` response into a [`WindowResult`].
+pub fn window_result_from_response(response: &Response) -> Result<WindowResult, String> {
+    let paths = paths_from_json(response.doc.get("paths").unwrap_or(&JsonValue::Null))?;
+    let stats = stats_from_json(response.doc.get("stats").unwrap_or(&JsonValue::Null))?;
+    Ok(WindowResult { paths, stats })
+}
+
+/// Encode a successful `solve_window` response.
+pub fn window_result_response(result: &WindowResult) -> String {
+    JsonValue::object([
+        ("ok".to_string(), JsonValue::Bool(true)),
+        ("op".to_string(), JsonValue::from("solve_window")),
+        ("paths".to_string(), paths_to_json(&result.paths)),
+        ("stats".to_string(), stats_to_json(&result.stats)),
+    ])
+    .render()
+}
+
+/// Parse an `AlgorithmKind` + `StorageSpec` pair off a solve request.
+pub fn parse_solve_fields(doc: &JsonValue) -> Result<(AlgorithmKind, StorageSpec), String> {
+    let algorithm_name = doc
+        .get("algorithm")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("bfs");
+    let algorithm = AlgorithmKind::parse(algorithm_name)
+        .ok_or_else(|| format!("unknown algorithm '{algorithm_name}'"))?;
+    let storage_name = doc
+        .get("storage")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("logfile");
+    let storage = StorageSpec::parse(storage_name)
+        .ok_or_else(|| format!("unknown storage '{storage_name}'"))?;
+    Ok((algorithm, storage))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsc_core::synthetic::{ClusterGraphGenerator, SyntheticGraphParams};
+    use std::io::BufReader;
+
+    fn graph() -> ClusterGraph {
+        ClusterGraphGenerator::new(SyntheticGraphParams {
+            num_intervals: 5,
+            nodes_per_interval: 8,
+            avg_out_degree: 3,
+            gap: 1,
+            seed: 11,
+        })
+        .generate()
+    }
+
+    #[test]
+    fn graphs_round_trip_bit_exactly() {
+        let original = graph();
+        let rendered = graph_to_json(&original).render();
+        let rebuilt = graph_from_json(&json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(original.num_intervals(), rebuilt.num_intervals());
+        assert_eq!(original.gap(), rebuilt.gap());
+        assert_eq!(original.num_nodes(), rebuilt.num_nodes());
+        let a: Vec<_> = original.edges().collect();
+        let b: Vec<_> = rebuilt.edges().collect();
+        assert_eq!(a.len(), b.len());
+        for ((f1, t1, w1), (f2, t2, w2)) in a.iter().zip(b.iter()) {
+            assert_eq!(f1, f2);
+            assert_eq!(t1, t2);
+            assert_eq!(w1.to_bits(), w2.to_bits());
+        }
+    }
+
+    #[test]
+    fn corrupt_graphs_error_instead_of_panicking() {
+        let good = graph_to_json(&graph()).render();
+        for (mutation, needle) in [
+            ("{\"gap\":0}", "missing num_intervals"),
+            ("{\"num_intervals\":2,\"gap\":0}", "nodes_per_interval"),
+            (
+                "{\"num_intervals\":2,\"gap\":0,\"nodes_per_interval\":[1,1],\
+                 \"edges\":[[0,5,1,0,\"3fe0000000000000\"]]}",
+                "out of range",
+            ),
+            (
+                "{\"num_intervals\":2,\"gap\":0,\"nodes_per_interval\":[1,1],\
+                 \"edges\":[[1,0,0,0,\"3fe0000000000000\"]]}",
+                "temporal span",
+            ),
+            (
+                "{\"num_intervals\":2,\"gap\":0,\"nodes_per_interval\":[1,1],\
+                 \"edges\":[[0,0,1,0,\"8000000000000000\"]]}",
+                "positive",
+            ),
+            (
+                "{\"num_intervals\":2,\"gap\":0,\"nodes_per_interval\":[1,1],\
+                 \"edges\":[[0,0,1,0,\"xyz\"]]}",
+                "weight bits",
+            ),
+        ] {
+            let err = graph_from_json(&json::parse(mutation).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{mutation}: {err}");
+        }
+        assert!(graph_from_json(&json::parse(&good).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn paths_and_stats_round_trip() {
+        let paths = vec![
+            ClusterPath::new(
+                vec![ClusterNodeId::new(0, 1), ClusterNodeId::new(1, 3)],
+                0.1 + 0.2,
+            ),
+            ClusterPath::new(
+                vec![ClusterNodeId::new(2, 0), ClusterNodeId::new(3, 7)],
+                1.0 / 3.0,
+            ),
+        ];
+        let stats = SolverStats {
+            paths_generated: 42,
+            nodes_processed: 17,
+            early_termination: true,
+            peak_resident_paths: 9,
+            ..SolverStats::default()
+        };
+        let result = WindowResult {
+            paths: paths.clone(),
+            stats,
+        };
+        let line = window_result_response(&result);
+        let response = Response::parse(&line).unwrap();
+        let decoded = window_result_from_response(&response).unwrap();
+        assert_eq!(decoded.paths.len(), 2);
+        for (a, b) in paths.iter().zip(decoded.paths.iter()) {
+            assert_eq!(a.nodes(), b.nodes());
+            assert_eq!(a.weight().to_bits(), b.weight().to_bits());
+        }
+        assert_eq!(decoded.stats.paths_generated, 42);
+        assert_eq!(decoded.stats.nodes_processed, 17);
+        assert_eq!(decoded.stats.peak_resident_paths, 9);
+        assert!(decoded.stats.early_termination);
+    }
+
+    #[test]
+    fn response_envelope_separates_ok_from_error() {
+        assert!(Response::parse("{\"ok\":true,\"op\":\"ping\"}").is_ok());
+        let err = Response::parse("{\"error\":\"boom\",\"ok\":false}").unwrap_err();
+        assert_eq!(err, "boom");
+        assert!(Response::parse("{}").unwrap_err().contains("ok"));
+        assert!(Response::parse("garbage").unwrap_err().contains("JSON"));
+    }
+
+    #[test]
+    fn read_frame_handles_eof_truncation_and_multiple_lines() {
+        let mut reader = BufReader::new("{\"a\":1}\n{\"b\":2}\n".as_bytes());
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), "{\"a\":1}");
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), "{\"b\":2}");
+        assert!(read_frame(&mut reader).unwrap().is_none());
+
+        let mut truncated = BufReader::new("{\"a\":1".as_bytes());
+        let err = read_frame(&mut truncated).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::UnexpectedEof);
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn solve_request_renders_and_parses() {
+        let request = WindowRequest {
+            epoch: 7,
+            start: 3,
+            l: 2,
+            k: 5,
+            algorithm: AlgorithmKind::Auto {
+                budget_bytes: Some(4096),
+            },
+            storage: StorageSpec::BlockCache { budget_bytes: 8192 },
+            preferred: 1,
+        };
+        let line = solve_window_request(&request);
+        let doc = json::parse(&line).unwrap();
+        assert_eq!(doc.get("op").unwrap().as_str(), Some("solve_window"));
+        assert_eq!(doc.get("epoch").unwrap().as_str(), Some("0000000000000007"));
+        let (algorithm, storage) = parse_solve_fields(&doc).unwrap();
+        assert_eq!(algorithm, request.algorithm);
+        assert_eq!(storage, request.storage);
+    }
+}

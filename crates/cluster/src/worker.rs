@@ -1,0 +1,537 @@
+//! The worker half of the fan-out: a TCP server answering window solves.
+//!
+//! A [`WorkerServer`] accepts any number of coordinator connections; each
+//! connection is served by its own thread and carries its own graph cache
+//! (the last `install_graph`-shipped graph, keyed by epoch), so concurrent
+//! coordinators — or concurrent dispatcher threads of one coordinator —
+//! never share mutable state. A `solve_window` against an epoch the
+//! connection has not seen is answered with an `unknown epoch` error; the
+//! client reacts by installing the graph and retrying, which also covers
+//! reconnect-after-restart transparently.
+//!
+//! The actual solve is [`bsc_core::distributed::solve_window_locally`] —
+//! the identical code path the in-process `ShardedSolver` runs, so a
+//! worker's answer is byte-identical to the shard thread it replaces.
+//!
+//! For fault-injection tests a [`WorkerConfig::die_after_solves`] budget
+//! makes the server drop the connection *instead of answering* the fatal
+//! solve and stop accepting — indistinguishable from a `kill -9` mid-solve
+//! from the coordinator's point of view.
+
+use std::io::{BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bsc_core::cluster_graph::ClusterGraph;
+use bsc_core::distributed::solve_window_locally;
+use bsc_core::solver::SolverOptions;
+use bsc_util::json::{self, JsonValue};
+
+use crate::wire::{
+    graph_from_json, parse_solve_fields, read_frame, window_result_response, PROTOCOL_VERSION,
+};
+
+/// Worker server configuration.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerConfig {
+    /// Fault injection: after answering this many `solve_window` requests,
+    /// drop the connection mid-request (no response) and stop accepting —
+    /// the worker "dies". `None` (the default) never dies.
+    pub die_after_solves: Option<u64>,
+}
+
+#[derive(Debug, Default)]
+struct WorkerShared {
+    config: WorkerConfig,
+    dead: AtomicBool,
+    solves: AtomicU64,
+    installs: AtomicU64,
+    connections: AtomicU64,
+}
+
+impl WorkerShared {
+    /// True when the fault plan says the *next* solve must kill the worker.
+    fn next_solve_is_fatal(&self) -> bool {
+        match self.config.die_after_solves {
+            Some(budget) => self.solves.load(Ordering::Relaxed) >= budget,
+            None => false,
+        }
+    }
+}
+
+/// A bound-but-not-yet-serving worker server.
+#[derive(Debug)]
+pub struct WorkerServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<WorkerShared>,
+}
+
+/// Handle to a worker served on a background thread (tests and in-process
+/// fleets). Dropping the handle does NOT stop the worker; call
+/// [`WorkerHandle::kill`].
+#[derive(Debug)]
+pub struct WorkerHandle {
+    addr: SocketAddr,
+    shared: Arc<WorkerShared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerServer {
+    /// Bind to `addr` (use port 0 for an OS-assigned port).
+    pub fn bind(addr: &str, config: WorkerConfig) -> std::io::Result<WorkerServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(WorkerServer {
+            listener,
+            addr,
+            shared: Arc::new(WorkerShared {
+                config,
+                ..WorkerShared::default()
+            }),
+        })
+    }
+
+    /// The bound address (the actual port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serve until killed (the blocking entry point behind
+    /// `bsc serve --worker`). Accepts connections in a poll loop so an
+    /// injected death (or [`WorkerHandle::kill`]) is observed promptly.
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        while !self.shared.dead.load(Ordering::Relaxed) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.shared.connections.fetch_add(1, Ordering::Relaxed);
+                    let shared = Arc::clone(&self.shared);
+                    std::thread::spawn(move || serve_connection(stream, shared));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Serve on a background thread, returning a handle with the address.
+    pub fn spawn(self) -> WorkerHandle {
+        let addr = self.addr;
+        let shared = Arc::clone(&self.shared);
+        let thread = std::thread::spawn(move || {
+            let _ = self.run();
+        });
+        WorkerHandle {
+            addr,
+            shared,
+            thread: Some(thread),
+        }
+    }
+}
+
+impl WorkerHandle {
+    /// The worker's address, e.g. to build a
+    /// [`FanoutSpec`](bsc_core::distributed::FanoutSpec).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of `solve_window` requests answered so far.
+    pub fn solves(&self) -> u64 {
+        self.shared.solves.load(Ordering::Relaxed)
+    }
+
+    /// Number of graphs installed so far.
+    pub fn installs(&self) -> u64 {
+        self.shared.installs.load(Ordering::Relaxed)
+    }
+
+    /// Kill the worker: stop accepting, drop live connections at the next
+    /// request boundary, join the accept thread.
+    pub fn kill(&mut self) {
+        self.shared.dead.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// Serve one coordinator connection until EOF, error, or injected death.
+fn serve_connection(stream: TcpStream, shared: Arc<WorkerShared>) {
+    // Short read timeout so the loop re-checks the death flag while idle.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    // The per-connection graph cache: the last installed (epoch, graph).
+    let mut graph: Option<(u64, ClusterGraph)> = None;
+    loop {
+        if shared.dead.load(Ordering::Relaxed) {
+            return;
+        }
+        let line = match read_frame(&mut reader) {
+            Ok(Some(line)) => line,
+            Ok(None) => return,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue;
+            }
+            Err(e) => {
+                // Oversized / truncated / non-UTF-8 frame: report once if
+                // the socket still works, then drop the connection — the
+                // framing is out of sync, recovery is a reconnect.
+                let _ = writeln!(writer, "{}", wire_error(&format!("bad frame: {e}")));
+                return;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match handle_request(&line, &mut graph, &shared) {
+            HandlerOutcome::Respond(response) => response,
+            // Injected death: no response, no further requests.
+            HandlerOutcome::Die => {
+                shared.dead.store(true, Ordering::Relaxed);
+                return;
+            }
+        };
+        if writeln!(writer, "{response}")
+            .and_then(|_| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+enum HandlerOutcome {
+    Respond(String),
+    Die,
+}
+
+fn wire_error(message: &str) -> String {
+    JsonValue::object([
+        ("ok".to_string(), JsonValue::Bool(false)),
+        ("error".to_string(), JsonValue::from(message)),
+    ])
+    .render()
+}
+
+fn ok_fields(op: &str, fields: Vec<(&str, JsonValue)>) -> String {
+    let mut pairs = vec![
+        ("ok".to_string(), JsonValue::Bool(true)),
+        ("op".to_string(), JsonValue::from(op)),
+    ];
+    pairs.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+    JsonValue::object(pairs).render()
+}
+
+fn handle_request(
+    line: &str,
+    graph: &mut Option<(u64, ClusterGraph)>,
+    shared: &WorkerShared,
+) -> HandlerOutcome {
+    let doc = match json::parse(line) {
+        Ok(doc) => doc,
+        Err(e) => return HandlerOutcome::Respond(wire_error(&e)),
+    };
+    let op = match doc.get("op").and_then(JsonValue::as_str) {
+        Some(op) => op,
+        None => return HandlerOutcome::Respond(wire_error("request missing 'op'")),
+    };
+    match op {
+        "hello" => {
+            let version = doc.get("version").and_then(JsonValue::as_u64);
+            match version {
+                Some(v) if v == PROTOCOL_VERSION => HandlerOutcome::Respond(ok_fields(
+                    "hello",
+                    vec![("version", JsonValue::from(PROTOCOL_VERSION))],
+                )),
+                Some(v) => HandlerOutcome::Respond(wire_error(&format!(
+                    "protocol version mismatch: coordinator speaks v{v}, worker speaks \
+                     v{PROTOCOL_VERSION}; run matching builds"
+                ))),
+                None => HandlerOutcome::Respond(wire_error("hello missing 'version'")),
+            }
+        }
+        "install_graph" => {
+            let epoch = match doc.get("epoch").map(crate::wire::epoch_from_json) {
+                Some(Ok(epoch)) => epoch,
+                Some(Err(e)) => return HandlerOutcome::Respond(wire_error(&e)),
+                None => {
+                    return HandlerOutcome::Respond(wire_error("install_graph missing 'epoch'"))
+                }
+            };
+            let parsed = doc
+                .get("graph")
+                .ok_or_else(|| "install_graph missing 'graph'".to_string())
+                .and_then(graph_from_json);
+            match parsed {
+                Ok(g) => {
+                    *graph = Some((epoch, g));
+                    shared.installs.fetch_add(1, Ordering::Relaxed);
+                    HandlerOutcome::Respond(ok_fields(
+                        "install_graph",
+                        vec![("epoch", crate::wire::epoch_to_json(epoch))],
+                    ))
+                }
+                Err(e) => HandlerOutcome::Respond(wire_error(&e)),
+            }
+        }
+        "solve_window" => {
+            if shared.next_solve_is_fatal() {
+                return HandlerOutcome::Die;
+            }
+            let response = solve(&doc, graph);
+            if response.starts_with("{\"ok\":true") {
+                shared.solves.fetch_add(1, Ordering::Relaxed);
+            }
+            HandlerOutcome::Respond(response)
+        }
+        "ping" => {
+            let epoch = graph.as_ref().map(|(epoch, _)| *epoch);
+            let mut fields = vec![("version", JsonValue::from(PROTOCOL_VERSION))];
+            if let Some(epoch) = epoch {
+                fields.push(("epoch", crate::wire::epoch_to_json(epoch)));
+            }
+            HandlerOutcome::Respond(ok_fields("ping", fields))
+        }
+        "stats" => HandlerOutcome::Respond(ok_fields(
+            "stats",
+            vec![
+                (
+                    "solves",
+                    JsonValue::from(shared.solves.load(Ordering::Relaxed)),
+                ),
+                (
+                    "installs",
+                    JsonValue::from(shared.installs.load(Ordering::Relaxed)),
+                ),
+                (
+                    "connections",
+                    JsonValue::from(shared.connections.load(Ordering::Relaxed)),
+                ),
+            ],
+        )),
+        other => HandlerOutcome::Respond(wire_error(&format!("unknown op '{other}'"))),
+    }
+}
+
+fn solve(doc: &JsonValue, graph: &Option<(u64, ClusterGraph)>) -> String {
+    let epoch = match doc.get("epoch").map(crate::wire::epoch_from_json) {
+        Some(Ok(epoch)) => epoch,
+        Some(Err(e)) => return wire_error(&e),
+        None => return wire_error("solve_window missing 'epoch'"),
+    };
+    let (installed_epoch, graph) = match graph {
+        Some((e, g)) if *e == epoch => (*e, g),
+        Some((e, _)) => {
+            return wire_error(&format!(
+                "unknown epoch {epoch}: this connection has epoch {e}; send install_graph"
+            ))
+        }
+        None => {
+            return wire_error(&format!(
+                "unknown epoch {epoch}: no graph installed on this connection; send install_graph"
+            ))
+        }
+    };
+    let _ = installed_epoch;
+    let field = |key: &str| doc.get(key).and_then(JsonValue::as_u64);
+    let (Some(start), Some(l), Some(k)) = (field("start"), field("l"), field("k")) else {
+        return wire_error("solve_window requires 'start', 'l' and 'k'");
+    };
+    let (Ok(start), Ok(l), Ok(k)) = (u32::try_from(start), u32::try_from(l), usize::try_from(k))
+    else {
+        return wire_error("solve_window field out of range");
+    };
+    if (start as usize) + (l as usize) >= graph.num_intervals() {
+        return wire_error(&format!(
+            "window [{start}, {}] exceeds the graph's {} intervals",
+            start as u64 + l as u64,
+            graph.num_intervals()
+        ));
+    }
+    let (algorithm, storage) = match parse_solve_fields(doc) {
+        Ok(pair) => pair,
+        Err(e) => return wire_error(&e),
+    };
+    match solve_window_locally(
+        graph,
+        start,
+        l,
+        k,
+        algorithm,
+        &SolverOptions::default().storage(storage),
+    ) {
+        Ok(result) => window_result_response(&result),
+        Err(e) => wire_error(&e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire;
+    use bsc_core::synthetic::{ClusterGraphGenerator, SyntheticGraphParams};
+    use std::net::TcpStream;
+
+    fn graph() -> ClusterGraph {
+        ClusterGraphGenerator::new(SyntheticGraphParams {
+            num_intervals: 6,
+            nodes_per_interval: 8,
+            avg_out_degree: 3,
+            gap: 1,
+            seed: 3,
+        })
+        .generate()
+    }
+
+    fn roundtrip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+        writeln!(stream, "{line}").unwrap();
+        stream.flush().unwrap();
+        loop {
+            match read_frame(reader) {
+                Ok(Some(line)) => return line,
+                Ok(None) => panic!("worker closed the connection"),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    continue
+                }
+                Err(e) => panic!("read failed: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn worker_answers_the_full_request_cycle() {
+        let mut handle = WorkerServer::bind("127.0.0.1:0", WorkerConfig::default())
+            .unwrap()
+            .spawn();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+        // Handshake.
+        let hello = roundtrip(&mut stream, &mut reader, &wire::hello_request());
+        assert!(hello.contains("\"ok\":true"), "{hello}");
+
+        // Version mismatch fails fast.
+        let bad = roundtrip(
+            &mut stream,
+            &mut reader,
+            "{\"op\":\"hello\",\"version\":999}",
+        );
+        assert!(bad.contains("version mismatch"), "{bad}");
+
+        // Solving before a graph is installed names the fix.
+        let early = roundtrip(
+            &mut stream,
+            &mut reader,
+            "{\"op\":\"solve_window\",\"epoch\":\"0000000000000001\",\"start\":0,\"l\":2,\"k\":3}",
+        );
+        assert!(early.contains("install_graph"), "{early}");
+
+        // Install, then solve, and check against the local answer.
+        let g = graph();
+        let install = roundtrip(
+            &mut stream,
+            &mut reader,
+            &wire::install_graph_request(1, &g),
+        );
+        assert!(install.contains("\"ok\":true"), "{install}");
+        let solved = roundtrip(
+            &mut stream,
+            &mut reader,
+            "{\"op\":\"solve_window\",\"epoch\":\"0000000000000001\",\"start\":1,\"l\":2,\"k\":3,\
+             \"algorithm\":\"bfs\",\"storage\":\"memory\"}",
+        );
+        let response = wire::Response::parse(&solved).unwrap();
+        let result = wire::window_result_from_response(&response).unwrap();
+        let expected = solve_window_locally(
+            &g,
+            1,
+            2,
+            3,
+            bsc_core::solver::AlgorithmKind::Bfs,
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(result.paths.len(), expected.paths.len());
+        for (a, b) in result.paths.iter().zip(expected.paths.iter()) {
+            assert_eq!(a.nodes(), b.nodes());
+            assert_eq!(a.weight().to_bits(), b.weight().to_bits());
+        }
+        assert_eq!(handle.solves(), 1);
+        assert_eq!(handle.installs(), 1);
+
+        // Out-of-range window is an error, not a panic.
+        let oob = roundtrip(
+            &mut stream,
+            &mut reader,
+            "{\"op\":\"solve_window\",\"epoch\":\"0000000000000001\",\"start\":5,\"l\":3,\"k\":3}",
+        );
+        assert!(oob.contains("exceeds"), "{oob}");
+
+        // Ping reports the installed epoch.
+        let ping = roundtrip(&mut stream, &mut reader, &wire::ping_request());
+        assert!(ping.contains("\"epoch\":\"0000000000000001\""), "{ping}");
+
+        handle.kill();
+    }
+
+    #[test]
+    fn injected_death_drops_the_connection_without_a_response() {
+        let mut handle = WorkerServer::bind(
+            "127.0.0.1:0",
+            WorkerConfig {
+                die_after_solves: Some(0),
+            },
+        )
+        .unwrap()
+        .spawn();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let install = roundtrip(
+            &mut stream,
+            &mut reader,
+            &wire::install_graph_request(1, &graph()),
+        );
+        assert!(install.contains("\"ok\":true"));
+        let solve =
+            "{\"op\":\"solve_window\",\"epoch\":\"0000000000000001\",\"start\":0,\"l\":2,\"k\":3}";
+        writeln!(stream, "{solve}").unwrap();
+        stream.flush().unwrap();
+        // The connection dies with no response: EOF (clean close) or a
+        // reset, never a solve_window answer.
+        loop {
+            match read_frame(&mut reader) {
+                Ok(Some(line)) => panic!("dead worker answered: {line}"),
+                Ok(None) => break,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    continue
+                }
+                Err(_) => break,
+            }
+        }
+        handle.kill();
+    }
+}

@@ -217,8 +217,9 @@ pub struct AutoSolver {
 }
 
 impl AutoSolver {
-    /// Create a deferred-choice solver. `options.shards` is ignored — Auto
-    /// resolution happens per (sub)graph, below the sharding layer.
+    /// Create a deferred-choice solver. `options.shards` and
+    /// `options.fanout` are ignored — Auto resolution happens per
+    /// (sub)graph, below the sharding/fan-out layers.
     pub fn new(
         spec: StableClusterSpec,
         k: usize,
@@ -229,7 +230,7 @@ impl AutoSolver {
             spec,
             k,
             budget_bytes,
-            options: options.shards(1),
+            options: options.shards(1).fanout(None),
             last_choice: None,
         }
     }
@@ -256,8 +257,12 @@ impl StableClusterSolver for AutoSolver {
         let shape = GraphShape::of(graph);
         let choice = choose_algorithm(&shape, self.spec, self.k, self.budget_bytes)?;
         self.last_choice = Some(choice);
-        let mut inner =
-            choice.build_with_options(self.spec, self.k, graph.num_intervals(), self.options)?;
+        let mut inner = choice.build_with_options(
+            self.spec,
+            self.k,
+            graph.num_intervals(),
+            self.options.clone(),
+        )?;
         inner.solve(graph)
     }
 }

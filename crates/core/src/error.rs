@@ -37,6 +37,13 @@ pub enum BscError {
     },
     /// The query engine has shut down and accepts no further queries.
     Shutdown,
+    /// A distributed fan-out could not be served: no transport is
+    /// registered, a protocol/version handshake failed, or every worker in
+    /// the fan-out set was exhausted (dead, unreachable, or repeatedly
+    /// timing out) for some window. Individual worker failures are retried
+    /// and failed over internally; this surfaces only when the cluster as a
+    /// whole cannot answer.
+    Cluster(String),
 }
 
 impl std::fmt::Display for BscError {
@@ -55,6 +62,7 @@ impl std::fmt::Display for BscError {
                 )
             }
             BscError::Shutdown => f.write_str("query engine is shut down"),
+            BscError::Cluster(msg) => write!(f, "cluster error: {msg}"),
         }
     }
 }
@@ -106,6 +114,9 @@ mod tests {
             .to_string()
             .contains("8 slots"));
         assert!(BscError::Shutdown.to_string().contains("shut down"));
+        assert!(BscError::Cluster("all workers down".into())
+            .to_string()
+            .contains("cluster error"));
     }
 
     #[test]

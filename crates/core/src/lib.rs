@@ -64,6 +64,7 @@ pub mod auto;
 pub mod bfs;
 pub mod cluster_graph;
 pub mod dfs;
+pub mod distributed;
 pub mod error;
 pub mod normalized;
 pub mod path;
@@ -84,6 +85,10 @@ pub use bfs::{BfsConfig, BfsStableClusters, BfsStats};
 pub use bsc_storage::backend::StorageSpec;
 pub use cluster_graph::{ClusterEdge, ClusterGraph, ClusterGraphBuilder, ClusterNodeId};
 pub use dfs::{DfsConfig, DfsStableClusters, DfsStats};
+pub use distributed::{
+    register_transport_factory, solve_window_locally, transport_for, DistributedSolver, FanoutSpec,
+    ShardTransport, WindowRequest, WindowResult,
+};
 pub use error::{BscError, BscResult};
 pub use normalized::{NormalizedConfig, NormalizedStableClusters, NormalizedStats};
 pub use path::ClusterPath;

@@ -99,6 +99,13 @@ pub struct PipelineParams {
     /// Problem 2 does not decompose. Every shard count produces the
     /// identical result.
     pub shards: usize,
+    /// Distributed fan-out worker set for the solver stage (`Some` runs
+    /// the per-window solves on remote worker processes through the
+    /// registered cluster transport; see `docs/distributed.md`). Takes
+    /// precedence over [`PipelineParams::shards`], requires a Problem 1
+    /// spec, and every worker set produces the identical result. `None`
+    /// (the default) solves in-process.
+    pub fanout: Option<crate::distributed::FanoutSpec>,
 }
 
 impl Default for PipelineParams {
@@ -116,6 +123,7 @@ impl Default for PipelineParams {
             threads: 1,
             storage: StorageSpec::LogFile,
             shards: 1,
+            fanout: None,
         }
     }
 }
@@ -194,6 +202,12 @@ impl PipelineParams {
         self
     }
 
+    /// Set (or clear) the solver-stage distributed fan-out worker set.
+    pub fn fanout(mut self, fanout: Option<crate::distributed::FanoutSpec>) -> Self {
+        self.fanout = fanout;
+        self
+    }
+
     /// Check the configuration, returning [`BscError::InvalidConfig`] for
     /// out-of-range parameters and [`BscError::Unsupported`] for an
     /// algorithm/spec mismatch.
@@ -225,6 +239,16 @@ impl PipelineParams {
                     algorithm: "sharded",
                     reason: "Problem 2 (normalized stability) does not decompose across start \
                              intervals; set shards to 1"
+                        .to_string(),
+                });
+            }
+        }
+        if self.fanout.is_some() {
+            if let StableClusterSpec::Normalized { .. } = self.spec {
+                return Err(BscError::Unsupported {
+                    algorithm: "distributed",
+                    reason: "Problem 2 (normalized stability) does not decompose across start \
+                             intervals; clear the fan-out worker set"
                         .to_string(),
                 });
             }
@@ -397,7 +421,8 @@ impl Pipeline {
             SolverOptions::default()
                 .threads(params.threads)
                 .storage(params.storage)
-                .shards(params.shards),
+                .shards(params.shards)
+                .fanout(params.fanout.clone()),
         )?;
         let start = Instant::now();
         let mut solution = solver.solve_snapshot(snapshot)?;

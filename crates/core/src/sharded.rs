@@ -39,9 +39,8 @@
 use bsc_graph::partition::balanced_ranges;
 use bsc_storage::io_stats::IoScope;
 
-use crate::cluster_graph::{ClusterGraph, ClusterNodeId};
+use crate::cluster_graph::ClusterGraph;
 use crate::error::{BscError, BscResult};
-use crate::path::ClusterPath;
 use crate::problem::StableClusterSpec;
 use crate::solver::{AlgorithmKind, Solution, SolverOptions, SolverStats, StableClusterSolver};
 use crate::topk::TopKPaths;
@@ -55,7 +54,7 @@ use bsc_storage::backend::StorageSpec;
 /// Constructed directly or through
 /// [`AlgorithmKind::build_with_options`] whenever
 /// [`SolverOptions::shards`] is greater than one.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ShardedSolver {
     inner: AlgorithmKind,
     spec: StableClusterSpec,
@@ -108,30 +107,26 @@ impl ShardedSolver {
         starts: std::ops::Range<usize>,
         inner_threads: usize,
     ) -> BscResult<(TopKPaths, SolverStats)> {
-        let inner_options = self.options.shards(1).threads(inner_threads);
+        let inner_options = self.options.clone().threads(inner_threads);
         let mut local = TopKPaths::new(self.k);
         let mut stats = SolverStats::default();
         for start in starts {
-            let start = start as u32;
-            let window = graph.window(start, start + l);
-            // Inside an (l + 1)-interval window, ExactLength(l) *is* the
-            // full-path query, so every inner algorithm (TA included)
-            // accepts it.
-            let mut solver = self.inner.build_with_options(
-                StableClusterSpec::ExactLength(l),
+            // The shared window solve — the identical code path a remote
+            // `bsc-cluster` worker runs, which is what makes distributed
+            // results byte-identical to sharded ones (inside the
+            // (l + 1)-interval window, ExactLength(l) *is* the full-path
+            // query, so every inner algorithm, TA included, accepts it).
+            let result = crate::distributed::solve_window_locally(
+                graph,
+                start as u32,
+                l,
                 self.k,
-                window.num_intervals(),
-                inner_options,
+                self.inner,
+                &inner_options,
             )?;
-            let solution = solver.solve(&window)?;
-            stats.merge(&solution.stats);
-            for path in solution.paths {
-                let nodes: Vec<ClusterNodeId> = path
-                    .nodes()
-                    .iter()
-                    .map(|n| ClusterNodeId::new(n.interval + start, n.index))
-                    .collect();
-                local.offer_by_weight(ClusterPath::new(nodes, path.weight()));
+            stats.merge(&result.stats);
+            for path in result.paths {
+                local.offer_by_weight(path);
             }
         }
         Ok((local, stats))
@@ -251,6 +246,7 @@ impl StableClusterSolver for ShardedSolver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::path::ClusterPath;
     use crate::synthetic::{ClusterGraphGenerator, SyntheticGraphParams};
 
     fn graph(m: usize, n: u32, d: u32, g: u32, seed: u64) -> ClusterGraph {

@@ -30,7 +30,7 @@ use crate::snapshot::GraphSnapshot;
 /// the disk-resident solvers keep their per-node state in. Problem-level
 /// parameters (spec, `k`) stay separate — these options never change *what*
 /// is computed, only how.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SolverOptions {
     /// Worker threads for solvers with a parallel stage (the BFS
     /// per-interval sweep). `1` means sequential; every thread count
@@ -56,6 +56,16 @@ pub struct SolverOptions {
     /// knobs cannot multiply into oversubscription. Every shard count
     /// produces the identical `Solution`.
     pub shards: usize,
+    /// Fan the per-window solves out to remote worker processes instead of
+    /// local shard threads (`Some` wraps the solver in a
+    /// [`DistributedSolver`](crate::distributed::DistributedSolver) over
+    /// the transport registered via
+    /// [`register_transport_factory`](crate::distributed::register_transport_factory)).
+    /// Takes precedence over [`SolverOptions::shards`] — the two are the
+    /// same decomposition, executed by processes instead of threads, and
+    /// every worker set produces the identical `Solution`. `None` (the
+    /// default) solves in-process.
+    pub fanout: Option<crate::distributed::FanoutSpec>,
 }
 
 impl Default for SolverOptions {
@@ -65,6 +75,7 @@ impl Default for SolverOptions {
             storage: StorageSpec::LogFile,
             bfs_store_backed: false,
             shards: 1,
+            fanout: None,
         }
     }
 }
@@ -91,6 +102,12 @@ impl SolverOptions {
     /// Set the interval shard count (1 = unsharded).
     pub fn shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Set (or clear) the distributed fan-out worker set.
+    pub fn fanout(mut self, fanout: Option<crate::distributed::FanoutSpec>) -> Self {
+        self.fanout = fanout;
         self
     }
 }
@@ -355,6 +372,16 @@ impl AlgorithmKind {
         options: SolverOptions,
     ) -> BscResult<Box<dyn StableClusterSolver>> {
         self.check_spec(spec)?;
+        // A fan-out worker set takes precedence over local sharding: both
+        // run the identical per-start-window decomposition (so the Solution
+        // is the same either way), distributed just executes the windows on
+        // remote processes through the registered transport.
+        if let Some(fanout) = options.fanout.clone() {
+            let transport = crate::distributed::transport_for(&fanout)?;
+            return Ok(Box::new(crate::distributed::DistributedSolver::new(
+                transport, self, spec, k, options,
+            )?));
+        }
         // Sharding wraps first, so each shard builds (and, for Auto,
         // resolves) its own inner solver over its own windows. Note the
         // per-algorithm graph-dependent checks below deliberately do NOT run

@@ -97,7 +97,7 @@ impl EngineConfig {
 /// the deployment-level [`SolverOptions`] — exactly the parameters of
 /// [`AlgorithmKind::build_with_options`], so anything the one-shot path can
 /// solve, the engine can serve.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryRequest {
     /// Which algorithm answers the query (including `Auto` and, through
     /// [`SolverOptions::shards`], sharded solving).
@@ -136,9 +136,13 @@ impl QueryRequest {
             storage,
             bfs_store_backed,
             shards,
-        } = self.options;
+            fanout,
+        } = &self.options;
+        let fanout = fanout
+            .as_ref()
+            .map_or_else(|| "none".to_string(), |f| f.to_string());
         format!(
-            "alg={}|spec={}|k={}|threads={threads}|storage={storage}|store_backed={bfs_store_backed}|shards={shards}",
+            "alg={}|spec={}|k={}|threads={threads}|storage={storage}|store_backed={bfs_store_backed}|shards={shards}|fanout={fanout}",
             self.algorithm, self.spec, self.k
         )
     }
@@ -482,7 +486,7 @@ fn execute(job: &Job, queue_wait: Duration, shared: &Shared) -> BscResult<QueryR
         job.request.spec,
         job.request.k,
         job.snapshot.num_intervals(),
-        job.request.options,
+        job.request.options.clone(),
     )?;
     let start = Instant::now();
     let mut solution = solver.solve_snapshot(&job.snapshot)?;
@@ -548,8 +552,8 @@ mod tests {
         let engine = engine();
         engine.install_graph(graph(7));
         let request = QueryRequest::new(AlgorithmKind::Bfs, StableClusterSpec::ExactLength(2), 4);
-        let first = engine.query(request).unwrap();
-        let second = engine.query(request).unwrap();
+        let first = engine.query(request.clone()).unwrap();
+        let second = engine.query(request.clone()).unwrap();
         assert!(!first.cached);
         assert!(second.cached);
         assert_eq!(second.solution.stats.solve_micros, 0);
@@ -622,7 +626,7 @@ mod tests {
         let mut tickets = Vec::new();
         let mut saturated = false;
         for _ in 0..50 {
-            match engine.try_submit(request) {
+            match engine.try_submit(request.clone()) {
                 Ok(ticket) => tickets.push(ticket),
                 Err(BscError::Saturated { capacity }) => {
                     assert_eq!(capacity, 1);
@@ -643,7 +647,7 @@ mod tests {
         let mut engine = engine();
         engine.install_graph(graph(7));
         let request = QueryRequest::new(AlgorithmKind::Bfs, StableClusterSpec::ExactLength(2), 4);
-        assert!(engine.query(request).is_ok());
+        assert!(engine.query(request.clone()).is_ok());
         engine.shutdown();
         assert!(matches!(
             engine.query(request).unwrap_err(),

@@ -10,7 +10,8 @@
 //!
 //! | op | fields | effect |
 //! |----|--------|--------|
-//! | `query` | `algorithm`, `spec`, `k`, `threads`, `storage`, `shards`, `store_backed` | solve against the current epoch |
+//! | `hello` | `version` | protocol handshake: echoes the server version and current epoch; a version mismatch fails fast (error response, session ends) |
+//! | `query` | `algorithm`, `spec`, `k`, `threads`, `storage`, `shards`, `workers`, `store_backed` | solve against the current epoch |
 //! | `load` | `num_intervals`, `nodes_per_interval`, `avg_out_degree`, `gap`, `seed` | install a synthetic graph as a new epoch |
 //! | `open_stream` | `k`, `l`, `gap` | start online ingest |
 //! | `push_interval` | `nodes`, `edges` | ingest one interval, publish a new epoch |
@@ -30,6 +31,7 @@
 //! byte-identity survives the text round-trip.
 
 use bsc_core::cluster_graph::ClusterNodeId;
+use bsc_core::distributed::FanoutSpec;
 use bsc_core::path::ClusterPath;
 use bsc_core::problem::StableClusterSpec;
 use bsc_core::solver::{AlgorithmKind, SolverOptions};
@@ -38,9 +40,20 @@ use bsc_util::json::{self, JsonValue};
 
 use crate::engine::QueryRequest;
 
+/// The protocol version this build speaks — the same constant the
+/// distributed fan-out wire protocol uses, so one number gates every
+/// cross-process conversation in the system.
+pub const PROTOCOL_VERSION: u64 = bsc_cluster::PROTOCOL_VERSION;
+
 /// A parsed protocol request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
+    /// Version handshake: the client announces the protocol version it
+    /// speaks; mismatched builds fail fast instead of miscommunicating.
+    Hello {
+        /// The client's protocol version.
+        version: u64,
+    },
     /// Solve one query against the current snapshot.
     Query(QueryRequest),
     /// Install a synthetic cluster graph (a new epoch).
@@ -129,6 +142,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         .and_then(JsonValue::as_str)
         .ok_or_else(|| "request must be an object with a string 'op' field".to_string())?;
     match op {
+        "hello" => {
+            let version = doc
+                .get("version")
+                .ok_or_else(|| "hello requires a 'version' field".to_string())?
+                .as_u64()
+                .ok_or_else(|| "field 'version' must be a non-negative integer".to_string())?;
+            Ok(Request::Hello { version })
+        }
         "query" => {
             let algorithm_name = field_str(&doc, "algorithm", "bfs")?;
             let algorithm = AlgorithmKind::parse(algorithm_name)
@@ -139,11 +160,25 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             let storage_name = field_str(&doc, "storage", "logfile")?;
             let storage = StorageSpec::parse(storage_name)
                 .ok_or_else(|| format!("unknown storage '{storage_name}'"))?;
+            let fanout = match doc.get("workers") {
+                None => None,
+                Some(value) => {
+                    let list = value
+                        .as_str()
+                        .ok_or_else(|| "field 'workers' must be a string".to_string())?;
+                    Some(FanoutSpec::parse(list).ok_or_else(|| {
+                        format!(
+                            "field 'workers' must be a comma-separated address list, got '{list}'"
+                        )
+                    })?)
+                }
+            };
             let options = SolverOptions::default()
                 .threads(field_usize(&doc, "threads", 1)?)
                 .storage(storage)
                 .bfs_store_backed(field_bool(&doc, "store_backed", false)?)
-                .shards(field_usize(&doc, "shards", 1)?);
+                .shards(field_usize(&doc, "shards", 1)?)
+                .fanout(fanout);
             Ok(Request::Query(
                 QueryRequest::new(algorithm, spec, field_usize(&doc, "k", 10)?).options(options),
             ))
@@ -285,6 +320,29 @@ mod tests {
         );
         assert_eq!(query.options.shards, 3);
         assert!(query.options.bfs_store_backed);
+    }
+
+    #[test]
+    fn parses_hello_and_a_distributed_query() {
+        assert_eq!(
+            parse_request("{\"op\":\"hello\",\"version\":1}").unwrap(),
+            Request::Hello { version: 1 }
+        );
+        assert!(parse_request("{\"op\":\"hello\"}")
+            .unwrap_err()
+            .contains("version"));
+        let request = parse_request(
+            "{\"op\":\"query\",\"spec\":\"exact:2\",\"workers\":\"127.0.0.1:4401, 127.0.0.1:4402\"}",
+        )
+        .unwrap();
+        let Request::Query(query) = request else {
+            panic!("expected a query");
+        };
+        let fanout = query.options.fanout.expect("fanout parsed");
+        assert_eq!(fanout.workers, vec!["127.0.0.1:4401", "127.0.0.1:4402"]);
+        assert!(parse_request("{\"op\":\"query\",\"workers\":\",\"}")
+            .unwrap_err()
+            .contains("workers"));
     }
 
     #[test]

@@ -29,8 +29,13 @@ use bsc_core::synthetic::{ClusterGraphGenerator, SyntheticGraphParams};
 use bsc_util::json::JsonValue;
 use bsc_util::LatencyHistogram;
 
+use bsc_core::distributed::FanoutSpec;
+use bsc_core::problem::StableClusterSpec;
+
 use crate::engine::{EngineConfig, QueryEngine, QueryRequest};
-use crate::protocol::{error_response, ok_response, parse_request, paths_to_json, Request};
+use crate::protocol::{
+    error_response, ok_response, parse_request, paths_to_json, Request, PROTOCOL_VERSION,
+};
 
 struct StreamState {
     online: OnlineStableClusters,
@@ -46,6 +51,11 @@ pub struct Session {
     engine: Option<QueryEngine>,
     cell: Arc<SnapshotCell>,
     stream: Option<StreamState>,
+    /// Coordinator mode: fan queries out to this worker set by default.
+    /// Injected only into queries that decompose (not Problem 2) and that
+    /// don't name their own `workers`; because distributed answers are
+    /// byte-identical to local ones, the transcript is unchanged.
+    default_fanout: Option<FanoutSpec>,
 }
 
 impl Session {
@@ -57,6 +67,7 @@ impl Session {
             engine: Some(engine),
             cell,
             stream: None,
+            default_fanout: None,
         })
     }
 
@@ -66,7 +77,16 @@ impl Session {
             engine: None,
             cell: Arc::new(SnapshotCell::empty()),
             stream: None,
+            default_fanout: None,
         }
+    }
+
+    /// Set the default fan-out worker set (coordinator mode). Requires a
+    /// cluster transport to be installed (`bsc_cluster::install_transport`)
+    /// before the first fanned-out query executes.
+    pub fn default_fanout(mut self, fanout: Option<FanoutSpec>) -> Session {
+        self.default_fanout = fanout;
+        self
     }
 
     /// Handle one input line. Returns the response line and whether the
@@ -80,13 +100,35 @@ impl Session {
         match parse_request(trimmed) {
             Err(message) => (Some(error_response(&message)), true),
             Ok(Request::Shutdown) => (Some(ok_response("shutdown", vec![])), false),
+            Ok(Request::Hello { version }) => {
+                if version == PROTOCOL_VERSION {
+                    let response = ok_response(
+                        "hello",
+                        vec![
+                            ("version", JsonValue::from(PROTOCOL_VERSION)),
+                            ("epoch", JsonValue::from(self.cell.epoch())),
+                        ],
+                    );
+                    (Some(response), true)
+                } else {
+                    // Mismatched builds fail fast: answer with the error
+                    // and end the session rather than miscommunicate.
+                    let response = error_response(&format!(
+                        "protocol version mismatch: client speaks v{version}, server speaks \
+                         v{PROTOCOL_VERSION}; run matching builds"
+                    ));
+                    (Some(response), false)
+                }
+            }
             Ok(request) => (Some(self.handle_request(request)), true),
         }
     }
 
     fn handle_request(&mut self, request: Request) -> String {
         match request {
-            Request::Shutdown => unreachable!("handled by handle_line"),
+            Request::Shutdown | Request::Hello { .. } => {
+                unreachable!("handled by handle_line")
+            }
             Request::Stats => self.stats_response(),
             Request::Epoch => {
                 ok_response("epoch", vec![("epoch", JsonValue::from(self.cell.epoch()))])
@@ -208,7 +250,15 @@ impl Session {
                 let paths = stream.online.current_top_k();
                 ok_response("stream_top_k", vec![("paths", paths_to_json(&paths))])
             }
-            Request::Query(query) => {
+            Request::Query(mut query) => {
+                // Coordinator default: fan out queries that decompose and
+                // don't bring their own worker set.
+                if query.options.fanout.is_none()
+                    && self.default_fanout.is_some()
+                    && !matches!(query.spec, StableClusterSpec::Normalized { .. })
+                {
+                    query.options = query.options.fanout(self.default_fanout.clone());
+                }
                 let rendered_query = vec![
                     ("algorithm", JsonValue::from(query.algorithm.to_string())),
                     ("spec", JsonValue::from(query.spec.to_string())),
@@ -258,39 +308,46 @@ impl Session {
             None => ok_response("stats", vec![("mode", JsonValue::from("oracle"))]),
             Some(engine) => {
                 let stats = engine.stats();
-                ok_response(
-                    "stats",
-                    vec![
-                        ("mode", JsonValue::from("engine")),
-                        ("epoch", JsonValue::from(stats.epoch)),
-                        ("workers", JsonValue::from(stats.workers)),
-                        ("queue_capacity", JsonValue::from(stats.queue_capacity)),
-                        ("queries", JsonValue::from(stats.queries)),
-                        ("errors", JsonValue::from(stats.errors)),
-                        (
-                            "cache",
-                            JsonValue::object([
-                                ("entries".to_string(), JsonValue::from(stats.cache.entries)),
-                                (
-                                    "capacity".to_string(),
-                                    JsonValue::from(stats.cache.capacity),
-                                ),
-                                ("hits".to_string(), JsonValue::from(stats.cache.hits)),
-                                ("misses".to_string(), JsonValue::from(stats.cache.misses)),
-                                (
-                                    "evictions".to_string(),
-                                    JsonValue::from(stats.cache.evictions),
-                                ),
-                                (
-                                    "invalidations".to_string(),
-                                    JsonValue::from(stats.cache.invalidations),
-                                ),
-                            ]),
-                        ),
-                        ("queue_wait", histogram_to_json(&stats.queue_wait)),
-                        ("solve", histogram_to_json(&stats.solve)),
-                    ],
-                )
+                // Coordinator mode: per-worker RPC counters and latency
+                // histograms from the pooled cluster client.
+                let cluster = self
+                    .default_fanout
+                    .as_ref()
+                    .map(|fanout| bsc_cluster::client_for(fanout).stats_json());
+                let mut fields = vec![
+                    ("mode", JsonValue::from("engine")),
+                    ("epoch", JsonValue::from(stats.epoch)),
+                    ("workers", JsonValue::from(stats.workers)),
+                    ("queue_capacity", JsonValue::from(stats.queue_capacity)),
+                    ("queries", JsonValue::from(stats.queries)),
+                    ("errors", JsonValue::from(stats.errors)),
+                    (
+                        "cache",
+                        JsonValue::object([
+                            ("entries".to_string(), JsonValue::from(stats.cache.entries)),
+                            (
+                                "capacity".to_string(),
+                                JsonValue::from(stats.cache.capacity),
+                            ),
+                            ("hits".to_string(), JsonValue::from(stats.cache.hits)),
+                            ("misses".to_string(), JsonValue::from(stats.cache.misses)),
+                            (
+                                "evictions".to_string(),
+                                JsonValue::from(stats.cache.evictions),
+                            ),
+                            (
+                                "invalidations".to_string(),
+                                JsonValue::from(stats.cache.invalidations),
+                            ),
+                        ]),
+                    ),
+                    ("queue_wait", histogram_to_json(&stats.queue_wait)),
+                    ("solve", histogram_to_json(&stats.solve)),
+                ];
+                if let Some(cluster) = cluster {
+                    fields.push(("cluster", cluster));
+                }
+                ok_response("stats", fields)
             }
         }
     }
@@ -339,6 +396,7 @@ mod tests {
 
     fn scripted_session() -> Vec<&'static str> {
         vec![
+            "{\"op\":\"hello\",\"version\":1}",
             "{\"op\":\"load\",\"num_intervals\":5,\"nodes_per_interval\":10,\"avg_out_degree\":3,\"gap\":1,\"seed\":42}",
             "{\"op\":\"epoch\"}",
             "{\"op\":\"query\",\"algorithm\":\"bfs\",\"spec\":\"exact:2\",\"k\":4}",

@@ -1,0 +1,224 @@
+//! Process-level distributed serving: real `bsc` binaries, real TCP.
+//!
+//! These tests spawn actual OS processes via `CARGO_BIN_EXE_bsc`:
+//! cluster workers (`bsc serve --worker`), a coordinator
+//! (`bsc serve --coordinator --workers …`) and the single-process
+//! executors — and assert the coordinator's transcript is byte-identical
+//! to theirs, including while a worker process is `kill`ed mid-session.
+//! This is the same contract the CI `distributed` job checks from a shell
+//! script; here it runs under plain `cargo test`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::{Child, Command, Stdio};
+
+fn bsc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bsc"))
+}
+
+/// The scripted session shared with the CI smoke job, from the workspace
+/// root `tests/data/` directory.
+fn session_script() -> String {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/data/service_session.jsonl"
+    );
+    std::fs::read_to_string(path).expect("session fixture")
+}
+
+/// A live worker process and the address it announced.
+struct Worker {
+    child: Child,
+    addr: String,
+}
+
+impl Worker {
+    fn spawn() -> Worker {
+        let mut child = bsc()
+            .args(["serve", "--worker", "127.0.0.1:0"])
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn worker process");
+        // The worker announces its bound address as its first stdout line.
+        let stdout = child.stdout.take().expect("worker stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("worker announcement");
+        let addr = line
+            .split("\"addr\":\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .unwrap_or_else(|| panic!("no addr in announcement: {line}"))
+            .to_string();
+        Worker { child, addr }
+    }
+
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// Run one single-process executor (`serve` or `oracle`) over `input` and
+/// return its transcript.
+fn run_to_completion(args: &[&str], input: &str) -> String {
+    let mut child = bsc()
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn bsc");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(input.as_bytes())
+        .expect("write session");
+    let mut transcript = String::new();
+    child
+        .stdout
+        .take()
+        .expect("stdout")
+        .read_to_string(&mut transcript)
+        .expect("read transcript");
+    assert!(child.wait().expect("wait").success());
+    transcript
+}
+
+/// Tentpole acceptance at process level: a coordinator fanning out to
+/// three worker processes replays the scripted session byte-identically
+/// to plain `bsc serve` and to the `bsc oracle` reference.
+#[test]
+fn coordinator_transcript_is_byte_identical_to_single_process() {
+    let workers: Vec<Worker> = (0..3).map(|_| Worker::spawn()).collect();
+    let fanout = workers
+        .iter()
+        .map(|w| w.addr.as_str())
+        .collect::<Vec<_>>()
+        .join(",");
+    let script = session_script();
+    let distributed = run_to_completion(&["serve", "--coordinator", "--workers", &fanout], &script);
+    let local = run_to_completion(&["serve"], &script);
+    let oracle = run_to_completion(&["oracle"], &script);
+    assert!(!distributed.is_empty());
+    assert_eq!(distributed, local, "coordinator diverged from plain serve");
+    assert_eq!(distributed, oracle, "coordinator diverged from the oracle");
+}
+
+/// Fault injection at process level: `kill -9` a worker mid-session. The
+/// coordinator re-dispatches that worker's windows and the transcript is
+/// still byte-identical to the oracle's.
+#[test]
+fn killing_a_worker_process_mid_session_preserves_the_transcript() {
+    let mut workers: Vec<Worker> = (0..3).map(|_| Worker::spawn()).collect();
+    let fanout = workers
+        .iter()
+        .map(|w| w.addr.as_str())
+        .collect::<Vec<_>>()
+        .join(",");
+
+    let mut coordinator = bsc()
+        .args(["serve", "--coordinator", "--workers", &fanout])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn coordinator");
+    let mut stdin = coordinator.stdin.take().expect("stdin");
+    let mut stdout = BufReader::new(coordinator.stdout.take().expect("stdout"));
+    let mut transcript = String::new();
+    let mut drive = |line: &str, stdin: &mut std::process::ChildStdin| {
+        writeln!(stdin, "{line}").expect("write request");
+        let mut response = String::new();
+        stdout.read_line(&mut response).expect("read response");
+        assert!(!response.is_empty(), "coordinator hung on {line}");
+        transcript.push_str(&response);
+    };
+
+    let preamble = [
+        "{\"op\":\"hello\",\"version\":1}",
+        "{\"op\":\"load\",\"num_intervals\":8,\"nodes_per_interval\":12,\"avg_out_degree\":3,\"gap\":1,\"seed\":7}",
+        "{\"op\":\"query\",\"algorithm\":\"bfs\",\"spec\":\"exact:3\",\"k\":5}",
+    ];
+    for line in preamble {
+        drive(line, &mut stdin);
+    }
+
+    // Kill a worker process outright, then keep querying: different spec
+    // and k so the answers cannot come from the solution cache.
+    workers[0].kill();
+    let after_kill = [
+        "{\"op\":\"query\",\"algorithm\":\"bfs\",\"spec\":\"exact:2\",\"k\":4}",
+        "{\"op\":\"query\",\"algorithm\":\"dfs\",\"spec\":\"exact:4\",\"k\":6,\"storage\":\"memory\"}",
+        "{\"op\":\"query\",\"algorithm\":\"bfs\",\"spec\":\"full\",\"k\":3}",
+    ];
+    for line in after_kill {
+        drive(line, &mut stdin);
+    }
+    drive("{\"op\":\"shutdown\"}", &mut stdin);
+    drop(stdin);
+    assert!(coordinator.wait().expect("wait").success());
+
+    let script: String = preamble
+        .iter()
+        .chain(after_kill.iter())
+        .chain(["{\"op\":\"shutdown\"}"].iter())
+        .map(|line| format!("{line}\n"))
+        .collect();
+    let oracle = run_to_completion(&["oracle"], &script);
+    assert_eq!(
+        transcript, oracle,
+        "post-kill transcript diverged from the oracle"
+    );
+}
+
+/// Protocol versioning: a mismatched `hello` fails fast — one clear error
+/// response, then the session ends (later requests go unanswered).
+#[test]
+fn hello_version_mismatch_fails_fast() {
+    for mode in [&["serve"][..], &["oracle"][..]] {
+        let transcript = run_to_completion(
+            mode,
+            "{\"op\":\"hello\",\"version\":99}\n{\"op\":\"epoch\"}\n",
+        );
+        let lines: Vec<&str> = transcript.lines().collect();
+        assert_eq!(
+            lines.len(),
+            1,
+            "{mode:?}: session must end after the mismatch, got {transcript}"
+        );
+        assert!(lines[0].contains("\"ok\":false"), "{transcript}");
+        assert!(
+            lines[0].contains("protocol version mismatch"),
+            "{transcript}"
+        );
+    }
+}
+
+/// A coordinator pointed at a dead worker set refuses to start (health
+/// check), with a nonzero exit — misconfiguration is loud, not a hang.
+#[test]
+fn coordinator_with_no_reachable_workers_exits_nonzero() {
+    // Bind-then-drop a listener to get a port that is real but dead.
+    let dead_addr = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.local_addr().expect("addr").to_string()
+    };
+    let output = bsc()
+        .args(["serve", "--coordinator", "--workers", &dead_addr])
+        .stdin(Stdio::null())
+        .output()
+        .expect("run coordinator");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("no reachable workers"), "{stderr}");
+}

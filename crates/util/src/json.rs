@@ -230,6 +230,7 @@ pub fn parse(text: &str) -> Result<JsonValue, String> {
     let mut parser = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     parser.skip_whitespace();
     let value = parser.value()?;
@@ -240,9 +241,15 @@ pub fn parse(text: &str) -> Result<JsonValue, String> {
     Ok(value)
 }
 
+/// Maximum container nesting the parser accepts. Wire frames feed straight
+/// into [`parse`], so recursion must be bounded or a corrupt `[[[[…` line
+/// could overflow the stack instead of returning an error.
+const MAX_PARSE_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -269,10 +276,25 @@ impl Parser<'_> {
         }
     }
 
+    fn nested(
+        &mut self,
+        inner: fn(&mut Self) -> Result<JsonValue, String>,
+    ) -> Result<JsonValue, String> {
+        if self.depth >= MAX_PARSE_DEPTH {
+            return Err(self.error(&format!(
+                "nesting exceeds the {MAX_PARSE_DEPTH}-level limit"
+            )));
+        }
+        self.depth += 1;
+        let value = inner(self);
+        self.depth -= 1;
+        value
+    }
+
     fn value(&mut self) -> Result<JsonValue, String> {
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => self.nested(Self::object),
+            Some(b'[') => self.nested(Self::array),
             Some(b'"') => Ok(JsonValue::String(self.string()?)),
             Some(b't') => self.literal("true", JsonValue::Bool(true)),
             Some(b'f') => self.literal("false", JsonValue::Bool(false)),
@@ -352,12 +374,16 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character (multi-byte safe).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Copy the whole run up to the next quote or escape in
+                    // one go — validating per character would make large
+                    // strings quadratic.
+                    let start = self.pos;
+                    while !matches!(self.peek(), None | Some(b'"' | b'\\')) {
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.error("invalid UTF-8"))?;
-                    let c = rest.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
                 }
             }
         }
@@ -502,5 +528,106 @@ mod tests {
     fn escape_string_quotes_controls() {
         assert_eq!(escape_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
         assert_eq!(escape_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    /// Wire-safety: the line-delimited protocols frame one document per
+    /// newline, so a rendered document must NEVER contain a raw newline —
+    /// whatever the strings inside hold.
+    #[test]
+    fn embedded_newlines_never_reach_the_rendered_frame() {
+        for hostile in [
+            "a\nb",
+            "\r\n",
+            "\n",
+            "trailing\n",
+            "\u{85}ok",
+            "mixed\r\tand\n",
+        ] {
+            let doc = JsonValue::object([
+                ("key\nwith newline".to_string(), JsonValue::from(hostile)),
+                ("plain".to_string(), JsonValue::from(1u64)),
+            ]);
+            let rendered = doc.render();
+            assert!(
+                !rendered.contains('\n') && !rendered.contains('\r'),
+                "{hostile:?} leaked a raw newline: {rendered}"
+            );
+            assert_eq!(parse(&rendered).unwrap(), doc, "{hostile:?} round trip");
+        }
+    }
+
+    /// `\uXXXX` escapes: valid codes decode (including multi-byte UTF-8),
+    /// malformed ones are parse errors — never a panic, never silent data.
+    #[test]
+    fn unicode_escapes_decode_or_error_cleanly() {
+        assert_eq!(
+            parse("\"\\u0041\\u00e9\\u2603\"").unwrap(),
+            JsonValue::String("Aé☃".to_string())
+        );
+        // Escaped control characters round-trip through our own renderer.
+        let rendered = JsonValue::from("\u{1}\u{1f}").render();
+        assert_eq!(parse(&rendered).unwrap(), JsonValue::from("\u{1}\u{1f}"));
+        for (bad, needle) in [
+            ("\"\\u00\"", "escape"),        // truncated escape
+            ("\"\\uZZZZ\"", "invalid \\u"), // non-hex digits
+            ("\"\\ud800\"", "surrogate"),   // unpaired surrogate
+            ("\"\\u\"", "escape"),          // no digits at all
+            ("\"\\x41\"", "escape"),        // unknown escape letter
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.contains(needle), "{bad:?}: {err}");
+        }
+    }
+
+    /// Truncation at ANY byte of a wire-shaped document is a parse error
+    /// (or a shorter valid document) — never a panic. Guards the server
+    /// loops that feed partially-read frames into `parse`.
+    #[test]
+    fn truncated_documents_error_instead_of_panicking() {
+        let doc = JsonValue::object([
+            ("epoch".to_string(), JsonValue::from("00000000000000a7")),
+            ("op".to_string(), JsonValue::from("solve_window")),
+            (
+                "weights".to_string(),
+                JsonValue::Array(vec![
+                    JsonValue::from(0.5),
+                    JsonValue::from("3fe0000000000000"),
+                    JsonValue::Null,
+                ]),
+            ),
+            ("note".to_string(), JsonValue::from("uni ☃ code \n line")),
+        ])
+        .render();
+        let mut errors = 0usize;
+        for cut in 0..doc.len() {
+            if !doc.is_char_boundary(cut) {
+                continue;
+            }
+            if parse(&doc[..cut]).is_err() {
+                errors += 1;
+            }
+        }
+        assert!(errors > doc.len() / 2, "truncations unexpectedly parse");
+        assert!(parse(&doc).is_ok());
+    }
+
+    /// Oversized lines: a multi-megabyte document parses (and renders) in
+    /// one piece, and multi-megabyte garbage is an error — the byte cap on
+    /// frames lives in the wire layer, the JSON layer just has to stay
+    /// robust and linear.
+    #[test]
+    fn oversized_lines_parse_or_error_without_panic() {
+        let big = "x".repeat(2 << 20);
+        let doc = JsonValue::object([("blob".to_string(), JsonValue::from(big.clone()))]);
+        let rendered = doc.render();
+        assert!(rendered.len() > 2 << 20);
+        assert_eq!(parse(&rendered).unwrap(), doc);
+        // Garbage of the same size: clean error.
+        let garbage = format!("{{\"blob\":\"{big}");
+        assert!(parse(&garbage).is_err());
+        // Deep nesting must not smash the stack: the parser caps recursion
+        // and reports a clean error instead.
+        let nested = format!("{}1{}", "[".repeat(10_000), "]".repeat(10_000));
+        assert!(parse(&nested).unwrap_err().contains("nesting"));
     }
 }

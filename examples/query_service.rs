@@ -82,7 +82,7 @@ fn main() {
         ),
     ];
     for (label, request) in queries {
-        let response = engine.query(request).expect("engine query");
+        let response = engine.query(request.clone()).expect("engine query");
         // The one-shot reference: build the same solver, solve directly.
         let mut reference = request
             .algorithm

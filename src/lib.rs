@@ -77,6 +77,10 @@ pub use bsc_graph as graph;
 /// Cluster graph, kl-stable clusters (BFS/DFS/TA), normalized and streaming.
 pub use bsc_core as core;
 
+/// Multi-process shard fan-out: TCP cluster workers and the coordinator
+/// transport (`bsc_cluster::install_transport` wires it into the solvers).
+pub use bsc_cluster as cluster;
+
 /// Comparator algorithms: cut clustering, correlation clustering, k-way
 /// partitioning, and the exhaustive top-k path oracle.
 pub use bsc_baselines as baselines;
