@@ -11,23 +11,40 @@ use bsc_core::cluster_graph::{ClusterGraph, ClusterNodeId};
 use bsc_core::error::BscResult;
 use bsc_core::path::ClusterPath;
 use bsc_core::problem::StableClusterSpec;
-use bsc_core::solver::{AlgorithmKind, Solution, SolverStats, StableClusterSolver};
+use bsc_core::solver::{
+    check_not_expired, deadline_error, AlgorithmKind, Solution, SolverStats, StableClusterSolver,
+};
 use bsc_core::topk::TopKPaths;
+use bsc_util::cancel::CancelToken;
 
 /// The exhaustive oracle behind the [`StableClusterSolver`] trait, so the
 /// conformance suites can run it through the same `Box<dyn>` dispatch as the
 /// real algorithms. It answers every [`StableClusterSpec`]; complexity is
 /// exponential in the number of intervals, so only use it on small graphs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExhaustiveSolver {
     spec: StableClusterSpec,
     k: usize,
+    cancel: Option<CancelToken>,
 }
 
 impl ExhaustiveSolver {
     /// Create an oracle answering `spec` with `k` results.
     pub fn new(spec: StableClusterSpec, k: usize) -> Self {
-        ExhaustiveSolver { spec, k }
+        ExhaustiveSolver {
+            spec,
+            k,
+            cancel: None,
+        }
+    }
+
+    /// Attach a cooperative-cancellation token, observed at amortized
+    /// checkpoints during the enumeration. Even the oracle honours
+    /// deadlines: it backs the serve-protocol `oracle` executor, which must
+    /// report the same `DeadlineExceeded` outcomes as the engine.
+    pub fn with_cancel(mut self, cancel: Option<CancelToken>) -> Self {
+        self.cancel = cancel;
+        self
     }
 }
 
@@ -44,15 +61,19 @@ impl StableClusterSolver for ExhaustiveSolver {
     }
 
     fn solve(&mut self, graph: &ClusterGraph) -> BscResult<Solution> {
+        check_not_expired(self.cancel.as_ref())?;
         let mut stats = SolverStats::default();
+        let cancel = self.cancel.as_ref();
         let paths = match self.spec {
             StableClusterSpec::FullPaths => {
                 let l = graph.num_intervals().saturating_sub(1) as u32;
-                exhaustive_top_k(graph, self.k, l)
+                exhaustive_top_k_cancellable(graph, self.k, l, cancel)?
             }
-            StableClusterSpec::ExactLength(l) => exhaustive_top_k(graph, self.k, l),
+            StableClusterSpec::ExactLength(l) => {
+                exhaustive_top_k_cancellable(graph, self.k, l, cancel)?
+            }
             StableClusterSpec::Normalized { l_min } => {
-                exhaustive_normalized_top_k(graph, self.k, l_min)
+                exhaustive_normalized_top_k_cancellable(graph, self.k, l_min, cancel)?
             }
         };
         stats.paths_generated = paths.len() as u64;
@@ -66,39 +87,74 @@ impl StableClusterSolver for ExhaustiveSolver {
 
 /// The exact top-k paths of length exactly `l`, by descending weight.
 pub fn exhaustive_top_k(graph: &ClusterGraph, k: usize, l: u32) -> Vec<ClusterPath> {
+    exhaustive_top_k_cancellable(graph, k, l, None).expect("infallible without a cancel token")
+}
+
+/// [`exhaustive_top_k`] with an optional cancellation token, observed once
+/// per visited path at amortized checkpoints.
+pub fn exhaustive_top_k_cancellable(
+    graph: &ClusterGraph,
+    k: usize,
+    l: u32,
+    cancel: Option<&CancelToken>,
+) -> BscResult<Vec<ClusterPath>> {
     let mut heap = TopKPaths::new(k);
     if k == 0 || l == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
+    let mut tick = 0u32;
     for start in graph.node_ids() {
-        extend(graph, vec![start], 0.0, l, &mut |path: &ClusterPath| {
-            if path.length() == l {
-                heap.offer_by_weight(path.clone());
-            }
-        });
+        extend(
+            graph,
+            vec![start],
+            0.0,
+            l,
+            cancel,
+            &mut tick,
+            &mut |path: &ClusterPath| {
+                if path.length() == l {
+                    heap.offer_by_weight(path.clone());
+                }
+            },
+        )?;
     }
-    heap.into_sorted()
+    Ok(heap.into_sorted())
 }
 
 /// The exact top-k paths of length at least `l_min`, by descending stability.
 pub fn exhaustive_normalized_top_k(graph: &ClusterGraph, k: usize, l_min: u32) -> Vec<ClusterPath> {
+    exhaustive_normalized_top_k_cancellable(graph, k, l_min, None)
+        .expect("infallible without a cancel token")
+}
+
+/// [`exhaustive_normalized_top_k`] with an optional cancellation token,
+/// observed once per visited path at amortized checkpoints.
+pub fn exhaustive_normalized_top_k_cancellable(
+    graph: &ClusterGraph,
+    k: usize,
+    l_min: u32,
+    cancel: Option<&CancelToken>,
+) -> BscResult<Vec<ClusterPath>> {
     let mut results: Vec<ClusterPath> = Vec::new();
     if k == 0 || l_min == 0 {
-        return results;
+        return Ok(results);
     }
     let max_len = graph.num_intervals().saturating_sub(1) as u32;
+    let mut tick = 0u32;
     for start in graph.node_ids() {
         extend(
             graph,
             vec![start],
             0.0,
             max_len,
+            cancel,
+            &mut tick,
             &mut |path: &ClusterPath| {
                 if path.length() >= l_min {
                     results.push(path.clone());
                 }
             },
-        );
+        )?;
     }
     results.sort_by(|a, b| {
         b.stability()
@@ -106,18 +162,26 @@ pub fn exhaustive_normalized_top_k(graph: &ClusterGraph, k: usize, l_min: u32) -
             .then_with(|| a.tie_break_key().cmp(&b.tie_break_key()))
     });
     results.truncate(k);
-    results
+    Ok(results)
 }
 
 /// Depth-first enumeration of every path starting with `nodes`, invoking the
 /// callback on each path with at least one edge and length at most `max_len`.
+/// The cancel token (when present) is observed once per recursion step.
 fn extend(
     graph: &ClusterGraph,
     nodes: Vec<ClusterNodeId>,
     weight: f64,
     max_len: u32,
+    cancel: Option<&CancelToken>,
+    tick: &mut u32,
     visit: &mut impl FnMut(&ClusterPath),
-) {
+) -> BscResult<()> {
+    if let Some(token) = cancel {
+        if token.checkpoint(tick) {
+            return Err(deadline_error(token));
+        }
+    }
     let last = *nodes.last().expect("non-empty");
     let first = nodes[0];
     if nodes.len() > 1 {
@@ -130,8 +194,17 @@ fn extend(
         }
         let mut next = nodes.clone();
         next.push(edge.to);
-        extend(graph, next, weight + edge.weight, max_len, visit);
+        extend(
+            graph,
+            next,
+            weight + edge.weight,
+            max_len,
+            cancel,
+            tick,
+            visit,
+        )?;
     }
+    Ok(())
 }
 
 #[cfg(test)]

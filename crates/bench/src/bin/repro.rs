@@ -75,6 +75,7 @@ const TARGETS: &[(&str, TargetFn)] = &[
             experiments::table3_ablation(scale),
             experiments::table3_sharded(scale, shards),
             experiments::table3_distributed(scale, dist),
+            experiments::table3_deadline(scale),
         ]
     }),
     ("fig7", |scale, _, _, _| vec![experiments::fig7(scale)]),

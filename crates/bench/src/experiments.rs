@@ -384,6 +384,69 @@ pub fn table3_distributed(scale: Scale, workers: usize) -> Table {
     table
 }
 
+/// Table 3 deadline ablation: the cost of cooperative cancellation on the
+/// unchanged solve path. The identical BFS query runs with no deadline and
+/// with a deadline 24 hours out — every checkpoint is paid, none ever
+/// fires — so the overhead column isolates the amortized cancellation-poll
+/// cost, which the checkpoint interval keeps under 2%. Byte-identical
+/// top-k is verified on every round before timing; each cell is the
+/// fastest of five interleaved rounds (min, not median — the poll cost is
+/// a constant, noise is additive).
+pub fn table3_deadline(scale: Scale) -> Table {
+    let n = scale.pick(2_000, 4_000);
+    let (m, d, g, k) = (12usize, 5u32, 1u32, 5usize);
+    let graph = cluster_graph(m, n, d, g, SEED);
+    let far_future = Some(Duration::from_secs(24 * 3600));
+    let mut table = Table::new(
+        "Table 3 deadline: BFS vs BFS under a far-future deadline (checkpoint overhead)",
+        &["workload", "BFS(s)", "BFS+deadline(s)", "overhead"],
+    );
+    let workloads = [
+        (
+            format!("full paths (l={})", m - 1),
+            StableClusterSpec::FullPaths,
+        ),
+        (
+            "subpaths l=6".to_string(),
+            StableClusterSpec::ExactLength(6),
+        ),
+    ];
+    for (label, spec) in workloads {
+        let solve = |options: SolverOptions| {
+            let mut solver = AlgorithmKind::Bfs
+                .build_with_options(spec, k, graph.num_intervals(), options)
+                .expect("bfs build");
+            timed(|| solver.solve(&graph).expect("bfs solve"))
+        };
+        let mut plain_best = Duration::MAX;
+        let mut deadline_best = Duration::MAX;
+        for _ in 0..5 {
+            let (plain, plain_time) = solve(SolverOptions::default());
+            let (deadlined, deadline_time) = solve(SolverOptions::default().deadline(far_future));
+            assert_paths_identical(&plain.paths, &deadlined.paths, &label);
+            plain_best = plain_best.min(plain_time);
+            deadline_best = deadline_best.min(deadline_time);
+        }
+        table.push_row(vec![
+            label,
+            seconds(plain_best),
+            seconds(deadline_best),
+            format!(
+                "{:.2}x",
+                deadline_best.as_secs_f64() / plain_best.as_secs_f64().max(1e-9)
+            ),
+        ]);
+    }
+    table.push_note(format!(
+        "m = {m}, n = {n}, d = {d}, g = {g}, k = {k}; byte-identical top-k verified every round"
+    ));
+    table.push_note(
+        "the deadline is 24 h out: every checkpoint is paid, none fires — the overhead column \
+         is the amortized cancellation-poll cost on the unchanged solve path (<2% by design)",
+    );
+    table
+}
+
 fn assert_paths_equal(a: &[ClusterPath], b: &[ClusterPath], context: &str) {
     assert_eq!(a.len(), b.len(), "{context}: result counts differ");
     for (x, y) in a.iter().zip(b.iter()) {
@@ -1050,6 +1113,7 @@ pub fn all_with_backends(
         table3_ablation(scale),
         table3_sharded(scale, shards),
         table3_distributed(scale, dist_workers),
+        table3_deadline(scale),
         fig7(scale),
         fig8(scale),
         fig9(scale),

@@ -20,6 +20,14 @@
 //! Every RPC's wall-clock is recorded in a per-worker
 //! [`LatencyHistogram`], surfaced by [`ClusterClient::stats_json`] into the
 //! `bsc serve` `stats` response.
+//!
+//! Deadlines ride along: a [`WindowRequest`] carrying `deadline_ms` caps
+//! the solve's read timeout by the remaining budget (plus a small grace so
+//! a worker tripping its *own* deadline can still answer), and once the
+//! budget is gone the client stops failing over and returns
+//! [`BscError::DeadlineExceeded`] — an exhausted deadline is a property of
+//! the query, not of any worker, so retrying elsewhere cannot help. See
+//! `docs/robustness.md`.
 
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
@@ -302,6 +310,7 @@ impl ClusterClient {
         slot: &WorkerSlot,
         graph: &ClusterGraph,
         request: &WindowRequest,
+        solve_timeout: Duration,
     ) -> Result<WindowResult, String> {
         self.with_connection(slot, |connection| {
             if connection.installed_epoch != Some(request.epoch) {
@@ -314,7 +323,7 @@ impl ClusterClient {
                 connection.installed_epoch = Some(request.epoch);
             }
             let line = wire::solve_window_request(request);
-            let response = match connection.round_trip(&line, self.config.solve_timeout) {
+            let response = match connection.round_trip(&line, solve_timeout) {
                 Ok(response) => response,
                 Err(e) if e.contains("unknown epoch") => {
                     connection
@@ -324,7 +333,7 @@ impl ClusterClient {
                         )
                         .map_err(|e| format!("install_graph: {e}"))?;
                     connection.installed_epoch = Some(request.epoch);
-                    connection.round_trip(&line, self.config.solve_timeout)?
+                    connection.round_trip(&line, solve_timeout)?
                 }
                 Err(e) => return Err(e),
             };
@@ -332,6 +341,11 @@ impl ClusterClient {
         })
     }
 }
+
+/// Extra read-timeout slack past the deadline, so a worker that trips its
+/// own local deadline still gets to deliver the `DeadlineExceeded` answer
+/// before the client abandons the socket.
+const DEADLINE_GRACE: Duration = Duration::from_millis(100);
 
 impl ShardTransport for ClusterClient {
     fn worker_count(&self) -> usize {
@@ -344,6 +358,13 @@ impl ShardTransport for ClusterClient {
         request: &WindowRequest,
     ) -> BscResult<WindowResult> {
         let n = self.workers.len();
+        let begun = Instant::now();
+        let deadline = request
+            .deadline_ms
+            .map(|ms| begun + Duration::from_millis(ms));
+        let deadline_exceeded = || BscError::DeadlineExceeded {
+            elapsed_micros: begun.elapsed().as_micros() as u64,
+        };
         let mut last_error = String::new();
         for pass in 0..self.config.max_passes {
             if pass > 0 {
@@ -353,18 +374,41 @@ impl ShardTransport for ClusterClient {
             // the first pass cooled-down workers are skipped (unless every
             // worker is cooling down); later passes probe everything.
             for offset in 0..n {
+                // Abandon outright once the budget is gone: an exhausted
+                // deadline is the query's property, not this worker's.
+                let remaining = match deadline {
+                    Some(d) => {
+                        let left = d.saturating_duration_since(Instant::now());
+                        if left.is_zero() {
+                            return Err(deadline_exceeded());
+                        }
+                        Some(left)
+                    }
+                    None => None,
+                };
                 let slot = &self.workers[(request.preferred + offset) % n];
                 let last_resort = pass + 1 == self.config.max_passes && offset + 1 == n;
                 if pass == 0 && slot.in_cooldown() && !last_resort {
                     continue;
                 }
-                let begun = Instant::now();
+                let attempt = Instant::now();
                 slot.rpcs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                match self.solve_on(slot, graph, request) {
+                let timeout = match remaining {
+                    Some(left) => self.config.solve_timeout.min(left + DEADLINE_GRACE),
+                    None => self.config.solve_timeout,
+                };
+                match self.solve_on(slot, graph, request, timeout) {
                     Ok(result) => {
-                        slot.histogram.lock().unwrap().record(begun.elapsed());
+                        slot.histogram.lock().unwrap().record(attempt.elapsed());
                         slot.clear_cooldown();
                         return Ok(result);
+                    }
+                    // The worker's own token tripped: the deadline is just
+                    // as exhausted on every other worker, so don't fail
+                    // over (and don't punish the worker with a cooldown —
+                    // it answered promptly and correctly).
+                    Err(e) if e.contains("deadline exceeded") => {
+                        return Err(deadline_exceeded());
                     }
                     Err(e) => {
                         slot.failures
@@ -422,6 +466,7 @@ mod tests {
             algorithm: AlgorithmKind::Bfs,
             storage: StorageSpec::Memory,
             preferred,
+            deadline_ms: None,
         }
     }
 

@@ -2,15 +2,21 @@
 //!
 //! Same transport discipline as `bsc serve`'s stdin protocol — one JSON
 //! object per `\n`-terminated line, rendered canonically (sorted keys) by
-//! [`bsc_util::json`] — carried over a TCP connection. Five message kinds:
+//! [`bsc_util::json`] — carried over a TCP connection. Six message kinds:
 //!
 //! | op | direction | fields | effect |
 //! |----|-----------|--------|--------|
 //! | `hello` | C → W | `version` | version handshake; mismatched builds fail fast |
 //! | `install_graph` | C → W | `epoch`, `graph` | ship a graph; the worker caches it per connection under `epoch` |
-//! | `solve_window` | C → W | `epoch`, `start`, `l`, `k`, `algorithm`, `storage` | solve one start-interval window against the installed epoch |
+//! | `solve_window` | C → W | `epoch`, `start`, `l`, `k`, `algorithm`, `storage`, `deadline_ms?` | solve one start-interval window against the installed epoch |
+//! | `cancel` | C → W | — | trip the cancel token of the solve in flight on this connection (no-op when idle) |
 //! | `ping` | C → W | — | health check |
 //! | `stats` | C → W | — | worker counters |
+//!
+//! `deadline_ms` is the budget *remaining at dispatch*: the worker rebuilds
+//! a local deadline from it (`now + deadline_ms`), so worker and
+//! coordinator deadlines expire in step without any clock agreement. See
+//! `docs/robustness.md` for the full cancellation model.
 //!
 //! Responses mirror the stdin protocol: `{"ok":true,"op":…,…}` on success,
 //! `{"ok":false,"error":…}` on failure. Edge and path weights cross the
@@ -377,9 +383,11 @@ pub fn install_graph_request(epoch: u64, graph: &ClusterGraph) -> String {
     .render()
 }
 
-/// Render a `solve_window` request.
+/// Render a `solve_window` request. The optional `deadline_ms` field is
+/// the remaining time budget at dispatch; it is omitted entirely when the
+/// request carries no deadline, so pre-deadline transcripts are unchanged.
 pub fn solve_window_request(request: &WindowRequest) -> String {
-    JsonValue::object([
+    let mut fields = vec![
         ("op".to_string(), JsonValue::from("solve_window")),
         ("epoch".to_string(), epoch_to_json(request.epoch)),
         (
@@ -396,8 +404,18 @@ pub fn solve_window_request(request: &WindowRequest) -> String {
             "storage".to_string(),
             JsonValue::from(request.storage.to_string()),
         ),
-    ])
-    .render()
+    ];
+    if let Some(ms) = request.deadline_ms {
+        fields.push(("deadline_ms".to_string(), JsonValue::from(ms)));
+    }
+    JsonValue::object(fields).render()
+}
+
+/// Render a `cancel` request: trip the cancellation token of the solve
+/// currently in flight on the connection. Answered immediately (without
+/// waiting for the solve to unwind) with `{"cancelled":true|false}`.
+pub fn cancel_request() -> String {
+    JsonValue::object([("op".to_string(), JsonValue::from("cancel"))]).render()
 }
 
 /// Render a `ping` request.
@@ -462,6 +480,18 @@ pub fn parse_solve_fields(doc: &JsonValue) -> Result<(AlgorithmKind, StorageSpec
     let storage = StorageSpec::parse(storage_name)
         .ok_or_else(|| format!("unknown storage '{storage_name}'"))?;
     Ok((algorithm, storage))
+}
+
+/// Parse the optional `deadline_ms` remaining-budget field off a solve
+/// request. Absent means no deadline; present-but-malformed is an error.
+pub fn parse_deadline_ms(doc: &JsonValue) -> Result<Option<u64>, String> {
+    match doc.get("deadline_ms") {
+        None => Ok(None),
+        Some(value) => value
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| "bad deadline_ms: must be a non-negative integer".to_string()),
+    }
 }
 
 #[cfg(test)]
@@ -603,6 +633,7 @@ mod tests {
             },
             storage: StorageSpec::BlockCache { budget_bytes: 8192 },
             preferred: 1,
+            deadline_ms: None,
         };
         let line = solve_window_request(&request);
         let doc = json::parse(&line).unwrap();
@@ -611,5 +642,17 @@ mod tests {
         let (algorithm, storage) = parse_solve_fields(&doc).unwrap();
         assert_eq!(algorithm, request.algorithm);
         assert_eq!(storage, request.storage);
+        // No deadline → no field on the wire (pre-deadline transcripts are
+        // byte-identical); a deadline → round-trips through the parser.
+        assert!(!line.contains("deadline_ms"), "{line}");
+        assert_eq!(parse_deadline_ms(&doc).unwrap(), None);
+        let with_deadline = WindowRequest {
+            deadline_ms: Some(1500),
+            ..request
+        };
+        let line = solve_window_request(&with_deadline);
+        let doc = json::parse(&line).unwrap();
+        assert_eq!(parse_deadline_ms(&doc).unwrap(), Some(1500));
+        assert!(parse_deadline_ms(&json::parse("{\"deadline_ms\":\"soon\"}").unwrap()).is_err());
     }
 }

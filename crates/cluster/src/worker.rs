@@ -13,6 +13,15 @@
 //! the identical code path the in-process `ShardedSolver` runs, so a
 //! worker's answer is byte-identical to the shard thread it replaces.
 //!
+//! Solves are *supervised*: each `solve_window` runs on a scoped thread
+//! under a per-request [`CancelToken`] (seeded from the request's
+//! `deadline_ms` remaining budget, when present) while the connection
+//! thread keeps reading frames. A `cancel` op trips the token and is acked
+//! immediately; the peer closing the connection mid-solve cancels too, so
+//! an abandoned solve stops burning the worker within one checkpoint
+//! interval instead of running to completion for nobody. See
+//! `docs/robustness.md`.
+//!
 //! For fault-injection tests a [`WorkerConfig::die_after_solves`] budget
 //! makes the server drop the connection *instead of answering* the fatal
 //! solve and stop accepting — indistinguishable from a `kill -9` mid-solve
@@ -26,12 +35,21 @@ use std::time::Duration;
 
 use bsc_core::cluster_graph::ClusterGraph;
 use bsc_core::distributed::solve_window_locally;
-use bsc_core::solver::SolverOptions;
+use bsc_core::solver::{AlgorithmKind, SolverOptions};
+use bsc_storage::backend::StorageSpec;
+use bsc_util::cancel::CancelToken;
 use bsc_util::json::{self, JsonValue};
 
 use crate::wire::{
-    graph_from_json, parse_solve_fields, read_frame, window_result_response, PROTOCOL_VERSION,
+    graph_from_json, parse_deadline_ms, parse_solve_fields, read_frame, window_result_response,
+    PROTOCOL_VERSION,
 };
+
+/// Read-timeout (and thus supervision poll period) while a solve is in
+/// flight, in milliseconds. Short enough that a fast solve's response is
+/// not held hostage by a blocked `read_frame`, long enough that the
+/// supervisor thread stays effectively idle.
+const SUPERVISION_POLL_MS: u64 = 2;
 
 /// Worker server configuration.
 #[derive(Debug, Clone, Default)]
@@ -49,6 +67,7 @@ struct WorkerShared {
     solves: AtomicU64,
     installs: AtomicU64,
     connections: AtomicU64,
+    cancels: AtomicU64,
 }
 
 impl WorkerShared {
@@ -152,6 +171,12 @@ impl WorkerHandle {
         self.shared.installs.load(Ordering::Relaxed)
     }
 
+    /// Number of in-flight solves cancelled so far — by a `cancel` op or by
+    /// the peer abandoning the connection mid-solve.
+    pub fn cancels(&self) -> u64 {
+        self.shared.cancels.load(Ordering::Relaxed)
+    }
+
     /// Kill the worker: stop accepting, drop live connections at the next
     /// request boundary, join the accept thread.
     pub fn kill(&mut self) {
@@ -201,14 +226,32 @@ fn serve_connection(stream: TcpStream, shared: Arc<WorkerShared>) {
         if line.trim().is_empty() {
             continue;
         }
-        let response = match handle_request(&line, &mut graph, &shared) {
-            HandlerOutcome::Respond(response) => response,
-            // Injected death: no response, no further requests.
-            HandlerOutcome::Die => {
+        let doc = match json::parse(&line) {
+            Ok(doc) => doc,
+            Err(e) => {
+                if writeln!(writer, "{}", wire_error(&e))
+                    .and_then(|_| writer.flush())
+                    .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+        };
+        // Solves are supervised (scoped solver thread + frame polling), so
+        // they are dispatched here where the reader and writer are in hand.
+        if doc.get("op").and_then(JsonValue::as_str) == Some("solve_window") {
+            if shared.next_solve_is_fatal() {
+                // Injected death: no response, no further requests.
                 shared.dead.store(true, Ordering::Relaxed);
                 return;
             }
-        };
+            match solve_supervised(&doc, &graph, &shared, &mut reader, &mut writer) {
+                ConnectionFate::Continue => continue,
+                ConnectionFate::Close => return,
+            }
+        }
+        let response = handle_request(&doc, &mut graph, &shared);
         if writeln!(writer, "{response}")
             .and_then(|_| writer.flush())
             .is_err()
@@ -218,9 +261,10 @@ fn serve_connection(stream: TcpStream, shared: Arc<WorkerShared>) {
     }
 }
 
-enum HandlerOutcome {
-    Respond(String),
-    Die,
+/// Whether a connection keeps serving after a supervised solve.
+enum ConnectionFate {
+    Continue,
+    Close,
 }
 
 fn wire_error(message: &str) -> String {
@@ -241,40 +285,34 @@ fn ok_fields(op: &str, fields: Vec<(&str, JsonValue)>) -> String {
 }
 
 fn handle_request(
-    line: &str,
+    doc: &JsonValue,
     graph: &mut Option<(u64, ClusterGraph)>,
     shared: &WorkerShared,
-) -> HandlerOutcome {
-    let doc = match json::parse(line) {
-        Ok(doc) => doc,
-        Err(e) => return HandlerOutcome::Respond(wire_error(&e)),
-    };
+) -> String {
     let op = match doc.get("op").and_then(JsonValue::as_str) {
         Some(op) => op,
-        None => return HandlerOutcome::Respond(wire_error("request missing 'op'")),
+        None => return wire_error("request missing 'op'"),
     };
     match op {
         "hello" => {
             let version = doc.get("version").and_then(JsonValue::as_u64);
             match version {
-                Some(v) if v == PROTOCOL_VERSION => HandlerOutcome::Respond(ok_fields(
+                Some(v) if v == PROTOCOL_VERSION => ok_fields(
                     "hello",
                     vec![("version", JsonValue::from(PROTOCOL_VERSION))],
-                )),
-                Some(v) => HandlerOutcome::Respond(wire_error(&format!(
+                ),
+                Some(v) => wire_error(&format!(
                     "protocol version mismatch: coordinator speaks v{v}, worker speaks \
                      v{PROTOCOL_VERSION}; run matching builds"
-                ))),
-                None => HandlerOutcome::Respond(wire_error("hello missing 'version'")),
+                )),
+                None => wire_error("hello missing 'version'"),
             }
         }
         "install_graph" => {
             let epoch = match doc.get("epoch").map(crate::wire::epoch_from_json) {
                 Some(Ok(epoch)) => epoch,
-                Some(Err(e)) => return HandlerOutcome::Respond(wire_error(&e)),
-                None => {
-                    return HandlerOutcome::Respond(wire_error("install_graph missing 'epoch'"))
-                }
+                Some(Err(e)) => return wire_error(&e),
+                None => return wire_error("install_graph missing 'epoch'"),
             };
             let parsed = doc
                 .get("graph")
@@ -284,33 +322,26 @@ fn handle_request(
                 Ok(g) => {
                     *graph = Some((epoch, g));
                     shared.installs.fetch_add(1, Ordering::Relaxed);
-                    HandlerOutcome::Respond(ok_fields(
+                    ok_fields(
                         "install_graph",
                         vec![("epoch", crate::wire::epoch_to_json(epoch))],
-                    ))
+                    )
                 }
-                Err(e) => HandlerOutcome::Respond(wire_error(&e)),
+                Err(e) => wire_error(&e),
             }
         }
-        "solve_window" => {
-            if shared.next_solve_is_fatal() {
-                return HandlerOutcome::Die;
-            }
-            let response = solve(&doc, graph);
-            if response.starts_with("{\"ok\":true") {
-                shared.solves.fetch_add(1, Ordering::Relaxed);
-            }
-            HandlerOutcome::Respond(response)
-        }
+        // A cancel with no solve in flight: nothing to trip, acked anyway
+        // so the coordinator's abandon path is race-free.
+        "cancel" => ok_fields("cancel", vec![("cancelled", JsonValue::Bool(false))]),
         "ping" => {
             let epoch = graph.as_ref().map(|(epoch, _)| *epoch);
             let mut fields = vec![("version", JsonValue::from(PROTOCOL_VERSION))];
             if let Some(epoch) = epoch {
                 fields.push(("epoch", crate::wire::epoch_to_json(epoch)));
             }
-            HandlerOutcome::Respond(ok_fields("ping", fields))
+            ok_fields("ping", fields)
         }
-        "stats" => HandlerOutcome::Respond(ok_fields(
+        "stats" => ok_fields(
             "stats",
             vec![
                 (
@@ -325,61 +356,212 @@ fn handle_request(
                     "connections",
                     JsonValue::from(shared.connections.load(Ordering::Relaxed)),
                 ),
+                (
+                    "cancels",
+                    JsonValue::from(shared.cancels.load(Ordering::Relaxed)),
+                ),
             ],
-        )),
-        other => HandlerOutcome::Respond(wire_error(&format!("unknown op '{other}'"))),
+        ),
+        other => wire_error(&format!("unknown op '{other}'")),
     }
 }
 
-fn solve(doc: &JsonValue, graph: &Option<(u64, ClusterGraph)>) -> String {
+/// A fully validated `solve_window` request, ready to run.
+struct PreparedSolve<'g> {
+    graph: &'g ClusterGraph,
+    start: u32,
+    l: u32,
+    k: usize,
+    algorithm: AlgorithmKind,
+    storage: StorageSpec,
+    deadline_ms: Option<u64>,
+}
+
+/// Validate a `solve_window` request against the connection's installed
+/// graph. Every malformed field becomes an error response rendered on the
+/// connection thread — nothing is spawned for a bad request.
+fn prepare_solve<'g>(
+    doc: &JsonValue,
+    graph: &'g Option<(u64, ClusterGraph)>,
+) -> Result<PreparedSolve<'g>, String> {
     let epoch = match doc.get("epoch").map(crate::wire::epoch_from_json) {
         Some(Ok(epoch)) => epoch,
-        Some(Err(e)) => return wire_error(&e),
-        None => return wire_error("solve_window missing 'epoch'"),
+        Some(Err(e)) => return Err(e),
+        None => return Err("solve_window missing 'epoch'".to_string()),
     };
-    let (installed_epoch, graph) = match graph {
-        Some((e, g)) if *e == epoch => (*e, g),
+    let graph = match graph {
+        Some((e, g)) if *e == epoch => g,
         Some((e, _)) => {
-            return wire_error(&format!(
+            return Err(format!(
                 "unknown epoch {epoch}: this connection has epoch {e}; send install_graph"
             ))
         }
         None => {
-            return wire_error(&format!(
+            return Err(format!(
                 "unknown epoch {epoch}: no graph installed on this connection; send install_graph"
             ))
         }
     };
-    let _ = installed_epoch;
     let field = |key: &str| doc.get(key).and_then(JsonValue::as_u64);
     let (Some(start), Some(l), Some(k)) = (field("start"), field("l"), field("k")) else {
-        return wire_error("solve_window requires 'start', 'l' and 'k'");
+        return Err("solve_window requires 'start', 'l' and 'k'".to_string());
     };
     let (Ok(start), Ok(l), Ok(k)) = (u32::try_from(start), u32::try_from(l), usize::try_from(k))
     else {
-        return wire_error("solve_window field out of range");
+        return Err("solve_window field out of range".to_string());
     };
     if (start as usize) + (l as usize) >= graph.num_intervals() {
-        return wire_error(&format!(
+        return Err(format!(
             "window [{start}, {}] exceeds the graph's {} intervals",
             start as u64 + l as u64,
             graph.num_intervals()
         ));
     }
-    let (algorithm, storage) = match parse_solve_fields(doc) {
-        Ok(pair) => pair,
-        Err(e) => return wire_error(&e),
-    };
-    match solve_window_locally(
+    let (algorithm, storage) = parse_solve_fields(doc)?;
+    let deadline_ms = parse_deadline_ms(doc)?;
+    Ok(PreparedSolve {
         graph,
         start,
         l,
         k,
         algorithm,
-        &SolverOptions::default().storage(storage),
-    ) {
-        Ok(result) => window_result_response(&result),
-        Err(e) => wire_error(&e.to_string()),
+        storage,
+        deadline_ms,
+    })
+}
+
+/// Run one `solve_window` under supervision: the solve runs on a scoped
+/// thread holding a per-request [`CancelToken`] while this thread keeps
+/// polling the connection. A `cancel` frame trips the token (acked
+/// immediately); peer EOF or a broken socket mid-solve trips it too, so an
+/// abandoned solve stops within one checkpoint interval.
+fn solve_supervised(
+    doc: &JsonValue,
+    graph: &Option<(u64, ClusterGraph)>,
+    shared: &WorkerShared,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+) -> ConnectionFate {
+    let prepared = match prepare_solve(doc, graph) {
+        Ok(prepared) => prepared,
+        Err(message) => {
+            return match writeln!(writer, "{}", wire_error(&message)).and_then(|_| writer.flush()) {
+                Ok(()) => ConnectionFate::Continue,
+                Err(_) => ConnectionFate::Close,
+            };
+        }
+    };
+    // The wire budget is "time remaining at dispatch", so the local
+    // deadline starts counting now — no clock agreement with the
+    // coordinator needed.
+    let token = match prepared.deadline_ms {
+        Some(ms) => CancelToken::after(Duration::from_millis(ms)),
+        None => CancelToken::new(),
+    };
+    // Tighten the read timeout for the duration of the solve: it doubles
+    // as the supervision poll period, and at the idle-loop 100 ms every
+    // fast solve would pay up to a full poll of latency before the
+    // supervisor notices it finished.
+    let _ = reader
+        .get_ref()
+        .set_read_timeout(Some(Duration::from_millis(SUPERVISION_POLL_MS)));
+    let mut fate = ConnectionFate::Continue;
+    let response = std::thread::scope(|scope| {
+        let solve_token = token.clone();
+        let solver = scope.spawn(move || {
+            solve_window_locally(
+                prepared.graph,
+                prepared.start,
+                prepared.l,
+                prepared.k,
+                prepared.algorithm,
+                &SolverOptions::default()
+                    .storage(prepared.storage)
+                    .cancel_token(Some(solve_token)),
+            )
+        });
+        while !solver.is_finished() {
+            if shared.dead.load(Ordering::Relaxed) {
+                token.cancel();
+                fate = ConnectionFate::Close;
+                break;
+            }
+            // The stream's shortened read timeout doubles as the poll
+            // period.
+            match read_frame(reader) {
+                Ok(Some(line)) => {
+                    let is_cancel = json::parse(&line)
+                        .ok()
+                        .and_then(|d| {
+                            d.get("op")
+                                .and_then(JsonValue::as_str)
+                                .map(|op| op == "cancel")
+                        })
+                        .unwrap_or(false);
+                    if is_cancel {
+                        token.cancel();
+                        shared.cancels.fetch_add(1, Ordering::Relaxed);
+                        let ack = ok_fields("cancel", vec![("cancelled", JsonValue::Bool(true))]);
+                        if writeln!(writer, "{ack}")
+                            .and_then(|_| writer.flush())
+                            .is_err()
+                        {
+                            fate = ConnectionFate::Close;
+                            break;
+                        }
+                    } else {
+                        // The protocol is strictly request/response: any
+                        // other frame mid-solve means the peer lost track
+                        // of the framing. Cancel and drop the connection.
+                        token.cancel();
+                        let _ = writeln!(
+                            writer,
+                            "{}",
+                            wire_error(
+                                "request while a solve is in flight; only 'cancel' is accepted"
+                            )
+                        );
+                        fate = ConnectionFate::Close;
+                        break;
+                    }
+                }
+                // Peer gone mid-solve: stop burning CPU on an answer
+                // nobody will read.
+                Ok(None) => {
+                    token.cancel();
+                    shared.cancels.fetch_add(1, Ordering::Relaxed);
+                    fate = ConnectionFate::Close;
+                    break;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(_) => {
+                    token.cancel();
+                    shared.cancels.fetch_add(1, Ordering::Relaxed);
+                    fate = ConnectionFate::Close;
+                    break;
+                }
+            }
+        }
+        // Always join: the token is tripped on every early exit, so the
+        // solver unwinds within one checkpoint interval.
+        match solver.join() {
+            Ok(Ok(result)) => window_result_response(&result),
+            Ok(Err(e)) => wire_error(&e.to_string()),
+            Err(_) => wire_error("solver thread panicked"),
+        }
+    });
+    let _ = reader
+        .get_ref()
+        .set_read_timeout(Some(Duration::from_millis(100)));
+    if matches!(fate, ConnectionFate::Close) {
+        return ConnectionFate::Close;
+    }
+    if response.starts_with("{\"ok\":true") {
+        shared.solves.fetch_add(1, Ordering::Relaxed);
+    }
+    match writeln!(writer, "{response}").and_then(|_| writer.flush()) {
+        Ok(()) => ConnectionFate::Continue,
+        Err(_) => ConnectionFate::Close,
     }
 }
 
@@ -492,6 +674,62 @@ mod tests {
         let ping = roundtrip(&mut stream, &mut reader, &wire::ping_request());
         assert!(ping.contains("\"epoch\":\"0000000000000001\""), "{ping}");
 
+        handle.kill();
+    }
+
+    #[test]
+    fn expired_deadline_is_answered_without_solving() {
+        let mut handle = WorkerServer::bind("127.0.0.1:0", WorkerConfig::default())
+            .unwrap()
+            .spawn();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let install = roundtrip(
+            &mut stream,
+            &mut reader,
+            &wire::install_graph_request(1, &graph()),
+        );
+        assert!(install.contains("\"ok\":true"), "{install}");
+        // deadline_ms:0 — the budget is gone before the solve starts: the
+        // entry check answers with the static DeadlineExceeded text and no
+        // solve is counted.
+        let expired = roundtrip(
+            &mut stream,
+            &mut reader,
+            "{\"op\":\"solve_window\",\"epoch\":\"0000000000000001\",\"start\":0,\"l\":2,\"k\":3,\
+             \"algorithm\":\"bfs\",\"storage\":\"memory\",\"deadline_ms\":0}",
+        );
+        assert!(expired.contains("\"ok\":false"), "{expired}");
+        assert!(expired.contains("deadline exceeded"), "{expired}");
+        assert_eq!(handle.solves(), 0);
+        // The connection survives and keeps answering.
+        let solved = roundtrip(
+            &mut stream,
+            &mut reader,
+            "{\"op\":\"solve_window\",\"epoch\":\"0000000000000001\",\"start\":0,\"l\":2,\"k\":3,\
+             \"algorithm\":\"bfs\",\"storage\":\"memory\",\"deadline_ms\":60000}",
+        );
+        assert!(solved.contains("\"ok\":true"), "{solved}");
+        assert_eq!(handle.solves(), 1);
+        handle.kill();
+    }
+
+    #[test]
+    fn idle_cancel_is_acked_as_a_noop() {
+        let mut handle = WorkerServer::bind("127.0.0.1:0", WorkerConfig::default())
+            .unwrap()
+            .spawn();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let ack = roundtrip(&mut stream, &mut reader, &wire::cancel_request());
+        assert!(ack.contains("\"cancelled\":false"), "{ack}");
+        assert_eq!(handle.cancels(), 0);
         handle.kill();
     }
 

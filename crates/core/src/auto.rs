@@ -254,6 +254,7 @@ impl StableClusterSolver for AutoSolver {
     }
 
     fn solve(&mut self, graph: &ClusterGraph) -> BscResult<Solution> {
+        crate::solver::check_not_expired(self.options.cancel.as_ref())?;
         let shape = GraphShape::of(graph);
         let choice = choose_algorithm(&shape, self.spec, self.k, self.budget_bytes)?;
         self.last_choice = Some(choice);

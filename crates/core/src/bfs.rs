@@ -37,13 +37,16 @@
 use bsc_storage::backend::StorageSpec;
 use bsc_storage::io_stats::IoScope;
 use bsc_storage::node_store::NodeStore;
+use bsc_util::cancel::CancelToken;
 
 use crate::cluster_graph::{ClusterGraph, ClusterNodeId};
-use crate::error::BscResult;
+use crate::error::{BscError, BscResult};
 use crate::path::ClusterPath;
 use crate::path_tree::SharedPath;
 use crate::problem::KlStableParams;
-use crate::solver::{AlgorithmKind, Solution, SolverStats, StableClusterSolver};
+use crate::solver::{
+    check_not_expired, deadline_error, AlgorithmKind, Solution, SolverStats, StableClusterSolver,
+};
 use crate::topk::SharedTopK;
 
 /// Configuration of the BFS algorithm.
@@ -110,6 +113,7 @@ pub struct BfsStats {
 pub struct BfsStableClusters {
     params: KlStableParams,
     config: BfsConfig,
+    cancel: Option<CancelToken>,
 }
 
 /// Serialized form of one node's heaps: for each length `x` (1-based), the
@@ -129,12 +133,26 @@ impl BfsStableClusters {
         BfsStableClusters {
             params,
             config: BfsConfig::default(),
+            cancel: None,
         }
     }
 
     /// Create a solver with an explicit storage configuration.
     pub fn with_config(params: KlStableParams, config: BfsConfig) -> Self {
-        BfsStableClusters { params, config }
+        BfsStableClusters {
+            params,
+            config,
+            cancel: None,
+        }
+    }
+
+    /// Attach a cooperative-cancellation token. The sweep observes it at
+    /// amortized checkpoints (roughly one real check per
+    /// [`CancelToken::CHECK_INTERVAL`] nodes) and aborts with
+    /// [`BscError::DeadlineExceeded`] once it trips.
+    pub fn with_cancel(mut self, cancel: Option<CancelToken>) -> Self {
+        self.cancel = cancel;
+        self
     }
 
     /// Convenience: solve for the top-k *full* paths (length `m − 1`).
@@ -161,6 +179,7 @@ impl BfsStableClusters {
             threads_used: 1,
             ..BfsStats::default()
         };
+        check_not_expired(self.cancel.as_ref())?;
         if k == 0 || l == 0 || graph.num_intervals() < 2 {
             return Ok((Vec::new(), stats));
         }
@@ -168,7 +187,7 @@ impl BfsStableClusters {
         if let Some(spec) = self.config.storage {
             self.run_store_backed(spec, graph, &mut global, &mut stats)?;
         } else {
-            self.run_in_memory(graph, &mut global, &mut stats);
+            self.run_in_memory(graph, &mut global, &mut stats)?;
         }
         let paths = global
             .into_sorted()
@@ -178,7 +197,12 @@ impl BfsStableClusters {
         Ok((paths, stats))
     }
 
-    fn run_in_memory(&self, graph: &ClusterGraph, global: &mut SharedTopK, stats: &mut BfsStats) {
+    fn run_in_memory(
+        &self,
+        graph: &ClusterGraph,
+        global: &mut SharedTopK,
+        stats: &mut BfsStats,
+    ) -> BscResult<()> {
         let k = self.params.k;
         let l = self.params.l;
         let gap = graph.gap();
@@ -192,6 +216,8 @@ impl BfsStableClusters {
         let mut resident_paths = 0usize;
         let threads = self.config.threads.max(1);
         stats.threads_used = threads;
+        let cancel = self.cancel.as_ref();
+        let mut tick = 0u32;
 
         for interval in 0..m {
             let num_nodes = graph.nodes_in_interval(interval) as usize;
@@ -207,52 +233,69 @@ impl BfsStableClusters {
                             scope.spawn(move || {
                                 let mut local_global = SharedTopK::new(k);
                                 let mut generated = 0u64;
-                                let heaps: IntervalHeaps = range
-                                    .map(|j| {
-                                        compute_node_heaps(
-                                            graph,
-                                            ClusterNodeId::new(interval, j as u32),
-                                            interval,
-                                            k,
-                                            l,
-                                            full_mode,
-                                            window_ref,
-                                            &mut local_global,
-                                            &mut generated,
-                                        )
-                                    })
-                                    .collect();
-                                (heaps, local_global, generated)
+                                let mut worker_tick = 0u32;
+                                let mut heaps: IntervalHeaps = Vec::with_capacity(range.len());
+                                for j in range {
+                                    if let Some(token) = cancel {
+                                        if token.checkpoint(&mut worker_tick) {
+                                            return Err(deadline_error(token));
+                                        }
+                                    }
+                                    heaps.push(compute_node_heaps(
+                                        graph,
+                                        ClusterNodeId::new(interval, j as u32),
+                                        interval,
+                                        k,
+                                        l,
+                                        full_mode,
+                                        window_ref,
+                                        &mut local_global,
+                                        &mut generated,
+                                    ));
+                                }
+                                Ok((heaps, local_global, generated))
                             })
                         })
                         .collect();
                     let mut out: IntervalHeaps = Vec::with_capacity(num_nodes);
+                    let mut failure: Option<BscError> = None;
                     for handle in handles {
-                        let (heaps, local_global, generated) =
-                            handle.join().expect("BFS worker panicked");
-                        out.extend(heaps);
-                        global.absorb(local_global);
-                        stats.paths_generated += generated;
+                        match handle.join().expect("BFS worker panicked") {
+                            Ok((heaps, local_global, generated)) => {
+                                out.extend(heaps);
+                                global.absorb(local_global);
+                                stats.paths_generated += generated;
+                            }
+                            // Keep joining the siblings; report the first trip.
+                            Err(e) => failure = failure.or(Some(e)),
+                        }
                     }
-                    out
-                })
+                    match failure {
+                        Some(e) => Err(e),
+                        None => Ok(out),
+                    }
+                })?
             } else {
                 let mut generated = 0u64;
-                let out: IntervalHeaps = (0..num_nodes)
-                    .map(|j| {
-                        compute_node_heaps(
-                            graph,
-                            ClusterNodeId::new(interval, j as u32),
-                            interval,
-                            k,
-                            l,
-                            full_mode,
-                            &window,
-                            global,
-                            &mut generated,
-                        )
-                    })
-                    .collect();
+                let mut out: IntervalHeaps = Vec::with_capacity(num_nodes);
+                for j in 0..num_nodes {
+                    if let Some(token) = cancel {
+                        if token.checkpoint(&mut tick) {
+                            return Err(deadline_error(token));
+                        }
+                    }
+                    out.push(compute_node_heaps(
+                        graph,
+                        ClusterNodeId::new(interval, j as u32),
+                        interval,
+                        k,
+                        l,
+                        full_mode,
+                        &window,
+                        global,
+                        &mut generated,
+                    ));
+                }
                 stats.paths_generated += generated;
                 out
             };
@@ -272,6 +315,7 @@ impl BfsStableClusters {
             *slot = (interval, interval_heaps);
             stats.peak_resident_paths = stats.peak_resident_paths.max(resident_paths);
         }
+        Ok(())
     }
 
     fn run_store_backed(
@@ -286,10 +330,17 @@ impl BfsStableClusters {
         let m = graph.num_intervals() as u32;
         let full_mode = l == m - 1;
         let mut store: NodeStore<u64, StoredHeaps> = NodeStore::temp(spec, "bsc-bfs")?;
+        let cancel = self.cancel.as_ref();
+        let mut tick = 0u32;
 
         for interval in 0..m {
             let mut interval_heaps: Vec<(ClusterNodeId, Vec<SharedTopK>)> = Vec::new();
             for node in graph.interval_node_ids(interval) {
+                if let Some(token) = cancel {
+                    if token.checkpoint(&mut tick) {
+                        return Err(deadline_error(token));
+                    }
+                }
                 stats.nodes_processed += 1;
                 let max_len = l.min(interval) as usize;
                 let mut heaps: Vec<SharedTopK> = (0..max_len).map(|_| SharedTopK::new(k)).collect();

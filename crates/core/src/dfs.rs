@@ -29,13 +29,16 @@ use std::collections::HashMap;
 use bsc_storage::backend::StorageSpec;
 use bsc_storage::io_stats::IoScope;
 use bsc_storage::node_store::NodeStore;
+use bsc_util::cancel::CancelToken;
 
 use crate::cluster_graph::{ClusterEdge, ClusterGraph, ClusterNodeId};
 use crate::error::BscResult;
 use crate::path::ClusterPath;
 use crate::path_tree::SharedTail;
 use crate::problem::KlStableParams;
-use crate::solver::{AlgorithmKind, Solution, SolverStats, StableClusterSolver};
+use crate::solver::{
+    check_not_expired, deadline_error, AlgorithmKind, Solution, SolverStats, StableClusterSolver,
+};
 use crate::topk::TopKPaths;
 
 /// Configuration of the DFS algorithm.
@@ -211,6 +214,7 @@ struct Frame {
 pub struct DfsStableClusters {
     params: KlStableParams,
     config: DfsConfig,
+    cancel: Option<CancelToken>,
 }
 
 impl DfsStableClusters {
@@ -220,12 +224,25 @@ impl DfsStableClusters {
         DfsStableClusters {
             params,
             config: DfsConfig::default(),
+            cancel: None,
         }
     }
 
     /// Create a solver with an explicit configuration.
     pub fn with_config(params: KlStableParams, config: DfsConfig) -> Self {
-        DfsStableClusters { params, config }
+        DfsStableClusters {
+            params,
+            config,
+            cancel: None,
+        }
+    }
+
+    /// Attach a cooperative-cancellation token, observed once per traversal
+    /// step at amortized checkpoints. A tripped token aborts the run with
+    /// [`crate::error::BscError::DeadlineExceeded`].
+    pub fn with_cancel(mut self, cancel: Option<CancelToken>) -> Self {
+        self.cancel = cancel;
+        self
     }
 
     /// Convenience: top-k full paths of a graph.
@@ -249,6 +266,7 @@ impl DfsStableClusters {
         let k = self.params.k;
         let l = self.params.l;
         let mut stats = DfsStats::default();
+        check_not_expired(self.cancel.as_ref())?;
         if k == 0 || l == 0 || graph.num_intervals() < 2 {
             return Ok((Vec::new(), stats));
         }
@@ -284,7 +302,14 @@ impl DfsStableClusters {
             state: NodeState::empty(l),
         }];
 
+        let cancel = self.cancel.as_ref();
+        let mut tick = 0u32;
         while let Some(top_index) = stack.len().checked_sub(1) {
+            if let Some(token) = cancel {
+                if token.checkpoint(&mut tick) {
+                    return Err(deadline_error(token));
+                }
+            }
             stats.peak_stack_depth = stats.peak_stack_depth.max(stack.len());
             let (child_edge, parent_node) = {
                 let frame = &mut stack[top_index];

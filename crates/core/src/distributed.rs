@@ -37,13 +37,17 @@ use std::sync::{Arc, OnceLock};
 use bsc_graph::partition::balanced_ranges;
 use bsc_storage::backend::StorageSpec;
 use bsc_storage::io_stats::IoScope;
+use bsc_util::cancel::CancelToken;
 
 use crate::cluster_graph::{ClusterGraph, ClusterNodeId};
 use crate::error::{BscError, BscResult};
 use crate::path::ClusterPath;
 use crate::problem::StableClusterSpec;
 use crate::snapshot::GraphSnapshot;
-use crate::solver::{AlgorithmKind, Solution, SolverOptions, SolverStats, StableClusterSolver};
+use crate::solver::{
+    check_not_expired, deadline_error, AlgorithmKind, Solution, SolverOptions, SolverStats,
+    StableClusterSolver,
+};
 use crate::topk::TopKPaths;
 
 /// The worker set of a distributed fan-out: a non-empty list of
@@ -117,6 +121,11 @@ pub struct WindowRequest {
     /// Dispatch-affinity hint: the index of the worker that should answer
     /// if healthy. Transports fail over to other workers when it is not.
     pub preferred: usize,
+    /// Remaining deadline budget (milliseconds) at dispatch time, when the
+    /// coordinator's query carries one. The worker reconstructs a local
+    /// [`CancelToken`] from it so a window solve observing the budget stops
+    /// burning worker CPU after the coordinator has already given up.
+    pub deadline_ms: Option<u64>,
 }
 
 /// A solved window: result paths in **global** (unshifted) coordinates plus
@@ -278,7 +287,16 @@ impl DistributedSolver {
         self.transport.worker_count()
     }
 
-    fn solve_with_epoch(&self, graph: &ClusterGraph, epoch: u64) -> BscResult<Solution> {
+    fn solve_with_epoch(&mut self, graph: &ClusterGraph, epoch: u64) -> BscResult<Solution> {
+        check_not_expired(self.options.cancel.as_ref())?;
+        // Share one token across the dispatcher threads: the first range to
+        // fail trips it, and the siblings abandon their remaining windows
+        // instead of keeping the cluster busy on a doomed query.
+        let cancel = self
+            .options
+            .cancel
+            .get_or_insert_with(CancelToken::new)
+            .clone();
         let scope = IoScope::start();
         let m = graph.num_intervals() as u32;
         let l = match self.spec {
@@ -309,6 +327,7 @@ impl DistributedSolver {
             // top-k set under the strict (score, content) order is unique.
             let results: Vec<BscResult<(TopKPaths, SolverStats)>> = std::thread::scope(|scope| {
                 let this = &*self;
+                let cancel = &cancel;
                 let handles: Vec<_> = ranges
                     .iter()
                     .enumerate()
@@ -318,6 +337,11 @@ impl DistributedSolver {
                             let mut local = TopKPaths::new(this.k);
                             let mut local_stats = SolverStats::default();
                             for start in range {
+                                // Window RPCs are coarse units; check the
+                                // full token (no amortization) before each.
+                                if cancel.expired() {
+                                    return Err(deadline_error(cancel));
+                                }
                                 let request = WindowRequest {
                                     epoch,
                                     start: start as u32,
@@ -326,8 +350,21 @@ impl DistributedSolver {
                                     algorithm: this.inner,
                                     storage: this.options.storage,
                                     preferred: index,
+                                    // Ship the budget *remaining now*, so the
+                                    // worker's local token expires in step
+                                    // with the coordinator's.
+                                    deadline_ms: cancel
+                                        .remaining()
+                                        .map(|left| left.as_millis() as u64),
                                 };
-                                let result = this.transport.solve_window(graph, &request)?;
+                                let result = match this.transport.solve_window(graph, &request) {
+                                    Ok(result) => result,
+                                    Err(e) => {
+                                        // Trip the sibling dispatchers.
+                                        cancel.cancel();
+                                        return Err(e);
+                                    }
+                                };
                                 local_stats.merge(&result.stats);
                                 for path in result.paths {
                                     local.offer_by_weight(path);
@@ -342,8 +379,28 @@ impl DistributedSolver {
                     .map(|h| h.join().expect("fan-out dispatcher panicked"))
                     .collect()
             });
+            // Prefer a root-cause error over the DeadlineExceeded the
+            // sibling dispatchers report after being tripped by it.
+            let mut failure: Option<BscError> = None;
+            let mut oks: Vec<(TopKPaths, SolverStats)> = Vec::new();
             for result in results {
-                let (local, local_stats) = result?;
+                match result {
+                    Ok(ok) => oks.push(ok),
+                    Err(e) => match &failure {
+                        None => failure = Some(e),
+                        Some(BscError::DeadlineExceeded { .. })
+                            if !matches!(e, BscError::DeadlineExceeded { .. }) =>
+                        {
+                            failure = Some(e)
+                        }
+                        Some(_) => {}
+                    },
+                }
+            }
+            if let Some(e) = failure {
+                return Err(e);
+            }
+            for (local, local_stats) in oks {
                 merged.absorb(local);
                 stats.merge(&local_stats);
             }

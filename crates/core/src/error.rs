@@ -37,6 +37,21 @@ pub enum BscError {
     },
     /// The query engine has shut down and accepts no further queries.
     Shutdown,
+    /// The query's deadline passed (or its [`CancelToken`] was tripped)
+    /// before a complete answer was produced. Cooperative: solvers observe
+    /// the token at amortized checkpoints, so partial work is abandoned
+    /// cleanly — never a corrupt top-k.
+    ///
+    /// The `Display` form is deliberately *static* (no elapsed time): error
+    /// texts travel over the serve protocol and must stay byte-identical
+    /// between the engine, the oracle executor and a coordinator.
+    ///
+    /// [`CancelToken`]: bsc_util::cancel::CancelToken
+    DeadlineExceeded {
+        /// Microseconds between the deadline clock starting (query arrival)
+        /// and the cancellation being observed.
+        elapsed_micros: u64,
+    },
     /// A distributed fan-out could not be served: no transport is
     /// registered, a protocol/version handshake failed, or every worker in
     /// the fan-out set was exhausted (dead, unreachable, or repeatedly
@@ -62,6 +77,10 @@ impl std::fmt::Display for BscError {
                 )
             }
             BscError::Shutdown => f.write_str("query engine is shut down"),
+            // Static text on purpose — see the variant docs.
+            BscError::DeadlineExceeded { .. } => {
+                f.write_str("deadline exceeded: the query was cancelled before completing")
+            }
             BscError::Cluster(msg) => write!(f, "cluster error: {msg}"),
         }
     }
@@ -117,6 +136,13 @@ mod tests {
         assert!(BscError::Cluster("all workers down".into())
             .to_string()
             .contains("cluster error"));
+        let deadline = BscError::DeadlineExceeded {
+            elapsed_micros: 1234,
+        };
+        assert!(deadline.to_string().contains("deadline exceeded"));
+        // The rendered text must not leak the elapsed time: serve/oracle
+        // transcripts are byte-diffed and wall-clock numbers never match.
+        assert!(!deadline.to_string().contains("1234"));
     }
 
     #[test]

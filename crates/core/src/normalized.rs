@@ -23,13 +23,16 @@
 use std::collections::HashMap;
 
 use bsc_storage::io_stats::IoScope;
+use bsc_util::cancel::CancelToken;
 
 use crate::cluster_graph::{ClusterGraph, ClusterNodeId};
 use crate::error::BscResult;
 use crate::path::ClusterPath;
 use crate::path_tree::SharedPath;
 use crate::problem::NormalizedParams;
-use crate::solver::{AlgorithmKind, Solution, SolverStats, StableClusterSolver};
+use crate::solver::{
+    check_not_expired, deadline_error, AlgorithmKind, Solution, SolverStats, StableClusterSolver,
+};
 use crate::topk::TopKPaths;
 
 /// Configuration of the normalized-stable-clusters solver.
@@ -73,6 +76,7 @@ struct NodeState {
 pub struct NormalizedStableClusters {
     params: NormalizedParams,
     config: NormalizedConfig,
+    cancel: Option<CancelToken>,
 }
 
 impl NormalizedStableClusters {
@@ -81,12 +85,26 @@ impl NormalizedStableClusters {
         NormalizedStableClusters {
             params,
             config: NormalizedConfig::default(),
+            cancel: None,
         }
     }
 
     /// Create a solver with an explicit configuration.
     pub fn with_config(params: NormalizedParams, config: NormalizedConfig) -> Self {
-        NormalizedStableClusters { params, config }
+        NormalizedStableClusters {
+            params,
+            config,
+            cancel: None,
+        }
+    }
+
+    /// Attach a cooperative-cancellation token, observed at amortized
+    /// checkpoints (roughly once per [`CancelToken::CHECK_INTERVAL`] nodes).
+    /// A tripped token aborts the run with
+    /// [`crate::error::BscError::DeadlineExceeded`].
+    pub fn with_cancel(mut self, cancel: Option<CancelToken>) -> Self {
+        self.cancel = cancel;
+        self
     }
 
     /// The configured parameters.
@@ -108,6 +126,7 @@ impl NormalizedStableClusters {
         let k = self.params.k;
         let l_min = self.params.l_min;
         let mut stats = NormalizedStats::default();
+        check_not_expired(self.cancel.as_ref())?;
         if k == 0 || l_min == 0 || graph.num_intervals() < 2 {
             return Ok((Vec::new(), stats));
         }
@@ -116,12 +135,19 @@ impl NormalizedStableClusters {
         let mut global = TopKPaths::new(k);
         let mut window: HashMap<ClusterNodeId, NodeState> = HashMap::new();
         let mut resident = 0usize;
+        let cancel = self.cancel.as_ref();
+        let mut tick = 0u32;
 
         let cap = self.config.max_paths_per_node.unwrap_or(usize::MAX);
 
         for interval in 0..m {
             let mut interval_states: Vec<(ClusterNodeId, NodeState)> = Vec::new();
             for node in graph.interval_node_ids(interval) {
+                if let Some(token) = cancel {
+                    if token.checkpoint(&mut tick) {
+                        return Err(deadline_error(token));
+                    }
+                }
                 let mut state = NodeState {
                     smallpaths: vec![Vec::new(); l_min.saturating_sub(1) as usize],
                     bestpaths: Vec::new(),

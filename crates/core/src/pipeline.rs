@@ -106,6 +106,11 @@ pub struct PipelineParams {
     /// spec, and every worker set produces the identical result. `None`
     /// (the default) solves in-process.
     pub fanout: Option<crate::distributed::FanoutSpec>,
+    /// Cooperative-cancellation token for the solver stage. `None` (the
+    /// default) runs to completion. A token never changes *what* is
+    /// computed — only whether the solve is abandoned early with
+    /// [`BscError::DeadlineExceeded`]; see `docs/robustness.md`.
+    pub cancel: Option<bsc_util::cancel::CancelToken>,
 }
 
 impl Default for PipelineParams {
@@ -124,6 +129,7 @@ impl Default for PipelineParams {
             storage: StorageSpec::LogFile,
             shards: 1,
             fanout: None,
+            cancel: None,
         }
     }
 }
@@ -206,6 +212,19 @@ impl PipelineParams {
     pub fn fanout(mut self, fanout: Option<crate::distributed::FanoutSpec>) -> Self {
         self.fanout = fanout;
         self
+    }
+
+    /// Attach (or clear) a cooperative-cancellation token for the solver
+    /// stage.
+    pub fn cancel_token(mut self, cancel: Option<bsc_util::cancel::CancelToken>) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Give the solver stage a deadline budget from now (`None` clears it).
+    /// An exhausted budget surfaces as [`BscError::DeadlineExceeded`].
+    pub fn deadline(self, budget: Option<std::time::Duration>) -> Self {
+        self.cancel_token(budget.map(bsc_util::cancel::CancelToken::after))
     }
 
     /// Check the configuration, returning [`BscError::InvalidConfig`] for
@@ -414,6 +433,7 @@ impl Pipeline {
     /// the measured solve wall-clock.
     pub fn solve_snapshot(&self, snapshot: &GraphSnapshot) -> BscResult<Solution> {
         let params = &self.params;
+        crate::solver::check_not_expired(params.cancel.as_ref())?;
         let mut solver = params.resolved_algorithm().build_with_options(
             params.spec,
             params.k,
@@ -422,7 +442,8 @@ impl Pipeline {
                 .threads(params.threads)
                 .storage(params.storage)
                 .shards(params.shards)
-                .fanout(params.fanout.clone()),
+                .fanout(params.fanout.clone())
+                .cancel_token(params.cancel.clone()),
         )?;
         let start = Instant::now();
         let mut solution = solver.solve_snapshot(snapshot)?;

@@ -38,11 +38,14 @@
 
 use bsc_graph::partition::balanced_ranges;
 use bsc_storage::io_stats::IoScope;
+use bsc_util::cancel::CancelToken;
 
 use crate::cluster_graph::ClusterGraph;
 use crate::error::{BscError, BscResult};
 use crate::problem::StableClusterSpec;
-use crate::solver::{AlgorithmKind, Solution, SolverOptions, SolverStats, StableClusterSolver};
+use crate::solver::{
+    check_not_expired, AlgorithmKind, Solution, SolverOptions, SolverStats, StableClusterSolver,
+};
 use crate::topk::TopKPaths;
 
 #[cfg(doc)]
@@ -143,6 +146,16 @@ impl StableClusterSolver for ShardedSolver {
     }
 
     fn solve(&mut self, graph: &ClusterGraph) -> BscResult<Solution> {
+        check_not_expired(self.options.cancel.as_ref())?;
+        // Ensure the shards share one token even when the caller set none:
+        // the first shard to fail (deadline, storage fault) trips it, and the
+        // sibling workers abandon their remaining windows at the next
+        // checkpoint instead of running to completion.
+        let cancel = self
+            .options
+            .cancel
+            .get_or_insert_with(CancelToken::new)
+            .clone();
         let scope = IoScope::start();
         let m = graph.num_intervals() as u32;
         let l = match self.spec {
@@ -197,6 +210,7 @@ impl StableClusterSolver for ShardedSolver {
                 let results: Vec<BscResult<(TopKPaths, SolverStats)>> =
                     std::thread::scope(|scope| {
                         let this = &*self;
+                        let cancel = &cancel;
                         let handles: Vec<_> = ranges
                             .chunks(chunk)
                             .map(|owned| {
@@ -204,10 +218,18 @@ impl StableClusterSolver for ShardedSolver {
                                     let mut local = TopKPaths::new(this.k);
                                     let mut local_stats = SolverStats::default();
                                     for range in owned {
-                                        let (top, shard_stats) =
-                                            this.solve_shard(graph, l, range.clone(), 1)?;
-                                        local.absorb(top);
-                                        local_stats.merge(&shard_stats);
+                                        match this.solve_shard(graph, l, range.clone(), 1) {
+                                            Ok((top, shard_stats)) => {
+                                                local.absorb(top);
+                                                local_stats.merge(&shard_stats);
+                                            }
+                                            Err(e) => {
+                                                // Trip the siblings: their next
+                                                // checkpoint abandons the solve.
+                                                cancel.cancel();
+                                                return Err(e);
+                                            }
+                                        }
                                     }
                                     Ok((local, local_stats))
                                 })
@@ -220,8 +242,28 @@ impl StableClusterSolver for ShardedSolver {
                     });
                 let mut concurrent_resident_paths = 0usize;
                 let mut concurrent_stack_depth = 0usize;
+                // Prefer a root-cause error over the DeadlineExceeded the
+                // sibling shards report after being tripped by it.
+                let mut failure: Option<BscError> = None;
+                let mut oks: Vec<(TopKPaths, SolverStats)> = Vec::new();
                 for result in results {
-                    let (local, local_stats) = result?;
+                    match result {
+                        Ok(ok) => oks.push(ok),
+                        Err(e) => match &failure {
+                            None => failure = Some(e),
+                            Some(BscError::DeadlineExceeded { .. })
+                                if !matches!(e, BscError::DeadlineExceeded { .. }) =>
+                            {
+                                failure = Some(e)
+                            }
+                            Some(_) => {}
+                        },
+                    }
+                }
+                if let Some(e) = failure {
+                    return Err(e);
+                }
+                for (local, local_stats) in oks {
                     merged.absorb(local);
                     concurrent_resident_paths += local_stats.peak_resident_paths;
                     concurrent_stack_depth += local_stats.peak_stack_depth;

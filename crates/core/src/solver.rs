@@ -16,8 +16,11 @@
 //! adaptation is full-paths-only; the normalized solver only answers
 //! Problem 2) up front as [`BscError::Unsupported`].
 
+use std::time::Duration;
+
 use bsc_storage::backend::StorageSpec;
 use bsc_storage::io_stats::IoSnapshot;
+pub use bsc_util::cancel::CancelToken;
 
 use crate::cluster_graph::ClusterGraph;
 use crate::error::{BscError, BscResult};
@@ -66,6 +69,16 @@ pub struct SolverOptions {
     /// every worker set produces the identical `Solution`. `None` (the
     /// default) solves in-process.
     pub fanout: Option<crate::distributed::FanoutSpec>,
+    /// Cooperative cancellation for the solve: every solver's hot loop
+    /// polls this token at amortized checkpoints and aborts with
+    /// [`BscError::DeadlineExceeded`] once it trips — by an explicit
+    /// [`CancelToken::cancel`] or by its deadline passing. A sharded solve
+    /// shares the token across shards (the first shard to fail cancels its
+    /// siblings) and a distributed solve forwards the remaining budget to
+    /// workers over the wire. `None` (the default) solves to completion;
+    /// the answer is byte-identical either way — a token never changes
+    /// *what* is computed, only whether the solve is allowed to finish.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for SolverOptions {
@@ -76,6 +89,7 @@ impl Default for SolverOptions {
             bfs_store_backed: false,
             shards: 1,
             fanout: None,
+            cancel: None,
         }
     }
 }
@@ -109,6 +123,39 @@ impl SolverOptions {
     pub fn fanout(mut self, fanout: Option<crate::distributed::FanoutSpec>) -> Self {
         self.fanout = fanout;
         self
+    }
+
+    /// Set (or clear) the cooperative cancellation token.
+    pub fn cancel_token(mut self, cancel: Option<CancelToken>) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Give the solve a wall-clock budget measured from *now*: installs a
+    /// fresh [`CancelToken`] whose deadline is `budget` away (`None` clears
+    /// any token). A zero budget produces an already-expired token, so the
+    /// solve fails fast with [`BscError::DeadlineExceeded`] without doing
+    /// any work.
+    pub fn deadline(self, budget: Option<Duration>) -> Self {
+        self.cancel_token(budget.map(CancelToken::after))
+    }
+}
+
+/// Fail fast when a query's token has already tripped. Every solver entry
+/// point calls this before touching the graph, which is what makes an
+/// expired deadline return [`BscError::DeadlineExceeded`] *without solving*
+/// from every layer.
+pub fn check_not_expired(cancel: Option<&CancelToken>) -> BscResult<()> {
+    match cancel {
+        Some(token) if token.expired() => Err(deadline_error(token)),
+        _ => Ok(()),
+    }
+}
+
+/// The error a tripped [`CancelToken`] surfaces as.
+pub fn deadline_error(token: &CancelToken) -> BscError {
+    BscError::DeadlineExceeded {
+        elapsed_micros: token.elapsed_micros(),
     }
 }
 
@@ -409,25 +456,28 @@ impl AlgorithmKind {
             crate::bfs::BfsConfig::default().with_threads(options.threads.max(1))
         };
         let dfs_config = crate::dfs::DfsConfig::default().with_storage(options.storage);
+        let cancel = options.cancel.clone();
         match (self, spec) {
             (AlgorithmKind::Bfs, StableClusterSpec::FullPaths) => Ok(Box::new(
-                crate::bfs::BfsStableClusters::with_config(kl(full_l), bfs_config),
+                crate::bfs::BfsStableClusters::with_config(kl(full_l), bfs_config)
+                    .with_cancel(cancel),
             )),
             (AlgorithmKind::Bfs, StableClusterSpec::ExactLength(l)) => Ok(Box::new(
-                crate::bfs::BfsStableClusters::with_config(kl(l), bfs_config),
+                crate::bfs::BfsStableClusters::with_config(kl(l), bfs_config).with_cancel(cancel),
             )),
             (AlgorithmKind::Dfs, StableClusterSpec::FullPaths) => Ok(Box::new(
-                crate::dfs::DfsStableClusters::with_config(kl(full_l), dfs_config),
+                crate::dfs::DfsStableClusters::with_config(kl(full_l), dfs_config)
+                    .with_cancel(cancel),
             )),
             (AlgorithmKind::Dfs, StableClusterSpec::ExactLength(l)) => Ok(Box::new(
-                crate::dfs::DfsStableClusters::with_config(kl(l), dfs_config),
+                crate::dfs::DfsStableClusters::with_config(kl(l), dfs_config).with_cancel(cancel),
             )),
-            (AlgorithmKind::Ta, StableClusterSpec::FullPaths) => {
-                Ok(Box::new(crate::ta::TaStableClusters::new(k)))
-            }
-            (AlgorithmKind::Ta, StableClusterSpec::ExactLength(l)) if l == full_l => {
-                Ok(Box::new(crate::ta::TaStableClusters::new(k)))
-            }
+            (AlgorithmKind::Ta, StableClusterSpec::FullPaths) => Ok(Box::new(
+                crate::ta::TaStableClusters::new(k).with_cancel(cancel),
+            )),
+            (AlgorithmKind::Ta, StableClusterSpec::ExactLength(l)) if l == full_l => Ok(Box::new(
+                crate::ta::TaStableClusters::new(k).with_cancel(cancel),
+            )),
             (AlgorithmKind::Ta, other) => Err(BscError::Unsupported {
                 algorithm: "ta",
                 reason: format!(
@@ -436,7 +486,8 @@ impl AlgorithmKind {
                 ),
             }),
             (AlgorithmKind::Normalized, StableClusterSpec::Normalized { l_min }) => Ok(Box::new(
-                crate::normalized::NormalizedStableClusters::new(NormalizedParams::new(k, l_min)),
+                crate::normalized::NormalizedStableClusters::new(NormalizedParams::new(k, l_min))
+                    .with_cancel(cancel),
             )),
             // check_spec rejected every cross pairing above.
             (kind, other) => unreachable!("check_spec admitted {kind} with {other:?}"),

@@ -19,12 +19,15 @@
 use std::collections::HashMap;
 
 use bsc_storage::io_stats::IoScope;
+use bsc_util::cancel::CancelToken;
 
 use crate::cluster_graph::{ClusterGraph, ClusterNodeId};
 use crate::error::BscResult;
 use crate::path::ClusterPath;
 use crate::path_tree::{SharedPath, SharedTail};
-use crate::solver::{AlgorithmKind, Solution, SolverStats, StableClusterSolver};
+use crate::solver::{
+    check_not_expired, deadline_error, AlgorithmKind, Solution, SolverStats, StableClusterSolver,
+};
 use crate::topk::TopKPaths;
 
 /// Execution statistics of a TA run.
@@ -44,15 +47,25 @@ pub struct TaStats {
 }
 
 /// The TA-based solver for top-k *full* stable-cluster paths.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct TaStableClusters {
     k: usize,
+    cancel: Option<CancelToken>,
 }
 
 impl TaStableClusters {
     /// Create a solver returning the top `k` full paths.
     pub fn new(k: usize) -> Self {
-        TaStableClusters { k }
+        TaStableClusters { k, cancel: None }
+    }
+
+    /// Attach a cooperative-cancellation token, observed at amortized
+    /// checkpoints (roughly once per [`CancelToken::CHECK_INTERVAL`] edges
+    /// scanned). A tripped token aborts the run with
+    /// [`crate::error::BscError::DeadlineExceeded`].
+    pub fn with_cancel(mut self, cancel: Option<CancelToken>) -> Self {
+        self.cancel = cancel;
+        self
     }
 
     /// Run the algorithm.
@@ -63,6 +76,7 @@ impl TaStableClusters {
     /// Run the algorithm and report execution statistics.
     pub fn run_with_stats(&self, graph: &ClusterGraph) -> BscResult<(Vec<ClusterPath>, TaStats)> {
         let mut stats = TaStats::default();
+        check_not_expired(self.cancel.as_ref())?;
         let m = graph.num_intervals() as u32;
         if self.k == 0 || m < 2 {
             return Ok((Vec::new(), stats));
@@ -105,9 +119,16 @@ impl TaStableClusters {
         let mut endwts: HashMap<ClusterNodeId, f64> = HashMap::new();
         let mut startwts: HashMap<ClusterNodeId, f64> = HashMap::new();
 
+        let cancel = self.cancel.as_ref();
+        let mut tick = 0u32;
         loop {
             let mut progressed = false;
             for list_index in 0..lists.len() {
+                if let Some(token) = cancel {
+                    if token.checkpoint(&mut tick) {
+                        return Err(deadline_error(token));
+                    }
+                }
                 let (weight, from, to) = {
                     let list = &mut lists[list_index];
                     if list.cursor >= list.edges.len() {

@@ -17,7 +17,7 @@
 //! backend × shard count, under concurrent mixed-algorithm storms and
 //! across epoch swaps.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -27,7 +27,8 @@ use bsc_core::cluster_graph::ClusterGraph;
 use bsc_core::error::{BscError, BscResult};
 use bsc_core::problem::StableClusterSpec;
 use bsc_core::snapshot::{GraphSnapshot, SnapshotCell};
-use bsc_core::solver::{AlgorithmKind, Solution, SolverOptions};
+use bsc_core::solver::{deadline_error, AlgorithmKind, Solution, SolverOptions};
+use bsc_util::cancel::CancelToken;
 use bsc_util::LatencyHistogram;
 
 use crate::cache::{CacheStats, SolutionCache};
@@ -131,12 +132,16 @@ impl QueryRequest {
     /// (or its cost profile), rendered through the same stable textual
     /// forms the CLI and protocol use.
     pub fn cache_key(&self) -> String {
+        // `cancel` is deliberately excluded: a deadline changes whether the
+        // answer arrives, never what it is, so queries with different
+        // budgets share cache entries.
         let SolverOptions {
             threads,
             storage,
             bfs_store_backed,
             shards,
             fanout,
+            cancel: _,
         } = &self.options;
         let fanout = fanout
             .as_ref()
@@ -220,6 +225,14 @@ pub struct EngineStats {
     pub errors: u64,
     /// Cache counters.
     pub cache: CacheStats,
+    /// Queries that ended in [`BscError::DeadlineExceeded`] — at admission,
+    /// in the queue, or mid-solve. A subset of `errors`.
+    pub deadline_hits: u64,
+    /// Queries whose budget was already gone when a worker dequeued them:
+    /// failed fast without solving. A subset of `deadline_hits`.
+    pub queue_expired: u64,
+    /// In-flight queries cancelled by [`QueryEngine::shutdown`].
+    pub cancelled: u64,
     /// Distribution of admission-queue waits.
     pub queue_wait: LatencyHistogram,
     /// Distribution of solve times (cache hits excluded).
@@ -230,6 +243,9 @@ pub struct EngineStats {
 struct Metrics {
     queries: u64,
     errors: u64,
+    deadline_hits: u64,
+    queue_expired: u64,
+    cancelled: u64,
     queue_wait: LatencyHistogram,
     solve: LatencyHistogram,
 }
@@ -239,6 +255,13 @@ struct Shared {
     metrics: Mutex<Metrics>,
     /// Queries admitted but not yet answered (gauge).
     in_flight: AtomicU64,
+    /// Cancel tokens of the queries being solved *right now*, so shutdown
+    /// can trip every one of them. Tokens register on solve start and
+    /// deregister (by identity) when the solve settles.
+    solving: Mutex<Vec<CancelToken>>,
+    /// Set by shutdown: workers fail queued-but-unstarted jobs fast with
+    /// [`BscError::Shutdown`] instead of solving into the void.
+    shutting_down: AtomicBool,
 }
 
 /// The long-lived query executor. See the module docs.
@@ -279,6 +302,8 @@ impl QueryEngine {
             cache: Mutex::new(SolutionCache::new(config.cache_capacity)),
             metrics: Mutex::new(Metrics::default()),
             in_flight: AtomicU64::new(0),
+            solving: Mutex::new(Vec::new()),
+            shutting_down: AtomicBool::new(false),
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -335,6 +360,16 @@ impl QueryEngine {
 
     /// Admit a query, **blocking** while the bounded FIFO queue is full.
     /// The snapshot is pinned now, not when a worker picks the job up.
+    ///
+    /// # Blocking hazard
+    ///
+    /// This wait is **unbounded**: if every worker is stuck on long solves
+    /// and the queue stays full, the calling thread blocks indefinitely —
+    /// in a server loop that means one saturated engine wedges the
+    /// connection handler. Latency-sensitive callers should use
+    /// [`QueryEngine::submit_deadline`] (bounded wait, and the same budget
+    /// then covers queueing and solving) or [`QueryEngine::try_submit`]
+    /// (fail fast with [`BscError::Saturated`]).
     pub fn submit(&self, request: QueryRequest) -> BscResult<QueryTicket> {
         let (job, ticket) = self.admit(request)?;
         let queue = self.queue.as_ref().ok_or(BscError::Shutdown)?;
@@ -371,6 +406,52 @@ impl QueryEngine {
         }
     }
 
+    /// Admit a query under a total time budget covering **everything**:
+    /// waiting for a queue slot, waiting in the queue, and the solve
+    /// itself. If the request has no cancel token one is installed with
+    /// `budget` as its deadline; an existing token is kept (the explicit
+    /// deadline wins) and `budget` only bounds the admission wait.
+    ///
+    /// Admission polls the queue instead of blocking, so a saturated
+    /// engine costs at most the budget, never a wedge. An expired budget
+    /// is reported as [`BscError::DeadlineExceeded`].
+    pub fn submit_deadline(
+        &self,
+        mut request: QueryRequest,
+        budget: Duration,
+    ) -> BscResult<QueryTicket> {
+        let token = request
+            .options
+            .cancel
+            .get_or_insert_with(|| CancelToken::after(budget))
+            .clone();
+        let admission_deadline = Instant::now() + budget;
+        let (mut job, ticket) = self.admit(request)?;
+        let queue = self.queue.as_ref().ok_or(BscError::Shutdown)?;
+        self.shared.in_flight.fetch_add(1, Ordering::Relaxed);
+        loop {
+            match queue.try_send(job) {
+                Ok(()) => return Ok(ticket),
+                Err(TrySendError::Full(returned)) => {
+                    if token.expired() || Instant::now() >= admission_deadline {
+                        self.shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+                        let mut metrics =
+                            self.shared.metrics.lock().expect("metrics lock poisoned");
+                        metrics.deadline_hits += 1;
+                        metrics.queue_expired += 1;
+                        return Err(deadline_error(&token));
+                    }
+                    job = returned;
+                    std::thread::sleep(ADMISSION_POLL);
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    return Err(BscError::Shutdown);
+                }
+            }
+        }
+    }
+
     /// Submit and wait — the blocking convenience path.
     pub fn query(&self, request: QueryRequest) -> BscResult<QueryResponse> {
         self.submit(request)?.wait()
@@ -392,6 +473,9 @@ impl QueryEngine {
             queries: metrics.queries,
             errors: metrics.errors,
             cache,
+            deadline_hits: metrics.deadline_hits,
+            queue_expired: metrics.queue_expired,
+            cancelled: metrics.cancelled,
             queue_wait: metrics.queue_wait.clone(),
             solve: metrics.solve.clone(),
         }
@@ -402,10 +486,25 @@ impl QueryEngine {
         self.shared.in_flight.load(Ordering::Relaxed)
     }
 
-    /// Stop accepting queries, drain the queue and join the workers.
-    /// Idempotent; also runs on drop.
+    /// Stop accepting queries and join the workers — promptly. In-flight
+    /// solves have their cancel tokens tripped (they unwind within one
+    /// checkpoint interval and their tickets read
+    /// [`BscError::DeadlineExceeded`]); queued-but-unstarted jobs are
+    /// failed fast with [`BscError::Shutdown`] instead of being solved
+    /// into the void. Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
         self.queue = None; // workers exit when the queue disconnects
+        self.shared.shutting_down.store(true, Ordering::Relaxed);
+        {
+            let solving = self.shared.solving.lock().expect("solving lock poisoned");
+            let mut metrics = self.shared.metrics.lock().expect("metrics lock poisoned");
+            for token in solving.iter() {
+                if !token.is_cancelled() {
+                    token.cancel();
+                    metrics.cancelled += 1;
+                }
+            }
+        }
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -434,6 +533,11 @@ fn duration_micros(d: Duration) -> u64 {
     d.as_micros().min(u128::from(u64::MAX)) as u64
 }
 
+/// Poll period of [`QueryEngine::submit_deadline`]'s bounded admission
+/// wait. Coarse enough to stay cheap, fine enough that admission latency
+/// under churn stays in the single-digit milliseconds.
+const ADMISSION_POLL: Duration = Duration::from_millis(2);
+
 fn worker_loop(receiver: &Mutex<Receiver<Job>>, shared: &Shared) {
     loop {
         // Hold the receiver lock only for the dequeue, never during a solve,
@@ -442,9 +546,24 @@ fn worker_loop(receiver: &Mutex<Receiver<Job>>, shared: &Shared) {
             Ok(guard) => guard.recv(),
             Err(_) => return,
         };
-        let Ok(job) = job else { return };
+        let Ok(mut job) = job else { return };
         let queue_wait = job.enqueued.elapsed();
-        let result = execute(&job, queue_wait, shared);
+        // Queued-but-expired queries fail fast: the budget is gone, so
+        // solving would only delay the error (and every query behind it).
+        let expired_in_queue = job
+            .request
+            .options
+            .cancel
+            .as_ref()
+            .is_some_and(CancelToken::expired);
+        let result = if expired_in_queue {
+            let token = job.request.options.cancel.as_ref().expect("checked above");
+            Err(deadline_error(token))
+        } else if shared.shutting_down.load(Ordering::Relaxed) {
+            Err(BscError::Shutdown)
+        } else {
+            execute(&mut job, queue_wait, shared)
+        };
         {
             let mut metrics = shared.metrics.lock().expect("metrics lock poisoned");
             metrics.queries += 1;
@@ -456,7 +575,15 @@ fn worker_loop(receiver: &Mutex<Receiver<Job>>, shared: &Shared) {
                         .record_micros(response.solution.stats.solve_micros);
                 }
                 Ok(_) => {}
-                Err(_) => metrics.errors += 1,
+                Err(e) => {
+                    metrics.errors += 1;
+                    if matches!(e, BscError::DeadlineExceeded { .. }) {
+                        metrics.deadline_hits += 1;
+                        if expired_in_queue {
+                            metrics.queue_expired += 1;
+                        }
+                    }
+                }
             }
         }
         shared.in_flight.fetch_sub(1, Ordering::Relaxed);
@@ -465,7 +592,7 @@ fn worker_loop(receiver: &Mutex<Receiver<Job>>, shared: &Shared) {
     }
 }
 
-fn execute(job: &Job, queue_wait: Duration, shared: &Shared) -> BscResult<QueryResponse> {
+fn execute(job: &mut Job, queue_wait: Duration, shared: &Shared) -> BscResult<QueryResponse> {
     let epoch = job.snapshot.epoch();
     let key = job.request.cache_key();
     if let Some(mut solution) = shared
@@ -482,15 +609,39 @@ fn execute(job: &Job, queue_wait: Duration, shared: &Shared) -> BscResult<QueryR
             cached: true,
         });
     }
-    let mut solver = job.request.algorithm.build_with_options(
-        job.request.spec,
-        job.request.k,
-        job.snapshot.num_intervals(),
-        job.request.options.clone(),
-    )?;
-    let start = Instant::now();
-    let mut solution = solver.solve_snapshot(&job.snapshot)?;
-    solution.stats.solve_micros = duration_micros(start.elapsed());
+    // Every solve runs under a cancel token — installing one on demand is
+    // what lets shutdown reach queries submitted without a deadline. The
+    // token is registered for the duration of the solve and deregistered
+    // by identity on the way out.
+    let token = job
+        .request
+        .options
+        .cancel
+        .get_or_insert_with(CancelToken::new)
+        .clone();
+    shared
+        .solving
+        .lock()
+        .expect("solving lock poisoned")
+        .push(token.clone());
+    let result: BscResult<Solution> = (|| {
+        let mut solver = job.request.algorithm.build_with_options(
+            job.request.spec,
+            job.request.k,
+            job.snapshot.num_intervals(),
+            job.request.options.clone(),
+        )?;
+        let start = Instant::now();
+        let mut solution = solver.solve_snapshot(&job.snapshot)?;
+        solution.stats.solve_micros = duration_micros(start.elapsed());
+        Ok(solution)
+    })();
+    shared
+        .solving
+        .lock()
+        .expect("solving lock poisoned")
+        .retain(|t| t != &token);
+    let mut solution = result?;
     // Cache the canonical form (no queue wait — that belongs to one query,
     // not to the answer).
     shared
@@ -639,6 +790,98 @@ mod tests {
         assert!(saturated, "queue never filled");
         for ticket in tickets {
             assert!(ticket.wait().is_ok());
+        }
+    }
+
+    #[test]
+    fn an_expired_deadline_fails_fast_without_solving() {
+        let engine = engine();
+        engine.install_graph(graph(7));
+        let request = QueryRequest::new(AlgorithmKind::Bfs, StableClusterSpec::ExactLength(2), 4)
+            .options(SolverOptions::default().deadline(Some(Duration::ZERO)));
+        assert!(matches!(
+            engine.query(request).unwrap_err(),
+            BscError::DeadlineExceeded { .. }
+        ));
+        let stats = engine.stats();
+        assert_eq!(stats.deadline_hits, 1);
+        assert_eq!(stats.queue_expired, 1);
+        // The query died in the queue: the solver never ran.
+        assert_eq!(stats.solve.count(), 0);
+        // A live deadline still solves normally.
+        let request = QueryRequest::new(AlgorithmKind::Bfs, StableClusterSpec::ExactLength(2), 4)
+            .options(SolverOptions::default().deadline(Some(Duration::from_secs(60))));
+        assert!(engine.query(request).is_ok());
+    }
+
+    #[test]
+    fn submit_deadline_bounds_the_admission_wait() {
+        // One worker, one queue slot: saturate the pipeline, then ask for
+        // admission under a small budget and observe the bounded failure.
+        let engine = QueryEngine::new(
+            EngineConfig::default()
+                .workers(1)
+                .queue_capacity(1)
+                .cache_capacity(0),
+        )
+        .unwrap();
+        engine.install_graph(graph(3));
+        let request = QueryRequest::new(AlgorithmKind::Bfs, StableClusterSpec::ExactLength(2), 4);
+        let mut tickets = Vec::new();
+        loop {
+            match engine.try_submit(request.clone()) {
+                Ok(ticket) => tickets.push(ticket),
+                Err(BscError::Saturated { .. }) => break,
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        let begun = Instant::now();
+        let outcome = engine.submit_deadline(request.clone(), Duration::from_millis(20));
+        // Either a slot freed inside the budget (ticket) or the wait was
+        // bounded and reported as a deadline hit — never an unbounded block.
+        match outcome {
+            Ok(ticket) => drop(ticket),
+            Err(BscError::DeadlineExceeded { .. }) => {
+                assert!(begun.elapsed() >= Duration::from_millis(20));
+                assert!(engine.stats().queue_expired >= 1);
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+        assert!(
+            begun.elapsed() < Duration::from_secs(5),
+            "wait was unbounded"
+        );
+        for ticket in tickets {
+            let _ = ticket.wait();
+        }
+    }
+
+    #[test]
+    fn shutdown_cancels_in_flight_queries_promptly() {
+        let mut engine = QueryEngine::new(
+            EngineConfig::default()
+                .workers(1)
+                .queue_capacity(8)
+                .cache_capacity(0),
+        )
+        .unwrap();
+        engine.install_graph(graph(11));
+        let request = QueryRequest::new(AlgorithmKind::Bfs, StableClusterSpec::ExactLength(2), 4);
+        let mut tickets = Vec::new();
+        for _ in 0..6 {
+            tickets.push(engine.try_submit(request.clone()).unwrap());
+        }
+        let begun = Instant::now();
+        engine.shutdown();
+        // Shutdown joins the workers; cooperative cancellation must make
+        // that prompt even with a full queue behind the in-flight solve.
+        assert!(begun.elapsed() < Duration::from_secs(10));
+        for ticket in tickets {
+            match ticket.wait() {
+                Ok(_) => {}
+                Err(BscError::DeadlineExceeded { .. }) | Err(BscError::Shutdown) => {}
+                Err(other) => panic!("unexpected error: {other}"),
+            }
         }
     }
 

@@ -11,7 +11,7 @@
 //! | op | fields | effect |
 //! |----|--------|--------|
 //! | `hello` | `version` | protocol handshake: echoes the server version and current epoch; a version mismatch fails fast (error response, session ends) |
-//! | `query` | `algorithm`, `spec`, `k`, `threads`, `storage`, `shards`, `workers`, `store_backed` | solve against the current epoch |
+//! | `query` | `algorithm`, `spec`, `k`, `threads`, `storage`, `shards`, `workers`, `store_backed`, `deadline_ms` | solve against the current epoch |
 //! | `load` | `num_intervals`, `nodes_per_interval`, `avg_out_degree`, `gap`, `seed` | install a synthetic graph as a new epoch |
 //! | `open_stream` | `k`, `l`, `gap` | start online ingest |
 //! | `push_interval` | `nodes`, `edges` | ingest one interval, publish a new epoch |
@@ -173,12 +173,26 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     })?)
                 }
             };
+            // Optional total time budget for the query, in milliseconds.
+            // `deadline_ms: 0` is a valid (already expired) budget — it
+            // deterministically answers DeadlineExceeded, which the chaos
+            // suite relies on.
+            let deadline = doc
+                .get("deadline_ms")
+                .map(|value| {
+                    value.as_u64().ok_or_else(|| {
+                        "field 'deadline_ms' must be a non-negative integer".to_string()
+                    })
+                })
+                .transpose()?
+                .map(std::time::Duration::from_millis);
             let options = SolverOptions::default()
                 .threads(field_usize(&doc, "threads", 1)?)
                 .storage(storage)
                 .bfs_store_backed(field_bool(&doc, "store_backed", false)?)
                 .shards(field_usize(&doc, "shards", 1)?)
-                .fanout(fanout);
+                .fanout(fanout)
+                .deadline(deadline);
             Ok(Request::Query(
                 QueryRequest::new(algorithm, spec, field_usize(&doc, "k", 10)?).options(options),
             ))
@@ -343,6 +357,27 @@ mod tests {
         assert!(parse_request("{\"op\":\"query\",\"workers\":\",\"}")
             .unwrap_err()
             .contains("workers"));
+    }
+
+    #[test]
+    fn parses_a_query_deadline() {
+        let request =
+            parse_request("{\"op\":\"query\",\"spec\":\"exact:2\",\"deadline_ms\":250}").unwrap();
+        let Request::Query(query) = request else {
+            panic!("expected a query");
+        };
+        let token = query.options.cancel.expect("deadline installs a token");
+        let remaining = token.remaining().expect("deadline token has a deadline");
+        assert!(remaining <= std::time::Duration::from_millis(250));
+        // deadline_ms:0 parses to an immediately expired token.
+        let request = parse_request("{\"op\":\"query\",\"deadline_ms\":0}").unwrap();
+        let Request::Query(query) = request else {
+            panic!("expected a query");
+        };
+        assert!(query.options.cancel.expect("token").expired());
+        assert!(parse_request("{\"op\":\"query\",\"deadline_ms\":\"soon\"}")
+            .unwrap_err()
+            .contains("deadline_ms"));
     }
 
     #[test]

@@ -321,6 +321,9 @@ impl Session {
                     ("queue_capacity", JsonValue::from(stats.queue_capacity)),
                     ("queries", JsonValue::from(stats.queries)),
                     ("errors", JsonValue::from(stats.errors)),
+                    ("deadline_hits", JsonValue::from(stats.deadline_hits)),
+                    ("queue_expired", JsonValue::from(stats.queue_expired)),
+                    ("cancelled", JsonValue::from(stats.cancelled)),
                     (
                         "cache",
                         JsonValue::object([

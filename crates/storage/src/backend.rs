@@ -111,6 +111,56 @@ pub enum StorageSpec {
         /// Page-cache budget in bytes (advisory, enforced by eviction).
         budget_bytes: usize,
     },
+    /// [`FaultInjectingBackend`](crate::fault::FaultInjectingBackend)
+    /// wrapping `inner`: deterministic I/O errors and torn writes on a
+    /// seed-reproducible schedule, for robustness conformance sweeps.
+    Fault {
+        /// Seed of the deterministic fault schedule.
+        seed: u64,
+        /// Mean fallible operations per injected fault (0 disables).
+        every: u64,
+        /// Which real backend sits under the fault layer.
+        inner: FaultInner,
+    },
+}
+
+/// The backend under a [`StorageSpec::Fault`] layer — the non-fault spec
+/// shapes, kept as a separate enum so fault layers cannot nest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultInner {
+    /// [`InMemoryBackend`].
+    Memory,
+    /// [`LogFileBackend`].
+    LogFile,
+    /// [`BlockCacheBackend`] with this page-cache budget.
+    BlockCache {
+        /// Page-cache budget in bytes.
+        budget_bytes: usize,
+    },
+}
+
+impl FaultInner {
+    /// The equivalent plain [`StorageSpec`].
+    pub fn to_spec(self) -> StorageSpec {
+        match self {
+            FaultInner::Memory => StorageSpec::Memory,
+            FaultInner::LogFile => StorageSpec::LogFile,
+            FaultInner::BlockCache { budget_bytes } => StorageSpec::BlockCache { budget_bytes },
+        }
+    }
+
+    /// The inverse of [`FaultInner::to_spec`]; `None` for a fault spec
+    /// (fault layers cannot nest).
+    pub fn from_spec(spec: StorageSpec) -> Option<FaultInner> {
+        match spec {
+            StorageSpec::Memory => Some(FaultInner::Memory),
+            StorageSpec::LogFile => Some(FaultInner::LogFile),
+            StorageSpec::BlockCache { budget_bytes } => {
+                Some(FaultInner::BlockCache { budget_bytes })
+            }
+            StorageSpec::Fault { .. } => None,
+        }
+    }
 }
 
 impl StorageSpec {
@@ -127,17 +177,21 @@ impl StorageSpec {
         },
     ];
 
-    /// The spec's short name (`"memory"`, `"logfile"`, `"blockcache"`).
+    /// The spec's short name (`"memory"`, `"logfile"`, `"blockcache"`,
+    /// `"fault"`).
     pub fn name(self) -> &'static str {
         match self {
             StorageSpec::Memory => "memory",
             StorageSpec::LogFile => "logfile",
             StorageSpec::BlockCache { .. } => "blockcache",
+            StorageSpec::Fault { .. } => "fault",
         }
     }
 
     /// Parse a spec from its CLI / env-var form: `memory`, `logfile`,
-    /// `blockcache` (default budget) or `blockcache:<bytes>`.
+    /// `blockcache` (default budget), `blockcache:<bytes>` or
+    /// `fault:<seed>:<every>:<inner>` where `<inner>` is any non-fault
+    /// spec (e.g. `fault:42:100:logfile`).
     pub fn parse(s: &str) -> Option<StorageSpec> {
         match s {
             "memory" => Some(StorageSpec::Memory),
@@ -146,6 +200,14 @@ impl StorageSpec {
                 budget_bytes: Self::DEFAULT_BLOCK_CACHE_BUDGET,
             }),
             other => {
+                if let Some(rest) = other.strip_prefix("fault:") {
+                    let (seed, rest) = rest.split_once(':')?;
+                    let (every, inner) = rest.split_once(':')?;
+                    let seed = seed.parse().ok()?;
+                    let every = every.parse().ok()?;
+                    let inner = FaultInner::from_spec(StorageSpec::parse(inner)?)?;
+                    return Some(StorageSpec::Fault { seed, every, inner });
+                }
                 let budget = other.strip_prefix("blockcache:")?;
                 budget
                     .parse()
@@ -164,6 +226,12 @@ impl StorageSpec {
             StorageSpec::BlockCache { budget_bytes } => {
                 Ok(Box::new(BlockCacheBackend::temp(prefix, budget_bytes)?))
             }
+            StorageSpec::Fault { seed, every, inner } => {
+                let inner = inner.to_spec().open_temp(prefix)?;
+                Ok(Box::new(crate::fault::FaultInjectingBackend::new(
+                    inner, seed, every,
+                )))
+            }
         }
     }
 
@@ -176,6 +244,12 @@ impl StorageSpec {
             StorageSpec::LogFile => Ok(Box::new(LogFileBackend::create(path)?)),
             StorageSpec::BlockCache { budget_bytes } => {
                 Ok(Box::new(BlockCacheBackend::create(path, budget_bytes)?))
+            }
+            StorageSpec::Fault { seed, every, inner } => {
+                let inner = inner.to_spec().create_at(path)?;
+                Ok(Box::new(crate::fault::FaultInjectingBackend::new(
+                    inner, seed, every,
+                )))
             }
         }
     }
@@ -190,6 +264,12 @@ impl StorageSpec {
             StorageSpec::BlockCache { budget_bytes } => {
                 Ok(Box::new(BlockCacheBackend::open(path, budget_bytes)?))
             }
+            StorageSpec::Fault { seed, every, inner } => {
+                let inner = inner.to_spec().open_at(path)?;
+                Ok(Box::new(crate::fault::FaultInjectingBackend::new(
+                    inner, seed, every,
+                )))
+            }
         }
     }
 }
@@ -199,6 +279,9 @@ impl fmt::Display for StorageSpec {
         match self {
             StorageSpec::BlockCache { budget_bytes } => {
                 write!(f, "blockcache:{budget_bytes}")
+            }
+            StorageSpec::Fault { seed, every, inner } => {
+                write!(f, "fault:{seed}:{every}:{}", inner.to_spec())
             }
             other => f.write_str(other.name()),
         }
@@ -1155,6 +1238,16 @@ mod tests {
             StorageSpec::Memory,
             StorageSpec::LogFile,
             StorageSpec::BlockCache { budget_bytes: 777 },
+            StorageSpec::Fault {
+                seed: 42,
+                every: 100,
+                inner: FaultInner::LogFile,
+            },
+            StorageSpec::Fault {
+                seed: 7,
+                every: 3,
+                inner: FaultInner::BlockCache { budget_bytes: 4096 },
+            },
         ] {
             assert_eq!(StorageSpec::parse(&spec.to_string()), Some(spec));
         }
@@ -1166,6 +1259,10 @@ mod tests {
         );
         assert_eq!(StorageSpec::parse("mmap"), None);
         assert_eq!(StorageSpec::parse("blockcache:big"), None);
+        // Fault layers cannot nest, and malformed fault specs are rejected.
+        assert_eq!(StorageSpec::parse("fault:1:2:fault:3:4:memory"), None);
+        assert_eq!(StorageSpec::parse("fault:1:memory"), None);
+        assert_eq!(StorageSpec::parse("fault:x:2:memory"), None);
     }
 
     #[test]

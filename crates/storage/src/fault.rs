@@ -1,0 +1,253 @@
+//! Deterministic fault injection for storage backends.
+//!
+//! [`FaultInjectingBackend`] wraps any [`StorageBackend`] and makes its
+//! fallible operations (`get`, `put`, `delete`, `compact`) fail on a
+//! deterministic, seed-reproducible schedule driven by
+//! [`bsc_util::DetRng`]. Two fault shapes are injected:
+//!
+//! * **clean I/O errors** — the operation fails with an
+//!   [`StorageError::Io`] and the underlying store is untouched;
+//! * **torn writes** — a failing `put`/`delete` is *applied* to the inner
+//!   store before the error is reported, modelling a crash after the write
+//!   reached the disk but before the acknowledgement did. The caller sees a
+//!   failure, the store sees the mutation — exactly the ambiguity real
+//!   storage presents after a power cut mid-`fsync`.
+//!
+//! The point of the wrapper is conformance testing: every disk-resident
+//! solver must surface an injected fault as a clean `BscError` — never a
+//! panic, never a silently corrupted top-k. The
+//! [`StorageSpec::Fault`](crate::backend::StorageSpec::Fault) spec makes
+//! the wrapper reachable from everything that accepts a storage spec
+//! (`fault:<seed>:<every>:<inner>` on the CLI and in env vars), so the
+//! whole stack from `Pipeline` to the cluster workers can run under
+//! injected faults without code changes.
+//!
+//! Determinism contract: the fault schedule is a pure function of the seed
+//! and the *sequence of fallible operations*. Two runs that issue the same
+//! operations against the same seed observe identical faults, which is
+//! what lets CI pin `BSC_FAULT_SEED` and reproduce a failure locally.
+
+use std::fmt;
+
+use bsc_util::DetRng;
+
+use crate::backend::StorageBackend;
+use crate::io_stats::IoSnapshot;
+use crate::{Result, StorageError};
+
+/// Message carried by every injected error, so tests (and humans reading
+/// logs) can tell an injected fault from a real one.
+pub const INJECTED_FAULT_MESSAGE: &str = "injected storage fault";
+
+/// A [`StorageBackend`] decorator that injects deterministic faults.
+///
+/// Each fallible operation rolls the seeded RNG: with probability
+/// `1/every` the operation fails with an injected [`StorageError::Io`].
+/// Half of the failing mutations (again deterministically) are applied to
+/// the inner store *before* the error is returned — the torn-write case.
+/// `every == 0` disables injection entirely, making the wrapper a
+/// transparent pass-through.
+pub struct FaultInjectingBackend {
+    inner: Box<dyn StorageBackend>,
+    rng: DetRng,
+    every: u64,
+    injected: u64,
+    torn: u64,
+}
+
+impl fmt::Debug for FaultInjectingBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultInjectingBackend")
+            .field("inner", &self.inner)
+            .field("every", &self.every)
+            .field("injected", &self.injected)
+            .field("torn", &self.torn)
+            .finish()
+    }
+}
+
+impl FaultInjectingBackend {
+    /// Wrap `inner`, injecting one fault per `every` fallible operations on
+    /// average, on the schedule determined by `seed`.
+    pub fn new(inner: Box<dyn StorageBackend>, seed: u64, every: u64) -> FaultInjectingBackend {
+        FaultInjectingBackend {
+            inner,
+            rng: DetRng::seed_from_u64(seed),
+            every,
+            injected: 0,
+            torn: 0,
+        }
+    }
+
+    /// Number of faults injected so far.
+    pub fn injected_faults(&self) -> u64 {
+        self.injected
+    }
+
+    /// Number of injected faults that were torn (the mutation was applied
+    /// before the error was reported). Always `<= injected_faults()`.
+    pub fn torn_writes(&self) -> u64 {
+        self.torn
+    }
+
+    /// Unwrap, returning the inner backend (with every torn write applied).
+    pub fn into_inner(self) -> Box<dyn StorageBackend> {
+        self.inner
+    }
+
+    /// Roll the schedule: `true` when this operation must fail. Consumes
+    /// exactly one RNG draw per fallible operation so the schedule depends
+    /// only on the operation *sequence*, not on key or value contents.
+    fn trip(&mut self) -> bool {
+        if self.every == 0 {
+            return false;
+        }
+        let fault = self.rng.below(self.every) == 0;
+        if fault {
+            self.injected += 1;
+        }
+        fault
+    }
+
+    fn injected_error(&self) -> StorageError {
+        StorageError::Io(std::io::Error::other(INJECTED_FAULT_MESSAGE))
+    }
+}
+
+impl StorageBackend for FaultInjectingBackend {
+    fn name(&self) -> &'static str {
+        "fault"
+    }
+
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        if self.trip() {
+            return Err(self.injected_error());
+        }
+        self.inner.get(key)
+    }
+
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        if self.trip() {
+            // Torn write: half the failing mutations land anyway.
+            if self.rng.chance(0.5) {
+                self.torn += 1;
+                self.inner.put(key, value)?;
+            }
+            return Err(self.injected_error());
+        }
+        self.inner.put(key, value)
+    }
+
+    fn delete(&mut self, key: &[u8]) -> Result<bool> {
+        if self.trip() {
+            if self.rng.chance(0.5) {
+                self.torn += 1;
+                self.inner.delete(key)?;
+            }
+            return Err(self.injected_error());
+        }
+        self.inner.delete(key)
+    }
+
+    fn contains(&self, key: &[u8]) -> bool {
+        self.inner.contains(key)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn keys(&self) -> Vec<Vec<u8>> {
+        self.inner.keys()
+    }
+
+    fn compact(&mut self) -> Result<u64> {
+        if self.trip() {
+            return Err(self.injected_error());
+        }
+        self.inner.compact()
+    }
+
+    fn storage_bytes(&self) -> u64 {
+        self.inner.storage_bytes()
+    }
+
+    fn io_snapshot(&self) -> IoSnapshot {
+        self.inner.io_snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::InMemoryBackend;
+
+    fn wrapped(seed: u64, every: u64) -> FaultInjectingBackend {
+        FaultInjectingBackend::new(Box::new(InMemoryBackend::new()), seed, every)
+    }
+
+    #[test]
+    fn the_fault_schedule_is_deterministic_in_the_seed() {
+        let mut runs = Vec::new();
+        for _ in 0..2 {
+            let mut backend = wrapped(42, 4);
+            let mut outcomes = Vec::new();
+            for i in 0..200u32 {
+                let key = i.to_le_bytes();
+                outcomes.push(backend.put(&key, b"v").is_err());
+                outcomes.push(backend.get(&key).is_err());
+            }
+            runs.push((outcomes, backend.injected_faults(), backend.torn_writes()));
+        }
+        assert_eq!(runs[0], runs[1]);
+        assert!(runs[0].1 > 0, "schedule never fired at every=4");
+        // A different seed produces a different schedule.
+        let mut other = wrapped(43, 4);
+        let mut outcomes = Vec::new();
+        for i in 0..200u32 {
+            let key = i.to_le_bytes();
+            outcomes.push(other.put(&key, b"v").is_err());
+            outcomes.push(other.get(&key).is_err());
+        }
+        assert_ne!(runs[0].0, outcomes);
+    }
+
+    #[test]
+    fn torn_writes_land_in_the_inner_store_despite_the_error() {
+        let mut backend = wrapped(7, 2);
+        let mut failed_puts = Vec::new();
+        for i in 0..500u32 {
+            let key = i.to_le_bytes().to_vec();
+            if backend.put(&key, b"payload").is_err() {
+                failed_puts.push(key);
+            }
+        }
+        assert!(backend.torn_writes() > 0, "no torn writes at every=2");
+        assert!(backend.torn_writes() <= backend.injected_faults());
+        // Some failed puts are visible (torn), the rest are absent; either
+        // way the store answers cleanly.
+        let landed = failed_puts
+            .iter()
+            .filter(|key| backend.contains(key))
+            .count();
+        assert!(landed > 0 && landed < failed_puts.len());
+    }
+
+    #[test]
+    fn every_zero_disables_injection() {
+        let mut backend = wrapped(42, 0);
+        for i in 0..100u32 {
+            let key = i.to_le_bytes();
+            backend.put(&key, b"v").unwrap();
+            assert_eq!(backend.get(&key).unwrap().as_deref(), Some(&b"v"[..]));
+        }
+        assert_eq!(backend.injected_faults(), 0);
+    }
+
+    #[test]
+    fn injected_errors_are_recognizable() {
+        let mut backend = wrapped(1, 1); // every operation faults
+        let error = backend.put(b"k", b"v").unwrap_err();
+        assert!(error.to_string().contains(INJECTED_FAULT_MESSAGE));
+    }
+}

@@ -23,6 +23,8 @@
 //! * [`backend`] — the pluggable [`StorageBackend`] trait with its shipped
 //!   implementations (append-only log file, plain memory, budget-bounded
 //!   block cache) and the [`StorageSpec`] deployment selector.
+//! * [`fault`] — a deterministic fault-injecting decorator over any backend
+//!   (seeded I/O errors and torn writes), for robustness conformance tests.
 //! * [`node_store`] — the typed keyed record store over any backend, used for
 //!   the disk-resident algorithms' per-node state.
 //! * [`paged_stack`] — a stack that spills to disk beyond a memory budget.
@@ -34,6 +36,7 @@
 pub mod backend;
 pub mod codec;
 pub mod external_sort;
+pub mod fault;
 pub mod io_stats;
 pub mod memory;
 pub mod node_store;
@@ -42,10 +45,11 @@ pub mod record_file;
 pub mod temp;
 
 pub use backend::{
-    BlockCacheBackend, InMemoryBackend, LogFileBackend, StorageBackend, StorageSpec,
+    BlockCacheBackend, FaultInner, InMemoryBackend, LogFileBackend, StorageBackend, StorageSpec,
 };
 pub use codec::{Decode, Encode};
 pub use external_sort::{ExternalSorter, SortConfig};
+pub use fault::FaultInjectingBackend;
 pub use io_stats::{IoScope, IoSnapshot, IoStats};
 pub use memory::MemoryBudget;
 pub use node_store::NodeStore;

@@ -1,0 +1,225 @@
+//! Cooperative cancellation with optional deadlines.
+//!
+//! Long solves must be stoppable: a query admitted under a latency budget
+//! has to give up once the budget is spent, a coordinator abandoning an RPC
+//! must be able to tell the sibling shards to stop burning CPU, and an
+//! engine shutting down should not wait for minutes-long solves to finish.
+//! None of that can be preemptive in safe Rust — the solvers cooperate by
+//! polling a shared flag.
+//!
+//! [`CancelToken`] is that flag: a cheaply clonable handle (an `Arc` around
+//! an `AtomicBool`) with an optional wall-clock deadline. Cloning shares
+//! state, so the same token can be held by an engine worker, a sharded
+//! solve's sibling threads and a distributed dispatcher at once — whoever
+//! trips it first stops all of them.
+//!
+//! Hot loops do not pay the cost of a time syscall per iteration:
+//! [`CancelToken::checkpoint`] is amortized over a caller-local counter and
+//! performs the real check (one relaxed atomic load, plus `Instant::now`
+//! when a deadline is set) only once every [`CancelToken::CHECK_INTERVAL`]
+//! calls. A cancelled solve therefore terminates within one checkpoint
+//! interval of the trip, and an uncancelled solve pays well under a percent
+//! of overhead.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+    started: Instant,
+}
+
+/// A shared cooperative-cancellation flag with an optional deadline.
+///
+/// Clones share state: tripping any clone trips them all. Equality is
+/// *identity* (two tokens are equal iff they share state), so types holding
+/// a token can keep deriving `PartialEq`/`Eq` without comparing clocks.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// How many [`CancelToken::checkpoint`] calls elapse between real
+    /// checks. Small enough that a cancelled solve stops promptly, large
+    /// enough that the `Instant::now` cost disappears into the work between
+    /// checks.
+    pub const CHECK_INTERVAL: u32 = 1024;
+
+    /// A token with no deadline; it only trips when [`CancelToken::cancel`]
+    /// is called.
+    pub fn new() -> CancelToken {
+        CancelToken::build(None)
+    }
+
+    /// A token that also trips once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken::build(Some(deadline))
+    }
+
+    /// A token whose deadline is `budget` from now. A zero budget produces
+    /// an already-expired token.
+    pub fn after(budget: Duration) -> CancelToken {
+        let now = Instant::now();
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(now.checked_add(budget).unwrap_or(now)),
+                started: now,
+            }),
+        }
+    }
+
+    fn build(deadline: Option<Instant>) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline,
+                started: Instant::now(),
+            }),
+        }
+    }
+
+    /// Trip the token: every holder's next real check observes it.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Has [`CancelToken::cancel`] been called? Does not consult the
+    /// deadline.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// The full check: tripped either by an explicit cancel or by the
+    /// deadline having passed.
+    pub fn expired(&self) -> bool {
+        if self.is_cancelled() {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(deadline) => Instant::now() >= deadline,
+            None => false,
+        }
+    }
+
+    /// The configured deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Time left before the deadline (`None` when no deadline is set,
+    /// zero once it has passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner
+            .deadline
+            .map(|deadline| deadline.saturating_duration_since(Instant::now()))
+    }
+
+    /// Microseconds elapsed since the token was created (i.e. since the
+    /// deadline clock started).
+    pub fn elapsed_micros(&self) -> u64 {
+        self.inner.started.elapsed().as_micros() as u64
+    }
+
+    /// Amortized check for hot loops. Bumps the caller-local `counter` and
+    /// performs the real [`CancelToken::expired`] check only when it wraps
+    /// [`CancelToken::CHECK_INTERVAL`]; returns true when the token has
+    /// tripped.
+    #[inline]
+    pub fn checkpoint(&self, counter: &mut u32) -> bool {
+        *counter += 1;
+        if *counter < Self::CHECK_INTERVAL {
+            return false;
+        }
+        *counter = 0;
+        self.expired()
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl Eq for CancelToken {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_trips_every_clone() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.expired());
+        assert!(!clone.expired());
+        clone.cancel();
+        assert!(token.is_cancelled());
+        assert!(token.expired());
+    }
+
+    #[test]
+    fn deadline_in_the_past_is_expired_immediately() {
+        let token = CancelToken::after(Duration::ZERO);
+        assert!(token.expired());
+        assert!(!token.is_cancelled(), "no explicit cancel happened");
+        assert_eq!(token.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn far_future_deadline_does_not_trip() {
+        let token = CancelToken::after(Duration::from_secs(3600));
+        assert!(!token.expired());
+        assert!(token.remaining().unwrap() > Duration::from_secs(3599));
+        assert!(token.deadline().is_some());
+    }
+
+    #[test]
+    fn no_deadline_token_reports_none_remaining() {
+        let token = CancelToken::new();
+        assert_eq!(token.remaining(), None);
+        assert_eq!(token.deadline(), None);
+    }
+
+    #[test]
+    fn checkpoint_is_amortized() {
+        let token = CancelToken::new();
+        token.cancel();
+        let mut counter = 0u32;
+        // The first CHECK_INTERVAL - 1 calls skip the real check entirely.
+        for _ in 0..CancelToken::CHECK_INTERVAL - 1 {
+            assert!(!token.checkpoint(&mut counter));
+        }
+        // The wrapping call observes the trip.
+        assert!(token.checkpoint(&mut counter));
+        assert_eq!(counter, 0, "counter resets after the real check");
+    }
+
+    #[test]
+    fn equality_is_identity() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        let c = CancelToken::new();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn elapsed_micros_is_monotone() {
+        let token = CancelToken::new();
+        let first = token.elapsed_micros();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(token.elapsed_micros() >= first + 1000);
+    }
+}

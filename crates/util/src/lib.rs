@@ -13,14 +13,18 @@
 //!   serializer, shared by the bench documents (`repro --json`, the CI
 //!   bench gate) and the `bsc serve` line protocol;
 //! * [`histogram`] — a fixed-bucket latency histogram used by the query
-//!   engine's stats endpoint and the `repro` experiment harness.
+//!   engine's stats endpoint and the `repro` experiment harness;
+//! * [`cancel`] — a shared cooperative-cancellation token with optional
+//!   deadline, polled by every solver's hot loop (see `docs/robustness.md`).
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod histogram;
 pub mod json;
 pub mod rng;
 
+pub use cancel::CancelToken;
 pub use histogram::LatencyHistogram;
 pub use json::JsonValue;
 pub use rng::DetRng;

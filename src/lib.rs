@@ -105,7 +105,9 @@ pub mod prelude {
         problem::{KlStableParams, NormalizedParams, StableClusterSpec},
         sharded::ShardedSolver,
         snapshot::{GraphSnapshot, SnapshotCell},
-        solver::{AlgorithmKind, Solution, SolverOptions, SolverStats, StableClusterSolver},
+        solver::{
+            AlgorithmKind, CancelToken, Solution, SolverOptions, SolverStats, StableClusterSolver,
+        },
         streaming::OnlineStableClusters,
         synthetic::{ClusterGraphGenerator, SyntheticGraphParams},
         ta::TaStableClusters,
@@ -122,5 +124,6 @@ pub mod prelude {
         prune::{PruneConfig, PruneStats},
     };
     pub use bsc_service::engine::{EngineConfig, QueryEngine, QueryRequest, QueryResponse};
-    pub use bsc_storage::backend::{StorageBackend, StorageSpec};
+    pub use bsc_storage::backend::{FaultInner, StorageBackend, StorageSpec};
+    pub use bsc_storage::fault::FaultInjectingBackend;
 }
