@@ -1,0 +1,51 @@
+//! Fixture: solver hot-path loops without a reachable checkpoint.
+//! Linted as if it lived at `crates/core/src/bfs.rs` (a hot-path file).
+
+pub struct Token;
+impl Token {
+    pub fn checkpoint(&self, _tick: &mut u32) -> bool {
+        false
+    }
+}
+
+/// VIOLATION: a loop with no checkpoint reachable from its body.
+pub fn spin(n: u32) -> u32 {
+    let mut acc = 0;
+    for i in 0..n {
+        acc += i;
+    }
+    acc
+}
+
+/// OK: direct checkpoint in the loop body.
+pub fn spin_checkpointed(n: u32, token: &Token) -> u32 {
+    let mut acc = 0;
+    let mut tick = 0;
+    for i in 0..n {
+        if token.checkpoint(&mut tick) {
+            break;
+        }
+        acc += i;
+    }
+    acc
+}
+
+fn helper_with_checkpoint(token: &Token, tick: &mut u32) -> bool {
+    token.checkpoint(tick)
+}
+
+/// OK: checkpoint reachable through an in-file helper; the inner loop is
+/// covered by the checkpointed outer loop.
+pub fn spin_via_helper(n: u32, token: &Token) -> u32 {
+    let mut acc = 0;
+    let mut tick = 0;
+    for i in 0..n {
+        if helper_with_checkpoint(token, &mut tick) {
+            break;
+        }
+        for j in 0..i {
+            acc += j;
+        }
+    }
+    acc
+}

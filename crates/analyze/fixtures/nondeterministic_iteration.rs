@@ -1,0 +1,55 @@
+//! Fixture: HashMap/HashSet iteration in an output-feeding crate.
+//! Linted as if it lived at `crates/core/src/fixture.rs`.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Index {
+    by_keyword: HashMap<u64, Vec<u64>>,
+}
+
+impl Index {
+    /// VIOLATION: `for … in &map` with no adjacent sort.
+    pub fn dump(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (k, _) in &self.by_keyword {
+            out.push(*k);
+        }
+        out
+    }
+
+    /// VIOLATION: `.keys()` collected with no adjacent sort.
+    pub fn keyword_ids(&self) -> Vec<u64> {
+        self.by_keyword.keys().copied().collect()
+    }
+
+    /// OK: sorted within the 3-line window.
+    pub fn keyword_ids_sorted(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.by_keyword.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// VIOLATION: a local HashSet iterated without a sort.
+pub fn distinct(values: &[u64]) -> Vec<u64> {
+    let seen: HashSet<u64> = values.iter().copied().collect();
+    let mut out = Vec::new();
+    for v in seen.iter() {
+        out.push(*v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let mut m = HashMap::new();
+        m.insert(1u64, 2u64);
+        for (k, v) in &m {
+            assert_eq!(*k + 1, *v);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Fixture: timing values interpolated into an error Display impl.
+//! Linted as if it lived at `crates/core/src/fixture.rs`.
+
+use std::time::Instant;
+
+pub enum FixtureError {
+    Deadline { elapsed_micros: u64 },
+    Static,
+}
+
+impl std::fmt::Display for FixtureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            // VIOLATION: interpolating a timing value into error text.
+            FixtureError::Deadline { elapsed_micros } => {
+                write!(f, "deadline exceeded after {elapsed_micros}us")
+            }
+            // OK: static text; the value stays in the variant.
+            FixtureError::Static => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+pub struct OtherError;
+
+impl std::fmt::Display for OtherError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // VIOLATION: reading the clock while rendering an error.
+        let now = Instant::now();
+        let _ = now;
+        write!(f, "failed")
+    }
+}
+
+pub struct Timings {
+    pub elapsed_micros: u64,
+}
+
+impl std::fmt::Display for Timings {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // OK: not an error type — stats may render timings.
+        write!(f, "{}us", self.elapsed_micros)
+    }
+}

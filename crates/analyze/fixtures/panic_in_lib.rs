@@ -1,0 +1,43 @@
+//! Fixture: panic sources in non-test library code.
+//! Linted as if it lived at `crates/core/src/fixture.rs`.
+
+pub fn violations(values: &[u32], maybe: Option<u32>) -> u32 {
+    // VIOLATION: unwrap.
+    let first = maybe.unwrap();
+    // VIOLATION: expect with a message.
+    let second = maybe.expect("value required");
+    // VIOLATION: assert! guarding an indexing expression.
+    assert!(values[0] > 0, "first value must be positive");
+    if first > 100 {
+        // VIOLATION: explicit panic.
+        panic!("too big");
+    }
+    match second {
+        0 => first,
+        // VIOLATION: unreachable.
+        _ => unreachable!("only zero expected"),
+    }
+}
+
+pub fn fine(values: &[u32], maybe: Option<u32>) -> u32 {
+    // OK: unwrap_or is a distinct identifier, not a panic source.
+    let first = maybe.unwrap_or(0);
+    // OK: a method named expect taking a non-string argument (parser-style).
+    struct P;
+    impl P {
+        fn expect(&self, _b: u8) -> u32 {
+            0
+        }
+    }
+    let p = P;
+    first + p.expect(b'x') + values.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

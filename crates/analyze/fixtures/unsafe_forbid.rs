@@ -1,0 +1,6 @@
+//! Fixture: a crate root missing `#![forbid(unsafe_code)]`.
+//! Linted as if it were `crates/demo/src/lib.rs` (a crate root).
+
+pub fn answer() -> u32 {
+    42
+}

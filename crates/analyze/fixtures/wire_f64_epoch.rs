@@ -1,0 +1,33 @@
+//! Fixture: epochs/weights crossing the wire as JSON f64 numbers.
+//! Linted as if it lived at `crates/cluster/src/wire.rs`.
+
+pub enum JsonValue {
+    Number(f64),
+    Str(String),
+}
+
+impl JsonValue {
+    pub fn from(v: f64) -> JsonValue {
+        JsonValue::Number(v)
+    }
+}
+
+/// VIOLATION: epoch serialized through a JSON number.
+pub fn epoch_bad(epoch: u64) -> JsonValue {
+    JsonValue::Number(epoch as f64)
+}
+
+/// VIOLATION: weight serialized through JsonValue::from.
+pub fn weight_bad(weight: f64) -> JsonValue {
+    JsonValue::from(weight)
+}
+
+/// OK: the sanctioned 16-hex-digit bit-string form.
+pub fn weight_good(weight: f64) -> JsonValue {
+    JsonValue::Str(format!("{:016x}", weight.to_bits()))
+}
+
+/// OK: epoch as a 16-hex-digit string.
+pub fn epoch_good(epoch: u64) -> JsonValue {
+    JsonValue::Str(format!("{epoch:016x}"))
+}

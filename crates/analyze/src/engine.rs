@@ -1,0 +1,220 @@
+//! The workspace walker.
+//!
+//! [`run`] discovers the Cargo workspace rooted at a directory, lints every
+//! member's manifest and `src/` tree, and returns a sorted [`Report`]. Only
+//! `src/` trees are walked: `tests/`, `benches/` and `examples/` targets are
+//! free to `unwrap()` and iterate hash maps — they never feed Solutions or
+//! transcripts.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lints;
+use crate::report::{Finding, Report};
+use crate::source::{FileRole, SourceFile};
+
+/// One workspace package: the root package or a `members = […]` entry.
+struct Package {
+    /// Package name from `[package] name = "…"`.
+    name: String,
+    /// Directory holding its `Cargo.toml`, relative to the workspace root
+    /// (empty for the root package).
+    dir: PathBuf,
+}
+
+/// Walk the workspace rooted at `root` and lint everything. `root` must
+/// hold a `Cargo.toml` with a `[workspace]` section.
+pub fn run(root: &Path) -> Result<Report, String> {
+    let root_manifest_path = root.join("Cargo.toml");
+    let root_manifest = read(&root_manifest_path)?;
+    if !root_manifest.contains("[workspace]") {
+        return Err(format!(
+            "{} has no [workspace] section — pass the workspace root via --root",
+            root_manifest_path.display()
+        ));
+    }
+
+    let mut packages = Vec::new();
+    if let Some(name) = package_name(&root_manifest) {
+        packages.push(Package {
+            name,
+            dir: PathBuf::new(),
+        });
+    }
+    for member in members(&root_manifest) {
+        let manifest = read(&root.join(&member).join("Cargo.toml"))?;
+        let name = package_name(&manifest)
+            .ok_or_else(|| format!("{member}/Cargo.toml has no [package] name"))?;
+        packages.push(Package {
+            name,
+            dir: PathBuf::from(member),
+        });
+    }
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut files_scanned = 0usize;
+    let mut manifests_scanned = 0usize;
+
+    for package in &packages {
+        let manifest_rel = package.dir.join("Cargo.toml");
+        let manifest_text = read(&root.join(&manifest_rel))?;
+        findings.extend(lints::check_manifest(
+            &rel_str(&manifest_rel),
+            &manifest_text,
+        ));
+        manifests_scanned += 1;
+
+        let src = root.join(&package.dir).join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        for file_rel in rust_files(&src, &package.dir.join("src"))? {
+            let source = read(&root.join(&file_rel))?;
+            let rel = rel_str(&file_rel);
+            let file = SourceFile::new(rel.clone(), package.name.clone(), role_of(&rel), &source);
+            findings.extend(lints::check_file(&file, is_crate_root(&rel)));
+            files_scanned += 1;
+        }
+    }
+
+    findings.sort();
+    Ok(Report {
+        findings,
+        files_scanned,
+        manifests_scanned,
+    })
+}
+
+fn read(path: &Path) -> Result<String, String> {
+    fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Workspace-relative path with `/` separators, so findings and the JSON
+/// report are byte-identical across platforms.
+fn rel_str(path: &Path) -> String {
+    path.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Every `.rs` file under `dir`, as workspace-relative paths, sorted so the
+/// walk order (and therefore the report) is deterministic.
+fn rust_files(dir: &Path, rel: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    let mut entries: Vec<(String, bool)> = fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok())
+        .map(|entry| {
+            let is_dir = entry.file_type().map(|t| t.is_dir()).unwrap_or(false);
+            (entry.file_name().to_string_lossy().into_owned(), is_dir)
+        })
+        .collect();
+    entries.sort();
+    for (name, is_dir) in entries {
+        if is_dir {
+            files.extend(rust_files(&dir.join(&name), &rel.join(&name))?);
+        } else if name.ends_with(".rs") {
+            files.push(rel.join(&name));
+        }
+    }
+    Ok(files)
+}
+
+/// Binary targets (`src/main.rs`, `src/bin/**`) are exempt from the
+/// library-only lints; everything else under `src/` is library code.
+fn role_of(rel: &str) -> FileRole {
+    if rel.ends_with("/src/main.rs") || rel == "src/main.rs" || rel.contains("/src/bin/") {
+        FileRole::Bin
+    } else {
+        FileRole::Lib
+    }
+}
+
+/// Crate roots — where `#![forbid(unsafe_code)]` must live: `src/lib.rs`,
+/// `src/main.rs` and each file directly under `src/bin/`.
+fn is_crate_root(rel: &str) -> bool {
+    let lib_or_main = rel.ends_with("/src/lib.rs")
+        || rel.ends_with("/src/main.rs")
+        || rel == "src/lib.rs"
+        || rel == "src/main.rs";
+    let bin = rel
+        .rsplit_once("/src/bin/")
+        .is_some_and(|(_, rest)| !rest.contains('/'));
+    lib_or_main || bin
+}
+
+/// The `members = […]` list from the root manifest. A line-level reader is
+/// ample: this workspace writes one quoted member per line.
+fn members(manifest: &str) -> Vec<String> {
+    let Some(start) = manifest.find("members") else {
+        return Vec::new();
+    };
+    let Some(open) = manifest[start..].find('[') else {
+        return Vec::new();
+    };
+    let after = &manifest[start + open + 1..];
+    let Some(close) = after.find(']') else {
+        return Vec::new();
+    };
+    after[..close]
+        .split(',')
+        .filter_map(|entry| {
+            let entry = entry.trim().trim_matches('"');
+            (!entry.is_empty()).then(|| entry.to_string())
+        })
+        .collect()
+}
+
+/// The `[package] name = "…"` of a manifest, if it declares a package.
+fn package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if !in_package {
+            continue;
+        }
+        if let Some((key, value)) = line.split_once('=') {
+            if key.trim() == "name" {
+                return Some(value.trim().trim_matches('"').to_string());
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn members_parse_from_the_root_manifest() {
+        let manifest = "[workspace]\nmembers = [\n    \"crates/util\",\n    \"crates/core\",\n]\n";
+        assert_eq!(members(manifest), vec!["crates/util", "crates/core"]);
+    }
+
+    #[test]
+    fn package_name_reads_only_the_package_section() {
+        let manifest =
+            "[workspace]\n[workspace.package]\nname = \"wrong\"\n[package]\nname = \"right\"\n";
+        assert_eq!(package_name(manifest), Some("right".to_string()));
+    }
+
+    #[test]
+    fn roles_and_roots_are_classified_by_path() {
+        assert_eq!(role_of("crates/core/src/bfs.rs"), FileRole::Lib);
+        assert_eq!(role_of("crates/service/src/bin/bsc.rs"), FileRole::Bin);
+        assert_eq!(role_of("crates/analyze/src/main.rs"), FileRole::Bin);
+        assert_eq!(role_of("src/lib.rs"), FileRole::Lib);
+        assert!(is_crate_root("src/lib.rs"));
+        assert!(is_crate_root("crates/core/src/lib.rs"));
+        assert!(is_crate_root("crates/analyze/src/main.rs"));
+        assert!(is_crate_root("crates/service/src/bin/bsc.rs"));
+        assert!(!is_crate_root("crates/core/src/bfs.rs"));
+        assert!(!is_crate_root("crates/service/src/bin/helpers/util.rs"));
+    }
+}

@@ -1,0 +1,568 @@
+//! A hand-rolled Rust lexer, just deep enough for line/token-level lints.
+//!
+//! The lint engine must never fire inside a string literal or a comment, and
+//! must never miss a call because the file uses raw strings or nested block
+//! comments around it. That requires a real tokenizer — but not a parser:
+//! the lints match token *sequences* (`.` `unwrap` `(` `)`, `HashMap` `::`,
+//! …) and balance brackets to find bodies, so the lexer only has to get the
+//! token boundaries right. It handles everything that trips naive regex
+//! scanners over real Rust:
+//!
+//! - line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`), collected separately so `// bsc:allow(...)` directives
+//!   can be read from them;
+//! - cooked strings with escapes, raw strings `r#"..."#` with any number of
+//!   `#`s, byte strings and raw byte strings;
+//! - char literals vs lifetimes (`'a'` is a char, `'a` in `&'a str` is a
+//!   lifetime, `'static` too);
+//! - a shebang line (`#!/usr/bin/env ...`) without swallowing the inner
+//!   attribute syntax `#![...]`;
+//! - numbers with underscores, type suffixes and exponents, without eating
+//!   the `..` of a range expression.
+//!
+//! Tokens carry 1-based line numbers so findings point at the source line.
+
+/// What kind of token a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `unwrap`, `HashMap`, …).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (without the quote in `text`).
+    Lifetime,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Any string literal: cooked, raw, byte or raw byte. `text` holds the
+    /// *contents* (escapes unprocessed), not the delimiters.
+    Str,
+    /// A numeric literal.
+    Number,
+    /// A single punctuation character (`.`, `!`, `{`, …). Multi-character
+    /// operators arrive as consecutive tokens; the lints never need them
+    /// joined.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token's kind.
+    pub kind: TokenKind,
+    /// The token's text (see [`TokenKind`] for what exactly is carried).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Is this a punctuation token with exactly this character?
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+/// A comment, collected apart from the token stream so `bsc:allow`
+/// directives can be parsed without comments cluttering lint matching.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` delimiters.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (differs for block comments).
+    pub end_line: u32,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenize Rust source. The lexer is total: malformed input (an
+/// unterminated string, a stray byte) never panics — the remainder is
+/// consumed as best as possible, which is the right trade-off for a linter
+/// that must keep scanning the rest of the workspace.
+pub fn lex(source: &str) -> Lexed {
+    Lexer {
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let byte = self.peek(0)?;
+        self.pos += 1;
+        if byte == b'\n' {
+            self.line += 1;
+        }
+        Some(byte)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: impl Into<String>, line: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text: text.into(),
+            line,
+        });
+    }
+
+    fn run(mut self) -> Lexed {
+        // A shebang is only a shebang when `#!` is not the start of an inner
+        // attribute `#![...]`.
+        if self.bytes.starts_with(b"#!") && self.peek(2) != Some(b'[') {
+            while let Some(byte) = self.bump() {
+                if byte == b'\n' {
+                    break;
+                }
+            }
+        }
+        while let Some(byte) = self.peek(0) {
+            match byte {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' if self.raw_string_follows(1) => self.raw_string(1),
+                b'b' if self.peek(1) == Some(b'"') => self.cooked_string(1),
+                b'b' if self.peek(1) == Some(b'\'') => self.char_literal(1),
+                b'b' if self.peek(1) == Some(b'r') && self.raw_string_follows(2) => {
+                    self.raw_string(2)
+                }
+                b'"' => self.cooked_string(0),
+                b'\'' => self.quote(),
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.ident(),
+                b'0'..=b'9' => self.number(),
+                _ => {
+                    let line = self.line;
+                    let ch = self.bump().unwrap_or(b'?');
+                    // Non-ASCII bytes can only appear here in malformed
+                    // input (identifiers and literals were handled above);
+                    // represent each as a replacement punct.
+                    let text = if ch.is_ascii() {
+                        (ch as char).to_string()
+                    } else {
+                        '\u{fffd}'.to_string()
+                    };
+                    self.push(TokenKind::Punct, text, line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.pos += 2;
+        let start = self.pos;
+        while let Some(byte) = self.peek(0) {
+            if byte == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.out.comments.push(Comment {
+            text,
+            line,
+            end_line: line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.pos += 2;
+        let start = self.pos;
+        let mut depth = 1usize;
+        let mut end = self.bytes.len();
+        while let Some(byte) = self.peek(0) {
+            if byte == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if byte == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                if depth == 0 {
+                    end = self.pos;
+                    self.pos += 2;
+                    break;
+                }
+                self.pos += 2;
+            } else {
+                end = self.bytes.len().min(self.pos + 1);
+                self.bump();
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..end.max(start)]).into_owned();
+        self.out.comments.push(Comment {
+            text,
+            line,
+            end_line: self.line,
+        });
+    }
+
+    /// Does a raw-string opener (`#*"`) start at `self.pos + offset`?
+    fn raw_string_follows(&self, offset: usize) -> bool {
+        let mut ahead = offset;
+        while self.peek(ahead) == Some(b'#') {
+            ahead += 1;
+        }
+        self.peek(ahead) == Some(b'"')
+    }
+
+    /// Lex `r"..."` / `r#"..."#` / `br##"..."##` starting with `prefix_len`
+    /// bytes of `r` / `br` prefix.
+    fn raw_string(&mut self, prefix_len: usize) {
+        let line = self.line;
+        self.pos += prefix_len;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.bump(); // opening quote
+        let start = self.pos;
+        let mut end = self.bytes.len();
+        while let Some(byte) = self.peek(0) {
+            if byte == b'"' {
+                let mut matched = 0usize;
+                while matched < hashes && self.peek(1 + matched) == Some(b'#') {
+                    matched += 1;
+                }
+                if matched == hashes {
+                    end = self.pos;
+                    self.bump();
+                    self.pos += hashes;
+                    break;
+                }
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..end.max(start)]).into_owned();
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// Lex `"..."` or `b"..."` (with `prefix_len` bytes of `b` prefix).
+    fn cooked_string(&mut self, prefix_len: usize) {
+        let line = self.line;
+        self.pos += prefix_len;
+        self.bump(); // opening quote
+        let start = self.pos;
+        let mut end = self.bytes.len();
+        while let Some(byte) = self.peek(0) {
+            match byte {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'"' => {
+                    end = self.pos;
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..end.max(start)]).into_owned();
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// Lex `b'x'` style byte literals (with `prefix_len` bytes of prefix),
+    /// or plain char literals when called with the quote at `self.pos`.
+    fn char_literal(&mut self, prefix_len: usize) {
+        let line = self.line;
+        self.pos += prefix_len;
+        self.bump(); // opening quote
+        let start = self.pos;
+        let mut end = self.bytes.len();
+        while let Some(byte) = self.peek(0) {
+            match byte {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'\'' => {
+                    end = self.pos;
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..end.max(start)]).into_owned();
+        self.push(TokenKind::Char, text, line);
+    }
+
+    /// Disambiguate a `'`: lifetime (`'a`, `'static`, `'_`) vs char literal
+    /// (`'a'`, `'\n'`, `'\u{1F600}'`). A quote followed by an identifier
+    /// character is a lifetime unless the full identifier run is followed by
+    /// a closing quote.
+    fn quote(&mut self) {
+        let next = self.peek(1);
+        let is_ident_start =
+            matches!(next, Some(b'_' | b'a'..=b'z' | b'A'..=b'Z')) && self.peek(2) != Some(b'\'');
+        if is_ident_start {
+            let line = self.line;
+            self.pos += 1;
+            let start = self.pos;
+            while matches!(
+                self.peek(0),
+                Some(b'_' | b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9')
+            ) {
+                self.pos += 1;
+            }
+            let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+            self.push(TokenKind::Lifetime, text, line);
+        } else {
+            self.char_literal(0);
+        }
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while matches!(
+            self.peek(0),
+            Some(b'_' | b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        self.pos += 1;
+        while let Some(byte) = self.peek(0) {
+            match byte {
+                b'0'..=b'9' | b'_' | b'a'..=b'd' | b'f'..=b'z' | b'A'..=b'D' | b'F'..=b'Z' => {
+                    self.pos += 1;
+                }
+                // `e`/`E` may start an exponent whose sign must be consumed
+                // too (`1e-5`), but only when a digit follows the sign.
+                b'e' | b'E' => {
+                    self.pos += 1;
+                    if matches!(self.peek(0), Some(b'+' | b'-'))
+                        && matches!(self.peek(1), Some(b'0'..=b'9'))
+                    {
+                        self.pos += 1;
+                    }
+                }
+                // A `.` belongs to the number only when a digit follows:
+                // `1.5` yes, `1..10` and `1.max(2)` no.
+                b'.' if matches!(self.peek(1), Some(b'0'..=b'9')) => {
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push(TokenKind::Number, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<(TokenKind, String)> {
+        lex(source)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_numbers() {
+        let toks = kinds("let x = a.unwrap();");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["let", "x", "=", "a", ".", "unwrap", "(", ")", ";"]);
+        assert_eq!(toks[0].0, TokenKind::Ident);
+        assert_eq!(toks[2].0, TokenKind::Punct);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let texts: Vec<String> = kinds("for i in 0..10 { 1.5e-3; 2.max(3); 0xFF_u32 }")
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
+        assert!(texts.contains(&"0".to_string()));
+        assert!(texts.contains(&"10".to_string()));
+        assert!(texts.contains(&"1.5e-3".to_string()));
+        assert!(texts.contains(&"max".to_string()));
+        assert!(texts.contains(&"0xFF_u32".to_string()));
+        assert_eq!(texts.iter().filter(|t| *t == ".").count(), 3, "{texts:?}");
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_the_token_stream() {
+        // None of the panic-looking text inside literals may surface as
+        // identifier tokens.
+        let lexed = lex(r#"let s = "x.unwrap() panic!"; let t = 'p';"#);
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("panic")));
+        let strings: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        assert_eq!(strings.len(), 1);
+        assert_eq!(strings[0].text, "x.unwrap() panic!");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let lexed = lex(r###"let s = r#"contains "quotes" and \ backslash"#; done"###);
+        let strings: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        assert_eq!(strings.len(), 1);
+        assert_eq!(strings[0].text, r#"contains "quotes" and \ backslash"#);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("done")));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let lexed = lex("let a = b\"bytes\"; let b = br#\"raw \" bytes\"#; let c = b'\\n'; end");
+        let strings: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(strings, ["bytes", "raw \" bytes"]);
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokenKind::Char));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("end")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("before /* outer /* inner */ still outer */ after");
+        let texts: Vec<&str> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["before", "after"]);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn block_comment_tracks_end_line() {
+        let lexed = lex("a /* one\ntwo\nthree */ b");
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[0].end_line, 3);
+        assert_eq!(lexed.tokens[1].line, 3);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str, c: char) { let y = 'x'; let z = '\\n'; let s: &'static str = \"\"; }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a", "static"]);
+        let chars: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(chars, ["x", "\\n"]);
+    }
+
+    #[test]
+    fn unicode_char_literal_is_not_a_lifetime() {
+        let lexed = lex("let c = '\\u{1F600}'; let l: &'_ str = s;");
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Char)
+                .count(),
+            1
+        );
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn shebang_skipped_inner_attr_kept() {
+        let lexed = lex("#!/usr/bin/env run-cargo-script\nfn main() {}\n");
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("fn")));
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("env")));
+
+        let attr = lex("#![forbid(unsafe_code)]\nfn main() {}\n");
+        assert!(attr.tokens.iter().any(|t| t.is_ident("forbid")));
+        assert!(attr.tokens.iter().any(|t| t.is_ident("unsafe_code")));
+    }
+
+    #[test]
+    fn comments_carry_allow_text_and_lines() {
+        let lexed = lex("// bsc:allow(panic-in-lib) -- reason\nlet x = 1;\n");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("bsc:allow(panic-in-lib)"));
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.tokens[0].line, 2);
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_accurate() {
+        let lexed = lex("a\n\nb\n  c");
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 3, 4]);
+    }
+
+    #[test]
+    fn malformed_input_never_panics() {
+        for bad in [
+            "\"unterminated",
+            "r#\"unterminated",
+            "/* unterminated",
+            "'",
+            "b'",
+            "let \u{fffd} = 1;",
+            "'''",
+        ] {
+            let _ = lex(bad);
+        }
+    }
+}

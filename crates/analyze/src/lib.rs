@@ -1,0 +1,29 @@
+//! `bsc-analyze` — a zero-dependency lint engine for this workspace.
+//!
+//! The workspace's core promise is byte-identical output: the same corpus
+//! and query yield the same Solution, the same transcript, the same bench
+//! report, on every run and every machine. Most regressions against that
+//! promise are *textually visible* long before they flake in CI — a
+//! `HashMap` iterated into a Solution, an `unwrap()` on a storage error, a
+//! loop a cancelled solve cannot escape. This crate finds them at the
+//! source level with a hand-rolled Rust lexer and token-sequence lints, so
+//! the check needs no rustc internals, no external parser and runs over the
+//! whole workspace in milliseconds.
+//!
+//! Pipeline: [`lexer`] turns a file into tokens and comments (raw strings,
+//! nested block comments, lifetime-vs-char disambiguation); [`source`]
+//! derives per-file context (test regions, `bsc:allow` directives, bracket
+//! matching); [`lints`] implements the passes; [`engine`] walks the
+//! workspace; [`report`] renders findings through the workspace's canonical
+//! JSON serializer.
+//!
+//! See `docs/analysis.md` for the lint catalogue and the
+//! `// bsc:allow(<lint>) -- <justification>` escape hatch.
+
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod lexer;
+pub mod lints;
+pub mod report;
+pub mod source;

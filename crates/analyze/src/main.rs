@@ -1,0 +1,116 @@
+//! CLI for the workspace lint engine.
+//!
+//! ```text
+//! bsc-analyze --workspace [--root DIR] [--json PATH]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error — so CI can
+//! gate on the run directly. `--json -` writes the machine-readable report
+//! to stdout; `--json PATH` writes it to a file (the CI artifact).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bsc_analyze::engine;
+
+const USAGE: &str = "usage: bsc-analyze --workspace [--root DIR] [--json PATH|-]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workspace = false;
+    let mut root: Option<PathBuf> = None;
+    let mut json: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--json" => match it.next() {
+                Some(path) => json = Some(path.clone()),
+                None => return usage_error("--json needs a path (or '-' for stdout)"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument '{other}'")),
+        }
+    }
+    if !workspace {
+        return usage_error("--workspace is required");
+    }
+
+    let root = match root {
+        Some(dir) => dir,
+        None => match find_workspace_root() {
+            Some(dir) => dir,
+            None => {
+                eprintln!("bsc-analyze: no workspace root found above the current directory");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let report = match engine::run(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("bsc-analyze: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    println!(
+        "bsc-analyze: {} finding(s) across {} source file(s) and {} manifest(s)",
+        report.findings.len(),
+        report.files_scanned,
+        report.manifests_scanned
+    );
+
+    if let Some(target) = json {
+        let rendered = report.to_json();
+        if target == "-" {
+            println!("{rendered}");
+        } else if let Err(err) = std::fs::write(&target, rendered + "\n") {
+            eprintln!("bsc-analyze: writing {target}: {err}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("bsc-analyze: {message}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Ascend from the current directory to the first `Cargo.toml` declaring a
+/// `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! Per-file lint context: roles, allow directives and test regions.
+//!
+//! Lints operate on a [`SourceFile`], which pairs the lexed token stream
+//! with everything the engine derived from it:
+//!
+//! - the file's **role** (library code vs binary), because most lints only
+//!   apply to library code;
+//! - **allow directives** — `// bsc:allow(<lint>)`, optionally followed by
+//!   ` -- <justification>` — a trailing directive silences a lint on its
+//!   own line, a standalone comment silences the line directly below it;
+//! - **test regions** — spans covered by a `#[cfg(test)]` attribute (test
+//!   modules, test-only items), which every lint skips.
+
+use std::collections::HashMap;
+
+use crate::lexer::{self, Token, TokenKind};
+use crate::report::Lint;
+
+/// What kind of target a source file belongs to. The engine only walks
+/// `src/` trees, so tests, benches and examples never reach a lint; binary
+/// roots still do (for the `unsafe-forbid` check) but are exempt from the
+/// library-only lints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileRole {
+    /// Part of a library target (`src/**`, excluding `src/main.rs` and
+    /// `src/bin/**`).
+    Lib,
+    /// A binary root or module (`src/main.rs`, `src/bin/**`).
+    Bin,
+}
+
+/// A lexed source file plus the engine-derived context lints need.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, with `/` separators.
+    pub path: String,
+    /// The crate (package) name the file belongs to.
+    pub crate_name: String,
+    /// Library or binary code.
+    pub role: FileRole,
+    /// The token stream (comments stripped; see `allows`).
+    pub tokens: Vec<Token>,
+    /// For each token, whether it lies inside a `#[cfg(test)]` region.
+    pub in_test: Vec<bool>,
+    /// Line → lints allowed on that line (and the line below it).
+    allows: HashMap<u32, Vec<Lint>>,
+}
+
+impl SourceFile {
+    /// Lex `source` and derive the lint context.
+    pub fn new(path: String, crate_name: String, role: FileRole, source: &str) -> SourceFile {
+        let lexed = lexer::lex(source);
+        let token_lines: std::collections::HashSet<u32> =
+            lexed.tokens.iter().map(|t| t.line).collect();
+        let mut allows: HashMap<u32, Vec<Lint>> = HashMap::new();
+        for comment in &lexed.comments {
+            let lints = parse_allows(&comment.text);
+            if lints.is_empty() {
+                continue;
+            }
+            // A trailing directive (code before it on the same line) covers
+            // exactly that line; a standalone comment covers the line
+            // directly below it instead.
+            let covered = if token_lines.contains(&comment.line) {
+                comment.line
+            } else {
+                comment.end_line + 1
+            };
+            for lint in lints {
+                allows.entry(covered).or_default().push(lint);
+            }
+        }
+        let in_test = mark_test_regions(&lexed.tokens);
+        SourceFile {
+            path,
+            crate_name,
+            role,
+            tokens: lexed.tokens,
+            in_test,
+            allows,
+        }
+    }
+
+    /// Is `lint` allowed at `line`? A trailing directive covers its own
+    /// line; a directive on its own line covers the line directly below it.
+    pub fn allowed(&self, lint: Lint, line: u32) -> bool {
+        self.allows
+            .get(&line)
+            .is_some_and(|lints| lints.contains(&lint))
+    }
+
+    /// Index of the matching close bracket for the open bracket at `open`
+    /// (`{`/`}`, `(`/`)`, `[`/`]` all balanced together). `None` when the
+    /// stream ends first.
+    pub fn matching_close(&self, open: usize) -> Option<usize> {
+        let mut depth = 0usize;
+        for (i, token) in self.tokens.iter().enumerate().skip(open) {
+            if token.kind != TokenKind::Punct {
+                continue;
+            }
+            match token.text.as_bytes().first() {
+                Some(b'{' | b'(' | b'[') => depth += 1,
+                Some(b'}' | b')' | b']') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return Some(i);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Index of the first token with this exact punct at bracket depth 0,
+    /// scanning `range` (used to find a body's `{` past a loop/impl header).
+    pub fn find_body_open(&self, start: usize) -> Option<usize> {
+        let mut depth = 0usize;
+        for (i, token) in self.tokens.iter().enumerate().skip(start) {
+            if token.kind != TokenKind::Punct {
+                continue;
+            }
+            match token.text.as_bytes().first() {
+                Some(b'{') if depth == 0 => return Some(i),
+                Some(b'(' | b'[') => depth += 1,
+                Some(b')' | b']') => depth = depth.saturating_sub(1),
+                // A `;` at depth 0 before any `{` means there is no body
+                // (e.g. a trait method signature).
+                Some(b';') if depth == 0 => return None,
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+/// Parse every `bsc:allow(<lint>)` directive out of a comment's text.
+/// Unknown lint names are ignored (they fail loudly elsewhere: an allow
+/// that silences nothing leaves the finding in place).
+fn parse_allows(comment: &str) -> Vec<Lint> {
+    let mut allows = Vec::new();
+    let mut rest = comment;
+    while let Some(at) = rest.find("bsc:allow(") {
+        rest = &rest[at + "bsc:allow(".len()..];
+        if let Some(end) = rest.find(')') {
+            for name in rest[..end].split(',') {
+                if let Some(lint) = Lint::parse(name.trim()) {
+                    allows.push(lint);
+                }
+            }
+            rest = &rest[end + 1..];
+        } else {
+            break;
+        }
+    }
+    allows
+}
+
+/// Mark every token covered by a `#[cfg(test)]` attribute: the annotated
+/// item — a `mod tests { … }` block, a test-only `use` or fn — spans from
+/// the attribute to the end of the item (matching brace or `;`).
+fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if let Some(after_attr) = cfg_test_attr_end(tokens, i) {
+            let mut end = after_attr;
+            // Skip any further attributes on the same item.
+            while end < tokens.len() && tokens[end].is_punct('#') {
+                if let Some(close) = attr_end(tokens, end) {
+                    end = close;
+                } else {
+                    break;
+                }
+            }
+            // Consume the item: everything up to the first top-level `;`
+            // or through the first top-level `{ … }` block.
+            let mut depth = 0usize;
+            while end < tokens.len() {
+                let t = &tokens[end];
+                if t.kind == TokenKind::Punct {
+                    match t.text.as_bytes().first() {
+                        Some(b'{' | b'(' | b'[') => depth += 1,
+                        Some(b'}' | b')' | b']') => {
+                            depth = depth.saturating_sub(1);
+                            if depth == 0 && t.text.starts_with('}') {
+                                end += 1;
+                                break;
+                            }
+                        }
+                        Some(b';') if depth == 0 => {
+                            end += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                end += 1;
+            }
+            for flag in in_test.iter_mut().take(end.min(tokens.len())).skip(i) {
+                *flag = true;
+            }
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    in_test
+}
+
+/// If tokens at `i` start a `#[cfg(test)]`-style attribute (including
+/// `#[cfg(all(test, …))]`), return the index one past its closing `]`.
+fn cfg_test_attr_end(tokens: &[Token], i: usize) -> Option<usize> {
+    if !(tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+        return None;
+    }
+    if !tokens.get(i + 2).is_some_and(|t| t.is_ident("cfg")) {
+        return None;
+    }
+    let close = attr_end(tokens, i)?;
+    let mentions_test = tokens[i..close].iter().any(|t| t.is_ident("test"));
+    mentions_test.then_some(close)
+}
+
+/// Index one past the `]` closing the attribute starting at `i` (`#` `[`).
+fn attr_end(tokens: &[Token], i: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, token) in tokens.iter().enumerate().skip(i + 1) {
+        if token.kind != TokenKind::Punct {
+            continue;
+        }
+        match token.text.as_bytes().first() {
+            Some(b'[' | b'(' | b'{') => depth += 1,
+            Some(b']' | b')' | b'}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 && token.text.starts_with(']') {
+                    return Some(j + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(source: &str) -> SourceFile {
+        SourceFile::new(
+            "crates/demo/src/lib.rs".to_string(),
+            "bsc-demo".to_string(),
+            FileRole::Lib,
+            source,
+        )
+    }
+
+    #[test]
+    fn allow_covers_own_line_and_next() {
+        let f = file("// bsc:allow(panic-in-lib) -- invariant\nx.unwrap();\ny.unwrap(); // bsc:allow(panic-in-lib)\nz.unwrap();\n");
+        assert!(!f.allowed(Lint::PanicInLib, 1), "comment line has no code");
+        assert!(f.allowed(Lint::PanicInLib, 2));
+        assert!(f.allowed(Lint::PanicInLib, 3));
+        assert!(!f.allowed(Lint::PanicInLib, 4));
+        assert!(!f.allowed(Lint::WireF64Epoch, 2), "other lints unaffected");
+    }
+
+    #[test]
+    fn allow_parses_multiple_lints_and_ignores_unknown() {
+        let f = file("// bsc:allow(panic-in-lib, nondeterministic-iteration) bsc:allow(wire-f64-epoch) bsc:allow(bogus)\ncode();\n");
+        assert!(f.allowed(Lint::PanicInLib, 2));
+        assert!(f.allowed(Lint::NondeterministicIteration, 2));
+        assert!(f.allowed(Lint::WireF64Epoch, 2));
+    }
+
+    #[test]
+    fn allow_inside_a_string_is_not_a_directive() {
+        let f = file("let s = \"bsc:allow(panic-in-lib)\";\nx.unwrap();\n");
+        assert!(!f.allowed(Lint::PanicInLib, 2));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let f = file("fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n");
+        let unwrap_idx = f
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("unwrap"))
+            .expect("unwrap token");
+        assert!(f.in_test[unwrap_idx]);
+        let lib_idx = f.tokens.iter().position(|t| t.is_ident("lib")).unwrap();
+        let after_idx = f.tokens.iter().position(|t| t.is_ident("after")).unwrap();
+        assert!(!f.in_test[lib_idx]);
+        assert!(!f.in_test[after_idx], "region ends at the mod's brace");
+    }
+
+    #[test]
+    fn cfg_test_on_a_use_covers_one_statement() {
+        let f = file("#[cfg(test)]\nuse std::collections::HashMap;\nfn real() {}\n");
+        let use_idx = f.tokens.iter().position(|t| t.is_ident("use")).unwrap();
+        let real_idx = f.tokens.iter().position(|t| t.is_ident("real")).unwrap();
+        assert!(f.in_test[use_idx]);
+        assert!(!f.in_test[real_idx]);
+    }
+
+    #[test]
+    fn cfg_all_test_counts_as_test() {
+        let f = file("#[cfg(all(test, unix))]\nmod tests { fn t() {} }\nfn live() {}\n");
+        let t_idx = f.tokens.iter().position(|t| t.is_ident("t")).unwrap();
+        assert!(f.in_test[t_idx]);
+    }
+
+    #[test]
+    fn cfg_not_test_does_not_match_without_test_token() {
+        let f = file("#[cfg(unix)]\nfn unix_only() {}\n");
+        let idx = f
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("unix_only"))
+            .unwrap();
+        assert!(!f.in_test[idx]);
+    }
+
+    #[test]
+    fn brace_matching_and_body_discovery() {
+        let f = file("while let Some(x) = stack.pop() { body(); }\n");
+        let while_idx = f.tokens.iter().position(|t| t.is_ident("while")).unwrap();
+        let open = f.find_body_open(while_idx).expect("body open brace");
+        assert!(f.tokens[open].is_punct('{'));
+        let close = f.matching_close(open).expect("matching brace");
+        assert!(f.tokens[close].is_punct('}'));
+        let body: Vec<&str> = f.tokens[open..close]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(body.contains(&"body"));
+    }
+
+    #[test]
+    fn trait_method_signature_has_no_body() {
+        let f = file("fn keys(&self) -> Vec<Vec<u8>>;\nfn with_body() { }\n");
+        let keys_idx = f.tokens.iter().position(|t| t.is_ident("keys")).unwrap();
+        assert_eq!(f.find_body_open(keys_idx), None);
+    }
+}

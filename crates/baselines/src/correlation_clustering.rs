@@ -98,7 +98,9 @@ impl SignedGraph {
         for cluster in clusters {
             for i in 0..cluster.len() {
                 for j in (i + 1)..cluster.len() {
+                    // bsc:allow(panic-in-lib) -- cluster members are drawn from self.vertices by construction
                     let a = self.vertices.iter().position(|&k| k == cluster[i]).unwrap() as u32;
+                    // bsc:allow(panic-in-lib) -- cluster members are drawn from self.vertices by construction
                     let b = self.vertices.iter().position(|&k| k == cluster[j]).unwrap() as u32;
                     let key = (a.min(b), a.max(b));
                     if !positive_set.contains(&key) {

@@ -87,6 +87,7 @@ impl StableClusterSolver for ExhaustiveSolver {
 
 /// The exact top-k paths of length exactly `l`, by descending weight.
 pub fn exhaustive_top_k(graph: &ClusterGraph, k: usize, l: u32) -> Vec<ClusterPath> {
+    // bsc:allow(panic-in-lib) -- with cancel = None the only error source (deadline) cannot fire
     exhaustive_top_k_cancellable(graph, k, l, None).expect("infallible without a cancel token")
 }
 
@@ -124,7 +125,7 @@ pub fn exhaustive_top_k_cancellable(
 /// The exact top-k paths of length at least `l_min`, by descending stability.
 pub fn exhaustive_normalized_top_k(graph: &ClusterGraph, k: usize, l_min: u32) -> Vec<ClusterPath> {
     exhaustive_normalized_top_k_cancellable(graph, k, l_min, None)
-        .expect("infallible without a cancel token")
+        .expect("infallible without a cancel token") // bsc:allow(panic-in-lib) -- with cancel = None the only error source (deadline) cannot fire
 }
 
 /// [`exhaustive_normalized_top_k`] with an optional cancellation token,
@@ -182,7 +183,7 @@ fn extend(
             return Err(deadline_error(token));
         }
     }
-    let last = *nodes.last().expect("non-empty");
+    let last = *nodes.last().expect("non-empty"); // bsc:allow(panic-in-lib) -- recursion seeds every walk with a start node
     let first = nodes[0];
     if nodes.len() > 1 {
         let path = ClusterPath::new(nodes.clone(), weight);

@@ -22,6 +22,7 @@
 //! graphs: the ground-truth oracle against which the BFS/DFS/TA solvers are
 //! validated in the integration tests.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod correlation_clustering;

@@ -35,6 +35,8 @@
 //! compared. The gate resolves both counts from the baseline's table titles
 //! (`(shards=N)`, `(dist_workers=N)`) the same way.
 
+#![forbid(unsafe_code)]
+
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use bsc_bench::experiments::{self, Scale};

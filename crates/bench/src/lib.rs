@@ -9,6 +9,7 @@
 //! used by default and by `cargo bench`) and [`Scale::Paper`] (the paper's
 //! parameter ranges where feasible on a single machine).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

@@ -1,6 +1,11 @@
-//! Plain-text tables for experiment output, plus a hand-rolled JSON
-//! rendering (the workspace is zero-dependency) so tooling can track the
-//! performance trajectory across PRs (`repro ... --json <path>`).
+//! Plain-text tables for experiment output, plus a JSON rendering so
+//! tooling can track the performance trajectory across PRs
+//! (`repro ... --json <path>`). JSON goes through the workspace's one
+//! canonical serializer, [`bsc_util::json::JsonValue::render`] (sorted
+//! keys, compact) — the same one `bsc-analyze --json` and the serve wire
+//! protocol use — so every machine-readable artifact is byte-diffable.
+
+use bsc_util::json::JsonValue;
 
 /// A named table of rows, rendered with aligned columns.
 #[derive(Debug, Clone)]
@@ -47,25 +52,34 @@ impl Table {
         self.rows.get(row)?.get(col).map(String::as_str)
     }
 
-    /// Render as a JSON object (`{"title", "headers", "rows", "notes"}`).
-    pub fn to_json(&self) -> String {
-        let mut out = String::new();
-        out.push_str("{\"title\":");
-        out.push_str(&json_string(&self.title));
-        out.push_str(",\"headers\":");
-        out.push_str(&json_string_array(&self.headers));
-        out.push_str(",\"rows\":[");
-        for (i, row) in self.rows.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&json_string_array(row));
-        }
-        out.push_str("],\"notes\":");
-        out.push_str(&json_string_array(&self.notes));
-        out.push('}');
-        out
+    /// The table as a [`JsonValue`] object
+    /// (`{"headers", "notes", "rows", "title"}`).
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::object([
+            ("title".to_string(), JsonValue::String(self.title.clone())),
+            ("headers".to_string(), string_array(&self.headers)),
+            (
+                "rows".to_string(),
+                JsonValue::Array(self.rows.iter().map(|row| string_array(row)).collect()),
+            ),
+            ("notes".to_string(), string_array(&self.notes)),
+        ])
     }
+
+    /// Render as canonical JSON (sorted keys, compact) via the shared
+    /// [`JsonValue::render`] serializer.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+}
+
+fn string_array(items: &[String]) -> JsonValue {
+    JsonValue::Array(
+        items
+            .iter()
+            .map(|item| JsonValue::String(item.clone()))
+            .collect(),
+    )
 }
 
 /// Render a whole experiment run — scale, requested targets and every table
@@ -84,26 +98,29 @@ pub fn tables_to_json_with_error(
     tables: &[Table],
     error: Option<&str>,
 ) -> String {
-    let mut out = String::new();
-    out.push_str("{\n  \"scale\": ");
-    out.push_str(&json_string(scale));
-    out.push_str(",\n  \"targets\": ");
-    out.push_str(&json_string_array(
-        &targets.iter().map(|t| t.to_string()).collect::<Vec<_>>(),
-    ));
+    let mut pairs = vec![
+        ("scale".to_string(), JsonValue::String(scale.to_string())),
+        (
+            "targets".to_string(),
+            JsonValue::Array(
+                targets
+                    .iter()
+                    .map(|t| JsonValue::String(t.to_string()))
+                    .collect(),
+            ),
+        ),
+        (
+            "tables".to_string(),
+            JsonValue::Array(tables.iter().map(Table::to_json_value).collect()),
+        ),
+    ];
     if let Some(error) = error {
-        out.push_str(",\n  \"error\": ");
-        out.push_str(&json_string(error));
+        pairs.push(("error".to_string(), JsonValue::String(error.to_string())));
     }
-    out.push_str(",\n  \"tables\": [");
-    for (i, table) in tables.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str("\n    ");
-        out.push_str(&table.to_json());
-    }
-    out.push_str("\n  ]\n}\n");
+    // Canonical form is newline-free; the trailing newline keeps the
+    // checked-in baselines and CI artifacts POSIX-friendly.
+    let mut out = JsonValue::object(pairs).render();
+    out.push('\n');
     out
 }
 
@@ -182,25 +199,6 @@ pub fn parse_bench_doc(text: &str) -> Result<BenchDoc, String> {
     })
 }
 
-/// JSON string literal with the escapes the JSON grammar requires (the
-/// shared implementation in [`bsc_util::json`], which the service protocol
-/// uses too).
-fn json_string(s: &str) -> String {
-    bsc_util::json::escape_string(s)
-}
-
-fn json_string_array(items: &[String]) -> String {
-    let mut out = String::from("[");
-    for (i, item) in items.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&json_string(item));
-    }
-    out.push(']');
-    out
-}
-
 impl std::fmt::Display for Table {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "{}", self.title)?;
@@ -273,14 +271,20 @@ mod tests {
         table.push_row(vec!["1".into(), "x\\y".into()]);
         table.push_note("tab\there");
         let json = table.to_json();
-        assert!(json.starts_with("{\"title\":\"He said \\\"hi\\\"\\n\""));
-        assert!(json.contains("\"headers\":[\"a\",\"b\"]"));
-        assert!(json.contains("\"rows\":[[\"1\",\"x\\\\y\"]]"));
-        assert!(json.contains("\"notes\":[\"tab\\there\"]"));
+        // Canonical form: sorted keys, compact, newline-free.
+        assert_eq!(
+            json,
+            "{\"headers\":[\"a\",\"b\"],\"notes\":[\"tab\\there\"],\
+             \"rows\":[[\"1\",\"x\\\\y\"]],\"title\":\"He said \\\"hi\\\"\\n\"}"
+        );
         let doc = tables_to_json("quick", &["table3"], &[table]);
-        assert!(doc.contains("\"scale\": \"quick\""));
-        assert!(doc.contains("\"targets\": [\"table3\"]"));
-        assert!(doc.trim_end().ends_with('}'));
+        assert!(doc.contains("\"scale\":\"quick\""));
+        assert!(doc.contains("\"targets\":[\"table3\"]"));
+        assert_eq!(doc.lines().count(), 1, "canonical JSON is a single line");
+        assert!(doc.ends_with("}\n"));
+        // parse(render(x)) is the identity on the value.
+        let value = crate::json::parse(&doc).expect("canonical output parses");
+        assert_eq!(value.render(), doc.trim_end());
     }
 
     #[test]

@@ -155,15 +155,25 @@ impl WorkerSlot {
     }
 
     fn in_cooldown(&self) -> bool {
-        matches!(*self.cooldown_until.lock().unwrap(), Some(until) if Instant::now() < until)
+        let until = *self
+            .cooldown_until
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        matches!(until, Some(until) if Instant::now() < until)
     }
 
     fn start_cooldown(&self, period: Duration) {
-        *self.cooldown_until.lock().unwrap() = Some(Instant::now() + period);
+        *self
+            .cooldown_until
+            .lock()
+            .unwrap_or_else(|p| p.into_inner()) = Some(Instant::now() + period);
     }
 
     fn clear_cooldown(&self) {
-        *self.cooldown_until.lock().unwrap() = None;
+        *self
+            .cooldown_until
+            .lock()
+            .unwrap_or_else(|p| p.into_inner()) = None;
     }
 }
 
@@ -245,7 +255,7 @@ impl ClusterClient {
             self.workers
                 .iter()
                 .map(|slot| {
-                    let histogram = slot.histogram.lock().unwrap();
+                    let histogram = slot.histogram.lock().unwrap_or_else(|p| p.into_inner());
                     JsonValue::object([
                         ("addr".to_string(), JsonValue::from(slot.addr.clone())),
                         (
@@ -289,11 +299,11 @@ impl ClusterClient {
         slot: &WorkerSlot,
         operation: impl FnOnce(&mut Connection) -> Result<T, String>,
     ) -> Result<T, String> {
-        let mut guard = slot.connection.lock().unwrap();
-        if guard.is_none() {
-            *guard = Some(Connection::open(&slot.addr, &self.config)?);
-        }
-        let connection = guard.as_mut().expect("connection just ensured");
+        let mut guard = slot.connection.lock().unwrap_or_else(|p| p.into_inner());
+        let connection = match guard.as_mut() {
+            Some(connection) => connection,
+            None => guard.insert(Connection::open(&slot.addr, &self.config)?),
+        };
         let result = operation(connection);
         if result.is_err() {
             *guard = None;
@@ -399,7 +409,10 @@ impl ShardTransport for ClusterClient {
                 };
                 match self.solve_on(slot, graph, request, timeout) {
                     Ok(result) => {
-                        slot.histogram.lock().unwrap().record(attempt.elapsed());
+                        slot.histogram
+                            .lock()
+                            .unwrap_or_else(|p| p.into_inner())
+                            .record(attempt.elapsed());
                         slot.clear_cooldown();
                         return Ok(result);
                     }

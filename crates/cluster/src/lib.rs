@@ -45,6 +45,8 @@
 //! See `docs/distributed.md` for topology, message flow, and failure
 //! semantics.
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod wire;
 pub mod worker;
@@ -68,7 +70,7 @@ static CLIENT_POOL: OnceLock<ClientPool> = OnceLock::new();
 /// Get (or create) the pooled client for a worker set.
 pub fn client_for(spec: &FanoutSpec) -> Arc<ClusterClient> {
     let pool = CLIENT_POOL.get_or_init(|| Mutex::new(Vec::new()));
-    let mut pool = pool.lock().unwrap();
+    let mut pool = pool.lock().unwrap_or_else(|p| p.into_inner());
     if let Some((_, client)) = pool.iter().find(|(s, _)| s == spec) {
         return Arc::clone(client);
     }

@@ -260,7 +260,11 @@ impl BfsStableClusters {
                     let mut out: IntervalHeaps = Vec::with_capacity(num_nodes);
                     let mut failure: Option<BscError> = None;
                     for handle in handles {
-                        match handle.join().expect("BFS worker panicked") {
+                        let joined = handle
+                            .join()
+                            // A worker panic is forwarded, not replaced.
+                            .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+                        match joined {
                             Ok((heaps, local_global, generated)) => {
                                 out.extend(heaps);
                                 global.absorb(local_global);
@@ -446,6 +450,7 @@ fn compute_node_heaps(
     let max_len = l.min(interval) as usize;
     let mut heaps: Vec<SharedTopK> = (0..max_len).map(|_| SharedTopK::new(k)).collect();
 
+    // bsc:allow(missing-cancel-checkpoint) -- bounded by one node's in-degree; the per-node caller loop checkpoints
     for parent_edge in graph.parents(node) {
         let parent = parent_edge.to;
         let weight = parent_edge.weight;

@@ -306,6 +306,7 @@ impl ClusterGraphBuilder {
         );
         assert!(weight > 0.0, "edge weights must be positive");
         let check = |n: ClusterNodeId, counts: &[u32]| {
+            // bsc:allow(panic-in-lib) -- documented add_edge contract: builder misuse panics; bound check short-circuits the index
             assert!(
                 (n.interval as usize) < counts.len() && n.index < counts[n.interval as usize],
                 "node {n} out of range"
@@ -335,7 +336,7 @@ impl ClusterGraphBuilder {
                 .map(|&n| n as usize)
                 .collect::<Vec<_>>(),
         );
-        let num_nodes = *interval_offsets.last().expect("offsets are non-empty");
+        let num_nodes = interval_offsets.last().copied().unwrap_or(0);
         let flat = |n: ClusterNodeId| interval_offsets[n.interval as usize] + n.index as usize;
 
         let mut child_degree = vec![0usize; num_nodes];

@@ -341,8 +341,8 @@ impl DfsStableClusters {
                     if child_state.visited {
                         // All descendants of the child were already
                         // considered: reuse its bestpaths immediately.
-                        if let Some(parent) = parent_node {
-                            let parent_frame = stack.last_mut().expect("frame exists");
+                        if let (Some(parent), Some(parent_frame)) = (parent_node, stack.last_mut())
+                        {
                             update_parent_bestpaths(
                                 &mut parent_frame.state,
                                 parent,
@@ -396,7 +396,7 @@ impl DfsStableClusters {
                 }
                 None => {
                     // Node finished: pop, persist, back-track into the parent.
-                    let finished = stack.pop().expect("frame exists");
+                    let Some(finished) = stack.pop() else { break };
                     if let Some(node) = finished.node {
                         store.put(node.to_u64(), &finished.state)?;
                         stats.node_writes += 1;
@@ -404,6 +404,7 @@ impl DfsStableClusters {
                             if let Some(parent) = parent_frame.node {
                                 let weight = graph
                                     .edge_weight(parent, node)
+                                    // bsc:allow(panic-in-lib) -- (parent, node) came off the DFS stack, which only holds graph edges
                                     .expect("tree edge exists in the graph");
                                 update_parent_bestpaths(
                                     &mut parent_frame.state,
@@ -444,6 +445,7 @@ fn update_maxweight(
     // Prefix of length 0 ending at the parent exists iff a path may start at
     // the parent (enough room for a full suffix of length l).
     let parent_start_feasible = parent.interval + l < m;
+    // bsc:allow(missing-cancel-checkpoint) -- bounded by l <= interval count; the DFS driver checkpoints per edge
     for x in len..=l {
         let prefix_len = x - len;
         let prefix_weight = if prefix_len == 0 {
@@ -479,6 +481,7 @@ fn update_maxweight(
 fn can_prune(state: &NodeState, node: ClusterNodeId, l: u32, m: u32, min_k: f64) -> bool {
     let i = node.interval;
     let x_cap = l.min(i);
+    // bsc:allow(missing-cancel-checkpoint) -- bounded by l <= interval count; the DFS driver checkpoints per edge
     for x in 0..=x_cap {
         // For x < l a suffix of length l − x must still fit after interval i.
         if x < l && (l - x) > (m - 1 - i) {
@@ -528,6 +531,7 @@ fn update_parent_bestpaths(
         len,
         SharedTail::singleton(child).prepend(parent, edge_weight),
     )];
+    // bsc:allow(missing-cancel-checkpoint) -- bounded by l buckets of at most k paths each; the DFS driver checkpoints per edge
     for (x_index, paths) in child_state.bestpaths.iter().enumerate() {
         let x = x_index as u32 + 1;
         let total = x + len;
@@ -539,6 +543,7 @@ fn update_parent_bestpaths(
         }
     }
     stats.paths_generated += candidates.len() as u64;
+    // bsc:allow(missing-cancel-checkpoint) -- at most l*k + 1 candidates; the DFS driver checkpoints per edge
     for (length, candidate) in candidates {
         let bucket = &mut parent_state.bestpaths[length as usize - 1];
         if bucket

@@ -302,8 +302,14 @@ impl DistributedSolver {
         let l = match self.spec {
             StableClusterSpec::FullPaths => m.saturating_sub(1),
             StableClusterSpec::ExactLength(l) => l,
-            // Rejected by the constructor.
-            StableClusterSpec::Normalized { .. } => unreachable!("constructor rejects Problem 2"),
+            // Rejected by the constructor; keep the rejection an error
+            // instead of an abort in case that ever regresses.
+            StableClusterSpec::Normalized { .. } => {
+                return Err(BscError::Unsupported {
+                    algorithm: "distributed",
+                    reason: "Problem 2 (normalized) is rejected by the constructor".into(),
+                })
+            }
         };
         let mut merged = TopKPaths::new(self.k);
         let mut stats = SolverStats::default();
@@ -376,7 +382,7 @@ impl DistributedSolver {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("fan-out dispatcher panicked"))
+                    .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
                     .collect()
             });
             // Prefer a root-cause error over the DeadlineExceeded the

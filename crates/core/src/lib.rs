@@ -57,6 +57,7 @@
 //! the paper's synthetic cluster-graph workload generator used by the
 //! evaluation section.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod affinity;

@@ -273,6 +273,7 @@ fn theorem1_prune(
 ) -> Candidate {
     let n = nodes.len();
     let mut start = 0usize;
+    // bsc:allow(missing-cancel-checkpoint) -- every round advances start or exits; at most n rounds over one candidate
     loop {
         let mut replaced = false;
         for split in (start + 1)..n - 1 {

@@ -34,6 +34,7 @@ impl ClusterPath {
     pub fn new(nodes: Vec<ClusterNodeId>, weight: f64) -> Self {
         assert!(!nodes.is_empty(), "a path needs at least one node");
         for pair in nodes.windows(2) {
+            // bsc:allow(panic-in-lib) -- documented constructor contract (see # Panics above); windows(2) makes the indices in-bounds
             assert!(
                 pair[0].interval < pair[1].interval,
                 "path nodes must be in strictly increasing interval order"
@@ -54,7 +55,7 @@ impl ClusterPath {
 
     /// The last (latest) node.
     pub fn last(&self) -> ClusterNodeId {
-        *self.nodes.last().expect("path is non-empty")
+        *self.nodes.last().expect("path is non-empty") // bsc:allow(panic-in-lib) -- ClusterPath::new rejects empty node lists
     }
 
     /// Number of nodes on the path.

@@ -113,6 +113,7 @@ impl ShardedSolver {
         let inner_options = self.options.clone().threads(inner_threads);
         let mut local = TopKPaths::new(self.k);
         let mut stats = SolverStats::default();
+        // bsc:allow(missing-cancel-checkpoint) -- each window solve checkpoints internally and propagates DeadlineExceeded out
         for start in starts {
             // The shared window solve — the identical code path a remote
             // `bsc-cluster` worker runs, which is what makes distributed
@@ -161,8 +162,14 @@ impl StableClusterSolver for ShardedSolver {
         let l = match self.spec {
             StableClusterSpec::FullPaths => m.saturating_sub(1),
             StableClusterSpec::ExactLength(l) => l,
-            // Rejected by the constructor.
-            StableClusterSpec::Normalized { .. } => unreachable!("constructor rejects Problem 2"),
+            // Rejected by the constructor; keep the rejection an error
+            // instead of an abort in case that ever regresses.
+            StableClusterSpec::Normalized { .. } => {
+                return Err(BscError::Unsupported {
+                    algorithm: "sharded",
+                    reason: "Problem 2 (normalized) is rejected by the constructor".into(),
+                })
+            }
         };
         let mut merged = TopKPaths::new(self.k);
         let mut stats = SolverStats::default();
@@ -181,6 +188,7 @@ impl StableClusterSolver for ShardedSolver {
             if partition.len() <= 1 {
                 // A single shard keeps the caller's thread budget for the
                 // inner solver's own parallel stage.
+                // bsc:allow(missing-cancel-checkpoint) -- solve_shard's window solves checkpoint internally and propagate errors
                 for range in partition.iter() {
                     let (local, local_stats) =
                         self.solve_shard(graph, l, range, self.options.threads)?;
@@ -217,6 +225,7 @@ impl StableClusterSolver for ShardedSolver {
                                 scope.spawn(move || {
                                     let mut local = TopKPaths::new(this.k);
                                     let mut local_stats = SolverStats::default();
+                                    // bsc:allow(missing-cancel-checkpoint) -- solve_shard checkpoints internally; a tripped sibling cancels via the shared token
                                     for range in owned {
                                         match this.solve_shard(graph, l, range.clone(), 1) {
                                             Ok((top, shard_stats)) => {
@@ -237,7 +246,7 @@ impl StableClusterSolver for ShardedSolver {
                             .collect();
                         handles
                             .into_iter()
-                            .map(|h| h.join().expect("shard worker panicked"))
+                            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
                             .collect()
                     });
                 let mut concurrent_resident_paths = 0usize;
@@ -246,6 +255,7 @@ impl StableClusterSolver for ShardedSolver {
                 // sibling shards report after being tripped by it.
                 let mut failure: Option<BscError> = None;
                 let mut oks: Vec<(TopKPaths, SolverStats)> = Vec::new();
+                // bsc:allow(missing-cancel-checkpoint) -- bounded by the worker count; pure result folding
                 for result in results {
                     match result {
                         Ok(ok) => oks.push(ok),
@@ -263,6 +273,7 @@ impl StableClusterSolver for ShardedSolver {
                 if let Some(e) = failure {
                     return Err(e);
                 }
+                // bsc:allow(missing-cancel-checkpoint) -- bounded by the worker count; pure result folding
                 for (local, local_stats) in oks {
                     merged.absorb(local);
                     concurrent_resident_paths += local_stats.peak_resident_paths;

@@ -129,7 +129,13 @@ impl SnapshotCell {
     /// Pin the current snapshot. In-flight queries keep the snapshot they
     /// loaded even while newer epochs are published.
     pub fn load(&self) -> GraphSnapshot {
-        self.current.read().expect("snapshot lock poisoned").clone()
+        // A panicked writer can only have been between `*guard = …` and
+        // unlock; the stored snapshot is always a complete value, so
+        // recovering from poison is sound.
+        self.current
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
     }
 
     /// The current epoch, lock-free.
@@ -151,7 +157,7 @@ impl SnapshotCell {
     ///
     /// [`OnlineStableClusters::snapshot`]: crate::streaming::OnlineStableClusters::snapshot
     pub fn install(&self, snapshot: GraphSnapshot) -> GraphSnapshot {
-        let mut guard = self.current.write().expect("snapshot lock poisoned");
+        let mut guard = self.current.write().unwrap_or_else(|p| p.into_inner());
         let next_epoch = guard.epoch() + 1;
         let installed = snapshot.with_epoch(next_epoch);
         *guard = installed.clone();

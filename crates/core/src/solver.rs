@@ -489,8 +489,12 @@ impl AlgorithmKind {
                 crate::normalized::NormalizedStableClusters::new(NormalizedParams::new(k, l_min))
                     .with_cancel(cancel),
             )),
-            // check_spec rejected every cross pairing above.
-            (kind, other) => unreachable!("check_spec admitted {kind} with {other:?}"),
+            // check_spec rejected every cross pairing above; report the
+            // mismatch as an error rather than aborting the process.
+            (kind, other) => Err(BscError::Unsupported {
+                algorithm: "build",
+                reason: format!("check_spec admitted {kind} with {other:?}"),
+            }),
         }
     }
 

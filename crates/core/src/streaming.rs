@@ -121,6 +121,7 @@ impl OnlineStableClusters {
                     "edge from {parent} to {node} exceeds the gap {}",
                     self.gap
                 );
+                // bsc:allow(panic-in-lib) -- documented ingest contract: malformed events panic; bound check short-circuits the index
                 assert!(
                     (parent.interval as usize) < self.nodes_per_interval.len()
                         && parent.index < self.nodes_per_interval[parent.interval as usize],

@@ -89,6 +89,7 @@ impl TaStableClusters {
             cursor: usize,
         }
         let mut lists: Vec<EdgeList> = Vec::new();
+        // bsc:allow(missing-cancel-checkpoint) -- one-time setup linear in the edge count; the TA round loop checkpoints
         for i in 0..m {
             for j in (i + 1)..=(i + gap + 1).min(m - 1) {
                 let mut edges: Vec<(f64, ClusterNodeId, ClusterNodeId)> = graph
@@ -234,6 +235,7 @@ fn enumerate_prefixes(
     }
     stats.random_seeks += 1;
     let mut result = Vec::new();
+    // bsc:allow(missing-cancel-checkpoint) -- bounded by the path multiplicity of one node; the TA round loop checkpoints between seeks
     for edge in graph.parents(node) {
         for prefix in enumerate_prefixes(graph, edge.to, stats) {
             result.push(prefix.extend(node, edge.weight));
@@ -255,6 +257,7 @@ fn enumerate_suffixes(
     }
     stats.random_seeks += 1;
     let mut result = Vec::new();
+    // bsc:allow(missing-cancel-checkpoint) -- bounded by the path multiplicity of one node; the TA round loop checkpoints between seeks
     for edge in graph.children(node) {
         for suffix in enumerate_suffixes(graph, edge.to, m, stats) {
             result.push(suffix.prepend(node, edge.weight));
@@ -279,6 +282,7 @@ fn virtual_path_bound<L: ListHead>(lists: &[L], m: u32) -> f64 {
     // to interval m-1.
     let mut best = vec![f64::NEG_INFINITY; m as usize];
     best[(m - 1) as usize] = 0.0;
+    // bsc:allow(missing-cancel-checkpoint) -- O(m * lists) dynamic program per TA round; the round loop checkpoints
     for i in (0..m - 1).rev() {
         for list in &refs {
             if list.from_interval == i {

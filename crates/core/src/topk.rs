@@ -177,7 +177,9 @@ impl<P: PathEntry> TopK<P> {
             self.heap.push(Scored { score, path });
             return true;
         }
-        let worst = self.heap.peek().expect("heap is full");
+        let Some(worst) = self.heap.peek() else {
+            return false; // len >= k >= 1, so the heap has a top
+        };
         match score.total_cmp(&worst.score) {
             Ordering::Less => return false,
             Ordering::Equal => {

@@ -19,6 +19,7 @@
 //! the paper (stem-cell announcement, Beckham's MLS move, the iPhone launch
 //! and Cisco lawsuit, the battle of Ras Kamboni, the FA-cup replay).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod document;

@@ -33,6 +33,7 @@ pub fn porter_stem(word: &str) -> String {
     stemmer.step3();
     stemmer.step4();
     stemmer.step5();
+    // bsc:allow(panic-in-lib) -- the tokenizer hands the stemmer lowercase ASCII only
     String::from_utf8(stemmer.b[..=stemmer.k].to_vec()).expect("ascii remains utf8")
 }
 

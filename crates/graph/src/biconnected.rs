@@ -149,7 +149,7 @@ impl BiconnectedComponents {
                 } else {
                     // Node finished: propagate low to the parent and emit a
                     // component if the parent separates this subtree.
-                    let finished = stack.pop().expect("frame exists");
+                    let Some(finished) = stack.pop() else { break };
                     if let Some(parent_frame) = stack.last_mut() {
                         let p = parent_frame.node;
                         let u = finished.node;

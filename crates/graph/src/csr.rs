@@ -82,7 +82,7 @@ impl CsrGraph {
             degree[v as usize] += 1;
         }
         let offsets = prefix_offsets(&degree);
-        let total = *offsets.last().expect("offsets are non-empty");
+        let total = offsets.last().copied().unwrap_or(0);
         let mut cursor = offsets.clone();
         let mut neighbors = vec![0 as NodeIndex; total];
         let mut adj_edge_ids = vec![0 as EdgeIndex; total];

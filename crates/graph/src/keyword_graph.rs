@@ -55,9 +55,14 @@ impl KeywordGraph {
         &self.edges
     }
 
-    /// Iterate over `(u, A(u))`.
+    /// Iterate over `(u, A(u))`, in ascending keyword order. Sorting here
+    /// keeps every consumer of the keyword set deterministic without each
+    /// of them having to re-sort.
     pub fn keywords(&self) -> impl Iterator<Item = (KeywordId, u64)> + '_ {
-        self.keyword_counts.iter().map(|(&k, &c)| (k, c))
+        let mut pairs: Vec<(KeywordId, u64)> =
+            self.keyword_counts.iter().map(|(&k, &c)| (k, c)).collect();
+        pairs.sort_unstable();
+        pairs.into_iter()
     }
 }
 

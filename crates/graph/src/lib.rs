@@ -21,6 +21,7 @@
 //!    stable-cluster solver in `bsc-core` uses to slice temporal graphs
 //!    into per-shard subgraphs ([`partition`]).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod biconnected;

@@ -32,6 +32,8 @@
 //! byte-identical, which CI asserts by diffing the transcripts of a
 //! scripted session.
 
+#![forbid(unsafe_code)]
+
 use std::io::{BufRead, Write};
 
 use bsc_core::distributed::FanoutSpec;

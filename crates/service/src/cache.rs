@@ -121,7 +121,7 @@ impl SolutionCache {
         );
         if self.map.len() > self.capacity {
             if let Some(oldest) = self
-                .map
+                .map // bsc:allow(nondeterministic-iteration) -- ticks are unique, the min has one winner
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())

@@ -312,7 +312,7 @@ impl QueryEngine {
                 std::thread::Builder::new()
                     .name(format!("bsc-query-{i}"))
                     .spawn(move || worker_loop(&receiver, &shared))
-                    .expect("spawn query worker")
+                    .expect("spawn query worker") // bsc:allow(panic-in-lib) -- engine construction, before any query is accepted; no caller can proceed without workers
             })
             .collect();
         Ok(QueryEngine {
@@ -348,7 +348,7 @@ impl QueryEngine {
         self.shared
             .cache
             .lock()
-            .expect("cache lock poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .advance_epoch(installed.epoch());
         installed
     }
@@ -435,8 +435,11 @@ impl QueryEngine {
                 Err(TrySendError::Full(returned)) => {
                     if token.expired() || Instant::now() >= admission_deadline {
                         self.shared.in_flight.fetch_sub(1, Ordering::Relaxed);
-                        let mut metrics =
-                            self.shared.metrics.lock().expect("metrics lock poisoned");
+                        let mut metrics = self
+                            .shared
+                            .metrics
+                            .lock()
+                            .unwrap_or_else(|p| p.into_inner());
                         metrics.deadline_hits += 1;
                         metrics.queue_expired += 1;
                         return Err(deadline_error(&token));
@@ -463,9 +466,13 @@ impl QueryEngine {
             .shared
             .cache
             .lock()
-            .expect("cache lock poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .stats();
-        let metrics = self.shared.metrics.lock().expect("metrics lock poisoned");
+        let metrics = self
+            .shared
+            .metrics
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
         EngineStats {
             workers: self.config.workers,
             queue_capacity: self.config.queue_capacity,
@@ -496,8 +503,16 @@ impl QueryEngine {
         self.queue = None; // workers exit when the queue disconnects
         self.shared.shutting_down.store(true, Ordering::Relaxed);
         {
-            let solving = self.shared.solving.lock().expect("solving lock poisoned");
-            let mut metrics = self.shared.metrics.lock().expect("metrics lock poisoned");
+            let solving = self
+                .shared
+                .solving
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            let mut metrics = self
+                .shared
+                .metrics
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
             for token in solving.iter() {
                 if !token.is_cancelled() {
                     token.cancel();
@@ -555,17 +570,18 @@ fn worker_loop(receiver: &Mutex<Receiver<Job>>, shared: &Shared) {
             .options
             .cancel
             .as_ref()
-            .is_some_and(CancelToken::expired);
-        let result = if expired_in_queue {
-            let token = job.request.options.cancel.as_ref().expect("checked above");
-            Err(deadline_error(token))
+            .filter(|token| token.expired())
+            .map(deadline_error);
+        let was_expired_in_queue = expired_in_queue.is_some();
+        let result = if let Some(error) = expired_in_queue {
+            Err(error)
         } else if shared.shutting_down.load(Ordering::Relaxed) {
             Err(BscError::Shutdown)
         } else {
             execute(&mut job, queue_wait, shared)
         };
         {
-            let mut metrics = shared.metrics.lock().expect("metrics lock poisoned");
+            let mut metrics = shared.metrics.lock().unwrap_or_else(|p| p.into_inner());
             metrics.queries += 1;
             metrics.queue_wait.record(queue_wait);
             match &result {
@@ -579,7 +595,7 @@ fn worker_loop(receiver: &Mutex<Receiver<Job>>, shared: &Shared) {
                     metrics.errors += 1;
                     if matches!(e, BscError::DeadlineExceeded { .. }) {
                         metrics.deadline_hits += 1;
-                        if expired_in_queue {
+                        if was_expired_in_queue {
                             metrics.queue_expired += 1;
                         }
                     }
@@ -598,7 +614,7 @@ fn execute(job: &mut Job, queue_wait: Duration, shared: &Shared) -> BscResult<Qu
     if let Some(mut solution) = shared
         .cache
         .lock()
-        .expect("cache lock poisoned")
+        .unwrap_or_else(|p| p.into_inner())
         .get(epoch, &key)
     {
         solution.stats.queue_wait_micros = duration_micros(queue_wait);
@@ -622,7 +638,7 @@ fn execute(job: &mut Job, queue_wait: Duration, shared: &Shared) -> BscResult<Qu
     shared
         .solving
         .lock()
-        .expect("solving lock poisoned")
+        .unwrap_or_else(|p| p.into_inner())
         .push(token.clone());
     let result: BscResult<Solution> = (|| {
         let mut solver = job.request.algorithm.build_with_options(
@@ -639,7 +655,7 @@ fn execute(job: &mut Job, queue_wait: Duration, shared: &Shared) -> BscResult<Qu
     shared
         .solving
         .lock()
-        .expect("solving lock poisoned")
+        .unwrap_or_else(|p| p.into_inner())
         .retain(|t| t != &token);
     let mut solution = result?;
     // Cache the canonical form (no queue wait — that belongs to one query,
@@ -647,7 +663,7 @@ fn execute(job: &mut Job, queue_wait: Duration, shared: &Shared) -> BscResult<Qu
     shared
         .cache
         .lock()
-        .expect("cache lock poisoned")
+        .unwrap_or_else(|p| p.into_inner())
         .put(epoch, key, solution.clone());
     solution.stats.queue_wait_micros = duration_micros(queue_wait);
     Ok(QueryResponse {

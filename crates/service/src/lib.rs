@@ -51,6 +51,7 @@
 //!
 //! [`BscError::Saturated`]: bsc_core::error::BscError::Saturated
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;

@@ -127,7 +127,9 @@ impl Session {
     fn handle_request(&mut self, request: Request) -> String {
         match request {
             Request::Shutdown | Request::Hello { .. } => {
-                unreachable!("handled by handle_line")
+                // handle_line intercepts these before dispatch; answer with
+                // a protocol error rather than aborting the session thread.
+                error_response("shutdown/hello are handled before dispatch")
             }
             Request::Stats => self.stats_response(),
             Request::Epoch => {

@@ -77,7 +77,9 @@ pub trait StorageBackend: fmt::Debug + Send {
         self.len() == 0
     }
 
-    /// All stored keys, in unspecified order.
+    /// All stored keys, in ascending byte order. Deterministic ordering
+    /// here keeps everything downstream (dumps, fan-out shard manifests)
+    /// byte-stable across backends and runs.
     fn keys(&self) -> Vec<Vec<u8>>;
 
     /// Reclaim space held by stale record versions and tombstones. Returns
@@ -598,10 +600,12 @@ impl StorageBackend for LogFileBackend {
 
     fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
         let entry = self.core.append(key, Some(value))?;
-        self.core.index.insert(
-            key.to_vec(),
-            entry.expect("append of a put returns an entry"),
-        );
+        let Some(entry) = entry else {
+            // append only returns None for tombstones; a put always carries
+            // a value, so treat the impossible case as corruption.
+            return Err(StorageError::Corrupt("put appended no entry".into()));
+        };
+        self.core.index.insert(key.to_vec(), entry);
         Ok(())
     }
 
@@ -624,7 +628,9 @@ impl StorageBackend for LogFileBackend {
     }
 
     fn keys(&self) -> Vec<Vec<u8>> {
-        self.core.index.keys().cloned().collect()
+        let mut keys: Vec<Vec<u8>> = self.core.index.keys().cloned().collect();
+        keys.sort_unstable();
+        keys
     }
 
     fn compact(&mut self) -> Result<u64> {
@@ -702,7 +708,9 @@ impl StorageBackend for InMemoryBackend {
     }
 
     fn keys(&self) -> Vec<Vec<u8>> {
-        self.map.keys().cloned().collect()
+        let mut keys: Vec<Vec<u8>> = self.map.keys().cloned().collect();
+        keys.sort_unstable();
+        keys
     }
 
     fn compact(&mut self) -> Result<u64> {
@@ -822,7 +830,10 @@ impl BlockCacheBackend {
             return false;
         };
         self.lru.remove(&tick);
-        let page = self.cache.remove(&page_no).expect("lru entry has a page");
+        let Some(page) = self.cache.remove(&page_no) else {
+            // LRU and cache are updated together; nothing to release.
+            return false;
+        };
         self.budget.release(page.data.len());
         self.core.stats.record_eviction();
         io_stats::global().record_eviction();
@@ -899,6 +910,7 @@ impl BlockCacheBackend {
     /// Drop every cached page (after a compaction rewrote the log).
     fn clear_cache(&mut self) {
         self.lru.clear();
+        // bsc:allow(nondeterministic-iteration) -- releasing budget is commutative; order never escapes
         for (_, page) in self.cache.drain() {
             self.budget.release(page.data.len());
         }
@@ -921,10 +933,12 @@ impl StorageBackend for BlockCacheBackend {
         let old_tail = self.core.tail;
         let entry = self.core.append(key, Some(value))?;
         self.invalidate_page_at(old_tail);
-        self.core.index.insert(
-            key.to_vec(),
-            entry.expect("append of a put returns an entry"),
-        );
+        let Some(entry) = entry else {
+            // append only returns None for tombstones; a put always carries
+            // a value, so treat the impossible case as corruption.
+            return Err(StorageError::Corrupt("put appended no entry".into()));
+        };
+        self.core.index.insert(key.to_vec(), entry);
         Ok(())
     }
 
@@ -949,7 +963,9 @@ impl StorageBackend for BlockCacheBackend {
     }
 
     fn keys(&self) -> Vec<Vec<u8>> {
-        self.core.index.keys().cloned().collect()
+        let mut keys: Vec<Vec<u8>> = self.core.index.keys().cloned().collect();
+        keys.sort_unstable();
+        keys
     }
 
     fn compact(&mut self) -> Result<u64> {

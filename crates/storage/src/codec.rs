@@ -25,7 +25,8 @@ fn take_array<const N: usize>(buf: &mut &[u8], what: &str) -> Result<[u8; N], St
     }
     let (head, tail) = buf.split_at(N);
     *buf = tail;
-    Ok(head.try_into().expect("split_at returned N bytes"))
+    head.try_into()
+        .map_err(|_| StorageError::Corrupt(format!("truncated {what}")))
 }
 
 /// Types that can be appended to a byte buffer.

@@ -31,6 +31,7 @@
 //! * [`memory`] — a simple memory budget tracker shared by the above.
 //! * [`temp`] — scoped temporary directories for spill files.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod backend;

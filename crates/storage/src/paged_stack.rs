@@ -159,7 +159,12 @@ impl<T: Encode + Decode> PagedStack<T> {
         for item in &cold {
             item.encode(&mut payload);
         }
-        let file = self.file.as_mut().expect("spill file must exist");
+        let file = match self.file.as_mut() {
+            Some(file) => file,
+            // ensure_file ran before any spill; a missing handle here means
+            // a logic error upstream — surface it as an I/O error.
+            None => return Err(StorageError::Corrupt("spill file not open".into())),
+        };
         file.seek(SeekFrom::Start(self.tail))?;
         file.write_all(&payload)?;
         io_stats::global().record_write(payload.len() as u64);

@@ -325,6 +325,7 @@ impl Parser<'_> {
         ) {
             self.pos += 1;
         }
+        // bsc:allow(panic-in-lib) -- the scanned range matched [0-9.eE+-] bytes only, which is valid UTF-8
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
         text.parse::<f64>()
             .map(JsonValue::Number)

@@ -17,6 +17,7 @@
 //! * [`cancel`] — a shared cooperative-cancellation token with optional
 //!   deadline, polled by every solver's hot loop (see `docs/robustness.md`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cancel;

@@ -65,6 +65,8 @@
 //! stages are all public; see the [`corpus`], [`graph`], [`core`] and
 //! [`baselines`] modules.
 
+#![forbid(unsafe_code)]
+
 /// External-memory substrate: binary codec, external sort, disk-backed stores.
 pub use bsc_storage as storage;
 
