@@ -30,14 +30,18 @@ const OUTPUT_FEEDING_CRATES: [&str; 5] = [
 const PANIC_EXEMPT_CRATES: [&str; 1] = ["bsc-bench"];
 
 /// Solver hot-path files: every loop nest here must be able to observe a
-/// tripped [`CancelToken`](bsc_util::cancel::CancelToken).
-const HOT_PATH_FILES: [&str; 6] = [
+/// tripped [`CancelToken`](bsc_util::cancel::CancelToken). `batch.rs` is
+/// the engine's coalesced fan-out loop — not a solver, but it replays a
+/// solve's result to arbitrarily many followers and must notice shutdown
+/// mid-fan-out just like a solver notices it mid-scan.
+const HOT_PATH_FILES: [&str; 7] = [
     "bfs.rs",
     "dfs.rs",
     "ta.rs",
     "normalized.rs",
     "sharded.rs",
     "exhaustive.rs",
+    "batch.rs",
 ];
 
 /// Run every source lint that applies to `file`. `is_crate_root` enables

@@ -7,6 +7,9 @@
 //!        fig13|fig14|quali|baselines|streaming]
 //! repro gate [--baseline <path>] [--json <path>] [--runs <n>]
 //!            [--tolerance <pct>] [--shards <n>] [--distributed <n>]
+//! repro load [--qps <n>] [--tenants <n>] [--duration <ms>] [--seed <n>]
+//!            [--json <path>] [--gate] [--baseline <path>]
+//!            [--tolerance <pct>]
 //! ```
 //!
 //! Without arguments the whole suite runs at the reduced "quick" scale; pass
@@ -25,6 +28,18 @@
 //! (default 25) — or when the fresh run crashes. The gate's shard count
 //! defaults to whatever the baseline's sharding table was recorded with
 //! (its title embeds it), so the comparison lines up without flags.
+//!
+//! `repro load` runs the deterministic open-loop load harness
+//! (`bsc_bench::load`) against a fresh `QueryEngine`: Zipf-skewed
+//! multi-tenant traffic at `--qps` for `--duration` milliseconds, with the
+//! schedule (and therefore every quota-shed decision) a pure function of
+//! `--seed`. It prints latency-quantile, admission and per-tenant tables;
+//! `--json <path>` writes them as a bench document. With `--gate` the run
+//! is compared against `--baseline` (default `BENCH_load.json`) using the
+//! suffix-typed gate columns: `(us)` latency SLOs with `--tolerance`
+//! percent relative slack (default 100) plus a 20 ms floor, `(%)` rates
+//! with ±5-point slack, and `(=)` byte-exact determinism columns. Exit 1
+//! on any violation.
 //!
 //! `--backend <spec>` restricts the storage-backend I/O report (`table2`) to
 //! one backend: `memory`, `logfile`, `blockcache` or `blockcache:<bytes>`.
@@ -136,6 +151,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("gate") {
         run_gate(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("load") {
+        run_load(&args[1..]);
         return;
     }
 
@@ -261,6 +280,96 @@ fn main() {
     if let Some(message) = error {
         eprintln!("{message}");
         std::process::exit(1);
+    }
+}
+
+/// The `repro load` subcommand: one deterministic open-loop load run,
+/// optionally gated against a checked-in baseline.
+fn run_load(args: &[String]) {
+    let mut config = bsc_bench::load::LoadConfig::default();
+    let mut json_path: Option<String> = None;
+    let mut gate_flag = false;
+    let mut baseline_path = "BENCH_load.json".to_string();
+    let mut gate_config = GateConfig::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--qps" => match flag_value(&mut iter, "--qps").parse::<u64>() {
+                Ok(n) if n >= 1 => config = config.qps(n),
+                _ => usage_error("--qps requires a positive integer"),
+            },
+            "--tenants" => match flag_value(&mut iter, "--tenants").parse::<usize>() {
+                Ok(n) if n >= 1 => config = config.tenants(n),
+                _ => usage_error("--tenants requires a positive integer"),
+            },
+            "--duration" => match flag_value(&mut iter, "--duration").parse::<u64>() {
+                Ok(n) if n >= 1 => config = config.duration_millis(n),
+                _ => usage_error("--duration requires a positive integer (milliseconds)"),
+            },
+            "--seed" => match flag_value(&mut iter, "--seed").parse::<u64>() {
+                Ok(n) => config = config.seed(n),
+                _ => usage_error("--seed requires a non-negative integer"),
+            },
+            "--json" => json_path = Some(flag_value(&mut iter, "--json").to_string()),
+            "--gate" => gate_flag = true,
+            "--baseline" => baseline_path = flag_value(&mut iter, "--baseline").to_string(),
+            "--tolerance" => match flag_value(&mut iter, "--tolerance").parse::<f64>() {
+                Ok(pct) if pct > 0.0 => gate_config.slo_tolerance = pct / 100.0,
+                _ => usage_error("--tolerance requires a positive percentage"),
+            },
+            flag => usage_error(&format!(
+                "unknown load flag '{flag}' (expected --qps <n>, --tenants <n>, \
+                 --duration <ms>, --seed <n>, --json <path>, --gate, --baseline <path> \
+                 or --tolerance <pct>)"
+            )),
+        }
+    }
+
+    let tables = match bsc_bench::load::run(config) {
+        Ok(report) => report.tables(),
+        Err(message) => {
+            let message = format!("load run failed: {message}");
+            if let Some(path) = &json_path {
+                let json = tables_to_json_with_error("quick", &["load"], &[], Some(&message));
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("failed to write JSON to {path}: {e}");
+                }
+            }
+            eprintln!("{message}");
+            std::process::exit(1);
+        }
+    };
+    for table in &tables {
+        println!("{table}");
+    }
+    if let Some(path) = &json_path {
+        let json = tables_to_json_with_error("quick", &["load"], &tables, None);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("failed to write JSON to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {} table(s) to {path}", tables.len());
+    }
+    if gate_flag {
+        let baseline_text = match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => text,
+            Err(e) => usage_error(&format!("cannot read baseline {baseline_path}: {e}")),
+        };
+        let baseline = match parse_bench_doc(&baseline_text) {
+            Ok(doc) => doc,
+            Err(e) => usage_error(&format!("cannot parse baseline {baseline_path}: {e}")),
+        };
+        if let Some(error) = &baseline.error {
+            usage_error(&format!(
+                "baseline {baseline_path} records a failed run ({error}); regenerate it \
+                 before gating"
+            ));
+        }
+        let report = gate::compare(&baseline.tables, &tables, gate_config);
+        print!("{}", report.render());
+        if !report.passed() {
+            std::process::exit(1);
+        }
     }
 }
 

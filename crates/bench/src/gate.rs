@@ -9,11 +9,27 @@
 //! than the tolerance (default +25%) and *absolutely* slower than a small
 //! floor (default 50 ms — sub-floor cells measure timer noise, not work).
 //!
-//! Only columns whose header ends in `(s)` are compared; non-numeric cells
-//! (`"> skipped"`) and derived columns (speedup ratios) are ignored. A
-//! baseline table or row that disappeared from the fresh run also fails the
-//! gate — a deleted benchmark must be removed from the baseline explicitly,
-//! never silently.
+//! Which columns are compared — and how — is encoded in their header
+//! suffix, so one gate serves both the bench-regression job and the
+//! latency-SLO load job (`repro load --gate`, see [`crate::load`]):
+//!
+//! * `(s)` — wall-clock seconds, the original bench-gate semantics above;
+//! * `(us)` — latency-SLO microseconds (load-run quantiles): fails when
+//!   `fresh > baseline * (1 + slo_tolerance) + slo_floor_micros` — a wide
+//!   relative band plus an absolute floor, because tail quantiles on CI
+//!   runners are noisy in a way medians are not;
+//! * `(%)` — rates in percentage points: fails when fresh exceeds the
+//!   baseline by more than `percent_slack` points (drops are
+//!   improvements, not regressions);
+//! * `(=)` — byte-exact cells (offered counts, quota sheds, schedule
+//!   hashes): *any* difference fails. This is the determinism tripwire —
+//!   a load run that stops replaying its seed shows up here first.
+//!
+//! Everything else (non-numeric cells like `"> skipped"`, derived speedup
+//! ratios, plain columns) is ignored. A baseline table, row, or gated
+//! column that disappeared from the fresh run also fails the gate — a
+//! deleted benchmark must be removed from the baseline explicitly, never
+//! silently.
 //!
 //! The comparison logic is pure (tables in, report out) so the 2x-slowdown
 //! self-test below runs without timing anything.
@@ -34,6 +50,17 @@ pub struct GateConfig {
     /// baseline, so those cells only fail when the fresh median exceeds
     /// this absolute value.
     pub zero_baseline_ceiling_seconds: f64,
+    /// Relative tolerance for `(us)` latency-SLO columns: `1.0` allows a
+    /// fresh quantile up to 2x the baseline (tail quantiles are noisy on
+    /// shared CI runners; the wide band still catches order-of-magnitude
+    /// regressions).
+    pub slo_tolerance: f64,
+    /// Absolute floor added on top of the `(us)` relative band, in
+    /// microseconds: a 50 µs quantile may always grow to
+    /// `50 * (1 + slo_tolerance) + slo_floor_micros` before failing.
+    pub slo_floor_micros: f64,
+    /// Absolute slack for `(%)` columns, in percentage points.
+    pub percent_slack: f64,
 }
 
 impl Default for GateConfig {
@@ -42,6 +69,9 @@ impl Default for GateConfig {
             tolerance: 0.25,
             min_slowdown_seconds: 0.05,
             zero_baseline_ceiling_seconds: 0.5,
+            slo_tolerance: 1.0,
+            slo_floor_micros: 20_000.0,
+            percent_slack: 5.0,
         }
     }
 }
@@ -68,31 +98,54 @@ impl Regression {
     }
 }
 
+/// One failed `(us)`, `(%)` or `(=)` cell, carried as the raw cell texts
+/// (exact cells need not be numeric — schedule hashes are hex strings).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatedCell {
+    /// Title of the table the cell belongs to.
+    pub table: String,
+    /// The row key (first cell of the row).
+    pub row: String,
+    /// The column header.
+    pub column: String,
+    /// Baseline cell text.
+    pub baseline: String,
+    /// Fresh cell text.
+    pub fresh: String,
+}
+
 /// The outcome of a gate comparison.
 #[derive(Debug, Clone, Default)]
 pub struct GateReport {
     /// Cells slower than the thresholds allow.
     pub regressions: Vec<Regression>,
+    /// `(us)` and `(%)` cells beyond their SLO band.
+    pub slo_violations: Vec<GatedCell>,
+    /// `(=)` cells that differ at all — determinism failures.
+    pub exact_mismatches: Vec<GatedCell>,
     /// Baseline tables or rows the fresh run no longer produces.
     pub missing: Vec<String>,
-    /// Wall-clock cells compared.
+    /// Gated cells compared (all column kinds).
     pub compared_cells: usize,
-    /// `(s)`-column cells skipped because one side is non-numeric (e.g.
-    /// `"> skipped"`). Non-`(s)` columns are not counted either way.
+    /// Gated-column cells skipped because one side is non-numeric (e.g.
+    /// `"> skipped"`). Ungated columns are not counted either way.
     pub skipped_cells: usize,
 }
 
 impl GateReport {
     /// Did the fresh run pass the gate?
     pub fn passed(&self) -> bool {
-        self.regressions.is_empty() && self.missing.is_empty()
+        self.regressions.is_empty()
+            && self.slo_violations.is_empty()
+            && self.exact_mismatches.is_empty()
+            && self.missing.is_empty()
     }
 
     /// A human-readable multi-line summary.
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "bench gate: {} wall-clock cell(s) compared, {} skipped\n",
+            "bench gate: {} gated cell(s) compared, {} skipped\n",
             self.compared_cells, self.skipped_cells
         ));
         for missing in &self.missing {
@@ -109,6 +162,18 @@ impl GateReport {
                 r.table, r.row, r.column, r.baseline_seconds, r.fresh_seconds,
             ));
         }
+        for v in &self.slo_violations {
+            out.push_str(&format!(
+                "  OVER-SLO {} / {} / {}: {} -> {}\n",
+                v.table, v.row, v.column, v.baseline, v.fresh,
+            ));
+        }
+        for v in &self.exact_mismatches {
+            out.push_str(&format!(
+                "  DIFFERS  {} / {} / {}: {:?} -> {:?} (must be byte-identical)\n",
+                v.table, v.row, v.column, v.baseline, v.fresh,
+            ));
+        }
         if self.passed() {
             out.push_str("  PASS: no regression beyond the thresholds\n");
         } else {
@@ -118,9 +183,41 @@ impl GateReport {
     }
 }
 
+/// How a column's cells are compared, keyed by its header suffix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ColumnKind {
+    /// `(s)` — wall-clock seconds, relative tolerance + absolute floor.
+    Seconds,
+    /// `(us)` — latency-SLO microseconds.
+    Micros,
+    /// `(%)` — percentage points, absolute slack, regressions only.
+    Percent,
+    /// `(=)` — byte-exact.
+    Exact,
+    /// Anything else: not compared.
+    Ignored,
+}
+
+fn column_kind(header: &str) -> ColumnKind {
+    // `(us)` must be checked before `(s)` would ever match it — it does
+    // not (the literal suffix differs), but keep the specific cases first
+    // anyway so a future suffix cannot shadow another.
+    if header.ends_with("(us)") {
+        ColumnKind::Micros
+    } else if header.ends_with("(s)") {
+        ColumnKind::Seconds
+    } else if header.ends_with("(%)") {
+        ColumnKind::Percent
+    } else if header.ends_with("(=)") {
+        ColumnKind::Exact
+    } else {
+        ColumnKind::Ignored
+    }
+}
+
 /// Is this a wall-clock column the gate should compare?
 fn is_time_column(header: &str) -> bool {
-    header.ends_with("(s)")
+    column_kind(header) == ColumnKind::Seconds
 }
 
 /// Compare a fresh run against the baseline.
@@ -131,11 +228,13 @@ pub fn compare(baseline: &[Table], fresh: &[Table], config: GateConfig) -> GateR
             report.missing.push(format!("table {:?}", base_table.title));
             continue;
         };
-        // A baseline wall-clock column the fresh run no longer has is as
-        // loud a failure as a missing row: a renamed header must not
-        // silently disable comparison for its whole column.
+        // A baseline gated column the fresh run no longer has is as loud a
+        // failure as a missing row: a renamed header must not silently
+        // disable comparison for its whole column.
         for header in &base_table.headers {
-            if is_time_column(header) && !fresh_table.headers.iter().any(|h| h == header) {
+            if column_kind(header) != ColumnKind::Ignored
+                && !fresh_table.headers.iter().any(|h| h == header)
+            {
                 report
                     .missing
                     .push(format!("column {header:?} of table {:?}", base_table.title));
@@ -153,44 +252,96 @@ pub fn compare(baseline: &[Table], fresh: &[Table], config: GateConfig) -> GateR
                 continue;
             };
             for (column_index, header) in base_table.headers.iter().enumerate() {
-                if !is_time_column(header) {
+                let kind = column_kind(header);
+                if kind == ColumnKind::Ignored {
                     continue;
                 }
                 let Some(fresh_index) = fresh_table.headers.iter().position(|h| h == header) else {
                     // Reported once per table above.
                     continue;
                 };
-                let pair = base_row.get(column_index).zip(fresh_row.get(fresh_index));
-                let parsed = pair.and_then(|(b, f)| {
-                    b.trim()
-                        .parse::<f64>()
-                        .ok()
-                        .zip(f.trim().parse::<f64>().ok())
-                });
-                let Some((baseline_seconds, fresh_seconds)) = parsed else {
+                let Some((base_cell, fresh_cell)) =
+                    base_row.get(column_index).zip(fresh_row.get(fresh_index))
+                else {
+                    report.skipped_cells += 1;
+                    continue;
+                };
+                if kind == ColumnKind::Exact {
+                    report.compared_cells += 1;
+                    if base_cell != fresh_cell {
+                        report.exact_mismatches.push(GatedCell {
+                            table: base_table.title.clone(),
+                            row: row_key.clone(),
+                            column: header.clone(),
+                            baseline: base_cell.clone(),
+                            fresh: fresh_cell.clone(),
+                        });
+                    }
+                    continue;
+                }
+                let parsed = base_cell
+                    .trim()
+                    .parse::<f64>()
+                    .ok()
+                    .zip(fresh_cell.trim().parse::<f64>().ok());
+                let Some((baseline_value, fresh_value)) = parsed else {
                     report.skipped_cells += 1;
                     continue;
                 };
                 report.compared_cells += 1;
-                // A zero baseline means "below the timer's resolution" — the
-                // relative tolerance is meaningless there (any positive value
-                // exceeds 0 × 1.25), so such cells only regress past a much
-                // larger absolute ceiling.
-                let regressed = if baseline_seconds <= 0.0 {
-                    fresh_seconds > config.zero_baseline_ceiling_seconds
-                } else {
-                    let over_ratio = fresh_seconds > baseline_seconds * (1.0 + config.tolerance);
-                    let over_floor = fresh_seconds - baseline_seconds > config.min_slowdown_seconds;
-                    over_ratio && over_floor
-                };
-                if regressed {
-                    report.regressions.push(Regression {
-                        table: base_table.title.clone(),
-                        row: row_key.clone(),
-                        column: header.clone(),
-                        baseline_seconds,
-                        fresh_seconds,
-                    });
+                match kind {
+                    ColumnKind::Seconds => {
+                        // A zero baseline means "below the timer's
+                        // resolution" — the relative tolerance is
+                        // meaningless there (any positive value exceeds
+                        // 0 × 1.25), so such cells only regress past a
+                        // much larger absolute ceiling.
+                        let regressed = if baseline_value <= 0.0 {
+                            fresh_value > config.zero_baseline_ceiling_seconds
+                        } else {
+                            let over_ratio =
+                                fresh_value > baseline_value * (1.0 + config.tolerance);
+                            let over_floor =
+                                fresh_value - baseline_value > config.min_slowdown_seconds;
+                            over_ratio && over_floor
+                        };
+                        if regressed {
+                            report.regressions.push(Regression {
+                                table: base_table.title.clone(),
+                                row: row_key.clone(),
+                                column: header.clone(),
+                                baseline_seconds: baseline_value,
+                                fresh_seconds: fresh_value,
+                            });
+                        }
+                    }
+                    ColumnKind::Micros => {
+                        // One formula covers zero baselines too: the
+                        // absolute floor alone bounds them.
+                        let ceiling =
+                            baseline_value * (1.0 + config.slo_tolerance) + config.slo_floor_micros;
+                        if fresh_value > ceiling {
+                            report.slo_violations.push(GatedCell {
+                                table: base_table.title.clone(),
+                                row: row_key.clone(),
+                                column: header.clone(),
+                                baseline: base_cell.clone(),
+                                fresh: fresh_cell.clone(),
+                            });
+                        }
+                    }
+                    ColumnKind::Percent => {
+                        if fresh_value > baseline_value + config.percent_slack {
+                            report.slo_violations.push(GatedCell {
+                                table: base_table.title.clone(),
+                                row: row_key.clone(),
+                                column: header.clone(),
+                                baseline: base_cell.clone(),
+                                fresh: fresh_cell.clone(),
+                            });
+                        }
+                    }
+                    ColumnKind::Exact | ColumnKind::Ignored => unreachable!("handled above"),
                 }
             }
         }
@@ -352,6 +503,82 @@ mod tests {
         assert!(!report.passed());
         assert_eq!(report.missing.len(), 2, "{:?}", report.missing);
         assert!(report.render().contains("MISSING"));
+    }
+
+    fn load_table(hash: &str, p99: &str, rate: &str) -> Table {
+        let mut t = Table::new("L", &["run", "schedule_hash(=)", "p99(us)", "shed_rate(%)"]);
+        t.push_row(vec!["totals".into(), hash.into(), p99.into(), rate.into()]);
+        t
+    }
+
+    #[test]
+    fn slo_columns_allow_wide_noise_but_catch_blowups() {
+        let baseline = vec![load_table("abc", "1000", "40.00")];
+        // 2x the baseline plus the 20 ms floor is still within the band.
+        let noisy = vec![load_table("abc", "21900", "40.00")];
+        let report = compare(&baseline, &noisy, GateConfig::default());
+        assert!(report.passed(), "{}", report.render());
+        // Past the band: an SLO violation, not a (s)-style regression.
+        let blown = vec![load_table("abc", "22100", "40.00")];
+        let report = compare(&baseline, &blown, GateConfig::default());
+        assert!(!report.passed());
+        assert_eq!(report.slo_violations.len(), 1);
+        assert!(report.regressions.is_empty());
+        assert!(report.render().contains("OVER-SLO"));
+    }
+
+    #[test]
+    fn exact_columns_fail_on_any_difference() {
+        let baseline = vec![load_table("abc", "1000", "40.00")];
+        let report = compare(
+            &baseline,
+            &[load_table("abd", "1000", "40.00")],
+            GateConfig::default(),
+        );
+        assert!(!report.passed());
+        assert_eq!(report.exact_mismatches.len(), 1);
+        assert_eq!(report.exact_mismatches[0].column, "schedule_hash(=)");
+        assert!(report.render().contains("DIFFERS"));
+    }
+
+    #[test]
+    fn percent_columns_have_absolute_slack_and_ignore_improvements() {
+        let baseline = vec![load_table("abc", "1000", "40.00")];
+        // +4.9 points and a large drop both pass; +5.1 points fails.
+        for rate in ["44.90", "10.00"] {
+            let report = compare(
+                &baseline,
+                &[load_table("abc", "1000", rate)],
+                GateConfig::default(),
+            );
+            assert!(report.passed(), "rate {rate}: {}", report.render());
+        }
+        let report = compare(
+            &baseline,
+            &[load_table("abc", "1000", "45.10")],
+            GateConfig::default(),
+        );
+        assert!(!report.passed());
+        assert_eq!(report.slo_violations.len(), 1);
+    }
+
+    #[test]
+    fn a_renamed_exact_column_is_missing_not_ignored() {
+        let baseline = vec![load_table("abc", "1000", "40.00")];
+        let mut renamed = Table::new("L", &["run", "hash(=)", "p99(us)", "shed_rate(%)"]);
+        renamed.push_row(vec![
+            "totals".into(),
+            "abc".into(),
+            "1000".into(),
+            "40.00".into(),
+        ]);
+        let report = compare(&baseline, &[renamed], GateConfig::default());
+        assert!(!report.passed());
+        assert!(
+            report.missing[0].contains("schedule_hash(=)"),
+            "{:?}",
+            report.missing
+        );
     }
 
     #[test]

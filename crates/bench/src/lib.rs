@@ -16,6 +16,7 @@ pub mod experiments;
 pub mod gate;
 pub mod harness;
 pub mod json;
+pub mod load;
 pub mod reference;
 pub mod report;
 pub mod workloads;

@@ -275,11 +275,11 @@ impl ClusterClient {
                         ),
                         (
                             "rpc_p50_micros".to_string(),
-                            JsonValue::from(histogram.quantile_micros(0.5)),
+                            JsonValue::from(histogram.p50_micros()),
                         ),
                         (
                             "rpc_p99_micros".to_string(),
-                            JsonValue::from(histogram.quantile_micros(0.99)),
+                            JsonValue::from(histogram.p99_micros()),
                         ),
                         (
                             "rpc_max_micros".to_string(),

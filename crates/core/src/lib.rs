@@ -98,7 +98,9 @@ pub use pipeline::{GraphBuild, Pipeline, PipelineOutcome, PipelineParams};
 pub use problem::{KlStableParams, NormalizedParams, StableClusterSpec};
 pub use sharded::ShardedSolver;
 pub use snapshot::{GraphSnapshot, SnapshotCell};
-pub use solver::{AlgorithmKind, Solution, SolverOptions, SolverStats, StableClusterSolver};
+pub use solver::{
+    AlgorithmKind, QueryPriority, Solution, SolverOptions, SolverStats, StableClusterSolver,
+};
 pub use streaming::{OnlineClusterFeed, OnlineStableClusters};
 pub use synthetic::{ClusterGraphGenerator, SyntheticGraphParams};
 pub use ta::{TaStableClusters, TaStats};

@@ -28,6 +28,48 @@ use crate::path::ClusterPath;
 use crate::problem::{KlStableParams, NormalizedParams, StableClusterSpec};
 use crate::snapshot::GraphSnapshot;
 
+/// The admission lane a query rides in a multi-tenant query engine.
+///
+/// Two lanes are enough for the QoS the engine offers: `High` for
+/// interactive/latency-sensitive traffic, `Normal` for everything else.
+/// Priority never changes *what* is computed — only how long a query waits
+/// in the admission queue behind other tenants' work — so it is excluded
+/// from solution-cache keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QueryPriority {
+    /// Served ahead of the normal lane (subject to the engine's starvation
+    /// bound — see `docs/load.md`).
+    High,
+    /// The default lane.
+    #[default]
+    Normal,
+}
+
+impl QueryPriority {
+    /// The priority's short, stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryPriority::High => "high",
+            QueryPriority::Normal => "normal",
+        }
+    }
+
+    /// Parse a short name as produced by [`QueryPriority::name`].
+    pub fn parse(name: &str) -> Option<QueryPriority> {
+        match name {
+            "high" => Some(QueryPriority::High),
+            "normal" => Some(QueryPriority::Normal),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for QueryPriority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Deployment-level knobs shared by every [`AlgorithmKind::build_with_options`]
 /// construction: the worker-thread budget and which [`StorageSpec`] backend
 /// the disk-resident solvers keep their per-node state in. Problem-level
@@ -79,6 +121,16 @@ pub struct SolverOptions {
     /// the answer is byte-identical either way — a token never changes
     /// *what* is computed, only whether the solve is allowed to finish.
     pub cancel: Option<CancelToken>,
+    /// The tenant the query is billed to in a multi-tenant query engine:
+    /// the engine keeps per-tenant admission counters and, when configured
+    /// with a quota, sheds this tenant's excess traffic as
+    /// [`BscError::Saturated`]. `None` (the default) means untracked,
+    /// unmetered traffic. Never changes the answer, so it is excluded from
+    /// solution-cache keys.
+    pub tenant: Option<String>,
+    /// The admission lane ([`QueryPriority`]) the query rides in the
+    /// engine's queue. Changes queue waits, never answers.
+    pub priority: QueryPriority,
 }
 
 impl Default for SolverOptions {
@@ -90,6 +142,8 @@ impl Default for SolverOptions {
             shards: 1,
             fanout: None,
             cancel: None,
+            tenant: None,
+            priority: QueryPriority::Normal,
         }
     }
 }
@@ -128,6 +182,18 @@ impl SolverOptions {
     /// Set (or clear) the cooperative cancellation token.
     pub fn cancel_token(mut self, cancel: Option<CancelToken>) -> Self {
         self.cancel = cancel;
+        self
+    }
+
+    /// Set (or clear) the tenant the query is billed to.
+    pub fn tenant(mut self, tenant: Option<String>) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Set the admission-lane priority.
+    pub fn priority(mut self, priority: QueryPriority) -> Self {
+        self.priority = priority;
         self
     }
 

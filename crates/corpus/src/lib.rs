@@ -35,7 +35,7 @@ pub mod vocabulary;
 pub use document::{Document, DocumentId};
 pub use pairs::{PairCountConfig, PairCounter, PairCounts};
 pub use stemmer::porter_stem;
-pub use synthetic::{SyntheticBlogosphere, SyntheticConfig};
+pub use synthetic::{SyntheticBlogosphere, SyntheticConfig, ZipfSampler};
 pub use timeline::{IntervalId, Timeline};
 pub use tokenizer::Tokenizer;
 pub use vocabulary::{KeywordId, Vocabulary};

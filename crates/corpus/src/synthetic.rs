@@ -238,9 +238,9 @@ impl SyntheticBlogosphere {
             }
         }
 
-        // Zipf cumulative distribution over the background vocabulary, with
-        // the head (stop-word ranks) removed.
-        let zipf_cdf = build_zipf_cdf_with_offset(
+        // Zipf distribution over the background vocabulary, with the head
+        // (stop-word ranks) removed.
+        let zipf = ZipfSampler::with_head_offset(
             config.background_vocab,
             config.zipf_exponent,
             config.zipf_head_offset,
@@ -297,7 +297,7 @@ impl SyntheticBlogosphere {
                     config.max_words_per_post as u64,
                 ) as usize;
                 for _ in 0..n_background {
-                    let idx = sample_zipf(&zipf_cdf, &mut rng);
+                    let idx = zipf.sample(&mut rng);
                     keywords.push(background[idx]);
                 }
 
@@ -314,28 +314,65 @@ impl SyntheticBlogosphere {
     }
 }
 
-/// Zipf CDF whose ranks start at `offset + 1` — equivalent to removing the
-/// `offset` most frequent words (the stop words) from the distribution.
-fn build_zipf_cdf_with_offset(n: usize, s: f64, offset: usize) -> Vec<f64> {
-    let mut cdf = Vec::with_capacity(n);
-    let mut total = 0.0;
-    for i in 0..n {
-        total += 1.0 / ((i + 1 + offset) as f64).powf(s);
-        cdf.push(total);
-    }
-    for value in cdf.iter_mut() {
-        *value /= total;
-    }
-    cdf
+/// A deterministic sampler over the Zipf distribution on ranks
+/// `0..n` — the workhorse behind background-word selection here and the
+/// skewed query-template choice in the sustained-load harness
+/// (`bsc_bench::load`).
+///
+/// The cumulative distribution is materialized once at construction
+/// (`O(n)`); each [`ZipfSampler::sample`] is a binary search (`O(log n)`)
+/// driven by the caller's [`DetRng`], so a fixed seed yields a fixed rank
+/// sequence.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
 }
 
-/// Sample a rank from the Zipf cumulative distribution.
-fn sample_zipf(cdf: &[f64], rng: &mut DetRng) -> usize {
-    let u: f64 = rng.next_f64();
-    // bsc:allow(panic-in-lib) -- cdf entries are finite partial sums of 1/rank^s; comparison never sees NaN
-    match cdf.binary_search_by(|probe| probe.partial_cmp(&u).expect("no NaN in cdf")) {
-        Ok(idx) => idx,
-        Err(idx) => idx.min(cdf.len() - 1),
+impl ZipfSampler {
+    /// A sampler over ranks `0..n` with exponent `s`. Equivalent to
+    /// [`ZipfSampler::with_head_offset`] at offset 0.
+    pub fn new(n: usize, s: f64) -> ZipfSampler {
+        ZipfSampler::with_head_offset(n, s, 0)
+    }
+
+    /// A sampler whose underlying ranks start at `offset + 1` — equivalent
+    /// to removing the `offset` most frequent words (the stop words) from
+    /// the distribution before renormalizing. Sampled ranks are still
+    /// reported in `0..n`.
+    pub fn with_head_offset(n: usize, s: f64, offset: usize) -> ZipfSampler {
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1 + offset) as f64).powf(s);
+            cdf.push(total);
+        }
+        for value in cdf.iter_mut() {
+            *value /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks the sampler draws from.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the sampler has no ranks ([`ZipfSampler::sample`] would
+    /// panic on an empty distribution, so check first when `n` is dynamic).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw one rank in `0..n`, low ranks most likely.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u: f64 = rng.next_f64();
+        match self.cdf.binary_search_by(|probe| {
+            // bsc:allow(panic-in-lib) -- cdf entries are finite partial sums of 1/rank^s, never NaN
+            probe.partial_cmp(&u).expect("no NaN in cdf")
+        }) {
+            Ok(idx) => idx,
+            Err(idx) => idx.min(self.cdf.len() - 1),
+        }
     }
 }
 
@@ -420,25 +457,37 @@ mod tests {
 
     #[test]
     fn zipf_cdf_is_monotone_and_normalized() {
-        let cdf = build_zipf_cdf_with_offset(50, 1.0, 0);
-        assert_eq!(cdf.len(), 50);
-        for window in cdf.windows(2) {
+        let sampler = ZipfSampler::new(50, 1.0);
+        assert_eq!(sampler.len(), 50);
+        assert!(!sampler.is_empty());
+        for window in sampler.cdf.windows(2) {
             assert!(window[0] <= window[1]);
         }
-        assert!((cdf.last().unwrap() - 1.0).abs() < 1e-12);
+        assert!((sampler.cdf.last().unwrap() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn zipf_samples_skew_to_low_ranks() {
-        let cdf = build_zipf_cdf_with_offset(1000, 1.1, 0);
+        let sampler = ZipfSampler::new(1000, 1.1);
         let mut rng = DetRng::seed_from_u64(1);
-        let samples: Vec<usize> = (0..5000).map(|_| sample_zipf(&cdf, &mut rng)).collect();
+        let samples: Vec<usize> = (0..5000).map(|_| sampler.sample(&mut rng)).collect();
         let low = samples.iter().filter(|&&r| r < 100).count();
         assert!(
             low > samples.len() / 2,
             "Zipf sampling should favour low ranks, got {low}/5000"
         );
         assert!(samples.iter().all(|&r| r < 1000));
+    }
+
+    #[test]
+    fn zipf_sampling_is_deterministic_per_seed() {
+        let sampler = ZipfSampler::with_head_offset(200, 1.05, 10);
+        let draw = |seed: u64| -> Vec<usize> {
+            let mut rng = DetRng::seed_from_u64(seed);
+            (0..64).map(|_| sampler.sample(&mut rng)).collect()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Batched execution: coalescing same-epoch, same-key queries onto one solve.
+//!
+//! Under sustained load the admission queue routinely holds several copies
+//! of the *same* query — Zipf-skewed traffic concentrates on a few hot
+//! specs, and every copy would scan the same windows to produce the same
+//! answer. The solution cache already collapses *sequential* repeats; this
+//! module collapses *concurrent* ones: when a worker finishes a solve it
+//! drains every queued query sharing the leader's `(epoch, cache key)`
+//! ([`crate::admission::AdmissionQueue::drain_matching`]) and answers each
+//! from a clone of the leader's solution.
+//!
+//! Correctness leans on two facts:
+//!
+//! * The cache key covers every parameter that can change the answer
+//!   (`QueryRequest::cache_key`), and the epoch pins the snapshot — so a
+//!   follower's serial execution would have produced a byte-identical
+//!   `Solution`. Followers get clones, which makes "batched equals serial"
+//!   structural rather than probabilistic; `tests/qos_admission.rs` checks
+//!   it across algorithm × backend × shard count anyway.
+//! * Only **token-less** queries coalesce (`coalescable`). Cancel tokens
+//!   and deadlines are excluded from the cache key (they never change the
+//!   answer), so two same-key queries can carry different budgets — a
+//!   follower answered under its leader's token would inherit the wrong
+//!   deadline behaviour. Token-less queries have no budget to misattribute.
+//!
+//! Bookkeeping per follower: its own queue wait is recorded, `solve_micros`
+//! is 0 (nothing was solved on its behalf — the same convention cache hits
+//! use), and the engine-wide `coalesced` counter increments. If the leader
+//! *failed*, its error cannot be cloned (`BscError` is not `Clone`) and
+//! followers deserve individual verdicts anyway, so each one re-executes
+//! through the normal path — rare, and never worse than no batching.
+
+use std::sync::atomic::Ordering;
+
+use crate::admission::AdmissionQueue;
+use crate::engine::{duration_micros, process_job, Job, JobOutcome, QueryResponse, Shared};
+
+/// True when the job may participate in coalescing (as leader or
+/// follower): it must carry no cancel token — see the module docs.
+pub(crate) fn coalescable(job: &Job) -> bool {
+    job.request.options.cancel.is_none()
+}
+
+/// Remove every queued job that could have been answered by the solve that
+/// just finished: same snapshot epoch, same cache key, and itself
+/// `coalescable`.
+pub(crate) fn drain_followers(queue: &AdmissionQueue<Job>, epoch: u64, key: &str) -> Vec<Job> {
+    queue.drain_matching(|job| job.snapshot.epoch() == epoch && job.key == key && coalescable(job))
+}
+
+/// Answer the drained followers from the leader's outcome: clones of the
+/// leader's response on success, individual re-execution on failure (or
+/// when shutdown tripped the leader's token mid-fan-out).
+pub(crate) fn settle_followers(followers: Vec<Job>, leader: &JobOutcome, shared: &Shared) {
+    if followers.is_empty() {
+        return;
+    }
+    let token = leader.token.clone().unwrap_or_default();
+    let mut tick = 0u32;
+    for follower in followers {
+        // The fan-out runs under the leader's token so an engine shutdown
+        // keeps its promptness guarantee here too: once the token trips,
+        // remaining followers fall through to process_job, which fails
+        // them fast via the shutting_down flag instead of replying from a
+        // cancelled solve.
+        let interrupted = token.checkpoint(&mut tick);
+        match (&leader.response, interrupted) {
+            (Some(response), false) => reply_coalesced(follower, response, shared),
+            _ => {
+                process_job(follower, shared);
+            }
+        }
+    }
+}
+
+/// Send one follower a clone of the leader's response, with the
+/// follower's own queue wait and the cache-hit convention for
+/// `solve_micros` (0 — no windows were scanned on its behalf).
+fn reply_coalesced(follower: Job, response: &QueryResponse, shared: &Shared) {
+    let queue_wait = follower.enqueued.elapsed();
+    let mut solution = response.solution.clone();
+    solution.stats.queue_wait_micros = duration_micros(queue_wait);
+    solution.stats.solve_micros = 0;
+    {
+        let mut metrics = shared.metrics.lock().unwrap_or_else(|p| p.into_inner());
+        metrics.queries += 1;
+        metrics.coalesced += 1;
+        metrics.queue_wait.record(queue_wait);
+    }
+    shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+    let _ = follower.reply.send(Ok(QueryResponse {
+        solution,
+        epoch: response.epoch,
+        cached: response.cached,
+    }));
+}

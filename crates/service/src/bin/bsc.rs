@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bsc serve  [--workers <n>] [--queue <n>] [--cache <n>]
+//!            [--quota-rate <n> --quota-burst <n>]
 //! bsc serve  --worker <addr>
 //! bsc serve  --coordinator --workers <addr,...> [--queue <n>] [--cache <n>]
 //! bsc oracle
@@ -13,6 +14,10 @@
 //! EOF. `--workers` sizes the fixed thread pool (default: the machine's
 //! parallelism), `--queue` the bounded FIFO admission queue (default 64),
 //! `--cache` the epoch-tagged solution cache (default 128, 0 disables).
+//! `--quota-rate`/`--quota-burst` (both required together, both >= 1)
+//! enable the per-tenant token-bucket quota: each tenant named in query
+//! requests may sustain `rate` queries per second with bursts up to
+//! `burst`; exceeding it sheds with `saturated` (see `docs/load.md`).
 //!
 //! `bsc serve --worker <addr>` turns the process into a **cluster worker**:
 //! it binds a TCP listener on `<addr>` (port 0 picks a free port),
@@ -37,13 +42,14 @@
 use std::io::{BufRead, Write};
 
 use bsc_core::distributed::FanoutSpec;
-use bsc_service::engine::EngineConfig;
+use bsc_service::engine::{EngineConfig, TenantQuota};
 use bsc_service::session::Session;
 
 fn usage_error(message: &str) -> ! {
     eprintln!("{message}");
     eprintln!(
         "usage: bsc serve [--workers <n>] [--queue <n>] [--cache <n>]\n\
+         \x20                [--quota-rate <n> --quota-burst <n>]\n\
          \x20      bsc serve --worker <addr>\n\
          \x20      bsc serve --coordinator --workers <addr,...> [--queue <n>] [--cache <n>]\n\
          \x20      bsc oracle"
@@ -117,6 +123,8 @@ fn main() {
             let coordinator = rest.iter().any(|a| a == "--coordinator");
             let mut config = EngineConfig::default();
             let mut fanout: Option<FanoutSpec> = None;
+            let mut quota_rate: Option<u64> = None;
+            let mut quota_burst: Option<u64> = None;
             let mut iter = rest.iter();
             while let Some(arg) = iter.next() {
                 match arg.as_str() {
@@ -141,8 +149,23 @@ fn main() {
                         n => config = config.queue_capacity(n),
                     },
                     "--cache" => config = config.cache_capacity(flag_value(&mut iter, "--cache")),
+                    "--quota-rate" => match flag_value(&mut iter, "--quota-rate") {
+                        0 => usage_error("--quota-rate must be >= 1"),
+                        n => quota_rate = Some(n as u64),
+                    },
+                    "--quota-burst" => match flag_value(&mut iter, "--quota-burst") {
+                        0 => usage_error("--quota-burst must be >= 1"),
+                        n => quota_burst = Some(n as u64),
+                    },
                     other => usage_error(&format!("unknown flag '{other}'")),
                 }
+            }
+            match (quota_rate, quota_burst) {
+                (Some(rate), Some(burst)) => {
+                    config = config.quota(Some(TenantQuota::new(rate, burst)));
+                }
+                (None, None) => {}
+                _ => usage_error("--quota-rate and --quota-burst must be given together"),
             }
             if coordinator {
                 let Some(fanout) = fanout else {

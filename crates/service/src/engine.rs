@@ -2,10 +2,27 @@
 //!
 //! [`QueryEngine`] is the long-lived heart of `bsc serve`: it owns the
 //! current [`GraphSnapshot`] (behind a [`SnapshotCell`]), a fixed pool of
-//! worker threads, a bounded FIFO admission queue and an epoch-tagged LRU
-//! cache of solutions. Queries pin the snapshot current at **admission**, so
-//! a snapshot swap mid-stream never blocks, retargets or corrupts an
+//! worker threads, a bounded two-lane admission queue
+//! ([`crate::admission::AdmissionQueue`]) and an epoch-tagged LRU cache of
+//! solutions. Queries pin the snapshot current at **admission**, so a
+//! snapshot swap mid-stream never blocks, retargets or corrupts an
 //! in-flight query — it only means later queries see the newer epoch.
+//!
+//! Multi-tenant QoS is layered on the same admission seam:
+//!
+//! * [`SolverOptions::tenant`] attributes each query to a tenant; the engine
+//!   keeps per-tenant submitted/admitted/shed counters
+//!   ([`EngineStats::tenants`]) and, when [`EngineConfig::quota`] is set,
+//!   charges a token-bucket per tenant — exhausted tenants are shed with
+//!   [`BscError::Saturated`] *before* they can crowd the queue.
+//! * [`SolverOptions::priority`] picks the admission lane; the high lane is
+//!   served first subject to the starvation bound documented in
+//!   [`crate::admission`].
+//! * Workers coalesce queued queries that share a `(epoch, cache key)` with
+//!   the solve that just finished ([`crate::batch`]), answering all of them
+//!   from one window scan. Coalesced answers are clones of the leader's
+//!   solution, so they are byte-identical to what a serial execution of each
+//!   query would produce.
 //!
 //! Execution goes through the same object-safe
 //! [`StableClusterSolver`](bsc_core::solver::StableClusterSolver) seam as
@@ -17,8 +34,9 @@
 //! backend × shard count, under concurrent mixed-algorithm storms and
 //! across epoch swaps.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -31,7 +49,32 @@ use bsc_core::solver::{deadline_error, AlgorithmKind, Solution, SolverOptions};
 use bsc_util::cancel::CancelToken;
 use bsc_util::LatencyHistogram;
 
+use crate::admission::{AdmissionQueue, PushError};
 use crate::cache::{CacheStats, SolutionCache};
+
+/// A per-tenant token-bucket admission quota: sustained `rate_per_sec`
+/// queries per second with bursts of up to `burst` queries. Integer fields
+/// only — the bucket's internal arithmetic runs in micro-tokens (1 query =
+/// 1 000 000 micro-tokens, refilled at `rate_per_sec` micro-tokens per
+/// microsecond), so accounting is exact and the config stays `Eq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TenantQuota {
+    /// Sustained admissions per second per tenant. Must be ≥ 1.
+    pub rate_per_sec: u64,
+    /// Bucket capacity: how many queries a tenant can burst above the
+    /// sustained rate. Must be ≥ 1.
+    pub burst: u64,
+}
+
+impl TenantQuota {
+    /// A quota of `rate_per_sec` sustained admissions with `burst` headroom.
+    pub fn new(rate_per_sec: u64, burst: u64) -> TenantQuota {
+        TenantQuota {
+            rate_per_sec,
+            burst,
+        }
+    }
+}
 
 /// Sizing knobs for a [`QueryEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,12 +83,19 @@ pub struct EngineConfig {
     /// `docs/service.md` for sizing guidance (workers × per-query threads
     /// should not exceed the machine's cores).
     pub workers: usize,
-    /// Capacity of the bounded FIFO admission queue. A full queue blocks
-    /// [`QueryEngine::submit`] and rejects [`QueryEngine::try_submit`] with
-    /// [`BscError::Saturated`]. Must be ≥ 1.
+    /// Capacity of the bounded two-lane admission queue (shared across both
+    /// priority lanes). A full queue blocks [`QueryEngine::submit`] and
+    /// rejects [`QueryEngine::try_submit`] with [`BscError::Saturated`].
+    /// Must be ≥ 1.
     pub queue_capacity: usize,
     /// Capacity of the epoch-tagged LRU solution cache (0 disables it).
     pub cache_capacity: usize,
+    /// Per-tenant token-bucket quota. `None` (the default) admits every
+    /// tenant without metering; `Some` sheds a tenant's above-quota traffic
+    /// with [`BscError::Saturated`] at submission, before it occupies a
+    /// queue slot. Queries with no [`SolverOptions::tenant`] are never
+    /// metered.
+    pub quota: Option<TenantQuota>,
 }
 
 impl Default for EngineConfig {
@@ -56,6 +106,7 @@ impl Default for EngineConfig {
                 .unwrap_or(1),
             queue_capacity: 64,
             cache_capacity: 128,
+            quota: None,
         }
     }
 }
@@ -79,6 +130,12 @@ impl EngineConfig {
         self
     }
 
+    /// Set (or clear) the per-tenant admission quota.
+    pub fn quota(mut self, quota: Option<TenantQuota>) -> Self {
+        self.quota = quota;
+        self
+    }
+
     fn validate(&self) -> BscResult<()> {
         if self.workers == 0 {
             return Err(BscError::InvalidConfig(
@@ -89,6 +146,13 @@ impl EngineConfig {
             return Err(BscError::InvalidConfig(
                 "engine queue capacity must be >= 1".into(),
             ));
+        }
+        if let Some(quota) = self.quota {
+            if quota.rate_per_sec == 0 || quota.burst == 0 {
+                return Err(BscError::InvalidConfig(
+                    "tenant quota rate and burst must be >= 1".into(),
+                ));
+            }
         }
         Ok(())
     }
@@ -132,9 +196,10 @@ impl QueryRequest {
     /// (or its cost profile), rendered through the same stable textual
     /// forms the CLI and protocol use.
     pub fn cache_key(&self) -> String {
-        // `cancel` is deliberately excluded: a deadline changes whether the
-        // answer arrives, never what it is, so queries with different
-        // budgets share cache entries.
+        // `cancel`, `tenant` and `priority` are deliberately excluded: a
+        // deadline changes whether the answer arrives, a tenant changes who
+        // is billed and a priority changes how long the query waits — never
+        // what the answer is — so such queries share cache entries.
         let SolverOptions {
             threads,
             storage,
@@ -142,6 +207,8 @@ impl QueryRequest {
             shards,
             fanout,
             cancel: _,
+            tenant: _,
+            priority: _,
         } = &self.options;
         let fanout = fanout
             .as_ref()
@@ -202,11 +269,40 @@ impl QueryTicket {
     }
 }
 
-struct Job {
-    request: QueryRequest,
-    snapshot: GraphSnapshot,
-    enqueued: Instant,
-    reply: mpsc::Sender<BscResult<QueryResponse>>,
+pub(crate) struct Job {
+    pub(crate) request: QueryRequest,
+    pub(crate) snapshot: GraphSnapshot,
+    /// The request's cache key, computed once at admission — the batch
+    /// executor compares it against queued jobs to find coalescable ones.
+    pub(crate) key: String,
+    pub(crate) enqueued: Instant,
+    pub(crate) reply: mpsc::Sender<BscResult<QueryResponse>>,
+}
+
+/// One tenant's admission counters, as reported by [`EngineStats::tenants`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantStats {
+    /// The tenant name ([`SolverOptions::tenant`]).
+    pub tenant: String,
+    /// Queries this tenant submitted (admitted or not).
+    pub submitted: u64,
+    /// Queries that made it into the admission queue.
+    pub admitted: u64,
+    /// Queries shed by the tenant's token-bucket quota (a subset of
+    /// `submitted - admitted`; the rest of the gap is queue-full shedding
+    /// and admission deadline hits).
+    pub quota_shed: u64,
+}
+
+/// Mutable per-tenant bookkeeping: counters plus the token bucket.
+struct TenantState {
+    submitted: u64,
+    admitted: u64,
+    quota_shed: u64,
+    /// Remaining budget in micro-tokens (1 admission = 1 000 000).
+    tokens_micro: u64,
+    /// Engine-relative timestamp (µs) of the last refill.
+    last_micros: u64,
 }
 
 /// Aggregate engine counters and latency distributions, as returned by
@@ -233,45 +329,67 @@ pub struct EngineStats {
     pub queue_expired: u64,
     /// In-flight queries cancelled by [`QueryEngine::shutdown`].
     pub cancelled: u64,
+    /// Queries answered by coalescing onto another query's solve of the
+    /// same `(epoch, cache key)` instead of scanning the windows again
+    /// (the coalesced queries themselves — the leader solve is not
+    /// counted).
+    pub coalesced: u64,
+    /// Queries shed by a tenant token-bucket quota (summed over tenants).
+    /// A subset of neither `queries` nor `errors` — shed queries never
+    /// reach a worker.
+    pub quota_shed: u64,
+    /// Per-tenant admission counters, sorted by tenant name. Tenants
+    /// appear here whenever their queries carry
+    /// [`SolverOptions::tenant`], with or without a configured quota.
+    pub tenants: Vec<TenantStats>,
     /// Distribution of admission-queue waits.
     pub queue_wait: LatencyHistogram,
-    /// Distribution of solve times (cache hits excluded).
+    /// Distribution of solve times (cache hits and coalesced answers
+    /// excluded — only actual window scans).
     pub solve: LatencyHistogram,
 }
 
 #[derive(Default)]
-struct Metrics {
-    queries: u64,
-    errors: u64,
-    deadline_hits: u64,
-    queue_expired: u64,
-    cancelled: u64,
-    queue_wait: LatencyHistogram,
-    solve: LatencyHistogram,
+pub(crate) struct Metrics {
+    pub(crate) queries: u64,
+    pub(crate) errors: u64,
+    pub(crate) deadline_hits: u64,
+    pub(crate) queue_expired: u64,
+    pub(crate) cancelled: u64,
+    pub(crate) coalesced: u64,
+    pub(crate) quota_shed: u64,
+    pub(crate) queue_wait: LatencyHistogram,
+    pub(crate) solve: LatencyHistogram,
 }
 
-struct Shared {
-    cache: Mutex<SolutionCache>,
-    metrics: Mutex<Metrics>,
+pub(crate) struct Shared {
+    pub(crate) cache: Mutex<SolutionCache>,
+    pub(crate) metrics: Mutex<Metrics>,
+    /// Per-tenant counters and token buckets, keyed by tenant name.
+    tenants: Mutex<HashMap<String, TenantState>>,
     /// Queries admitted but not yet answered (gauge).
-    in_flight: AtomicU64,
+    pub(crate) in_flight: AtomicU64,
     /// Cancel tokens of the queries being solved *right now*, so shutdown
     /// can trip every one of them. Tokens register on solve start and
     /// deregister (by identity) when the solve settles.
-    solving: Mutex<Vec<CancelToken>>,
+    pub(crate) solving: Mutex<Vec<CancelToken>>,
     /// Set by shutdown: workers fail queued-but-unstarted jobs fast with
     /// [`BscError::Shutdown`] instead of solving into the void.
-    shutting_down: AtomicBool,
+    pub(crate) shutting_down: AtomicBool,
 }
 
 /// The long-lived query executor. See the module docs.
 pub struct QueryEngine {
     cell: Arc<SnapshotCell>,
     shared: Arc<Shared>,
-    /// `None` once shut down (dropping the sender stops the workers).
-    queue: Option<SyncSender<Job>>,
+    queue: Arc<AdmissionQueue<Job>>,
     workers: Vec<JoinHandle<()>>,
     config: EngineConfig,
+    /// The engine's time origin: tenant token buckets are refilled against
+    /// microseconds elapsed since this instant, so a harness driving
+    /// [`QueryEngine::try_submit_at`] with its own schedule gets the exact
+    /// same quota decisions on every run.
+    origin: Instant,
 }
 
 impl std::fmt::Debug for QueryEngine {
@@ -279,7 +397,7 @@ impl std::fmt::Debug for QueryEngine {
         f.debug_struct("QueryEngine")
             .field("config", &self.config)
             .field("epoch", &self.cell.epoch())
-            .field("shut_down", &self.queue.is_none())
+            .field("shut_down", &self.queue.is_closed())
             .finish()
     }
 }
@@ -296,31 +414,32 @@ impl QueryEngine {
     /// solution cache, which a bare `cell.install` cannot).
     pub fn with_cell(config: EngineConfig, cell: Arc<SnapshotCell>) -> BscResult<QueryEngine> {
         config.validate()?;
-        let (sender, receiver) = mpsc::sync_channel::<Job>(config.queue_capacity);
-        let receiver = Arc::new(Mutex::new(receiver));
+        let queue = Arc::new(AdmissionQueue::new(config.queue_capacity));
         let shared = Arc::new(Shared {
             cache: Mutex::new(SolutionCache::new(config.cache_capacity)),
             metrics: Mutex::new(Metrics::default()),
+            tenants: Mutex::new(HashMap::new()),
             in_flight: AtomicU64::new(0),
             solving: Mutex::new(Vec::new()),
             shutting_down: AtomicBool::new(false),
         });
         let workers = (0..config.workers)
             .map(|i| {
-                let receiver = Arc::clone(&receiver);
+                let queue = Arc::clone(&queue);
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("bsc-query-{i}"))
-                    .spawn(move || worker_loop(&receiver, &shared))
+                    .spawn(move || worker_loop(&queue, &shared))
                     .expect("spawn query worker") // bsc:allow(panic-in-lib) -- engine construction, before any query is accepted; no caller can proceed without workers
             })
             .collect();
         Ok(QueryEngine {
             cell,
             shared,
-            queue: Some(sender),
+            queue,
             workers,
             config,
+            origin: Instant::now(),
         })
     }
 
@@ -358,8 +477,8 @@ impl QueryEngine {
         self.install(GraphSnapshot::new(graph))
     }
 
-    /// Admit a query, **blocking** while the bounded FIFO queue is full.
-    /// The snapshot is pinned now, not when a worker picks the job up.
+    /// Admit a query, **blocking** while the bounded queue is full. The
+    /// snapshot is pinned now, not when a worker picks the job up.
     ///
     /// # Blocking hazard
     ///
@@ -369,38 +488,59 @@ impl QueryEngine {
     /// connection handler. Latency-sensitive callers should use
     /// [`QueryEngine::submit_deadline`] (bounded wait, and the same budget
     /// then covers queueing and solving) or [`QueryEngine::try_submit`]
-    /// (fail fast with [`BscError::Saturated`]).
+    /// (fail fast with [`BscError::Saturated`]). A tenant over its quota is
+    /// shed with [`BscError::Saturated`] immediately — quota exhaustion
+    /// never blocks.
     pub fn submit(&self, request: QueryRequest) -> BscResult<QueryTicket> {
+        self.charge_quota(&request, self.now_micros())?;
         let (job, ticket) = self.admit(request)?;
-        let queue = self.queue.as_ref().ok_or(BscError::Shutdown)?;
+        let priority = job.request.options.priority;
+        let tenant = job.request.options.tenant.clone();
         // Count the job before it becomes visible to workers — a worker
         // could otherwise dequeue, solve and decrement first, wrapping the
         // gauge below zero.
         self.shared.in_flight.fetch_add(1, Ordering::Relaxed);
-        if queue.send(job).is_err() {
+        if self.queue.push_blocking(job, priority).is_err() {
             self.shared.in_flight.fetch_sub(1, Ordering::Relaxed);
             return Err(BscError::Shutdown);
         }
+        self.record_admitted(tenant.as_deref());
         Ok(ticket)
     }
 
-    /// Admit a query without blocking: a full queue is reported as
-    /// [`BscError::Saturated`] (back-pressure to shed load instead of
-    /// buffering unboundedly).
+    /// Admit a query without blocking: a full queue — or an exhausted
+    /// tenant quota — is reported as [`BscError::Saturated`]
+    /// (back-pressure to shed load instead of buffering unboundedly).
     pub fn try_submit(&self, request: QueryRequest) -> BscResult<QueryTicket> {
+        self.try_submit_at(request, self.now_micros())
+    }
+
+    /// [`QueryEngine::try_submit`] against an explicit engine-relative
+    /// clock reading (microseconds since engine start). Token buckets
+    /// refill from `now_micros`, so a caller replaying a fixed arrival
+    /// schedule — the `bsc_bench::load` harness — gets identical
+    /// quota-shed decisions on every run, independent of wall-clock
+    /// jitter. Readings that go backwards are treated as "no time passed"
+    /// (no refill, no regression of the bucket clock).
+    pub fn try_submit_at(&self, request: QueryRequest, now_micros: u64) -> BscResult<QueryTicket> {
+        self.charge_quota(&request, now_micros)?;
         let (job, ticket) = self.admit(request)?;
-        let queue = self.queue.as_ref().ok_or(BscError::Shutdown)?;
+        let priority = job.request.options.priority;
+        let tenant = job.request.options.tenant.clone();
         // Pre-count for the same reason as `submit`; undo on rejection.
         self.shared.in_flight.fetch_add(1, Ordering::Relaxed);
-        match queue.try_send(job) {
-            Ok(()) => Ok(ticket),
+        match self.queue.try_push(job, priority) {
+            Ok(()) => {
+                self.record_admitted(tenant.as_deref());
+                Ok(ticket)
+            }
             Err(error) => {
                 self.shared.in_flight.fetch_sub(1, Ordering::Relaxed);
                 match error {
-                    TrySendError::Full(_) => Err(BscError::Saturated {
+                    PushError::Full(_) => Err(BscError::Saturated {
                         capacity: self.config.queue_capacity,
                     }),
-                    TrySendError::Disconnected(_) => Err(BscError::Shutdown),
+                    PushError::Closed(_) => Err(BscError::Shutdown),
                 }
             }
         }
@@ -414,12 +554,14 @@ impl QueryEngine {
     ///
     /// Admission polls the queue instead of blocking, so a saturated
     /// engine costs at most the budget, never a wedge. An expired budget
-    /// is reported as [`BscError::DeadlineExceeded`].
+    /// is reported as [`BscError::DeadlineExceeded`]; an exhausted tenant
+    /// quota as [`BscError::Saturated`], immediately.
     pub fn submit_deadline(
         &self,
         mut request: QueryRequest,
         budget: Duration,
     ) -> BscResult<QueryTicket> {
+        self.charge_quota(&request, self.now_micros())?;
         let token = request
             .options
             .cancel
@@ -427,12 +569,16 @@ impl QueryEngine {
             .clone();
         let admission_deadline = Instant::now() + budget;
         let (mut job, ticket) = self.admit(request)?;
-        let queue = self.queue.as_ref().ok_or(BscError::Shutdown)?;
+        let priority = job.request.options.priority;
+        let tenant = job.request.options.tenant.clone();
         self.shared.in_flight.fetch_add(1, Ordering::Relaxed);
         loop {
-            match queue.try_send(job) {
-                Ok(()) => return Ok(ticket),
-                Err(TrySendError::Full(returned)) => {
+            match self.queue.try_push(job, priority) {
+                Ok(()) => {
+                    self.record_admitted(tenant.as_deref());
+                    return Ok(ticket);
+                }
+                Err(PushError::Full(returned)) => {
                     if token.expired() || Instant::now() >= admission_deadline {
                         self.shared.in_flight.fetch_sub(1, Ordering::Relaxed);
                         let mut metrics = self
@@ -447,7 +593,7 @@ impl QueryEngine {
                     job = returned;
                     std::thread::sleep(ADMISSION_POLL);
                 }
-                Err(TrySendError::Disconnected(_)) => {
+                Err(PushError::Closed(_)) => {
                     self.shared.in_flight.fetch_sub(1, Ordering::Relaxed);
                     return Err(BscError::Shutdown);
                 }
@@ -468,6 +614,20 @@ impl QueryEngine {
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .stats();
+        let mut tenants: Vec<TenantStats> = self
+            .shared
+            .tenants
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .map(|(tenant, state)| TenantStats {
+                tenant: tenant.clone(),
+                submitted: state.submitted,
+                admitted: state.admitted,
+                quota_shed: state.quota_shed,
+            })
+            .collect();
+        tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
         let metrics = self
             .shared
             .metrics
@@ -483,6 +643,9 @@ impl QueryEngine {
             deadline_hits: metrics.deadline_hits,
             queue_expired: metrics.queue_expired,
             cancelled: metrics.cancelled,
+            coalesced: metrics.coalesced,
+            quota_shed: metrics.quota_shed,
+            tenants,
             queue_wait: metrics.queue_wait.clone(),
             solve: metrics.solve.clone(),
         }
@@ -500,8 +663,10 @@ impl QueryEngine {
     /// failed fast with [`BscError::Shutdown`] instead of being solved
     /// into the void. Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
-        self.queue = None; // workers exit when the queue disconnects
+        // Workers drain what is queued (failing it fast via the flag
+        // below), then read `None` from the closed queue and exit.
         self.shared.shutting_down.store(true, Ordering::Relaxed);
+        self.queue.close();
         {
             let solving = self
                 .shared
@@ -528,13 +693,90 @@ impl QueryEngine {
     fn admit(&self, request: QueryRequest) -> BscResult<(Job, QueryTicket)> {
         request.validate()?;
         let (reply, receiver) = mpsc::channel();
+        let key = request.cache_key();
         let job = Job {
             request,
             snapshot: self.cell.load(),
+            key,
             enqueued: Instant::now(),
             reply,
         };
         Ok((job, QueryTicket { receiver }))
+    }
+
+    /// Microseconds since the engine's time origin — the clock
+    /// [`QueryEngine::try_submit`] feeds the token buckets.
+    fn now_micros(&self) -> u64 {
+        duration_micros(self.origin.elapsed())
+    }
+
+    /// Account a submission against the request's tenant (counters always,
+    /// the token bucket when a quota is configured). An exhausted bucket
+    /// sheds the query with [`BscError::Saturated`] before it can occupy a
+    /// queue slot. Tokens charged for a query that is later refused by a
+    /// full queue are **not** refunded — the decision stream stays a pure
+    /// function of the arrival schedule, which is what makes the load
+    /// harness reproducible.
+    fn charge_quota(&self, request: &QueryRequest, now_micros: u64) -> BscResult<()> {
+        let Some(tenant) = request.options.tenant.as_deref() else {
+            return Ok(());
+        };
+        let quota = self.config.quota;
+        let mut tenants = self
+            .shared
+            .tenants
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        let state = tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| TenantState {
+                submitted: 0,
+                admitted: 0,
+                quota_shed: 0,
+                // A new tenant starts with a full bucket — the burst is
+                // headroom, not something to be earned first.
+                tokens_micro: quota.map_or(0, |q| q.burst.saturating_mul(MICRO_TOKENS_PER_QUERY)),
+                last_micros: now_micros,
+            });
+        state.submitted += 1;
+        let Some(quota) = quota else {
+            return Ok(());
+        };
+        if now_micros > state.last_micros {
+            let delta = now_micros - state.last_micros;
+            let refill = delta.saturating_mul(quota.rate_per_sec);
+            let capacity = quota.burst.saturating_mul(MICRO_TOKENS_PER_QUERY);
+            state.tokens_micro = state.tokens_micro.saturating_add(refill).min(capacity);
+            state.last_micros = now_micros;
+        }
+        if state.tokens_micro < MICRO_TOKENS_PER_QUERY {
+            state.quota_shed += 1;
+            drop(tenants);
+            self.shared
+                .metrics
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .quota_shed += 1;
+            return Err(BscError::Saturated {
+                capacity: self.config.queue_capacity,
+            });
+        }
+        state.tokens_micro -= MICRO_TOKENS_PER_QUERY;
+        Ok(())
+    }
+
+    /// Bump the tenant's admitted counter after a successful queue push.
+    fn record_admitted(&self, tenant: Option<&str>) {
+        let Some(tenant) = tenant else { return };
+        if let Some(state) = self
+            .shared
+            .tenants
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get_mut(tenant)
+        {
+            state.admitted += 1;
+        }
     }
 }
 
@@ -544,7 +786,7 @@ impl Drop for QueryEngine {
     }
 }
 
-fn duration_micros(d: Duration) -> u64 {
+pub(crate) fn duration_micros(d: Duration) -> u64 {
     d.as_micros().min(u128::from(u64::MAX)) as u64
 }
 
@@ -553,59 +795,94 @@ fn duration_micros(d: Duration) -> u64 {
 /// under churn stays in the single-digit milliseconds.
 const ADMISSION_POLL: Duration = Duration::from_millis(2);
 
-fn worker_loop(receiver: &Mutex<Receiver<Job>>, shared: &Shared) {
-    loop {
-        // Hold the receiver lock only for the dequeue, never during a solve,
-        // so the pool drains the FIFO queue concurrently.
-        let job = match receiver.lock() {
-            Ok(guard) => guard.recv(),
-            Err(_) => return,
-        };
-        let Ok(mut job) = job else { return };
-        let queue_wait = job.enqueued.elapsed();
-        // Queued-but-expired queries fail fast: the budget is gone, so
-        // solving would only delay the error (and every query behind it).
-        let expired_in_queue = job
-            .request
-            .options
-            .cancel
-            .as_ref()
-            .filter(|token| token.expired())
-            .map(deadline_error);
-        let was_expired_in_queue = expired_in_queue.is_some();
-        let result = if let Some(error) = expired_in_queue {
-            Err(error)
-        } else if shared.shutting_down.load(Ordering::Relaxed) {
-            Err(BscError::Shutdown)
-        } else {
-            execute(&mut job, queue_wait, shared)
-        };
-        {
-            let mut metrics = shared.metrics.lock().unwrap_or_else(|p| p.into_inner());
-            metrics.queries += 1;
-            metrics.queue_wait.record(queue_wait);
-            match &result {
-                Ok(response) if !response.cached => {
-                    metrics
-                        .solve
-                        .record_micros(response.solution.stats.solve_micros);
-                }
-                Ok(_) => {}
-                Err(e) => {
-                    metrics.errors += 1;
-                    if matches!(e, BscError::DeadlineExceeded { .. }) {
-                        metrics.deadline_hits += 1;
-                        if was_expired_in_queue {
-                            metrics.queue_expired += 1;
-                        }
+/// Token-bucket resolution: one admission costs this many micro-tokens, and
+/// a bucket refills `rate_per_sec` micro-tokens per elapsed microsecond —
+/// exact integer accounting with no floating point in the admission path.
+const MICRO_TOKENS_PER_QUERY: u64 = 1_000_000;
+
+/// What a worker learned from settling one job, kept so the batch executor
+/// can answer coalesced followers without re-solving (the response) and
+/// keep its fan-out loop cancellable (the token).
+pub(crate) struct JobOutcome {
+    /// The successful response, clonable for followers (`None` when the
+    /// job errored — errors are not `Clone`, so followers re-execute).
+    pub(crate) response: Option<QueryResponse>,
+    /// The cancel token the solve ran under, if it got that far.
+    pub(crate) token: Option<CancelToken>,
+}
+
+fn worker_loop(queue: &AdmissionQueue<Job>, shared: &Shared) {
+    while let Some(job) = queue.pop() {
+        let epoch = job.snapshot.epoch();
+        let key = job.key.clone();
+        // Only token-less queries coalesce: a follower answered from a
+        // leader's solve would otherwise inherit the wrong deadline
+        // behaviour (its own budget could be gone, or the leader's not).
+        // Eligibility is decided *before* processing — execute() installs
+        // a token on every solve.
+        let eligible = crate::batch::coalescable(&job);
+        let outcome = process_job(job, shared);
+        if eligible {
+            // Drain *after* the solve: every matching query that arrived
+            // while the windows were being scanned shares the answer.
+            let followers = crate::batch::drain_followers(queue, epoch, &key);
+            crate::batch::settle_followers(followers, &outcome, shared);
+        }
+    }
+}
+
+/// Settle one dequeued job end to end: fail fast if its budget died in the
+/// queue or the engine is shutting down, otherwise execute it; record
+/// metrics; reply. Returns the outcome the batch executor needs.
+pub(crate) fn process_job(mut job: Job, shared: &Shared) -> JobOutcome {
+    let queue_wait = job.enqueued.elapsed();
+    // Queued-but-expired queries fail fast: the budget is gone, so
+    // solving would only delay the error (and every query behind it).
+    let expired_in_queue = job
+        .request
+        .options
+        .cancel
+        .as_ref()
+        .filter(|token| token.expired())
+        .map(deadline_error);
+    let was_expired_in_queue = expired_in_queue.is_some();
+    let result = if let Some(error) = expired_in_queue {
+        Err(error)
+    } else if shared.shutting_down.load(Ordering::Relaxed) {
+        Err(BscError::Shutdown)
+    } else {
+        execute(&mut job, queue_wait, shared)
+    };
+    {
+        let mut metrics = shared.metrics.lock().unwrap_or_else(|p| p.into_inner());
+        metrics.queries += 1;
+        metrics.queue_wait.record(queue_wait);
+        match &result {
+            Ok(response) if !response.cached => {
+                metrics
+                    .solve
+                    .record_micros(response.solution.stats.solve_micros);
+            }
+            Ok(_) => {}
+            Err(e) => {
+                metrics.errors += 1;
+                if matches!(e, BscError::DeadlineExceeded { .. }) {
+                    metrics.deadline_hits += 1;
+                    if was_expired_in_queue {
+                        metrics.queue_expired += 1;
                     }
                 }
             }
         }
-        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
-        // A dropped ticket just means nobody is waiting for the answer.
-        let _ = job.reply.send(result);
     }
+    shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+    let outcome = JobOutcome {
+        response: result.as_ref().ok().cloned(),
+        token: job.request.options.cancel.clone(),
+    };
+    // A dropped ticket just means nobody is waiting for the answer.
+    let _ = job.reply.send(result);
+    outcome
 }
 
 fn execute(job: &mut Job, queue_wait: Duration, shared: &Shared) -> BscResult<QueryResponse> {

@@ -8,8 +8,11 @@
 //! Three layers:
 //!
 //! * [`engine::QueryEngine`] — a fixed thread-pool executor over
-//!   [`GraphSnapshot`](bsc_core::snapshot::GraphSnapshot)s: bounded FIFO
-//!   admission (back-pressure via [`BscError::Saturated`]), per-query
+//!   [`GraphSnapshot`](bsc_core::snapshot::GraphSnapshot)s: bounded
+//!   two-lane admission ([`admission::AdmissionQueue`]; back-pressure via
+//!   [`BscError::Saturated`], per-tenant token-bucket quotas, priority
+//!   lanes with a starvation bound, and coalescing of concurrent same-key
+//!   queries via [`batch`]), per-query
 //!   [`SolverOptions`](bsc_core::solver::SolverOptions), any
 //!   [`AlgorithmKind`](bsc_core::solver::AlgorithmKind) (including `Auto`
 //!   and sharded), and an epoch-tagged LRU [`cache::SolutionCache`]
@@ -54,13 +57,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
+pub mod batch;
 pub mod cache;
 pub mod engine;
 pub mod protocol;
 pub mod session;
 
+pub use admission::AdmissionQueue;
 pub use cache::{CacheStats, SolutionCache};
 pub use engine::{
-    EngineConfig, EngineStats, QueryEngine, QueryRequest, QueryResponse, QueryTicket,
+    EngineConfig, EngineStats, QueryEngine, QueryRequest, QueryResponse, QueryTicket, TenantQuota,
+    TenantStats,
 };
 pub use session::Session;

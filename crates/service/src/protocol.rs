@@ -11,7 +11,7 @@
 //! | op | fields | effect |
 //! |----|--------|--------|
 //! | `hello` | `version` | protocol handshake: echoes the server version and current epoch; a version mismatch fails fast (error response, session ends) |
-//! | `query` | `algorithm`, `spec`, `k`, `threads`, `storage`, `shards`, `workers`, `store_backed`, `deadline_ms` | solve against the current epoch |
+//! | `query` | `algorithm`, `spec`, `k`, `threads`, `storage`, `shards`, `workers`, `store_backed`, `deadline_ms`, `tenant`, `priority` | solve against the current epoch |
 //! | `load` | `num_intervals`, `nodes_per_interval`, `avg_out_degree`, `gap`, `seed` | install a synthetic graph as a new epoch |
 //! | `open_stream` | `k`, `l`, `gap` | start online ingest |
 //! | `push_interval` | `nodes`, `edges` | ingest one interval, publish a new epoch |
@@ -34,7 +34,7 @@ use bsc_core::cluster_graph::ClusterNodeId;
 use bsc_core::distributed::FanoutSpec;
 use bsc_core::path::ClusterPath;
 use bsc_core::problem::StableClusterSpec;
-use bsc_core::solver::{AlgorithmKind, SolverOptions};
+use bsc_core::solver::{AlgorithmKind, QueryPriority, SolverOptions};
 use bsc_storage::backend::StorageSpec;
 use bsc_util::json::{self, JsonValue};
 
@@ -186,13 +186,30 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 })
                 .transpose()?
                 .map(std::time::Duration::from_millis);
+            // Multi-tenant QoS fields: who the query is billed to and
+            // which admission lane it rides. Neither changes the answer,
+            // so transcripts stay diffable against the oracle.
+            let tenant = match doc.get("tenant") {
+                None => None,
+                Some(value) => Some(
+                    value
+                        .as_str()
+                        .ok_or_else(|| "field 'tenant' must be a string".to_string())?
+                        .to_string(),
+                ),
+            };
+            let priority_name = field_str(&doc, "priority", "normal")?;
+            let priority = QueryPriority::parse(priority_name)
+                .ok_or_else(|| format!("unknown priority '{priority_name}' (high|normal)"))?;
             let options = SolverOptions::default()
                 .threads(field_usize(&doc, "threads", 1)?)
                 .storage(storage)
                 .bfs_store_backed(field_bool(&doc, "store_backed", false)?)
                 .shards(field_usize(&doc, "shards", 1)?)
                 .fanout(fanout)
-                .deadline(deadline);
+                .deadline(deadline)
+                .tenant(tenant)
+                .priority(priority);
             Ok(Request::Query(
                 QueryRequest::new(algorithm, spec, field_usize(&doc, "k", 10)?).options(options),
             ))
@@ -378,6 +395,33 @@ mod tests {
         assert!(parse_request("{\"op\":\"query\",\"deadline_ms\":\"soon\"}")
             .unwrap_err()
             .contains("deadline_ms"));
+    }
+
+    #[test]
+    fn parses_tenant_and_priority() {
+        let request = parse_request(
+            "{\"op\":\"query\",\"spec\":\"exact:2\",\"tenant\":\"acme\",\"priority\":\"high\"}",
+        )
+        .unwrap();
+        let Request::Query(query) = request else {
+            panic!("expected a query");
+        };
+        assert_eq!(query.options.tenant.as_deref(), Some("acme"));
+        assert_eq!(query.options.priority, QueryPriority::High);
+        // Defaults: untracked tenant, normal lane.
+        let request = parse_request("{\"op\":\"query\"}").unwrap();
+        let Request::Query(query) = request else {
+            panic!("expected a query");
+        };
+        assert_eq!(query.options.tenant, None);
+        assert_eq!(query.options.priority, QueryPriority::Normal);
+        // Unknown lanes are rejected, not silently mapped.
+        assert!(parse_request("{\"op\":\"query\",\"priority\":\"urgent\"}")
+            .unwrap_err()
+            .contains("priority"));
+        assert!(parse_request("{\"op\":\"query\",\"tenant\":7}")
+            .unwrap_err()
+            .contains("tenant"));
     }
 
     #[test]

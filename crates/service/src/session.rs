@@ -326,6 +326,25 @@ impl Session {
                     ("deadline_hits", JsonValue::from(stats.deadline_hits)),
                     ("queue_expired", JsonValue::from(stats.queue_expired)),
                     ("cancelled", JsonValue::from(stats.cancelled)),
+                    ("coalesced", JsonValue::from(stats.coalesced)),
+                    ("quota_shed", JsonValue::from(stats.quota_shed)),
+                    (
+                        "tenants",
+                        JsonValue::Array(
+                            stats
+                                .tenants
+                                .iter()
+                                .map(|t| {
+                                    JsonValue::object([
+                                        ("tenant".to_string(), JsonValue::from(t.tenant.as_str())),
+                                        ("submitted".to_string(), JsonValue::from(t.submitted)),
+                                        ("admitted".to_string(), JsonValue::from(t.admitted)),
+                                        ("quota_shed".to_string(), JsonValue::from(t.quota_shed)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
                     (
                         "cache",
                         JsonValue::object([
@@ -367,15 +386,19 @@ fn histogram_to_json(histogram: &LatencyHistogram) -> JsonValue {
         ),
         (
             "p50_micros".to_string(),
-            JsonValue::from(histogram.quantile_micros(0.50)),
+            JsonValue::from(histogram.p50_micros()),
         ),
         (
             "p95_micros".to_string(),
-            JsonValue::from(histogram.quantile_micros(0.95)),
+            JsonValue::from(histogram.p95_micros()),
         ),
         (
             "p99_micros".to_string(),
-            JsonValue::from(histogram.quantile_micros(0.99)),
+            JsonValue::from(histogram.p99_micros()),
+        ),
+        (
+            "p999_micros".to_string(),
+            JsonValue::from(histogram.p999_micros()),
         ),
         (
             "max_micros".to_string(),
@@ -412,6 +435,9 @@ mod tests {
             "{\"op\":\"push_interval\",\"nodes\":1,\"edges\":[[0,0,0,0.5],[0,1,0,0.25]]}",
             "{\"op\":\"stream_top_k\"}",
             "{\"op\":\"query\",\"algorithm\":\"bfs\",\"spec\":\"exact:1\",\"k\":2}",
+            // Tenant/priority are QoS-only fields: the answer (and so the
+            // transcript) must not change when they are present.
+            "{\"op\":\"query\",\"algorithm\":\"bfs\",\"spec\":\"exact:1\",\"k\":2,\"tenant\":\"acme\",\"priority\":\"high\"}",
         ]
     }
 

@@ -124,6 +124,27 @@ impl LatencyHistogram {
         self.max_micros
     }
 
+    /// The median sample ([`LatencyHistogram::quantile_micros`] at 0.50).
+    pub fn p50_micros(&self) -> u64 {
+        self.quantile_micros(0.50)
+    }
+
+    /// The 95th-percentile sample.
+    pub fn p95_micros(&self) -> u64 {
+        self.quantile_micros(0.95)
+    }
+
+    /// The 99th-percentile sample.
+    pub fn p99_micros(&self) -> u64 {
+        self.quantile_micros(0.99)
+    }
+
+    /// The 99.9th-percentile sample — the tail the load harness and the
+    /// engine's stats endpoint report without walking buckets by hand.
+    pub fn p999_micros(&self) -> u64 {
+        self.quantile_micros(0.999)
+    }
+
     /// Merge another histogram into this one (bucket-wise).
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
@@ -133,15 +154,16 @@ impl LatencyHistogram {
         self.max_micros = self.max_micros.max(other.max_micros);
     }
 
-    /// One-line human-readable summary: count, mean, p50/p95/p99, max.
+    /// One-line human-readable summary: count, mean, p50/p95/p99/p999, max.
     pub fn summary(&self) -> String {
         format!(
-            "n={} mean={} p50={} p95={} p99={} max={}",
+            "n={} mean={} p50={} p95={} p99={} p999={} max={}",
             self.count(),
             format_micros(self.mean_micros()),
-            format_micros(self.quantile_micros(0.50)),
-            format_micros(self.quantile_micros(0.95)),
-            format_micros(self.quantile_micros(0.99)),
+            format_micros(self.p50_micros()),
+            format_micros(self.p95_micros()),
+            format_micros(self.p99_micros()),
+            format_micros(self.p999_micros()),
             format_micros(self.max_micros),
         )
     }

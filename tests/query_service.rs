@@ -163,6 +163,7 @@ fn concurrent_mixed_algorithm_storm_is_byte_identical() {
         tickets.len() >= 4,
         "storm must exceed the concurrency requirement"
     );
+    let mut zero_solve = 0u64;
     for (round, combo, ticket) in tickets {
         let (kind, spec, backend, shards) = combo;
         let context = format!("round {round}: {kind} {spec} {backend} shards={shards}");
@@ -173,11 +174,20 @@ fn concurrent_mixed_algorithm_storm_is_byte_identical() {
             .expect("expectation recorded")
             .1;
         assert_identical(expected, &response.solution.paths, &context);
-        assert!(
-            response.solution.stats.solve_micros > 0,
-            "{context}: cache was disabled, so every query must have solved"
-        );
+        if response.solution.stats.solve_micros == 0 {
+            zero_solve += 1;
+        }
     }
+    // The cache is disabled, so the only queries allowed to skip their own
+    // window scan are the ones coalesced onto a concurrent duplicate's solve
+    // (round 1 repeats round 0 exactly) — and those are byte-identity-checked
+    // above like everything else.
+    let stats = engine.stats();
+    assert_eq!(stats.cache.hits, 0, "cache was disabled");
+    assert_eq!(
+        zero_solve, stats.coalesced,
+        "every query either solved or was coalesced onto a live solve"
+    );
 }
 
 #[test]
