@@ -33,8 +33,10 @@ const PANIC_EXEMPT_CRATES: [&str; 1] = ["bsc-bench"];
 /// tripped [`CancelToken`](bsc_util::cancel::CancelToken). `batch.rs` is
 /// the engine's coalesced fan-out loop — not a solver, but it replays a
 /// solve's result to arbitrarily many followers and must notice shutdown
-/// mid-fan-out just like a solver notices it mid-scan.
-const HOT_PATH_FILES: [&str; 7] = [
+/// mid-fan-out just like a solver notices it mid-scan. `delta.rs` is the
+/// incremental window loop: each re-solved window checkpoints internally,
+/// but the loop over windows is itself a hot path.
+const HOT_PATH_FILES: [&str; 8] = [
     "bfs.rs",
     "dfs.rs",
     "ta.rs",
@@ -42,6 +44,7 @@ const HOT_PATH_FILES: [&str; 7] = [
     "sharded.rs",
     "exhaustive.rs",
     "batch.rs",
+    "delta.rs",
 ];
 
 /// Run every source lint that applies to `file`. `is_crate_root` enables

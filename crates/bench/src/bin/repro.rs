@@ -10,6 +10,8 @@
 //! repro load [--qps <n>] [--tenants <n>] [--duration <ms>] [--seed <n>]
 //!            [--json <path>] [--gate] [--baseline <path>]
 //!            [--tolerance <pct>]
+//! repro streaming [--paper] [--json <path>] [--gate] [--baseline <path>]
+//!                 [--tolerance <pct>]
 //! ```
 //!
 //! Without arguments the whole suite runs at the reduced "quick" scale; pass
@@ -108,7 +110,9 @@ const TARGETS: &[(&str, TargetFn)] = &[
         vec![experiments::baselines(scale)]
     }),
     ("streaming", |scale, _, _, _| {
-        vec![experiments::streaming_ablation(scale)]
+        let mut tables = vec![experiments::streaming_ablation(scale)];
+        tables.extend(experiments::streaming_delta(scale));
+        tables
     }),
 ];
 
@@ -155,6 +159,13 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("load") {
         run_load(&args[1..]);
+        return;
+    }
+    // `streaming` is both a plain target (inside `all`) and a gateable
+    // subcommand; leading-position `streaming` takes the subcommand path so
+    // `--gate`/`--baseline` work, exactly like `load`.
+    if args.first().map(String::as_str) == Some("streaming") {
+        run_streaming(&args[1..]);
         return;
     }
 
@@ -344,6 +355,93 @@ fn run_load(args: &[String]) {
     }
     if let Some(path) = &json_path {
         let json = tables_to_json_with_error("quick", &["load"], &tables, None);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("failed to write JSON to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {} table(s) to {path}", tables.len());
+    }
+    if gate_flag {
+        let baseline_text = match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => text,
+            Err(e) => usage_error(&format!("cannot read baseline {baseline_path}: {e}")),
+        };
+        let baseline = match parse_bench_doc(&baseline_text) {
+            Ok(doc) => doc,
+            Err(e) => usage_error(&format!("cannot parse baseline {baseline_path}: {e}")),
+        };
+        if let Some(error) = &baseline.error {
+            usage_error(&format!(
+                "baseline {baseline_path} records a failed run ({error}); regenerate it \
+                 before gating"
+            ));
+        }
+        let report = gate::compare(&baseline.tables, &tables, gate_config);
+        print!("{}", report.render());
+        if !report.passed() {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The `repro streaming` subcommand: the streaming ablation plus the
+/// incremental delta ablation (ingest-latency quantiles and the
+/// splice-vs-cold head-to-head), optionally gated against the checked-in
+/// `BENCH_streaming.json` with the suffix-typed columns: `(us)` ingest and
+/// solve latencies under the SLO band, `(=)` windows-resolved/spliced
+/// counts and the result digest byte-exact (the determinism tripwire —
+/// a digest drift means the solver changed its *answer*).
+fn run_streaming(args: &[String]) {
+    let mut json_path: Option<String> = None;
+    let mut gate_flag = false;
+    let mut baseline_path = "BENCH_streaming.json".to_string();
+    let mut gate_config = GateConfig::default();
+    let mut scale = Scale::Quick;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--paper" => scale = Scale::Paper,
+            "--json" => json_path = Some(flag_value(&mut iter, "--json").to_string()),
+            "--gate" => gate_flag = true,
+            "--baseline" => baseline_path = flag_value(&mut iter, "--baseline").to_string(),
+            "--tolerance" => match flag_value(&mut iter, "--tolerance").parse::<f64>() {
+                Ok(pct) if pct > 0.0 => gate_config.slo_tolerance = pct / 100.0,
+                _ => usage_error("--tolerance requires a positive percentage"),
+            },
+            flag => usage_error(&format!(
+                "unknown streaming flag '{flag}' (expected --paper, --json <path>, --gate, \
+                 --baseline <path> or --tolerance <pct>)"
+            )),
+        }
+    }
+    if gate_flag && matches!(scale, Scale::Paper) {
+        usage_error("--gate compares against a quick-scale baseline; drop --paper");
+    }
+
+    let streaming = target_fn("streaming").expect("streaming is a registered target");
+    let tables = match run_target(streaming, scale, &StorageSpec::ALL, 3, 2) {
+        Ok(tables) => tables,
+        Err(message) => {
+            let message = format!("streaming run failed: {message}");
+            if let Some(path) = &json_path {
+                let json = tables_to_json_with_error("quick", &["streaming"], &[], Some(&message));
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("failed to write JSON to {path}: {e}");
+                }
+            }
+            eprintln!("{message}");
+            std::process::exit(1);
+        }
+    };
+    for table in &tables {
+        println!("{table}");
+    }
+    if let Some(path) = &json_path {
+        let scale_name = match scale {
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+        };
+        let json = tables_to_json_with_error(scale_name, &["streaming"], &tables, None);
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("failed to write JSON to {path}: {e}");
             std::process::exit(1);

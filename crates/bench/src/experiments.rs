@@ -1090,6 +1090,162 @@ pub fn streaming_ablation(scale: Scale) -> Table {
     table
 }
 
+/// Stable digest of a top-k result: FNV-1a over node ids and weight bits.
+/// Solutions are byte-identical across machines (the workspace determinism
+/// invariant), so this renders as a `(=)` gate cell — any digest drift
+/// means the solver changed its answer, not its speed.
+fn paths_digest(paths: &[ClusterPath]) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mix = |hash: &mut u64, value: u64| {
+        for byte in value.to_le_bytes() {
+            *hash ^= u64::from(byte);
+            *hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for path in paths {
+        for node in path.nodes() {
+            mix(&mut hash, u64::from(node.interval));
+            mix(&mut hash, u64::from(node.index));
+        }
+        mix(&mut hash, path.weight().to_bits());
+    }
+    format!("{hash:016x}")
+}
+
+/// Incremental epoch-delta ablation (ISSUE 10): per-interval ingest latency
+/// quantiles, plus a head-to-head of a cold windowed re-solve against the
+/// delta solve that re-solves only the windows the newest interval touches
+/// and splices the rest forward from the prior epoch's window results
+/// (`bsc_core::delta`). Self-verifying: the spliced solution must be
+/// byte-identical to the cold one before any timing is reported. The
+/// `(us)` cells are latency-SLO gated, the `(=)` cells are the
+/// determinism tripwire (windows resolved/spliced and the result digest
+/// are pure functions of the scale).
+pub fn streaming_delta(scale: Scale) -> Vec<Table> {
+    use bsc_core::delta::{solve_windows, GraphDelta};
+    use bsc_core::streaming::OnlineStableClusters;
+    let n = scale.pick(200, 1_000);
+    let m = scale.pick(12, 25);
+    // The stream ingests m intervals, then one more arrives.
+    let graph = cluster_graph(m + 1, n, 5, 1, SEED);
+    let params = KlStableParams::new(5, 3);
+    let spec = StableClusterSpec::ExactLength(params.l);
+    let options = SolverOptions::default();
+
+    let mut ingest = bsc_util::LatencyHistogram::new();
+    let mut online = OnlineStableClusters::new(params, graph.gap());
+    for interval in 0..m as u32 {
+        let parent_edges = graph.interval_parent_edges(interval);
+        let (_, push_time) = timed(|| online.push_interval(parent_edges));
+        ingest.record(push_time);
+    }
+    let prior_snapshot = online.snapshot();
+    let prior = solve_windows(
+        prior_snapshot.graph(),
+        spec,
+        params.k,
+        AlgorithmKind::Bfs,
+        &options,
+        None,
+    )
+    .expect("prior windowed solve");
+
+    let parent_edges = graph.interval_parent_edges(m as u32);
+    let (_, push_time) = timed(|| online.push_interval(parent_edges));
+    ingest.record(push_time);
+    let new_snapshot = online.snapshot();
+    let delta = GraphDelta::between(prior_snapshot.graph(), new_snapshot.graph());
+
+    let (cold, cold_time) = timed(|| {
+        solve_windows(
+            new_snapshot.graph(),
+            spec,
+            params.k,
+            AlgorithmKind::Bfs,
+            &options,
+            None,
+        )
+        .expect("cold windowed solve")
+    });
+    let (spliced, delta_time) = timed(|| {
+        solve_windows(
+            new_snapshot.graph(),
+            spec,
+            params.k,
+            AlgorithmKind::Bfs,
+            &options,
+            Some((&prior.windows, &delta)),
+        )
+        .expect("delta solve")
+    });
+    assert_eq!(
+        cold.solution.paths.len(),
+        spliced.solution.paths.len(),
+        "delta solve diverged from the cold re-solve"
+    );
+    for (a, b) in cold
+        .solution
+        .paths
+        .iter()
+        .zip(spliced.solution.paths.iter())
+    {
+        assert_eq!(a.nodes(), b.nodes(), "delta solve diverged from cold");
+        assert_eq!(
+            a.weight().to_bits(),
+            b.weight().to_bits(),
+            "delta solve diverged from cold"
+        );
+    }
+    assert!(
+        spliced.solution.stats.windows_resolved < cold.solution.stats.windows_resolved,
+        "the delta solve re-solved every window — the splice never engaged"
+    );
+
+    let mut latency = Table::new(
+        "Streaming ingest latency per interval",
+        &["quantile", "latency(us)"],
+    );
+    latency.push_row(vec!["p50".into(), ingest.p50_micros().to_string()]);
+    latency.push_row(vec!["p95".into(), ingest.p95_micros().to_string()]);
+    latency.push_row(vec!["p99".into(), ingest.p99_micros().to_string()]);
+    latency.push_note(format!(
+        "m = {} intervals ingested online, n = {n}, d = 5, g = 1, k = 5, l = 3",
+        m + 1
+    ));
+
+    let mut table = Table::new(
+        "Incremental delta solve vs cold windowed re-solve (1 new interval)",
+        &[
+            "strategy",
+            "solve(us)",
+            "windows_resolved(=)",
+            "windows_spliced(=)",
+            "result_digest(=)",
+        ],
+    );
+    table.push_row(vec![
+        "cold windowed re-solve".into(),
+        cold_time.as_micros().to_string(),
+        cold.solution.stats.windows_resolved.to_string(),
+        cold.solution.stats.windows_spliced.to_string(),
+        paths_digest(&cold.solution.paths),
+    ]);
+    table.push_row(vec![
+        "delta splice forward".into(),
+        delta_time.as_micros().to_string(),
+        spliced.solution.stats.windows_resolved.to_string(),
+        spliced.solution.stats.windows_spliced.to_string(),
+        paths_digest(&spliced.solution.paths),
+    ]);
+    table.push_note(format!(
+        "one appended interval dirties {} of {} start windows; the rest splice \
+         forward byte-identically (verified before timing)",
+        spliced.solution.stats.windows_resolved,
+        spliced.solution.stats.windows_resolved + spliced.solution.stats.windows_spliced,
+    ));
+    vec![latency, table]
+}
+
 /// All experiments in paper order.
 pub fn all(scale: Scale) -> Vec<Table> {
     all_with_backends(scale, &StorageSpec::ALL, 3, 2)
@@ -1126,6 +1282,7 @@ pub fn all_with_backends(
     tables.extend(quali(scale));
     tables.push(baselines(scale));
     tables.push(streaming_ablation(scale));
+    tables.extend(streaming_delta(scale));
     tables
 }
 

@@ -319,6 +319,14 @@ pub fn stats_to_json(stats: &SolverStats) -> JsonValue {
             "early_termination".to_string(),
             JsonValue::Bool(stats.early_termination),
         ),
+        (
+            "windows_resolved".to_string(),
+            JsonValue::from(stats.windows_resolved),
+        ),
+        (
+            "windows_spliced".to_string(),
+            JsonValue::from(stats.windows_spliced),
+        ),
     ])
 }
 
@@ -338,6 +346,8 @@ pub fn stats_from_json(value: &JsonValue) -> Result<SolverStats, String> {
         node_reads: counter("node_reads")?,
         node_writes: counter("node_writes")?,
         random_seeks: counter("random_seeks")?,
+        windows_resolved: counter("windows_resolved")?,
+        windows_spliced: counter("windows_spliced")?,
         peak_resident_paths: counter("peak_resident_paths")? as usize,
         peak_stack_depth: counter("peak_stack_depth")? as usize,
         early_termination: value

@@ -1,0 +1,547 @@
+//! Incremental epoch-delta solving: re-solve only the windows a new
+//! interval touches, splice the rest forward.
+//!
+//! The sharded decomposition (see [`crate::sharded`]) already proves that
+//! the global top-k of a kl-stable-cluster query is the strict
+//! `(score, content)` merge of per-start-window top-k's: every length-`l`
+//! path starting at interval `a` lives entirely inside the window
+//! `[a, a + l]`, and each path belongs to exactly one start. This module
+//! adds the *temporal* consequence: when one epoch's graph differs from the
+//! previous one only in some intervals — the streamed-ingest case, where a
+//! pushed interval appends one column and possibly evicts an old one — any
+//! window whose intervals are all unchanged has a byte-identical subgraph,
+//! so its per-window top-k from the prior epoch can be **spliced forward**
+//! without re-solving.
+//!
+//! ## Why the splice is byte-identical to a cold re-solve
+//!
+//! [`GraphDelta::between`] marks an interval *dirty* unless its node count
+//! and its full in-edge multiset (source node, target node, exact weight
+//! bits) are equal across the two graphs. For a window `[a, a + l]` whose
+//! intervals are all clean:
+//!
+//! 1. every in-window edge targets an interval in `[a + 1, a + l]`, so the
+//!    window's edge multiset is covered by the compared in-edge sets;
+//! 2. equal node counts and equal edge multisets mean
+//!    [`ClusterGraph::window`] extracts byte-identical subgraphs (weights
+//!    are compared by bit pattern, never by float tolerance);
+//! 3. a deterministic solver on a byte-identical subgraph produces the
+//!    identical per-window top-k — the top-k set is unique under the total
+//!    `(score desc, content asc)` order;
+//! 4. the merge of per-window top-k's is order-independent (same argument
+//!    as the sharded merge), so replacing a re-solve by the prior result
+//!    cannot change a byte of the merged [`Solution`].
+//!
+//! Deltas compose transitively ([`GraphDelta::compose`]): a union of dirty
+//! sets is conservative — it can only mark *more* windows touched, never
+//! fewer — so a chain of per-epoch deltas supports splicing across several
+//! ingests at once (the [`SnapshotCell`](crate::snapshot::SnapshotCell)
+//! keeps such a chain).
+//!
+//! Problem 2 (normalized) does **not** decompose across start windows and
+//! is rejected, exactly as [`crate::sharded`] rejects it. `FullPaths`
+//! degrades gracefully: its single window spans the whole graph, so any
+//! change re-solves it — correct, just never faster.
+
+use bsc_storage::io_stats::IoScope;
+
+use crate::cluster_graph::ClusterGraph;
+use crate::distributed::{solve_window_locally, WindowResult};
+use crate::error::{BscError, BscResult};
+use crate::problem::StableClusterSpec;
+use crate::solver::{
+    check_not_expired, deadline_error, AlgorithmKind, Solution, SolverOptions, SolverStats,
+};
+use crate::topk::TopKPaths;
+
+/// The interval-range difference between two [`ClusterGraph`] generations.
+///
+/// Interval indices are stable identifiers across epochs (the streaming
+/// layer appends new intervals and may drop edges of evicted ones, but
+/// never renumbers), so the delta is a per-interval dirty bitmap over the
+/// *new* graph: interval `i` is dirty when it did not exist before, its
+/// node count changed, or its in-edge multiset changed in any way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphDelta {
+    old_intervals: u32,
+    new_intervals: u32,
+    dirty: Vec<bool>,
+}
+
+/// Per-node in-edges of one interval, flattened to exact-comparison tuples
+/// `(node index, parent interval, parent index, weight bits)` and sorted.
+fn interval_in_edge_signature(graph: &ClusterGraph, interval: u32) -> Vec<(u32, u32, u32, u64)> {
+    let mut sig = Vec::new();
+    // bsc:allow(missing-cancel-checkpoint) -- one bounded O(deg) scan of a single interval's in-edges, run at install time with no token in scope
+    for node in graph.interval_node_ids(interval) {
+        for edge in graph.parents(node) {
+            sig.push((
+                node.index,
+                edge.to.interval,
+                edge.to.index,
+                edge.weight.to_bits(),
+            ));
+        }
+    }
+    sig.sort_unstable();
+    sig
+}
+
+impl GraphDelta {
+    /// Compare two graph generations interval by interval.
+    ///
+    /// Cost is `O(V + E log deg)` over the two graphs — the same order as
+    /// the CSR rebuild the streaming layer just performed to produce the
+    /// new snapshot.
+    pub fn between(old: &ClusterGraph, new: &ClusterGraph) -> GraphDelta {
+        let old_intervals = old.num_intervals() as u32;
+        let new_intervals = new.num_intervals() as u32;
+        let mut dirty = Vec::with_capacity(new_intervals as usize);
+        // bsc:allow(missing-cancel-checkpoint) -- one bounded O(V + E) comparison pass per install, same order as the CSR rebuild that produced the snapshot; no token in scope
+        for i in 0..new_intervals {
+            let is_dirty = i >= old_intervals
+                || old.nodes_in_interval(i) != new.nodes_in_interval(i)
+                || interval_in_edge_signature(old, i) != interval_in_edge_signature(new, i);
+            dirty.push(is_dirty);
+        }
+        GraphDelta {
+            old_intervals,
+            new_intervals,
+            dirty,
+        }
+    }
+
+    /// A delta that marks every interval dirty — the "no information"
+    /// fallback that forces a full re-solve.
+    pub fn full(old_intervals: u32, new_intervals: u32) -> GraphDelta {
+        GraphDelta {
+            old_intervals,
+            new_intervals,
+            dirty: vec![true; new_intervals as usize],
+        }
+    }
+
+    /// Intervals in the generation the delta starts from.
+    pub fn old_intervals(&self) -> u32 {
+        self.old_intervals
+    }
+
+    /// Intervals in the generation the delta ends at.
+    pub fn new_intervals(&self) -> u32 {
+        self.new_intervals
+    }
+
+    /// Whether interval `i` of the new generation changed (out-of-range
+    /// intervals count as dirty — conservative).
+    pub fn is_dirty(&self, interval: u32) -> bool {
+        self.dirty.get(interval as usize).copied().unwrap_or(true)
+    }
+
+    /// Number of dirty intervals.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.iter().filter(|d| **d).count()
+    }
+
+    /// Whether the start window `[start, start + l]` contains any dirty
+    /// interval. Windows reaching outside the new generation count as
+    /// touched.
+    pub fn touches_window(&self, start: u32, l: u32) -> bool {
+        let end = match start.checked_add(l) {
+            Some(end) => end,
+            None => return true,
+        };
+        if (end as usize) >= self.dirty.len() {
+            return true;
+        }
+        (start..=end).any(|i| self.dirty[i as usize])
+    }
+
+    /// Compose this delta (epoch A → B) with the next one (epoch B → C)
+    /// into an A → C delta by unioning the dirty sets. Returns `None` when
+    /// the generations do not chain (`self.new_intervals` must equal
+    /// `next.old_intervals`).
+    ///
+    /// The union is conservative: it can only mark more windows touched
+    /// than either step alone, never fewer, so splicing through a composed
+    /// delta stays byte-identical by transitivity of subgraph equality.
+    pub fn compose(&self, next: &GraphDelta) -> Option<GraphDelta> {
+        if self.new_intervals != next.old_intervals {
+            return None;
+        }
+        let dirty = next
+            .dirty
+            .iter()
+            .enumerate()
+            .map(|(i, d)| *d || self.dirty.get(i).copied().unwrap_or(true))
+            .collect();
+        Some(GraphDelta {
+            old_intervals: self.old_intervals,
+            new_intervals: next.new_intervals,
+            dirty,
+        })
+    }
+}
+
+/// The per-start-window results of one windowed solve, kept so the next
+/// epoch can splice untouched windows forward. `windows[a]` is the top-k of
+/// the window starting at interval `a` (in global coordinates).
+#[derive(Debug, Clone)]
+pub struct WindowSet {
+    /// Exact path length the windows were solved for.
+    pub l: u32,
+    /// Top-k size the windows were solved for.
+    pub k: usize,
+    /// One result per valid start interval, index = start.
+    pub windows: Vec<WindowResult>,
+}
+
+impl WindowSet {
+    /// Number of start windows held.
+    pub fn total_windows(&self) -> usize {
+        self.windows.len()
+    }
+}
+
+/// What a windowed solve produces: the merged solution plus the per-window
+/// results a future epoch can splice from.
+#[derive(Debug)]
+pub struct DeltaSolveOutcome {
+    /// The merged top-k — byte-identical to a cold unsharded solve.
+    pub solution: Solution,
+    /// Per-window results for the *current* graph, splice source for the
+    /// next epoch.
+    pub windows: WindowSet,
+}
+
+/// Solve a kl-stable-cluster query window by window, splicing forward any
+/// prior-epoch window the delta proves untouched.
+///
+/// With `prior == None` (or a prior whose shape does not match) this is a
+/// cold windowed solve: every window runs through
+/// [`solve_window_locally`], `stats.windows_resolved` counts them all, and
+/// the outcome seeds future splices. With a matching prior, untouched
+/// windows are cloned forward (`stats.windows_spliced`) and only touched
+/// ones re-solve — post-ingest latency proportional to the delta, result
+/// byte-identical by the argument in the module docs. A spliced window
+/// contributes its paths but not its historical counters; the returned
+/// stats describe the work *this* solve performed.
+pub fn solve_windows(
+    graph: &ClusterGraph,
+    spec: StableClusterSpec,
+    k: usize,
+    algorithm: AlgorithmKind,
+    options: &SolverOptions,
+    prior: Option<(&WindowSet, &GraphDelta)>,
+) -> BscResult<DeltaSolveOutcome> {
+    check_not_expired(options.cancel.as_ref())?;
+    let scope = IoScope::start();
+    let m = graph.num_intervals() as u32;
+    let l = match spec {
+        StableClusterSpec::FullPaths => m.saturating_sub(1),
+        StableClusterSpec::ExactLength(l) => l,
+        StableClusterSpec::Normalized { .. } => {
+            return Err(BscError::Unsupported {
+                algorithm: "delta",
+                reason: "Problem 2 (normalized) does not decompose across start windows".into(),
+            })
+        }
+    };
+    let mut merged = TopKPaths::new(k);
+    let mut stats = SolverStats::default();
+    let mut windows = Vec::new();
+    if k > 0 && l >= 1 && m >= 2 && l < m {
+        let num_starts = (m - l) as usize;
+        windows.reserve(num_starts);
+        // Window solves are leaves: never re-sharded or re-distributed.
+        let window_options = options.clone().shards(1).fanout(None);
+        // A prior only splices when it answers the same question (same l
+        // and k) and its delta lands on this graph generation.
+        let prior =
+            prior.filter(|(set, delta)| set.l == l && set.k == k && delta.new_intervals() == m);
+        // bsc:allow(missing-cancel-checkpoint) -- re-solved windows checkpoint internally; spliced windows are O(k) clones bounded by the deadline check below
+        for start in 0..num_starts {
+            if let Some(token) = options.cancel.as_ref() {
+                if token.expired() {
+                    return Err(deadline_error(token));
+                }
+            }
+            let spliced = prior.and_then(|(set, delta)| {
+                if delta.touches_window(start as u32, l) {
+                    None
+                } else {
+                    set.windows.get(start)
+                }
+            });
+            let result = match spliced {
+                Some(prev) => {
+                    stats.windows_spliced += 1;
+                    prev.clone()
+                }
+                None => {
+                    let result = solve_window_locally(
+                        graph,
+                        start as u32,
+                        l,
+                        k,
+                        algorithm,
+                        &window_options,
+                    )?;
+                    stats.merge(&result.stats);
+                    result
+                }
+            };
+            for path in &result.paths {
+                merged.offer_by_weight(path.clone());
+            }
+            windows.push(result);
+        }
+    }
+    Ok(DeltaSolveOutcome {
+        solution: Solution {
+            paths: merged.into_sorted(),
+            stats,
+            io: scope.finish(),
+        },
+        windows: WindowSet { l, k, windows },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster_graph::ClusterGraphBuilder;
+    use crate::synthetic::{ClusterGraphGenerator, SyntheticGraphParams};
+    use bsc_util::rng::DetRng;
+    use std::time::Duration;
+
+    fn gen_graph(m: u32, seed: u64) -> ClusterGraph {
+        ClusterGraphGenerator::new(SyntheticGraphParams {
+            num_intervals: m as usize,
+            nodes_per_interval: 6,
+            avg_out_degree: 3,
+            gap: 0,
+            seed,
+        })
+        .generate()
+    }
+
+    /// Rebuild `graph` with `extra` appended intervals wired by `rng`.
+    fn extend_graph(
+        graph: &ClusterGraph,
+        extra: u32,
+        nodes: u32,
+        rng: &mut DetRng,
+    ) -> ClusterGraph {
+        let m = graph.num_intervals() as u32;
+        let mut builder = ClusterGraphBuilder::new(graph.gap());
+        for i in 0..m {
+            builder.add_interval(graph.nodes_in_interval(i));
+        }
+        for _ in 0..extra {
+            builder.add_interval(nodes);
+        }
+        for (from, to, weight) in graph.edges() {
+            builder.add_edge(from, to, weight);
+        }
+        for i in 0..extra {
+            let interval = m + i;
+            for j in 0..nodes {
+                for _ in 0..2 {
+                    let prev = interval - 1;
+                    let parent = rng.below(u64::from(graph_nodes(graph, nodes, prev))) as u32;
+                    let weight = 0.05 + rng.next_f64() * 0.9;
+                    builder.add_edge(
+                        crate::cluster_graph::ClusterNodeId::new(prev, parent),
+                        crate::cluster_graph::ClusterNodeId::new(interval, j),
+                        weight,
+                    );
+                }
+            }
+        }
+        builder.build()
+    }
+
+    fn graph_nodes(graph: &ClusterGraph, appended_nodes: u32, interval: u32) -> u32 {
+        if (interval as usize) < graph.num_intervals() {
+            graph.nodes_in_interval(interval)
+        } else {
+            appended_nodes
+        }
+    }
+
+    #[test]
+    fn identical_graphs_have_clean_delta() {
+        let graph = gen_graph(6, 7);
+        let delta = GraphDelta::between(&graph, &graph);
+        assert_eq!(delta.dirty_count(), 0);
+        assert!(!delta.touches_window(0, 3));
+        assert!(delta.touches_window(3, 3), "window past the end is touched");
+    }
+
+    #[test]
+    fn appended_interval_marks_only_itself_dirty() {
+        let graph = gen_graph(6, 7);
+        let mut rng = DetRng::seed_from_u64(1);
+        let extended = extend_graph(&graph, 1, 6, &mut rng);
+        let delta = GraphDelta::between(&graph, &extended);
+        assert_eq!(delta.dirty_count(), 1);
+        assert!(delta.is_dirty(6));
+        assert!(!delta.touches_window(0, 2)); // [0,2] untouched
+        assert!(delta.touches_window(4, 2)); // [4,6] includes the new column
+    }
+
+    #[test]
+    fn changed_weight_bits_mark_the_target_interval_dirty() {
+        let mut builder = ClusterGraphBuilder::new(0);
+        builder.add_interval(1);
+        builder.add_interval(1);
+        let a = crate::cluster_graph::ClusterNodeId::new(0, 0);
+        let b = crate::cluster_graph::ClusterNodeId::new(1, 0);
+        builder.add_edge(a, b, 0.5);
+        let old = builder.build();
+        let mut builder = ClusterGraphBuilder::new(0);
+        builder.add_interval(1);
+        builder.add_interval(1);
+        builder.add_edge(a, b, 0.6);
+        let new = builder.build();
+        let delta = GraphDelta::between(&old, &new);
+        assert!(!delta.is_dirty(0));
+        assert!(delta.is_dirty(1));
+    }
+
+    #[test]
+    fn compose_unions_dirty_sets_and_rejects_broken_chains() {
+        let g0 = gen_graph(5, 3);
+        let mut rng = DetRng::seed_from_u64(2);
+        let g1 = extend_graph(&g0, 1, 6, &mut rng);
+        let g2 = extend_graph(&g1, 1, 6, &mut rng);
+        let d01 = GraphDelta::between(&g0, &g1);
+        let d12 = GraphDelta::between(&g1, &g2);
+        let d02 = d01.compose(&d12).expect("chained generations compose");
+        assert_eq!(d02, GraphDelta::between(&g0, &g2));
+        assert!(
+            d12.compose(&d01).is_none(),
+            "reversed chain must not compose"
+        );
+    }
+
+    #[test]
+    fn spliced_solve_is_byte_identical_to_cold_across_random_appends() {
+        for seed in [11u64, 12, 13] {
+            let mut rng = DetRng::seed_from_u64(seed);
+            let mut graph = gen_graph(5, seed);
+            let spec = StableClusterSpec::ExactLength(2);
+            let options = SolverOptions::default();
+            let mut prior: Option<(WindowSet, u64)> = None; // (windows, epoch tag unused)
+            for _round in 0..4 {
+                let next = extend_graph(&graph, 1, 6, &mut rng);
+                let delta = GraphDelta::between(&graph, &next);
+                let cold = solve_windows(&next, spec, 4, AlgorithmKind::Bfs, &options, None)
+                    .expect("cold solve");
+                let warm = match &prior {
+                    Some((set, _)) => solve_windows(
+                        &next,
+                        spec,
+                        4,
+                        AlgorithmKind::Bfs,
+                        &options,
+                        Some((set, &delta)),
+                    )
+                    .expect("warm solve"),
+                    None => solve_windows(&next, spec, 4, AlgorithmKind::Bfs, &options, None)
+                        .expect("first solve"),
+                };
+                assert_eq!(cold.solution.paths, warm.solution.paths);
+                if prior.is_some() {
+                    assert!(
+                        warm.solution.stats.windows_spliced > 0,
+                        "an append must leave early windows spliceable"
+                    );
+                    assert!(
+                        warm.solution.stats.windows_resolved < cold.solution.stats.windows_resolved
+                    );
+                }
+                assert_eq!(
+                    cold.solution.stats.windows_resolved,
+                    (next.num_intervals() as u64) - 2
+                );
+                prior = Some((warm.windows, 0));
+                graph = next;
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_prior_shape_is_ignored_not_misused() {
+        let graph = gen_graph(6, 9);
+        let spec = StableClusterSpec::ExactLength(2);
+        let options = SolverOptions::default();
+        let cold = solve_windows(&graph, spec, 3, AlgorithmKind::Bfs, &options, None).unwrap();
+        // A prior solved for a different k: must not splice.
+        let delta = GraphDelta::between(&graph, &graph);
+        let other = solve_windows(&graph, spec, 2, AlgorithmKind::Bfs, &options, None).unwrap();
+        let warm = solve_windows(
+            &graph,
+            spec,
+            3,
+            AlgorithmKind::Bfs,
+            &options,
+            Some((&other.windows, &delta)),
+        )
+        .unwrap();
+        assert_eq!(warm.solution.stats.windows_spliced, 0);
+        assert_eq!(cold.solution.paths, warm.solution.paths);
+    }
+
+    #[test]
+    fn normalized_spec_is_rejected() {
+        let graph = gen_graph(5, 4);
+        let err = solve_windows(
+            &graph,
+            StableClusterSpec::Normalized { l_min: 2 },
+            3,
+            AlgorithmKind::Bfs,
+            &SolverOptions::default(),
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, BscError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn expired_deadline_stops_the_window_loop() {
+        let graph = gen_graph(8, 5);
+        let options = SolverOptions::default().deadline(Some(Duration::ZERO));
+        let err = solve_windows(
+            &graph,
+            StableClusterSpec::ExactLength(2),
+            3,
+            AlgorithmKind::Bfs,
+            &options,
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, BscError::DeadlineExceeded { .. }));
+    }
+
+    #[test]
+    fn full_delta_forces_every_window_to_resolve() {
+        let graph = gen_graph(6, 8);
+        let spec = StableClusterSpec::ExactLength(2);
+        let options = SolverOptions::default();
+        let cold = solve_windows(&graph, spec, 3, AlgorithmKind::Bfs, &options, None).unwrap();
+        let full = GraphDelta::full(6, 6);
+        let warm = solve_windows(
+            &graph,
+            spec,
+            3,
+            AlgorithmKind::Bfs,
+            &options,
+            Some((&cold.windows, &full)),
+        )
+        .unwrap();
+        assert_eq!(warm.solution.stats.windows_spliced, 0);
+        assert_eq!(warm.solution.stats.windows_resolved, 4);
+        assert_eq!(cold.solution.paths, warm.solution.paths);
+    }
+}

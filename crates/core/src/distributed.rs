@@ -221,10 +221,12 @@ pub fn solve_window_locally(
             ClusterPath::new(nodes, path.weight())
         })
         .collect();
-    Ok(WindowResult {
-        paths,
-        stats: solution.stats,
-    })
+    let mut stats = solution.stats;
+    // One window actually solved: sharded, distributed and delta solves all
+    // merge these, so the aggregate's `windows_resolved` counts the windows
+    // that ran regardless of how they were partitioned.
+    stats.windows_resolved = 1;
+    Ok(WindowResult { paths, stats })
 }
 
 /// A solver that fans window solves out to remote workers through a

@@ -64,6 +64,7 @@ pub mod affinity;
 pub mod auto;
 pub mod bfs;
 pub mod cluster_graph;
+pub mod delta;
 pub mod dfs;
 pub mod distributed;
 pub mod error;
@@ -85,6 +86,7 @@ pub use auto::{choose_algorithm, AutoSolver, GraphShape};
 pub use bfs::{BfsConfig, BfsStableClusters, BfsStats};
 pub use bsc_storage::backend::StorageSpec;
 pub use cluster_graph::{ClusterEdge, ClusterGraph, ClusterGraphBuilder, ClusterNodeId};
+pub use delta::{solve_windows, DeltaSolveOutcome, GraphDelta, WindowSet};
 pub use dfs::{DfsConfig, DfsStableClusters, DfsStats};
 pub use distributed::{
     register_transport_factory, solve_window_locally, transport_for, DistributedSolver, FanoutSpec,

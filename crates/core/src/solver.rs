@@ -273,6 +273,15 @@ pub struct SolverStats {
     /// every other field this one is nondeterministic by nature, so
     /// byte-identical-result comparisons must ignore it.
     pub solve_micros: u64,
+    /// Start windows actually solved by a windowed solve (0 = not a
+    /// windowed solve). `solve_window_locally` reports 1 per window, so a
+    /// sharded, distributed or delta solve accumulates the count through
+    /// `merge` regardless of how the windows were partitioned.
+    pub windows_resolved: u64,
+    /// Start windows answered by splicing a prior epoch's per-window
+    /// result forward instead of re-solving (delta solves only; see
+    /// `bsc_core::delta`).
+    pub windows_spliced: u64,
 }
 
 impl SolverStats {
@@ -297,6 +306,8 @@ impl SolverStats {
         self.shards = self.shards.max(other.shards);
         self.queue_wait_micros += other.queue_wait_micros;
         self.solve_micros += other.solve_micros;
+        self.windows_resolved += other.windows_resolved;
+        self.windows_spliced += other.windows_spliced;
     }
 }
 

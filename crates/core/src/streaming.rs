@@ -47,6 +47,10 @@ pub struct OnlineStableClusters {
     edges: Vec<(ClusterNodeId, ClusterNodeId, f64)>,
     /// Cached snapshot of the current epoch (invalidated by ingest).
     cached_snapshot: Option<GraphSnapshot>,
+    /// Memoized [`OnlineStableClusters::current_top_k`] answer (invalidated
+    /// by ingest): between ingests nothing structural changes, so the
+    /// global heap need not be re-cloned and re-sorted per call.
+    cached_top_k: Option<Vec<ClusterPath>>,
 }
 
 impl std::fmt::Debug for OnlineStableClusters {
@@ -74,6 +78,7 @@ impl OnlineStableClusters {
             edges_ingested: 0,
             edges: Vec::new(),
             cached_snapshot: None,
+            cached_top_k: None,
         }
     }
 
@@ -175,6 +180,7 @@ impl OnlineStableClusters {
         self.nodes_per_interval.push(num_nodes);
         self.intervals += 1;
         self.cached_snapshot = None;
+        self.cached_top_k = None;
         for (node, heaps) in new_heaps {
             self.window.insert(node, heaps);
         }
@@ -190,13 +196,23 @@ impl OnlineStableClusters {
 
     /// The current top-k paths of length exactly `l`, in descending weight
     /// order, reflecting every interval ingested so far.
-    pub fn current_top_k(&self) -> Vec<ClusterPath> {
-        self.global
+    ///
+    /// Answered from the incrementally maintained global heap; the sorted
+    /// materialization is memoized, so repeated polls between ingests (the
+    /// `stream_top_k` serve op) cost a clone of the answer, not a re-sort.
+    pub fn current_top_k(&mut self) -> Vec<ClusterPath> {
+        if let Some(cached) = &self.cached_top_k {
+            return cached.clone();
+        }
+        let top: Vec<ClusterPath> = self
+            .global
             .clone()
             .into_sorted()
             .iter()
             .map(SharedPath::to_cluster_path)
-            .collect()
+            .collect();
+        self.cached_top_k = Some(top.clone());
+        top
     }
 
     /// Materialize the graph-so-far as an epoch-tagged [`GraphSnapshot`]
@@ -231,7 +247,10 @@ impl OnlineStableClusters {
     /// blocked or retargeted. Returns the installed snapshot (re-tagged
     /// with the cell's next epoch).
     pub fn publish_to(&mut self, cell: &SnapshotCell) -> GraphSnapshot {
-        cell.install(self.snapshot())
+        // Incremental install: the cell records the interval delta between
+        // the previously resident graph and this one, so resident
+        // per-window results can be spliced forward (see [`crate::delta`]).
+        cell.install_incremental(self.snapshot())
     }
 
     /// Replay an existing cluster graph interval by interval (mainly for
@@ -305,7 +324,7 @@ impl OnlineClusterFeed {
     }
 
     /// The current top-k stable clusters.
-    pub fn current_top_k(&self) -> Vec<ClusterPath> {
+    pub fn current_top_k(&mut self) -> Vec<ClusterPath> {
         self.solver.current_top_k()
     }
 

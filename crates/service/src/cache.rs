@@ -1,17 +1,33 @@
-//! The epoch-tagged LRU solution cache.
+//! The epoch-tagged LRU solution cache with delta-aware carry-forward.
 //!
 //! Stable-cluster queries are pure functions of `(snapshot epoch, query
 //! parameters)`: the same algorithm, spec, `k` and options against the same
 //! graph always produce the byte-identical [`Solution`] (the workspace-wide
 //! determinism invariant). That makes caching trivial to get right — the
-//! only invalidation signal needed is the epoch. [`SolutionCache`] holds
-//! solutions for exactly **one** epoch (the newest it has seen): a snapshot
-//! swap advances the epoch and drops everything, so a stale answer can
-//! never be served, and queries still running against older pinned epochs
-//! simply bypass the cache rather than poison it.
+//! only invalidation signal needed is the epoch. Every entry carries the
+//! epoch it was computed at, and [`SolutionCache::get`] only ever answers
+//! for an exact epoch match, so a stale answer can never be served.
+//!
+//! What changed with incremental solving (see [`bsc_core::delta`]): an
+//! epoch advance no longer has to drop everything. Entries produced by a
+//! windowed solve also hold their per-start [`WindowSet`]; on an
+//! *incremental* advance ([`SolutionCache::advance_epoch_incremental`])
+//! those entries are **carried forward** — their untouched windows are the
+//! splice source that makes the next solve of the same key proportional to
+//! the delta, found via [`SolutionCache::spliceable`]. Solution-only
+//! entries are dropped as before (every global answer depends on the whole
+//! graph, so any delta invalidates them); the `carried_forward` /
+//! `delta_dropped` counters report the split. A plain (non-incremental)
+//! advance still drops everything — without a delta chain in the
+//! [`SnapshotCell`](bsc_core::snapshot::SnapshotCell) nothing could splice
+//! anyway, and that chain (not the cache) is the correctness gate: a
+//! carried entry is only ever used when the cell proves a composable delta
+//! connects its epoch to the query's.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use bsc_core::delta::WindowSet;
 use bsc_core::solver::Solution;
 
 /// Counters describing cache behaviour since engine start.
@@ -27,21 +43,33 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted by the LRU policy.
     pub evictions: u64,
-    /// Entries dropped by epoch advances (snapshot swaps).
+    /// Entries dropped by epoch advances (snapshot swaps), including
+    /// `delta_dropped`.
     pub invalidations: u64,
+    /// Window-set entries carried across incremental epoch advances
+    /// instead of being dropped — each is a future splice source.
+    pub carried_forward: u64,
+    /// Solution-only entries an incremental advance still had to drop.
+    pub delta_dropped: u64,
 }
 
 #[derive(Debug)]
 struct Entry {
+    /// The epoch the solution was computed at.
+    epoch: u64,
     solution: Solution,
+    /// Per-start-window results when the solution came from a windowed
+    /// solve; the splice source for later epochs.
+    windows: Option<Arc<WindowSet>>,
     last_used: u64,
 }
 
-/// A bounded LRU cache of query solutions, valid for a single epoch.
+/// A bounded LRU cache of query solutions with per-entry epoch tags.
 #[derive(Debug)]
 pub struct SolutionCache {
     capacity: usize,
-    /// The epoch every resident entry belongs to.
+    /// The newest epoch the cache has been advanced to; puts for older
+    /// epochs are dropped.
     epoch: u64,
     /// Monotone recency clock for the LRU policy.
     tick: u64,
@@ -50,6 +78,8 @@ pub struct SolutionCache {
     misses: u64,
     evictions: u64,
     invalidations: u64,
+    carried_forward: u64,
+    delta_dropped: u64,
 }
 
 impl SolutionCache {
@@ -64,11 +94,13 @@ impl SolutionCache {
             misses: 0,
             evictions: 0,
             invalidations: 0,
+            carried_forward: 0,
+            delta_dropped: 0,
         }
     }
 
-    /// Drop every entry belonging to an older epoch. Called on snapshot
-    /// swap; also invoked lazily when a put arrives for a newer epoch.
+    /// Drop every entry. Called on a plain snapshot swap: no delta links
+    /// the generations, so nothing resident can ever be reused.
     pub fn advance_epoch(&mut self, epoch: u64) {
         if epoch > self.epoch {
             self.invalidations += self.map.len() as u64;
@@ -77,36 +109,76 @@ impl SolutionCache {
         }
     }
 
-    /// Look up the solution for `key` computed at `epoch`. Counts a miss
-    /// when absent or when the epoch does not match the resident one.
-    pub fn get(&mut self, epoch: u64, key: &str) -> Option<Solution> {
-        if epoch != self.epoch {
-            self.misses += 1;
-            return None;
+    /// Advance to `epoch` keeping every window-set entry as a splice
+    /// source (`carried_forward`); solution-only entries are dropped
+    /// (`delta_dropped`) — a global answer depends on the whole graph, so
+    /// any delta invalidates it, while a window set's untouched windows
+    /// survive by construction. Called on an incremental snapshot install.
+    pub fn advance_epoch_incremental(&mut self, epoch: u64) {
+        if epoch <= self.epoch {
+            return;
         }
+        let before = self.map.len();
+        // bsc:allow(nondeterministic-iteration) -- retain order only affects counter arithmetic, never output
+        self.map.retain(|_, entry| entry.windows.is_some());
+        let dropped = (before - self.map.len()) as u64;
+        self.carried_forward += self.map.len() as u64;
+        self.delta_dropped += dropped;
+        self.invalidations += dropped;
+        self.epoch = epoch;
+    }
+
+    /// Look up the solution for `key` computed at `epoch`. Counts a miss
+    /// when absent or when the entry belongs to a different epoch (a
+    /// carried-forward entry is a splice source, never a direct answer).
+    pub fn get(&mut self, epoch: u64, key: &str) -> Option<Solution> {
         self.tick += 1;
         match self.map.get_mut(key) {
-            Some(entry) => {
+            Some(entry) if entry.epoch == epoch => {
                 entry.last_used = self.tick;
                 self.hits += 1;
                 Some(entry.solution.clone())
             }
-            None => {
+            _ => {
                 self.misses += 1;
                 None
             }
         }
     }
 
-    /// Store a solution computed at `epoch`. A put for a newer epoch first
-    /// invalidates the older entries; a put for an *older* epoch (a query
-    /// that pinned its snapshot before a swap) is dropped — the cache only
-    /// ever answers for the newest epoch.
-    pub fn put(&mut self, epoch: u64, key: String, solution: Solution) {
+    /// The window set a delta solve at `epoch` could splice from: a
+    /// carried-forward entry for `key` computed at an **earlier** epoch.
+    /// Returns that epoch and the shared window set; the caller must still
+    /// obtain a composable delta covering `entry epoch → epoch` from the
+    /// snapshot cell before splicing. Does not touch the hit/miss counters
+    /// (the subsequent put records the outcome).
+    pub fn spliceable(&mut self, epoch: u64, key: &str) -> Option<(u64, Arc<WindowSet>)> {
+        self.tick += 1;
+        let entry = self.map.get_mut(key)?;
+        if entry.epoch >= epoch {
+            return None;
+        }
+        let windows = entry.windows.as_ref()?;
+        entry.last_used = self.tick;
+        Some((entry.epoch, Arc::clone(windows)))
+    }
+
+    /// Store a solution computed at `epoch`, with its window set when the
+    /// solve was windowed. A put for a newer epoch first advances the
+    /// cache (incrementally — the snapshot cell's delta chain is the
+    /// correctness gate for any later splice); a put for an *older* epoch
+    /// (a query that pinned its snapshot before a swap) is dropped.
+    pub fn put(
+        &mut self,
+        epoch: u64,
+        key: String,
+        solution: Solution,
+        windows: Option<Arc<WindowSet>>,
+    ) {
         if self.capacity == 0 {
             return;
         }
-        self.advance_epoch(epoch);
+        self.advance_epoch_incremental(epoch);
         if epoch < self.epoch {
             return;
         }
@@ -115,7 +187,9 @@ impl SolutionCache {
         self.map.insert(
             key,
             Entry {
+                epoch,
                 solution,
+                windows,
                 last_used: tick,
             },
         );
@@ -141,6 +215,8 @@ impl SolutionCache {
             misses: self.misses,
             evictions: self.evictions,
             invalidations: self.invalidations,
+            carried_forward: self.carried_forward,
+            delta_dropped: self.delta_dropped,
         }
     }
 }
@@ -164,11 +240,19 @@ mod tests {
         }
     }
 
+    fn window_set() -> Arc<WindowSet> {
+        Arc::new(WindowSet {
+            l: 1,
+            k: 1,
+            windows: Vec::new(),
+        })
+    }
+
     #[test]
     fn hit_after_put_same_epoch() {
         let mut cache = SolutionCache::new(4);
         assert!(cache.get(1, "q").is_none());
-        cache.put(1, "q".into(), solution(0.5));
+        cache.put(1, "q".into(), solution(0.5), None);
         let hit = cache.get(1, "q").expect("cached");
         assert_eq!(hit.paths[0].weight(), 0.5);
         let stats = cache.stats();
@@ -176,19 +260,47 @@ mod tests {
     }
 
     #[test]
-    fn epoch_advance_invalidates_everything() {
+    fn plain_epoch_advance_invalidates_everything() {
         let mut cache = SolutionCache::new(4);
-        cache.put(1, "a".into(), solution(0.1));
-        cache.put(1, "b".into(), solution(0.2));
+        cache.put(1, "a".into(), solution(0.1), None);
+        cache.put(1, "b".into(), solution(0.2), Some(window_set()));
         cache.advance_epoch(2);
         assert!(cache.get(2, "a").is_none());
         assert_eq!(cache.stats().invalidations, 2);
         assert_eq!(cache.stats().entries, 0);
-        // A put for a newer epoch invalidates lazily too.
-        cache.put(2, "a".into(), solution(0.3));
-        cache.put(3, "c".into(), solution(0.4));
-        assert!(cache.get(3, "a").is_none());
-        assert!(cache.get(3, "c").is_some());
+        assert!(cache.spliceable(2, "b").is_none());
+    }
+
+    #[test]
+    fn incremental_advance_carries_window_entries_and_drops_the_rest() {
+        let mut cache = SolutionCache::new(4);
+        cache.put(1, "solution-only".into(), solution(0.1), None);
+        cache.put(1, "windowed".into(), solution(0.2), Some(window_set()));
+        cache.advance_epoch_incremental(2);
+        let stats = cache.stats();
+        assert_eq!(stats.carried_forward, 1);
+        assert_eq!(stats.delta_dropped, 1);
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.entries, 1);
+        // The carried entry is a splice source, never a direct answer.
+        assert!(cache.get(2, "windowed").is_none());
+        let (from_epoch, windows) = cache.spliceable(2, "windowed").expect("carried");
+        assert_eq!(from_epoch, 1);
+        assert_eq!(windows.k, 1);
+        // It is not spliceable at its own epoch.
+        assert!(cache.spliceable(1, "windowed").is_none());
+    }
+
+    #[test]
+    fn put_replaces_a_carried_entry_with_the_fresh_epoch() {
+        let mut cache = SolutionCache::new(4);
+        cache.put(1, "q".into(), solution(0.2), Some(window_set()));
+        cache.advance_epoch_incremental(2);
+        cache.put(2, "q".into(), solution(0.3), Some(window_set()));
+        let hit = cache.get(2, "q").expect("fresh entry answers");
+        assert_eq!(hit.paths[0].weight(), 0.3);
+        assert!(cache.spliceable(2, "q").is_none());
+        assert!(cache.spliceable(3, "q").is_some());
     }
 
     #[test]
@@ -196,7 +308,7 @@ mod tests {
         let mut cache = SolutionCache::new(4);
         cache.advance_epoch(5);
         // A query pinned at epoch 3 finishes after the swap to 5.
-        cache.put(3, "old".into(), solution(0.9));
+        cache.put(3, "old".into(), solution(0.9), None);
         assert!(cache.get(3, "old").is_none());
         assert!(cache.get(5, "old").is_none());
         assert_eq!(cache.stats().entries, 0);
@@ -205,10 +317,10 @@ mod tests {
     #[test]
     fn lru_evicts_the_least_recently_used() {
         let mut cache = SolutionCache::new(2);
-        cache.put(1, "a".into(), solution(0.1));
-        cache.put(1, "b".into(), solution(0.2));
+        cache.put(1, "a".into(), solution(0.1), None);
+        cache.put(1, "b".into(), solution(0.2), None);
         assert!(cache.get(1, "a").is_some()); // refresh "a"
-        cache.put(1, "c".into(), solution(0.3)); // evicts "b"
+        cache.put(1, "c".into(), solution(0.3), None); // evicts "b"
         assert!(cache.get(1, "b").is_none());
         assert!(cache.get(1, "a").is_some());
         assert!(cache.get(1, "c").is_some());
@@ -218,7 +330,7 @@ mod tests {
     #[test]
     fn zero_capacity_disables_caching() {
         let mut cache = SolutionCache::new(0);
-        cache.put(1, "a".into(), solution(0.1));
+        cache.put(1, "a".into(), solution(0.1), None);
         assert!(cache.get(1, "a").is_none());
         assert_eq!(cache.stats().entries, 0);
     }

@@ -42,6 +42,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bsc_core::cluster_graph::ClusterGraph;
+use bsc_core::delta::WindowSet;
 use bsc_core::error::{BscError, BscResult};
 use bsc_core::problem::StableClusterSpec;
 use bsc_core::snapshot::{GraphSnapshot, SnapshotCell};
@@ -363,6 +364,10 @@ pub(crate) struct Metrics {
 }
 
 pub(crate) struct Shared {
+    /// The snapshot cell, shared with the engine front: workers consult its
+    /// delta chain to decide whether a windowed (delta) solve can splice a
+    /// carried-forward window set — see [`bsc_core::delta`].
+    pub(crate) cell: Arc<SnapshotCell>,
     pub(crate) cache: Mutex<SolutionCache>,
     pub(crate) metrics: Mutex<Metrics>,
     /// Per-tenant counters and token buckets, keyed by tenant name.
@@ -416,6 +421,7 @@ impl QueryEngine {
         config.validate()?;
         let queue = Arc::new(AdmissionQueue::new(config.queue_capacity));
         let shared = Arc::new(Shared {
+            cell: Arc::clone(&cell),
             cache: Mutex::new(SolutionCache::new(config.cache_capacity)),
             metrics: Mutex::new(Metrics::default()),
             tenants: Mutex::new(HashMap::new()),
@@ -475,6 +481,23 @@ impl QueryEngine {
     /// Convenience wrapper over [`QueryEngine::install`] for a bare graph.
     pub fn install_graph(&self, graph: ClusterGraph) -> GraphSnapshot {
         self.install(GraphSnapshot::new(graph))
+    }
+
+    /// Install a snapshot produced incrementally from the previous one (the
+    /// streamed-ingest path): the cell records the interval delta between
+    /// the generations and the solution cache advances *selectively* —
+    /// window-set entries are carried forward as splice sources instead of
+    /// dropped, so the next solve of a cached key re-solves only the
+    /// windows the delta touches. Byte-identical answers either way; see
+    /// [`bsc_core::delta`]. Returns the installed snapshot.
+    pub fn install_incremental(&self, snapshot: GraphSnapshot) -> GraphSnapshot {
+        let installed = self.cell.install_incremental(snapshot);
+        self.shared
+            .cache
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .advance_epoch_incremental(installed.epoch());
+        installed
     }
 
     /// Admit a query, **blocking** while the bounded queue is full. The
@@ -885,6 +908,23 @@ pub(crate) fn process_job(mut job: Job, shared: &Shared) -> JobOutcome {
     outcome
 }
 
+/// Whether a query can run through the windowed (delta) solve path with an
+/// answer — including errors — indistinguishable from the direct solve.
+/// Exact-length, local (no fan-out) queries qualify: sharded ones are
+/// already a windowed merge, and unsharded ones must pass the same
+/// algorithm/spec support check the direct build would apply (TA's
+/// full-paths-only rule), so an unsupported combination still surfaces the
+/// identical error from the direct path.
+fn delta_eligible(request: &QueryRequest, num_intervals: usize) -> bool {
+    if !matches!(request.spec, StableClusterSpec::ExactLength(_))
+        || request.k == 0
+        || request.options.fanout.is_some()
+    {
+        return false;
+    }
+    request.options.shards > 1 || request.algorithm.supports(request.spec, num_intervals)
+}
+
 fn execute(job: &mut Job, queue_wait: Duration, shared: &Shared) -> BscResult<QueryResponse> {
     let epoch = job.snapshot.epoch();
     let key = job.request.cache_key();
@@ -902,6 +942,28 @@ fn execute(job: &mut Job, queue_wait: Duration, shared: &Shared) -> BscResult<Qu
             cached: true,
         });
     }
+    // Windowed (delta) solving engages only while the cell is being fed
+    // incrementally — a batch-loaded engine keeps the direct path. When a
+    // carried-forward window set for this key exists *and* the cell can
+    // prove a composable delta from its epoch to ours, the solve splices
+    // untouched windows instead of re-solving them.
+    let delta_mode =
+        delta_eligible(&job.request, job.snapshot.num_intervals()) && shared.cell.has_deltas();
+    let prior = if delta_mode {
+        shared
+            .cache
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .spliceable(epoch, &key)
+            .and_then(|(from_epoch, set)| {
+                shared
+                    .cell
+                    .delta_between(from_epoch, epoch)
+                    .map(|delta| (set, delta))
+            })
+    } else {
+        None
+    };
     // Every solve runs under a cancel token — installing one on demand is
     // what lets shutdown reach queries submitted without a deadline. The
     // token is registered for the duration of the solve and deregistered
@@ -917,31 +979,48 @@ fn execute(job: &mut Job, queue_wait: Duration, shared: &Shared) -> BscResult<Qu
         .lock()
         .unwrap_or_else(|p| p.into_inner())
         .push(token.clone());
-    let result: BscResult<Solution> = (|| {
-        let mut solver = job.request.algorithm.build_with_options(
-            job.request.spec,
-            job.request.k,
-            job.snapshot.num_intervals(),
-            job.request.options.clone(),
-        )?;
-        let start = Instant::now();
-        let mut solution = solver.solve_snapshot(&job.snapshot)?;
-        solution.stats.solve_micros = duration_micros(start.elapsed());
-        Ok(solution)
+    let result: BscResult<(Solution, Option<Arc<WindowSet>>)> = (|| {
+        if delta_mode {
+            let start = Instant::now();
+            let outcome = bsc_core::delta::solve_windows(
+                &job.snapshot,
+                job.request.spec,
+                job.request.k,
+                job.request.algorithm,
+                &job.request.options,
+                prior.as_ref().map(|(set, delta)| (set.as_ref(), delta)),
+            )?;
+            let mut solution = outcome.solution;
+            solution.stats.solve_micros = duration_micros(start.elapsed());
+            Ok((solution, Some(Arc::new(outcome.windows))))
+        } else {
+            let mut solver = job.request.algorithm.build_with_options(
+                job.request.spec,
+                job.request.k,
+                job.snapshot.num_intervals(),
+                job.request.options.clone(),
+            )?;
+            let start = Instant::now();
+            let mut solution = solver.solve_snapshot(&job.snapshot)?;
+            solution.stats.solve_micros = duration_micros(start.elapsed());
+            Ok((solution, None))
+        }
     })();
     shared
         .solving
         .lock()
         .unwrap_or_else(|p| p.into_inner())
         .retain(|t| t != &token);
-    let mut solution = result?;
+    let (mut solution, windows) = result?;
     // Cache the canonical form (no queue wait — that belongs to one query,
-    // not to the answer).
-    shared
-        .cache
-        .lock()
-        .unwrap_or_else(|p| p.into_inner())
-        .put(epoch, key, solution.clone());
+    // not to the answer), with the window set when the solve was windowed
+    // so the next epoch can splice from it.
+    shared.cache.lock().unwrap_or_else(|p| p.into_inner()).put(
+        epoch,
+        key,
+        solution.clone(),
+        windows,
+    );
     solution.stats.queue_wait_micros = duration_micros(queue_wait);
     Ok(QueryResponse {
         solution,

@@ -23,7 +23,7 @@ use std::sync::Arc;
 use bsc_core::cluster_graph::ClusterNodeId;
 use bsc_core::error::BscResult;
 use bsc_core::problem::KlStableParams;
-use bsc_core::snapshot::SnapshotCell;
+use bsc_core::snapshot::{GraphSnapshot, SnapshotCell};
 use bsc_core::streaming::OnlineStableClusters;
 use bsc_core::synthetic::{ClusterGraphGenerator, SyntheticGraphParams};
 use bsc_util::json::JsonValue;
@@ -229,19 +229,23 @@ impl Session {
                 stream.online.push_interval(parent_edges);
                 stream.nodes_per_interval.push(nodes);
                 let snapshot = stream.online.snapshot();
+                // Incremental install: the cell records the interval delta
+                // so resident window results splice forward instead of
+                // re-solving (byte-identical answers — the response and all
+                // later query responses render the same either way).
+                let intervals = stream.online.num_intervals();
+                let edges_ingested = stream.online.edges_ingested();
                 let installed = match &self.engine {
-                    Some(engine) => engine.install(snapshot),
-                    None => self.cell.install(snapshot),
+                    Some(engine) => engine.install_incremental(snapshot),
+                    None => self.cell.install_incremental(snapshot),
                 };
+                self.carry_cluster_windows(&installed);
                 ok_response(
                     "push_interval",
                     vec![
                         ("epoch", JsonValue::from(installed.epoch())),
-                        ("intervals", JsonValue::from(stream.online.num_intervals())),
-                        (
-                            "edges_ingested",
-                            JsonValue::from(stream.online.edges_ingested()),
-                        ),
+                        ("intervals", JsonValue::from(intervals)),
+                        ("edges_ingested", JsonValue::from(edges_ingested)),
                     ],
                 )
             }
@@ -300,6 +304,25 @@ impl Session {
                 let solution = solver.solve_snapshot(&snapshot)?;
                 Ok((solution.paths, snapshot.epoch()))
             }
+        }
+    }
+
+    /// Coordinator mode: after an incremental install, re-key the fan-out
+    /// client's window cache so the windows the epoch delta doesn't touch
+    /// answer the new epoch without a worker dispatch. A no-op without a
+    /// default fan-out, and when the cell holds no composable delta for
+    /// the step (first install, or a plain swap severed the chain) the
+    /// cache simply misses and windows re-solve — never a wrong answer.
+    fn carry_cluster_windows(&self, installed: &GraphSnapshot) {
+        let Some(fanout) = &self.default_fanout else {
+            return;
+        };
+        let to = installed.epoch();
+        let Some(from) = to.checked_sub(1) else {
+            return;
+        };
+        if let Some(delta) = self.cell.delta_between(from, to) {
+            bsc_cluster::client_for(fanout).carry_forward(from, to, &delta);
         }
     }
 
@@ -363,6 +386,14 @@ impl Session {
                                 "invalidations".to_string(),
                                 JsonValue::from(stats.cache.invalidations),
                             ),
+                            (
+                                "carried_forward".to_string(),
+                                JsonValue::from(stats.cache.carried_forward),
+                            ),
+                            (
+                                "delta_dropped".to_string(),
+                                JsonValue::from(stats.cache.delta_dropped),
+                            ),
                         ]),
                     ),
                     ("queue_wait", histogram_to_json(&stats.queue_wait)),
@@ -370,6 +401,13 @@ impl Session {
                 ];
                 if let Some(cluster) = cluster {
                     fields.push(("cluster", cluster));
+                }
+                if let Some(windows) = self
+                    .default_fanout
+                    .as_ref()
+                    .map(|fanout| bsc_cluster::client_for(fanout).window_cache_json())
+                {
+                    fields.push(("cluster_windows", windows));
                 }
                 ok_response("stats", fields)
             }
